@@ -1,0 +1,108 @@
+//! # nshard-baselines — every comparator of the paper's evaluation
+//!
+//! Implements the baseline sharding algorithms of Table 1 / Table 4
+//! (Appendix E):
+//!
+//! * [`greedy`] — **Random** sharding and the four greedy heuristics
+//!   (size-, dim-, lookup- and size-lookup-based). Faithful to the paper,
+//!   these balance a heuristic cost *without* memory awareness or
+//!   column-wise sharding, so they hit out-of-memory failures as table
+//!   dimensions grow — the "-" cells of Table 1.
+//! * [`rl`] — REINFORCE policy-gradient sharding agents standing in for
+//!   **AutoShard** (balances learned computation costs) and **DreamShard**
+//!   (balances computation + communication). These are simulations of the
+//!   referenced systems: table-wise-only assignment with a stochastic
+//!   policy, which reproduces their qualitative behaviour — competitive at
+//!   small dimensions, unable to scale to large tables.
+//! * [`imitation`] — **self-imitation learning** (Appendix H): distill a
+//!   log of NeuroShard plans into a fast one-pass policy sharder.
+//! * [`planner`] — a **TorchRec-like** partition planner: supports
+//!   column-wise splitting (so it scales to the largest dimensions) but
+//!   costs proposals with a *heuristic* (non-learned) cost function, which
+//!   is why it trails NeuroShard everywhere.
+//!
+//! All algorithms implement [`ShardingAlgorithm`] from `nshard-core`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod greedy;
+pub mod imitation;
+pub mod planner;
+pub mod rl;
+
+pub use greedy::{DimGreedy, LookupGreedy, RandomSharding, SizeGreedy, SizeLookupGreedy};
+pub use imitation::{ImitationSharder, SystemLog};
+pub use nshard_core::ShardingAlgorithm;
+pub use planner::TorchRecLikePlanner;
+pub use rl::{RlSharder, RlVariant};
+
+use nshard_core::{PlanError, ShardingPlan};
+use nshard_data::ShardingTask;
+
+/// Returns every Table 1 baseline (without NeuroShard), boxed, in the
+/// paper's row order. RL baselines receive the given `seed`.
+pub fn all_baselines(seed: u64) -> Vec<Box<dyn ShardingAlgorithm>> {
+    vec![
+        Box::new(RandomSharding::new(seed)),
+        Box::new(SizeGreedy),
+        Box::new(DimGreedy),
+        Box::new(LookupGreedy),
+        Box::new(SizeLookupGreedy),
+        Box::new(RlSharder::new(RlVariant::AutoShardLike, seed)),
+        Box::new(RlSharder::new(RlVariant::DreamShardLike, seed)),
+        Box::new(TorchRecLikePlanner::default()),
+    ]
+}
+
+/// Helper shared by the baselines: wrap a device assignment (aligned with
+/// `task.tables()` order, no column-wise sharding) into a [`ShardingPlan`].
+pub(crate) fn plan_from_assignment(
+    task: &ShardingTask,
+    device_of: Vec<usize>,
+) -> Result<ShardingPlan, PlanError> {
+    ShardingPlan::new(
+        Vec::new(),
+        task.tables().to_vec(),
+        device_of,
+        task.num_devices(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nshard_data::TablePool;
+
+    #[test]
+    fn all_baselines_returns_the_table1_row_order() {
+        let algos = all_baselines(7);
+        let names: Vec<&str> = algos.iter().map(|a| a.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "random",
+                "size_greedy",
+                "dim_greedy",
+                "lookup_greedy",
+                "size_lookup_greedy",
+                "autoshard_like",
+                "dreamshard_like",
+                "torchrec_like",
+            ]
+        );
+    }
+
+    #[test]
+    fn all_baselines_are_usable_as_trait_objects() {
+        let pool = TablePool::synthetic_dlrm(30, 1);
+        let task = ShardingTask::sample(&pool, 2, 4..=6, 8, 3);
+        for algo in all_baselines(1) {
+            if algo.name().contains("like") && algo.name() != "torchrec_like" {
+                continue; // RL agents are exercised (slowly) in their own tests
+            }
+            let plan = algo.shard(&task).unwrap();
+            assert_eq!(plan.num_devices(), 2, "{}", algo.name());
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Criterion benchmarks of the search's hot path: neural cost-model
+//! inference with and without the life-long prediction cache, quantifying
+//! the speedup behind Table 3's "w/o caching" row.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use nshard_cost::{table_features, CollectConfig, CostModelBundle, CostSimulator, TrainSettings};
+use nshard_data::TablePool;
+use nshard_sim::TableProfile;
+
+fn quick_bundle(d: usize) -> CostModelBundle {
+    let pool = TablePool::synthetic_dlrm(40, 1);
+    CostModelBundle::pretrain(
+        &pool,
+        d,
+        &CollectConfig::smoke(),
+        &TrainSettings::smoke(),
+        7,
+    )
+}
+
+fn tables(n: usize) -> Vec<TableProfile> {
+    (0..n as u64)
+        .map(|i| {
+            TableProfile::new(
+                [4u32, 8, 16, 32, 64, 128][(i % 6) as usize],
+                1 << (16 + i % 8),
+                8.0 + i as f64,
+                0.3,
+                1.05,
+            )
+        })
+        .collect()
+}
+
+fn bench_compute_predict(c: &mut Criterion) {
+    let bundle = quick_bundle(4);
+    let mut group = c.benchmark_group("cost_model/compute_predict");
+    for t in [1usize, 8, 16] {
+        let feats: Vec<Vec<f32>> = tables(t)
+            .iter()
+            .map(|p| table_features(p, 65_536))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(t), &feats, |b, feats| {
+            b.iter(|| bundle.compute_model().predict(black_box(feats)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_cached_vs_uncached(c: &mut Criterion) {
+    let ts = tables(10);
+    let cached = CostSimulator::new(quick_bundle(4));
+    // Warm the cache.
+    let _ = cached.device_compute_cost(&ts);
+    c.bench_function("cost_model/device_cost_cached", |b| {
+        b.iter(|| cached.device_compute_cost(black_box(&ts)));
+    });
+    let uncached = CostSimulator::new(quick_bundle(4)).with_cache_disabled();
+    c.bench_function("cost_model/device_cost_uncached", |b| {
+        b.iter(|| uncached.device_compute_cost(black_box(&ts)));
+    });
+}
+
+fn bench_estimate_plan(c: &mut Criterion) {
+    let sim = CostSimulator::new(quick_bundle(4));
+    let ts = tables(24);
+    let plan: Vec<Vec<TableProfile>> = (0..4)
+        .map(|g| ts.iter().skip(g).step_by(4).copied().collect())
+        .collect();
+    c.bench_function("cost_model/estimate_plan_4gpu", |b| {
+        b.iter(|| sim.estimate_plan(black_box(&plan)));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_compute_predict,
+    bench_cached_vs_uncached,
+    bench_estimate_plan
+);
+criterion_main!(benches);

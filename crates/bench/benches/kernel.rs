@@ -1,0 +1,51 @@
+//! Criterion micro-benchmarks of the ground-truth cost laws: the fused
+//! multi-table kernel law and the all-to-all communication law. These are
+//! the innermost functions of every experiment (label generation and plan
+//! evaluation), so their throughput bounds the whole harness.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use nshard_sim::{CommParams, KernelParams, TableProfile};
+
+fn table(dim: u32, i: u64) -> TableProfile {
+    TableProfile::new(dim, 1 << (16 + (i % 10)), 8.0 + i as f64, 0.3, 1.05)
+}
+
+fn bench_kernel_law(c: &mut Criterion) {
+    let params = KernelParams::rtx_2080_ti();
+    let mut group = c.benchmark_group("kernel/multi_cost");
+    for t in [1usize, 4, 16, 64] {
+        let tables: Vec<TableProfile> = (0..t as u64)
+            .map(|i| table([4u32, 8, 16, 32, 64, 128][(i % 6) as usize], i))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(t), &tables, |b, tables| {
+            b.iter(|| params.multi_cost_ms(black_box(tables), 65_536));
+        });
+    }
+    group.finish();
+}
+
+fn bench_comm_law(c: &mut Criterion) {
+    let params = CommParams::pcie_server();
+    let mut group = c.benchmark_group("comm/forward_costs");
+    for d in [4usize, 8, 128] {
+        let dims: Vec<f64> = (0..d).map(|g| 200.0 + g as f64).collect();
+        let starts = vec![0.0; d];
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
+            b.iter(|| params.forward_costs_ms(black_box(&dims), black_box(&starts), 65_536));
+        });
+    }
+    group.finish();
+}
+
+fn bench_cache_penalty(c: &mut Criterion) {
+    let params = KernelParams::rtx_2080_ti();
+    let t = table(64, 3);
+    c.bench_function("kernel/cache_penalty", |b| {
+        b.iter(|| params.cache_penalty(black_box(&t), 65_536));
+    });
+}
+
+criterion_group!(benches, bench_kernel_law, bench_comm_law, bench_cache_penalty);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion benchmarks of the neural-network substrate: forward and
+//! backward passes of the paper's three architectures and one Adam step.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use nshard_nn::{Adam, Matrix, Mlp};
+
+fn bench_forward(c: &mut Criterion) {
+    // The three architectures of Figure 5 (+ head).
+    let encoder = Mlp::new(8, &[128], 32, 0); // table encoder
+    let head = Mlp::new(32, &[64], 1, 1); // combination head
+    let comm = Mlp::new(11, &[128, 64, 32, 16], 1, 2); // comm model (4 GPUs)
+
+    let x8 = Matrix::zeros(8, 8);
+    c.bench_function("nn/encoder_forward_8tables", |b| {
+        b.iter(|| encoder.forward(black_box(&x8)));
+    });
+    let x1 = Matrix::zeros(1, 32);
+    c.bench_function("nn/head_forward", |b| {
+        b.iter(|| head.forward(black_box(&x1)));
+    });
+    let xc = Matrix::zeros(1, 11);
+    c.bench_function("nn/comm_forward", |b| {
+        b.iter(|| comm.forward(black_box(&xc)));
+    });
+}
+
+fn bench_backward_and_adam(c: &mut Criterion) {
+    let mlp = Mlp::new(8, &[128], 32, 0);
+    let x = Matrix::zeros(16, 8);
+    let dy = Matrix::zeros(16, 32);
+    c.bench_function("nn/forward_backward_batch16", |b| {
+        b.iter(|| {
+            let (_, cache) = mlp.forward_cached(black_box(&x));
+            mlp.backward(&cache, black_box(&dy))
+        });
+    });
+
+    let mut model = Mlp::new(8, &[128], 32, 0);
+    let mut adam = Adam::new(&model, 1e-3);
+    let (_, cache) = model.forward_cached(&x);
+    let (_, grads) = model.backward(&cache, &dy);
+    c.bench_function("nn/adam_step", |b| {
+        b.iter(|| adam.step(&mut model, black_box(&grads)));
+    });
+}
+
+criterion_group!(benches, bench_forward, bench_backward_and_adam);
+criterion_main!(benches);

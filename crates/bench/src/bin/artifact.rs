@@ -1,0 +1,255 @@
+//! Artifact-parity CLI, mirroring the paper's Appendix I workflow
+//! step-for-step with files on disk:
+//!
+//! ```text
+//! artifact gen-data    --workdir work        # ≈ tools/gen_dlrm_data.py
+//! artifact gen-tasks   --workdir work --max-dim 128 [--gpus 4] [--tasks 100]
+//! artifact collect     --workdir work [--data-size 8000]
+//!                                            # ≈ collect_{compute,comm}_cost_data.py
+//! artifact train       --workdir work [--epochs 30]
+//!                                            # ≈ train_{compute,comm}_cost_model.py
+//! artifact eval-sim    --workdir work --alg neuroshard
+//!                                            # ≈ eval_simulator.py
+//! artifact eval        --workdir work --alg neuroshard
+//!                                            # ≈ eval.py (ground-truth costs)
+//! ```
+//!
+//! Algorithms: `neuroshard`, `random`, `size_greedy`, `dim_greedy`,
+//! `lookup_greedy`, `size_lookup_greedy`, `torchrec_like`,
+//! `autoshard_like`, `dreamshard_like`.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use serde::{de::DeserializeOwned, Serialize};
+
+use nshard_baselines::{
+    DimGreedy, LookupGreedy, RandomSharding, RlSharder, RlVariant, ShardingAlgorithm, SizeGreedy,
+    SizeLookupGreedy, TorchRecLikePlanner,
+};
+use nshard_bench::Args;
+use nshard_core::{evaluate_plan, NeuroShard, NeuroShardConfig};
+use nshard_cost::{
+    collect_comm_data, collect_compute_data, CollectConfig, CommCostModel, ComputeCostModel,
+    CostModelBundle, CostSimulator, TrainSettings,
+};
+use nshard_data::{ShardingTask, TablePool};
+use nshard_sim::GpuSpec;
+
+fn main() {
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    let command = if raw.is_empty() { String::new() } else { raw.remove(0) };
+    let args = Args::from_vec(raw);
+    let workdir = PathBuf::from(args.get_opt("workdir").unwrap_or_else(|| "work".into()));
+
+    match command.as_str() {
+        "gen-data" => gen_data(&workdir, &args),
+        "gen-tasks" => gen_tasks(&workdir, &args),
+        "collect" => collect(&workdir, &args),
+        "train" => train(&workdir, &args),
+        "eval-sim" => eval_tasks(&workdir, &args, false),
+        "eval" => eval_tasks(&workdir, &args, true),
+        other => {
+            eprintln!("unknown or missing subcommand {other:?}");
+            eprintln!(
+                "usage: artifact <gen-data|gen-tasks|collect|train|eval-sim|eval> \
+                 --workdir <dir> [options]"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn write_json<T: Serialize>(path: &Path, value: &T) {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent).unwrap_or_else(|e| panic!("mkdir {}: {e}", parent.display()));
+    }
+    let json = serde_json::to_string(value).expect("artifact types serialize");
+    fs::write(path, json).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    eprintln!("wrote {}", path.display());
+}
+
+fn read_json<T: DeserializeOwned>(path: &Path) -> T {
+    let json = fs::read_to_string(path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {} ({e}); run the earlier pipeline steps first",
+            path.display()
+        )
+    });
+    serde_json::from_str(&json).unwrap_or_else(|e| panic!("parse {}: {e}", path.display()))
+}
+
+/// Step 1a: generate the synthetic table pool (≈ `gen_dlrm_data.py`).
+fn gen_data(workdir: &Path, args: &Args) {
+    let tables: usize = args.get("tables", 856);
+    let seed: u64 = args.get("seed", 2023);
+    println!("Processing DLRM data...");
+    let pool = TablePool::synthetic_dlrm(tables, seed);
+    println!("Generating table configs...");
+    write_json(&workdir.join("data/dlrm_pool.json"), &pool);
+    let stats = pool.stats();
+    println!(
+        "{} tables, avg hash size {:.0}, avg pooling factor {:.1}",
+        stats.num_tables, stats.avg_hash_size, stats.avg_pooling_factor
+    );
+}
+
+/// Step 1b: generate evaluation sharding tasks (≈ `gen_tasks.py`).
+fn gen_tasks(workdir: &Path, args: &Args) {
+    let pool: TablePool = read_json(&workdir.join("data/dlrm_pool.json"));
+    let gpus: usize = args.get("gpus", 4);
+    let max_dim: u32 = args.get("max-dim", 128);
+    let count: usize = args.get("tasks", 100);
+    let seed: u64 = args.get("seed", 0);
+    let (t_min, t_max) = if gpus <= 4 { (10, 60) } else { (20, 120) };
+    let tasks: Vec<ShardingTask> = (0..count)
+        .map(|i| ShardingTask::sample(&pool, gpus, t_min..=t_max, max_dim, seed ^ i as u64))
+        .collect();
+    write_json(&workdir.join(format!("data/tasks/{gpus}_gpus.json")), &tasks);
+    println!("{count} sharding tasks generated!");
+}
+
+/// Step 2: micro-benchmark cost data (≈ `collect_*_cost_data.py`).
+fn collect(workdir: &Path, args: &Args) {
+    let pool: TablePool = read_json(&workdir.join("data/dlrm_pool.json"));
+    let gpus: usize = args.get("gpus", 4);
+    let data_size: usize = args.get("data-size", 8000);
+    let seed: u64 = args.get("seed", 42);
+    let config = CollectConfig {
+        compute_samples: data_size,
+        comm_samples: data_size.min(args.get("comm-data-size", data_size)),
+        ..CollectConfig::default()
+    };
+    let spec = GpuSpec::rtx_2080_ti();
+    eprintln!("collecting computation cost data ({data_size} samples)...");
+    let compute = collect_compute_data(&pool, spec.kernel(), &config, seed);
+    write_json(&workdir.join("cost_data/compute.json"), &compute);
+    eprintln!("collecting communication cost data...");
+    let comm = collect_comm_data(&pool, spec.comm(), gpus, &config, seed ^ 0x1234);
+    write_json(&workdir.join("cost_data/comm_fwd.json"), &comm.forward);
+    write_json(&workdir.join("cost_data/comm_bwd.json"), &comm.backward);
+    println!("Device 0 finished!");
+}
+
+/// Step 3: train the three cost models (≈ `train_*_cost_model.py`).
+fn train(workdir: &Path, args: &Args) {
+    let gpus: usize = args.get("gpus", 4);
+    let epochs: usize = args.get("epochs", 30);
+    let seed: u64 = args.get("seed", 42);
+    let settings = TrainSettings {
+        epochs,
+        ..TrainSettings::default()
+    };
+
+    let compute_data: nshard_cost::ComputeDataset = read_json(&workdir.join("cost_data/compute.json"));
+    let fwd_data: nshard_nn::Dataset = read_json(&workdir.join("cost_data/comm_fwd.json"));
+    let bwd_data: nshard_nn::Dataset = read_json(&workdir.join("cost_data/comm_bwd.json"));
+
+    let mut compute = ComputeCostModel::new(seed);
+    let report = compute.train(
+        &compute_data,
+        settings.epochs,
+        settings.batch_size,
+        settings.learning_rate,
+        seed ^ 0x1,
+    );
+    println!(
+        "Final result, train MSE: {}, valid MSE {}, test MSE: {}",
+        report.train_mse, report.valid_mse, report.test_mse
+    );
+
+    let mut comm_fwd = CommCostModel::new(gpus, seed ^ 0x2);
+    let fwd_report = comm_fwd.train(
+        &fwd_data,
+        settings.epochs,
+        settings.batch_size,
+        settings.learning_rate,
+        seed ^ 0x3,
+    );
+    let mut comm_bwd = CommCostModel::new(gpus, seed ^ 0x4);
+    let bwd_report = comm_bwd.train(
+        &bwd_data,
+        settings.epochs,
+        settings.batch_size,
+        settings.learning_rate,
+        seed ^ 0x5,
+    );
+    println!(
+        "Final result, fwd comm test MSE: {}, bwd comm test MSE: {}",
+        fwd_report.test_mse, bwd_report.test_mse
+    );
+
+    let bundle = CostModelBundle::from_parts(
+        compute,
+        comm_fwd,
+        comm_bwd,
+        nshard_sim::DEFAULT_BATCH_SIZE,
+        nshard_cost::BundleReport {
+            compute_test_mse: report.test_mse,
+            fwd_comm_test_mse: fwd_report.test_mse,
+            bwd_comm_test_mse: bwd_report.test_mse,
+            compute_samples: compute_data.len(),
+            comm_samples: fwd_data.len(),
+        },
+    );
+    write_json(&workdir.join("models/bundle.json"), &bundle);
+}
+
+fn algorithm(name: &str, seed: u64) -> Option<Box<dyn ShardingAlgorithm>> {
+    Some(match name {
+        "random" => Box::new(RandomSharding::new(seed)),
+        "size_greedy" => Box::new(SizeGreedy),
+        "dim_greedy" => Box::new(DimGreedy),
+        "lookup_greedy" => Box::new(LookupGreedy),
+        "size_lookup_greedy" => Box::new(SizeLookupGreedy),
+        "autoshard_like" => Box::new(RlSharder::new(RlVariant::AutoShardLike, seed)),
+        "dreamshard_like" => Box::new(RlSharder::new(RlVariant::DreamShardLike, seed)),
+        "torchrec_like" => Box::new(TorchRecLikePlanner::default()),
+        _ => return None,
+    })
+}
+
+/// Steps 4a/4b: evaluate a sharding algorithm with the learned simulator
+/// (`eval-sim` ≈ `eval_simulator.py`) or against the ground-truth cluster
+/// (`eval` ≈ `eval.py`).
+fn eval_tasks(workdir: &Path, args: &Args, ground_truth: bool) {
+    let gpus: usize = args.get("gpus", 4);
+    let seed: u64 = args.get("seed", 7);
+    let alg = args.get_opt("alg").unwrap_or_else(|| "neuroshard".into());
+    let tasks: Vec<ShardingTask> = read_json(&workdir.join(format!("data/tasks/{gpus}_gpus.json")));
+    let bundle: CostModelBundle = read_json(&workdir.join("models/bundle.json"));
+    let spec = GpuSpec::rtx_2080_ti();
+
+    let neuroshard;
+    let boxed;
+    let algo: &dyn ShardingAlgorithm = if alg == "neuroshard" {
+        neuroshard = NeuroShard::new(bundle.clone(), NeuroShardConfig::default());
+        &neuroshard
+    } else {
+        boxed = algorithm(&alg, seed)
+            .unwrap_or_else(|| panic!("unknown algorithm {alg:?}"));
+        boxed.as_ref()
+    };
+
+    let sim = CostSimulator::new(bundle);
+    let mut costs = Vec::new();
+    let mut valid = 0usize;
+    for (i, task) in tasks.iter().enumerate() {
+        let Ok(plan) = algo.shard(task) else { continue };
+        if ground_truth {
+            if let Ok(real) = evaluate_plan(task, &plan, &spec, seed ^ i as u64) {
+                valid += 1;
+                costs.push(real.max_total_ms());
+            }
+        } else {
+            if plan.validate(task).is_err() {
+                continue;
+            }
+            valid += 1;
+            costs.push(sim.estimate_plan(&plan.device_profiles(task.batch_size())).total_ms());
+        }
+    }
+    let mean = costs.iter().sum::<f64>() / costs.len().max(1) as f64;
+    println!("Average: {mean}");
+    println!("Valid {valid} / {}", tasks.len());
+}

@@ -1,0 +1,105 @@
+//! Extension experiment (paper Appendix H): **self-imitation learning**
+//! from sharding logs.
+//!
+//! Builds a "system log" by running NeuroShard on training tasks, distills
+//! the log into a one-pass policy ([`ImitationSharder`]), and compares it
+//! against full NeuroShard and the best heuristic on held-out tasks: plan
+//! quality (real embedding cost) vs. sharding speed.
+//!
+//! Usage: `ext_imitation [--train-tasks 20] [--test-tasks 10] [--epochs 30]
+//!         [--seed 13] [--out ext_imitation.json]`
+//!
+//! [`ImitationSharder`]: nshard_baselines::ImitationSharder
+
+use serde::Serialize;
+
+use nshard_baselines::{ImitationSharder, LookupGreedy, ShardingAlgorithm, SystemLog};
+use nshard_bench::{evaluate_method, maybe_write_json, print_markdown_table, Args, MethodRow};
+use nshard_core::{NeuroShard, NeuroShardConfig};
+use nshard_cost::{CollectConfig, CostModelBundle, TrainSettings};
+use nshard_data::{ShardingTask, TablePool};
+use nshard_sim::GpuSpec;
+
+#[derive(Serialize)]
+struct Output {
+    rows: Vec<MethodRow>,
+    speedup_vs_neuroshard: Option<f64>,
+}
+
+fn main() {
+    let args = Args::from_env();
+    let train_tasks_n: usize = args.get("train-tasks", 20);
+    let test_tasks_n: usize = args.get("test-tasks", 10);
+    let seed: u64 = args.get("seed", 13);
+    let collect = CollectConfig {
+        compute_samples: args.get("compute-samples", 6000),
+        comm_samples: args.get("comm-samples", 4000),
+        ..CollectConfig::default()
+    };
+    let train = TrainSettings {
+        epochs: args.get("epochs", 30),
+        ..TrainSettings::default()
+    };
+
+    let pool = TablePool::synthetic_dlrm(856, 2023);
+    let spec = GpuSpec::rtx_2080_ti();
+    eprintln!("pre-training cost models...");
+    let bundle = CostModelBundle::pretrain(&pool, 4, &collect, &train, seed);
+    let neuroshard = NeuroShard::new(bundle, NeuroShardConfig::default());
+
+    // Build the system log from NeuroShard runs on the training tasks.
+    eprintln!("building the system log from {train_tasks_n} NeuroShard runs...");
+    let mut log = SystemLog::new();
+    for i in 0..train_tasks_n {
+        let task = ShardingTask::sample(&pool, 4, 10..=60, 64, seed ^ 0xAA00 ^ i as u64);
+        if let Ok(plan) = neuroshard.shard(&task) {
+            log.record(&task, &plan);
+        }
+    }
+    eprintln!("log holds {} plans; distilling the policy...", log.len());
+    let imitation = ImitationSharder::fit(&log, 40, seed);
+
+    // Held-out evaluation.
+    let test_tasks: Vec<ShardingTask> = (0..test_tasks_n)
+        .map(|i| ShardingTask::sample(&pool, 4, 10..=60, 64, seed ^ 0xBB00 ^ i as u64))
+        .collect();
+    let rows = vec![
+        evaluate_method(&LookupGreedy, &test_tasks, &spec, seed),
+        evaluate_method(&imitation, &test_tasks, &spec, seed),
+        evaluate_method(&neuroshard, &test_tasks, &spec, seed),
+    ];
+
+    let speedup = match (&rows[1], &rows[2]) {
+        (imi, ns) if imi.mean_time_s > 0.0 => Some(ns.mean_time_s / imi.mean_time_s),
+        _ => None,
+    };
+
+    println!("\n# Extension — self-imitation learning (Appendix H), 4 GPUs, max dim 64\n");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                r.cost_display(),
+                format!("{}/{}", r.successes, r.total),
+                format!("{:.4}s", r.mean_time_s),
+            ]
+        })
+        .collect();
+    print_markdown_table(&["method", "cost (ms)", "success", "time/task"], &table);
+    if let Some(s) = speedup {
+        println!("\nimitation policy shards {s:.0}x faster than the full search");
+    }
+    println!(
+        "(Expected: imitation lands between the heuristic and full NeuroShard on \
+         cost, at near-heuristic speed — the Appendix H trade.)"
+    );
+
+    maybe_write_json(
+        &args,
+        &Output {
+            rows,
+            speedup_vs_neuroshard: speedup,
+        },
+    );
+}

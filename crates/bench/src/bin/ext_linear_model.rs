@@ -1,0 +1,129 @@
+//! Model-capacity ablation (§4.2's closing claim): "an even simpler
+//! network (i.e., a linear one) may not work due to the non-linearity of
+//! the costs."
+//!
+//! Trains the paper's shallow non-linear cost model and a fully linear
+//! variant on identical micro-benchmark data, reports test MSE, and runs
+//! NeuroShard with each to measure the end effect on sharding quality.
+//!
+//! Usage: `ext_linear_model [--tasks 8] [--compute-samples 8000]
+//!         [--epochs 30] [--seed 15] [--out ext_linear.json]`
+
+use serde::Serialize;
+
+use nshard_bench::{evaluate_method, maybe_write_json, print_markdown_table, Args};
+use nshard_core::{NeuroShard, NeuroShardConfig};
+use nshard_cost::{
+    collect_comm_data, collect_compute_data, BundleReport, CollectConfig, CommCostModel,
+    ComputeCostModel, CostModelBundle, TrainSettings,
+};
+use nshard_data::{ShardingTask, TablePool};
+use nshard_sim::GpuSpec;
+
+#[derive(Serialize)]
+struct VariantRow {
+    name: String,
+    compute_test_mse: f32,
+    mean_cost_ms: Option<f64>,
+    success_rate: f64,
+}
+
+#[derive(Serialize)]
+struct Output {
+    rows: Vec<VariantRow>,
+}
+
+fn main() {
+    let args = Args::from_env();
+    let tasks_n: usize = args.get("tasks", 8);
+    let seed: u64 = args.get("seed", 15);
+    let collect = CollectConfig {
+        compute_samples: args.get("compute-samples", 8000),
+        comm_samples: args.get("comm-samples", 4000),
+        ..CollectConfig::default()
+    };
+    let train = TrainSettings {
+        epochs: args.get("epochs", 30),
+        ..TrainSettings::default()
+    };
+
+    let pool = TablePool::synthetic_dlrm(856, 2023);
+    let spec = GpuSpec::rtx_2080_ti();
+    let d = 4usize;
+
+    // Shared data and communication models; only the compute model varies.
+    eprintln!("collecting micro-benchmark data...");
+    let compute_data = collect_compute_data(&pool, spec.kernel(), &collect, seed);
+    let comm_data = collect_comm_data(&pool, spec.comm(), d, &collect, seed ^ 0x1234);
+    let mut comm_fwd = CommCostModel::new(d, seed ^ 0x2);
+    let fwd_mse = comm_fwd
+        .train(&comm_data.forward, train.epochs, train.batch_size, train.learning_rate, seed)
+        .test_mse;
+    let mut comm_bwd = CommCostModel::new(d, seed ^ 0x4);
+    let bwd_mse = comm_bwd
+        .train(&comm_data.backward, train.epochs, train.batch_size, train.learning_rate, seed)
+        .test_mse;
+
+    let tasks: Vec<ShardingTask> = (0..tasks_n)
+        .map(|i| ShardingTask::sample(&pool, d, 10..=60, 128, seed ^ 0xCC00 ^ i as u64))
+        .collect();
+
+    let mut rows = Vec::new();
+    for (name, mut compute) in [
+        ("paper MLP (128-32 / 64)", ComputeCostModel::new(seed)),
+        ("linear model", ComputeCostModel::linear(seed)),
+    ] {
+        eprintln!("training {name}...");
+        let report = compute.train(
+            &compute_data,
+            train.epochs,
+            train.batch_size,
+            train.learning_rate,
+            seed ^ 0x1,
+        );
+        let bundle = CostModelBundle::from_parts(
+            compute,
+            comm_fwd.clone(),
+            comm_bwd.clone(),
+            collect.batch_size,
+            BundleReport {
+                compute_test_mse: report.test_mse,
+                fwd_comm_test_mse: fwd_mse,
+                bwd_comm_test_mse: bwd_mse,
+                compute_samples: collect.compute_samples,
+                comm_samples: collect.comm_samples,
+            },
+        );
+        let sharder = NeuroShard::new(bundle, NeuroShardConfig::default());
+        let row = evaluate_method(&sharder, &tasks, &spec, seed);
+        rows.push(VariantRow {
+            name: name.to_string(),
+            compute_test_mse: report.test_mse,
+            mean_cost_ms: row.mean_cost_ms.or(row.mean_cost_valid_ms),
+            success_rate: row.success_rate(),
+        });
+    }
+
+    println!("\n# Model-capacity ablation (§4.2) — max dim 128, 4 GPUs, {tasks_n} tasks\n");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                format!("{:.3}", r.compute_test_mse),
+                r.mean_cost_ms.map_or("-".into(), |c| format!("{c:.2}")),
+                format!("{:.0}%", r.success_rate * 100.0),
+            ]
+        })
+        .collect();
+    print_markdown_table(
+        &["compute model", "test MSE (ms^2)", "embedding cost (ms)", "success"],
+        &table,
+    );
+    println!(
+        "\n(The paper's claim: the shallow MLP is necessary; a linear model \
+         underfits the non-linear costs, degrading both MSE and plans.)"
+    );
+
+    maybe_write_json(&args, &Output { rows });
+}

@@ -1,0 +1,111 @@
+//! Figure 1 (right): GPU traces in fully synchronous training.
+//!
+//! Renders ASCII timelines of one steady-state training iteration for a
+//! balanced and an imbalanced sharding plan, reproducing the paper's
+//! analysis: the slow GPU's embedding backward delays its next forward,
+//! the delay accumulates, and the *other* GPUs idle at the collectives.
+//!
+//! Usage: `fig1_trace [--gpus 3] [--seed 14] [--out fig1.json]`
+
+use serde::Serialize;
+
+use nshard_bench::{maybe_write_json, Args};
+use nshard_data::TablePool;
+use nshard_sim::{Cluster, GpuSpec, NoiseModel, Phase, TableProfile, TraceSimulator, TraceSummary};
+
+#[derive(Serialize)]
+struct Output {
+    balanced: TraceSummary,
+    imbalanced: TraceSummary,
+}
+
+fn main() {
+    let args = Args::from_env();
+    let d: usize = args.get("gpus", 3);
+    let seed: u64 = args.get("seed", 14);
+
+    let pool = TablePool::synthetic_dlrm(120, seed);
+    let profiles: Vec<TableProfile> = pool
+        .iter()
+        .take(4 * d)
+        .map(|t| t.with_dim(64).profile(65_536))
+        .collect();
+
+    // Balanced: round-robin. Imbalanced: GPU 0 hoards half the tables.
+    let mut balanced: Vec<Vec<TableProfile>> = vec![Vec::new(); d];
+    for (i, p) in profiles.iter().enumerate() {
+        balanced[i % d].push(*p);
+    }
+    let mut imbalanced: Vec<Vec<TableProfile>> = vec![Vec::new(); d];
+    for (i, p) in profiles.iter().enumerate() {
+        let g = if i < profiles.len() / 2 { 0 } else { 1 + i % (d - 1) };
+        imbalanced[g].push(*p);
+    }
+
+    let cluster = Cluster::new(GpuSpec::rtx_2080_ti(), d, 65_536).with_noise(NoiseModel::disabled());
+    let sim = TraceSimulator::new(cluster, 8.0);
+    let b = sim.simulate(&balanced, 30).expect("balanced plan fits");
+    let s = sim.simulate(&imbalanced, 30).expect("imbalanced plan fits");
+
+    println!("# Figure 1 (right) — synchronous training traces, {d} GPUs\n");
+    println!("## Balanced placement (iteration {:.2} ms, max idle {:.2} ms)\n", b.iteration_ms, b.max_idle_ms);
+    render(&b);
+    println!(
+        "\n## Imbalanced placement (iteration {:.2} ms, max idle {:.2} ms)\n",
+        s.iteration_ms, s.max_idle_ms
+    );
+    render(&s);
+    println!(
+        "\nlegend: F embedding-forward, f forward all-to-all, D dense fwd+bwd, \
+         b backward all-to-all, B embedding-backward, . idle/wait"
+    );
+    println!(
+        "\nthroughput: balanced {:.0} samples/s vs imbalanced {:.0} samples/s ({:.1}% loss)",
+        b.throughput_samples_per_sec,
+        s.throughput_samples_per_sec,
+        (1.0 - s.throughput_samples_per_sec / b.throughput_samples_per_sec) * 100.0
+    );
+
+    maybe_write_json(
+        &args,
+        &Output {
+            balanced: b,
+            imbalanced: s,
+        },
+    );
+}
+
+/// Renders the last iteration's spans as an 80-column ASCII Gantt chart.
+fn render(summary: &TraceSummary) {
+    const WIDTH: usize = 78;
+    let spans = &summary.last_iteration.spans;
+    let t0 = spans
+        .iter()
+        .filter_map(|s| s.first())
+        .map(|s| s.start_ms)
+        .fold(f64::INFINITY, f64::min);
+    let t1 = spans
+        .iter()
+        .filter_map(|s| s.last())
+        .map(|s| s.end_ms)
+        .fold(0.0f64, f64::max);
+    let scale = WIDTH as f64 / (t1 - t0).max(1e-9);
+    for (g, gpu_spans) in spans.iter().enumerate() {
+        let mut line = vec!['.'; WIDTH];
+        for span in gpu_spans {
+            let c = match span.phase {
+                Phase::EmbeddingForward => 'F',
+                Phase::ForwardComm => 'f',
+                Phase::DenseCompute => 'D',
+                Phase::BackwardComm => 'b',
+                Phase::EmbeddingBackward => 'B',
+            };
+            let lo = ((span.start_ms - t0) * scale) as usize;
+            let hi = (((span.end_ms - t0) * scale) as usize).min(WIDTH);
+            for cell in line.iter_mut().take(hi).skip(lo) {
+                *cell = c;
+            }
+        }
+        println!("GPU {g} |{}|", line.into_iter().collect::<String>());
+    }
+}

@@ -1,0 +1,77 @@
+//! Figure 3 (left) + Figure 10: computation cost vs. table dimension.
+//!
+//! Picks random tables from the pool and sweeps the dimension over
+//! {128, 64, 32, 16, 8, 4}, printing the fused-kernel (forward+backward)
+//! cost. Observation 1 is checked explicitly: each half-dimension cost
+//! exceeds half of the full-dimension cost.
+//!
+//! Usage: `fig3_dimension [--tables 4] [--seed 0] [--out fig3_left.json]`
+
+use serde::Serialize;
+
+use nshard_bench::{maybe_write_json, print_markdown_table, Args};
+use nshard_data::TablePool;
+use nshard_sim::{KernelParams, NoiseModel};
+
+#[derive(Serialize)]
+struct Output {
+    dims: Vec<u32>,
+    /// `costs[t][d]` = cost in ms of table `t` at dimension `dims[d]`.
+    costs: Vec<Vec<f64>>,
+    observation1_holds: bool,
+}
+
+fn main() {
+    let args = Args::from_env();
+    let num_tables: usize = args.get("tables", 4);
+    let seed: u64 = args.get("seed", 0);
+
+    let pool = TablePool::synthetic_dlrm(856, 2023);
+    let kernel = KernelParams::rtx_2080_ti();
+    let noise = NoiseModel::new(seed, 0.02);
+    let dims = [128u32, 64, 32, 16, 8, 4];
+
+    let mut rows = Vec::new();
+    let mut costs = Vec::new();
+    let mut obs1 = true;
+    for t in 0..num_tables {
+        // Deterministic table choice.
+        let table = pool.tables()[(seed as usize + t * 131) % pool.len()];
+        let mut row = vec![format!("table#{}", table.id().0)];
+        let mut series = Vec::new();
+        for &dim in &dims {
+            let profile = table.with_dim(dim).profile(65_536);
+            let cost = kernel.measure_multi_cost_ms(&[profile], 65_536, &noise, 21);
+            row.push(format!("{cost:.3}"));
+            series.push(cost);
+        }
+        // Observation 1: cost(d/2) > cost(d)/2 for every adjacent pair.
+        for w in series.windows(2) {
+            if w[1] <= w[0] / 2.0 {
+                obs1 = false;
+            }
+        }
+        costs.push(series);
+        rows.push(row);
+    }
+
+    println!("# Figure 3 (left) / Figure 10 — computation cost (ms) vs. dimension\n");
+    let headers: Vec<String> = std::iter::once("table".to_string())
+        .chain(dims.iter().map(|d| format!("dim {d}")))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    print_markdown_table(&header_refs, &rows);
+    println!(
+        "\nObservation 1 (half-dim shard costs more than half of the full table): {}",
+        if obs1 { "HOLDS" } else { "VIOLATED" }
+    );
+
+    maybe_write_json(
+        &args,
+        &Output {
+            dims: dims.to_vec(),
+            costs,
+            observation1_holds: obs1,
+        },
+    );
+}

@@ -1,0 +1,94 @@
+//! Figure 8 (left): simulation costs estimated by the neural cost models
+//! vs. real costs measured on the (simulated) GPUs, for random sharding
+//! plans.
+//!
+//! Usage:
+//! `fig8_scatter [--plans 100] [--gpus 4] [--compute-samples 8000]
+//!  [--epochs 30] [--seed 5] [--out fig8_left.json]`
+
+use serde::Serialize;
+
+use nshard_bench::{maybe_write_json, pearson, print_markdown_table, Args};
+use nshard_core::evaluate_plan;
+use nshard_baselines::{RandomSharding, ShardingAlgorithm};
+use nshard_cost::{CollectConfig, CostModelBundle, CostSimulator, TrainSettings};
+use nshard_data::{ShardingTask, TablePool};
+use nshard_sim::GpuSpec;
+
+#[derive(Serialize)]
+struct Output {
+    simulated_ms: Vec<f64>,
+    real_ms: Vec<f64>,
+    correlation: f64,
+    mean_abs_err_ms: f64,
+}
+
+fn main() {
+    let args = Args::from_env();
+    let plans: usize = args.get("plans", 100);
+    let d: usize = args.get("gpus", 4);
+    let seed: u64 = args.get("seed", 5);
+    let collect = CollectConfig {
+        compute_samples: args.get("compute-samples", 8000),
+        comm_samples: args.get("comm-samples", 6000),
+        ..CollectConfig::default()
+    };
+    let train = TrainSettings {
+        epochs: args.get("epochs", 30),
+        ..TrainSettings::default()
+    };
+
+    let pool = TablePool::synthetic_dlrm(856, 2023);
+    let spec = GpuSpec::rtx_2080_ti();
+    eprintln!("pre-training bundle for {d} GPUs...");
+    let bundle = CostModelBundle::pretrain(&pool, d, &collect, &train, seed);
+    let sim = CostSimulator::new(bundle);
+
+    let mut simulated = Vec::new();
+    let mut real = Vec::new();
+    let mut attempts = 0u64;
+    while simulated.len() < plans {
+        let task = ShardingTask::sample(&pool, d, 10..=60, 64, seed ^ attempts);
+        attempts += 1;
+        let sharder = RandomSharding::new(seed ^ attempts);
+        let Ok(plan) = sharder.shard(&task) else {
+            continue;
+        };
+        // Random plans can overflow memory; Figure 8 only scatters valid ones.
+        let Ok(costs) = evaluate_plan(&task, &plan, &spec, seed ^ attempts) else {
+            continue;
+        };
+        let est = sim.estimate_plan(&plan.device_profiles(task.batch_size()));
+        simulated.push(est.total_ms());
+        real.push(costs.max_total_ms());
+    }
+
+    let r = pearson(&simulated, &real);
+    let mae = simulated
+        .iter()
+        .zip(&real)
+        .map(|(s, g)| (s - g).abs())
+        .sum::<f64>()
+        / plans as f64;
+
+    println!("# Figure 8 (left) — simulated vs. real cost for {plans} random plans\n");
+    let rows: Vec<Vec<String>> = simulated
+        .iter()
+        .zip(&real)
+        .take(15)
+        .map(|(s, g)| vec![format!("{s:.2}"), format!("{g:.2}")])
+        .collect();
+    print_markdown_table(&["simulated (ms)", "real (ms)"], &rows);
+    println!("(first 15 shown)");
+    println!("\nPearson r = {r:.4}, mean |error| = {mae:.2} ms");
+
+    maybe_write_json(
+        &args,
+        &Output {
+            simulated_ms: simulated,
+            real_ms: real,
+            correlation: r,
+            mean_abs_err_ms: mae,
+        },
+    );
+}

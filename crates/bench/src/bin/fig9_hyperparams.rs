@@ -1,0 +1,115 @@
+//! Figure 9: impact of the search hyperparameters N (candidates), K (beam
+//! width), L (levels), and M (grid granularity) on embedding cost and
+//! sharding time, at max dim 128 on 4 GPUs.
+//!
+//! Usage:
+//! `fig9_hyperparams [--tasks 6] [--epochs 30] [--seed 8] [--out fig9.json]`
+
+use serde::Serialize;
+
+use nshard_bench::{maybe_write_json, print_markdown_table, Args};
+use nshard_core::{evaluate_plan, NeuroShard, NeuroShardConfig};
+use nshard_cost::{CollectConfig, CostModelBundle, TrainSettings};
+use nshard_data::{ShardingTask, TablePool};
+use nshard_sim::GpuSpec;
+
+#[derive(Serialize)]
+struct SweepPoint {
+    value: usize,
+    mean_cost_ms: Option<f64>,
+    mean_time_s: f64,
+}
+
+#[derive(Serialize)]
+struct Output {
+    sweeps: Vec<(String, Vec<SweepPoint>)>,
+}
+
+fn run(
+    config: NeuroShardConfig,
+    bundle: &CostModelBundle,
+    tasks: &[ShardingTask],
+    spec: &GpuSpec,
+    seed: u64,
+) -> (Option<f64>, f64) {
+    let sharder = NeuroShard::new(bundle.clone(), config);
+    let mut costs = Vec::new();
+    let mut time = 0.0;
+    for (i, task) in tasks.iter().enumerate() {
+        if let Ok(outcome) = sharder.shard_with_stats(task) {
+            time += outcome.sharding_time_s;
+            if let Ok(real) = evaluate_plan(task, &outcome.plan, spec, seed ^ i as u64) {
+                costs.push(real.max_total_ms());
+            }
+        }
+    }
+    let mean = if costs.is_empty() {
+        None
+    } else {
+        Some(costs.iter().sum::<f64>() / costs.len() as f64)
+    };
+    (mean, time / tasks.len().max(1) as f64)
+}
+
+fn main() {
+    let args = Args::from_env();
+    let tasks_n: usize = args.get("tasks", 6);
+    let seed: u64 = args.get("seed", 8);
+    let collect = CollectConfig {
+        compute_samples: args.get("compute-samples", 8000),
+        comm_samples: args.get("comm-samples", 6000),
+        ..CollectConfig::default()
+    };
+    let train = TrainSettings {
+        epochs: args.get("epochs", 30),
+        ..TrainSettings::default()
+    };
+
+    let pool = TablePool::synthetic_dlrm(856, 2023);
+    let spec = GpuSpec::rtx_2080_ti();
+    eprintln!("pre-training for 4 GPUs...");
+    let bundle = CostModelBundle::pretrain(&pool, 4, &collect, &train, seed);
+    let tasks: Vec<ShardingTask> = (0..tasks_n)
+        .map(|i| ShardingTask::sample(&pool, 4, 10..=60, 128, seed ^ 0xF19 ^ i as u64))
+        .collect();
+
+    let base = NeuroShardConfig::default();
+    type MakeConfig = Box<dyn Fn(usize) -> NeuroShardConfig>;
+    let sweeps: Vec<(&str, Vec<usize>, MakeConfig)> = vec![
+        ("N", vec![1, 3, 5, 10, 15], Box::new(move |v| NeuroShardConfig { n: v, ..base })),
+        ("K", vec![1, 2, 3, 5], Box::new(move |v| NeuroShardConfig { k: v, ..base })),
+        ("L", vec![0, 2, 5, 10, 15], Box::new(move |v| NeuroShardConfig { l: v, ..base })),
+        ("M", vec![1, 3, 6, 11, 16], Box::new(move |v| NeuroShardConfig { m: v, ..base })),
+    ];
+
+    let mut output = Output { sweeps: Vec::new() };
+    for (name, values, make) in sweeps {
+        println!("\n# Figure 9 — sweep of {name} (max dim 128, 4 GPUs, {tasks_n} tasks)\n");
+        let mut points = Vec::new();
+        for v in values {
+            let (cost, time) = run(make(v), &bundle, &tasks, &spec, seed);
+            points.push(SweepPoint {
+                value: v,
+                mean_cost_ms: cost,
+                mean_time_s: time,
+            });
+        }
+        let rows: Vec<Vec<String>> = points
+            .iter()
+            .map(|p| {
+                vec![
+                    p.value.to_string(),
+                    p.mean_cost_ms.map_or("-".into(), |c| format!("{c:.2}")),
+                    format!("{:.2}", p.mean_time_s),
+                ]
+            })
+            .collect();
+        print_markdown_table(&[name, "cost (ms)", "time (s)"], &rows);
+        output.sweeps.push((name.to_string(), points));
+    }
+    println!(
+        "\n(Expected shape: cost improves, time grows, as each hyperparameter increases.)"
+    );
+
+    maybe_write_json(&args, &output);
+}

@@ -1,0 +1,67 @@
+//! Quick end-to-end smoke check: pre-train a small bundle, shard a handful
+//! of tasks at two max dimensions with every heuristic baseline and
+//! NeuroShard, and print ground-truth costs. Useful as a fast health check
+//! of the whole pipeline (~1 minute) before launching the full Table 1 run.
+//!
+//! Usage: `sanity`
+
+use nshard_baselines::*;
+use nshard_core::{evaluate_plan, NeuroShard, NeuroShardConfig, ShardingAlgorithm};
+use nshard_cost::{CollectConfig, CostModelBundle, TrainSettings};
+use nshard_data::{ShardingTask, TablePool};
+use nshard_sim::GpuSpec;
+
+fn main() {
+    let pool = TablePool::synthetic_dlrm(856, 2023);
+    let spec = GpuSpec::rtx_2080_ti();
+    eprintln!("pretraining bundle...");
+    let t0 = std::time::Instant::now();
+    let bundle = CostModelBundle::pretrain(
+        &pool, 4,
+        &CollectConfig { compute_samples: 3000, comm_samples: 2000, ..Default::default() },
+        &TrainSettings { epochs: 20, ..Default::default() },
+        42,
+    );
+    eprintln!("pretrained in {:.1}s; report {:?}", t0.elapsed().as_secs_f64(), bundle.report());
+    let ns = NeuroShard::new(bundle, NeuroShardConfig::default());
+
+    let algos: Vec<Box<dyn ShardingAlgorithm>> = vec![
+        Box::new(RandomSharding::new(1)),
+        Box::new(SizeGreedy),
+        Box::new(DimGreedy),
+        Box::new(LookupGreedy),
+        Box::new(SizeLookupGreedy),
+        Box::new(TorchRecLikePlanner::default()),
+    ];
+    for max_dim in [32u32, 128] {
+        println!("== max_dim {max_dim} ==");
+        let tasks: Vec<ShardingTask> = (0..5)
+            .map(|i| ShardingTask::sample(&pool, 4, 10..=60, max_dim, 100 + i))
+            .collect();
+        for algo in algos.iter() {
+            let mut costs = vec![];
+            let mut fails = 0;
+            for (i, task) in tasks.iter().enumerate() {
+                match algo.shard(task).ok().and_then(|p| evaluate_plan(task, &p, &spec, i as u64).ok()) {
+                    Some(c) => costs.push(c.max_total_ms()),
+                    None => fails += 1,
+                }
+            }
+            let mean = costs.iter().sum::<f64>() / costs.len().max(1) as f64;
+            println!("{:20} mean {:8.2} ms  fails {}/5", algo.name(), mean, fails);
+        }
+        let mut costs = vec![];
+        let mut fails = 0;
+        let mut time = 0.0;
+        for (i, task) in tasks.iter().enumerate() {
+            let t0 = std::time::Instant::now();
+            match ns.shard(task).ok().and_then(|p| evaluate_plan(task, &p, &spec, i as u64).ok()) {
+                Some(c) => costs.push(c.max_total_ms()),
+                None => fails += 1,
+            }
+            time += t0.elapsed().as_secs_f64();
+        }
+        let mean = costs.iter().sum::<f64>() / costs.len().max(1) as f64;
+        println!("{:20} mean {:8.2} ms  fails {}/5  ({:.2}s/task)", "neuroshard", mean, fails, time / 5.0);
+    }
+}

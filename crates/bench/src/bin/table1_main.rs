@@ -1,0 +1,149 @@
+//! Table 1: the main comparison — embedding cost of NeuroShard vs. every
+//! baseline across {4, 8} GPUs × max table dimension {4, 8, 16, 32, 64,
+//! 128}, averaged over randomly constructed sharding tasks.
+//!
+//! The paper runs 100 tasks per cell; the default here is 10 to keep the
+//! full grid in minutes — pass `--tasks 100` for the paper-scale run.
+//!
+//! Usage:
+//! `table1_main [--tasks 10] [--gpus 0(=both)|4|8] [--compute-samples 8000]
+//!  [--comm-samples 6000] [--epochs 30] [--seed 3] [--skip-rl] [--out t1.json]`
+
+use serde::Serialize;
+
+use nshard_baselines::{
+    DimGreedy, LookupGreedy, RandomSharding, RlSharder, RlVariant, ShardingAlgorithm, SizeGreedy,
+    SizeLookupGreedy, TorchRecLikePlanner,
+};
+use nshard_bench::{evaluate_method, maybe_write_json, print_markdown_table, Args, MethodRow};
+use nshard_core::{NeuroShard, NeuroShardConfig};
+use nshard_cost::{CollectConfig, CostModelBundle, TrainSettings};
+use nshard_data::{ShardingTask, TablePool};
+use nshard_sim::GpuSpec;
+
+#[derive(Serialize)]
+struct Cell {
+    num_gpus: usize,
+    max_dim: u32,
+    rows: Vec<MethodRow>,
+    improvement_over_best_baseline_pct: Option<f64>,
+}
+
+#[derive(Serialize)]
+struct Output {
+    tasks_per_cell: usize,
+    cells: Vec<Cell>,
+}
+
+fn main() {
+    let args = Args::from_env();
+    let tasks_per_cell: usize = args.get("tasks", 10);
+    let gpus_filter: usize = args.get("gpus", 0);
+    let seed: u64 = args.get("seed", 3);
+    let skip_rl = args.has("skip-rl");
+    let collect = CollectConfig {
+        compute_samples: args.get("compute-samples", 8000),
+        comm_samples: args.get("comm-samples", 6000),
+        ..CollectConfig::default()
+    };
+    let train = TrainSettings {
+        epochs: args.get("epochs", 30),
+        ..TrainSettings::default()
+    };
+
+    let pool = TablePool::synthetic_dlrm(856, 2023);
+    let spec = GpuSpec::rtx_2080_ti();
+    let mut output = Output {
+        tasks_per_cell,
+        cells: Vec::new(),
+    };
+
+    for d in [4usize, 8] {
+        if gpus_filter != 0 && gpus_filter != d {
+            continue;
+        }
+        eprintln!("pre-training cost models for {d} GPUs...");
+        let t0 = std::time::Instant::now();
+        let bundle = CostModelBundle::pretrain(&pool, d, &collect, &train, seed);
+        eprintln!(
+            "  done in {:.1}s (compute MSE {:.3}, fwd {:.3}, bwd {:.3})",
+            t0.elapsed().as_secs_f64(),
+            bundle.report().compute_test_mse,
+            bundle.report().fwd_comm_test_mse,
+            bundle.report().bwd_comm_test_mse
+        );
+        let neuroshard = NeuroShard::new(bundle, NeuroShardConfig::default());
+        let (t_min, t_max) = if d == 4 { (10, 60) } else { (20, 120) };
+
+        for j in 2..=7u32 {
+            let max_dim = 1u32 << j;
+            let tasks: Vec<ShardingTask> = (0..tasks_per_cell)
+                .map(|i| {
+                    ShardingTask::sample(
+                        &pool,
+                        d,
+                        t_min..=t_max,
+                        max_dim,
+                        seed ^ (u64::from(max_dim) << 32) ^ (d as u64) << 24 ^ i as u64,
+                    )
+                })
+                .collect();
+
+            let mut algos: Vec<Box<dyn ShardingAlgorithm>> = vec![
+                Box::new(RandomSharding::new(seed)),
+                Box::new(SizeGreedy),
+                Box::new(DimGreedy),
+                Box::new(LookupGreedy),
+                Box::new(SizeLookupGreedy),
+            ];
+            if !skip_rl {
+                algos.push(Box::new(RlSharder::new(RlVariant::AutoShardLike, seed)));
+                algos.push(Box::new(RlSharder::new(RlVariant::DreamShardLike, seed)));
+            }
+            algos.push(Box::new(TorchRecLikePlanner::default()));
+
+            let mut rows: Vec<MethodRow> = algos
+                .iter()
+                .map(|a| evaluate_method(a.as_ref(), &tasks, &spec, seed))
+                .collect();
+            rows.push(evaluate_method(&neuroshard, &tasks, &spec, seed));
+
+            // Improvement of NeuroShard over the strongest scalable baseline.
+            let ns_cost = rows.last().and_then(|r| r.mean_cost_ms);
+            let best_baseline = rows[..rows.len() - 1]
+                .iter()
+                .filter_map(|r| r.mean_cost_ms)
+                .fold(f64::INFINITY, f64::min);
+            let improvement = match (ns_cost, best_baseline.is_finite()) {
+                (Some(ns), true) => Some((best_baseline - ns) / best_baseline * 100.0),
+                _ => None,
+            };
+
+            println!("\n## {d} GPUs, max dim {max_dim} ({tasks_per_cell} tasks)\n");
+            let table_rows: Vec<Vec<String>> = rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.name.clone(),
+                        r.cost_display(),
+                        format!("{}/{}", r.successes, r.total),
+                        format!("{:.2}s", r.mean_time_s),
+                    ]
+                })
+                .collect();
+            print_markdown_table(&["method", "cost (ms)", "success", "time/task"], &table_rows);
+            if let Some(imp) = improvement {
+                println!("\nNeuroShard improvement over strongest baseline: {imp:+.1}%");
+            }
+
+            output.cells.push(Cell {
+                num_gpus: d,
+                max_dim,
+                rows,
+                improvement_over_best_baseline_pct: improvement,
+            });
+        }
+    }
+
+    maybe_write_json(&args, &output);
+}

@@ -1,0 +1,85 @@
+//! Table 2: held-out test MSE of the three neural cost models, for the
+//! DLRM setting (4 and 8 GPUs) and the production setting (128 GPUs).
+//!
+//! Usage:
+//! `table2_mse [--compute-samples 8000] [--comm-samples 6000] [--epochs 30]
+//!  [--seed 4] [--skip-production] [--out t2.json]`
+
+use serde::Serialize;
+
+use nshard_bench::{maybe_write_json, print_markdown_table, Args};
+use nshard_cost::{BundleReport, CollectConfig, CostModelBundle, TrainSettings};
+use nshard_data::TablePool;
+use nshard_sim::GpuSpec;
+
+#[derive(Serialize)]
+struct Output {
+    settings: Vec<(String, BundleReport)>,
+}
+
+fn main() {
+    let args = Args::from_env();
+    let seed: u64 = args.get("seed", 4);
+    let collect = CollectConfig {
+        compute_samples: args.get("compute-samples", 8000),
+        comm_samples: args.get("comm-samples", 6000),
+        ..CollectConfig::default()
+    };
+    let train = TrainSettings {
+        epochs: args.get("epochs", 30),
+        ..TrainSettings::default()
+    };
+
+    let pool = TablePool::synthetic_dlrm(856, 2023);
+    let mut settings: Vec<(String, BundleReport)> = Vec::new();
+
+    for d in [4usize, 8] {
+        eprintln!("pre-training DLRM bundle for {d} GPUs...");
+        let bundle = CostModelBundle::pretrain(&pool, d, &collect, &train, seed);
+        settings.push((format!("DLRM ({d} GPUs)"), *bundle.report()));
+    }
+
+    if !args.has("skip-production") {
+        eprintln!("pre-training production bundle (128 GPUs)...");
+        let prod_pool = TablePool::synthetic_production(1000, seed ^ 0xAB);
+        let prod_collect = CollectConfig {
+            // The production model places ~1000 tables on 128 GPUs: ~8 per
+            // device on average, with wider placements for coverage.
+            placement_tables: Some((512, 1200)),
+            ..collect.clone()
+        };
+        let bundle = CostModelBundle::pretrain_with_spec(
+            &prod_pool,
+            128,
+            &GpuSpec::datacenter(),
+            &prod_collect,
+            &train,
+            seed ^ 0xCD,
+        );
+        settings.push(("Production (128 GPUs)".to_string(), *bundle.report()));
+    }
+
+    println!("# Table 2 — testing MSE of the neural cost models (ms^2)\n");
+    let rows: Vec<Vec<String>> = vec![
+        std::iter::once("Computation".to_string())
+            .chain(settings.iter().map(|(_, r)| format!("{:.3}", r.compute_test_mse)))
+            .collect(),
+        std::iter::once("Forward Communication".to_string())
+            .chain(settings.iter().map(|(_, r)| format!("{:.3}", r.fwd_comm_test_mse)))
+            .collect(),
+        std::iter::once("Backward Communication".to_string())
+            .chain(settings.iter().map(|(_, r)| format!("{:.3}", r.bwd_comm_test_mse)))
+            .collect(),
+    ];
+    let headers: Vec<String> = std::iter::once("model".to_string())
+        .chain(settings.iter().map(|(n, _)| n.clone()))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    print_markdown_table(&header_refs, &rows);
+    println!(
+        "\n(Paper values: computation 0.21/0.21/0.26, fwd comm 0.02/0.05/0.05, \
+         bwd comm 0.02/0.04/0.15 — small MSEs of the same order are the target.)"
+    );
+
+    maybe_write_json(&args, &Output { settings });
+}

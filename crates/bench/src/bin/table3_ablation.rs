@@ -1,0 +1,164 @@
+//! Table 3 + Table 7: component ablations on the hardest cell (max dim
+//! 128) for 4 and 8 GPUs — removing beam search, greedy grid search, or
+//! the prediction cache.
+//!
+//! Reports, per variant: mean embedding cost over the *successful* tasks,
+//! success rate, mean sharding time, and cache hit rate — the exact columns
+//! of the paper's ablation tables.
+//!
+//! Usage:
+//! `table3_ablation [--tasks 10] [--gpus 0(=both)|4|8] [--epochs 30]
+//!  [--compute-samples 8000] [--seed 7] [--out t3.json]`
+
+use serde::Serialize;
+
+use nshard_bench::{maybe_write_json, print_markdown_table, Args};
+use nshard_core::{evaluate_plan, NeuroShard, NeuroShardConfig};
+use nshard_cost::{CollectConfig, CostModelBundle, TrainSettings};
+use nshard_data::{ShardingTask, TablePool};
+use nshard_sim::GpuSpec;
+
+#[derive(Serialize)]
+struct VariantRow {
+    name: String,
+    cost_ms: Option<f64>,
+    success_rate: f64,
+    sharding_time_s: f64,
+    cache_hit_rate: f64,
+}
+
+#[derive(Serialize)]
+struct Output {
+    settings: Vec<(usize, Vec<VariantRow>)>,
+}
+
+fn run_variant(
+    name: &str,
+    config: NeuroShardConfig,
+    bundle: &CostModelBundle,
+    tasks: &[ShardingTask],
+    spec: &GpuSpec,
+    seed: u64,
+) -> VariantRow {
+    // Fresh sharder per variant so cache statistics are attributable.
+    let sharder = NeuroShard::new(bundle.clone(), config);
+    let mut costs = Vec::new();
+    let mut successes = 0usize;
+    let mut time = 0.0;
+    let mut hits = 0.0;
+    for (i, task) in tasks.iter().enumerate() {
+        match sharder.shard_with_stats(task) {
+            Ok(outcome) => {
+                time += outcome.sharding_time_s;
+                hits += outcome.cache_hit_rate;
+                if let Ok(real) = evaluate_plan(task, &outcome.plan, spec, seed ^ i as u64) {
+                    successes += 1;
+                    costs.push(real.max_total_ms());
+                }
+            }
+            Err(_) => {
+                // Failed searches still spent time; attribute nothing.
+            }
+        }
+    }
+    VariantRow {
+        name: name.to_string(),
+        cost_ms: if costs.is_empty() {
+            None
+        } else {
+            Some(costs.iter().sum::<f64>() / costs.len() as f64)
+        },
+        success_rate: successes as f64 / tasks.len().max(1) as f64,
+        sharding_time_s: time / tasks.len().max(1) as f64,
+        cache_hit_rate: hits / tasks.len().max(1) as f64,
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    let tasks_n: usize = args.get("tasks", 10);
+    let gpus_filter: usize = args.get("gpus", 0);
+    let seed: u64 = args.get("seed", 7);
+    let collect = CollectConfig {
+        compute_samples: args.get("compute-samples", 8000),
+        comm_samples: args.get("comm-samples", 6000),
+        ..CollectConfig::default()
+    };
+    let train = TrainSettings {
+        epochs: args.get("epochs", 30),
+        ..TrainSettings::default()
+    };
+
+    let pool = TablePool::synthetic_dlrm(856, 2023);
+    let spec = GpuSpec::rtx_2080_ti();
+    let mut output = Output {
+        settings: Vec::new(),
+    };
+
+    for d in [4usize, 8] {
+        if gpus_filter != 0 && gpus_filter != d {
+            continue;
+        }
+        eprintln!("pre-training for {d} GPUs...");
+        let bundle = CostModelBundle::pretrain(&pool, d, &collect, &train, seed);
+        let (t_min, t_max) = if d == 4 { (10, 60) } else { (20, 120) };
+        let tasks: Vec<ShardingTask> = (0..tasks_n)
+            .map(|i| {
+                ShardingTask::sample(&pool, d, t_min..=t_max, 128, seed ^ (d as u64) << 40 ^ i as u64)
+            })
+            .collect();
+
+        let full = NeuroShardConfig::default();
+        let variants = vec![
+            (
+                "w/o beam search",
+                NeuroShardConfig {
+                    use_beam: false,
+                    ..full
+                },
+            ),
+            (
+                "w/o greedy grid search",
+                NeuroShardConfig {
+                    use_grid: false,
+                    ..full
+                },
+            ),
+            (
+                "w/o caching",
+                NeuroShardConfig {
+                    use_cache: false,
+                    ..full
+                },
+            ),
+            ("Full NeuroShard", full),
+        ];
+
+        let rows: Vec<VariantRow> = variants
+            .into_iter()
+            .map(|(name, cfg)| run_variant(name, cfg, &bundle, &tasks, &spec, seed))
+            .collect();
+
+        println!("\n# Table {} — ablation, max dim 128, {d} GPUs ({tasks_n} tasks)\n",
+                 if d == 4 { "3" } else { "7" });
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    r.cost_ms.map_or("-".into(), |c| format!("{c:.2}")),
+                    format!("{:.1}%", r.success_rate * 100.0),
+                    format!("{:.2}", r.sharding_time_s),
+                    format!("{:.1}%", r.cache_hit_rate * 100.0),
+                ]
+            })
+            .collect();
+        print_markdown_table(
+            &["variant", "cost (ms)", "success rate", "sharding time (s)", "cache hit rate"],
+            &table,
+        );
+        output.settings.push((d, rows));
+    }
+
+    maybe_write_json(&args, &output);
+}

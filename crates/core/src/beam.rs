@@ -1,0 +1,395 @@
+//! Column-wise sharding with beam search (Algorithm 1, the outer loop).
+//!
+//! Column-wise sharding removes oversized and overly costly tables so the
+//! table-wise allocator can balance, but each split *increases* total
+//! computation (Observation 1) — so the search wants a balance-enabling
+//! plan with as few steps as possible. The beam explores `L` levels; at
+//! each level the candidates for splitting are the top-`N` most costly and
+//! the top-`N` largest tables (duplicates removed), and only the `K` best
+//! partial plans survive to the next level.
+
+use serde::{Deserialize, Serialize};
+
+use nshard_cost::CostSimulator;
+use nshard_data::ShardingTask;
+
+use crate::greedy_grid::GreedyGridSearch;
+use crate::plan::{apply_split_plan, PlanError, ShardingPlan, SplitKind, SplitPlan, SplitStep};
+
+/// Score offset for memory-infeasible beam entries: far above any real
+/// cost (ms), with the plan's largest shard size (bytes) added so that
+/// infeasible plans closer to fitting sort first.
+const INFEASIBLE_BASE: f64 = 1e15;
+
+/// Result of a beam search run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BeamSearchResult {
+    /// The best complete sharding plan found.
+    pub plan: ShardingPlan,
+    /// Its estimated embedding cost (model units, ms).
+    pub estimated_cost_ms: f64,
+    /// Number of (column-plan, inner-search) evaluations performed.
+    pub evaluated_plans: usize,
+}
+
+/// The beam-search driver over column-wise sharding plans.
+#[derive(Debug, Clone, Copy)]
+pub struct BeamSearch<'a> {
+    sim: &'a CostSimulator,
+    /// Candidate-set size `N` per criterion (paper: 10).
+    n: usize,
+    /// Beam width `K` (paper: 3).
+    k: usize,
+    /// Number of sharding levels `L` (paper: 10).
+    l: usize,
+    /// Grid granularity `M` for the inner loop (paper: 11).
+    m: usize,
+    use_grid: bool,
+    /// Also propose row-wise splits (the paper's future-work extension).
+    row_wise: bool,
+}
+
+impl<'a> BeamSearch<'a> {
+    /// Creates a beam search with the paper's hyperparameters
+    /// `N = 10, K = 3, L = 10, M = 11`.
+    pub fn new(sim: &'a CostSimulator) -> Self {
+        Self {
+            sim,
+            n: 10,
+            k: 3,
+            l: 10,
+            m: 11,
+            use_grid: true,
+            row_wise: false,
+        }
+    }
+
+    /// Sets the candidate-set size `N`.
+    pub fn with_n(mut self, n: usize) -> Self {
+        self.n = n.max(1);
+        self
+    }
+
+    /// Sets the beam width `K`.
+    pub fn with_k(mut self, k: usize) -> Self {
+        self.k = k.max(1);
+        self
+    }
+
+    /// Sets the number of levels `L`. `L = 0` disables column-wise sharding
+    /// (the "w/o beam search" ablation).
+    pub fn with_l(mut self, l: usize) -> Self {
+        self.l = l;
+        self
+    }
+
+    /// Sets the inner grid granularity `M`.
+    pub fn with_m(mut self, m: usize) -> Self {
+        self.m = m.max(1);
+        self
+    }
+
+    /// Disables the inner grid search (the "w/o greedy grid search"
+    /// ablation).
+    pub fn without_grid(mut self) -> Self {
+        self.use_grid = false;
+        self
+    }
+
+    /// Also proposes **row-wise** splits of the candidate tables — the
+    /// extension the paper lists as future work. Row-wise splits rescue
+    /// tall-skinny tables (large hash size, minimum dimension) that
+    /// column-wise sharding cannot partition.
+    pub fn with_row_wise(mut self, enable: bool) -> Self {
+        self.row_wise = enable;
+        self
+    }
+
+    fn inner(&self) -> GreedyGridSearch<'a> {
+        let g = GreedyGridSearch::new(self.sim, self.m);
+        if self.use_grid {
+            g
+        } else {
+            g.without_grid()
+        }
+    }
+
+    /// Runs the search for `task` and returns the best plan found.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError::Infeasible`] when no explored column-wise plan admits a
+    /// memory-feasible table-wise plan.
+    pub fn search(&self, task: &ShardingTask) -> Result<BeamSearchResult, PlanError> {
+        let inner = self.inner();
+        let mut evaluated = 0usize;
+
+        // Evaluate the empty column plan first (line 4's initial beam).
+        let mut best: Option<(SplitPlan, f64, Vec<usize>)> = None;
+        let empty_tables = task.tables().to_vec();
+        evaluated += 1;
+        if let Ok(result) = inner.search(
+            &empty_tables,
+            task.num_devices(),
+            task.mem_budget_bytes(),
+            task.batch_size(),
+        ) {
+            best = Some((Vec::new(), result.estimated_cost_ms, result.device_of));
+        }
+
+        // Beam entries carry (plan, cost) — infeasible plans carry +inf so
+        // they sort last but can still be extended toward feasibility.
+        let mut beam: Vec<(SplitPlan, f64)> = vec![(
+            Vec::new(),
+            best.as_ref().map_or(f64::INFINITY, |b| b.1),
+        )];
+
+        for _level in 0..self.l {
+            let mut next: Vec<(SplitPlan, f64)> = Vec::new();
+            for (col_plan, _) in &beam {
+                let sharded = apply_split_plan(task.tables(), col_plan)
+                    .expect("beam plans are constructed to be applicable");
+                for cand in self.candidates(&sharded, task.batch_size()) {
+                    let mut new_plan = col_plan.clone();
+                    new_plan.push(cand);
+                    let new_sharded = match apply_split_plan(task.tables(), &new_plan) {
+                        Ok(s) => s,
+                        Err(_) => continue, // unsplittable candidate
+                    };
+                    evaluated += 1;
+                    match inner.search(
+                        &new_sharded,
+                        task.num_devices(),
+                        task.mem_budget_bytes(),
+                        task.batch_size(),
+                    ) {
+                        Ok(result) => {
+                            let improves = best
+                                .as_ref()
+                                .is_none_or(|(_, c, _)| result.estimated_cost_ms < *c);
+                            if improves {
+                                best = Some((
+                                    new_plan.clone(),
+                                    result.estimated_cost_ms,
+                                    result.device_of,
+                                ));
+                            }
+                            next.push((new_plan, result.estimated_cost_ms));
+                        }
+                        Err(_) => {
+                            // Memory-infeasible: keep the plan explorable,
+                            // ranked behind every feasible plan but ahead of
+                            // other infeasible plans with *larger* biggest
+                            // shards — this steers the beam monotonically
+                            // toward feasibility instead of pruning the
+                            // oversized-table branch arbitrarily.
+                            let max_bytes = new_sharded
+                                .iter()
+                                .map(|t| t.memory_bytes())
+                                .max()
+                                .unwrap_or(0);
+                            next.push((new_plan, INFEASIBLE_BASE + max_bytes as f64));
+                        }
+                    }
+                }
+            }
+            if next.is_empty() {
+                break; // nothing splittable left anywhere in the beam
+            }
+            next.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("costs are comparable"));
+            next.truncate(self.k);
+            beam = next;
+        }
+
+        let (split_plan, cost, device_of) = best.ok_or_else(|| PlanError::Infeasible {
+            reason: format!(
+                "no split plan within {} levels yields a memory-feasible assignment",
+                self.l
+            ),
+        })?;
+        let sharded = apply_split_plan(task.tables(), &split_plan)?;
+        let plan =
+            ShardingPlan::with_split_plan(split_plan, sharded, device_of, task.num_devices())?;
+        Ok(BeamSearchResult {
+            plan,
+            estimated_cost_ms: cost,
+            evaluated_plans: evaluated,
+        })
+    }
+
+    /// Candidate split steps: top-`N` tables by predicted cost plus top-`N`
+    /// by size, duplicates removed, unsplittable tables excluded (line 9).
+    /// With row-wise sharding enabled, each candidate table contributes
+    /// both a column step and a row step (where legal).
+    fn candidates(&self, tables: &[nshard_data::TableConfig], batch_size: u32) -> Vec<SplitStep> {
+        let relevant: Vec<usize> = (0..tables.len())
+            .filter(|&i| {
+                tables[i].split_columns().is_some()
+                    || (self.row_wise && tables[i].split_rows().is_some())
+            })
+            .collect();
+        if relevant.is_empty() {
+            return Vec::new();
+        }
+        let mut by_cost = relevant.clone();
+        by_cost.sort_by(|&a, &b| {
+            let ca = self.sim.single_table_cost(&tables[a].profile(batch_size));
+            let cb = self.sim.single_table_cost(&tables[b].profile(batch_size));
+            cb.partial_cmp(&ca).expect("costs are finite")
+        });
+        let mut by_size = relevant;
+        by_size.sort_by(|&a, &b| tables[b].memory_bytes().cmp(&tables[a].memory_bytes()));
+
+        let mut picked: Vec<usize> = Vec::with_capacity(2 * self.n);
+        for &i in by_cost.iter().take(self.n).chain(by_size.iter().take(self.n)) {
+            if !picked.contains(&i) {
+                picked.push(i);
+            }
+        }
+        let mut out = Vec::with_capacity(picked.len() * 2);
+        for &i in &picked {
+            if tables[i].split_columns().is_some() {
+                out.push(SplitStep {
+                    index: i,
+                    kind: SplitKind::Column,
+                });
+            }
+            if self.row_wise && tables[i].split_rows().is_some() {
+                out.push(SplitStep {
+                    index: i,
+                    kind: SplitKind::Row,
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nshard_cost::{CollectConfig, CostModelBundle, TrainSettings};
+    use nshard_data::{ShardingTask, TableConfig, TableId, TablePool};
+
+    fn sim(d: usize) -> CostSimulator {
+        let pool = TablePool::synthetic_dlrm(30, 1);
+        let bundle = CostModelBundle::pretrain(
+            &pool,
+            d,
+            &CollectConfig::smoke(),
+            &TrainSettings::smoke(),
+            7,
+        );
+        CostSimulator::new(bundle)
+    }
+
+    fn small_task(d: usize) -> ShardingTask {
+        let tables: Vec<TableConfig> = (0..8)
+            .map(|i| TableConfig::new(TableId(i), if i % 2 == 0 { 64 } else { 16 }, 1 << 18, 8.0, 1.0))
+            .collect();
+        ShardingTask::new(tables, d, nshard_sim::DEFAULT_MEM_BYTES, 65_536)
+    }
+
+    #[test]
+    fn finds_a_valid_plan() {
+        let sim = sim(2);
+        let search = BeamSearch::new(&sim).with_l(2).with_n(3).with_k(2).with_m(3);
+        let task = small_task(2);
+        let result = search.search(&task).unwrap();
+        assert!(result.plan.validate(&task).is_ok());
+        assert!(result.estimated_cost_ms.is_finite());
+        assert!(result.evaluated_plans >= 1);
+    }
+
+    #[test]
+    fn splits_oversized_tables_to_fit() {
+        let sim = sim(2);
+        // One table too large for any single device: must be split.
+        let big = TableConfig::new(TableId(0), 128, 4 << 20, 8.0, 1.0); // 2 GB
+        let small = TableConfig::new(TableId(1), 16, 1 << 16, 4.0, 1.0);
+        // 1.25 GB budget: the 2 GB table must split, and its 1 GB halves
+        // plus the small table then fit comfortably.
+        let task = ShardingTask::new(vec![big, small], 2, (1 << 30) + (1 << 28), 65_536);
+        let search = BeamSearch::new(&sim).with_l(3).with_n(2).with_k(2).with_m(3);
+        let result = search.search(&task).unwrap();
+        assert!(
+            !result.plan.split_plan().is_empty(),
+            "must column-split the 2 GB table"
+        );
+        assert!(result.plan.validate(&task).is_ok());
+    }
+
+    #[test]
+    fn without_beam_fails_on_oversized_tables() {
+        let sim = sim(2);
+        let big = TableConfig::new(TableId(0), 128, 4 << 20, 8.0, 1.0); // 2 GB
+        let task = ShardingTask::new(vec![big], 2, 1 << 30, 65_536);
+        let search = BeamSearch::new(&sim).with_l(0); // ablation: no col-wise sharding
+        assert!(matches!(
+            search.search(&task),
+            Err(PlanError::Infeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn more_levels_never_hurt() {
+        let sim = sim(2);
+        let task = small_task(2);
+        let shallow = BeamSearch::new(&sim).with_l(0).search(&task).unwrap();
+        let deep = BeamSearch::new(&sim)
+            .with_l(2)
+            .with_n(3)
+            .with_k(2)
+            .with_m(3)
+            .search(&task)
+            .unwrap();
+        assert!(deep.estimated_cost_ms <= shallow.estimated_cost_ms + 1e-9);
+    }
+
+    #[test]
+    fn candidate_count_respects_n() {
+        let sim = sim(2);
+        let search = BeamSearch::new(&sim).with_n(2);
+        let task = small_task(2);
+        let cands = search.candidates(task.tables(), task.batch_size());
+        assert!(cands.len() <= 4); // 2 by cost + 2 by size, deduped
+        assert!(!cands.is_empty());
+    }
+
+    #[test]
+    fn row_wise_rescues_tall_skinny_tables() {
+        let sim = sim(2);
+        // A dim-4 table of 512 M rows = 8 GB: column-wise sharding cannot
+        // split it (dim 4 is the lane minimum), so plain NeuroShard fails...
+        let tall = TableConfig::new(TableId(0), 4, 512 << 20, 16.0, 1.0);
+        let task = ShardingTask::new(vec![tall], 2, nshard_sim::DEFAULT_MEM_BYTES, 65_536);
+        let plain = BeamSearch::new(&sim).with_l(4).with_n(2).with_k(2).with_m(3);
+        assert!(matches!(plain.search(&task), Err(PlanError::Infeasible { .. })));
+        // ...while the row-wise extension splits it across devices.
+        let extended = plain.with_row_wise(true);
+        let result = extended.search(&task).unwrap();
+        assert!(result.plan.num_row_splits() >= 1);
+        assert!(result.plan.validate(&task).is_ok());
+    }
+
+    #[test]
+    fn row_wise_never_hurts_estimated_cost() {
+        let sim = sim(2);
+        let task = small_task(2);
+        let plain = BeamSearch::new(&sim).with_l(2).with_n(3).with_k(2).with_m(3);
+        let base = plain.search(&task).unwrap();
+        let extended = plain.with_row_wise(true).search(&task).unwrap();
+        assert!(extended.estimated_cost_ms <= base.estimated_cost_ms + 1e-9);
+    }
+
+    #[test]
+    fn all_dim4_tables_terminate_immediately() {
+        let sim = sim(2);
+        let tables: Vec<TableConfig> = (0..4)
+            .map(|i| TableConfig::new(TableId(i), 4, 1 << 16, 4.0, 1.0))
+            .collect();
+        let task = ShardingTask::new(tables, 2, nshard_sim::DEFAULT_MEM_BYTES, 65_536);
+        let result = BeamSearch::new(&sim).with_l(5).search(&task).unwrap();
+        assert!(result.plan.split_plan().is_empty());
+    }
+}

@@ -1,0 +1,112 @@
+//! Ground-truth evaluation of sharding plans.
+//!
+//! After the search finishes, the paper runs the chosen plan on real GPUs
+//! and reports the max per-device embedding cost ("Evaluation protocol",
+//! §4). Here the ground truth is the `nshard-sim` cluster.
+
+use nshard_data::ShardingTask;
+use nshard_sim::{Cluster, GpuSpec, PlanCosts, SimError};
+
+use crate::plan::ShardingPlan;
+
+/// Evaluates `plan` for `task` on the ground-truth cluster with measurement
+/// noise (the paper's repeated-measurement protocol), returning the full
+/// per-device cost breakdown.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] — most importantly out-of-memory failures, which
+/// mark an algorithm as unable to scale in Table 1.
+pub fn evaluate_plan(
+    task: &ShardingTask,
+    plan: &ShardingPlan,
+    spec: &GpuSpec,
+    seed: u64,
+) -> Result<PlanCosts, SimError> {
+    let cluster = Cluster::new(
+        spec.with_mem_budget(task.mem_budget_bytes()),
+        task.num_devices(),
+        task.batch_size(),
+    );
+    cluster.evaluate(&plan.device_profiles(task.batch_size()), seed)
+}
+
+/// Like [`evaluate_plan`] but without measurement noise (used by analytical
+/// experiments and tests).
+///
+/// # Errors
+///
+/// Propagates [`SimError`].
+pub fn evaluate_plan_exact(
+    task: &ShardingTask,
+    plan: &ShardingPlan,
+    spec: &GpuSpec,
+) -> Result<PlanCosts, SimError> {
+    let cluster = Cluster::new(
+        spec.with_mem_budget(task.mem_budget_bytes()),
+        task.num_devices(),
+        task.batch_size(),
+    );
+    cluster.evaluate_exact(&plan.device_profiles(task.batch_size()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::ShardingPlan;
+    use nshard_data::{TableConfig, TableId};
+
+    fn task() -> ShardingTask {
+        let tables: Vec<TableConfig> = (0..4)
+            .map(|i| TableConfig::new(TableId(i), 32, 1 << 18, 8.0, 1.0))
+            .collect();
+        ShardingTask::new(tables, 2, nshard_sim::DEFAULT_MEM_BYTES, 65_536)
+    }
+
+    fn plan(task: &ShardingTask) -> ShardingPlan {
+        ShardingPlan::new(
+            vec![],
+            task.tables().to_vec(),
+            vec![0, 1, 0, 1],
+            task.num_devices(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn evaluation_reports_per_device_costs() {
+        let t = task();
+        let p = plan(&t);
+        let costs = evaluate_plan(&t, &p, &GpuSpec::rtx_2080_ti(), 3).unwrap();
+        assert_eq!(costs.devices().len(), 2);
+        assert!(costs.max_total_ms() > 0.0);
+    }
+
+    #[test]
+    fn exact_evaluation_is_deterministic() {
+        let t = task();
+        let p = plan(&t);
+        let a = evaluate_plan_exact(&t, &p, &GpuSpec::rtx_2080_ti()).unwrap();
+        let b = evaluate_plan_exact(&t, &p, &GpuSpec::rtx_2080_ti()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn memory_overflow_surfaces_as_error() {
+        let huge = TableConfig::new(TableId(0), 128, 32 << 20, 8.0, 1.0); // 16 GB
+        let t = ShardingTask::new(vec![huge], 1, nshard_sim::DEFAULT_MEM_BYTES, 65_536);
+        let p = ShardingPlan::new(vec![], vec![huge], vec![0], 1).unwrap();
+        assert!(matches!(
+            evaluate_plan(&t, &p, &GpuSpec::rtx_2080_ti(), 0),
+            Err(SimError::OutOfMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn task_memory_budget_overrides_spec() {
+        // A plan valid under the default 4 GB budget fails under a tiny one.
+        let t = task().with_mem_budget(1024);
+        let p = plan(&t);
+        assert!(evaluate_plan(&t, &p, &GpuSpec::rtx_2080_ti(), 0).is_err());
+    }
+}

@@ -1,0 +1,73 @@
+//! # nshard-core — the NeuroShard online search
+//!
+//! The "search" half of the paper's *pre-train, and search* paradigm
+//! (§3.3): given any sharding task, find the joint column-wise + table-wise
+//! sharding plan minimizing the simulated embedding cost
+//!
+//! ```text
+//! argmin_{c ∈ C, t ∈ T}  f(c, t)
+//! ```
+//!
+//! where `f` is estimated entirely by the pre-trained cost models — no GPU
+//! (here: no ground-truth simulator) execution during search.
+//!
+//! * [`plan`] — column-wise and table-wise plan types and their semantics,
+//! * [`greedy_grid`] — the inner loop (Algorithm 2): a greedy allocator
+//!   balancing predicted computation costs under a max-device-dimension
+//!   constraint found by grid search,
+//! * [`beam`] — the outer loop (Algorithm 1): beam search over column-wise
+//!   sharding steps, candidates drawn from the most costly and the largest
+//!   tables,
+//! * [`neuroshard`] — the end-to-end [`NeuroShard`] sharder,
+//! * [`eval`] — ground-truth evaluation of finished plans (the paper's
+//!   "collect real costs from GPUs" step).
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use nshard_core::{NeuroShard, NeuroShardConfig, ShardingAlgorithm};
+//! use nshard_cost::{CollectConfig, CostModelBundle, TrainSettings};
+//! use nshard_data::{ShardingTask, TablePool};
+//!
+//! let pool = TablePool::synthetic_dlrm(856, 2023);
+//! let bundle = CostModelBundle::pretrain(
+//!     &pool, 4, &CollectConfig::default(), &TrainSettings::default(), 0,
+//! );
+//! let sharder = NeuroShard::new(bundle, NeuroShardConfig::default());
+//! let task = ShardingTask::sample(&pool, 4, 10..=60, 128, 7);
+//! let outcome = sharder.shard_with_stats(&task).expect("task is feasible");
+//! println!("estimated embedding cost: {:.2} ms", outcome.estimated_cost_ms);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod beam;
+pub mod eval;
+pub mod greedy_grid;
+pub mod neuroshard;
+pub mod plan;
+
+pub use beam::{BeamSearch, BeamSearchResult};
+pub use eval::{evaluate_plan, evaluate_plan_exact};
+pub use greedy_grid::{GreedyGridSearch, GridSearchResult};
+pub use neuroshard::{NeuroShard, NeuroShardConfig, ShardOutcome};
+pub use plan::{apply_column_plan, apply_split_plan, ColumnPlan, PlanError, ShardingPlan, SplitKind, SplitPlan, SplitStep};
+
+use nshard_data::ShardingTask;
+
+/// A table-sharding algorithm: anything that can map a [`ShardingTask`] to
+/// a [`ShardingPlan`]. Implemented by [`NeuroShard`] and by every baseline
+/// in `nshard-baselines`.
+pub trait ShardingAlgorithm {
+    /// Short display name used in experiment tables (e.g. `"neuroshard"`).
+    fn name(&self) -> &str;
+
+    /// Produces a sharding plan for `task`.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError`] when the algorithm cannot produce a memory-feasible
+    /// plan — the "-" cells of Table 1.
+    fn shard(&self, task: &ShardingTask) -> Result<ShardingPlan, PlanError>;
+}

@@ -1,0 +1,253 @@
+//! The end-to-end NeuroShard sharder.
+
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use nshard_cost::{CostModelBundle, CostSimulator};
+use nshard_data::ShardingTask;
+
+use crate::beam::BeamSearch;
+use crate::plan::{PlanError, ShardingPlan};
+use crate::ShardingAlgorithm;
+
+/// Hyperparameters of the online search (§4, "Implementation details":
+/// `N = 10, K = 3, L = 10, M = 11`) plus the ablation switches of Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NeuroShardConfig {
+    /// Candidate tables per criterion in the beam's expansion step.
+    pub n: usize,
+    /// Beam width.
+    pub k: usize,
+    /// Column-wise sharding levels.
+    pub l: usize,
+    /// Grid-search granularity for the max device dimension.
+    pub m: usize,
+    /// `false` disables column-wise sharding ("w/o beam search").
+    pub use_beam: bool,
+    /// `false` disables the max-dim grid ("w/o greedy grid search").
+    pub use_grid: bool,
+    /// `false` disables prediction caching ("w/o caching").
+    pub use_cache: bool,
+    /// `true` also searches **row-wise** splits (the paper's future-work
+    /// extension); default `false` reproduces the paper's search space.
+    pub use_row_wise: bool,
+}
+
+impl Default for NeuroShardConfig {
+    fn default() -> Self {
+        Self {
+            n: 10,
+            k: 3,
+            l: 10,
+            m: 11,
+            use_beam: true,
+            use_grid: true,
+            use_cache: true,
+            use_row_wise: false,
+        }
+    }
+}
+
+impl NeuroShardConfig {
+    /// A faster configuration for tests and smoke experiments.
+    pub fn smoke() -> Self {
+        Self {
+            n: 3,
+            k: 2,
+            l: 2,
+            m: 3,
+            ..Self::default()
+        }
+    }
+}
+
+/// The result of sharding one task.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardOutcome {
+    /// The selected plan.
+    pub plan: ShardingPlan,
+    /// The plan's estimated embedding cost from the cost models, ms.
+    pub estimated_cost_ms: f64,
+    /// Wall-clock sharding time in seconds.
+    pub sharding_time_s: f64,
+    /// Prediction-cache hit rate during this call.
+    pub cache_hit_rate: f64,
+    /// Number of inner-loop evaluations performed.
+    pub evaluated_plans: usize,
+}
+
+/// NeuroShard: pre-trained cost models + beam / greedy-grid online search.
+///
+/// # Example
+///
+/// ```no_run
+/// use nshard_core::{NeuroShard, NeuroShardConfig, ShardingAlgorithm};
+/// use nshard_cost::{CollectConfig, CostModelBundle, TrainSettings};
+/// use nshard_data::{ShardingTask, TablePool};
+///
+/// let pool = TablePool::synthetic_dlrm(856, 0);
+/// let bundle = CostModelBundle::pretrain(
+///     &pool, 4, &CollectConfig::default(), &TrainSettings::default(), 1,
+/// );
+/// let sharder = NeuroShard::new(bundle, NeuroShardConfig::default());
+/// let task = ShardingTask::sample(&pool, 4, 10..=60, 128, 2);
+/// let plan = sharder.shard(&task)?;
+/// # Ok::<(), nshard_core::PlanError>(())
+/// ```
+#[derive(Debug)]
+pub struct NeuroShard {
+    sim: CostSimulator,
+    config: NeuroShardConfig,
+}
+
+impl NeuroShard {
+    /// Builds a sharder from a pre-trained bundle and a search
+    /// configuration.
+    pub fn new(bundle: CostModelBundle, config: NeuroShardConfig) -> Self {
+        let sim = if config.use_cache {
+            CostSimulator::new(bundle)
+        } else {
+            CostSimulator::new(bundle).with_cache_disabled()
+        };
+        Self { sim, config }
+    }
+
+    /// The search configuration.
+    pub fn config(&self) -> &NeuroShardConfig {
+        &self.config
+    }
+
+    /// The cost simulator (bundle + cache).
+    pub fn simulator(&self) -> &CostSimulator {
+        &self.sim
+    }
+
+    /// Shards `task`, returning the plan plus search telemetry.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError::Infeasible`] when no explored plan satisfies the memory
+    /// budget.
+    pub fn shard_with_stats(&self, task: &ShardingTask) -> Result<ShardOutcome, PlanError> {
+        let hits0 = self.sim.cache().hits();
+        let misses0 = self.sim.cache().misses();
+        let start = Instant::now();
+
+        let mut search = BeamSearch::new(&self.sim)
+            .with_n(self.config.n)
+            .with_k(self.config.k)
+            .with_l(if self.config.use_beam { self.config.l } else { 0 })
+            .with_m(self.config.m)
+            .with_row_wise(self.config.use_row_wise);
+        if !self.config.use_grid {
+            search = search.without_grid();
+        }
+        let result = search.search(task)?;
+
+        let elapsed = start.elapsed().as_secs_f64();
+        let hits = self.sim.cache().hits() - hits0;
+        let misses = self.sim.cache().misses() - misses0;
+        let total = hits + misses;
+        Ok(ShardOutcome {
+            plan: result.plan,
+            estimated_cost_ms: result.estimated_cost_ms,
+            sharding_time_s: elapsed,
+            cache_hit_rate: if total == 0 {
+                0.0
+            } else {
+                hits as f64 / total as f64
+            },
+            evaluated_plans: result.evaluated_plans,
+        })
+    }
+}
+
+impl ShardingAlgorithm for NeuroShard {
+    fn name(&self) -> &str {
+        "neuroshard"
+    }
+
+    fn shard(&self, task: &ShardingTask) -> Result<ShardingPlan, PlanError> {
+        self.shard_with_stats(task).map(|o| o.plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nshard_cost::{CollectConfig, TrainSettings};
+    use nshard_data::{TableConfig, TableId, TablePool};
+
+    fn sharder(d: usize, config: NeuroShardConfig) -> NeuroShard {
+        let pool = TablePool::synthetic_dlrm(30, 1);
+        let bundle = CostModelBundle::pretrain(
+            &pool,
+            d,
+            &CollectConfig::smoke(),
+            &TrainSettings::smoke(),
+            7,
+        );
+        NeuroShard::new(bundle, config)
+    }
+
+    fn task(d: usize) -> ShardingTask {
+        let tables: Vec<TableConfig> = (0..10)
+            .map(|i| {
+                TableConfig::new(TableId(i), if i % 3 == 0 { 64 } else { 16 }, 1 << 18, 8.0, 1.0)
+            })
+            .collect();
+        ShardingTask::new(tables, d, nshard_sim::DEFAULT_MEM_BYTES, 65_536)
+    }
+
+    #[test]
+    fn shards_with_telemetry() {
+        let ns = sharder(2, NeuroShardConfig::smoke());
+        let outcome = ns.shard_with_stats(&task(2)).unwrap();
+        assert!(outcome.plan.validate(&task(2)).is_ok());
+        assert!(outcome.sharding_time_s >= 0.0);
+        assert!(outcome.evaluated_plans >= 1);
+        assert!((0.0..=1.0).contains(&outcome.cache_hit_rate));
+    }
+
+    #[test]
+    fn cache_hit_rate_is_high_with_cache() {
+        let ns = sharder(2, NeuroShardConfig::smoke());
+        let outcome = ns.shard_with_stats(&task(2)).unwrap();
+        assert!(
+            outcome.cache_hit_rate > 0.5,
+            "hit rate {}",
+            outcome.cache_hit_rate
+        );
+    }
+
+    #[test]
+    fn cache_hit_rate_is_zero_without_cache() {
+        let config = NeuroShardConfig {
+            use_cache: false,
+            ..NeuroShardConfig::smoke()
+        };
+        let ns = sharder(2, config);
+        let outcome = ns.shard_with_stats(&task(2)).unwrap();
+        assert_eq!(outcome.cache_hit_rate, 0.0);
+    }
+
+    #[test]
+    fn row_wise_config_is_accepted() {
+        let config = NeuroShardConfig {
+            use_row_wise: true,
+            ..NeuroShardConfig::smoke()
+        };
+        let ns = sharder(2, config);
+        let outcome = ns.shard_with_stats(&task(2)).unwrap();
+        assert!(outcome.plan.validate(&task(2)).is_ok());
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let ns = sharder(2, NeuroShardConfig::smoke());
+        let algo: &dyn ShardingAlgorithm = &ns;
+        assert_eq!(algo.name(), "neuroshard");
+        assert!(algo.shard(&task(2)).is_ok());
+    }
+}

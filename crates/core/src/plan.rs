@@ -1,0 +1,480 @@
+//! Sharding plan types: column-wise plans, table-wise plans and their
+//! combined result.
+
+use serde::{Deserialize, Serialize};
+
+use nshard_data::{ShardingTask, TableConfig};
+use nshard_sim::TableProfile;
+
+/// A column-wise sharding plan `c = [c₁, c₂, ..., cₘ]` (§3.3): at step `i`,
+/// the table at index `cᵢ` of the *current* table list is split into two
+/// column-wise halves; the first half replaces position `cᵢ` and the second
+/// is appended to the end of the list.
+pub type ColumnPlan = Vec<usize>;
+
+/// How a table is split in two by one sharding step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SplitKind {
+    /// Halve the embedding dimension (the paper's primary mechanism).
+    Column,
+    /// Halve the rows and the pooling workload (the paper's stated
+    /// future-work extension for partitioning large tables).
+    Row,
+}
+
+/// One step of a generalized sharding plan: split the table at `index`
+/// (into the current, growing table list) along `kind`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SplitStep {
+    /// Index into the current table list.
+    pub index: usize,
+    /// Split direction.
+    pub kind: SplitKind,
+}
+
+impl SplitStep {
+    /// A column-wise step.
+    pub fn column(index: usize) -> Self {
+        Self {
+            index,
+            kind: SplitKind::Column,
+        }
+    }
+
+    /// A row-wise step.
+    pub fn row(index: usize) -> Self {
+        Self {
+            index,
+            kind: SplitKind::Row,
+        }
+    }
+}
+
+/// A generalized sharding plan mixing column- and row-wise steps.
+pub type SplitPlan = Vec<SplitStep>;
+
+/// Errors produced while constructing or validating sharding plans.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// A column-plan step referenced a table index that does not exist.
+    ColumnIndexOutOfRange {
+        /// The offending step.
+        step: usize,
+        /// The index referenced.
+        index: usize,
+        /// The table-list length at that step.
+        len: usize,
+    },
+    /// A column-plan step tried to split a table whose halved dimension
+    /// would violate the kernel lane constraint.
+    UnsplittableTable {
+        /// The offending step.
+        step: usize,
+        /// The index referenced.
+        index: usize,
+        /// The table's dimension.
+        dim: u32,
+    },
+    /// No memory-feasible table-wise plan exists (the "-" cells of
+    /// Table 1).
+    Infeasible {
+        /// Human-readable description of the failure.
+        reason: String,
+    },
+    /// A plan failed validation against its task.
+    Invalid {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::ColumnIndexOutOfRange { step, index, len } => write!(
+                f,
+                "column plan step {step} references table {index} but only {len} tables exist"
+            ),
+            PlanError::UnsplittableTable { step, index, dim } => write!(
+                f,
+                "column plan step {step} cannot split table {index} of dimension {dim}"
+            ),
+            PlanError::Infeasible { reason } => write!(f, "no feasible plan: {reason}"),
+            PlanError::Invalid { reason } => write!(f, "invalid plan: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// Applies a column-wise plan to a table list, producing the sharded list
+/// of `T + |plan|` tables.
+///
+/// # Errors
+///
+/// [`PlanError::ColumnIndexOutOfRange`] or [`PlanError::UnsplittableTable`]
+/// when a step is illegal.
+///
+/// ```
+/// use nshard_core::apply_column_plan;
+/// use nshard_data::{TableConfig, TableId};
+///
+/// let tables = vec![TableConfig::new(TableId(0), 64, 1000, 5.0, 1.0)];
+/// let sharded = apply_column_plan(&tables, &[0, 0])?;
+/// assert_eq!(sharded.len(), 3);
+/// // First split: 64 → 32+32; second split of index 0: 32 → 16+16.
+/// assert_eq!(sharded.iter().map(|t| t.dim()).collect::<Vec<_>>(), vec![16, 32, 16]);
+/// # Ok::<(), nshard_core::PlanError>(())
+/// ```
+pub fn apply_column_plan(
+    tables: &[TableConfig],
+    plan: &[usize],
+) -> Result<Vec<TableConfig>, PlanError> {
+    let steps: SplitPlan = plan.iter().map(|&i| SplitStep::column(i)).collect();
+    apply_split_plan(tables, &steps)
+}
+
+/// Applies a generalized (column- and/or row-wise) split plan to a table
+/// list, producing the sharded list of `T + |plan|` tables.
+///
+/// # Errors
+///
+/// [`PlanError::ColumnIndexOutOfRange`] or [`PlanError::UnsplittableTable`]
+/// when a step is illegal.
+///
+/// ```
+/// use nshard_core::{apply_split_plan, plan::SplitStep};
+/// use nshard_data::{TableConfig, TableId};
+///
+/// let tables = vec![TableConfig::new(TableId(0), 64, 1 << 20, 8.0, 1.0)];
+/// let sharded = apply_split_plan(&tables, &[SplitStep::column(0), SplitStep::row(0)])?;
+/// assert_eq!(sharded.len(), 3);
+/// assert_eq!(sharded[0].dim(), 32);             // column-halved...
+/// assert_eq!(sharded[0].hash_size(), 1 << 19);  // ...then row-halved
+/// # Ok::<(), nshard_core::PlanError>(())
+/// ```
+pub fn apply_split_plan(
+    tables: &[TableConfig],
+    plan: &[SplitStep],
+) -> Result<Vec<TableConfig>, PlanError> {
+    let mut list = tables.to_vec();
+    for (step, &SplitStep { index, kind }) in plan.iter().enumerate() {
+        if index >= list.len() {
+            return Err(PlanError::ColumnIndexOutOfRange {
+                step,
+                index,
+                len: list.len(),
+            });
+        }
+        let halves = match kind {
+            SplitKind::Column => list[index].split_columns(),
+            SplitKind::Row => list[index].split_rows(),
+        };
+        let (a, b) = halves.ok_or(PlanError::UnsplittableTable {
+            step,
+            index,
+            dim: list[index].dim(),
+        })?;
+        list[index] = a;
+        list.push(b);
+    }
+    Ok(list)
+}
+
+/// A complete sharding plan: the column-wise sharded table list plus the
+/// device assignment of every sharded table.
+///
+/// # Example
+///
+/// ```
+/// use nshard_core::ShardingPlan;
+/// use nshard_data::{TableConfig, TableId};
+///
+/// let tables = vec![
+///     TableConfig::new(TableId(0), 64, 1000, 5.0, 1.0),
+///     TableConfig::new(TableId(1), 32, 2000, 3.0, 1.0),
+/// ];
+/// let plan = ShardingPlan::new(vec![], tables, vec![0, 1], 2)?;
+/// assert_eq!(plan.num_devices(), 2);
+/// assert_eq!(plan.device_tables()[0].len(), 1);
+/// # Ok::<(), nshard_core::PlanError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardingPlan {
+    split_plan: SplitPlan,
+    sharded_tables: Vec<TableConfig>,
+    device_of: Vec<usize>,
+    num_devices: usize,
+}
+
+impl ShardingPlan {
+    /// Builds a plan from its parts.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError::Invalid`] when lengths disagree or a device index is out
+    /// of range.
+    pub fn new(
+        column_plan: ColumnPlan,
+        sharded_tables: Vec<TableConfig>,
+        device_of: Vec<usize>,
+        num_devices: usize,
+    ) -> Result<Self, PlanError> {
+        let split_plan = column_plan.into_iter().map(SplitStep::column).collect();
+        Self::with_split_plan(split_plan, sharded_tables, device_of, num_devices)
+    }
+
+    /// Builds a plan from a generalized (column- and/or row-wise) split
+    /// plan.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError::Invalid`] when lengths disagree or a device index is out
+    /// of range.
+    pub fn with_split_plan(
+        split_plan: SplitPlan,
+        sharded_tables: Vec<TableConfig>,
+        device_of: Vec<usize>,
+        num_devices: usize,
+    ) -> Result<Self, PlanError> {
+        if sharded_tables.len() != device_of.len() {
+            return Err(PlanError::Invalid {
+                reason: format!(
+                    "{} tables but {} device assignments",
+                    sharded_tables.len(),
+                    device_of.len()
+                ),
+            });
+        }
+        if num_devices == 0 {
+            return Err(PlanError::Invalid {
+                reason: "plan needs at least one device".into(),
+            });
+        }
+        if let Some(&bad) = device_of.iter().find(|&&d| d >= num_devices) {
+            return Err(PlanError::Invalid {
+                reason: format!("device index {bad} out of range for {num_devices} devices"),
+            });
+        }
+        Ok(Self {
+            split_plan,
+            sharded_tables,
+            device_of,
+            num_devices,
+        })
+    }
+
+    /// The split plan (column- and/or row-wise steps) that produced the
+    /// sharded table list.
+    pub fn split_plan(&self) -> &[SplitStep] {
+        &self.split_plan
+    }
+
+    /// The column-wise sharded tables, in list order.
+    pub fn sharded_tables(&self) -> &[TableConfig] {
+        &self.sharded_tables
+    }
+
+    /// `device_of[i]` is the device of sharded table `i`.
+    pub fn device_of(&self) -> &[usize] {
+        &self.device_of
+    }
+
+    /// Number of devices.
+    pub fn num_devices(&self) -> usize {
+        self.num_devices
+    }
+
+    /// Number of column-wise sharding steps taken.
+    pub fn num_column_splits(&self) -> usize {
+        self.split_plan
+            .iter()
+            .filter(|s| s.kind == SplitKind::Column)
+            .count()
+    }
+
+    /// Number of row-wise sharding steps taken.
+    pub fn num_row_splits(&self) -> usize {
+        self.split_plan
+            .iter()
+            .filter(|s| s.kind == SplitKind::Row)
+            .count()
+    }
+
+    /// Tables grouped by device.
+    pub fn device_tables(&self) -> Vec<Vec<TableConfig>> {
+        let mut out = vec![Vec::new(); self.num_devices];
+        for (table, &d) in self.sharded_tables.iter().zip(&self.device_of) {
+            out[d].push(*table);
+        }
+        out
+    }
+
+    /// Simulator profiles grouped by device, at the given batch size.
+    pub fn device_profiles(&self, batch_size: u32) -> Vec<Vec<TableProfile>> {
+        let mut out = vec![Vec::new(); self.num_devices];
+        for (table, &d) in self.sharded_tables.iter().zip(&self.device_of) {
+            out[d].push(table.profile(batch_size));
+        }
+        out
+    }
+
+    /// Per-device memory use in bytes.
+    pub fn device_bytes(&self) -> Vec<u64> {
+        let mut out = vec![0u64; self.num_devices];
+        for (table, &d) in self.sharded_tables.iter().zip(&self.device_of) {
+            out[d] += table.memory_bytes();
+        }
+        out
+    }
+
+    /// Per-device dimension sums.
+    pub fn device_dims(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.num_devices];
+        for (table, &d) in self.sharded_tables.iter().zip(&self.device_of) {
+            out[d] += f64::from(table.dim());
+        }
+        out
+    }
+
+    /// Validates the plan against a task: same device count, every device
+    /// within the memory budget, and the sharded tables derivable from the
+    /// task's tables via the recorded column plan.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError::Invalid`] describing the first violated constraint.
+    pub fn validate(&self, task: &ShardingTask) -> Result<(), PlanError> {
+        if self.num_devices != task.num_devices() {
+            return Err(PlanError::Invalid {
+                reason: format!(
+                    "plan has {} devices, task wants {}",
+                    self.num_devices,
+                    task.num_devices()
+                ),
+            });
+        }
+        let expected = apply_split_plan(task.tables(), &self.split_plan)?;
+        if expected != self.sharded_tables {
+            return Err(PlanError::Invalid {
+                reason: "sharded tables do not match the column plan applied to the task".into(),
+            });
+        }
+        for (d, &bytes) in self.device_bytes().iter().enumerate() {
+            if bytes > task.mem_budget_bytes() {
+                return Err(PlanError::Invalid {
+                    reason: format!(
+                        "device {d} holds {bytes} bytes, exceeding the {} byte budget",
+                        task.mem_budget_bytes()
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nshard_data::TableId;
+
+    fn t(id: u32, dim: u32) -> TableConfig {
+        TableConfig::new(TableId(id), dim, 1000, 5.0, 1.0)
+    }
+
+    #[test]
+    fn apply_empty_plan_is_identity() {
+        let tables = vec![t(0, 64), t(1, 32)];
+        assert_eq!(apply_column_plan(&tables, &[]).unwrap(), tables);
+    }
+
+    #[test]
+    fn apply_single_split() {
+        let tables = vec![t(0, 64), t(1, 32)];
+        let out = apply_column_plan(&tables, &[0]).unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].dim(), 32);
+        assert_eq!(out[1].dim(), 32);
+        assert_eq!(out[2].dim(), 32);
+        assert_eq!(out[2].id(), TableId(0)); // appended half keeps identity
+    }
+
+    #[test]
+    fn apply_chained_splits_track_growing_list() {
+        let tables = vec![t(0, 64)];
+        // Split 0 (64→32,32 at [0],[1]); split 1 (the appended half).
+        let out = apply_column_plan(&tables, &[0, 1]).unwrap();
+        assert_eq!(
+            out.iter().map(|x| x.dim()).collect::<Vec<_>>(),
+            vec![32, 16, 16]
+        );
+    }
+
+    #[test]
+    fn out_of_range_step_errors() {
+        let err = apply_column_plan(&[t(0, 64)], &[3]).unwrap_err();
+        assert!(matches!(err, PlanError::ColumnIndexOutOfRange { index: 3, .. }));
+    }
+
+    #[test]
+    fn unsplittable_table_errors() {
+        let err = apply_column_plan(&[t(0, 4)], &[0]).unwrap_err();
+        assert!(matches!(err, PlanError::UnsplittableTable { dim: 4, .. }));
+    }
+
+    #[test]
+    fn plan_groups_by_device() {
+        let tables = vec![t(0, 64), t(1, 32), t(2, 16)];
+        let plan = ShardingPlan::new(vec![], tables, vec![1, 0, 1], 2).unwrap();
+        let by_dev = plan.device_tables();
+        assert_eq!(by_dev[0].len(), 1);
+        assert_eq!(by_dev[1].len(), 2);
+        assert_eq!(plan.device_dims(), vec![32.0, 80.0]);
+        let bytes = plan.device_bytes();
+        assert_eq!(bytes[0], 32 * 1000 * 4);
+        assert_eq!(bytes[1], (64 + 16) * 1000 * 4);
+    }
+
+    #[test]
+    fn mismatched_lengths_rejected() {
+        assert!(matches!(
+            ShardingPlan::new(vec![], vec![t(0, 8)], vec![0, 1], 2),
+            Err(PlanError::Invalid { .. })
+        ));
+    }
+
+    #[test]
+    fn device_out_of_range_rejected() {
+        assert!(ShardingPlan::new(vec![], vec![t(0, 8)], vec![5], 2).is_err());
+    }
+
+    #[test]
+    fn validate_against_task() {
+        let pool_tables = vec![t(0, 64), t(1, 32)];
+        let task = ShardingTask::new(pool_tables.clone(), 2, 1 << 30, 1024);
+        let sharded = apply_column_plan(&pool_tables, &[0]).unwrap();
+        let plan = ShardingPlan::new(vec![0], sharded, vec![0, 1, 0], 2).unwrap();
+        assert!(plan.validate(&task).is_ok());
+
+        // Wrong device count.
+        let bad = ShardingPlan::new(vec![], pool_tables.clone(), vec![0, 0], 1).unwrap();
+        assert!(bad.validate(&task).is_err());
+    }
+
+    #[test]
+    fn validate_catches_memory_overflow() {
+        let big = TableConfig::new(TableId(0), 64, 1 << 20, 5.0, 1.0); // 256 MB
+        let task = ShardingTask::new(vec![big], 1, 1024, 1024); // 1 KB budget
+        let plan = ShardingPlan::new(vec![], vec![big], vec![0], 1).unwrap();
+        assert!(matches!(plan.validate(&task), Err(PlanError::Invalid { .. })));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = PlanError::Infeasible {
+            reason: "tables too large".into(),
+        };
+        assert!(e.to_string().contains("tables too large"));
+    }
+}

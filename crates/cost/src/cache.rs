@@ -1,0 +1,215 @@
+//! Life-long prediction cache for computation costs.
+//!
+//! The search's hot loop asks the computation cost model for the cost of a
+//! *device's current table set* over and over; small changes to the
+//! column-wise plan or the `max_dim` constraint barely change those sets,
+//! so the paper memoizes predictions in a "life-long hash map" and reports
+//! > 95% hit rates (Table 3). This cache is keyed by an order-insensitive
+//! > fingerprint of the table set and tracks hit statistics.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use nshard_sim::TableProfile;
+
+/// An order-insensitive fingerprint of a set of table profiles.
+///
+/// Built by hashing each table independently and combining with addition
+/// (commutative), then mixing; two permutations of the same multiset always
+/// collide on purpose, and distinct sets collide with probability ≈ 2⁻⁶⁴.
+pub fn table_set_key(tables: &[TableProfile]) -> u64 {
+    let mut acc: u64 = 0x517c_c1b7_2722_0a95;
+    for t in tables {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for bits in [
+            u64::from(t.dim()),
+            t.hash_size(),
+            t.pooling_factor().to_bits(),
+            t.unique_frac().to_bits(),
+            t.zipf_alpha().to_bits(),
+        ] {
+            h ^= bits;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        acc = acc.wrapping_add(h);
+    }
+    // Final avalanche.
+    let mut z = acc;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A thread-safe memoization cache with hit-rate accounting.
+///
+/// # Example
+///
+/// ```
+/// use nshard_cost::PredictionCache;
+///
+/// let cache = PredictionCache::new();
+/// let v1 = cache.get_or_insert_with(42, || 3.5);
+/// let v2 = cache.get_or_insert_with(42, || unreachable!("cached"));
+/// assert_eq!(v1, 3.5);
+/// assert_eq!(v2, 3.5);
+/// assert_eq!(cache.hits(), 1);
+/// assert_eq!(cache.misses(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct PredictionCache {
+    inner: Mutex<CacheInner>,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    map: HashMap<u64, f64>,
+    hits: u64,
+    misses: u64,
+}
+
+impl PredictionCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up `key`, computing and inserting the value on a miss.
+    pub fn get_or_insert_with(&self, key: u64, compute: impl FnOnce() -> f64) -> f64 {
+        let mut inner = self.inner.lock();
+        if let Some(&v) = inner.map.get(&key) {
+            inner.hits += 1;
+            return v;
+        }
+        inner.misses += 1;
+        let v = compute();
+        inner.map.insert(key, v);
+        v
+    }
+
+    /// Number of cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.inner.lock().hits
+    }
+
+    /// Number of cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.inner.lock().misses
+    }
+
+    /// Hit rate in `[0, 1]`; 0 when the cache has not been queried.
+    pub fn hit_rate(&self) -> f64 {
+        let inner = self.inner.lock();
+        let total = inner.hits + inner.misses;
+        if total == 0 {
+            0.0
+        } else {
+            inner.hits as f64 / total as f64
+        }
+    }
+
+    /// Number of distinct entries stored.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().map.is_empty()
+    }
+
+    /// Clears entries and statistics.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.map.clear();
+        inner.hits = 0;
+        inner.misses = 0;
+    }
+
+    /// Records a miss without storing an entry — used when caching is
+    /// disabled (the "w/o caching" ablation) so hit rates report as 0%.
+    pub fn count_miss(&self) {
+        self.inner.lock().misses += 1;
+    }
+
+    /// Resets only the hit/miss statistics, keeping the entries (used
+    /// between experiment phases so hit rates are attributable).
+    pub fn reset_stats(&self) {
+        let mut inner = self.inner.lock();
+        inner.hits = 0;
+        inner.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn t(dim: u32, rows: u64) -> TableProfile {
+        TableProfile::new(dim, rows, 10.0, 0.5, 1.0)
+    }
+
+    #[test]
+    fn key_is_order_insensitive() {
+        let a = [t(4, 100), t(8, 200), t(16, 300)];
+        let b = [t(16, 300), t(4, 100), t(8, 200)];
+        assert_eq!(table_set_key(&a), table_set_key(&b));
+    }
+
+    #[test]
+    fn key_distinguishes_different_sets() {
+        assert_ne!(table_set_key(&[t(4, 100)]), table_set_key(&[t(8, 100)]));
+        assert_ne!(
+            table_set_key(&[t(4, 100)]),
+            table_set_key(&[t(4, 100), t(4, 100)])
+        );
+        assert_ne!(table_set_key(&[]), table_set_key(&[t(4, 100)]));
+    }
+
+    #[test]
+    fn cache_hits_and_misses_are_counted() {
+        let cache = PredictionCache::new();
+        assert_eq!(cache.hit_rate(), 0.0);
+        cache.get_or_insert_with(1, || 1.0);
+        cache.get_or_insert_with(1, || 2.0);
+        cache.get_or_insert_with(2, || 3.0);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 2);
+        assert!((cache.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn cached_value_wins() {
+        let cache = PredictionCache::new();
+        cache.get_or_insert_with(9, || 5.0);
+        assert_eq!(cache.get_or_insert_with(9, || 99.0), 5.0);
+    }
+
+    #[test]
+    fn clear_and_reset_stats() {
+        let cache = PredictionCache::new();
+        cache.get_or_insert_with(1, || 1.0);
+        cache.get_or_insert_with(1, || 1.0);
+        cache.reset_stats();
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.len(), 1);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn cache_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PredictionCache>();
+    }
+
+    proptest! {
+        #[test]
+        fn key_deterministic(dims in proptest::collection::vec(1u32..64, 0..8)) {
+            let tables: Vec<TableProfile> = dims.iter().map(|&d| t(d * 4, 1000)).collect();
+            prop_assert_eq!(table_set_key(&tables), table_set_key(&tables));
+        }
+    }
+}

@@ -1,0 +1,315 @@
+//! Micro-benchmark data collection (the reproduction's PARAM benchmarks).
+//!
+//! Drives the ground-truth simulator with the synthetic inputs of §3.1
+//! (Algorithms 3–5) to produce labeled training data for the three cost
+//! models, exactly as the paper collects costs from real GPUs.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use nshard_data::{augment_pool, CombinationGenerator, PlacementGenerator, TablePool, PAPER_DIMS};
+use nshard_nn::{Dataset, Matrix};
+use nshard_sim::{CommParams, KernelParams, NoiseModel};
+
+use crate::features::{comm_features, table_features};
+
+/// Configuration of the data-collection run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CollectConfig {
+    /// Number of computation-cost samples (paper default 100 K; the crate
+    /// default is smaller because Figure 8 shows ~10³–10⁴ already saturates
+    /// sharding quality).
+    pub compute_samples: usize,
+    /// Number of communication-cost samples.
+    pub comm_samples: usize,
+    /// Dimension set for table augmentation (Algorithm 3).
+    pub augment_dims: Vec<u32>,
+    /// Min/max tables per combination (Algorithm 4; paper: 1–15).
+    pub combo_tables: (usize, usize),
+    /// Min/max tables per placement (Algorithm 5; paper: 10–60 for 4 GPUs,
+    /// 20–120 for 8 GPUs). When `None`, scaled from the device count.
+    pub placement_tables: Option<(usize, usize)>,
+    /// Max random start-timestamp in ms (paper: 20).
+    pub max_start_ms: f64,
+    /// Batch size of the simulated workload.
+    pub batch_size: u32,
+    /// Measurement repeats per label (median is taken).
+    pub repeats: u32,
+    /// Relative measurement noise.
+    pub noise_sigma: f64,
+}
+
+impl Default for CollectConfig {
+    fn default() -> Self {
+        Self {
+            compute_samples: 8_000,
+            comm_samples: 6_000,
+            augment_dims: PAPER_DIMS.to_vec(),
+            combo_tables: (1, 15),
+            placement_tables: None,
+            max_start_ms: 20.0,
+            batch_size: nshard_sim::DEFAULT_BATCH_SIZE,
+            repeats: 11,
+            noise_sigma: 0.02,
+        }
+    }
+}
+
+impl CollectConfig {
+    /// The paper's full-scale configuration (100 K samples per model).
+    pub fn paper_scale() -> Self {
+        Self {
+            compute_samples: 100_000,
+            comm_samples: 100_000,
+            ..Self::default()
+        }
+    }
+
+    /// A reduced configuration for tests and smoke runs.
+    pub fn smoke() -> Self {
+        Self {
+            compute_samples: 400,
+            comm_samples: 400,
+            ..Self::default()
+        }
+    }
+
+    /// Placement table range: explicit override or the paper's scaling
+    /// (`10·D/4 .. 60·D/4`, clamped to at least 2).
+    pub fn placement_range(&self, num_devices: usize) -> (usize, usize) {
+        self.placement_tables.unwrap_or_else(|| {
+            let lo = (10 * num_devices / 4).max(2);
+            let hi = (60 * num_devices / 4).max(lo + 1);
+            (lo, hi)
+        })
+    }
+}
+
+/// One computation-cost training sample: per-table feature vectors plus the
+/// measured fused-kernel cost.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComputeSample {
+    /// Feature vectors, one per table in the combination.
+    pub tables: Vec<Vec<f32>>,
+    /// Measured forward+backward cost in ms.
+    pub cost_ms: f32,
+}
+
+/// A collected computation-cost dataset.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ComputeDataset {
+    /// The samples.
+    pub samples: Vec<ComputeSample>,
+}
+
+impl ComputeDataset {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Shuffled 80/10/10 split by sample index.
+    pub fn split(&self, seed: u64) -> (ComputeDataset, ComputeDataset, ComputeDataset) {
+        use rand::Rng;
+        let n = self.samples.len();
+        let mut idx: Vec<usize> = (0..n).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in (1..n).rev() {
+            let j = rng.random_range(0..=i);
+            idx.swap(i, j);
+        }
+        let n_train = ((n as f64) * 0.8).round() as usize;
+        let n_valid = ((n as f64) * 0.1).round() as usize;
+        let pick = |range: &[usize]| ComputeDataset {
+            samples: range.iter().map(|&i| self.samples[i].clone()).collect(),
+        };
+        (
+            pick(&idx[..n_train.min(n)]),
+            pick(&idx[n_train.min(n)..(n_train + n_valid).min(n)]),
+            pick(&idx[(n_train + n_valid).min(n)..]),
+        )
+    }
+}
+
+/// Collects computation-cost data: random table combinations (Algorithm 4)
+/// over the augmented pool (Algorithm 3), labeled by the simulated fused
+/// multi-table kernel.
+pub fn collect_compute_data(
+    pool: &TablePool,
+    kernel: &KernelParams,
+    config: &CollectConfig,
+    seed: u64,
+) -> ComputeDataset {
+    let augmented = augment_pool(pool, &config.augment_dims);
+    let generator =
+        CombinationGenerator::new(augmented, config.combo_tables.0, config.combo_tables.1);
+    let noise = NoiseModel::new(seed ^ 0xC0FFEE, config.noise_sigma);
+    let combos = generator.generate(config.compute_samples, seed);
+    let samples = combos
+        .into_iter()
+        .map(|combo| {
+            let profiles = combo.profiles(config.batch_size);
+            let cost =
+                kernel.measure_multi_cost_ms(&profiles, config.batch_size, &noise, config.repeats);
+            ComputeSample {
+                tables: profiles
+                    .iter()
+                    .map(|p| table_features(p, config.batch_size))
+                    .collect(),
+                cost_ms: cost as f32,
+            }
+        })
+        .collect();
+    ComputeDataset { samples }
+}
+
+/// A pair of communication datasets (forward, backward), each a fixed-width
+/// regression problem on the features of [`comm_features`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommDataset {
+    /// Forward all-to-all max-latency regression data.
+    pub forward: Dataset,
+    /// Backward all-to-all max-latency regression data.
+    pub backward: Dataset,
+}
+
+/// Collects communication-cost data: random placements (Algorithm 5) with
+/// random start timestamps, labeled by the simulated all-to-all collective's
+/// **max** per-GPU latency (the quantity the search minimizes).
+///
+/// # Panics
+///
+/// Panics if `config.comm_samples == 0` (a dataset must be non-empty).
+pub fn collect_comm_data(
+    pool: &TablePool,
+    comm: &CommParams,
+    num_devices: usize,
+    config: &CollectConfig,
+    seed: u64,
+) -> CommDataset {
+    assert!(config.comm_samples > 0, "comm_samples must be positive");
+    let augmented = augment_pool(pool, &config.augment_dims);
+    let (t_min, t_max) = config.placement_range(num_devices);
+    let generator = PlacementGenerator::new(augmented, num_devices, t_min, t_max)
+        .with_max_start_ms(config.max_start_ms);
+    let noise = NoiseModel::new(seed ^ 0xBEEF, config.noise_sigma);
+    let placements = generator.generate(config.comm_samples, seed);
+
+    let mut xs: Vec<Vec<f32>> = Vec::with_capacity(placements.len());
+    let mut fwd_y: Vec<Vec<f32>> = Vec::with_capacity(placements.len());
+    let mut bwd_y: Vec<Vec<f32>> = Vec::with_capacity(placements.len());
+    for p in &placements {
+        let dims = p.device_dims();
+        let costs = comm.measure_costs_ms(
+            &dims,
+            &p.start_ts_ms,
+            config.batch_size,
+            &noise,
+            config.repeats,
+        );
+        xs.push(comm_features(&dims, &p.start_ts_ms, config.batch_size));
+        fwd_y.push(vec![costs.max_fwd_ms() as f32]);
+        bwd_y.push(vec![costs.max_bwd_ms() as f32]);
+    }
+    let x = Matrix::from_rows(&xs);
+    CommDataset {
+        forward: Dataset::new(x.clone(), Matrix::from_rows(&fwd_y))
+            .expect("same row counts by construction"),
+        backward: Dataset::new(x, Matrix::from_rows(&bwd_y))
+            .expect("same row counts by construction"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> TablePool {
+        TablePool::synthetic_dlrm(60, 11)
+    }
+
+    #[test]
+    fn compute_collection_shapes() {
+        let cfg = CollectConfig {
+            compute_samples: 50,
+            ..CollectConfig::smoke()
+        };
+        let data = collect_compute_data(&pool(), &KernelParams::rtx_2080_ti(), &cfg, 1);
+        assert_eq!(data.len(), 50);
+        for s in &data.samples {
+            assert!((1..=15).contains(&s.tables.len()));
+            assert!(s.cost_ms > 0.0);
+            for f in &s.tables {
+                assert_eq!(f.len(), crate::features::TABLE_FEATURE_DIM);
+            }
+        }
+    }
+
+    #[test]
+    fn compute_collection_is_deterministic() {
+        let cfg = CollectConfig {
+            compute_samples: 10,
+            ..CollectConfig::smoke()
+        };
+        let k = KernelParams::rtx_2080_ti();
+        assert_eq!(
+            collect_compute_data(&pool(), &k, &cfg, 5),
+            collect_compute_data(&pool(), &k, &cfg, 5)
+        );
+    }
+
+    #[test]
+    fn compute_split_partitions() {
+        let cfg = CollectConfig {
+            compute_samples: 100,
+            ..CollectConfig::smoke()
+        };
+        let data = collect_compute_data(&pool(), &KernelParams::rtx_2080_ti(), &cfg, 2);
+        let (train, valid, test) = data.split(9);
+        assert_eq!(train.len() + valid.len() + test.len(), 100);
+        assert_eq!(train.len(), 80);
+    }
+
+    #[test]
+    fn comm_collection_shapes() {
+        let cfg = CollectConfig {
+            comm_samples: 40,
+            ..CollectConfig::smoke()
+        };
+        let data = collect_comm_data(&pool(), &CommParams::pcie_server(), 4, &cfg, 3);
+        assert_eq!(data.forward.len(), 40);
+        assert_eq!(data.backward.len(), 40);
+        assert_eq!(data.forward.x().cols(), crate::features::comm_feature_dim(4));
+    }
+
+    #[test]
+    fn comm_labels_are_positive() {
+        let cfg = CollectConfig {
+            comm_samples: 20,
+            ..CollectConfig::smoke()
+        };
+        let data = collect_comm_data(&pool(), &CommParams::pcie_server(), 4, &cfg, 7);
+        for r in 0..data.forward.len() {
+            assert!(data.forward.y().get(r, 0) > 0.0);
+            assert!(data.backward.y().get(r, 0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn placement_range_scales_with_devices() {
+        let cfg = CollectConfig::default();
+        assert_eq!(cfg.placement_range(4), (10, 60));
+        assert_eq!(cfg.placement_range(8), (20, 120));
+        let explicit = CollectConfig {
+            placement_tables: Some((3, 7)),
+            ..CollectConfig::default()
+        };
+        assert_eq!(explicit.placement_range(8), (3, 7));
+    }
+}

@@ -1,0 +1,170 @@
+//! The communication cost models (Figure 5, right).
+//!
+//! One MLP per direction (forward / backward all-to-all) regresses the max
+//! per-GPU collective latency from the per-GPU start timestamps and
+//! transferred data sizes. The paper trains separate forward and backward
+//! models (§3.2); both share this type.
+
+use serde::{Deserialize, Serialize};
+
+use nshard_nn::{Dataset, Matrix, Mlp, TrainConfig, TrainReport, Trainer};
+
+use crate::features::{comm_feature_dim, comm_features};
+
+/// The paper's communication model architecture: input → 128-64-32-16 → 1.
+const COMM_HIDDEN: [usize; 4] = [128, 64, 32, 16];
+
+/// A pre-trained communication cost model for a fixed device count.
+///
+/// # Example
+///
+/// ```
+/// use nshard_cost::CommCostModel;
+///
+/// let model = CommCostModel::new(4, 0);
+/// let cost = model.predict(&[320.0, 300.0, 310.0, 290.0], &[0.0; 4], 65_536);
+/// assert!(cost.is_finite());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CommCostModel {
+    num_devices: usize,
+    mlp: Mlp,
+}
+
+impl CommCostModel {
+    /// A freshly initialized (untrained) model for `num_devices` GPUs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_devices == 0`.
+    pub fn new(num_devices: usize, seed: u64) -> Self {
+        assert!(num_devices > 0, "need at least one device");
+        Self {
+            num_devices,
+            mlp: Mlp::new(comm_feature_dim(num_devices), &COMM_HIDDEN, 1, seed),
+        }
+    }
+
+    /// The device count this model was built for.
+    pub fn num_devices(&self) -> usize {
+        self.num_devices
+    }
+
+    /// Predicts the max collective latency (ms) for a placement described by
+    /// per-GPU device dimensions and start timestamps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices do not match the model's device count.
+    pub fn predict(&self, device_dims: &[f64], start_ts_ms: &[f64], batch_size: u32) -> f64 {
+        assert_eq!(
+            device_dims.len(),
+            self.num_devices,
+            "placement has the wrong number of devices for this model"
+        );
+        let features = comm_features(device_dims, start_ts_ms, batch_size);
+        let x = Matrix::from_rows([features]);
+        f64::from(self.mlp.forward(&x).get(0, 0))
+    }
+
+    /// Trains on a collected dataset (80/10/10 split from `seed`), keeping
+    /// the best-on-validation checkpoint, and returns the report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset's feature width does not match this model.
+    pub fn train(
+        &mut self,
+        data: &Dataset,
+        epochs: usize,
+        batch_size: usize,
+        learning_rate: f32,
+        seed: u64,
+    ) -> TrainReport {
+        assert_eq!(
+            data.x().cols(),
+            comm_feature_dim(self.num_devices),
+            "dataset feature width does not match the model's device count"
+        );
+        let mut trainer = Trainer::new(TrainConfig {
+            epochs,
+            batch_size,
+            learning_rate,
+        });
+        let report = trainer.fit(self.mlp.clone(), data, seed);
+        self.mlp = trainer.into_best_model().expect("fit always sets a model");
+        report
+    }
+
+    /// MSE over an arbitrary dataset (e.g. a held-out split).
+    pub fn evaluate_mse(&self, data: &Dataset) -> f32 {
+        nshard_nn::mse(&self.mlp.forward(data.x()), data.y())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect::{collect_comm_data, CollectConfig};
+    use nshard_data::TablePool;
+    use nshard_sim::CommParams;
+
+    fn dataset(n: usize, d: usize) -> crate::collect::CommDataset {
+        let pool = TablePool::synthetic_dlrm(60, 3);
+        let cfg = CollectConfig {
+            comm_samples: n,
+            ..CollectConfig::smoke()
+        };
+        collect_comm_data(&pool, &CommParams::pcie_server(), d, &cfg, 1)
+    }
+
+    #[test]
+    fn training_reduces_mse() {
+        let data = dataset(500, 4);
+        let mut model = CommCostModel::new(4, 0);
+        let before = model.evaluate_mse(&data.forward);
+        model.train(&data.forward, 40, 64, 1e-3, 5);
+        let after = model.evaluate_mse(&data.forward);
+        assert!(after < before / 2.0, "MSE {before} -> {after}");
+    }
+
+    #[test]
+    fn trained_model_tracks_imbalance() {
+        let data = dataset(800, 4);
+        let mut model = CommCostModel::new(4, 1);
+        model.train(&data.forward, 60, 64, 1e-3, 2);
+        let balanced = model.predict(&[250.0; 4], &[0.0; 4], 65_536);
+        let skewed = model.predict(&[700.0, 100.0, 100.0, 100.0], &[0.0; 4], 65_536);
+        assert!(
+            skewed > balanced,
+            "skewed {skewed} should exceed balanced {balanced}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong number of devices")]
+    fn wrong_device_count_panics() {
+        let model = CommCostModel::new(4, 0);
+        let _ = model.predict(&[1.0, 2.0], &[0.0, 0.0], 65_536);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature width")]
+    fn wrong_dataset_width_panics() {
+        let data = dataset(20, 4);
+        let mut model = CommCostModel::new(8, 0);
+        let _ = model.train(&data.forward, 1, 8, 1e-3, 0);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_predictions() {
+        let model = CommCostModel::new(4, 9);
+        let json = serde_json::to_string(&model).unwrap();
+        let back: CommCostModel = serde_json::from_str(&json).unwrap();
+        let dims = [100.0, 200.0, 300.0, 400.0];
+        assert_eq!(
+            model.predict(&dims, &[0.0; 4], 65_536),
+            back.predict(&dims, &[0.0; 4], 65_536)
+        );
+    }
+}

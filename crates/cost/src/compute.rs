@@ -1,0 +1,307 @@
+//! The computation cost model (Figure 5, left).
+//!
+//! A DeepSets-style regressor: a **shared** MLP encodes each table's
+//! feature vector, the per-table encodings are element-wise summed into a
+//! fixed-size representation of the table combination, and a head MLP
+//! produces the fused-kernel forward+backward cost. The sum pooling is what
+//! makes the model handle any number of tables — the property that lets one
+//! pre-trained model serve every sharding task.
+
+use serde::{Deserialize, Serialize};
+
+use nshard_nn::{Adam, Gradients, Matrix, Mlp};
+
+use crate::collect::{ComputeDataset, ComputeSample};
+use crate::features::TABLE_FEATURE_DIM;
+
+/// The paper's encoder architecture: table features → 128 → 32.
+const ENCODER_HIDDEN: [usize; 1] = [128];
+const ENCODER_OUT: usize = 32;
+/// The paper's head architecture: 32 → 64 → 1.
+const HEAD_HIDDEN: [usize; 1] = [64];
+
+/// Training report of the computation cost model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComputeTrainReport {
+    /// MSE on the training partition (best-validation checkpoint).
+    pub train_mse: f32,
+    /// Best validation MSE.
+    pub valid_mse: f32,
+    /// MSE on the held-out test partition.
+    pub test_mse: f32,
+    /// Per-epoch validation MSE.
+    pub valid_history: Vec<f32>,
+}
+
+/// The pre-trained computation cost model.
+///
+/// # Example
+///
+/// ```
+/// use nshard_cost::{table_features, ComputeCostModel};
+/// use nshard_sim::TableProfile;
+///
+/// let model = ComputeCostModel::new(0);
+/// let t = TableProfile::new(64, 1 << 20, 15.0, 0.3, 1.1);
+/// let features = vec![table_features(&t, 65_536)];
+/// let cost = model.predict(&features);
+/// assert!(cost.is_finite());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComputeCostModel {
+    encoder: Mlp,
+    head: Mlp,
+}
+
+impl ComputeCostModel {
+    /// A freshly initialized (untrained) model with the paper's
+    /// architecture (encoder 128-32, head 64).
+    pub fn new(seed: u64) -> Self {
+        Self::with_architecture(&ENCODER_HIDDEN, &HEAD_HIDDEN, seed)
+    }
+
+    /// A model with custom hidden layers (empty slices give a *linear*
+    /// encoder/head — the ablation §4.2 argues cannot capture the
+    /// non-linear costs).
+    pub fn with_architecture(encoder_hidden: &[usize], head_hidden: &[usize], seed: u64) -> Self {
+        Self {
+            encoder: Mlp::new(TABLE_FEATURE_DIM, encoder_hidden, ENCODER_OUT, seed),
+            head: Mlp::new(ENCODER_OUT, head_hidden, 1, seed ^ 0x5EED_CAFE),
+        }
+    }
+
+    /// A fully linear model (no hidden layers anywhere): prediction is a
+    /// linear function of the summed table features.
+    pub fn linear(seed: u64) -> Self {
+        Self::with_architecture(&[], &[], seed)
+    }
+
+    /// Predicts the fused multi-table kernel cost (ms) for a combination
+    /// given per-table feature vectors.
+    ///
+    /// An empty combination predicts the head's response to a zero sum
+    /// (≈ the kernel launch overhead once trained).
+    pub fn predict(&self, tables: &[Vec<f32>]) -> f64 {
+        let pooled = if tables.is_empty() {
+            Matrix::zeros(1, ENCODER_OUT)
+        } else {
+            let x = Matrix::from_rows(tables);
+            let encoded = self.encoder.forward(&x);
+            Matrix::from_rows([encoded.sum_rows()])
+        };
+        f64::from(self.head.forward(&pooled).get(0, 0))
+    }
+
+    /// Mean squared error over a dataset.
+    pub fn evaluate_mse(&self, data: &ComputeDataset) -> f32 {
+        if data.is_empty() {
+            return f32::NAN;
+        }
+        let se: f64 = data
+            .samples
+            .iter()
+            .map(|s| {
+                let err = self.predict(&s.tables) - f64::from(s.cost_ms);
+                err * err
+            })
+            .sum();
+        (se / data.len() as f64) as f32
+    }
+
+    /// Trains the model on `data` (80/10/10 split from `seed`), keeping the
+    /// best-on-validation checkpoint. Mirrors the paper's protocol:
+    /// mini-batch Adam on an MSE loss.
+    pub fn train(
+        &mut self,
+        data: &ComputeDataset,
+        epochs: usize,
+        batch_size: usize,
+        learning_rate: f32,
+        seed: u64,
+    ) -> ComputeTrainReport {
+        use rand::Rng;
+        use rand::{rngs::StdRng, SeedableRng};
+
+        let (train, valid, test) = data.split(seed);
+        let mut adam_enc = Adam::new(&self.encoder, learning_rate);
+        let mut adam_head = Adam::new(&self.head, learning_rate);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x7A57);
+
+        let n = train.len().max(1);
+        let batch_size = batch_size.clamp(1, n);
+        let mut best = (self.encoder.clone(), self.head.clone());
+        let mut best_valid = f32::INFINITY;
+        let mut valid_history = Vec::with_capacity(epochs);
+        let mut order: Vec<usize> = (0..n).collect();
+
+        for _epoch in 0..epochs {
+            for i in (1..n).rev() {
+                let j = rng.random_range(0..=i);
+                order.swap(i, j);
+            }
+            for chunk in order.chunks(batch_size) {
+                let mut grad_enc = Gradients::zeros_like(&self.encoder);
+                let mut grad_head = Gradients::zeros_like(&self.head);
+                let scale = 1.0 / chunk.len() as f32;
+                for &idx in chunk {
+                    let sample = &train.samples[idx];
+                    let (g_enc, g_head) = self.sample_gradients(sample);
+                    if let Some(g) = g_enc {
+                        grad_enc.accumulate(&g, scale);
+                    }
+                    grad_head.accumulate(&g_head, scale);
+                }
+                adam_enc.step(&mut self.encoder, &grad_enc);
+                adam_head.step(&mut self.head, &grad_head);
+            }
+            let valid_mse = self.evaluate_mse(&valid);
+            valid_history.push(valid_mse);
+            if valid_mse < best_valid {
+                best_valid = valid_mse;
+                best = (self.encoder.clone(), self.head.clone());
+            }
+        }
+
+        self.encoder = best.0;
+        self.head = best.1;
+        ComputeTrainReport {
+            train_mse: self.evaluate_mse(&train),
+            valid_mse: best_valid,
+            test_mse: self.evaluate_mse(&test),
+            valid_history,
+        }
+    }
+
+    /// Forward + backward of one sample under the squared-error loss,
+    /// returning `(encoder grads (None when the sample has no tables),
+    /// head grads)`.
+    fn sample_gradients(&self, sample: &ComputeSample) -> (Option<Gradients>, Gradients) {
+        if sample.tables.is_empty() {
+            let pooled = Matrix::zeros(1, ENCODER_OUT);
+            let (pred, head_cache) = self.head.forward_cached(&pooled);
+            let dy = Matrix::from_rows([vec![2.0 * (pred.get(0, 0) - sample.cost_ms)]]);
+            let (_, g_head) = self.head.backward(&head_cache, &dy);
+            return (None, g_head);
+        }
+        let x = Matrix::from_rows(&sample.tables);
+        let (encoded, enc_cache) = self.encoder.forward_cached(&x);
+        let pooled = Matrix::from_rows([encoded.sum_rows()]);
+        let (pred, head_cache) = self.head.forward_cached(&pooled);
+        let err = pred.get(0, 0) - sample.cost_ms;
+        let dy = Matrix::from_rows([vec![2.0 * err]]);
+        let (d_pooled, g_head) = self.head.backward(&head_cache, &dy);
+        // Sum pooling broadcasts the gradient to every table's encoding.
+        let d_encoded = Matrix::from_rows(vec![d_pooled.row(0).to_vec(); sample.tables.len()]);
+        let (_, g_enc) = self.encoder.backward(&enc_cache, &d_encoded);
+        (Some(g_enc), g_head)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect::{collect_compute_data, CollectConfig};
+    use nshard_data::TablePool;
+    use nshard_sim::KernelParams;
+
+    fn small_dataset(n: usize) -> ComputeDataset {
+        let pool = TablePool::synthetic_dlrm(40, 5);
+        let cfg = CollectConfig {
+            compute_samples: n,
+            ..CollectConfig::smoke()
+        };
+        collect_compute_data(&pool, &KernelParams::rtx_2080_ti(), &cfg, 1)
+    }
+
+    #[test]
+    fn untrained_model_predicts_finite() {
+        let model = ComputeCostModel::new(0);
+        let data = small_dataset(5);
+        for s in &data.samples {
+            assert!(model.predict(&s.tables).is_finite());
+        }
+        assert!(model.predict(&[]).is_finite());
+    }
+
+    #[test]
+    fn prediction_is_permutation_invariant() {
+        let model = ComputeCostModel::new(3);
+        let data = small_dataset(1);
+        let mut tables = data.samples[0].tables.clone();
+        let a = model.predict(&tables);
+        tables.reverse();
+        let b = model.predict(&tables);
+        assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+    }
+
+    #[test]
+    fn training_reduces_mse() {
+        let data = small_dataset(400);
+        let mut model = ComputeCostModel::new(7);
+        let before = model.evaluate_mse(&data);
+        let report = model.train(&data, 30, 64, 1e-3, 9);
+        let after = model.evaluate_mse(&data);
+        assert!(
+            after < before / 2.0,
+            "MSE did not improve enough: {before} -> {after}"
+        );
+        assert!(report.test_mse.is_finite());
+        assert_eq!(report.valid_history.len(), 30);
+    }
+
+    #[test]
+    fn trained_model_learns_cost_ordering() {
+        // A trained model should rank a heavy combination above a light one.
+        let data = small_dataset(600);
+        let mut model = ComputeCostModel::new(1);
+        model.train(&data, 40, 64, 1e-3, 2);
+        // Pick the lightest and heaviest training samples by label.
+        let min = data
+            .samples
+            .iter()
+            .min_by(|a, b| a.cost_ms.partial_cmp(&b.cost_ms).unwrap())
+            .unwrap();
+        let max = data
+            .samples
+            .iter()
+            .max_by(|a, b| a.cost_ms.partial_cmp(&b.cost_ms).unwrap())
+            .unwrap();
+        assert!(model.predict(&max.tables) > model.predict(&min.tables));
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let data = small_dataset(100);
+        let mut m1 = ComputeCostModel::new(4);
+        let mut m2 = ComputeCostModel::new(4);
+        let r1 = m1.train(&data, 5, 32, 1e-3, 6);
+        let r2 = m2.train(&data, 5, 32, 1e-3, 6);
+        assert_eq!(r1, r2);
+        assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn linear_model_underfits_the_nonlinear_costs() {
+        // The paper's §4.2 claim: a linear model cannot capture the cost
+        // non-linearity. Train both on identical data and compare.
+        let data = small_dataset(500);
+        let mut nn = ComputeCostModel::new(3);
+        let mut linear = ComputeCostModel::linear(3);
+        let nn_report = nn.train(&data, 30, 64, 1e-3, 4);
+        let lin_report = linear.train(&data, 30, 64, 1e-3, 4);
+        assert!(
+            nn_report.test_mse < lin_report.test_mse,
+            "nn {} should beat linear {}",
+            nn_report.test_mse,
+            lin_report.test_mse
+        );
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let model = ComputeCostModel::new(2);
+        let json = serde_json::to_string(&model).unwrap();
+        let back: ComputeCostModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(model, back);
+    }
+}

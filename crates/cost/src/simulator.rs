@@ -1,0 +1,435 @@
+//! The pre-trained cost-model bundle and the sharding cost simulator.
+//!
+//! [`CostModelBundle`] packages the three pre-trained models (computation,
+//! forward communication, backward communication) for one cluster setting.
+//! [`CostSimulator`] wraps a bundle with the life-long prediction cache and
+//! estimates the embedding cost of any sharding plan by summing the
+//! predicted max computation, forward communication and backward
+//! communication costs (§3.3) — no ground-truth (GPU) execution involved.
+
+use serde::{Deserialize, Serialize};
+
+use nshard_data::TablePool;
+use nshard_sim::{CommParams, GpuSpec, KernelParams, TableProfile};
+
+use crate::cache::{table_set_key, PredictionCache};
+use crate::collect::{collect_comm_data, collect_compute_data, CollectConfig};
+use crate::comm_model::CommCostModel;
+use crate::compute::ComputeCostModel;
+use crate::features::table_features;
+
+/// Fraction of the combined forward+backward kernel cost attributable to
+/// the forward pass (used to estimate all-to-all start skews at search
+/// time; matches the simulator's default backward/forward ratio).
+const FWD_FRACTION: f64 = 1.0 / 2.45;
+
+/// Training hyperparameters for all three cost models.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainSettings {
+    /// Training epochs (the paper uses 1000; the smooth simulator labels
+    /// converge far faster).
+    pub epochs: usize,
+    /// Mini-batch size (paper: 512).
+    pub batch_size: usize,
+    /// Adam learning rate (paper: 0.001).
+    pub learning_rate: f32,
+}
+
+impl Default for TrainSettings {
+    fn default() -> Self {
+        Self {
+            epochs: 30,
+            batch_size: 128,
+            learning_rate: 1e-3,
+        }
+    }
+}
+
+impl TrainSettings {
+    /// A reduced setting for tests and smoke runs.
+    pub fn smoke() -> Self {
+        Self {
+            epochs: 10,
+            batch_size: 64,
+            learning_rate: 2e-3,
+        }
+    }
+}
+
+/// Quality report of a pre-training run (the numbers behind Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BundleReport {
+    /// Held-out test MSE of the computation cost model (ms²).
+    pub compute_test_mse: f32,
+    /// Held-out test MSE of the forward communication model (ms²).
+    pub fwd_comm_test_mse: f32,
+    /// Held-out test MSE of the backward communication model (ms²).
+    pub bwd_comm_test_mse: f32,
+    /// Number of computation samples collected.
+    pub compute_samples: usize,
+    /// Number of communication samples collected.
+    pub comm_samples: usize,
+}
+
+/// The three pre-trained neural cost models for one cluster setting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostModelBundle {
+    compute: ComputeCostModel,
+    comm_fwd: CommCostModel,
+    comm_bwd: CommCostModel,
+    num_devices: usize,
+    batch_size: u32,
+    report: BundleReport,
+}
+
+impl CostModelBundle {
+    /// Pre-trains a bundle against the default RTX 2080 Ti cluster laws.
+    ///
+    /// This is the reproduction of the paper's middle row of Figure 6:
+    /// generate synthetic inputs, micro-benchmark them, train the three
+    /// models.
+    pub fn pretrain(
+        pool: &TablePool,
+        num_devices: usize,
+        collect: &CollectConfig,
+        train: &TrainSettings,
+        seed: u64,
+    ) -> Self {
+        Self::pretrain_with_spec(pool, num_devices, &GpuSpec::rtx_2080_ti(), collect, train, seed)
+    }
+
+    /// Pre-trains a bundle against an explicit hardware spec (e.g.
+    /// [`GpuSpec::datacenter`] for the production experiments).
+    pub fn pretrain_with_spec(
+        pool: &TablePool,
+        num_devices: usize,
+        spec: &GpuSpec,
+        collect: &CollectConfig,
+        train: &TrainSettings,
+        seed: u64,
+    ) -> Self {
+        Self::pretrain_with_laws(pool, num_devices, spec.kernel(), spec.comm(), collect, train, seed)
+    }
+
+    /// Pre-trains against explicit cost laws.
+    pub fn pretrain_with_laws(
+        pool: &TablePool,
+        num_devices: usize,
+        kernel: &KernelParams,
+        comm: &CommParams,
+        collect: &CollectConfig,
+        train: &TrainSettings,
+        seed: u64,
+    ) -> Self {
+        let compute_data = collect_compute_data(pool, kernel, collect, seed);
+        let comm_data = collect_comm_data(pool, comm, num_devices, collect, seed ^ 0x1234);
+
+        let mut compute = ComputeCostModel::new(seed);
+        let compute_report = compute.train(
+            &compute_data,
+            train.epochs,
+            train.batch_size,
+            train.learning_rate,
+            seed ^ 0x1,
+        );
+
+        let mut comm_fwd = CommCostModel::new(num_devices, seed ^ 0x2);
+        let fwd_report = comm_fwd.train(
+            &comm_data.forward,
+            train.epochs,
+            train.batch_size,
+            train.learning_rate,
+            seed ^ 0x3,
+        );
+        let mut comm_bwd = CommCostModel::new(num_devices, seed ^ 0x4);
+        let bwd_report = comm_bwd.train(
+            &comm_data.backward,
+            train.epochs,
+            train.batch_size,
+            train.learning_rate,
+            seed ^ 0x5,
+        );
+
+        Self {
+            compute,
+            comm_fwd,
+            comm_bwd,
+            num_devices,
+            batch_size: collect.batch_size,
+            report: BundleReport {
+                compute_test_mse: compute_report.test_mse,
+                fwd_comm_test_mse: fwd_report.test_mse,
+                bwd_comm_test_mse: bwd_report.test_mse,
+                compute_samples: collect.compute_samples,
+                comm_samples: collect.comm_samples,
+            },
+        }
+    }
+
+    /// Builds a bundle from already-trained parts (used by tests and custom
+    /// pipelines).
+    pub fn from_parts(
+        compute: ComputeCostModel,
+        comm_fwd: CommCostModel,
+        comm_bwd: CommCostModel,
+        batch_size: u32,
+        report: BundleReport,
+    ) -> Self {
+        let num_devices = comm_fwd.num_devices();
+        assert_eq!(
+            num_devices,
+            comm_bwd.num_devices(),
+            "forward/backward comm models disagree on device count"
+        );
+        Self {
+            compute,
+            comm_fwd,
+            comm_bwd,
+            num_devices,
+            batch_size,
+            report,
+        }
+    }
+
+    /// The computation cost model.
+    pub fn compute_model(&self) -> &ComputeCostModel {
+        &self.compute
+    }
+
+    /// The forward communication cost model.
+    pub fn comm_fwd_model(&self) -> &CommCostModel {
+        &self.comm_fwd
+    }
+
+    /// The backward communication cost model.
+    pub fn comm_bwd_model(&self) -> &CommCostModel {
+        &self.comm_bwd
+    }
+
+    /// Device count this bundle was trained for.
+    pub fn num_devices(&self) -> usize {
+        self.num_devices
+    }
+
+    /// Batch size of the training workload.
+    pub fn batch_size(&self) -> u32 {
+        self.batch_size
+    }
+
+    /// The pre-training quality report (Table 2 numbers).
+    pub fn report(&self) -> &BundleReport {
+        &self.report
+    }
+}
+
+/// Estimated cost breakdown of one sharding plan, per §3.3.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EstimatedCost {
+    /// Predicted fused-kernel cost per device (fwd+bwd), ms.
+    pub compute_per_device: Vec<f64>,
+    /// Max predicted computation cost, ms.
+    pub max_compute_ms: f64,
+    /// Predicted max forward all-to-all cost, ms.
+    pub fwd_comm_ms: f64,
+    /// Predicted max backward all-to-all cost, ms.
+    pub bwd_comm_ms: f64,
+}
+
+impl EstimatedCost {
+    /// The plan's estimated embedding cost: max computation + forward comm
+    /// + backward comm (the objective `f(c, t)` of Equation 1).
+    pub fn total_ms(&self) -> f64 {
+        self.max_compute_ms + self.fwd_comm_ms + self.bwd_comm_ms
+    }
+}
+
+/// A sharding simulator: pre-trained bundle + life-long prediction cache.
+///
+/// # Example
+///
+/// ```no_run
+/// use nshard_cost::{CollectConfig, CostModelBundle, CostSimulator, TrainSettings};
+/// use nshard_data::TablePool;
+/// use nshard_sim::TableProfile;
+///
+/// let pool = TablePool::synthetic_dlrm(856, 0);
+/// let bundle = CostModelBundle::pretrain(
+///     &pool, 2, &CollectConfig::smoke(), &TrainSettings::smoke(), 0,
+/// );
+/// let sim = CostSimulator::new(bundle);
+/// let t = TableProfile::new(64, 1 << 20, 12.0, 0.3, 1.0);
+/// let est = sim.estimate_plan(&[vec![t], vec![t]]);
+/// println!("estimated cost {:.2} ms", est.total_ms());
+/// ```
+#[derive(Debug)]
+pub struct CostSimulator {
+    bundle: CostModelBundle,
+    cache: PredictionCache,
+    cache_enabled: bool,
+}
+
+impl CostSimulator {
+    /// Wraps a bundle with a fresh cache.
+    pub fn new(bundle: CostModelBundle) -> Self {
+        Self {
+            bundle,
+            cache: PredictionCache::new(),
+            cache_enabled: true,
+        }
+    }
+
+    /// Disables the prediction cache (the "w/o caching" ablation of
+    /// Table 3).
+    pub fn with_cache_disabled(mut self) -> Self {
+        self.cache_enabled = false;
+        self
+    }
+
+    /// The underlying bundle.
+    pub fn bundle(&self) -> &CostModelBundle {
+        &self.bundle
+    }
+
+    /// The prediction cache (for hit-rate reporting).
+    pub fn cache(&self) -> &PredictionCache {
+        &self.cache
+    }
+
+    /// Predicted fused-kernel cost (fwd+bwd, ms) of one device's table set,
+    /// memoized in the life-long cache.
+    pub fn device_compute_cost(&self, tables: &[TableProfile]) -> f64 {
+        let predict = || {
+            let feats: Vec<Vec<f32>> = tables
+                .iter()
+                .map(|t| table_features(t, self.bundle.batch_size))
+                .collect();
+            self.bundle.compute.predict(&feats)
+        };
+        if self.cache_enabled {
+            self.cache.get_or_insert_with(table_set_key(tables), predict)
+        } else {
+            // Still count lookups so ablation hit rates read 0%.
+            self.cache.count_miss();
+            predict()
+        }
+    }
+
+    /// Predicted cost (fwd+bwd, ms) of a single table alone on a device —
+    /// used by the search to rank candidate tables.
+    pub fn single_table_cost(&self, table: &TableProfile) -> f64 {
+        self.device_compute_cost(std::slice::from_ref(table))
+    }
+
+    /// Estimates the full embedding cost of a plan (Equation 1's
+    /// `f(c, t)`): predicted per-device computation, plus predicted max
+    /// forward/backward communication with start skews derived from the
+    /// computation estimates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment.len()` differs from the bundle's device count.
+    pub fn estimate_plan(&self, assignment: &[Vec<TableProfile>]) -> EstimatedCost {
+        assert_eq!(
+            assignment.len(),
+            self.bundle.num_devices,
+            "plan device count does not match the bundle"
+        );
+        let compute: Vec<f64> = assignment
+            .iter()
+            .map(|tables| self.device_compute_cost(tables))
+            .collect();
+        let max_compute = compute.iter().cloned().fold(0.0, f64::max);
+        let dims: Vec<f64> = assignment
+            .iter()
+            .map(|tables| tables.iter().map(|t| f64::from(t.dim())).sum())
+            .collect();
+        // Forward comm starts when each device's forward kernel ends.
+        let fwd_starts: Vec<f64> = compute.iter().map(|c| c * FWD_FRACTION).collect();
+        let fwd = self
+            .bundle
+            .comm_fwd
+            .predict(&dims, &fwd_starts, self.bundle.batch_size);
+        let bwd_starts = vec![0.0; dims.len()];
+        let bwd = self
+            .bundle
+            .comm_bwd
+            .predict(&dims, &bwd_starts, self.bundle.batch_size);
+        EstimatedCost {
+            compute_per_device: compute,
+            max_compute_ms: max_compute,
+            fwd_comm_ms: fwd.max(0.0),
+            bwd_comm_ms: bwd.max(0.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nshard_data::TablePool;
+
+    fn quick_bundle(d: usize) -> CostModelBundle {
+        let pool = TablePool::synthetic_dlrm(40, 1);
+        CostModelBundle::pretrain(&pool, d, &CollectConfig::smoke(), &TrainSettings::smoke(), 3)
+    }
+
+    fn t(dim: u32) -> TableProfile {
+        TableProfile::new(dim, 1 << 20, 12.0, 0.3, 1.0)
+    }
+
+    #[test]
+    fn pretrain_produces_finite_report() {
+        let bundle = quick_bundle(2);
+        let r = bundle.report();
+        assert!(r.compute_test_mse.is_finite());
+        assert!(r.fwd_comm_test_mse.is_finite());
+        assert!(r.bwd_comm_test_mse.is_finite());
+        assert_eq!(bundle.num_devices(), 2);
+    }
+
+    #[test]
+    fn estimate_plan_shape_and_cache() {
+        let sim = CostSimulator::new(quick_bundle(2));
+        let plan = vec![vec![t(64), t(32)], vec![t(16)]];
+        let est = sim.estimate_plan(&plan);
+        assert_eq!(est.compute_per_device.len(), 2);
+        assert!(est.total_ms().is_finite());
+        assert_eq!(sim.cache().misses(), 2);
+        // Second estimate hits the cache for both devices.
+        let _ = sim.estimate_plan(&plan);
+        assert_eq!(sim.cache().hits(), 2);
+    }
+
+    #[test]
+    fn disabled_cache_never_hits() {
+        let sim = CostSimulator::new(quick_bundle(2)).with_cache_disabled();
+        let plan = vec![vec![t(64)], vec![t(16)]];
+        let _ = sim.estimate_plan(&plan);
+        let _ = sim.estimate_plan(&plan);
+        assert_eq!(sim.cache().hits(), 0);
+        assert_eq!(sim.cache().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn total_is_sum_of_parts() {
+        let sim = CostSimulator::new(quick_bundle(2));
+        let est = sim.estimate_plan(&[vec![t(64)], vec![t(8)]]);
+        let by_hand = est.max_compute_ms + est.fwd_comm_ms + est.bwd_comm_ms;
+        assert!((est.total_ms() - by_hand).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match the bundle")]
+    fn wrong_plan_width_panics() {
+        let sim = CostSimulator::new(quick_bundle(2));
+        let _ = sim.estimate_plan(&[vec![t(8)]]);
+    }
+
+    #[test]
+    fn bundle_serde_round_trip() {
+        let bundle = quick_bundle(2);
+        let json = serde_json::to_string(&bundle).unwrap();
+        let back: CostModelBundle = serde_json::from_str(&json).unwrap();
+        assert_eq!(bundle, back);
+    }
+}

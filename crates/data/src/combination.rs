@@ -1,0 +1,163 @@
+//! Random table combination generation (Algorithm 4 of the paper).
+//!
+//! Table combinations are the inputs to the **computation** cost
+//! micro-benchmark: each combination is a set of tables co-located on one
+//! GPU whose fused-kernel cost gets measured. Good coverage over the number
+//! of tables per combination is what makes the pre-trained computation cost
+//! model "once-for-all" (§3.1).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::pool::TablePool;
+use crate::table::TableConfig;
+
+/// One table combination: a multiset of tables co-located on one device.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TableCombination {
+    /// The tables in the combination.
+    pub tables: Vec<TableConfig>,
+}
+
+impl TableCombination {
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Whether the combination is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Lowers the combination to simulator profiles.
+    pub fn profiles(&self, batch_size: u32) -> Vec<nshard_sim::TableProfile> {
+        self.tables.iter().map(|t| t.profile(batch_size)).collect()
+    }
+}
+
+/// Generates random table combinations from an (augmented) pool.
+///
+/// Implements Algorithm 4: for each combination, draw the table count `T`
+/// uniformly from `[t_min, t_max]`, then draw `T` tables from the pool.
+///
+/// # Example
+///
+/// ```
+/// use nshard_data::{augment_pool, CombinationGenerator, TablePool, PAPER_DIMS};
+///
+/// let pool = augment_pool(&TablePool::synthetic_dlrm(50, 1), &PAPER_DIMS);
+/// let generator = CombinationGenerator::new(pool, 1, 15);
+/// let combos = generator.generate(100, 42);
+/// assert_eq!(combos.len(), 100);
+/// assert!(combos.iter().all(|c| (1..=15).contains(&c.len())));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CombinationGenerator {
+    pool: TablePool,
+    t_min: usize,
+    t_max: usize,
+}
+
+impl CombinationGenerator {
+    /// Creates a generator drawing between `t_min` and `t_max` tables
+    /// (inclusive) per combination.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool is empty, `t_min == 0`, or `t_min > t_max`.
+    pub fn new(pool: TablePool, t_min: usize, t_max: usize) -> Self {
+        assert!(!pool.is_empty(), "combination generator needs a non-empty pool");
+        assert!(t_min > 0, "t_min must be at least 1");
+        assert!(t_min <= t_max, "t_min must not exceed t_max");
+        Self { pool, t_min, t_max }
+    }
+
+    /// The augmented pool this generator draws from.
+    pub fn pool(&self) -> &TablePool {
+        &self.pool
+    }
+
+    /// Generates `count` combinations, seeded.
+    pub fn generate(&self, count: usize, seed: u64) -> Vec<TableCombination> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..count).map(|_| self.generate_one(&mut rng)).collect()
+    }
+
+    /// Generates a single combination using the supplied RNG.
+    pub fn generate_one(&self, rng: &mut StdRng) -> TableCombination {
+        let t = rng.random_range(self.t_min..=self.t_max);
+        TableCombination {
+            tables: self.pool.sample_tables(t, rng),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::augment::augment_pool;
+    use crate::PAPER_DIMS;
+
+    fn generator() -> CombinationGenerator {
+        let pool = augment_pool(&TablePool::synthetic_dlrm(40, 3), &PAPER_DIMS);
+        CombinationGenerator::new(pool, 1, 15)
+    }
+
+    #[test]
+    fn respects_count_range() {
+        let combos = generator().generate(200, 1);
+        assert_eq!(combos.len(), 200);
+        for c in &combos {
+            assert!((1..=15).contains(&c.len()));
+        }
+        // Coverage: both small and large combinations should appear.
+        assert!(combos.iter().any(|c| c.len() <= 3));
+        assert!(combos.iter().any(|c| c.len() >= 12));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = generator();
+        assert_eq!(g.generate(10, 5), g.generate(10, 5));
+        assert_ne!(g.generate(10, 5), g.generate(10, 6));
+    }
+
+    #[test]
+    fn profiles_match_tables() {
+        let combos = generator().generate(5, 2);
+        for c in &combos {
+            let profiles = c.profiles(65_536);
+            assert_eq!(profiles.len(), c.len());
+            for (p, t) in profiles.iter().zip(&c.tables) {
+                assert_eq!(p.dim(), t.dim());
+            }
+        }
+    }
+
+    #[test]
+    fn covers_varied_dimensions() {
+        let combos = generator().generate(300, 9);
+        let mut seen: Vec<u32> = combos
+            .iter()
+            .flat_map(|c| c.tables.iter().map(|t| t.dim()))
+            .collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen, PAPER_DIMS.to_vec());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty pool")]
+    fn empty_pool_panics() {
+        let _ = CombinationGenerator::new(TablePool::default(), 1, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "t_min must not exceed")]
+    fn inverted_range_panics() {
+        let pool = TablePool::synthetic_dlrm(5, 1);
+        let _ = CombinationGenerator::new(pool, 10, 5);
+    }
+}

@@ -1,0 +1,309 @@
+//! The synthetic table pool — stand-in for Meta's benchmark dataset.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Gamma, LogNormal, Normal};
+use serde::{Deserialize, Serialize};
+
+use crate::table::{TableConfig, TableId};
+
+/// A pool of embedding tables to draw sharding tasks from.
+///
+/// The paper's benchmark pool (`dlrm_datasets`) has 856 tables with
+/// production-like heavy-tailed hash sizes and an average pooling factor of
+/// ≈ 15 (Table 6). [`TablePool::synthetic_dlrm`] reproduces that shape with
+/// seeded log-normal / gamma samplers, with row counts rescaled against the
+/// 4 GB-per-GPU benchmark budget (see the method docs and DESIGN.md).
+///
+/// Tables in the pool have a *native* dimension of 64; benchmark tasks
+/// re-sample dimensions from `{4, ..., max_dim}` per the paper's protocol,
+/// and table augmentation (Algorithm 3) expands the pool across a dimension
+/// set.
+///
+/// # Example
+///
+/// ```
+/// use nshard_data::TablePool;
+///
+/// let pool = TablePool::synthetic_dlrm(856, 2023);
+/// let stats = pool.stats();
+/// // Heavy-tailed rows, production-like pooling factors.
+/// assert!(stats.max_hash_size > 20 * stats.avg_hash_size as u64);
+/// assert!(stats.avg_pooling_factor > 10.0 && stats.avg_pooling_factor < 20.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TablePool {
+    tables: Vec<TableConfig>,
+}
+
+/// Summary statistics of a pool, for the dataset-comparison table (Table 6).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PoolStats {
+    /// Number of tables.
+    pub num_tables: usize,
+    /// Mean hash size (rows).
+    pub avg_hash_size: f64,
+    /// Largest hash size.
+    pub max_hash_size: u64,
+    /// Mean pooling factor.
+    pub avg_pooling_factor: f64,
+    /// Largest pooling factor.
+    pub max_pooling_factor: f64,
+    /// Total fp32 bytes at native dimensions.
+    pub total_bytes: u64,
+}
+
+impl TablePool {
+    /// Builds a pool from explicit tables.
+    pub fn from_tables(tables: Vec<TableConfig>) -> Self {
+        Self { tables }
+    }
+
+    /// Generates a DLRM-like pool of `n` tables with heavy-tailed
+    /// log-normal hash sizes and gamma pooling factors.
+    ///
+    /// The row counts are scaled so that the Table 5 benchmark grid
+    /// stresses the 4 GB-per-GPU budget the way the paper's does: average
+    /// tasks use well under half the aggregate memory, the tail produces
+    /// tables that *must* be column-wise split at large dimensions, and
+    /// splitters can always succeed. (The published dataset's raw average
+    /// of 4.1 M rows per table does not reconcile with a 4 GB × 4 GPU
+    /// fp32 budget at dimension 128; see DESIGN.md for the substitution
+    /// note.)
+    pub fn synthetic_dlrm(n: usize, seed: u64) -> Self {
+        // Median 100 K rows with a heavy sigma = 2.2 tail (mean ≈ 1.1 M),
+        // capped at 16 M rows: the largest dim-128 fp32 table is 8 GB —
+        // twice the per-GPU budget, so it *must* be column-wise split —
+        // while a typical task stays well inside the aggregate capacity.
+        let sigma = 2.2;
+        let mu = (1.0e5f64).ln();
+        Self::generate(n, seed, mu, sigma, 16_000_000, 1.2, 12.5, 1.05, 0.12)
+    }
+
+    /// Generates a "production-scale" pool: an ultra-large DLRM with
+    /// multi-terabyte embedding memory (Table 4's model has nearly a
+    /// thousand tables sharded onto 128 GPUs).
+    pub fn synthetic_production(n: usize, seed: u64) -> Self {
+        // Median 2 M rows, sigma 1.8 (mean ≈ 10 M), capped at 32 M: a
+        // thousand tables is multi-terabyte (Table 4), and the biggest
+        // dim-128 table is 16 GB — half a datacenter-GPU budget, forcing
+        // column-wise sharding in production while leaving the headroom
+        // the paper's cluster evidently had (its baselines run on top of
+        // NeuroShard's column plan without further failures).
+        let sigma = 1.8;
+        let mu = (2.0e6f64).ln();
+        Self::generate(n, seed, mu, sigma, 32_000_000, 1.4, 14.0, 1.10, 0.15)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn generate(
+        n: usize,
+        seed: u64,
+        hash_mu: f64,
+        hash_sigma: f64,
+        hash_max: u64,
+        pf_shape: f64,
+        pf_scale: f64,
+        alpha_mean: f64,
+        alpha_sd: f64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let hash_min = 2_000u64;
+        let hash_dist = LogNormal::new(hash_mu, hash_sigma).expect("valid log-normal");
+        let pf_dist = Gamma::new(pf_shape, pf_scale).expect("valid gamma");
+        let alpha_dist = Normal::new(alpha_mean, alpha_sd).expect("valid normal");
+        let tables = (0..n)
+            .map(|i| {
+                let hash_size = (hash_dist.sample(&mut rng) as u64).clamp(hash_min, hash_max);
+                let pf = pf_dist.sample(&mut rng).clamp(1.0, 200.0);
+                let alpha = alpha_dist.sample(&mut rng).clamp(0.6, 1.6);
+                TableConfig::new(TableId(i as u32), 64, hash_size, pf, alpha)
+            })
+            .collect();
+        Self { tables }
+    }
+
+    /// Number of tables in the pool.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// The tables.
+    pub fn tables(&self) -> &[TableConfig] {
+        &self.tables
+    }
+
+    /// Returns the table at `index`, if any.
+    pub fn get(&self, index: usize) -> Option<&TableConfig> {
+        self.tables.get(index)
+    }
+
+    /// Iterates over the tables.
+    pub fn iter(&self) -> std::slice::Iter<'_, TableConfig> {
+        self.tables.iter()
+    }
+
+    /// Draws `count` distinct random tables from the pool (without
+    /// replacement if possible, with replacement when `count > len`).
+    pub fn sample_tables(&self, count: usize, rng: &mut StdRng) -> Vec<TableConfig> {
+        assert!(!self.tables.is_empty(), "cannot sample from an empty pool");
+        if count <= self.tables.len() {
+            // Partial Fisher-Yates over an index vector.
+            let mut idx: Vec<usize> = (0..self.tables.len()).collect();
+            for i in 0..count {
+                let j = rng.random_range(i..idx.len());
+                idx.swap(i, j);
+            }
+            idx[..count].iter().map(|&i| self.tables[i]).collect()
+        } else {
+            (0..count)
+                .map(|_| self.tables[rng.random_range(0..self.tables.len())])
+                .collect()
+        }
+    }
+
+    /// Summary statistics (Table 6 row).
+    pub fn stats(&self) -> PoolStats {
+        let n = self.tables.len().max(1) as f64;
+        PoolStats {
+            num_tables: self.tables.len(),
+            avg_hash_size: self.tables.iter().map(|t| t.hash_size() as f64).sum::<f64>() / n,
+            max_hash_size: self.tables.iter().map(TableConfig::hash_size).max().unwrap_or(0),
+            avg_pooling_factor: self.tables.iter().map(TableConfig::pooling_factor).sum::<f64>()
+                / n,
+            max_pooling_factor: self
+                .tables
+                .iter()
+                .map(TableConfig::pooling_factor)
+                .fold(0.0, f64::max),
+            total_bytes: self.tables.iter().map(TableConfig::memory_bytes).sum(),
+        }
+    }
+}
+
+impl FromIterator<TableConfig> for TablePool {
+    fn from_iter<I: IntoIterator<Item = TableConfig>>(iter: I) -> Self {
+        Self {
+            tables: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a TablePool {
+    type Item = &'a TableConfig;
+    type IntoIter = std::slice::Iter<'a, TableConfig>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.tables.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn dlrm_pool_matches_published_stats() {
+        let pool = TablePool::synthetic_dlrm(856, 42);
+        let stats = pool.stats();
+        assert_eq!(stats.num_tables, 856);
+        // Scaled dataset: mean row count in the hundreds of thousands with
+        // a heavy tail (see doc comment for why the published 4.1 M mean is
+        // rescaled against the 4 GB budget).
+        assert!(
+            stats.avg_hash_size > 3.0e5 && stats.avg_hash_size < 3.0e6,
+            "avg hash size {}",
+            stats.avg_hash_size
+        );
+        assert!(stats.max_hash_size <= 16_000_000);
+        // Table 6: avg pooling factor 15.
+        assert!(
+            stats.avg_pooling_factor > 10.0 && stats.avg_pooling_factor < 20.0,
+            "avg pooling {}",
+            stats.avg_pooling_factor
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(TablePool::synthetic_dlrm(50, 7), TablePool::synthetic_dlrm(50, 7));
+        assert_ne!(TablePool::synthetic_dlrm(50, 7), TablePool::synthetic_dlrm(50, 8));
+    }
+
+    #[test]
+    fn production_pool_is_larger() {
+        let dlrm = TablePool::synthetic_dlrm(300, 1).stats();
+        let prod = TablePool::synthetic_production(300, 1).stats();
+        assert!(prod.avg_hash_size > dlrm.avg_hash_size);
+    }
+
+    #[test]
+    fn production_pool_is_multi_terabyte_at_scale() {
+        // Table 4's model: ~1000 tables, multi-TB memory once dims are
+        // assigned. At a native dim of 64 the raw pool should already be
+        // on the order of terabytes.
+        let prod = TablePool::synthetic_production(1000, 3).stats();
+        assert!(
+            prod.total_bytes > 1_000_000_000_000,
+            "total {} bytes",
+            prod.total_bytes
+        );
+        // ...but bounded: the 128 x 32 GB cluster must be able to hold it.
+        assert!(prod.total_bytes < 4_000_000_000_000u64);
+    }
+
+    #[test]
+    fn sample_without_replacement_is_distinct() {
+        let pool = TablePool::synthetic_dlrm(100, 9);
+        let mut rng = StdRng::seed_from_u64(1);
+        let sample = pool.sample_tables(40, &mut rng);
+        let mut ids: Vec<u32> = sample.iter().map(|t| t.id().0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 40);
+    }
+
+    #[test]
+    fn sample_with_replacement_when_oversized() {
+        let pool = TablePool::synthetic_dlrm(5, 9);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(pool.sample_tables(20, &mut rng).len(), 20);
+    }
+
+    #[test]
+    fn collect_and_iterate() {
+        let pool: TablePool = TablePool::synthetic_dlrm(10, 2).iter().copied().collect();
+        assert_eq!(pool.len(), 10);
+        assert_eq!((&pool).into_iter().count(), 10);
+        assert!(pool.get(3).is_some());
+        assert!(pool.get(99).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty pool")]
+    fn sampling_empty_pool_panics() {
+        let pool = TablePool::default();
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = pool.sample_tables(1, &mut rng);
+    }
+
+    proptest! {
+        #[test]
+        fn all_tables_have_sane_fields(seed: u64) {
+            let pool = TablePool::synthetic_dlrm(30, seed);
+            for t in &pool {
+                prop_assert!(t.hash_size() >= 2_000);
+                prop_assert!(t.hash_size() <= 16_000_000);
+                prop_assert!(t.pooling_factor() >= 1.0);
+                prop_assert!(t.zipf_alpha() >= 0.6 && t.zipf_alpha() <= 1.6);
+                prop_assert_eq!(t.dim(), 64);
+            }
+        }
+    }
+}

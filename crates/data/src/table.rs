@@ -1,0 +1,271 @@
+//! Embedding table configuration: the dataset-level table description.
+
+use serde::{Deserialize, Serialize};
+
+use nshard_sim::TableProfile;
+
+use crate::indices::{expected_distinct_fraction, IndexGenerator};
+
+/// Identifier of a table within a pool or a sharding task.
+///
+/// Column-wise shards of the same logical table share the `TableId` of the
+/// original table, so plans remain traceable back to the dataset.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct TableId(pub u32);
+
+impl std::fmt::Display for TableId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "table#{}", self.0)
+    }
+}
+
+/// Full configuration of one embedding table in a sharding task.
+///
+/// Unlike the simulator's [`TableProfile`] (pure numbers), a `TableConfig`
+/// carries the dataset identity and the generative description of its index
+/// distribution, and can produce lookup-index streams for micro-benchmarks.
+///
+/// # Example
+///
+/// ```
+/// use nshard_data::{TableConfig, TableId};
+///
+/// let table = TableConfig::new(TableId(3), 64, 1 << 22, 18.0, 1.1);
+/// assert_eq!(table.dim(), 64);
+/// let profile = table.profile(65_536);
+/// assert_eq!(profile.dim(), 64);
+/// assert!(profile.unique_frac() > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TableConfig {
+    id: TableId,
+    dim: u32,
+    hash_size: u64,
+    pooling_factor: f64,
+    zipf_alpha: f64,
+}
+
+impl TableConfig {
+    /// Creates a table configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0` or `hash_size == 0` or `pooling_factor <= 0`.
+    pub fn new(id: TableId, dim: u32, hash_size: u64, pooling_factor: f64, zipf_alpha: f64) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert!(hash_size > 0, "hash size must be positive");
+        assert!(
+            pooling_factor.is_finite() && pooling_factor > 0.0,
+            "pooling factor must be positive"
+        );
+        Self {
+            id,
+            dim,
+            hash_size,
+            pooling_factor,
+            zipf_alpha: zipf_alpha.max(0.0),
+        }
+    }
+
+    /// The table's identity within its pool.
+    pub fn id(&self) -> TableId {
+        self.id
+    }
+
+    /// Embedding dimension (columns).
+    pub fn dim(&self) -> u32 {
+        self.dim
+    }
+
+    /// Number of rows.
+    pub fn hash_size(&self) -> u64 {
+        self.hash_size
+    }
+
+    /// Mean pooling factor.
+    pub fn pooling_factor(&self) -> f64 {
+        self.pooling_factor
+    }
+
+    /// Zipf exponent of the index access distribution.
+    pub fn zipf_alpha(&self) -> f64 {
+        self.zipf_alpha
+    }
+
+    /// Returns a copy with a different dimension (used by table augmentation
+    /// and dimension sampling; Algorithm 3).
+    pub fn with_dim(mut self, dim: u32) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        self.dim = dim;
+        self
+    }
+
+    /// Bytes of fp32 storage at the current dimension.
+    pub fn memory_bytes(&self) -> u64 {
+        self.hash_size * u64::from(self.dim) * 4
+    }
+
+    /// Lowers this table to the simulator profile for a given batch size.
+    ///
+    /// The batch-dependent unique-index fraction is derived analytically
+    /// from the Zipf law, matching what one would measure from the raw
+    /// benchmark indices.
+    pub fn profile(&self, batch_size: u32) -> TableProfile {
+        let lookups = f64::from(batch_size) * self.pooling_factor;
+        let unique = expected_distinct_fraction(self.hash_size, self.zipf_alpha, lookups);
+        TableProfile::new(
+            self.dim,
+            self.hash_size,
+            self.pooling_factor,
+            unique,
+            self.zipf_alpha,
+        )
+    }
+
+    /// An index generator producing this table's lookup streams.
+    pub fn index_generator(&self) -> IndexGenerator {
+        IndexGenerator::new(self.hash_size, self.zipf_alpha)
+    }
+
+    /// Returns the two column-wise halves of this table (both keep the
+    /// original [`TableId`]); `None` if the halved dimension would violate
+    /// the kernel lane constraint.
+    pub fn split_columns(&self) -> Option<(TableConfig, TableConfig)> {
+        // Delegate legality to the simulator's profile rules.
+        let half = self.dim / 2;
+        if half == 0 || !half.is_multiple_of(nshard_sim::profile::DIM_LANE) {
+            return None;
+        }
+        let a = self.with_dim(half);
+        Some((a, a))
+    }
+
+    /// Returns the two row-wise halves of this table (the paper's stated
+    /// future-work extension): each half keeps the full dimension but holds
+    /// half the rows, and — because lookups hash across rows — receives
+    /// roughly half the pooling workload.
+    ///
+    /// Returns `None` when the table is too small to split (fewer than
+    /// [`MIN_ROW_SHARD`] rows per half, or a pooling factor that would drop
+    /// below one index per lookup).
+    pub fn split_rows(&self) -> Option<(TableConfig, TableConfig)> {
+        let half_rows = self.hash_size / 2;
+        if half_rows < MIN_ROW_SHARD || self.pooling_factor < 2.0 {
+            return None;
+        }
+        let mut a = *self;
+        a.hash_size = half_rows;
+        a.pooling_factor = self.pooling_factor / 2.0;
+        let mut b = a;
+        b.hash_size = self.hash_size - half_rows;
+        Some((a, b))
+    }
+}
+
+/// Minimum rows per row-wise shard: splitting below this is pointless (the
+/// shard caches entirely) and would distort the cost model's feature range.
+pub const MIN_ROW_SHARD: u64 = 1_000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn table() -> TableConfig {
+        TableConfig::new(TableId(7), 64, 1 << 22, 15.0, 1.1)
+    }
+
+    #[test]
+    fn accessors_round_trip() {
+        let t = table();
+        assert_eq!(t.id(), TableId(7));
+        assert_eq!(t.dim(), 64);
+        assert_eq!(t.hash_size(), 1 << 22);
+        assert_eq!(t.pooling_factor(), 15.0);
+        assert_eq!(t.zipf_alpha(), 1.1);
+    }
+
+    #[test]
+    fn with_dim_changes_only_dim() {
+        let t = table().with_dim(8);
+        assert_eq!(t.dim(), 8);
+        assert_eq!(t.id(), TableId(7));
+        assert_eq!(t.hash_size(), 1 << 22);
+    }
+
+    #[test]
+    fn profile_unique_frac_reflects_skew() {
+        let flat = TableConfig::new(TableId(0), 64, 1 << 24, 15.0, 0.0);
+        let skew = TableConfig::new(TableId(0), 64, 1 << 24, 15.0, 1.5);
+        assert!(skew.profile(65_536).unique_frac() < flat.profile(65_536).unique_frac());
+    }
+
+    #[test]
+    fn split_keeps_id_and_memory() {
+        let t = table();
+        let (a, b) = t.split_columns().unwrap();
+        assert_eq!(a.id(), t.id());
+        assert_eq!(b.id(), t.id());
+        assert_eq!(a.memory_bytes() + b.memory_bytes(), t.memory_bytes());
+    }
+
+    #[test]
+    fn split_respects_lane_constraint() {
+        assert!(table().with_dim(4).split_columns().is_none());
+        assert!(table().with_dim(8).split_columns().is_some());
+    }
+
+    #[test]
+    fn row_split_halves_rows_and_pooling() {
+        let t = table();
+        let (a, b) = t.split_rows().unwrap();
+        assert_eq!(a.hash_size() + b.hash_size(), t.hash_size());
+        assert_eq!(a.dim(), t.dim());
+        assert!((a.pooling_factor() - t.pooling_factor() / 2.0).abs() < 1e-12);
+        assert_eq!(a.memory_bytes() + b.memory_bytes(), t.memory_bytes());
+    }
+
+    #[test]
+    fn row_split_rejects_tiny_tables() {
+        let tiny = TableConfig::new(TableId(0), 4, 1500, 8.0, 1.0);
+        assert!(tiny.split_rows().is_none()); // halves below MIN_ROW_SHARD
+        let low_pf = TableConfig::new(TableId(0), 4, 1 << 20, 1.5, 1.0);
+        assert!(low_pf.split_rows().is_none());
+    }
+
+    #[test]
+    fn row_split_handles_unsplittable_dims() {
+        // The motivating case: dim-4 (column-unsplittable) but huge rows.
+        let tall = TableConfig::new(TableId(0), 4, 1 << 28, 8.0, 1.0);
+        assert!(tall.split_columns().is_none());
+        assert!(tall.split_rows().is_some());
+    }
+
+    #[test]
+    fn display_of_table_id() {
+        assert_eq!(TableId(12).to_string(), "table#12");
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension must be positive")]
+    fn zero_dim_panics() {
+        let _ = TableConfig::new(TableId(0), 0, 10, 1.0, 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn profile_is_always_valid(
+            dim_pow in 2u32..8,
+            rows_pow in 8u32..28,
+            pf in 0.5f64..128.0,
+            alpha in 0.0f64..2.5,
+        ) {
+            let t = TableConfig::new(TableId(1), 1 << dim_pow, 1u64 << rows_pow, pf, alpha);
+            let p = t.profile(65_536);
+            prop_assert!(p.unique_frac() > 0.0 && p.unique_frac() <= 1.0);
+            prop_assert_eq!(p.dim(), t.dim());
+        }
+    }
+}

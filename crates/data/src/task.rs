@@ -1,0 +1,331 @@
+//! Sharding-task generation (the evaluation grid of Table 5).
+//!
+//! A *sharding task* is the unit of evaluation in the paper: a set of tables
+//! with sampled dimensions, a device count and a per-device memory budget.
+//! For every `(num_gpus, max_dim)` pair the paper samples 100 random tasks
+//! and reports the mean real embedding cost of each algorithm's plans.
+
+use std::ops::RangeInclusive;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use nshard_sim::TableProfile;
+
+use crate::pool::TablePool;
+use crate::table::TableConfig;
+
+/// One embedding-table sharding task.
+///
+/// # Example
+///
+/// ```
+/// use nshard_data::{ShardingTask, TablePool};
+///
+/// let pool = TablePool::synthetic_dlrm(856, 2023);
+/// let task = ShardingTask::sample(&pool, 4, 10..=60, 128, 0);
+/// assert_eq!(task.num_devices(), 4);
+/// assert!(task.tables().iter().all(|t| t.dim() <= 128));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardingTask {
+    tables: Vec<TableConfig>,
+    num_devices: usize,
+    mem_budget_bytes: u64,
+    batch_size: u32,
+}
+
+impl ShardingTask {
+    /// Builds a task from explicit parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_devices == 0` or `tables` is empty.
+    pub fn new(
+        tables: Vec<TableConfig>,
+        num_devices: usize,
+        mem_budget_bytes: u64,
+        batch_size: u32,
+    ) -> Self {
+        assert!(num_devices > 0, "a task needs at least one device");
+        assert!(!tables.is_empty(), "a task needs at least one table");
+        Self {
+            tables,
+            num_devices,
+            mem_budget_bytes,
+            batch_size,
+        }
+    }
+
+    /// Samples a task per the paper's protocol: draw the table count `T`
+    /// uniformly from `t_range`, draw `T` tables from the pool, and assign
+    /// each a dimension uniformly from `{4, 8, ..., max_dim}` (powers of
+    /// two). Uses the paper's defaults of a 4 GB budget and batch 65 536.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_dim < 4` or `max_dim` is not a power of two.
+    pub fn sample(
+        pool: &TablePool,
+        num_devices: usize,
+        t_range: RangeInclusive<usize>,
+        max_dim: u32,
+        seed: u64,
+    ) -> Self {
+        assert!(max_dim >= 4 && max_dim.is_power_of_two(), "max_dim must be a power of two >= 4");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = rng.random_range(t_range);
+        let dims: Vec<u32> = (2..=max_dim.ilog2()).map(|j| 1 << j).collect();
+        let tables = pool
+            .sample_tables(t, &mut rng)
+            .into_iter()
+            .map(|table| table.with_dim(dims[rng.random_range(0..dims.len())]))
+            .collect();
+        Self::new(
+            tables,
+            num_devices,
+            nshard_sim::DEFAULT_MEM_BYTES,
+            nshard_sim::DEFAULT_BATCH_SIZE,
+        )
+    }
+
+    /// The task's tables.
+    pub fn tables(&self) -> &[TableConfig] {
+        &self.tables
+    }
+
+    /// Number of tables.
+    pub fn num_tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Number of GPU devices.
+    pub fn num_devices(&self) -> usize {
+        self.num_devices
+    }
+
+    /// Per-device embedding memory budget in bytes.
+    pub fn mem_budget_bytes(&self) -> u64 {
+        self.mem_budget_bytes
+    }
+
+    /// Training batch size.
+    pub fn batch_size(&self) -> u32 {
+        self.batch_size
+    }
+
+    /// Returns a copy with a different memory budget (builder-style).
+    pub fn with_mem_budget(mut self, bytes: u64) -> Self {
+        self.mem_budget_bytes = bytes;
+        self
+    }
+
+    /// Returns a copy with a different batch size (builder-style).
+    pub fn with_batch_size(mut self, batch: u32) -> Self {
+        self.batch_size = batch;
+        self
+    }
+
+    /// Lowers all tables to simulator profiles at the task's batch size.
+    pub fn profiles(&self) -> Vec<TableProfile> {
+        self.tables
+            .iter()
+            .map(|t| t.profile(self.batch_size))
+            .collect()
+    }
+
+    /// Total fp32 bytes across all tables.
+    pub fn total_bytes(&self) -> u64 {
+        self.tables.iter().map(TableConfig::memory_bytes).sum()
+    }
+
+    /// Whether the task can possibly fit: total bytes vs. aggregate budget.
+    /// (A `true` here does not guarantee a feasible plan exists, but a
+    /// `false` guarantees it does not without column-wise sharding of
+    /// oversized tables.)
+    pub fn aggregate_memory_feasible(&self) -> bool {
+        self.total_bytes() <= self.mem_budget_bytes * self.num_devices as u64
+    }
+}
+
+/// The paper's evaluation grid (Table 5): `(num_gpus, table-count range,
+/// max dimension)` triples, all with a 4 GB per-GPU budget.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TaskGrid {
+    cells: Vec<GridCell>,
+}
+
+/// One cell of the evaluation grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridCell {
+    /// Number of GPUs for tasks in this cell.
+    pub num_devices: usize,
+    /// Minimum number of tables per task.
+    pub t_min: usize,
+    /// Maximum number of tables per task.
+    pub t_max: usize,
+    /// Maximum table dimension (`2^j`).
+    pub max_dim: u32,
+}
+
+impl TaskGrid {
+    /// The full 12-cell grid of Table 5: 4 GPUs × max dims {4..128} with
+    /// 10–60 tables, and 8 GPUs × max dims {4..128} with 20–120 tables.
+    pub fn paper() -> Self {
+        let mut cells = Vec::new();
+        for (d, t_min, t_max) in [(4usize, 10usize, 60usize), (8, 20, 120)] {
+            for j in 2..=7u32 {
+                cells.push(GridCell {
+                    num_devices: d,
+                    t_min,
+                    t_max,
+                    max_dim: 1 << j,
+                });
+            }
+        }
+        Self { cells }
+    }
+
+    /// A reduced grid for quick experiments (both GPU counts, dims 4..128,
+    /// fewer tables).
+    pub fn smoke() -> Self {
+        Self {
+            cells: vec![
+                GridCell {
+                    num_devices: 2,
+                    t_min: 4,
+                    t_max: 10,
+                    max_dim: 32,
+                },
+                GridCell {
+                    num_devices: 4,
+                    t_min: 10,
+                    t_max: 20,
+                    max_dim: 128,
+                },
+            ],
+        }
+    }
+
+    /// The grid cells.
+    pub fn cells(&self) -> &[GridCell] {
+        &self.cells
+    }
+
+    /// Samples `count` tasks for each cell; `tasks[i]` corresponds to
+    /// `cells()[i]`. Seeds are derived per cell and per task, so the same
+    /// grid + seed reproduces the same task set.
+    pub fn sample_tasks(&self, pool: &TablePool, count: usize, seed: u64) -> Vec<Vec<ShardingTask>> {
+        self.cells
+            .iter()
+            .enumerate()
+            .map(|(c, cell)| {
+                (0..count)
+                    .map(|i| {
+                        ShardingTask::sample(
+                            pool,
+                            cell.num_devices,
+                            cell.t_min..=cell.t_max,
+                            cell.max_dim,
+                            seed ^ ((c as u64) << 32) ^ i as u64,
+                        )
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn pool() -> TablePool {
+        TablePool::synthetic_dlrm(120, 99)
+    }
+
+    #[test]
+    fn sample_respects_ranges() {
+        let task = ShardingTask::sample(&pool(), 4, 10..=60, 128, 5);
+        assert!((10..=60).contains(&task.num_tables()));
+        for t in task.tables() {
+            assert!(t.dim() >= 4 && t.dim() <= 128);
+            assert!(t.dim().is_power_of_two());
+        }
+    }
+
+    #[test]
+    fn sample_is_deterministic() {
+        let a = ShardingTask::sample(&pool(), 4, 10..=60, 64, 5);
+        let b = ShardingTask::sample(&pool(), 4, 10..=60, 64, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn max_dim_4_yields_only_dim_4() {
+        let task = ShardingTask::sample(&pool(), 4, 10..=20, 4, 1);
+        assert!(task.tables().iter().all(|t| t.dim() == 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_max_dim_panics() {
+        let _ = ShardingTask::sample(&pool(), 4, 1..=2, 100, 0);
+    }
+
+    #[test]
+    fn paper_grid_matches_table_5() {
+        let grid = TaskGrid::paper();
+        assert_eq!(grid.cells().len(), 12);
+        let four: Vec<_> = grid.cells().iter().filter(|c| c.num_devices == 4).collect();
+        let eight: Vec<_> = grid.cells().iter().filter(|c| c.num_devices == 8).collect();
+        assert_eq!(four.len(), 6);
+        assert_eq!(eight.len(), 6);
+        assert!(four.iter().all(|c| c.t_min == 10 && c.t_max == 60));
+        assert!(eight.iter().all(|c| c.t_min == 20 && c.t_max == 120));
+        let dims: Vec<u32> = four.iter().map(|c| c.max_dim).collect();
+        assert_eq!(dims, vec![4, 8, 16, 32, 64, 128]);
+    }
+
+    #[test]
+    fn grid_task_sampling_shape() {
+        let grid = TaskGrid::smoke();
+        let tasks = grid.sample_tasks(&pool(), 3, 7);
+        assert_eq!(tasks.len(), grid.cells().len());
+        for (cell, cell_tasks) in grid.cells().iter().zip(&tasks) {
+            assert_eq!(cell_tasks.len(), 3);
+            for t in cell_tasks {
+                assert_eq!(t.num_devices(), cell.num_devices);
+                assert!((cell.t_min..=cell.t_max).contains(&t.num_tables()));
+            }
+        }
+    }
+
+    #[test]
+    fn profiles_and_memory_are_consistent() {
+        let task = ShardingTask::sample(&pool(), 4, 10..=20, 64, 2);
+        assert_eq!(task.profiles().len(), task.num_tables());
+        let by_hand: u64 = task.tables().iter().map(|t| t.memory_bytes()).sum();
+        assert_eq!(task.total_bytes(), by_hand);
+    }
+
+    #[test]
+    fn builder_methods() {
+        let task = ShardingTask::sample(&pool(), 2, 4..=6, 8, 0)
+            .with_mem_budget(1234)
+            .with_batch_size(256);
+        assert_eq!(task.mem_budget_bytes(), 1234);
+        assert_eq!(task.batch_size(), 256);
+    }
+
+    proptest! {
+        #[test]
+        fn sampled_tasks_always_valid(seed: u64, j in 2u32..8) {
+            let task = ShardingTask::sample(&pool(), 4, 10..=60, 1 << j, seed);
+            prop_assert!(task.num_tables() >= 10);
+            prop_assert!(task.tables().iter().all(|t| t.dim() <= 1 << j));
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Dense (fully connected) layer with manual gradients.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::tensor::Matrix;
+
+/// A fully connected layer `y = x · W + b` with `W: in × out`.
+///
+/// The layer stores only parameters; activations are cached by the caller
+/// (see [`crate::mlp::MlpCache`]) so a layer can be shared across several
+/// forward passes in flight (the computation cost model applies one shared
+/// encoder to many tables).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dense {
+    w: Matrix,
+    b: Vec<f32>,
+}
+
+impl Dense {
+    /// He-initialized dense layer, deterministic for a given seed.
+    pub fn new(input_dim: usize, output_dim: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let scale = (2.0 / input_dim.max(1) as f32).sqrt();
+        let data = (0..input_dim * output_dim)
+            .map(|_| (rng.random::<f32>() * 2.0 - 1.0) * scale)
+            .collect();
+        Self {
+            w: Matrix::from_flat(input_dim, output_dim, data),
+            b: vec![0.0; output_dim],
+        }
+    }
+
+    /// Input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Output dimension.
+    pub fn output_dim(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// The weight matrix.
+    pub fn weights(&self) -> &Matrix {
+        &self.w
+    }
+
+    /// The bias vector.
+    pub fn bias(&self) -> &[f32] {
+        &self.b
+    }
+
+    /// Forward pass: `x (batch × in) → batch × out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != input_dim`.
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        let mut y = x.matmul(&self.w);
+        y.add_row_bias(&self.b);
+        y
+    }
+
+    /// Backward pass. Given the layer input `x` and the upstream gradient
+    /// `dy`, returns `(dx, dw, db)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches.
+    pub fn backward(&self, x: &Matrix, dy: &Matrix) -> (Matrix, Matrix, Vec<f32>) {
+        assert_eq!(x.rows(), dy.rows(), "batch mismatch in backward");
+        let dx = dy.matmul_t(&self.w); // dy (b×out) · Wᵀ (out×in)
+        let dw = x.t_matmul(dy); // xᵀ (in×b) · dy (b×out)
+        let db = dy.col_sums();
+        (dx, dw, db)
+    }
+
+    /// Applies a parameter update: `W += dw_scaled`, `b += db_scaled`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches.
+    pub fn apply_update(&mut self, dw: &Matrix, db: &[f32]) {
+        self.w.add_scaled(dw, 1.0);
+        assert_eq!(db.len(), self.b.len(), "bias update length mismatch");
+        for (b, &d) in self.b.iter_mut().zip(db) {
+            *b += d;
+        }
+    }
+
+    /// Direct mutable access to the parameters (weights buffer then bias),
+    /// used by the optimizer.
+    pub fn params_mut(&mut self) -> (&mut [f32], &mut [f32]) {
+        (self.w.as_mut_slice(), &mut self.b)
+    }
+}
+
+/// ReLU forward: `max(0, x)` element-wise, returning a new matrix.
+pub fn relu(x: &Matrix) -> Matrix {
+    let mut y = x.clone();
+    y.map_inplace(|v| v.max(0.0));
+    y
+}
+
+/// ReLU backward: zeroes the upstream gradient wherever the *pre-activation*
+/// input was non-positive.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn relu_backward(pre_activation: &Matrix, dy: &Matrix) -> Matrix {
+    assert_eq!(pre_activation.rows(), dy.rows(), "relu shape mismatch");
+    assert_eq!(pre_activation.cols(), dy.cols(), "relu shape mismatch");
+    let mut dx = dy.clone();
+    for (d, &p) in dx.as_mut_slice().iter_mut().zip(pre_activation.as_slice()) {
+        if p <= 0.0 {
+            *d = 0.0;
+        }
+    }
+    dx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn forward_known_values() {
+        let mut layer = Dense::new(2, 1, 0);
+        // Overwrite parameters with known values.
+        let (w, b) = layer.params_mut();
+        w.copy_from_slice(&[2.0, -1.0]);
+        b.copy_from_slice(&[0.5]);
+        let x = Matrix::from_rows([vec![1.0, 3.0]]);
+        let y = layer.forward(&x);
+        assert_eq!(y.get(0, 0), 1.0 * 2.0 + -3.0 + 0.5);
+    }
+
+    #[test]
+    fn initialization_is_seeded() {
+        assert_eq!(Dense::new(4, 3, 7), Dense::new(4, 3, 7));
+        assert_ne!(Dense::new(4, 3, 7), Dense::new(4, 3, 8));
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let x = Matrix::from_rows([vec![-1.0, 0.0, 2.0]]);
+        assert_eq!(relu(&x), Matrix::from_rows([vec![0.0, 0.0, 2.0]]));
+    }
+
+    #[test]
+    fn relu_backward_masks() {
+        let pre = Matrix::from_rows([vec![-1.0, 0.5]]);
+        let dy = Matrix::from_rows([vec![3.0, 3.0]]);
+        assert_eq!(relu_backward(&pre, &dy), Matrix::from_rows([vec![0.0, 3.0]]));
+    }
+
+    /// Finite-difference gradient check on a tiny layer.
+    #[test]
+    fn gradients_match_finite_differences() {
+        let layer = Dense::new(3, 2, 1);
+        let x = Matrix::from_rows([vec![0.5, -0.3, 0.8], vec![-0.1, 0.4, 0.2]]);
+        // Loss = sum of outputs; dL/dy = ones.
+        let dy = Matrix::from_rows([vec![1.0, 1.0], vec![1.0, 1.0]]);
+        let (dx, dw, db) = layer.backward(&x, &dy);
+
+        let loss = |layer: &Dense, x: &Matrix| -> f32 { layer.forward(x).as_slice().iter().sum() };
+        let eps = 1e-3;
+
+        // Check dW numerically.
+        let base = loss(&layer, &x);
+        for idx in 0..6 {
+            let mut pert = layer.clone();
+            pert.params_mut().0[idx] += eps;
+            let num = (loss(&pert, &x) - base) / eps;
+            assert!(
+                (num - dw.as_slice()[idx]).abs() < 1e-2,
+                "dW[{idx}]: numeric {num} vs analytic {}",
+                dw.as_slice()[idx]
+            );
+        }
+        // Check db numerically.
+        for (idx, &analytic) in db.iter().enumerate() {
+            let mut pert = layer.clone();
+            pert.params_mut().1[idx] += eps;
+            let num = (loss(&pert, &x) - base) / eps;
+            assert!((num - analytic).abs() < 1e-2);
+        }
+        // Check dx numerically.
+        for r in 0..2 {
+            for c in 0..3 {
+                let mut xp = x.clone();
+                xp.set(r, c, xp.get(r, c) + eps);
+                let num = (loss(&layer, &xp) - base) / eps;
+                assert!((num - dx.get(r, c)).abs() < 1e-2);
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn forward_shape(batch in 1usize..8, input in 1usize..8, output in 1usize..8) {
+            let layer = Dense::new(input, output, 3);
+            let x = Matrix::zeros(batch, input);
+            let y = layer.forward(&x);
+            prop_assert_eq!(y.rows(), batch);
+            prop_assert_eq!(y.cols(), output);
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! # nshard-nn — a minimal dense neural-network library
+//!
+//! The paper's cost models are tiny MLPs (a 128-32 shared table encoder, a
+//! 32-64 head, and a 128-64-32-16 communication model) trained with Adam on
+//! an MSE loss. There is no mature pure-Rust DL framework in this
+//! environment, so this crate implements exactly the pieces those models
+//! need, from scratch:
+//!
+//! * [`tensor::Matrix`] — a row-major `f32` matrix with the handful of ops
+//!   backprop needs,
+//! * [`layer::Dense`] + ReLU — fully connected layers with manual gradients,
+//! * [`mlp::Mlp`] — an MLP container with `forward` / `backward`,
+//! * [`adam::Adam`] — the Adam optimizer,
+//! * [`loss`] — mean-squared-error and its gradient,
+//! * [`train`] — a mini-batch trainer with train/valid/test splits and
+//!   best-on-validation model selection (the paper trains 1000 epochs and
+//!   keeps the best validation checkpoint),
+//! * [`serialize`] — serde round-tripping for model checkpoints.
+//!
+//! Everything is deterministic given explicit seeds.
+//!
+//! ## Example
+//!
+//! Fit `y = 2x₀ - x₁`:
+//!
+//! ```
+//! use nshard_nn::{Dataset, Matrix, Mlp, TrainConfig, Trainer};
+//!
+//! let xs: Vec<[f32; 2]> = (0..200).map(|i| [i as f32 / 200.0, (i % 7) as f32 / 7.0]).collect();
+//! let x = Matrix::from_rows(xs.iter().map(|r| r.to_vec()));
+//! let y = Matrix::from_rows(xs.iter().map(|r| vec![2.0 * r[0] - r[1]]));
+//! let dataset = Dataset::new(x, y).unwrap();
+//!
+//! let mlp = Mlp::new(2, &[16], 1, 0);
+//! let config = TrainConfig { epochs: 300, batch_size: 32, ..TrainConfig::default() };
+//! let mut trainer = Trainer::new(config);
+//! let report = trainer.fit(mlp, &dataset, 42);
+//! assert!(report.test_mse < 0.05, "test MSE {}", report.test_mse);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adam;
+pub mod layer;
+pub mod loss;
+pub mod mlp;
+pub mod serialize;
+pub mod tensor;
+pub mod train;
+
+pub use adam::Adam;
+pub use layer::Dense;
+pub use loss::{mse, mse_grad};
+pub use mlp::{Gradients, Mlp, MlpCache};
+pub use tensor::Matrix;
+pub use train::{Dataset, Split, TrainConfig, TrainReport, Trainer};

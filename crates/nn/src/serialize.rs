@@ -1,0 +1,142 @@
+//! Model checkpoint (de)serialization.
+//!
+//! The paper's deployment section (§3.2) stresses strict version control of
+//! cost-model checkpoints so a training job resumes with the same sharding
+//! plan. Checkpoints here are JSON documents with an explicit format version
+//! and a human-readable header.
+
+use serde::{Deserialize, Serialize};
+
+use crate::mlp::Mlp;
+
+/// Current checkpoint format version.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// A versioned, self-describing model checkpoint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Checkpoint format version; loading fails on mismatch.
+    pub version: u32,
+    /// Free-form model name (e.g. `"compute_cost"`).
+    pub name: String,
+    /// The serialized network.
+    pub model: Mlp,
+}
+
+/// Errors arising from checkpoint handling.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// The JSON could not be parsed.
+    Parse(serde_json::Error),
+    /// The checkpoint has an unsupported format version.
+    VersionMismatch {
+        /// Version found in the document.
+        found: u32,
+        /// Version this library supports.
+        supported: u32,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Parse(e) => write!(f, "failed to parse checkpoint: {e}"),
+            CheckpointError::VersionMismatch { found, supported } => write!(
+                f,
+                "checkpoint version {found} is not supported (this build supports {supported})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Parse(e) => Some(e),
+            CheckpointError::VersionMismatch { .. } => None,
+        }
+    }
+}
+
+impl Checkpoint {
+    /// Wraps a model into a versioned checkpoint.
+    pub fn new(name: impl Into<String>, model: Mlp) -> Self {
+        Self {
+            version: CHECKPOINT_VERSION,
+            name: name.into(),
+            model,
+        }
+    }
+
+    /// Serializes to a JSON string.
+    ///
+    /// # Panics
+    ///
+    /// Never panics in practice: the checkpoint contains only serializable
+    /// plain data.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("checkpoints are always serializable")
+    }
+
+    /// Parses a checkpoint from JSON, validating the format version.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Parse`] on malformed JSON,
+    /// [`CheckpointError::VersionMismatch`] on an unsupported version.
+    pub fn from_json(json: &str) -> Result<Self, CheckpointError> {
+        let ckpt: Checkpoint = serde_json::from_str(json).map_err(CheckpointError::Parse)?;
+        if ckpt.version != CHECKPOINT_VERSION {
+            return Err(CheckpointError::VersionMismatch {
+                found: ckpt.version,
+                supported: CHECKPOINT_VERSION,
+            });
+        }
+        Ok(ckpt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Matrix;
+
+    #[test]
+    fn round_trip_preserves_predictions() {
+        let mlp = Mlp::new(3, &[8, 4], 1, 9);
+        let ckpt = Checkpoint::new("compute_cost", mlp.clone());
+        let json = ckpt.to_json();
+        let back = Checkpoint::from_json(&json).unwrap();
+        assert_eq!(back.name, "compute_cost");
+        let x = Matrix::from_rows([vec![0.1, 0.2, 0.3]]);
+        assert_eq!(mlp.forward(&x), back.model.forward(&x));
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let mut ckpt = Checkpoint::new("m", Mlp::new(1, &[], 1, 0));
+        ckpt.version = 999;
+        let json = serde_json::to_string(&ckpt).unwrap();
+        match Checkpoint::from_json(&json) {
+            Err(CheckpointError::VersionMismatch { found, .. }) => assert_eq!(found, 999),
+            other => panic!("expected version mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(
+            Checkpoint::from_json("not json"),
+            Err(CheckpointError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = CheckpointError::VersionMismatch {
+            found: 2,
+            supported: 1,
+        };
+        assert!(err.to_string().contains('2'));
+    }
+}

@@ -1,0 +1,351 @@
+//! Mini-batch training loop with train/valid/test splits.
+//!
+//! Mirrors the paper's training protocol (Appendix C/F): 80/10/10 split,
+//! batch size 512, Adam at lr 0.001, a fixed number of epochs, keeping the
+//! checkpoint with the best validation MSE.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::adam::Adam;
+use crate::loss::{mse, mse_grad};
+use crate::mlp::Mlp;
+use crate::tensor::Matrix;
+
+/// A supervised regression dataset: feature rows `x` and target rows `y`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(try_from = "DatasetRepr")]
+pub struct Dataset {
+    x: Matrix,
+    y: Matrix,
+}
+
+/// Raw serialized form of [`Dataset`]; conversion re-validates the row
+/// counts so a hand-edited file cannot produce an inconsistent dataset.
+#[derive(Deserialize)]
+struct DatasetRepr {
+    x: Matrix,
+    y: Matrix,
+}
+
+impl TryFrom<DatasetRepr> for Dataset {
+    type Error = String;
+
+    fn try_from(repr: DatasetRepr) -> Result<Self, Self::Error> {
+        Dataset::new(repr.x, repr.y)
+            .ok_or_else(|| "dataset features and targets must have equal, non-zero rows".into())
+    }
+}
+
+impl Dataset {
+    /// Creates a dataset; `x` and `y` must have the same number of rows.
+    ///
+    /// Returns `None` when the row counts differ or the dataset is empty.
+    pub fn new(x: Matrix, y: Matrix) -> Option<Self> {
+        if x.rows() != y.rows() || x.rows() == 0 {
+            return None;
+        }
+        Some(Self { x, y })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.x.rows()
+    }
+
+    /// Whether the dataset is empty (never true for a constructed dataset).
+    pub fn is_empty(&self) -> bool {
+        self.x.rows() == 0
+    }
+
+    /// The features.
+    pub fn x(&self) -> &Matrix {
+        &self.x
+    }
+
+    /// The targets.
+    pub fn y(&self) -> &Matrix {
+        &self.y
+    }
+
+    /// Selects a row subset as a new dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of bounds.
+    pub fn select(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            x: self.x.select_rows(indices),
+            y: self.y.select_rows(indices),
+        }
+    }
+
+    /// Shuffled 80/10/10 split, seeded.
+    pub fn split(&self, seed: u64) -> Split {
+        self.split_with_ratios(0.8, 0.1, seed)
+    }
+
+    /// Shuffled split with explicit train/valid ratios (test gets the rest).
+    /// Every part receives at least one sample when the dataset is large
+    /// enough (≥ 3 samples).
+    pub fn split_with_ratios(&self, train: f64, valid: f64, seed: u64) -> Split {
+        let n = self.len();
+        let mut idx: Vec<usize> = (0..n).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in (1..n).rev() {
+            let j = rng.random_range(0..=i);
+            idx.swap(i, j);
+        }
+        let mut n_train = ((n as f64) * train).round() as usize;
+        let mut n_valid = ((n as f64) * valid).round() as usize;
+        if n >= 3 {
+            n_train = n_train.clamp(1, n - 2);
+            n_valid = n_valid.clamp(1, n - n_train - 1);
+        } else {
+            n_train = n_train.min(n);
+            n_valid = n_valid.min(n - n_train);
+        }
+        let train_set = self.select(&idx[..n_train]);
+        let valid_set = self.select(&idx[n_train..n_train + n_valid]);
+        let test_set = self.select(&idx[n_train + n_valid..]);
+        Split {
+            train: train_set,
+            valid: valid_set,
+            test: test_set,
+        }
+    }
+}
+
+/// The three parts of a dataset split.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Split {
+    /// Training partition.
+    pub train: Dataset,
+    /// Validation partition (model selection).
+    pub valid: Dataset,
+    /// Held-out test partition (reported MSE).
+    pub test: Dataset,
+}
+
+/// Trainer configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Number of passes over the training partition.
+    pub epochs: usize,
+    /// Mini-batch size (the paper uses 512).
+    pub batch_size: usize,
+    /// Adam learning rate (the paper uses 0.001).
+    pub learning_rate: f32,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 100,
+            batch_size: 512,
+            learning_rate: 1e-3,
+        }
+    }
+}
+
+/// Result of a training run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Final MSE on the training partition (best-validation checkpoint).
+    pub train_mse: f32,
+    /// Best validation MSE observed.
+    pub valid_mse: f32,
+    /// MSE of the selected checkpoint on the held-out test partition.
+    pub test_mse: f32,
+    /// Number of epochs actually run.
+    pub epochs_run: usize,
+    /// Per-epoch validation MSE history.
+    pub valid_history: Vec<f32>,
+}
+
+/// Mini-batch MSE trainer with best-on-validation checkpointing.
+#[derive(Debug, Clone)]
+pub struct Trainer {
+    config: TrainConfig,
+    /// The best model found (set by [`Trainer::fit`]).
+    best_model: Option<Mlp>,
+}
+
+impl Trainer {
+    /// Creates a trainer with the given configuration.
+    pub fn new(config: TrainConfig) -> Self {
+        Self {
+            config,
+            best_model: None,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TrainConfig {
+        &self.config
+    }
+
+    /// The best model from the last [`Trainer::fit`] call, if any.
+    pub fn best_model(&self) -> Option<&Mlp> {
+        self.best_model.as_ref()
+    }
+
+    /// Consumes the trainer and returns the best model.
+    pub fn into_best_model(self) -> Option<Mlp> {
+        self.best_model
+    }
+
+    /// Trains `mlp` on `dataset` (80/10/10 split derived from `seed`) and
+    /// returns the report. The best-on-validation checkpoint is kept and
+    /// used for the reported train/test MSE.
+    pub fn fit(&mut self, mlp: Mlp, dataset: &Dataset, seed: u64) -> TrainReport {
+        let split = dataset.split(seed);
+        self.fit_split(mlp, &split, seed)
+    }
+
+    /// Trains on an explicit split.
+    pub fn fit_split(&mut self, mut mlp: Mlp, split: &Split, seed: u64) -> TrainReport {
+        let mut adam = Adam::new(&mlp, self.config.learning_rate);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xA5A5_5A5A);
+        let n = split.train.len();
+        let batch = self.config.batch_size.clamp(1, n);
+
+        let mut best = mlp.clone();
+        let mut best_valid = f32::INFINITY;
+        let mut valid_history = Vec::with_capacity(self.config.epochs);
+
+        let mut order: Vec<usize> = (0..n).collect();
+        for _epoch in 0..self.config.epochs {
+            // Shuffle sample order.
+            for i in (1..n).rev() {
+                let j = rng.random_range(0..=i);
+                order.swap(i, j);
+            }
+            for chunk in order.chunks(batch) {
+                let xb = split.train.x().select_rows(chunk);
+                let yb = split.train.y().select_rows(chunk);
+                let (pred, cache) = mlp.forward_cached(&xb);
+                let dy = mse_grad(&pred, &yb);
+                let (_, grads) = mlp.backward(&cache, &dy);
+                adam.step(&mut mlp, &grads);
+            }
+            let valid_mse = mse(&mlp.forward(split.valid.x()), split.valid.y());
+            valid_history.push(valid_mse);
+            if valid_mse < best_valid {
+                best_valid = valid_mse;
+                best = mlp.clone();
+            }
+        }
+
+        let train_mse = mse(&best.forward(split.train.x()), split.train.y());
+        let test_mse = if !split.test.is_empty() {
+            mse(&best.forward(split.test.x()), split.test.y())
+        } else {
+            f32::NAN
+        };
+        self.best_model = Some(best);
+        TrainReport {
+            train_mse,
+            valid_mse: best_valid,
+            test_mse,
+            epochs_run: self.config.epochs,
+            valid_history,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_dataset(n: usize) -> Dataset {
+        let xs: Vec<Vec<f32>> = (0..n)
+            .map(|i| vec![(i % 17) as f32 / 17.0, (i % 5) as f32 / 5.0])
+            .collect();
+        let ys: Vec<Vec<f32>> = xs.iter().map(|r| vec![3.0 * r[0] + r[1] - 0.5]).collect();
+        Dataset::new(Matrix::from_rows(xs), Matrix::from_rows(ys)).unwrap()
+    }
+
+    #[test]
+    fn split_partitions_everything() {
+        let d = linear_dataset(100);
+        let s = d.split(1);
+        assert_eq!(s.train.len() + s.valid.len() + s.test.len(), 100);
+        assert_eq!(s.train.len(), 80);
+        assert_eq!(s.valid.len(), 10);
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let d = linear_dataset(50);
+        assert_eq!(d.split(3).train, d.split(3).train);
+        assert_ne!(d.split(3).train, d.split(4).train);
+    }
+
+    #[test]
+    fn trainer_fits_linear_function() {
+        let d = linear_dataset(300);
+        let mut trainer = Trainer::new(TrainConfig {
+            epochs: 150,
+            batch_size: 32,
+            learning_rate: 3e-3,
+        });
+        let report = trainer.fit(Mlp::new(2, &[16], 1, 0), &d, 7);
+        assert!(report.test_mse < 0.02, "test MSE {}", report.test_mse);
+        assert!(trainer.best_model().is_some());
+        assert_eq!(report.valid_history.len(), 150);
+    }
+
+    #[test]
+    fn validation_mse_improves_over_training() {
+        let d = linear_dataset(200);
+        let mut trainer = Trainer::new(TrainConfig {
+            epochs: 50,
+            batch_size: 32,
+            learning_rate: 3e-3,
+        });
+        let report = trainer.fit(Mlp::new(2, &[8], 1, 1), &d, 3);
+        let first = report.valid_history[0];
+        let last = *report.valid_history.last().unwrap();
+        assert!(last < first, "validation MSE did not improve: {first} -> {last}");
+    }
+
+    #[test]
+    fn mismatched_dataset_is_rejected() {
+        assert!(Dataset::new(Matrix::zeros(3, 2), Matrix::zeros(2, 1)).is_none());
+        assert!(Dataset::new(Matrix::zeros(0, 2), Matrix::zeros(0, 1)).is_none());
+    }
+
+    #[test]
+    fn tiny_datasets_split_without_panicking() {
+        let d = linear_dataset(3);
+        let s = d.split(0);
+        assert_eq!(s.train.len() + s.valid.len() + s.test.len(), 3);
+        assert!(!s.train.is_empty());
+    }
+
+    #[test]
+    fn serde_round_trip_and_validation() {
+        let d = linear_dataset(10);
+        let json = serde_json::to_string(&d).unwrap();
+        let back: Dataset = serde_json::from_str(&json).unwrap();
+        assert_eq!(d, back);
+        // Tampered row counts are rejected at deserialization time.
+        let bad = r#"{"x":{"rows":2,"cols":1,"data":[1.0,2.0]},"y":{"rows":1,"cols":1,"data":[3.0]}}"#;
+        assert!(serde_json::from_str::<Dataset>(bad).is_err());
+    }
+
+    #[test]
+    fn fit_is_deterministic() {
+        let d = linear_dataset(100);
+        let cfg = TrainConfig {
+            epochs: 10,
+            batch_size: 16,
+            learning_rate: 1e-3,
+        };
+        let r1 = Trainer::new(cfg).fit(Mlp::new(2, &[8], 1, 2), &d, 5);
+        let r2 = Trainer::new(cfg).fit(Mlp::new(2, &[8], 1, 2), &d, 5);
+        assert_eq!(r1, r2);
+    }
+}

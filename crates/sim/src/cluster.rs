@@ -1,0 +1,420 @@
+//! Multi-GPU cluster: end-to-end evaluation of a sharding plan.
+//!
+//! Implements the paper's evaluation protocol (§4, "Evaluation protocol"):
+//! run the embedding computation and communication for a placement and
+//! report the per-device embedding cost — forward computation, forward
+//! all-to-all, backward all-to-all and backward computation — taking the
+//! **max across devices** as the plan's cost, since the slowest device is
+//! the bottleneck of synchronous training.
+
+use serde::{Deserialize, Serialize};
+
+use crate::comm::CommCosts;
+use crate::device::GpuSpec;
+use crate::error::SimError;
+use crate::kernel::profile_stream;
+use crate::noise::NoiseModel;
+use crate::profile::TableProfile;
+
+/// Number of repeated measurements used for the median, mirroring the
+/// paper's 100-run protocol (kept smaller here because the median of our
+/// noise model converges quickly).
+const MEASURE_REPEATS: u32 = 21;
+
+/// The embedding cost breakdown of one GPU for one training iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct DeviceCost {
+    /// Forward embedding lookup (fused kernel), ms.
+    pub compute_fwd_ms: f64,
+    /// Backward embedding update (fused kernel), ms.
+    pub compute_bwd_ms: f64,
+    /// Forward all-to-all, ms (as observed locally, including waits).
+    pub comm_fwd_ms: f64,
+    /// Backward all-to-all, ms.
+    pub comm_bwd_ms: f64,
+}
+
+impl DeviceCost {
+    /// Total embedding cost of this device, ms.
+    pub fn total_ms(&self) -> f64 {
+        self.compute_fwd_ms + self.compute_bwd_ms + self.comm_fwd_ms + self.comm_bwd_ms
+    }
+
+    /// Total computation (forward + backward kernels), ms.
+    pub fn compute_ms(&self) -> f64 {
+        self.compute_fwd_ms + self.compute_bwd_ms
+    }
+
+    /// Total communication (forward + backward all-to-all), ms.
+    pub fn comm_ms(&self) -> f64 {
+        self.comm_fwd_ms + self.comm_bwd_ms
+    }
+}
+
+/// The evaluated cost of a full sharding plan.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct PlanCosts {
+    devices: Vec<DeviceCost>,
+}
+
+impl PlanCosts {
+    /// Per-device cost breakdowns.
+    pub fn devices(&self) -> &[DeviceCost] {
+        &self.devices
+    }
+
+    /// The plan's embedding cost: max total across devices (the metric of
+    /// Table 1 and Table 4).
+    pub fn max_total_ms(&self) -> f64 {
+        self.devices
+            .iter()
+            .map(DeviceCost::total_ms)
+            .fold(0.0, f64::max)
+    }
+
+    /// Mean per-device total, ms.
+    pub fn mean_total_ms(&self) -> f64 {
+        if self.devices.is_empty() {
+            return 0.0;
+        }
+        self.devices.iter().map(DeviceCost::total_ms).sum::<f64>() / self.devices.len() as f64
+    }
+
+    /// Balance ratio in `(0, 1]`: min device total / max device total.
+    /// 1.0 means perfectly balanced.
+    pub fn balance(&self) -> f64 {
+        let max = self.max_total_ms();
+        if max == 0.0 {
+            return 1.0;
+        }
+        let min = self
+            .devices
+            .iter()
+            .map(DeviceCost::total_ms)
+            .fold(f64::INFINITY, f64::min);
+        min / max
+    }
+
+    /// Max computation cost across devices, ms.
+    pub fn max_compute_ms(&self) -> f64 {
+        self.devices
+            .iter()
+            .map(DeviceCost::compute_ms)
+            .fold(0.0, f64::max)
+    }
+
+    /// Max communication cost across devices, ms.
+    pub fn max_comm_ms(&self) -> f64 {
+        self.devices
+            .iter()
+            .map(DeviceCost::comm_ms)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// A homogeneous cluster of `D` GPUs evaluating embedding sharding plans.
+///
+/// This is the reproduction's stand-in for the paper's eight-GPU 2080 Ti
+/// server (and, with [`GpuSpec::datacenter`], the 128-GPU production
+/// cluster).
+///
+/// # Example
+///
+/// ```
+/// use nshard_sim::{Cluster, GpuSpec, TableProfile};
+///
+/// let cluster = Cluster::new(GpuSpec::rtx_2080_ti(), 4, 65_536);
+/// let t = |d| TableProfile::new(d, 1 << 20, 12.0, 0.3, 1.0);
+/// let plan = vec![vec![t(64)], vec![t(64)], vec![t(32), t(32)], vec![t(128)]];
+/// let costs = cluster.evaluate(&plan, 42)?;
+/// assert!(costs.max_total_ms() >= costs.mean_total_ms());
+/// # Ok::<(), nshard_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cluster {
+    spec: GpuSpec,
+    num_devices: usize,
+    batch_size: u32,
+    noise: NoiseModel,
+}
+
+impl Cluster {
+    /// Creates a cluster of `num_devices` identical GPUs with ~2% default
+    /// measurement noise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_devices == 0`.
+    pub fn new(spec: GpuSpec, num_devices: usize, batch_size: u32) -> Self {
+        assert!(num_devices > 0, "a cluster needs at least one device");
+        Self {
+            spec,
+            num_devices,
+            batch_size,
+            noise: NoiseModel::default(),
+        }
+    }
+
+    /// Replaces the measurement-noise model (builder-style).
+    pub fn with_noise(mut self, noise: NoiseModel) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// The device specification.
+    pub fn spec(&self) -> &GpuSpec {
+        &self.spec
+    }
+
+    /// Number of GPUs.
+    pub fn num_devices(&self) -> usize {
+        self.num_devices
+    }
+
+    /// Training batch size.
+    pub fn batch_size(&self) -> u32 {
+        self.batch_size
+    }
+
+    /// Validates that `assignment` fits this cluster's memory budgets.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidPlan`] if the assignment has the wrong number of
+    /// devices; [`SimError::OutOfMemory`] for the first device whose tables
+    /// exceed the budget.
+    pub fn check_memory(&self, assignment: &[Vec<TableProfile>]) -> Result<(), SimError> {
+        if assignment.len() != self.num_devices {
+            return Err(SimError::InvalidPlan {
+                reason: format!(
+                    "plan assigns {} devices but cluster has {}",
+                    assignment.len(),
+                    self.num_devices
+                ),
+            });
+        }
+        for (g, tables) in assignment.iter().enumerate() {
+            let required: u64 = tables.iter().map(TableProfile::memory_bytes).sum();
+            if required > self.spec.mem_budget_bytes() {
+                return Err(SimError::OutOfMemory {
+                    device: g,
+                    required_bytes: required,
+                    budget_bytes: self.spec.mem_budget_bytes(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Device dimension (sum of table dimensions) of each device.
+    pub fn device_dims(assignment: &[Vec<TableProfile>]) -> Vec<f64> {
+        assignment
+            .iter()
+            .map(|tables| tables.iter().map(|t| f64::from(t.dim())).sum())
+            .collect()
+    }
+
+    /// Evaluates a sharding plan with measurement noise (median of repeated
+    /// runs), the way the paper collects "real" costs from GPUs.
+    ///
+    /// The forward all-to-all of each GPU starts when its forward kernel
+    /// finishes, so computation imbalance turns into communication waits —
+    /// the accumulation effect of Figure 1.
+    ///
+    /// # Errors
+    ///
+    /// See [`Cluster::check_memory`].
+    pub fn evaluate(&self, assignment: &[Vec<TableProfile>], seed: u64) -> Result<PlanCosts, SimError> {
+        self.evaluate_inner(assignment, Some(seed))
+    }
+
+    /// Evaluates a plan with the exact analytic law (no measurement noise).
+    ///
+    /// # Errors
+    ///
+    /// See [`Cluster::check_memory`].
+    pub fn evaluate_exact(&self, assignment: &[Vec<TableProfile>]) -> Result<PlanCosts, SimError> {
+        self.evaluate_inner(assignment, None)
+    }
+
+    fn evaluate_inner(
+        &self,
+        assignment: &[Vec<TableProfile>],
+        seed: Option<u64>,
+    ) -> Result<PlanCosts, SimError> {
+        self.check_memory(assignment)?;
+        let kernel = self.spec.kernel();
+        let comm = self.spec.comm();
+
+        let noise = match seed {
+            Some(s) => NoiseModel::new(s ^ self.noise.seed(), self.noise.sigma()),
+            None => NoiseModel::disabled(),
+        };
+
+        let fwd_compute: Vec<f64> = assignment
+            .iter()
+            .map(|tables| {
+                let base = kernel.multi_forward_ms(tables, self.batch_size);
+                noise.median_measurement(base, MEASURE_REPEATS, profile_stream(tables))
+            })
+            .collect();
+        let bwd_compute: Vec<f64> = assignment
+            .iter()
+            .map(|tables| {
+                let base = kernel.multi_backward_ms(tables, self.batch_size);
+                noise.median_measurement(base, MEASURE_REPEATS, profile_stream(tables) ^ 0x1)
+            })
+            .collect();
+
+        let dims = Self::device_dims(assignment);
+        // Forward comm starts when each device's forward kernel completes.
+        let comm_costs: CommCosts = comm.measure_costs_ms(
+            &dims,
+            &fwd_compute,
+            self.batch_size,
+            &noise,
+            MEASURE_REPEATS,
+        );
+        // Backward comm starts synchronously (the dense backward between the
+        // two collectives is data-parallel and identical across devices).
+        let bwd_starts = vec![0.0; dims.len()];
+        let bwd_comm = comm
+            .measure_costs_ms(&dims, &bwd_starts, self.batch_size, &noise, MEASURE_REPEATS)
+            .bwd;
+
+        let devices = (0..self.num_devices)
+            .map(|g| DeviceCost {
+                compute_fwd_ms: fwd_compute[g],
+                compute_bwd_ms: bwd_compute[g],
+                comm_fwd_ms: comm_costs.fwd[g],
+                comm_bwd_ms: bwd_comm[g],
+            })
+            .collect();
+        Ok(PlanCosts { devices })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn t(dim: u32) -> TableProfile {
+        TableProfile::new(dim, 1 << 20, 12.0, 0.3, 1.05)
+    }
+
+    fn cluster(d: usize) -> Cluster {
+        Cluster::new(GpuSpec::rtx_2080_ti(), d, 65_536)
+    }
+
+    #[test]
+    fn balanced_plan_beats_skewed_plan() {
+        let c = cluster(4);
+        let balanced = vec![vec![t(64); 3], vec![t(64); 3], vec![t(64); 3], vec![t(64); 3]];
+        let skewed = vec![vec![t(64); 9], vec![t(64)], vec![t(64)], vec![t(64)]];
+        let b = c.evaluate_exact(&balanced).unwrap();
+        let s = c.evaluate_exact(&skewed).unwrap();
+        assert!(b.max_total_ms() < s.max_total_ms());
+        assert!(b.balance() > s.balance());
+    }
+
+    #[test]
+    fn memory_overflow_is_reported() {
+        let c = cluster(2);
+        // One table of 32M rows x 128 dims x 4B = 16 GB >> 4 GB budget.
+        let huge = TableProfile::new(128, 32 << 20, 12.0, 0.3, 1.05);
+        let err = c.evaluate(&[vec![huge], vec![]], 0).unwrap_err();
+        match err {
+            SimError::OutOfMemory { device, .. } => assert_eq!(device, 0),
+            other => panic!("expected OutOfMemory, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_device_count_is_rejected() {
+        let c = cluster(4);
+        assert!(matches!(
+            c.evaluate(&[vec![t(8)]], 0),
+            Err(SimError::InvalidPlan { .. })
+        ));
+    }
+
+    #[test]
+    fn exact_evaluation_is_deterministic() {
+        let c = cluster(4);
+        let plan = vec![vec![t(64)], vec![t(32)], vec![t(16)], vec![t(128)]];
+        assert_eq!(c.evaluate_exact(&plan), c.evaluate_exact(&plan));
+    }
+
+    #[test]
+    fn measured_evaluation_is_seed_deterministic() {
+        let c = cluster(2);
+        let plan = vec![vec![t(64)], vec![t(32)]];
+        assert_eq!(c.evaluate(&plan, 9).unwrap(), c.evaluate(&plan, 9).unwrap());
+        assert_ne!(c.evaluate(&plan, 9).unwrap(), c.evaluate(&plan, 10).unwrap());
+    }
+
+    #[test]
+    fn measured_close_to_exact() {
+        let c = cluster(4);
+        let plan = vec![vec![t(64), t(32)], vec![t(32)], vec![t(16), t(8)], vec![t(128)]];
+        let exact = c.evaluate_exact(&plan).unwrap().max_total_ms();
+        let meas = c.evaluate(&plan, 5).unwrap().max_total_ms();
+        assert!((exact - meas).abs() / exact < 0.1);
+    }
+
+    #[test]
+    fn device_dims_sums_dimensions() {
+        let plan = vec![vec![t(64), t(32)], vec![]];
+        assert_eq!(Cluster::device_dims(&plan), vec![96.0, 0.0]);
+    }
+
+    #[test]
+    fn compute_imbalance_propagates_into_comm_waits() {
+        let c = cluster(2).with_noise(NoiseModel::disabled());
+        // Device 0 heavy compute, device 1 light: device 1 must wait for 0
+        // before the forward all-to-all, so its fwd comm cost is larger.
+        let plan = vec![vec![t(64); 8], vec![t(64)]];
+        let costs = c.evaluate_exact(&plan).unwrap();
+        let d = costs.devices();
+        assert!(d[1].comm_fwd_ms > d[0].comm_fwd_ms);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn zero_devices_panics() {
+        let _ = Cluster::new(GpuSpec::rtx_2080_ti(), 0, 65_536);
+    }
+
+    #[test]
+    fn plan_costs_accessors_consistent() {
+        let c = cluster(4);
+        let plan = vec![vec![t(64)], vec![t(64)], vec![t(64)], vec![t(64)]];
+        let costs = c.evaluate_exact(&plan).unwrap();
+        assert_eq!(costs.devices().len(), 4);
+        assert!(costs.max_total_ms() >= costs.mean_total_ms());
+        assert!(costs.balance() > 0.0 && costs.balance() <= 1.0);
+        let d0 = costs.devices()[0];
+        assert!((d0.total_ms() - (d0.compute_ms() + d0.comm_ms())).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn max_total_is_max_of_devices(
+            dims in proptest::collection::vec(1u32..32, 4..24),
+        ) {
+            let c = cluster(4).with_noise(NoiseModel::disabled());
+            let mut plan = vec![Vec::new(); 4];
+            for (i, d) in dims.iter().enumerate() {
+                plan[i % 4].push(t(d * 4));
+            }
+            let costs = c.evaluate_exact(&plan).unwrap();
+            let max_by_hand = costs
+                .devices()
+                .iter()
+                .map(DeviceCost::total_ms)
+                .fold(0.0, f64::max);
+            prop_assert_eq!(costs.max_total_ms(), max_by_hand);
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Compare NeuroShard against every baseline on a batch of sharding tasks
+//! — a miniature of the paper's Table 1 protocol.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example compare_algorithms
+//! ```
+
+use neuroshard::baselines::{
+    DimGreedy, LookupGreedy, RandomSharding, RlSharder, RlVariant, ShardingAlgorithm, SizeGreedy,
+    SizeLookupGreedy, TorchRecLikePlanner,
+};
+use neuroshard::core::{evaluate_plan, NeuroShard, NeuroShardConfig};
+use neuroshard::cost::{CollectConfig, CostModelBundle, TrainSettings};
+use neuroshard::data::{ShardingTask, TablePool};
+use neuroshard::sim::GpuSpec;
+
+fn main() {
+    let pool = TablePool::synthetic_dlrm(856, 2023);
+    let spec = GpuSpec::rtx_2080_ti();
+    let num_gpus = 4;
+    let max_dim = 64;
+    let num_tasks = 5;
+
+    println!("pre-training cost models...");
+    let bundle = CostModelBundle::pretrain(
+        &pool,
+        num_gpus,
+        &CollectConfig {
+            compute_samples: 4000,
+            comm_samples: 3000,
+            ..CollectConfig::default()
+        },
+        &TrainSettings::default(),
+        1,
+    );
+    let neuroshard = NeuroShard::new(bundle, NeuroShardConfig::default());
+
+    let tasks: Vec<ShardingTask> = (0..num_tasks)
+        .map(|i| ShardingTask::sample(&pool, num_gpus, 10..=60, max_dim, 50 + i))
+        .collect();
+
+    let algos: Vec<Box<dyn ShardingAlgorithm>> = vec![
+        Box::new(RandomSharding::new(0)),
+        Box::new(SizeGreedy),
+        Box::new(DimGreedy),
+        Box::new(LookupGreedy),
+        Box::new(SizeLookupGreedy),
+        Box::new(RlSharder::new(RlVariant::AutoShardLike, 0)),
+        Box::new(RlSharder::new(RlVariant::DreamShardLike, 0)),
+        Box::new(TorchRecLikePlanner::default()),
+    ];
+
+    println!(
+        "\n{num_tasks} tasks, {num_gpus} GPUs, max table dimension {max_dim}:\n"
+    );
+    println!("{:<22} {:>12} {:>10}", "method", "cost (ms)", "success");
+    println!("{}", "-".repeat(46));
+    for algo in &algos {
+        report(algo.as_ref(), &tasks, &spec);
+    }
+    report(&neuroshard, &tasks, &spec);
+    println!(
+        "\n(Lower is better; 'oom' marks plans that overflow a device's 4 GB budget —\n\
+         the failure mode that motivates NeuroShard's column-wise sharding.)"
+    );
+}
+
+fn report(algo: &dyn ShardingAlgorithm, tasks: &[ShardingTask], spec: &GpuSpec) {
+    let mut costs = Vec::new();
+    let mut failures = 0;
+    for (i, task) in tasks.iter().enumerate() {
+        match algo
+            .shard(task)
+            .ok()
+            .and_then(|p| evaluate_plan(task, &p, spec, i as u64).ok())
+        {
+            Some(c) => costs.push(c.max_total_ms()),
+            None => failures += 1,
+        }
+    }
+    let cost = if costs.is_empty() {
+        "oom".to_string()
+    } else {
+        format!("{:.2}", costs.iter().sum::<f64>() / costs.len() as f64)
+    };
+    println!(
+        "{:<22} {:>12} {:>7}/{}",
+        algo.name(),
+        cost,
+        tasks.len() - failures,
+        tasks.len()
+    );
+}

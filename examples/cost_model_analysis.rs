@@ -1,0 +1,117 @@
+//! Inspect the pre-trained neural cost models: accuracy against the
+//! ground truth, the paper's three observations, and checkpointing.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example cost_model_analysis
+//! ```
+
+use neuroshard::cost::{
+    table_features, CollectConfig, CostModelBundle, CostSimulator, TrainSettings,
+};
+use neuroshard::data::TablePool;
+use neuroshard::sim::{GpuSpec, KernelParams, TableProfile};
+
+fn main() {
+    let pool = TablePool::synthetic_dlrm(856, 2023);
+    let kernel = KernelParams::rtx_2080_ti();
+    let batch = 65_536;
+
+    // --- Observation 1: column-splitting costs more than half. ---
+    println!("Observation 1 — the column-split penalty:");
+    let table = TableProfile::new(128, 1 << 21, 15.0, 0.3, 1.05);
+    let full = kernel.multi_cost_ms(&[table], batch);
+    let (half, _) = table.split_columns().expect("dim 128 splits");
+    let half_cost = kernel.multi_cost_ms(&[half], batch);
+    println!(
+        "  dim 128 costs {full:.3} ms; one dim-64 half costs {half_cost:.3} ms \
+         ({:.0}% of the full table, not 50%)",
+        half_cost / full * 100.0
+    );
+
+    // --- Observation 2: fusion non-linearity. ---
+    let tables: Vec<TableProfile> = (0..10)
+        .map(|i| TableProfile::new(if i % 2 == 0 { 64 } else { 32 }, 1 << 20, 12.0, 0.3, 1.0))
+        .collect();
+    let fused = kernel.multi_cost_ms(&tables, batch);
+    let sum: f64 = tables
+        .iter()
+        .map(|t| kernel.multi_cost_ms(std::slice::from_ref(t), batch))
+        .sum();
+    println!("\nObservation 2 — fusion non-linearity:");
+    println!(
+        "  10-table fused kernel: {fused:.2} ms vs. sum of singles {sum:.2} ms \
+         (fusion saves {:.0}%)",
+        (1.0 - fused / sum) * 100.0
+    );
+
+    // --- Pre-train and check the learned model against the oracle. ---
+    println!("\npre-training a computation cost model...");
+    let bundle = CostModelBundle::pretrain(
+        &pool,
+        4,
+        &CollectConfig {
+            compute_samples: 5000,
+            comm_samples: 2000,
+            ..CollectConfig::default()
+        },
+        &TrainSettings::default(),
+        11,
+    );
+    println!(
+        "  held-out test MSE: {:.3} ms^2",
+        bundle.report().compute_test_mse
+    );
+
+    println!("\nlearned model vs. ground truth on unseen combinations:");
+    println!(
+        "  {:>4} {:>12} {:>12} {:>8}",
+        "T", "truth (ms)", "model (ms)", "err"
+    );
+    for t in [1usize, 3, 6, 10, 14] {
+        let combo: Vec<TableProfile> = (0..t)
+            .map(|i| {
+                let dims = [4u32, 8, 16, 32, 64, 128];
+                TableProfile::new(dims[i % 6], 1 << (16 + i % 8), 8.0 + i as f64, 0.3, 1.0)
+            })
+            .collect();
+        let truth = kernel.multi_cost_ms(&combo, batch);
+        let feats: Vec<Vec<f32>> = combo.iter().map(|p| table_features(p, batch)).collect();
+        let pred = bundle.compute_model().predict(&feats);
+        println!(
+            "  {t:>4} {truth:>12.3} {pred:>12.3} {:>7.1}%",
+            (pred - truth).abs() / truth * 100.0
+        );
+    }
+
+    // --- The model as a plan simulator, with the life-long cache. ---
+    let sim = CostSimulator::new(bundle);
+    let t = |d| TableProfile::new(d, 1 << 20, 12.0, 0.3, 1.0);
+    let plan = vec![vec![t(64), t(32)], vec![t(128)], vec![t(16), t(16)], vec![t(64)]];
+    let est = sim.estimate_plan(&plan);
+    println!("\nplan estimate: {:.2} ms (compute {:.2} + fwd comm {:.2} + bwd comm {:.2})",
+        est.total_ms(), est.max_compute_ms, est.fwd_comm_ms, est.bwd_comm_ms);
+    let _ = sim.estimate_plan(&plan); // cache-hot second call
+    println!(
+        "cache after two estimates: {} entries, hit rate {:.0}%",
+        sim.cache().len(),
+        sim.cache().hit_rate() * 100.0
+    );
+
+    // --- Checkpoint round-trip (deployment versioning, §3.2). ---
+    let json = serde_json::to_string(sim.bundle()).expect("bundles serialize");
+    println!(
+        "\nserialized bundle checkpoint: {:.1} KB (JSON)",
+        json.len() as f64 / 1024.0
+    );
+    let _restored: neuroshard::cost::CostModelBundle =
+        serde_json::from_str(&json).expect("bundles deserialize");
+    println!("checkpoint round-trip OK");
+
+    // Use the GPU spec so the example also shows where the laws come from.
+    let spec = GpuSpec::rtx_2080_ti();
+    println!(
+        "\ncluster spec: {:.0} GB embedding budget per GPU",
+        spec.mem_budget_bytes() as f64 / 1e9
+    );
+}

@@ -1,0 +1,90 @@
+//! Quickstart: pre-train cost models, search for a sharding plan, and
+//! evaluate it on the ground-truth cluster — the full "pre-train, and
+//! search" loop in one file.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use neuroshard::core::{evaluate_plan, NeuroShard, NeuroShardConfig};
+use neuroshard::cost::{CollectConfig, CostModelBundle, TrainSettings};
+use neuroshard::data::{ShardingTask, TablePool};
+use neuroshard::sim::GpuSpec;
+
+fn main() {
+    // 1. The table pool — the stand-in for the public DLRM benchmark
+    //    dataset (856 tables with production-like statistics).
+    let pool = TablePool::synthetic_dlrm(856, 2023);
+    println!(
+        "table pool: {} tables, avg hash size {:.0} rows, avg pooling factor {:.1}",
+        pool.len(),
+        pool.stats().avg_hash_size,
+        pool.stats().avg_pooling_factor
+    );
+
+    // 2. Pre-train the three neural cost models (computation + fwd/bwd
+    //    communication) from micro-benchmarks against the GPU simulator.
+    //    This is the once-for-all step: the same bundle serves every
+    //    sharding task on this cluster configuration.
+    println!("\npre-training cost models for a 4-GPU cluster...");
+    let bundle = CostModelBundle::pretrain(
+        &pool,
+        4,
+        &CollectConfig {
+            compute_samples: 4000,
+            comm_samples: 3000,
+            ..CollectConfig::default()
+        },
+        &TrainSettings::default(),
+        42,
+    );
+    println!(
+        "  test MSE: compute {:.3}, fwd comm {:.3}, bwd comm {:.3} (ms^2)",
+        bundle.report().compute_test_mse,
+        bundle.report().fwd_comm_test_mse,
+        bundle.report().bwd_comm_test_mse
+    );
+
+    // 3. Build the sharder with the paper's search hyperparameters
+    //    (N = 10, K = 3, L = 10, M = 11).
+    let sharder = NeuroShard::new(bundle, NeuroShardConfig::default());
+
+    // 4. A sharding task: 10-60 random tables with dimensions up to 128,
+    //    onto 4 GPUs with 4 GB of embedding memory each.
+    let task = ShardingTask::sample(&pool, 4, 10..=60, 128, 7);
+    println!(
+        "\ntask: {} tables, {:.2} GB of embeddings, {} GPUs",
+        task.num_tables(),
+        task.total_bytes() as f64 / 1e9,
+        task.num_devices()
+    );
+
+    // 5. Search. The outcome carries the plan plus search telemetry.
+    let outcome = sharder
+        .shard_with_stats(&task)
+        .expect("the benchmark tasks are feasible for NeuroShard");
+    println!(
+        "plan: {} column-wise splits, estimated cost {:.2} ms, found in {:.2}s \
+         (cache hit rate {:.1}%)",
+        outcome.plan.num_column_splits(),
+        outcome.estimated_cost_ms,
+        outcome.sharding_time_s,
+        outcome.cache_hit_rate * 100.0
+    );
+
+    // 6. Evaluate on the ground-truth cluster (the paper's "collect real
+    //    costs from GPUs" step) and compare per-device balance.
+    let costs = evaluate_plan(&task, &outcome.plan, &GpuSpec::rtx_2080_ti(), 0)
+        .expect("plan fits in memory");
+    println!("\nreal embedding cost: {:.2} ms (max across devices)", costs.max_total_ms());
+    for (g, dev) in costs.devices().iter().enumerate() {
+        println!(
+            "  GPU {g}: compute {:.2} ms, comm {:.2} ms, total {:.2} ms",
+            dev.compute_ms(),
+            dev.comm_ms(),
+            dev.total_ms()
+        );
+    }
+    println!("balance (min/max): {:.3}", costs.balance());
+}

@@ -1,0 +1,101 @@
+//! Integration tests pinning the paper's three cost observations (§2) at
+//! the public-API level — the properties the whole search design rests on.
+
+use neuroshard::data::{augment_pool, PlacementGenerator, TablePool, PAPER_DIMS};
+use neuroshard::sim::{CommParams, KernelParams, TableProfile};
+
+const BATCH: u32 = 65_536;
+
+/// Observation 1: partitioning a table column-wise produces halves that
+/// each cost more than half the original — for every table in the pool at
+/// every splittable dimension.
+#[test]
+fn observation_1_column_split_penalty_over_the_pool() {
+    let pool = TablePool::synthetic_dlrm(64, 3);
+    let kernel = KernelParams::rtx_2080_ti();
+    for table in &pool {
+        for dim in [8u32, 16, 32, 64, 128] {
+            let t = table.with_dim(dim).profile(BATCH);
+            let full = kernel.multi_cost_ms(&[t], BATCH);
+            let (half, _) = t.split_columns().expect("dims >= 8 split");
+            let half_cost = kernel.multi_cost_ms(&[half], BATCH);
+            assert!(
+                half_cost > full / 2.0 && half_cost < full,
+                "table {} dim {dim}: half {half_cost} vs full {full}",
+                table.id()
+            );
+        }
+    }
+}
+
+/// Observation 2: the fused multi-table cost is below the sum of
+/// single-table costs, non-linearly (the gap grows with the table count).
+#[test]
+fn observation_2_fusion_gap_grows_with_table_count() {
+    let pool = TablePool::synthetic_dlrm(64, 5);
+    let kernel = KernelParams::rtx_2080_ti();
+    let profiles: Vec<TableProfile> = pool.iter().map(|t| t.profile(BATCH)).collect();
+    let mut prev_ratio = 1.0;
+    for t in [2usize, 4, 8, 16, 32] {
+        let subset = &profiles[..t];
+        let fused = kernel.multi_cost_ms(subset, BATCH);
+        let sum: f64 = subset
+            .iter()
+            .map(|p| kernel.multi_cost_ms(std::slice::from_ref(p), BATCH))
+            .sum();
+        let ratio = fused / sum;
+        assert!(ratio < 1.0, "T={t}: fused {fused} >= sum {sum}");
+        assert!(
+            ratio < prev_ratio + 0.02,
+            "T={t}: fusion benefit should not shrink noticeably ({prev_ratio} -> {ratio})"
+        );
+        prev_ratio = ratio;
+    }
+}
+
+/// Observation 3: across random placements, the max communication cost is
+/// strongly positively correlated with the max device dimension.
+#[test]
+fn observation_3_comm_tracks_max_device_dim() {
+    let pool = augment_pool(&TablePool::synthetic_dlrm(120, 7), &PAPER_DIMS);
+    let comm = CommParams::pcie_server();
+    for d in [4usize, 8] {
+        let generator =
+            PlacementGenerator::new(pool.clone(), d, 10 * d, 10 * d).with_max_start_ms(0.0);
+        let placements = generator.generate(40, 11);
+        let (mut xs, mut ys) = (Vec::new(), Vec::new());
+        for p in &placements {
+            let dims = p.device_dims();
+            let costs = comm.forward_costs_ms(&dims, &p.start_ts_ms, BATCH);
+            xs.push(p.max_device_dim());
+            ys.push(costs.iter().cloned().fold(0.0, f64::max));
+        }
+        // Pearson correlation by hand.
+        let n = xs.len() as f64;
+        let mx = xs.iter().sum::<f64>() / n;
+        let my = ys.iter().sum::<f64>() / n;
+        let cov: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+        let vx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+        let vy: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+        let r = cov / (vx * vy).sqrt();
+        assert!(r > 0.9, "{d} GPUs: correlation {r} too weak");
+    }
+}
+
+/// The trace simulator reproduces Figure 1's accumulation effect: with an
+/// imbalanced placement, delays build up and all GPUs accrue idle time.
+#[test]
+fn figure_1_imbalance_accumulates_idle_time() {
+    use neuroshard::sim::{Cluster, GpuSpec, NoiseModel, TraceSimulator};
+    let t = |d| TableProfile::new(d, 1 << 20, 12.0, 0.3, 1.0);
+    let cluster =
+        Cluster::new(GpuSpec::rtx_2080_ti(), 3, BATCH).with_noise(NoiseModel::disabled());
+    let sim = TraceSimulator::new(cluster, 8.0);
+
+    let balanced = vec![vec![t(64); 2]; 3];
+    let skewed = vec![vec![t(64); 6], vec![t(64)], vec![t(64)]];
+    let b = sim.simulate(&balanced, 30).unwrap();
+    let s = sim.simulate(&skewed, 30).unwrap();
+    assert!(s.mean_idle_ms > b.mean_idle_ms * 2.0);
+    assert!(s.iteration_ms > b.iteration_ms);
+}

@@ -1,0 +1,101 @@
+//! Property-based integration tests over sharding-plan invariants.
+
+use proptest::prelude::*;
+
+use neuroshard::core::{apply_split_plan, ShardingPlan, SplitStep};
+use neuroshard::data::{ShardingTask, TableConfig, TableId};
+
+fn arbitrary_tables() -> impl Strategy<Value = Vec<TableConfig>> {
+    proptest::collection::vec(
+        (2u32..8, 12u32..24, 1.0f64..40.0, 0.6f64..1.6).prop_map(|(dp, rp, pf, za)| {
+            TableConfig::new(TableId(0), 1 << dp, 1u64 << rp, pf, za)
+        }),
+        1..12,
+    )
+    .prop_map(|mut ts| {
+        for (i, t) in ts.iter_mut().enumerate() {
+            *t = TableConfig::new(TableId(i as u32), t.dim(), t.hash_size(), t.pooling_factor(), t.zipf_alpha());
+        }
+        ts
+    })
+}
+
+proptest! {
+    /// Any legal split plan conserves total memory exactly and grows the
+    /// table count by exactly the number of steps.
+    #[test]
+    fn split_plans_conserve_memory(
+        tables in arbitrary_tables(),
+        raw_steps in proptest::collection::vec((0usize..20, any::<bool>()), 0..10),
+    ) {
+        let total_before: u64 = tables.iter().map(TableConfig::memory_bytes).sum();
+        // Build a plan that is legal by construction: clamp indices and
+        // drop illegal steps.
+        let mut list = tables.clone();
+        let mut plan = Vec::new();
+        for (idx_raw, is_row) in raw_steps {
+            let index = idx_raw % list.len();
+            let step = if is_row { SplitStep::row(index) } else { SplitStep::column(index) };
+            let ok = if is_row {
+                list[index].split_rows().is_some()
+            } else {
+                list[index].split_columns().is_some()
+            };
+            if !ok {
+                continue;
+            }
+            let halves = if is_row {
+                list[index].split_rows().unwrap()
+            } else {
+                list[index].split_columns().unwrap()
+            };
+            list[index] = halves.0;
+            list.push(halves.1);
+            plan.push(step);
+        }
+        let sharded = apply_split_plan(&tables, &plan).expect("plan built to be legal");
+        prop_assert_eq!(sharded.len(), tables.len() + plan.len());
+        let total_after: u64 = sharded.iter().map(TableConfig::memory_bytes).sum();
+        prop_assert_eq!(total_before, total_after);
+        // Shard identities trace back to the originals.
+        for t in &sharded {
+            prop_assert!(tables.iter().any(|orig| orig.id() == t.id()));
+        }
+    }
+
+    /// Device grouping is an exact partition of the sharded tables, and the
+    /// derived per-device aggregates are consistent.
+    #[test]
+    fn plans_partition_tables(
+        tables in arbitrary_tables(),
+        devices in 1usize..6,
+        assignment_seed in any::<u64>(),
+    ) {
+        let device_of: Vec<usize> = (0..tables.len())
+            .map(|i| ((assignment_seed >> (i % 60)) as usize) % devices)
+            .collect();
+        let plan = ShardingPlan::new(vec![], tables.clone(), device_of, devices).unwrap();
+        let grouped = plan.device_tables();
+        prop_assert_eq!(grouped.iter().map(Vec::len).sum::<usize>(), tables.len());
+        let bytes: u64 = plan.device_bytes().iter().sum();
+        prop_assert_eq!(bytes, tables.iter().map(TableConfig::memory_bytes).sum::<u64>());
+        let dims: f64 = plan.device_dims().iter().sum();
+        let expect: f64 = tables.iter().map(|t| f64::from(t.dim())).sum();
+        prop_assert!((dims - expect).abs() < 1e-9);
+    }
+
+    /// validate() accepts exactly the plans derived from the task's own
+    /// tables and rejects plans with foreign tables.
+    #[test]
+    fn validate_rejects_foreign_tables(tables in arbitrary_tables()) {
+        let task = ShardingTask::new(tables.clone(), 2, u64::MAX, 1024);
+        let device_of = vec![0; tables.len()];
+        let good = ShardingPlan::new(vec![], tables.clone(), device_of.clone(), 2).unwrap();
+        prop_assert!(good.validate(&task).is_ok());
+
+        let mut foreign = tables;
+        foreign[0] = TableConfig::new(TableId(9999), foreign[0].dim(), foreign[0].hash_size(), 1.0, 1.0);
+        let bad = ShardingPlan::new(vec![], foreign, device_of, 2).unwrap();
+        prop_assert!(bad.validate(&task).is_err());
+    }
+}
