@@ -143,7 +143,12 @@ mod tests {
         ];
         for algo in algos {
             let plan = algo.shard(&task).unwrap();
-            assert_eq!(plan.sharded_tables().len(), task.num_tables(), "{}", algo.name());
+            assert_eq!(
+                plan.sharded_tables().len(),
+                task.num_tables(),
+                "{}",
+                algo.name()
+            );
             assert!(plan.num_column_splits() == 0);
             assert!(plan.device_of().iter().all(|&d| d < 4));
         }
@@ -167,8 +172,16 @@ mod tests {
         let max = dims.iter().cloned().fold(0.0, f64::max);
         let min = dims.iter().cloned().fold(f64::INFINITY, f64::min);
         // Greedy on sorted dims keeps the spread below the largest table.
-        let largest = task.tables().iter().map(|t| f64::from(t.dim())).fold(0.0, f64::max);
-        assert!(max - min <= largest, "spread {} > largest {largest}", max - min);
+        let largest = task
+            .tables()
+            .iter()
+            .map(|t| f64::from(t.dim()))
+            .fold(0.0, f64::max);
+        assert!(
+            max - min <= largest,
+            "spread {} > largest {largest}",
+            max - min
+        );
     }
 
     #[test]
@@ -176,7 +189,12 @@ mod tests {
         let task = task();
         let plan = SizeGreedy.shard(&task).unwrap();
         let bytes = plan.device_bytes();
-        let largest = task.tables().iter().map(TableConfig::memory_bytes).max().unwrap();
+        let largest = task
+            .tables()
+            .iter()
+            .map(TableConfig::memory_bytes)
+            .max()
+            .unwrap();
         let max = *bytes.iter().max().unwrap();
         let min = *bytes.iter().min().unwrap();
         assert!(max - min <= largest);

@@ -143,10 +143,7 @@ impl ImitationSharder {
 /// Replays an expert trajectory in canonical order (bytes-descending),
 /// invoking `visit(per-device inputs, expert device)` per step, and
 /// returns the number of steps.
-fn replay(
-    entry: &LogEntry,
-    mut visit: impl FnMut(&[Vec<f32>], usize),
-) -> usize {
+fn replay(entry: &LogEntry, mut visit: impl FnMut(&[Vec<f32>], usize)) -> usize {
     let mut order: Vec<usize> = (0..entry.sharded_tables.len()).collect();
     order.sort_by_key(|&i| std::cmp::Reverse(entry.sharded_tables[i].memory_bytes()));
     let mut state = DeviceState::new(&entry.sharded_tables, entry.num_devices);
@@ -230,7 +227,10 @@ impl ShardingAlgorithm for ImitationSharder {
             tables[idx] = a;
             tables.push(b);
         }
-        debug_assert_eq!(apply_split_plan(task.tables(), &split_plan).as_deref(), Ok(&tables[..]));
+        debug_assert_eq!(
+            apply_split_plan(task.tables(), &split_plan).as_deref(),
+            Ok(&tables[..])
+        );
 
         let mut order: Vec<usize> = (0..tables.len()).collect();
         order.sort_by_key(|&i| std::cmp::Reverse(tables[i].memory_bytes()));
@@ -251,7 +251,10 @@ impl ShardingAlgorithm for ImitationSharder {
                         .expect("finite scores")
                 })
                 .ok_or_else(|| PlanError::Infeasible {
-                    reason: format!("imitation policy found no feasible device for {}", table.id()),
+                    reason: format!(
+                        "imitation policy found no feasible device for {}",
+                        table.id()
+                    ),
                 })?;
             state.place(table, chosen);
             placed_bytes[chosen] += table.memory_bytes();
@@ -333,8 +336,7 @@ mod tests {
         let sharder = ImitationSharder::fit(&log_from_expert(&ts), 10, 2);
         let huge = TableConfig::new(TableId(77), 128, 8 << 20, 10.0, 1.0); // 4 GB
         let small = TableConfig::new(TableId(78), 16, 1 << 16, 4.0, 1.0);
-        let task =
-            ShardingTask::new(vec![huge, small], 2, nshard_sim::DEFAULT_MEM_BYTES, 65_536);
+        let task = ShardingTask::new(vec![huge, small], 2, nshard_sim::DEFAULT_MEM_BYTES, 65_536);
         let plan = sharder.shard(&task).unwrap();
         assert!(plan.num_column_splits() >= 1);
         assert!(plan.validate(&task).is_ok());

@@ -148,12 +148,7 @@ impl RlSharder {
 
     /// Reward of an assignment under the variant's objective. Higher is
     /// better.
-    fn reward(
-        &self,
-        task: &ShardingTask,
-        profiles: &[TableProfile],
-        device_of: &[usize],
-    ) -> f64 {
+    fn reward(&self, task: &ShardingTask, profiles: &[TableProfile], device_of: &[usize]) -> f64 {
         let mut assignment: Vec<Vec<TableProfile>> = vec![Vec::new(); task.num_devices()];
         for (i, &d) in device_of.iter().enumerate() {
             assignment[d].push(profiles[i]);
@@ -359,9 +354,8 @@ mod tests {
         let untrained = RlSharder::new(RlVariant::AutoShardLike, 3).with_episodes(1);
         let trained = RlSharder::new(RlVariant::AutoShardLike, 3).with_episodes(64);
         let profiles = t.profiles();
-        let reward = |plan: &ShardingPlan, agent: &RlSharder| {
-            agent.reward(&t, &profiles, plan.device_of())
-        };
+        let reward =
+            |plan: &ShardingPlan, agent: &RlSharder| agent.reward(&t, &profiles, plan.device_of());
         let r_untrained = reward(&untrained.shard(&t).unwrap(), &untrained);
         let r_trained = reward(&trained.shard(&t).unwrap(), &trained);
         assert!(
@@ -383,7 +377,13 @@ mod tests {
 
     #[test]
     fn names_match_variants() {
-        assert_eq!(RlSharder::new(RlVariant::AutoShardLike, 0).name(), "autoshard_like");
-        assert_eq!(RlSharder::new(RlVariant::DreamShardLike, 0).name(), "dreamshard_like");
+        assert_eq!(
+            RlSharder::new(RlVariant::AutoShardLike, 0).name(),
+            "autoshard_like"
+        );
+        assert_eq!(
+            RlSharder::new(RlVariant::DreamShardLike, 0).name(),
+            "dreamshard_like"
+        );
     }
 }

@@ -47,5 +47,10 @@ fn bench_cache_penalty(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_kernel_law, bench_comm_law, bench_cache_penalty);
+criterion_group!(
+    benches,
+    bench_kernel_law,
+    bench_comm_law,
+    bench_cache_penalty
+);
 criterion_main!(benches);

@@ -38,7 +38,11 @@ use nshard_sim::GpuSpec;
 
 fn main() {
     let mut raw: Vec<String> = std::env::args().skip(1).collect();
-    let command = if raw.is_empty() { String::new() } else { raw.remove(0) };
+    let command = if raw.is_empty() {
+        String::new()
+    } else {
+        raw.remove(0)
+    };
     let args = Args::from_vec(raw);
     let workdir = PathBuf::from(args.get_opt("workdir").unwrap_or_else(|| "work".into()));
 
@@ -105,7 +109,10 @@ fn gen_tasks(workdir: &Path, args: &Args) {
     let tasks: Vec<ShardingTask> = (0..count)
         .map(|i| ShardingTask::sample(&pool, gpus, t_min..=t_max, max_dim, seed ^ i as u64))
         .collect();
-    write_json(&workdir.join(format!("data/tasks/{gpus}_gpus.json")), &tasks);
+    write_json(
+        &workdir.join(format!("data/tasks/{gpus}_gpus.json")),
+        &tasks,
+    );
     println!("{count} sharding tasks generated!");
 }
 
@@ -141,7 +148,8 @@ fn train(workdir: &Path, args: &Args) {
         ..TrainSettings::default()
     };
 
-    let compute_data: nshard_cost::ComputeDataset = read_json(&workdir.join("cost_data/compute.json"));
+    let compute_data: nshard_cost::ComputeDataset =
+        read_json(&workdir.join("cost_data/compute.json"));
     let fwd_data: nshard_nn::Dataset = read_json(&workdir.join("cost_data/comm_fwd.json"));
     let bwd_data: nshard_nn::Dataset = read_json(&workdir.join("cost_data/comm_bwd.json"));
 
@@ -226,8 +234,7 @@ fn eval_tasks(workdir: &Path, args: &Args, ground_truth: bool) {
         neuroshard = NeuroShard::new(bundle.clone(), NeuroShardConfig::default());
         &neuroshard
     } else {
-        boxed = algorithm(&alg, seed)
-            .unwrap_or_else(|| panic!("unknown algorithm {alg:?}"));
+        boxed = algorithm(&alg, seed).unwrap_or_else(|| panic!("unknown algorithm {alg:?}"));
         boxed.as_ref()
     };
 
@@ -246,7 +253,10 @@ fn eval_tasks(workdir: &Path, args: &Args, ground_truth: bool) {
                 continue;
             }
             valid += 1;
-            costs.push(sim.estimate_plan(&plan.device_profiles(task.batch_size())).total_ms());
+            costs.push(
+                sim.estimate_plan(&plan.device_profiles(task.batch_size()))
+                    .total_ms(),
+            );
         }
     }
     let mean = costs.iter().sum::<f64>() / costs.len().max(1) as f64;

@@ -57,11 +57,23 @@ fn main() {
     let comm_data = collect_comm_data(&pool, spec.comm(), d, &collect, seed ^ 0x1234);
     let mut comm_fwd = CommCostModel::new(d, seed ^ 0x2);
     let fwd_mse = comm_fwd
-        .train(&comm_data.forward, train.epochs, train.batch_size, train.learning_rate, seed)
+        .train(
+            &comm_data.forward,
+            train.epochs,
+            train.batch_size,
+            train.learning_rate,
+            seed,
+        )
         .test_mse;
     let mut comm_bwd = CommCostModel::new(d, seed ^ 0x4);
     let bwd_mse = comm_bwd
-        .train(&comm_data.backward, train.epochs, train.batch_size, train.learning_rate, seed)
+        .train(
+            &comm_data.backward,
+            train.epochs,
+            train.batch_size,
+            train.learning_rate,
+            seed,
+        )
         .test_mse;
 
     let tasks: Vec<ShardingTask> = (0..tasks_n)
@@ -117,7 +129,12 @@ fn main() {
         })
         .collect();
     print_markdown_table(
-        &["compute model", "test MSE (ms^2)", "embedding cost (ms)", "success"],
+        &[
+            "compute model",
+            "test MSE (ms^2)",
+            "embedding cost (ms)",
+            "success",
+        ],
         &table,
     );
     println!(

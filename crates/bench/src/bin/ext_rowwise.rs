@@ -69,7 +69,10 @@ fn main() {
         .collect();
 
     let mut rows = Vec::new();
-    for (name, row_wise) in [("column-wise only (paper)", false), ("with row-wise extension", true)] {
+    for (name, row_wise) in [
+        ("column-wise only (paper)", false),
+        ("with row-wise extension", true),
+    ] {
         let config = NeuroShardConfig {
             use_row_wise: row_wise,
             ..NeuroShardConfig::default()
@@ -121,7 +124,13 @@ fn main() {
         })
         .collect();
     print_markdown_table(
-        &["variant", "cost (ms)", "success", "row splits/task", "col splits/task"],
+        &[
+            "variant",
+            "cost (ms)",
+            "success",
+            "row splits/task",
+            "col splits/task",
+        ],
         &table,
     );
     println!(

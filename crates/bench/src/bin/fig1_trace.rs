@@ -38,17 +38,25 @@ fn main() {
     }
     let mut imbalanced: Vec<Vec<TableProfile>> = vec![Vec::new(); d];
     for (i, p) in profiles.iter().enumerate() {
-        let g = if i < profiles.len() / 2 { 0 } else { 1 + i % (d - 1) };
+        let g = if i < profiles.len() / 2 {
+            0
+        } else {
+            1 + i % (d - 1)
+        };
         imbalanced[g].push(*p);
     }
 
-    let cluster = Cluster::new(GpuSpec::rtx_2080_ti(), d, 65_536).with_noise(NoiseModel::disabled());
+    let cluster =
+        Cluster::new(GpuSpec::rtx_2080_ti(), d, 65_536).with_noise(NoiseModel::disabled());
     let sim = TraceSimulator::new(cluster, 8.0);
     let b = sim.simulate(&balanced, 30).expect("balanced plan fits");
     let s = sim.simulate(&imbalanced, 30).expect("imbalanced plan fits");
 
     println!("# Figure 1 (right) — synchronous training traces, {d} GPUs\n");
-    println!("## Balanced placement (iteration {:.2} ms, max idle {:.2} ms)\n", b.iteration_ms, b.max_idle_ms);
+    println!(
+        "## Balanced placement (iteration {:.2} ms, max idle {:.2} ms)\n",
+        b.iteration_ms, b.max_idle_ms
+    );
     render(&b);
     println!(
         "\n## Imbalanced placement (iteration {:.2} ms, max idle {:.2} ms)\n",

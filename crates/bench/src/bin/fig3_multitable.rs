@@ -65,11 +65,23 @@ fn main() {
         .iter()
         .zip(&multis)
         .take(15)
-        .map(|(s, m)| vec![format!("{s:.2}"), format!("{m:.2}"), format!("{:.3}", m / s)])
+        .map(|(s, m)| {
+            vec![
+                format!("{s:.2}"),
+                format!("{m:.2}"),
+                format!("{:.3}", m / s),
+            ]
+        })
         .collect();
-    print_markdown_table(&["sum of singles (ms)", "fused multi-table (ms)", "ratio"], &rows);
+    print_markdown_table(
+        &["sum of singles (ms)", "fused multi-table (ms)", "ratio"],
+        &rows,
+    );
     println!("\n(first 15 of {subsets} subsets shown)");
-    println!("mean fused/sum ratio: {ratio:.3} (fusion saves {:.1}%)", (1.0 - ratio) * 100.0);
+    println!(
+        "mean fused/sum ratio: {ratio:.3} (fusion saves {:.1}%)",
+        (1.0 - ratio) * 100.0
+    );
     println!("Pearson r of the scatter: {r:.3} (correlated but not the identity line)");
     println!(
         "Observation 2 (fused < sum for every subset): {}",

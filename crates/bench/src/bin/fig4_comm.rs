@@ -48,8 +48,8 @@ fn main() {
     // collective simultaneously, isolating the placement's effect.
     let augmented = augment_pool(&pool, &PAPER_DIMS);
     for (d, t_min, t_max) in [(4usize, 40usize, 40usize), (8, 80, 80)] {
-        let generator = PlacementGenerator::new(augmented.clone(), d, t_min, t_max)
-            .with_max_start_ms(0.0);
+        let generator =
+            PlacementGenerator::new(augmented.clone(), d, t_min, t_max).with_max_start_ms(0.0);
         let ps = generator.generate(placements, seed ^ d as u64);
         let mut max_dims = Vec::new();
         let mut fwd = Vec::new();
@@ -68,11 +68,12 @@ fn main() {
             .iter()
             .zip(fwd.iter().zip(&bwd))
             .take(12)
-            .map(|(dim, (f, b))| {
-                vec![format!("{dim:.0}"), format!("{f:.2}"), format!("{b:.2}")]
-            })
+            .map(|(dim, (f, b))| vec![format!("{dim:.0}"), format!("{f:.2}"), format!("{b:.2}")])
             .collect();
-        print_markdown_table(&["max device dim", "max fwd comm (ms)", "max bwd comm (ms)"], &rows);
+        print_markdown_table(
+            &["max device dim", "max fwd comm (ms)", "max bwd comm (ms)"],
+            &rows,
+        );
         println!("(first 12 of {placements} placements shown)");
         println!("Pearson r: fwd {rf:.3}, bwd {rb:.3}\n");
         // Observation 3: strong positive correlation. The paper's scatter
@@ -93,7 +94,11 @@ fn main() {
 
     println!(
         "Observation 3 (max comm cost positively correlates with max device dim): {}",
-        if output.observation3_holds { "HOLDS" } else { "VIOLATED" }
+        if output.observation3_holds {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
     );
     maybe_write_json(&args, &output);
 }

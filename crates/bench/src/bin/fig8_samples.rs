@@ -93,9 +93,14 @@ fn main() {
             ]
         })
         .collect();
-    print_markdown_table(&["samples", "compute MSE", "fwd comm MSE", "bwd comm MSE"], &rows);
+    print_markdown_table(
+        &["samples", "compute MSE", "fwd comm MSE", "bwd comm MSE"],
+        &rows,
+    );
 
-    println!("\n# Figure 8 (right) — sharding quality vs. training samples (max dim 128, 4 GPUs)\n");
+    println!(
+        "\n# Figure 8 (right) — sharding quality vs. training samples (max dim 128, 4 GPUs)\n"
+    );
     let rows: Vec<Vec<String>> = output
         .points
         .iter()

@@ -8,9 +8,9 @@
 
 use serde::Serialize;
 
+use nshard_baselines::{RandomSharding, ShardingAlgorithm};
 use nshard_bench::{maybe_write_json, pearson, print_markdown_table, Args};
 use nshard_core::evaluate_plan;
-use nshard_baselines::{RandomSharding, ShardingAlgorithm};
 use nshard_cost::{CollectConfig, CostModelBundle, CostSimulator, TrainSettings};
 use nshard_data::{ShardingTask, TablePool};
 use nshard_sim::GpuSpec;

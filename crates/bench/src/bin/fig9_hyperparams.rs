@@ -76,10 +76,26 @@ fn main() {
     let base = NeuroShardConfig::default();
     type MakeConfig = Box<dyn Fn(usize) -> NeuroShardConfig>;
     let sweeps: Vec<(&str, Vec<usize>, MakeConfig)> = vec![
-        ("N", vec![1, 3, 5, 10, 15], Box::new(move |v| NeuroShardConfig { n: v, ..base })),
-        ("K", vec![1, 2, 3, 5], Box::new(move |v| NeuroShardConfig { k: v, ..base })),
-        ("L", vec![0, 2, 5, 10, 15], Box::new(move |v| NeuroShardConfig { l: v, ..base })),
-        ("M", vec![1, 3, 6, 11, 16], Box::new(move |v| NeuroShardConfig { m: v, ..base })),
+        (
+            "N",
+            vec![1, 3, 5, 10, 15],
+            Box::new(move |v| NeuroShardConfig { n: v, ..base }),
+        ),
+        (
+            "K",
+            vec![1, 2, 3, 5],
+            Box::new(move |v| NeuroShardConfig { k: v, ..base }),
+        ),
+        (
+            "L",
+            vec![0, 2, 5, 10, 15],
+            Box::new(move |v| NeuroShardConfig { l: v, ..base }),
+        ),
+        (
+            "M",
+            vec![1, 3, 6, 11, 16],
+            Box::new(move |v| NeuroShardConfig { m: v, ..base }),
+        ),
     ];
 
     let mut output = Output { sweeps: Vec::new() };
@@ -107,9 +123,7 @@ fn main() {
         print_markdown_table(&[name, "cost (ms)", "time (s)"], &rows);
         output.sweeps.push((name.to_string(), points));
     }
-    println!(
-        "\n(Expected shape: cost improves, time grows, as each hyperparameter increases.)"
-    );
+    println!("\n(Expected shape: cost improves, time grows, as each hyperparameter increases.)");
 
     maybe_write_json(&args, &output);
 }

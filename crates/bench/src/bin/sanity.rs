@@ -17,12 +17,24 @@ fn main() {
     eprintln!("pretraining bundle...");
     let t0 = std::time::Instant::now();
     let bundle = CostModelBundle::pretrain(
-        &pool, 4,
-        &CollectConfig { compute_samples: 3000, comm_samples: 2000, ..Default::default() },
-        &TrainSettings { epochs: 20, ..Default::default() },
+        &pool,
+        4,
+        &CollectConfig {
+            compute_samples: 3000,
+            comm_samples: 2000,
+            ..Default::default()
+        },
+        &TrainSettings {
+            epochs: 20,
+            ..Default::default()
+        },
         42,
     );
-    eprintln!("pretrained in {:.1}s; report {:?}", t0.elapsed().as_secs_f64(), bundle.report());
+    eprintln!(
+        "pretrained in {:.1}s; report {:?}",
+        t0.elapsed().as_secs_f64(),
+        bundle.report()
+    );
     let ns = NeuroShard::new(bundle, NeuroShardConfig::default());
 
     let algos: Vec<Box<dyn ShardingAlgorithm>> = vec![
@@ -42,7 +54,11 @@ fn main() {
             let mut costs = vec![];
             let mut fails = 0;
             for (i, task) in tasks.iter().enumerate() {
-                match algo.shard(task).ok().and_then(|p| evaluate_plan(task, &p, &spec, i as u64).ok()) {
+                match algo
+                    .shard(task)
+                    .ok()
+                    .and_then(|p| evaluate_plan(task, &p, &spec, i as u64).ok())
+                {
                     Some(c) => costs.push(c.max_total_ms()),
                     None => fails += 1,
                 }
@@ -55,13 +71,23 @@ fn main() {
         let mut time = 0.0;
         for (i, task) in tasks.iter().enumerate() {
             let t0 = std::time::Instant::now();
-            match ns.shard(task).ok().and_then(|p| evaluate_plan(task, &p, &spec, i as u64).ok()) {
+            match ns
+                .shard(task)
+                .ok()
+                .and_then(|p| evaluate_plan(task, &p, &spec, i as u64).ok())
+            {
                 Some(c) => costs.push(c.max_total_ms()),
                 None => fails += 1,
             }
             time += t0.elapsed().as_secs_f64();
         }
         let mean = costs.iter().sum::<f64>() / costs.len().max(1) as f64;
-        println!("{:20} mean {:8.2} ms  fails {}/5  ({:.2}s/task)", "neuroshard", mean, fails, time / 5.0);
+        println!(
+            "{:20} mean {:8.2} ms  fails {}/5  ({:.2}s/task)",
+            "neuroshard",
+            mean,
+            fails,
+            time / 5.0
+        );
     }
 }

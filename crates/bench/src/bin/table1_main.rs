@@ -131,7 +131,10 @@ fn main() {
                     ]
                 })
                 .collect();
-            print_markdown_table(&["method", "cost (ms)", "success", "time/task"], &table_rows);
+            print_markdown_table(
+                &["method", "cost (ms)", "success", "time/task"],
+                &table_rows,
+            );
             if let Some(imp) = improvement {
                 println!("\nNeuroShard improvement over strongest baseline: {imp:+.1}%");
             }

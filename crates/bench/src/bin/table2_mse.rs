@@ -62,13 +62,25 @@ fn main() {
     println!("# Table 2 — testing MSE of the neural cost models (ms^2)\n");
     let rows: Vec<Vec<String>> = vec![
         std::iter::once("Computation".to_string())
-            .chain(settings.iter().map(|(_, r)| format!("{:.3}", r.compute_test_mse)))
+            .chain(
+                settings
+                    .iter()
+                    .map(|(_, r)| format!("{:.3}", r.compute_test_mse)),
+            )
             .collect(),
         std::iter::once("Forward Communication".to_string())
-            .chain(settings.iter().map(|(_, r)| format!("{:.3}", r.fwd_comm_test_mse)))
+            .chain(
+                settings
+                    .iter()
+                    .map(|(_, r)| format!("{:.3}", r.fwd_comm_test_mse)),
+            )
             .collect(),
         std::iter::once("Backward Communication".to_string())
-            .chain(settings.iter().map(|(_, r)| format!("{:.3}", r.bwd_comm_test_mse)))
+            .chain(
+                settings
+                    .iter()
+                    .map(|(_, r)| format!("{:.3}", r.bwd_comm_test_mse)),
+            )
             .collect(),
     ];
     let headers: Vec<String> = std::iter::once("model".to_string())

@@ -104,7 +104,13 @@ fn main() {
         let (t_min, t_max) = if d == 4 { (10, 60) } else { (20, 120) };
         let tasks: Vec<ShardingTask> = (0..tasks_n)
             .map(|i| {
-                ShardingTask::sample(&pool, d, t_min..=t_max, 128, seed ^ (d as u64) << 40 ^ i as u64)
+                ShardingTask::sample(
+                    &pool,
+                    d,
+                    t_min..=t_max,
+                    128,
+                    seed ^ (d as u64) << 40 ^ i as u64,
+                )
             })
             .collect();
 
@@ -139,8 +145,10 @@ fn main() {
             .map(|(name, cfg)| run_variant(name, cfg, &bundle, &tasks, &spec, seed))
             .collect();
 
-        println!("\n# Table {} — ablation, max dim 128, {d} GPUs ({tasks_n} tasks)\n",
-                 if d == 4 { "3" } else { "7" });
+        println!(
+            "\n# Table {} — ablation, max dim 128, {d} GPUs ({tasks_n} tasks)\n",
+            if d == 4 { "3" } else { "7" }
+        );
         let table: Vec<Vec<String>> = rows
             .iter()
             .map(|r| {
@@ -154,7 +162,13 @@ fn main() {
             })
             .collect();
         print_markdown_table(
-            &["variant", "cost (ms)", "success rate", "sharding time (s)", "cache hit rate"],
+            &[
+                "variant",
+                "cost (ms)",
+                "success rate",
+                "sharding time (s)",
+                "cache hit rate",
+            ],
             &table,
         );
         output.settings.push((d, rows));

@@ -195,13 +195,18 @@ fn main() {
         sharding_time_s: ns_time,
     });
 
-    println!("\n# Table 4 — production model: {} tables, {:.2} TB, {d} GPUs\n", task.num_tables(), total_tb);
+    println!(
+        "\n# Table 4 — production model: {} tables, {:.2} TB, {d} GPUs\n",
+        task.num_tables(),
+        total_tb
+    );
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
             vec![
                 r.name.clone(),
-                r.embedding_cost_ms.map_or("-".into(), |c| format!("{c:.1}")),
+                r.embedding_cost_ms
+                    .map_or("-".into(), |c| format!("{c:.1}")),
                 r.throughput_improvement_pct
                     .map_or("-".into(), |p| format!("{p:+.1}%")),
                 format!("{:.1}", r.sharding_time_s),
@@ -209,7 +214,12 @@ fn main() {
         })
         .collect();
     print_markdown_table(
-        &["method", "embedding cost (ms)", "throughput improvement", "sharding time (s)"],
+        &[
+            "method",
+            "embedding cost (ms)",
+            "throughput improvement",
+            "sharding time (s)",
+        ],
         &table,
     );
     println!(

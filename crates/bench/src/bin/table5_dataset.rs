@@ -78,7 +78,10 @@ fn main() {
             format!("{:.1}", prod.avg_pooling_factor),
         ],
     ];
-    print_markdown_table(&["dataset", "# tables", "avg hash size", "avg pooling factor"], &rows);
+    print_markdown_table(
+        &["dataset", "# tables", "avg hash size", "avg pooling factor"],
+        &rows,
+    );
     println!(
         "\nSynthetic DLRM pool: max hash size {} rows, total {:.1} GB at native dims.",
         stats.max_hash_size,

@@ -139,10 +139,8 @@ impl<'a> BeamSearch<'a> {
 
         // Beam entries carry (plan, cost) — infeasible plans carry +inf so
         // they sort last but can still be extended toward feasibility.
-        let mut beam: Vec<(SplitPlan, f64)> = vec![(
-            Vec::new(),
-            best.as_ref().map_or(f64::INFINITY, |b| b.1),
-        )];
+        let mut beam: Vec<(SplitPlan, f64)> =
+            vec![(Vec::new(), best.as_ref().map_or(f64::INFINITY, |b| b.1))];
 
         for _level in 0..self.l {
             let mut next: Vec<(SplitPlan, f64)> = Vec::new();
@@ -241,7 +239,11 @@ impl<'a> BeamSearch<'a> {
         by_size.sort_by(|&a, &b| tables[b].memory_bytes().cmp(&tables[a].memory_bytes()));
 
         let mut picked: Vec<usize> = Vec::with_capacity(2 * self.n);
-        for &i in by_cost.iter().take(self.n).chain(by_size.iter().take(self.n)) {
+        for &i in by_cost
+            .iter()
+            .take(self.n)
+            .chain(by_size.iter().take(self.n))
+        {
             if !picked.contains(&i) {
                 picked.push(i);
             }
@@ -285,7 +287,15 @@ mod tests {
 
     fn small_task(d: usize) -> ShardingTask {
         let tables: Vec<TableConfig> = (0..8)
-            .map(|i| TableConfig::new(TableId(i), if i % 2 == 0 { 64 } else { 16 }, 1 << 18, 8.0, 1.0))
+            .map(|i| {
+                TableConfig::new(
+                    TableId(i),
+                    if i % 2 == 0 { 64 } else { 16 },
+                    1 << 18,
+                    8.0,
+                    1.0,
+                )
+            })
             .collect();
         ShardingTask::new(tables, d, nshard_sim::DEFAULT_MEM_BYTES, 65_536)
     }
@@ -293,7 +303,11 @@ mod tests {
     #[test]
     fn finds_a_valid_plan() {
         let sim = sim(2);
-        let search = BeamSearch::new(&sim).with_l(2).with_n(3).with_k(2).with_m(3);
+        let search = BeamSearch::new(&sim)
+            .with_l(2)
+            .with_n(3)
+            .with_k(2)
+            .with_m(3);
         let task = small_task(2);
         let result = search.search(&task).unwrap();
         assert!(result.plan.validate(&task).is_ok());
@@ -310,7 +324,11 @@ mod tests {
         // 1.25 GB budget: the 2 GB table must split, and its 1 GB halves
         // plus the small table then fit comfortably.
         let task = ShardingTask::new(vec![big, small], 2, (1 << 30) + (1 << 28), 65_536);
-        let search = BeamSearch::new(&sim).with_l(3).with_n(2).with_k(2).with_m(3);
+        let search = BeamSearch::new(&sim)
+            .with_l(3)
+            .with_n(2)
+            .with_k(2)
+            .with_m(3);
         let result = search.search(&task).unwrap();
         assert!(
             !result.plan.split_plan().is_empty(),
@@ -363,8 +381,15 @@ mod tests {
         // split it (dim 4 is the lane minimum), so plain NeuroShard fails...
         let tall = TableConfig::new(TableId(0), 4, 512 << 20, 16.0, 1.0);
         let task = ShardingTask::new(vec![tall], 2, nshard_sim::DEFAULT_MEM_BYTES, 65_536);
-        let plain = BeamSearch::new(&sim).with_l(4).with_n(2).with_k(2).with_m(3);
-        assert!(matches!(plain.search(&task), Err(PlanError::Infeasible { .. })));
+        let plain = BeamSearch::new(&sim)
+            .with_l(4)
+            .with_n(2)
+            .with_k(2)
+            .with_m(3);
+        assert!(matches!(
+            plain.search(&task),
+            Err(PlanError::Infeasible { .. })
+        ));
         // ...while the row-wise extension splits it across devices.
         let extended = plain.with_row_wise(true);
         let result = extended.search(&task).unwrap();
@@ -376,7 +401,11 @@ mod tests {
     fn row_wise_never_hurts_estimated_cost() {
         let sim = sim(2);
         let task = small_task(2);
-        let plain = BeamSearch::new(&sim).with_l(2).with_n(3).with_k(2).with_m(3);
+        let plain = BeamSearch::new(&sim)
+            .with_l(2)
+            .with_n(3)
+            .with_k(2)
+            .with_m(3);
         let base = plain.search(&task).unwrap();
         let extended = plain.with_row_wise(true).search(&task).unwrap();
         assert!(extended.estimated_cost_ms <= base.estimated_cost_ms + 1e-9);

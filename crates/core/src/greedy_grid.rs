@@ -146,9 +146,7 @@ impl<'a> GreedyGridSearch<'a> {
                 assignment[d].push(profiles[i]);
             }
             let cost = self.sim.estimate_plan(&assignment).total_ms();
-            let better = best
-                .as_ref()
-                .is_none_or(|b| cost < b.estimated_cost_ms);
+            let better = best.as_ref().is_none_or(|b| cost < b.estimated_cost_ms);
             if better {
                 best = Some(GridSearchResult {
                     estimated_cost_ms: cost,

@@ -20,7 +20,11 @@
 //!   tables,
 //! * [`neuroshard`] — the end-to-end [`NeuroShard`] sharder,
 //! * [`eval`] — ground-truth evaluation of finished plans (the paper's
-//!   "collect real costs from GPUs" step).
+//!   "collect real costs from GPUs" step),
+//! * [`repair`] — self-healing of memory-infeasible plans
+//!   (evict-and-replace, cost-model-guided),
+//! * [`fallback`] — the graceful-degradation chain with bounded retries
+//!   and full [`PlanProvenance`] attribution.
 //!
 //! ## Example
 //!
@@ -44,15 +48,25 @@
 
 pub mod beam;
 pub mod eval;
+pub mod fallback;
 pub mod greedy_grid;
 pub mod neuroshard;
 pub mod plan;
+pub mod repair;
 
 pub use beam::{BeamSearch, BeamSearchResult};
 pub use eval::{evaluate_plan, evaluate_plan_exact};
+pub use fallback::{
+    size_balanced_plan, FallbackChain, PlanProvenance, PlanSource, ProvenanceEvent, ResilientError,
+    ResilientOutcome, RetryPolicy,
+};
 pub use greedy_grid::{GreedyGridSearch, GridSearchResult};
 pub use neuroshard::{NeuroShard, NeuroShardConfig, ShardOutcome};
-pub use plan::{apply_column_plan, apply_split_plan, ColumnPlan, PlanError, ShardingPlan, SplitKind, SplitPlan, SplitStep};
+pub use plan::{
+    apply_column_plan, apply_split_plan, ColumnPlan, PlanError, ShardingPlan, SplitKind, SplitPlan,
+    SplitStep,
+};
+pub use repair::{RepairConfig, RepairEngine, RepairReport, RepairStep};
 
 use nshard_data::ShardingTask;
 

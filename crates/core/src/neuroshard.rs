@@ -137,7 +137,11 @@ impl NeuroShard {
         let mut search = BeamSearch::new(&self.sim)
             .with_n(self.config.n)
             .with_k(self.config.k)
-            .with_l(if self.config.use_beam { self.config.l } else { 0 })
+            .with_l(if self.config.use_beam {
+                self.config.l
+            } else {
+                0
+            })
             .with_m(self.config.m)
             .with_row_wise(self.config.use_row_wise);
         if !self.config.use_grid {
@@ -194,7 +198,13 @@ mod tests {
     fn task(d: usize) -> ShardingTask {
         let tables: Vec<TableConfig> = (0..10)
             .map(|i| {
-                TableConfig::new(TableId(i), if i % 3 == 0 { 64 } else { 16 }, 1 << 18, 8.0, 1.0)
+                TableConfig::new(
+                    TableId(i),
+                    if i % 3 == 0 { 64 } else { 16 },
+                    1 << 18,
+                    8.0,
+                    1.0,
+                )
             })
             .collect();
         ShardingTask::new(tables, d, nshard_sim::DEFAULT_MEM_BYTES, 65_536)

@@ -414,7 +414,10 @@ mod tests {
     #[test]
     fn out_of_range_step_errors() {
         let err = apply_column_plan(&[t(0, 64)], &[3]).unwrap_err();
-        assert!(matches!(err, PlanError::ColumnIndexOutOfRange { index: 3, .. }));
+        assert!(matches!(
+            err,
+            PlanError::ColumnIndexOutOfRange { index: 3, .. }
+        ));
     }
 
     #[test]
@@ -467,7 +470,10 @@ mod tests {
         let big = TableConfig::new(TableId(0), 64, 1 << 20, 5.0, 1.0); // 256 MB
         let task = ShardingTask::new(vec![big], 1, 1024, 1024); // 1 KB budget
         let plan = ShardingPlan::new(vec![], vec![big], vec![0], 1).unwrap();
-        assert!(matches!(plan.validate(&task), Err(PlanError::Invalid { .. })));
+        assert!(matches!(
+            plan.validate(&task),
+            Err(PlanError::Invalid { .. })
+        ));
     }
 
     #[test]

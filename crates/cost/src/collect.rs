@@ -285,7 +285,10 @@ mod tests {
         let data = collect_comm_data(&pool(), &CommParams::pcie_server(), 4, &cfg, 3);
         assert_eq!(data.forward.len(), 40);
         assert_eq!(data.backward.len(), 40);
-        assert_eq!(data.forward.x().cols(), crate::features::comm_feature_dim(4));
+        assert_eq!(
+            data.forward.x().cols(),
+            crate::features::comm_feature_dim(4)
+        );
     }
 
     #[test]

@@ -46,7 +46,10 @@ pub mod features;
 pub mod simulator;
 
 pub use cache::PredictionCache;
-pub use collect::{collect_comm_data, collect_compute_data, CollectConfig, CommDataset, ComputeDataset, ComputeSample};
+pub use collect::{
+    collect_comm_data, collect_compute_data, CollectConfig, CommDataset, ComputeDataset,
+    ComputeSample,
+};
 pub use comm_model::CommCostModel;
 pub use compute::{ComputeCostModel, ComputeTrainReport};
 pub use features::{comm_feature_dim, comm_features, table_features, TABLE_FEATURE_DIM};

@@ -95,7 +95,14 @@ impl CostModelBundle {
         train: &TrainSettings,
         seed: u64,
     ) -> Self {
-        Self::pretrain_with_spec(pool, num_devices, &GpuSpec::rtx_2080_ti(), collect, train, seed)
+        Self::pretrain_with_spec(
+            pool,
+            num_devices,
+            &GpuSpec::rtx_2080_ti(),
+            collect,
+            train,
+            seed,
+        )
     }
 
     /// Pre-trains a bundle against an explicit hardware spec (e.g.
@@ -108,7 +115,15 @@ impl CostModelBundle {
         train: &TrainSettings,
         seed: u64,
     ) -> Self {
-        Self::pretrain_with_laws(pool, num_devices, spec.kernel(), spec.comm(), collect, train, seed)
+        Self::pretrain_with_laws(
+            pool,
+            num_devices,
+            spec.kernel(),
+            spec.comm(),
+            collect,
+            train,
+            seed,
+        )
     }
 
     /// Pre-trains against explicit cost laws.
@@ -306,7 +321,8 @@ impl CostSimulator {
             self.bundle.compute.predict(&feats)
         };
         if self.cache_enabled {
-            self.cache.get_or_insert_with(table_set_key(tables), predict)
+            self.cache
+                .get_or_insert_with(table_set_key(tables), predict)
         } else {
             // Still count lookups so ablation hit rates read 0%.
             self.cache.count_miss();
@@ -370,7 +386,13 @@ mod tests {
 
     fn quick_bundle(d: usize) -> CostModelBundle {
         let pool = TablePool::synthetic_dlrm(40, 1);
-        CostModelBundle::pretrain(&pool, d, &CollectConfig::smoke(), &TrainSettings::smoke(), 3)
+        CostModelBundle::pretrain(
+            &pool,
+            d,
+            &CollectConfig::smoke(),
+            &TrainSettings::smoke(),
+            3,
+        )
     }
 
     fn t(dim: u32) -> TableProfile {

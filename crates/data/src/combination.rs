@@ -68,7 +68,10 @@ impl CombinationGenerator {
     ///
     /// Panics if the pool is empty, `t_min == 0`, or `t_min > t_max`.
     pub fn new(pool: TablePool, t_min: usize, t_max: usize) -> Self {
-        assert!(!pool.is_empty(), "combination generator needs a non-empty pool");
+        assert!(
+            !pool.is_empty(),
+            "combination generator needs a non-empty pool"
+        );
         assert!(t_min > 0, "t_min must be at least 1");
         assert!(t_min <= t_max, "t_min must not exceed t_max");
         Self { pool, t_min, t_max }

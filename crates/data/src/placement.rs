@@ -91,7 +91,10 @@ impl PlacementGenerator {
     /// Panics if the pool is empty, `num_devices == 0`, `t_min == 0`, or
     /// `t_min > t_max`.
     pub fn new(pool: TablePool, num_devices: usize, t_min: usize, t_max: usize) -> Self {
-        assert!(!pool.is_empty(), "placement generator needs a non-empty pool");
+        assert!(
+            !pool.is_empty(),
+            "placement generator needs a non-empty pool"
+        );
         assert!(num_devices > 0, "need at least one device");
         assert!(t_min > 0 && t_min <= t_max, "invalid table-count range");
         Self {
@@ -223,9 +226,7 @@ mod tests {
         let hi_ps: Vec<&&Placement> = hi.iter().filter(|p| p.greedy_prob > 0.8).collect();
         let lo_ps: Vec<&&Placement> = lo.iter().filter(|p| p.greedy_prob < 0.2).collect();
         assert!(!hi_ps.is_empty() && !lo_ps.is_empty());
-        let mean = |v: &[&&Placement]| {
-            v.iter().map(|p| imbalance(p)).sum::<f64>() / v.len() as f64
-        };
+        let mean = |v: &[&&Placement]| v.iter().map(|p| imbalance(p)).sum::<f64>() / v.len() as f64;
         assert!(mean(&hi_ps) < mean(&lo_ps));
     }
 

@@ -172,9 +172,23 @@ impl TablePool {
         let n = self.tables.len().max(1) as f64;
         PoolStats {
             num_tables: self.tables.len(),
-            avg_hash_size: self.tables.iter().map(|t| t.hash_size() as f64).sum::<f64>() / n,
-            max_hash_size: self.tables.iter().map(TableConfig::hash_size).max().unwrap_or(0),
-            avg_pooling_factor: self.tables.iter().map(TableConfig::pooling_factor).sum::<f64>()
+            avg_hash_size: self
+                .tables
+                .iter()
+                .map(|t| t.hash_size() as f64)
+                .sum::<f64>()
+                / n,
+            max_hash_size: self
+                .tables
+                .iter()
+                .map(TableConfig::hash_size)
+                .max()
+                .unwrap_or(0),
+            avg_pooling_factor: self
+                .tables
+                .iter()
+                .map(TableConfig::pooling_factor)
+                .sum::<f64>()
                 / n,
             max_pooling_factor: self
                 .tables
@@ -232,8 +246,14 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        assert_eq!(TablePool::synthetic_dlrm(50, 7), TablePool::synthetic_dlrm(50, 7));
-        assert_ne!(TablePool::synthetic_dlrm(50, 7), TablePool::synthetic_dlrm(50, 8));
+        assert_eq!(
+            TablePool::synthetic_dlrm(50, 7),
+            TablePool::synthetic_dlrm(50, 7)
+        );
+        assert_ne!(
+            TablePool::synthetic_dlrm(50, 7),
+            TablePool::synthetic_dlrm(50, 8)
+        );
     }
 
     #[test]

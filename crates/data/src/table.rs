@@ -53,7 +53,13 @@ impl TableConfig {
     /// # Panics
     ///
     /// Panics if `dim == 0` or `hash_size == 0` or `pooling_factor <= 0`.
-    pub fn new(id: TableId, dim: u32, hash_size: u64, pooling_factor: f64, zipf_alpha: f64) -> Self {
+    pub fn new(
+        id: TableId,
+        dim: u32,
+        hash_size: u64,
+        pooling_factor: f64,
+        zipf_alpha: f64,
+    ) -> Self {
         assert!(dim > 0, "dimension must be positive");
         assert!(hash_size > 0, "hash size must be positive");
         assert!(

@@ -73,7 +73,10 @@ impl ShardingTask {
         max_dim: u32,
         seed: u64,
     ) -> Self {
-        assert!(max_dim >= 4 && max_dim.is_power_of_two(), "max_dim must be a power of two >= 4");
+        assert!(
+            max_dim >= 4 && max_dim.is_power_of_two(),
+            "max_dim must be a power of two >= 4"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let t = rng.random_range(t_range);
         let dims: Vec<u32> = (2..=max_dim.ilog2()).map(|j| 1 << j).collect();
@@ -216,7 +219,12 @@ impl TaskGrid {
     /// Samples `count` tasks for each cell; `tasks[i]` corresponds to
     /// `cells()[i]`. Seeds are derived per cell and per task, so the same
     /// grid + seed reproduces the same task set.
-    pub fn sample_tasks(&self, pool: &TablePool, count: usize, seed: u64) -> Vec<Vec<ShardingTask>> {
+    pub fn sample_tasks(
+        &self,
+        pool: &TablePool,
+        count: usize,
+        seed: u64,
+    ) -> Vec<Vec<ShardingTask>> {
         self.cells
             .iter()
             .enumerate()

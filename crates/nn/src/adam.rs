@@ -132,7 +132,11 @@ impl Adam {
         bias1: f32,
         bias2: f32,
     ) {
-        assert_eq!(params.len(), grads.len(), "parameter/gradient length mismatch");
+        assert_eq!(
+            params.len(),
+            grads.len(),
+            "parameter/gradient length mismatch"
+        );
         for i in 0..params.len() {
             let g = grads[i];
             m[i] = beta1 * m[i] + (1.0 - beta1) * g;

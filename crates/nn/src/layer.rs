@@ -155,7 +155,10 @@ mod tests {
     fn relu_backward_masks() {
         let pre = Matrix::from_rows([vec![-1.0, 0.5]]);
         let dy = Matrix::from_rows([vec![3.0, 3.0]]);
-        assert_eq!(relu_backward(&pre, &dy), Matrix::from_rows([vec![0.0, 3.0]]));
+        assert_eq!(
+            relu_backward(&pre, &dy),
+            Matrix::from_rows([vec![0.0, 3.0]])
+        );
     }
 
     /// Finite-difference gradient check on a tiny layer.

@@ -65,7 +65,11 @@ impl Gradients {
     ///
     /// Panics on shape mismatch.
     pub fn accumulate(&mut self, other: &Gradients, scale: f32) {
-        assert_eq!(self.layers.len(), other.layers.len(), "gradient layer mismatch");
+        assert_eq!(
+            self.layers.len(),
+            other.layers.len(),
+            "gradient layer mismatch"
+        );
         for ((dw, db), (ow, ob)) in self.layers.iter_mut().zip(&other.layers) {
             dw.add_scaled(ow, scale);
             for (b, &o) in db.iter_mut().zip(ob) {
@@ -155,7 +159,11 @@ impl Mlp {
     ///
     /// Panics if `cache` does not match this network's depth.
     pub fn backward(&self, cache: &MlpCache, dy: &Matrix) -> (Matrix, Gradients) {
-        assert_eq!(cache.inputs.len(), self.layers.len(), "cache depth mismatch");
+        assert_eq!(
+            cache.inputs.len(),
+            self.layers.len(),
+            "cache depth mismatch"
+        );
         let mut grads = Vec::with_capacity(self.layers.len());
         let mut d = dy.clone();
         let last = self.layers.len() - 1;
@@ -229,7 +237,10 @@ mod tests {
             mp.layers_mut()[0].params_mut().0[idx] += eps;
             let num = (loss(&mp, &x) - base) / eps;
             let analytic = grads.layers[0].0.as_slice()[idx];
-            assert!((num - analytic).abs() < 1e-2, "dW0[{idx}]: {num} vs {analytic}");
+            assert!(
+                (num - analytic).abs() < 1e-2,
+                "dW0[{idx}]: {num} vs {analytic}"
+            );
         }
     }
 

@@ -308,7 +308,10 @@ mod tests {
         let report = trainer.fit(Mlp::new(2, &[8], 1, 1), &d, 3);
         let first = report.valid_history[0];
         let last = *report.valid_history.last().unwrap();
-        assert!(last < first, "validation MSE did not improve: {first} -> {last}");
+        assert!(
+            last < first,
+            "validation MSE did not improve: {first} -> {last}"
+        );
     }
 
     #[test]
@@ -332,7 +335,8 @@ mod tests {
         let back: Dataset = serde_json::from_str(&json).unwrap();
         assert_eq!(d, back);
         // Tampered row counts are rejected at deserialization time.
-        let bad = r#"{"x":{"rows":2,"cols":1,"data":[1.0,2.0]},"y":{"rows":1,"cols":1,"data":[3.0]}}"#;
+        let bad =
+            r#"{"x":{"rows":2,"cols":1,"data":[1.0,2.0]},"y":{"rows":1,"cols":1,"data":[3.0]}}"#;
         assert!(serde_json::from_str::<Dataset>(bad).is_err());
     }
 

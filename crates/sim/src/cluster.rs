@@ -9,9 +9,10 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::comm::CommCosts;
+use crate::comm::{CommCosts, CommParams};
 use crate::device::GpuSpec;
 use crate::error::SimError;
+use crate::fault::FaultPlan;
 use crate::kernel::profile_stream;
 use crate::noise::NoiseModel;
 use crate::profile::TableProfile;
@@ -184,6 +185,20 @@ impl Cluster {
     /// devices; [`SimError::OutOfMemory`] for the first device whose tables
     /// exceed the budget.
     pub fn check_memory(&self, assignment: &[Vec<TableProfile>]) -> Result<(), SimError> {
+        self.check_memory_with_faults(assignment, &FaultPlan::default())
+    }
+
+    /// Like [`Cluster::check_memory`], but against the *effective* budgets
+    /// under `faults` (memory pressure shrinks individual devices).
+    ///
+    /// # Errors
+    ///
+    /// See [`Cluster::check_memory`].
+    pub fn check_memory_with_faults(
+        &self,
+        assignment: &[Vec<TableProfile>],
+        faults: &FaultPlan,
+    ) -> Result<(), SimError> {
         if assignment.len() != self.num_devices {
             return Err(SimError::InvalidPlan {
                 reason: format!(
@@ -195,11 +210,12 @@ impl Cluster {
         }
         for (g, tables) in assignment.iter().enumerate() {
             let required: u64 = tables.iter().map(TableProfile::memory_bytes).sum();
-            if required > self.spec.mem_budget_bytes() {
+            let budget = faults.effective_budget_bytes(g, self.spec.mem_budget_bytes());
+            if required > budget {
                 return Err(SimError::OutOfMemory {
                     device: g,
                     required_bytes: required,
-                    budget_bytes: self.spec.mem_budget_bytes(),
+                    budget_bytes: budget,
                 });
             }
         }
@@ -224,8 +240,12 @@ impl Cluster {
     /// # Errors
     ///
     /// See [`Cluster::check_memory`].
-    pub fn evaluate(&self, assignment: &[Vec<TableProfile>], seed: u64) -> Result<PlanCosts, SimError> {
-        self.evaluate_inner(assignment, Some(seed))
+    pub fn evaluate(
+        &self,
+        assignment: &[Vec<TableProfile>],
+        seed: u64,
+    ) -> Result<PlanCosts, SimError> {
+        self.evaluate_inner(assignment, Some(seed), &FaultPlan::default())
     }
 
     /// Evaluates a plan with the exact analytic law (no measurement noise).
@@ -234,17 +254,60 @@ impl Cluster {
     ///
     /// See [`Cluster::check_memory`].
     pub fn evaluate_exact(&self, assignment: &[Vec<TableProfile>]) -> Result<PlanCosts, SimError> {
-        self.evaluate_inner(assignment, None)
+        self.evaluate_inner(assignment, None, &FaultPlan::default())
+    }
+
+    /// Like [`Cluster::evaluate`], but under injected `faults`: stragglers
+    /// slow their device's kernels, degraded links cut the all-to-all
+    /// bandwidth, memory pressure shrinks budgets, and transient faults can
+    /// abort the measurement for some seeds.
+    ///
+    /// # Errors
+    ///
+    /// See [`Cluster::check_memory`], plus [`SimError::TransientFailure`]
+    /// when a transient fault fires for this `seed`.
+    pub fn evaluate_with_faults(
+        &self,
+        assignment: &[Vec<TableProfile>],
+        seed: u64,
+        faults: &FaultPlan,
+    ) -> Result<PlanCosts, SimError> {
+        self.evaluate_inner(assignment, Some(seed), faults)
+    }
+
+    /// Like [`Cluster::evaluate_exact`], but under injected `faults`.
+    /// Transient faults never fire: they model *measurement* flakiness, and
+    /// the exact path is the analytic law.
+    ///
+    /// # Errors
+    ///
+    /// See [`Cluster::check_memory`].
+    pub fn evaluate_exact_with_faults(
+        &self,
+        assignment: &[Vec<TableProfile>],
+        faults: &FaultPlan,
+    ) -> Result<PlanCosts, SimError> {
+        self.evaluate_inner(assignment, None, faults)
     }
 
     fn evaluate_inner(
         &self,
         assignment: &[Vec<TableProfile>],
         seed: Option<u64>,
+        faults: &FaultPlan,
     ) -> Result<PlanCosts, SimError> {
-        self.check_memory(assignment)?;
+        self.check_memory_with_faults(assignment, faults)?;
+        if let Some(s) = seed {
+            if let Some(device) = faults.transient_failure(s, self.num_devices) {
+                return Err(SimError::TransientFailure {
+                    device,
+                    reason: "injected measurement fault".into(),
+                });
+            }
+        }
         let kernel = self.spec.kernel();
-        let comm = self.spec.comm();
+        let comm = degraded_comm(self.spec.comm(), faults);
+        let comm = &comm;
 
         let noise = match seed {
             Some(s) => NoiseModel::new(s ^ self.noise.seed(), self.noise.sigma()),
@@ -253,15 +316,19 @@ impl Cluster {
 
         let fwd_compute: Vec<f64> = assignment
             .iter()
-            .map(|tables| {
-                let base = kernel.multi_forward_ms(tables, self.batch_size);
+            .enumerate()
+            .map(|(g, tables)| {
+                let base =
+                    kernel.multi_forward_ms(tables, self.batch_size) * faults.compute_slowdown(g);
                 noise.median_measurement(base, MEASURE_REPEATS, profile_stream(tables))
             })
             .collect();
         let bwd_compute: Vec<f64> = assignment
             .iter()
-            .map(|tables| {
-                let base = kernel.multi_backward_ms(tables, self.batch_size);
+            .enumerate()
+            .map(|(g, tables)| {
+                let base =
+                    kernel.multi_backward_ms(tables, self.batch_size) * faults.compute_slowdown(g);
                 noise.median_measurement(base, MEASURE_REPEATS, profile_stream(tables) ^ 0x1)
             })
             .collect();
@@ -294,6 +361,16 @@ impl Cluster {
     }
 }
 
+/// The communication parameters with the fault plan's bandwidth cut
+/// applied (identity for a healthy fabric).
+fn degraded_comm(comm: &CommParams, faults: &FaultPlan) -> CommParams {
+    let scale = faults.bandwidth_scale();
+    CommParams {
+        base_bw_gbps: comm.base_bw_gbps * scale,
+        ..*comm
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -310,7 +387,12 @@ mod tests {
     #[test]
     fn balanced_plan_beats_skewed_plan() {
         let c = cluster(4);
-        let balanced = vec![vec![t(64); 3], vec![t(64); 3], vec![t(64); 3], vec![t(64); 3]];
+        let balanced = vec![
+            vec![t(64); 3],
+            vec![t(64); 3],
+            vec![t(64); 3],
+            vec![t(64); 3],
+        ];
         let skewed = vec![vec![t(64); 9], vec![t(64)], vec![t(64)], vec![t(64)]];
         let b = c.evaluate_exact(&balanced).unwrap();
         let s = c.evaluate_exact(&skewed).unwrap();
@@ -328,6 +410,52 @@ mod tests {
             SimError::OutOfMemory { device, .. } => assert_eq!(device, 0),
             other => panic!("expected OutOfMemory, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn exactly_at_budget_is_feasible() {
+        // required == budget must pass: the budget is an inclusive bound.
+        let table = t(64);
+        let c = Cluster::new(
+            GpuSpec::rtx_2080_ti().with_mem_budget(table.memory_bytes()),
+            2,
+            65_536,
+        );
+        c.check_memory(&[vec![table], vec![table]]).unwrap();
+    }
+
+    #[test]
+    fn one_byte_over_budget_is_attributed() {
+        let table = t(64);
+        let c = Cluster::new(
+            GpuSpec::rtx_2080_ti().with_mem_budget(table.memory_bytes() - 1),
+            2,
+            65_536,
+        );
+        let err = c.check_memory(&[vec![], vec![table]]).unwrap_err();
+        match err {
+            SimError::OutOfMemory {
+                device,
+                required_bytes,
+                budget_bytes,
+            } => {
+                assert_eq!(device, 1);
+                assert_eq!(required_bytes, table.memory_bytes());
+                assert_eq!(budget_bytes, table.memory_bytes() - 1);
+            }
+            other => panic!("expected OutOfMemory, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_devices_occupy_zero_bytes() {
+        // Devices with no tables pass the memory check even at budget 0,
+        // and an all-empty plan evaluates without error.
+        let c = Cluster::new(GpuSpec::rtx_2080_ti().with_mem_budget(0), 2, 65_536);
+        c.check_memory(&[vec![], vec![]]).unwrap();
+        let roomy = cluster(2);
+        let costs = roomy.evaluate_exact(&[vec![], vec![]]).unwrap();
+        assert_eq!(costs.devices().len(), 2);
     }
 
     #[test]
@@ -351,13 +479,21 @@ mod tests {
         let c = cluster(2);
         let plan = vec![vec![t(64)], vec![t(32)]];
         assert_eq!(c.evaluate(&plan, 9).unwrap(), c.evaluate(&plan, 9).unwrap());
-        assert_ne!(c.evaluate(&plan, 9).unwrap(), c.evaluate(&plan, 10).unwrap());
+        assert_ne!(
+            c.evaluate(&plan, 9).unwrap(),
+            c.evaluate(&plan, 10).unwrap()
+        );
     }
 
     #[test]
     fn measured_close_to_exact() {
         let c = cluster(4);
-        let plan = vec![vec![t(64), t(32)], vec![t(32)], vec![t(16), t(8)], vec![t(128)]];
+        let plan = vec![
+            vec![t(64), t(32)],
+            vec![t(32)],
+            vec![t(16), t(8)],
+            vec![t(128)],
+        ];
         let exact = c.evaluate_exact(&plan).unwrap().max_total_ms();
         let meas = c.evaluate(&plan, 5).unwrap().max_total_ms();
         assert!((exact - meas).abs() / exact < 0.1);

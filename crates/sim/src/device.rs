@@ -122,6 +122,8 @@ mod tests {
 
     #[test]
     fn datacenter_has_more_memory() {
-        assert!(GpuSpec::datacenter().mem_budget_bytes() > GpuSpec::rtx_2080_ti().mem_budget_bytes());
+        assert!(
+            GpuSpec::datacenter().mem_budget_bytes() > GpuSpec::rtx_2080_ti().mem_budget_bytes()
+        );
     }
 }

@@ -38,6 +38,24 @@ pub enum SimError {
         /// Human-readable description of the violated constraint.
         reason: String,
     },
+    /// A cost measurement failed transiently (injected via
+    /// `Fault::TransientFailures`, modelling flaky profiling runs).
+    /// Retrying the same operation with a different seed may succeed.
+    TransientFailure {
+        /// Device the failure is attributed to.
+        device: usize,
+        /// Human-readable description of the failure.
+        reason: String,
+    },
+}
+
+impl SimError {
+    /// `true` for errors that may clear on retry (currently only
+    /// [`SimError::TransientFailure`]); `false` for persistent conditions
+    /// like out-of-memory.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, SimError::TransientFailure { .. })
+    }
 }
 
 impl fmt::Display for SimError {
@@ -61,6 +79,10 @@ impl fmt::Display for SimError {
             ),
             SimError::InvalidTable { reason } => write!(f, "invalid table profile: {reason}"),
             SimError::InvalidPlan { reason } => write!(f, "invalid sharding plan: {reason}"),
+            SimError::TransientFailure { device, reason } => write!(
+                f,
+                "transient measurement failure on device {device}: {reason}"
+            ),
         }
     }
 }
@@ -82,6 +104,72 @@ mod tests {
         assert!(msg.contains("device 3"));
         assert!(msg.contains("10"));
         assert!(msg.contains("5"));
+    }
+
+    #[test]
+    fn display_covers_every_variant() {
+        let cases = [
+            (
+                SimError::OutOfMemory {
+                    device: 1,
+                    required_bytes: 2048,
+                    budget_bytes: 1024,
+                },
+                "device 1 out of memory: plan requires 2048 bytes but budget is 1024 bytes",
+            ),
+            (
+                SimError::DeviceOutOfRange {
+                    device: 7,
+                    num_devices: 4,
+                },
+                "device index 7 out of range for a cluster of 4 devices",
+            ),
+            (
+                SimError::InvalidTable {
+                    reason: "dimension must be positive".into(),
+                },
+                "invalid table profile: dimension must be positive",
+            ),
+            (
+                SimError::InvalidPlan {
+                    reason: "no devices".into(),
+                },
+                "invalid sharding plan: no devices",
+            ),
+            (
+                SimError::TransientFailure {
+                    device: 2,
+                    reason: "injected fault".into(),
+                },
+                "transient measurement failure on device 2: injected fault",
+            ),
+        ];
+        for (err, expected) in cases {
+            assert_eq!(err.to_string(), expected);
+        }
+    }
+
+    #[test]
+    fn only_transient_failures_are_transient() {
+        assert!(SimError::TransientFailure {
+            device: 0,
+            reason: "flaky".into(),
+        }
+        .is_transient());
+        let persistent = [
+            SimError::OutOfMemory {
+                device: 0,
+                required_bytes: 2,
+                budget_bytes: 1,
+            },
+            SimError::DeviceOutOfRange {
+                device: 1,
+                num_devices: 1,
+            },
+            SimError::InvalidTable { reason: "x".into() },
+            SimError::InvalidPlan { reason: "x".into() },
+        ];
+        assert!(persistent.iter().all(|e| !e.is_transient()));
     }
 
     #[test]

@@ -1,0 +1,526 @@
+//! Deterministic fault injection for the ground-truth simulator.
+//!
+//! Real sharding systems do not run on the pristine clusters that cost
+//! models are calibrated against: individual GPUs throttle (stragglers),
+//! all-to-all links degrade, memory is shared with other jobs, and cost
+//! measurements occasionally fail outright. This module injects those
+//! conditions into [`Cluster`] evaluations in a fully seeded, reproducible
+//! way so that the planner's degradation behaviour can be tested
+//! bit-for-bit.
+//!
+//! A [`FaultPlan`] is a composable set of [`Fault`]s plus a seed:
+//!
+//! * [`Fault::Straggler`] — one device's kernels run `slowdown`× slower,
+//! * [`Fault::DegradedLinks`] — the all-to-all bandwidth is cut to a
+//!   fraction of its calibrated value,
+//! * [`Fault::MemoryPressure`] — one device only has a fraction of its
+//!   embedding-memory budget available,
+//! * [`Fault::TransientFailures`] — measured evaluations fail with some
+//!   probability (deterministic in the evaluation seed), modelling flaky
+//!   profiling runs.
+//!
+//! [`FaultyCluster`] bundles a [`Cluster`] with a [`FaultPlan`] and exposes
+//! the same evaluation API, so everything written against `Cluster` can be
+//! re-run under faults.
+//!
+//! # Example
+//!
+//! ```
+//! use nshard_sim::{Cluster, Fault, FaultPlan, FaultyCluster, GpuSpec, TableProfile};
+//!
+//! let cluster = Cluster::new(GpuSpec::rtx_2080_ti(), 2, 65_536);
+//! let faults = FaultPlan::new(7)
+//!     .with_fault(Fault::Straggler { device: 0, slowdown: 2.0 })
+//!     .with_fault(Fault::DegradedLinks { bandwidth_scale: 0.5 });
+//! let faulty = FaultyCluster::new(cluster.clone(), faults);
+//!
+//! let t = |d| TableProfile::new(d, 1 << 20, 12.0, 0.3, 1.0);
+//! let plan = vec![vec![t(64)], vec![t(64)]];
+//! let clean = cluster.evaluate_exact(&plan)?;
+//! let degraded = faulty.evaluate_exact(&plan)?;
+//! assert!(degraded.max_total_ms() > clean.max_total_ms());
+//! # Ok::<(), nshard_sim::SimError>(())
+//! ```
+
+use crate::cluster::{Cluster, PlanCosts};
+use crate::error::SimError;
+use crate::profile::TableProfile;
+
+/// One injected fault condition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Fault {
+    /// Device `device` computes `slowdown`× slower than the spec
+    /// (thermal throttling, a co-located job, a failing board).
+    Straggler {
+        /// Index of the slow device.
+        device: usize,
+        /// Kernel-time multiplier, `>= 1.0`.
+        slowdown: f64,
+    },
+    /// The all-to-all fabric delivers only `bandwidth_scale` of its
+    /// calibrated bandwidth (congestion from another tenant, a downgraded
+    /// link).
+    DegradedLinks {
+        /// Multiplier on the calibrated bandwidth, in `(0, 1]`.
+        bandwidth_scale: f64,
+    },
+    /// Device `device` only has `usable_fraction` of its embedding-memory
+    /// budget available (fragmentation, memory shared with other model
+    /// parts).
+    MemoryPressure {
+        /// Index of the constrained device.
+        device: usize,
+        /// Fraction of the budget still usable, in `(0, 1]`.
+        usable_fraction: f64,
+    },
+    /// Each measured evaluation fails with probability `rate`
+    /// (deterministically in the evaluation seed), surfacing as
+    /// [`SimError::TransientFailure`].
+    TransientFailures {
+        /// Per-evaluation failure probability, in `[0, 1)`.
+        rate: f64,
+    },
+}
+
+/// A seeded, composable set of injected faults.
+///
+/// The seed only drives *stochastic* faults (transient failures); the
+/// deterministic faults (stragglers, link degradation, memory pressure)
+/// apply identically to every evaluation. An empty plan behaves exactly
+/// like no fault layer at all.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// Creates an empty fault plan with the given seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Adds a fault (builder-style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fault's parameters are out of range: straggler
+    /// `slowdown < 1.0`, `bandwidth_scale`/`usable_fraction` outside
+    /// `(0, 1]`, transient `rate` outside `[0, 1)`, or any parameter
+    /// non-finite.
+    pub fn with_fault(mut self, fault: Fault) -> Self {
+        match &fault {
+            Fault::Straggler { slowdown, .. } => {
+                assert!(
+                    slowdown.is_finite() && *slowdown >= 1.0,
+                    "straggler slowdown must be finite and >= 1.0, got {slowdown}"
+                );
+            }
+            Fault::DegradedLinks { bandwidth_scale } => {
+                assert!(
+                    bandwidth_scale.is_finite()
+                        && *bandwidth_scale > 0.0
+                        && *bandwidth_scale <= 1.0,
+                    "bandwidth scale must be in (0, 1], got {bandwidth_scale}"
+                );
+            }
+            Fault::MemoryPressure {
+                usable_fraction, ..
+            } => {
+                assert!(
+                    usable_fraction.is_finite()
+                        && *usable_fraction > 0.0
+                        && *usable_fraction <= 1.0,
+                    "usable memory fraction must be in (0, 1], got {usable_fraction}"
+                );
+            }
+            Fault::TransientFailures { rate } => {
+                assert!(
+                    rate.is_finite() && (0.0..1.0).contains(rate),
+                    "transient failure rate must be in [0, 1), got {rate}"
+                );
+            }
+        }
+        self.faults.push(fault);
+        self
+    }
+
+    /// The fault seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The injected faults, in insertion order.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// `true` when no faults are injected.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Combined kernel-time multiplier for `device` (product of all
+    /// matching stragglers; `1.0` when the device is healthy).
+    pub fn compute_slowdown(&self, device: usize) -> f64 {
+        self.faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::Straggler {
+                    device: d,
+                    slowdown,
+                } if *d == device => Some(*slowdown),
+                _ => None,
+            })
+            .product()
+    }
+
+    /// Combined bandwidth multiplier across all link degradations
+    /// (`1.0` when the fabric is healthy).
+    pub fn bandwidth_scale(&self) -> f64 {
+        self.faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::DegradedLinks { bandwidth_scale } => Some(*bandwidth_scale),
+                _ => None,
+            })
+            .product()
+    }
+
+    /// Effective memory budget of `device` given a nominal `budget_bytes`
+    /// (product of all matching memory-pressure fractions).
+    pub fn effective_budget_bytes(&self, device: usize, budget_bytes: u64) -> u64 {
+        let fraction: f64 = self
+            .faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::MemoryPressure {
+                    device: d,
+                    usable_fraction,
+                } if *d == device => Some(*usable_fraction),
+                _ => None,
+            })
+            .product();
+        (budget_bytes as f64 * fraction).floor() as u64
+    }
+
+    /// Combined per-evaluation transient failure probability.
+    pub fn transient_rate(&self) -> f64 {
+        let survive: f64 = self
+            .faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::TransientFailures { rate } => Some(1.0 - *rate),
+                _ => None,
+            })
+            .product();
+        1.0 - survive
+    }
+
+    /// Decides (deterministically in `eval_seed`) whether a measured
+    /// evaluation fails transiently, and if so on which device the failure
+    /// is attributed. Returns `None` when the evaluation proceeds.
+    pub fn transient_failure(&self, eval_seed: u64, num_devices: usize) -> Option<usize> {
+        let rate = self.transient_rate();
+        if rate <= 0.0 || num_devices == 0 {
+            return None;
+        }
+        let h = splitmix64(self.seed ^ eval_seed.rotate_left(17) ^ 0xFA17_FA17_FA17_FA17);
+        let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+        if u < rate {
+            Some((splitmix64(h) % num_devices as u64) as usize)
+        } else {
+            None
+        }
+    }
+
+    /// Samples a random fault scenario for chaos testing: up to two
+    /// stragglers, an optional link degradation, optional memory pressure
+    /// and an optional transient failure rate, all drawn deterministically
+    /// from `seed`.
+    pub fn sampled(seed: u64, num_devices: usize) -> Self {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        assert!(
+            num_devices > 0,
+            "a fault scenario needs at least one device"
+        );
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC4A0_5C4A_05C4_A05C);
+        let mut plan = Self::new(seed);
+        for _ in 0..rng.random_range(0..=2u32) {
+            plan = plan.with_fault(Fault::Straggler {
+                device: rng.random_range(0..num_devices),
+                slowdown: rng.random_range(1.2..4.0),
+            });
+        }
+        if rng.random_bool(0.5) {
+            plan = plan.with_fault(Fault::DegradedLinks {
+                bandwidth_scale: rng.random_range(0.3..1.0),
+            });
+        }
+        if rng.random_bool(0.5) {
+            plan = plan.with_fault(Fault::MemoryPressure {
+                device: rng.random_range(0..num_devices),
+                usable_fraction: rng.random_range(0.5..1.0),
+            });
+        }
+        if rng.random_bool(0.4) {
+            plan = plan.with_fault(Fault::TransientFailures {
+                rate: rng.random_range(0.05..0.35),
+            });
+        }
+        plan
+    }
+}
+
+/// A [`Cluster`] evaluated under a [`FaultPlan`]: same API, degraded
+/// behaviour. See the [module documentation](self) for an example.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultyCluster {
+    cluster: Cluster,
+    faults: FaultPlan,
+}
+
+impl FaultyCluster {
+    /// Bundles a cluster with a fault plan.
+    pub fn new(cluster: Cluster, faults: FaultPlan) -> Self {
+        Self { cluster, faults }
+    }
+
+    /// The underlying (healthy) cluster.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// The injected faults.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// Per-device *effective* memory budgets under memory pressure.
+    pub fn effective_budgets(&self) -> Vec<u64> {
+        let base = self.cluster.spec().mem_budget_bytes();
+        (0..self.cluster.num_devices())
+            .map(|d| self.faults.effective_budget_bytes(d, base))
+            .collect()
+    }
+
+    /// Validates `assignment` against the *effective* per-device budgets.
+    ///
+    /// # Errors
+    ///
+    /// See [`Cluster::check_memory`]; budgets reflect memory pressure.
+    pub fn check_memory(&self, assignment: &[Vec<TableProfile>]) -> Result<(), SimError> {
+        self.cluster
+            .check_memory_with_faults(assignment, &self.faults)
+    }
+
+    /// Evaluates a plan with measurement noise under the injected faults.
+    ///
+    /// # Errors
+    ///
+    /// See [`Cluster::check_memory`], plus [`SimError::TransientFailure`]
+    /// when a [`Fault::TransientFailures`] fires for this `seed`.
+    pub fn evaluate(
+        &self,
+        assignment: &[Vec<TableProfile>],
+        seed: u64,
+    ) -> Result<PlanCosts, SimError> {
+        self.cluster
+            .evaluate_with_faults(assignment, seed, &self.faults)
+    }
+
+    /// Evaluates a plan with the exact analytic law under the injected
+    /// faults (transient failures never fire: they model *measurement*
+    /// flakiness).
+    ///
+    /// # Errors
+    ///
+    /// See [`Cluster::check_memory`].
+    pub fn evaluate_exact(&self, assignment: &[Vec<TableProfile>]) -> Result<PlanCosts, SimError> {
+        self.cluster
+            .evaluate_exact_with_faults(assignment, &self.faults)
+    }
+}
+
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::GpuSpec;
+
+    fn t(dim: u32) -> TableProfile {
+        TableProfile::new(dim, 1 << 20, 12.0, 0.3, 1.05)
+    }
+
+    fn faulty(faults: FaultPlan) -> FaultyCluster {
+        FaultyCluster::new(Cluster::new(GpuSpec::rtx_2080_ti(), 2, 65_536), faults)
+    }
+
+    #[test]
+    fn empty_plan_changes_nothing() {
+        let plan = vec![vec![t(64)], vec![t(32)]];
+        let clean = Cluster::new(GpuSpec::rtx_2080_ti(), 2, 65_536);
+        let f = faulty(FaultPlan::new(0));
+        assert_eq!(clean.evaluate_exact(&plan), f.evaluate_exact(&plan));
+        assert_eq!(
+            clean.evaluate(&plan, 3).unwrap(),
+            f.evaluate(&plan, 3).unwrap()
+        );
+    }
+
+    #[test]
+    fn straggler_slows_its_device_and_raises_total() {
+        let plan = vec![vec![t(64)], vec![t(64)]];
+        let clean = faulty(FaultPlan::new(0)).evaluate_exact(&plan).unwrap();
+        let slow = faulty(FaultPlan::new(0).with_fault(Fault::Straggler {
+            device: 0,
+            slowdown: 3.0,
+        }))
+        .evaluate_exact(&plan)
+        .unwrap();
+        assert!(slow.devices()[0].compute_fwd_ms > clean.devices()[0].compute_fwd_ms * 2.5);
+        // Device 1 keeps its compute but waits longer in the collective.
+        assert!(
+            (slow.devices()[1].compute_fwd_ms - clean.devices()[1].compute_fwd_ms).abs() < 1e-12
+        );
+        assert!(slow.devices()[1].comm_fwd_ms > clean.devices()[1].comm_fwd_ms);
+        assert!(slow.max_total_ms() > clean.max_total_ms());
+    }
+
+    #[test]
+    fn degraded_links_raise_comm_costs_only() {
+        let plan = vec![vec![t(64)], vec![t(64)]];
+        let clean = faulty(FaultPlan::new(0)).evaluate_exact(&plan).unwrap();
+        let cut = faulty(FaultPlan::new(0).with_fault(Fault::DegradedLinks {
+            bandwidth_scale: 0.25,
+        }))
+        .evaluate_exact(&plan)
+        .unwrap();
+        for (c, k) in cut.devices().iter().zip(clean.devices()) {
+            assert!((c.compute_fwd_ms - k.compute_fwd_ms).abs() < 1e-12);
+            assert!(c.comm_fwd_ms > k.comm_fwd_ms);
+            assert!(c.comm_bwd_ms > k.comm_bwd_ms);
+        }
+    }
+
+    #[test]
+    fn memory_pressure_shrinks_one_budget() {
+        let f = faulty(FaultPlan::new(0).with_fault(Fault::MemoryPressure {
+            device: 1,
+            usable_fraction: 0.01,
+        }));
+        let budgets = f.effective_budgets();
+        assert_eq!(budgets[0], f.cluster().spec().mem_budget_bytes());
+        assert!(budgets[1] < budgets[0] / 50);
+        // A plan that fits the healthy budget overflows the squeezed device.
+        let plan = vec![vec![t(64)], vec![t(64)]];
+        assert!(f.cluster().check_memory(&plan).is_ok());
+        match f.check_memory(&plan) {
+            Err(SimError::OutOfMemory { device, .. }) => assert_eq!(device, 1),
+            other => panic!("expected OutOfMemory on device 1, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn transient_failures_fire_deterministically_per_seed() {
+        let faults = FaultPlan::new(11).with_fault(Fault::TransientFailures { rate: 0.5 });
+        let f = faulty(faults.clone());
+        let plan = vec![vec![t(64)], vec![t(32)]];
+        let outcomes: Vec<bool> = (0..64).map(|s| f.evaluate(&plan, s).is_err()).collect();
+        let again: Vec<bool> = (0..64).map(|s| f.evaluate(&plan, s).is_err()).collect();
+        assert_eq!(outcomes, again);
+        let failures = outcomes.iter().filter(|&&x| x).count();
+        assert!(
+            (10..55).contains(&failures),
+            "rate 0.5 should fail roughly half of 64 evals, failed {failures}"
+        );
+        // Exact evaluation never fails transiently.
+        assert!(f.evaluate_exact(&plan).is_ok());
+        // The error is typed with device attribution.
+        let seed = (0..64)
+            .position(|s| f.evaluate(&plan, s as u64).is_err())
+            .unwrap() as u64;
+        match f.evaluate(&plan, seed) {
+            Err(SimError::TransientFailure { device, .. }) => assert!(device < 2),
+            other => panic!("expected TransientFailure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn faults_compose() {
+        let faults = FaultPlan::new(5)
+            .with_fault(Fault::Straggler {
+                device: 0,
+                slowdown: 2.0,
+            })
+            .with_fault(Fault::Straggler {
+                device: 0,
+                slowdown: 1.5,
+            })
+            .with_fault(Fault::DegradedLinks {
+                bandwidth_scale: 0.5,
+            })
+            .with_fault(Fault::DegradedLinks {
+                bandwidth_scale: 0.5,
+            });
+        assert!((faults.compute_slowdown(0) - 3.0).abs() < 1e-12);
+        assert!((faults.compute_slowdown(1) - 1.0).abs() < 1e-12);
+        assert!((faults.bandwidth_scale() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampled_scenarios_are_deterministic_and_valid() {
+        for seed in 0..50 {
+            let a = FaultPlan::sampled(seed, 4);
+            let b = FaultPlan::sampled(seed, 4);
+            assert_eq!(a, b);
+            for fault in a.faults() {
+                match fault {
+                    Fault::Straggler { device, slowdown } => {
+                        assert!(*device < 4 && *slowdown >= 1.0);
+                    }
+                    Fault::DegradedLinks { bandwidth_scale } => {
+                        assert!(*bandwidth_scale > 0.0 && *bandwidth_scale <= 1.0);
+                    }
+                    Fault::MemoryPressure {
+                        device,
+                        usable_fraction,
+                    } => {
+                        assert!(*device < 4 && *usable_fraction > 0.0 && *usable_fraction <= 1.0);
+                    }
+                    Fault::TransientFailures { rate } => {
+                        assert!((0.0..1.0).contains(rate));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "slowdown must be finite and >= 1.0")]
+    fn invalid_straggler_rejected() {
+        let _ = FaultPlan::new(0).with_fault(Fault::Straggler {
+            device: 0,
+            slowdown: 0.5,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth scale must be in (0, 1]")]
+    fn invalid_bandwidth_rejected() {
+        let _ = FaultPlan::new(0).with_fault(Fault::DegradedLinks {
+            bandwidth_scale: 0.0,
+        });
+    }
+}

@@ -304,7 +304,9 @@ mod tests {
         // ~9 production-like tables on one GPU should cost a few ms to a few
         // tens of ms (Table 1 reports 17-60 ms totals including comm).
         let p = KernelParams::rtx_2080_ti();
-        let tables: Vec<TableProfile> = (0..9).map(|i| table(if i % 2 == 0 { 64 } else { 32 })).collect();
+        let tables: Vec<TableProfile> = (0..9)
+            .map(|i| table(if i % 2 == 0 { 64 } else { 32 }))
+            .collect();
         let c = p.multi_cost_ms(&tables, 65_536);
         assert!(c > 2.0 && c < 60.0, "per-GPU compute cost {c} out of range");
     }

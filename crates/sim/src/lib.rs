@@ -48,6 +48,7 @@ pub mod cluster;
 pub mod comm;
 pub mod device;
 pub mod error;
+pub mod fault;
 pub mod kernel;
 pub mod noise;
 pub mod profile;
@@ -57,6 +58,7 @@ pub use cluster::{Cluster, DeviceCost, PlanCosts};
 pub use comm::{CommCosts, CommParams};
 pub use device::GpuSpec;
 pub use error::SimError;
+pub use fault::{Fault, FaultPlan, FaultyCluster};
 pub use kernel::KernelParams;
 pub use noise::NoiseModel;
 pub use profile::TableProfile;

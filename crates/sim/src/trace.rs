@@ -320,7 +320,10 @@ mod tests {
     fn deterministic() {
         let s = sim(4);
         let plan = vec![vec![t(64)], vec![t(32)], vec![t(16)], vec![t(128)]];
-        assert_eq!(s.simulate(&plan, 10).unwrap(), s.simulate(&plan, 10).unwrap());
+        assert_eq!(
+            s.simulate(&plan, 10).unwrap(),
+            s.simulate(&plan, 10).unwrap()
+        );
     }
 
     #[test]

@@ -35,9 +35,27 @@ fn main() {
 
     let full = NeuroShardConfig::default();
     let variants = [
-        ("w/o beam search", NeuroShardConfig { use_beam: false, ..full }),
-        ("w/o greedy grid search", NeuroShardConfig { use_grid: false, ..full }),
-        ("w/o caching", NeuroShardConfig { use_cache: false, ..full }),
+        (
+            "w/o beam search",
+            NeuroShardConfig {
+                use_beam: false,
+                ..full
+            },
+        ),
+        (
+            "w/o greedy grid search",
+            NeuroShardConfig {
+                use_grid: false,
+                ..full
+            },
+        ),
+        (
+            "w/o caching",
+            NeuroShardConfig {
+                use_cache: false,
+                ..full
+            },
+        ),
         ("full NeuroShard", full),
     ];
 

@@ -51,9 +51,7 @@ fn main() {
         Box::new(TorchRecLikePlanner::default()),
     ];
 
-    println!(
-        "\n{num_tasks} tasks, {num_gpus} GPUs, max table dimension {max_dim}:\n"
-    );
+    println!("\n{num_tasks} tasks, {num_gpus} GPUs, max table dimension {max_dim}:\n");
     println!("{:<22} {:>12} {:>10}", "method", "cost (ms)", "success");
     println!("{}", "-".repeat(46));
     for algo in &algos {

@@ -87,10 +87,20 @@ fn main() {
     // --- The model as a plan simulator, with the life-long cache. ---
     let sim = CostSimulator::new(bundle);
     let t = |d| TableProfile::new(d, 1 << 20, 12.0, 0.3, 1.0);
-    let plan = vec![vec![t(64), t(32)], vec![t(128)], vec![t(16), t(16)], vec![t(64)]];
+    let plan = vec![
+        vec![t(64), t(32)],
+        vec![t(128)],
+        vec![t(16), t(16)],
+        vec![t(64)],
+    ];
     let est = sim.estimate_plan(&plan);
-    println!("\nplan estimate: {:.2} ms (compute {:.2} + fwd comm {:.2} + bwd comm {:.2})",
-        est.total_ms(), est.max_compute_ms, est.fwd_comm_ms, est.bwd_comm_ms);
+    println!(
+        "\nplan estimate: {:.2} ms (compute {:.2} + fwd comm {:.2} + bwd comm {:.2})",
+        est.total_ms(),
+        est.max_compute_ms,
+        est.fwd_comm_ms,
+        est.bwd_comm_ms
+    );
     let _ = sim.estimate_plan(&plan); // cache-hot second call
     println!(
         "cache after two estimates: {} entries, hit rate {:.0}%",

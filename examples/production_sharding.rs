@@ -61,7 +61,9 @@ fn main() {
     );
 
     // Compare against dimension-greedy on embedding cost and throughput.
-    let greedy_plan = DimGreedy.shard(&task).expect("greedy always returns a plan");
+    let greedy_plan = DimGreedy
+        .shard(&task)
+        .expect("greedy always returns a plan");
     for (name, plan) in [("neuroshard", &outcome.plan), ("dim_greedy", &greedy_plan)] {
         match evaluate_plan(&task, plan, &spec, 1) {
             Ok(costs) => {

@@ -77,7 +77,10 @@ fn main() {
     //    costs from GPUs" step) and compare per-device balance.
     let costs = evaluate_plan(&task, &outcome.plan, &GpuSpec::rtx_2080_ti(), 0)
         .expect("plan fits in memory");
-    println!("\nreal embedding cost: {:.2} ms (max across devices)", costs.max_total_ms());
+    println!(
+        "\nreal embedding cost: {:.2} ms (max across devices)",
+        costs.max_total_ms()
+    );
     for (g, dev) in costs.devices().iter().enumerate() {
         println!(
             "  GPU {g}: compute {:.2} ms, comm {:.2} ms, total {:.2} ms",

@@ -43,8 +43,33 @@ pub use nshard_sim as sim;
 /// Convenience re-exports of the most commonly used items.
 pub mod prelude {
     pub use nshard_baselines::ShardingAlgorithm;
-    pub use nshard_core::{NeuroShard, NeuroShardConfig, ShardingPlan};
+    pub use nshard_core::{FallbackChain, NeuroShard, NeuroShardConfig, ShardingPlan};
     pub use nshard_cost::{CostModelBundle, CostSimulator};
     pub use nshard_data::{ShardingTask, TablePool};
-    pub use nshard_sim::{Cluster, GpuSpec, TableProfile};
+    pub use nshard_sim::{Cluster, Fault, FaultPlan, FaultyCluster, GpuSpec, TableProfile};
+}
+
+/// Resilience: fault injection, plan repair and graceful degradation.
+///
+/// Re-exports the fault layer of [`sim`](nshard_sim) and the repair /
+/// fallback machinery of [`core`](nshard_core), plus the wired-up default
+/// chain used in chaos testing.
+pub mod resilient {
+    pub use nshard_core::{
+        size_balanced_plan, FallbackChain, PlanProvenance, PlanSource, ProvenanceEvent,
+        RepairConfig, RepairEngine, RepairReport, RepairStep, ResilientError, ResilientOutcome,
+        RetryPolicy,
+    };
+    pub use nshard_sim::{Fault, FaultPlan, FaultyCluster};
+
+    use nshard_baselines::SizeGreedy;
+    use nshard_core::{NeuroShard, NeuroShardConfig};
+    use nshard_cost::CostModelBundle;
+
+    /// The default degradation chain: NeuroShard search, repaired
+    /// NeuroShard plan, size-greedy baseline, size-balanced placement.
+    pub fn default_chain(bundle: CostModelBundle, config: NeuroShardConfig) -> FallbackChain {
+        FallbackChain::new(Box::new(NeuroShard::new(bundle, config)))
+            .with_fallback(Box::new(SizeGreedy))
+    }
 }

@@ -1,0 +1,233 @@
+//! Chaos harness: the planner under injected faults.
+//!
+//! Sweeps seeded fault scenarios — stragglers, degraded links, memory
+//! pressure, transient measurement failures — against the fallback chain
+//! and asserts the resilience contract:
+//!
+//! * the planner never panics,
+//! * it returns either a plan that verifies under the faulted cluster or a
+//!   typed [`ResilientError`] with full provenance attribution,
+//! * every outcome is bit-for-bit deterministic per scenario seed.
+
+use neuroshard::baselines::{DimGreedy, SizeGreedy};
+use neuroshard::data::{ShardingTask, TablePool};
+use neuroshard::resilient::{
+    FallbackChain, FaultPlan, FaultyCluster, PlanSource, ProvenanceEvent, ResilientError,
+    ResilientOutcome, RetryPolicy,
+};
+use neuroshard::sim::{Cluster, GpuSpec};
+
+const SCENARIOS: u64 = 24;
+const DEVICES: usize = 4;
+
+/// A faulted ground-truth cluster for `task` under `faults`.
+fn faulty_cluster(task: &ShardingTask, faults: FaultPlan) -> FaultyCluster {
+    FaultyCluster::new(
+        Cluster::new(
+            GpuSpec::rtx_2080_ti().with_mem_budget(task.mem_budget_bytes()),
+            task.num_devices(),
+            task.batch_size(),
+        ),
+        faults,
+    )
+}
+
+/// Builds the chain under test: greedy primary, greedy fallback, verifier
+/// backed by the faulted cluster (so memory checks see *effective* budgets
+/// and measurements can fail transiently).
+fn chain_for(task: &ShardingTask, faults: FaultPlan, seed: u64) -> FallbackChain {
+    let faulty = faulty_cluster(task, faults);
+    FallbackChain::new(Box::new(SizeGreedy))
+        .with_fallback(Box::new(DimGreedy))
+        .with_retry(RetryPolicy {
+            max_retries: 5,
+            base_backoff_ms: 10,
+        })
+        .with_seed(seed)
+        .with_verifier(Box::new(move |task, plan, attempt_seed| {
+            faulty
+                .evaluate(&plan.device_profiles(task.batch_size()), attempt_seed)
+                .map(|_| ())
+        }))
+}
+
+/// The baseline task for `seed`: paper-default 4 GB budget.
+fn base_task(seed: u64) -> ShardingTask {
+    let pool = TablePool::synthetic_dlrm(120, seed);
+    ShardingTask::sample(&pool, DEVICES, 12..=30, 64, seed)
+}
+
+/// The sweep's task for `seed`. Every third scenario gets a tight budget
+/// (15% headroom over perfect balance) so memory-pressure faults actually
+/// bite and the degradation machinery fires.
+fn task_for(seed: u64) -> ShardingTask {
+    let task = base_task(seed);
+    if seed % 3 == 2 {
+        let tight = task.total_bytes() * 115 / (100 * DEVICES as u64);
+        task.with_mem_budget(tight)
+    } else {
+        task
+    }
+}
+
+/// Runs one seeded scenario end to end.
+fn run_scenario(seed: u64, conservative: bool) -> Result<ResilientOutcome, ResilientError> {
+    let faults = FaultPlan::sampled(seed, DEVICES);
+    let task = if conservative {
+        // A budget-aware planner starts from the roomy default budget and
+        // targets the squeezed (effective) one.
+        let task = base_task(seed);
+        let min_budget = (0..DEVICES)
+            .map(|d| faults.effective_budget_bytes(d, task.mem_budget_bytes()))
+            .min()
+            .unwrap();
+        task.with_mem_budget(min_budget)
+    } else {
+        task_for(seed)
+    };
+    chain_for(&task, faults, seed).shard_with_provenance(&task)
+}
+
+#[test]
+fn sweep_never_panics_and_outcomes_are_typed() {
+    let mut plans = 0usize;
+    let mut typed_errors = 0usize;
+    for seed in 0..SCENARIOS {
+        match run_scenario(seed, false) {
+            Ok(outcome) => {
+                plans += 1;
+                // The accepted plan verifies under the *faulted* cluster.
+                let task = task_for(seed);
+                let faulty = faulty_cluster(&task, FaultPlan::sampled(seed, DEVICES));
+                faulty
+                    .check_memory(&outcome.plan.device_profiles(task.batch_size()))
+                    .expect("accepted plan must fit the effective budgets");
+            }
+            Err(err) => {
+                typed_errors += 1;
+                // Attribution: the error names what was attempted and why
+                // each stage failed.
+                assert!(
+                    !err.provenance.events.is_empty(),
+                    "seed {seed}: error without provenance"
+                );
+                assert!(err
+                    .provenance
+                    .events
+                    .iter()
+                    .any(|e| matches!(e, ProvenanceEvent::Attempt { .. })));
+            }
+        }
+    }
+    assert_eq!(plans + typed_errors, SCENARIOS as usize);
+    // The sweep must actually produce plans in the common case.
+    assert!(
+        plans >= SCENARIOS as usize / 2,
+        "only {plans}/{SCENARIOS} scenarios produced a plan"
+    );
+}
+
+#[test]
+fn sweep_is_bit_for_bit_deterministic() {
+    for seed in 0..SCENARIOS {
+        let a = run_scenario(seed, false);
+        let b = run_scenario(seed, false);
+        assert_eq!(a, b, "scenario {seed} is not deterministic");
+    }
+}
+
+#[test]
+fn conservative_planning_mostly_survives_faults() {
+    let mut plans = 0usize;
+    for seed in 0..SCENARIOS {
+        if run_scenario(seed, true).is_ok() {
+            plans += 1;
+        }
+    }
+    // Budget-aware planning should survive the large majority of fault
+    // scenarios (transient-failure storms may still exhaust retries).
+    assert!(
+        plans * 4 >= SCENARIOS as usize * 3,
+        "only {plans}/{SCENARIOS} conservative scenarios produced a plan"
+    );
+}
+
+#[test]
+fn sweep_exercises_the_degradation_machinery() {
+    let mut saw_retry = false;
+    let mut saw_degraded = false;
+    for seed in 0..SCENARIOS {
+        let provenance = match run_scenario(seed, false) {
+            Ok(outcome) => outcome.provenance,
+            Err(err) => err.provenance,
+        };
+        saw_retry |= provenance
+            .events
+            .iter()
+            .any(|e| matches!(e, ProvenanceEvent::TransientRetry { .. }));
+        saw_degraded |= provenance.is_degraded()
+            || provenance.events.iter().any(|e| {
+                matches!(
+                    e,
+                    ProvenanceEvent::VerifyFailed { .. }
+                        | ProvenanceEvent::Repaired { .. }
+                        | ProvenanceEvent::RepairFailed { .. }
+                        | ProvenanceEvent::SearchFailed { .. }
+                )
+            });
+    }
+    assert!(saw_retry, "no scenario exercised transient retries");
+    assert!(saw_degraded, "no scenario exercised a downgrade");
+}
+
+/// The acceptance-criteria integration test: a plan the simulator rejects
+/// with out-of-memory (a "-" cell of Table 1: a memory-oblivious greedy
+/// baseline at large dimensions) is converted into a feasible plan by the
+/// repair engine inside the chain.
+#[test]
+fn oom_greedy_plan_is_repaired_into_feasibility() {
+    use neuroshard::baselines::ShardingAlgorithm;
+    use neuroshard::data::{TableConfig, TableId};
+    use neuroshard::resilient::{RepairConfig, RepairEngine};
+    use neuroshard::sim::SimError;
+
+    // One 6 GB table (plus small companions) on 4 GB devices: no
+    // table-wise placement fits, so every memory-oblivious baseline emits
+    // an OOM plan — the "-" cell.
+    let mut tables = vec![TableConfig::new(TableId(0), 192, 1 << 23, 20.0, 1.0)];
+    for i in 1..6 {
+        tables.push(TableConfig::new(TableId(i), 16, 1 << 18, 8.0, 1.0));
+    }
+    let task = ShardingTask::new(tables, 2, 4 * 1024 * 1024 * 1024, 65_536);
+
+    let oom_plan = DimGreedy.shard(&task).expect("search itself succeeds");
+    let cluster = Cluster::new(
+        GpuSpec::rtx_2080_ti().with_mem_budget(task.mem_budget_bytes()),
+        task.num_devices(),
+        task.batch_size(),
+    );
+    let err = cluster
+        .check_memory(&oom_plan.device_profiles(task.batch_size()))
+        .unwrap_err();
+    assert!(matches!(err, SimError::OutOfMemory { .. }));
+
+    // Direct repair: the previously-OOM plan becomes feasible.
+    let report = RepairEngine::new(RepairConfig::default())
+        .repair(&task, &oom_plan)
+        .expect("repair must salvage the plan");
+    assert!(report.plan.validate(&task).is_ok());
+    assert!(report.initial_overflow_bytes > 0);
+    cluster
+        .check_memory(&report.plan.device_profiles(task.batch_size()))
+        .expect("repaired plan fits");
+
+    // And through the chain: the same task yields a verified plan with
+    // repair recorded in its provenance.
+    let chain = FallbackChain::new(Box::new(DimGreedy));
+    let outcome = chain.shard_with_provenance(&task).unwrap();
+    assert!(matches!(
+        outcome.provenance.source,
+        PlanSource::Repaired { .. }
+    ));
+    assert!(outcome.plan.validate(&task).is_ok());
+}

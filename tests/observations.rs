@@ -88,8 +88,7 @@ fn observation_3_comm_tracks_max_device_dim() {
 fn figure_1_imbalance_accumulates_idle_time() {
     use neuroshard::sim::{Cluster, GpuSpec, NoiseModel, TraceSimulator};
     let t = |d| TableProfile::new(d, 1 << 20, 12.0, 0.3, 1.0);
-    let cluster =
-        Cluster::new(GpuSpec::rtx_2080_ti(), 3, BATCH).with_noise(NoiseModel::disabled());
+    let cluster = Cluster::new(GpuSpec::rtx_2080_ti(), 3, BATCH).with_noise(NoiseModel::disabled());
     let sim = TraceSimulator::new(cluster, 8.0);
 
     let balanced = vec![vec![t(64); 2]; 3];

@@ -4,17 +4,23 @@ use proptest::prelude::*;
 
 use neuroshard::core::{apply_split_plan, ShardingPlan, SplitStep};
 use neuroshard::data::{ShardingTask, TableConfig, TableId};
+use neuroshard::resilient::{RepairConfig, RepairEngine};
 
 fn arbitrary_tables() -> impl Strategy<Value = Vec<TableConfig>> {
     proptest::collection::vec(
-        (2u32..8, 12u32..24, 1.0f64..40.0, 0.6f64..1.6).prop_map(|(dp, rp, pf, za)| {
-            TableConfig::new(TableId(0), 1 << dp, 1u64 << rp, pf, za)
-        }),
+        (2u32..8, 12u32..24, 1.0f64..40.0, 0.6f64..1.6)
+            .prop_map(|(dp, rp, pf, za)| TableConfig::new(TableId(0), 1 << dp, 1u64 << rp, pf, za)),
         1..12,
     )
     .prop_map(|mut ts| {
         for (i, t) in ts.iter_mut().enumerate() {
-            *t = TableConfig::new(TableId(i as u32), t.dim(), t.hash_size(), t.pooling_factor(), t.zipf_alpha());
+            *t = TableConfig::new(
+                TableId(i as u32),
+                t.dim(),
+                t.hash_size(),
+                t.pooling_factor(),
+                t.zipf_alpha(),
+            );
         }
         ts
     })
@@ -82,6 +88,41 @@ proptest! {
         let dims: f64 = plan.device_dims().iter().sum();
         let expect: f64 = tables.iter().map(|t| f64::from(t.dim())).sum();
         prop_assert!((dims - expect).abs() < 1e-9);
+    }
+
+    /// Any plan the repair engine returns is memory-feasible, for arbitrary
+    /// table pools, device counts, budgets and (possibly badly skewed)
+    /// starting assignments. When repair declines, the input plan was
+    /// genuinely infeasible — repair never rejects a healthy plan.
+    #[test]
+    fn repaired_plans_are_memory_feasible(
+        tables in arbitrary_tables(),
+        devices in 1usize..6,
+        assignment_seed in any::<u64>(),
+        headroom_pct in 40u64..400,
+    ) {
+        let total: u64 = tables.iter().map(TableConfig::memory_bytes).sum();
+        let budget = (total * headroom_pct / (100 * devices as u64)).max(1);
+        let task = ShardingTask::new(tables.clone(), devices, budget, 1024);
+        let device_of: Vec<usize> = (0..tables.len())
+            .map(|i| ((assignment_seed >> (i % 60)) as usize) % devices)
+            .collect();
+        let plan = ShardingPlan::new(vec![], tables.clone(), device_of, devices).unwrap();
+        let engine = RepairEngine::new(RepairConfig::default());
+        match engine.repair(&task, &plan) {
+            Ok(report) => {
+                prop_assert!(report.plan.validate(&task).is_ok());
+                for &bytes in &report.plan.device_bytes() {
+                    prop_assert!(bytes <= task.mem_budget_bytes());
+                }
+            }
+            Err(_) => {
+                prop_assert!(
+                    plan.device_bytes().iter().any(|&b| b > budget),
+                    "repair declined a plan that was already feasible"
+                );
+            }
+        }
     }
 
     /// validate() accepts exactly the plans derived from the task's own

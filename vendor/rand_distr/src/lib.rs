@@ -1,0 +1,189 @@
+//! Offline vendored stand-in for `rand_distr`: the Normal, LogNormal and
+//! Gamma distributions used by the synthetic DLRM table pool.
+//!
+//! Normal sampling uses Box–Muller; Gamma uses the Marsaglia–Tsang
+//! squeeze method (with the Ahrens–Dieter boost for shape < 1). The
+//! numeric streams differ from the real crate but the distributions are
+//! correct.
+
+#![forbid(unsafe_code)]
+
+use rand::RngCore;
+
+pub use rand::distr::Distribution;
+
+/// Error constructing a distribution from invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid distribution parameters")
+    }
+}
+
+impl std::error::Error for Error {}
+
+fn unit<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // Uniform in (0, 1]: avoids ln(0) in Box-Muller.
+    (((rng.next_u64() >> 11) as f64) + 1.0) / (1u64 << 53) as f64
+}
+
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    let u1 = unit(rng);
+    let u2 = unit(rng);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Normal (Gaussian) distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution with the given mean and standard
+    /// deviation.
+    ///
+    /// # Errors
+    ///
+    /// [`Error`] if `std_dev` is negative or either parameter is non-finite.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, Error> {
+        if !mean.is_finite() || !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(Error);
+        }
+        Ok(Self { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * standard_normal(rng)
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    norm: Normal,
+}
+
+impl LogNormal {
+    /// Creates a log-normal distribution whose logarithm has mean `mu` and
+    /// standard deviation `sigma`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error`] if `sigma` is negative or either parameter is non-finite.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, Error> {
+        Ok(Self {
+            norm: Normal::new(mu, sigma)?,
+        })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.norm.sample(rng).exp()
+    }
+}
+
+/// Gamma distribution with shape `k` and scale `theta`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gamma {
+    shape: f64,
+    scale: f64,
+}
+
+impl Gamma {
+    /// Creates a gamma distribution.
+    ///
+    /// # Errors
+    ///
+    /// [`Error`] if `shape <= 0` or `scale <= 0` or either is non-finite.
+    pub fn new(shape: f64, scale: f64) -> Result<Self, Error> {
+        if !shape.is_finite() || !scale.is_finite() || shape <= 0.0 || scale <= 0.0 {
+            return Err(Error);
+        }
+        Ok(Self { shape, scale })
+    }
+
+    /// Marsaglia–Tsang sampler for shape >= 1.
+    fn sample_large<R: RngCore + ?Sized>(shape: f64, rng: &mut R) -> f64 {
+        let d = shape - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        loop {
+            let x = standard_normal(rng);
+            let v = (1.0 + c * x).powi(3);
+            if v <= 0.0 {
+                continue;
+            }
+            let u = unit(rng);
+            if u < 1.0 - 0.0331 * x.powi(4) {
+                return d * v;
+            }
+            if u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
+                return d * v;
+            }
+        }
+    }
+}
+
+impl Distribution<f64> for Gamma {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let z = if self.shape >= 1.0 {
+            Self::sample_large(self.shape, rng)
+        } else {
+            // Ahrens–Dieter boost: Gamma(k) = Gamma(k+1) * U^(1/k).
+            Self::sample_large(self.shape + 1.0, rng) * unit(rng).powf(1.0 / self.shape)
+        };
+        z * self.scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mean_of(d: &impl Distribution<f64>, n: usize) -> f64 {
+        let mut rng = StdRng::seed_from_u64(11);
+        (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn normal_mean_and_spread() {
+        let d = Normal::new(5.0, 2.0).unwrap();
+        let m = mean_of(&d, 100_000);
+        assert!((m - 5.0).abs() < 0.05, "mean {m}");
+    }
+
+    #[test]
+    fn lognormal_is_positive() {
+        let d = LogNormal::new(0.0, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(d.sample(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn gamma_mean_matches_shape_scale() {
+        // E[Gamma(k, theta)] = k * theta.
+        let d = Gamma::new(3.0, 2.0).unwrap();
+        let m = mean_of(&d, 100_000);
+        assert!((m - 6.0).abs() < 0.1, "mean {m}");
+        let small = Gamma::new(0.5, 1.0).unwrap();
+        let ms = mean_of(&small, 100_000);
+        assert!((ms - 0.5).abs() < 0.05, "mean {ms}");
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Gamma::new(0.0, 1.0).is_err());
+        assert!(LogNormal::new(f64::NAN, 1.0).is_err());
+    }
+}

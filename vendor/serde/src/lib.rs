@@ -1,0 +1,461 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! The real serde's visitor-based architecture exists to decouple data
+//! formats from data structures at zero cost. This workspace only ever
+//! serializes to and from JSON (via the sibling vendored `serde_json`), so
+//! this stand-in collapses the architecture into a concrete value tree:
+//!
+//! * [`Serialize`] lowers a value into a [`value::Value`] tree,
+//! * [`Deserialize`] rebuilds a value from a [`value::Value`] tree,
+//! * `#[derive(Serialize, Deserialize)]` (from the vendored
+//!   `serde_derive`) generates both impls for structs and unit enums,
+//!   honouring `#[serde(try_from = "...")]`.
+//!
+//! Field order is preserved, so serialization is deterministic.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod value {
+    //! The self-describing value tree all (de)serialization flows through.
+
+    /// A JSON-shaped value tree.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// JSON `null`.
+        Null,
+        /// JSON boolean.
+        Bool(bool),
+        /// Signed integer (negative JSON numbers without a fraction).
+        Int(i64),
+        /// Unsigned integer (non-negative JSON numbers without a fraction).
+        UInt(u64),
+        /// Floating-point number.
+        Float(f64),
+        /// String.
+        Str(String),
+        /// Array.
+        Seq(Vec<Value>),
+        /// Object; insertion order is preserved.
+        Map(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// The object entries, if this is a map.
+        pub fn as_map(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Map(m) => Some(m),
+                _ => None,
+            }
+        }
+
+        /// The array elements, if this is a sequence.
+        pub fn as_seq(&self) -> Option<&[Value]> {
+            match self {
+                Value::Seq(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The string, if this is a string.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// Short description of the value's kind, for error messages.
+        pub fn kind(&self) -> &'static str {
+            match self {
+                Value::Null => "null",
+                Value::Bool(_) => "bool",
+                Value::Int(_) => "int",
+                Value::UInt(_) => "uint",
+                Value::Float(_) => "float",
+                Value::Str(_) => "string",
+                Value::Seq(_) => "array",
+                Value::Map(_) => "object",
+            }
+        }
+    }
+}
+
+pub mod de {
+    //! Deserialization error type.
+
+    /// Error produced while rebuilding a value from the value tree.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct Error(String);
+
+    impl Error {
+        /// Creates an error from any displayable message.
+        pub fn custom<T: std::fmt::Display>(msg: T) -> Self {
+            Error(msg.to_string())
+        }
+    }
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            self.0.fmt(f)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// Marker for deserializable types that own all their data. The vendored
+    /// [`Deserialize`](crate::Deserialize) trait has no borrowed variants, so
+    /// every deserializable type qualifies.
+    pub trait DeserializeOwned: crate::Deserialize {}
+
+    impl<T: crate::Deserialize> DeserializeOwned for T {}
+}
+
+use de::Error;
+use value::Value;
+
+/// Types that can be lowered into a [`Value`] tree.
+pub trait Serialize {
+    /// Lowers `self` into a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds a value from the tree.
+    ///
+    /// # Errors
+    ///
+    /// [`Error`] when the tree does not match the expected shape.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Derive-macro helper: looks up and deserializes a struct field.
+///
+/// # Errors
+///
+/// [`Error`] when the key is missing or its value has the wrong shape.
+pub fn __field<T: Deserialize>(map: &[(String, Value)], key: &str) -> Result<T, Error> {
+    match map.iter().find(|(k, _)| k == key) {
+        Some((_, v)) => T::from_value(v).map_err(|e| Error::custom(format!("field `{key}`: {e}"))),
+        None => Err(Error::custom(format!("missing field `{key}`"))),
+    }
+}
+
+fn wrong_kind(expected: &str, got: &Value) -> Error {
+    Error::custom(format!("expected {expected}, found {}", got.kind()))
+}
+
+// ---- primitive impls -------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(wrong_kind("bool", other)),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let wide: u64 = match v {
+                    Value::UInt(u) => *u,
+                    Value::Int(i) if *i >= 0 => *i as u64,
+                    Value::Float(f) if f.fract() == 0.0 && *f >= 0.0 && *f <= u64::MAX as f64 => {
+                        *f as u64
+                    }
+                    other => return Err(wrong_kind("unsigned integer", other)),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| Error::custom(format!("{wide} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let wide: i64 = match v {
+                    Value::Int(i) => *i,
+                    Value::UInt(u) if *u <= i64::MAX as u64 => *u as i64,
+                    Value::Float(f) if f.fract() == 0.0
+                        && *f >= i64::MIN as f64
+                        && *f <= i64::MAX as f64 => *f as i64,
+                    other => return Err(wrong_kind("integer", other)),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| Error::custom(format!("{wide} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(f64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Float(f) => Ok(*f as $t),
+                    Value::Int(i) => Ok(*i as $t),
+                    Value::UInt(u) => Ok(*u as $t),
+                    other => Err(wrong_kind("number", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(wrong_kind("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(wrong_kind("single-character string", other)),
+        }
+    }
+}
+
+// ---- composite impls -------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(wrong_kind("array", other)),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+)),+ $(,)?) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let seq = v.as_seq().ok_or_else(|| wrong_kind("array (tuple)", v))?;
+                let expected = [$($n),+].len();
+                if seq.len() != expected {
+                    return Err(Error::custom(format!(
+                        "expected tuple of {expected}, found array of {}", seq.len()
+                    )));
+                }
+                Ok(($($t::from_value(&seq[$n])?,)+))
+            }
+        }
+    )+};
+}
+
+impl_tuple!(
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+    (0 A, 1 B, 2 C, 3 D, 4 E),
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+);
+
+impl<V: Serialize, S> Serialize for std::collections::HashMap<String, V, S> {
+    fn to_value(&self) -> Value {
+        // Sort keys so serialization of hash maps is deterministic.
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(entries)
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::HashMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, val)| Ok((k.clone(), V::from_value(val)?)))
+                .collect(),
+            other => Err(wrong_kind("object", other)),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, val)| Ok((k.clone(), V::from_value(val)?)))
+                .collect(),
+            other => Err(wrong_kind("object", other)),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::value::Value;
+    use super::{Deserialize, Serialize};
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i32::from_value(&(-3i32).to_value()).unwrap(), -3);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        let s = String::from("hi");
+        assert_eq!(String::from_value(&s.to_value()).unwrap(), "hi");
+    }
+
+    #[test]
+    fn composites_roundtrip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::from_value(&v.to_value()).unwrap(), v);
+        let o: Option<u8> = None;
+        assert_eq!(Option::<u8>::from_value(&o.to_value()).unwrap(), None);
+        let t = (1u32, -2i64, 0.5f64);
+        assert_eq!(<(u32, i64, f64)>::from_value(&t.to_value()).unwrap(), t);
+    }
+
+    #[test]
+    fn shape_mismatch_is_reported() {
+        let err = u64::from_value(&Value::Str("x".into())).unwrap_err();
+        assert!(err.to_string().contains("expected unsigned integer"));
+    }
+}

@@ -1,0 +1,351 @@
+//! Offline vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]` for
+//! the vendored serde stand-in.
+//!
+//! Implemented with a hand-rolled token parser (no `syn`/`quote`, which are
+//! unavailable in hermetic builds). Supports the shapes this workspace
+//! uses:
+//!
+//! * structs with named fields,
+//! * tuple structs (newtype structs serialize transparently),
+//! * unit structs,
+//! * enums whose variants are all unit variants (serialized as strings),
+//! * the container attribute `#[serde(try_from = "Type")]` on
+//!   `Deserialize`.
+//!
+//! Generics are not supported; deriving on a generic type is a compile
+//! error with a clear message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::value::Value::Map(::std::vec![{}])",
+                entries.join(", ")
+            )
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!(
+                "::serde::value::Value::Seq(::std::vec![{}])",
+                items.join(", ")
+            )
+        }
+        Shape::UnitStruct => "::serde::value::Value::Null".to_string(),
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => ::serde::value::Value::Str(::std::string::String::from(\"{v}\"))",
+                        name = item.name
+                    )
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::value::Value {{ {body} }}\n\
+         }}",
+        name = item.name
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+
+    if let Some(repr) = &item.try_from {
+        // #[serde(try_from = "Repr")]: deserialize the repr, then convert.
+        return format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::value::Value) -> ::std::result::Result<Self, ::serde::de::Error> {{\n\
+                     let repr: {repr} = ::serde::Deserialize::from_value(v)?;\n\
+                     <{name} as ::std::convert::TryFrom<{repr}>>::try_from(repr)\n\
+                         .map_err(|e| ::serde::de::Error::custom(::std::format!(\"{{e}}\")))\n\
+                 }}\n\
+             }}"
+        )
+        .parse()
+        .expect("generated try_from Deserialize impl parses");
+    }
+
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__field(map, \"{f}\")?"))
+                .collect();
+            format!(
+                "let map = v.as_map().ok_or_else(|| ::serde::de::Error::custom(\
+                     ::std::format!(\"expected object for struct {name}, found {{}}\", v.kind())))?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&seq[{i}])?"))
+                .collect();
+            format!(
+                "let seq = v.as_seq().ok_or_else(|| ::serde::de::Error::custom(\
+                     ::std::format!(\"expected array for struct {name}, found {{}}\", v.kind())))?;\n\
+                 if seq.len() != {n} {{\n\
+                     return ::std::result::Result::Err(::serde::de::Error::custom(\
+                         ::std::format!(\"expected {n} elements, found {{}}\", seq.len())));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v})"))
+                .collect();
+            format!(
+                "let s = v.as_str().ok_or_else(|| ::serde::de::Error::custom(\
+                     ::std::format!(\"expected string for enum {name}, found {{}}\", v.kind())))?;\n\
+                 match s {{ {}, other => ::std::result::Result::Err(\
+                     ::serde::de::Error::custom(::std::format!(\
+                         \"unknown variant `{{other}}` of enum {name}\"))) }}",
+                arms.join(", ")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::value::Value) -> ::std::result::Result<Self, ::serde::de::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
+
+// ---- token parsing ---------------------------------------------------------
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    UnitEnum(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+    try_from: Option<String>,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut try_from = None;
+
+    // Container attributes: `#[...]`, possibly `#[serde(try_from = "Ty")]`.
+    while i + 1 < tokens.len() {
+        let TokenTree::Punct(p) = &tokens[i] else {
+            break;
+        };
+        if p.as_char() != '#' {
+            break;
+        }
+        if let TokenTree::Group(g) = &tokens[i + 1] {
+            if let Some(t) = parse_serde_try_from(g.stream()) {
+                try_from = Some(t);
+            }
+        }
+        i += 2;
+    }
+
+    // Visibility: `pub` optionally followed by `(...)`.
+    if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(&tokens[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis) {
+            i += 1;
+        }
+    }
+
+    let keyword = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, found `{other}`"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde derive: expected type name, found `{other}`"),
+    };
+    i += 1;
+
+    if matches!(&tokens[i..], [TokenTree::Punct(p), ..] if p.as_char() == '<') {
+        panic!("serde derive (vendored): generic type `{name}` is not supported");
+    }
+
+    let shape = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("serde derive: unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::UnitEnum(parse_unit_variants(&name, g.stream()))
+            }
+            other => panic!("serde derive: unsupported enum body for `{name}`: {other:?}"),
+        },
+        kw => panic!("serde derive: expected `struct` or `enum`, found `{kw}`"),
+    };
+
+    Item {
+        name,
+        shape,
+        try_from,
+    }
+}
+
+/// Extracts `Ty` from an attribute body shaped like `serde(try_from = "Ty")`.
+fn parse_serde_try_from(attr: TokenStream) -> Option<String> {
+    let tokens: Vec<TokenTree> = attr.into_iter().collect();
+    match tokens.as_slice() {
+        [TokenTree::Ident(id), TokenTree::Group(args)] if id.to_string() == "serde" => {
+            let inner: Vec<TokenTree> = args.stream().into_iter().collect();
+            for w in inner.windows(3) {
+                if let [TokenTree::Ident(key), TokenTree::Punct(eq), TokenTree::Literal(lit)] = w {
+                    if key.to_string() == "try_from" && eq.as_char() == '=' {
+                        return Some(lit.to_string().trim_matches('"').to_string());
+                    }
+                }
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+/// Splits a token stream on top-level commas (commas inside `<...>` or any
+/// delimiter group do not split).
+fn split_top_level_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    let mut angle_depth: i32 = 0;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                chunks.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        chunks.last_mut().expect("chunks is never empty").push(tt);
+    }
+    chunks.retain(|c| !c.is_empty());
+    chunks
+}
+
+/// Field names of a named-field struct body.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    split_top_level_commas(body)
+        .into_iter()
+        .map(|chunk| {
+            let mut j = skip_attrs_and_vis(&chunk);
+            match &chunk[j] {
+                TokenTree::Ident(id) => {
+                    let field = id.to_string();
+                    j += 1;
+                    match chunk.get(j) {
+                        Some(TokenTree::Punct(p)) if p.as_char() == ':' => field,
+                        other => panic!(
+                            "serde derive: expected `:` after field `{field}`, found {other:?}"
+                        ),
+                    }
+                }
+                other => panic!("serde derive: expected field name, found `{other}`"),
+            }
+        })
+        .collect()
+}
+
+/// Number of fields in a tuple-struct body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    split_top_level_commas(body).len()
+}
+
+/// Variant names of an all-unit-variant enum body.
+fn parse_unit_variants(enum_name: &str, body: TokenStream) -> Vec<String> {
+    split_top_level_commas(body)
+        .into_iter()
+        .map(|chunk| {
+            let j = skip_attrs_and_vis(&chunk);
+            let TokenTree::Ident(id) = &chunk[j] else {
+                panic!("serde derive: expected variant name in enum `{enum_name}`");
+            };
+            if chunk.len() > j + 1 {
+                if let Some(TokenTree::Punct(p)) = chunk.get(j + 1) {
+                    // `Variant = 3` discriminants are fine; data payloads are not.
+                    if p.as_char() == '=' {
+                        return id.to_string();
+                    }
+                }
+                panic!(
+                    "serde derive (vendored): enum `{enum_name}` variant `{id}` carries data; \
+                     only unit variants are supported"
+                );
+            }
+            id.to_string()
+        })
+        .collect()
+}
+
+/// Index of the first token after leading attributes and visibility.
+fn skip_attrs_and_vis(chunk: &[TokenTree]) -> usize {
+    let mut j = 0;
+    while j + 1 < chunk.len() {
+        let TokenTree::Punct(p) = &chunk[j] else {
+            break;
+        };
+        if p.as_char() != '#' {
+            break;
+        }
+        j += 2; // `#` + `[...]`
+    }
+    if matches!(&chunk[j], TokenTree::Ident(id) if id.to_string() == "pub") {
+        j += 1;
+        if matches!(&chunk[j], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis) {
+            j += 1;
+        }
+    }
+    j
+}
