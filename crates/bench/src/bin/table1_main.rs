@@ -7,7 +7,12 @@
 //!
 //! Usage:
 //! `table1_main [--tasks 10] [--gpus 0(=both)|4|8] [--compute-samples 8000]
-//!  [--comm-samples 6000] [--epochs 30] [--seed 3] [--skip-rl] [--out t1.json]`
+//!  [--comm-samples 6000] [--epochs 30] [--seed 3] [--skip-rl]
+//!  [--threads 0(=auto)] [--out t1.json]`
+//!
+//! `--threads` sets the search worker-thread count (0 = auto via
+//! `NSHARD_THREADS` or available parallelism); plans are bit-identical at
+//! any count.
 
 use serde::Serialize;
 
@@ -41,6 +46,7 @@ fn main() {
     let gpus_filter: usize = args.get("gpus", 0);
     let seed: u64 = args.get("seed", 3);
     let skip_rl = args.has("skip-rl");
+    let threads: usize = args.get("threads", 0);
     let collect = CollectConfig {
         compute_samples: args.get("compute-samples", 8000),
         comm_samples: args.get("comm-samples", 6000),
@@ -72,7 +78,13 @@ fn main() {
             bundle.report().fwd_comm_test_mse,
             bundle.report().bwd_comm_test_mse
         );
-        let neuroshard = NeuroShard::new(bundle, NeuroShardConfig::default());
+        let neuroshard = NeuroShard::new(
+            bundle,
+            NeuroShardConfig {
+                threads,
+                ..NeuroShardConfig::default()
+            },
+        );
         let (t_min, t_max) = if d == 4 { (10, 60) } else { (20, 120) };
 
         for j in 2..=7u32 {

@@ -13,7 +13,7 @@
 use serde::Serialize;
 
 use nshard_bench::{maybe_write_json, print_markdown_table, Args};
-use nshard_core::{evaluate_plan, NeuroShard, NeuroShardConfig};
+use nshard_core::{evaluate_plan, NeuroShard, NeuroShardConfig, SearchPhaseStats};
 use nshard_cost::{CollectConfig, CostModelBundle, TrainSettings};
 use nshard_data::{ShardingTask, TablePool};
 use nshard_sim::GpuSpec;
@@ -25,6 +25,11 @@ struct VariantRow {
     success_rate: f64,
     sharding_time_s: f64,
     cache_hit_rate: f64,
+    /// Hit rate of the candidate-ranking phase (beam expansion +
+    /// single-table costs), aggregated over all tasks.
+    candidate_hit_rate: f64,
+    /// Hit rate of the inner greedy-grid phase, aggregated over all tasks.
+    inner_hit_rate: f64,
 }
 
 #[derive(Serialize)]
@@ -46,11 +51,14 @@ fn run_variant(
     let mut successes = 0usize;
     let mut time = 0.0;
     let mut hits = 0.0;
+    let mut phases = SearchPhaseStats::default();
     for (i, task) in tasks.iter().enumerate() {
         match sharder.shard_with_stats(task) {
             Ok(outcome) => {
                 time += outcome.sharding_time_s;
                 hits += outcome.cache_hit_rate;
+                phases.candidate.absorb(&outcome.phase_stats.candidate);
+                phases.inner.absorb(&outcome.phase_stats.inner);
                 if let Ok(real) = evaluate_plan(task, &outcome.plan, spec, seed ^ i as u64) {
                     successes += 1;
                     costs.push(real.max_total_ms());
@@ -71,6 +79,8 @@ fn run_variant(
         success_rate: successes as f64 / tasks.len().max(1) as f64,
         sharding_time_s: time / tasks.len().max(1) as f64,
         cache_hit_rate: hits / tasks.len().max(1) as f64,
+        candidate_hit_rate: phases.candidate.hit_rate(),
+        inner_hit_rate: phases.inner.hit_rate(),
     }
 }
 
@@ -158,6 +168,8 @@ fn main() {
                     format!("{:.1}%", r.success_rate * 100.0),
                     format!("{:.2}", r.sharding_time_s),
                     format!("{:.1}%", r.cache_hit_rate * 100.0),
+                    format!("{:.1}%", r.candidate_hit_rate * 100.0),
+                    format!("{:.1}%", r.inner_hit_rate * 100.0),
                 ]
             })
             .collect();
@@ -168,6 +180,8 @@ fn main() {
                 "success rate",
                 "sharding time (s)",
                 "cache hit rate",
+                "candidate hits",
+                "inner hits",
             ],
             &table,
         );

@@ -10,16 +10,33 @@
 
 use serde::{Deserialize, Serialize};
 
-use nshard_cost::CostSimulator;
-use nshard_data::ShardingTask;
+use nshard_cost::{CacheStats, CostSimulator};
+use nshard_data::{ShardingTask, TableConfig};
+use nshard_sim::TableProfile;
 
-use crate::greedy_grid::GreedyGridSearch;
+use crate::greedy_grid::{GreedyGridSearch, GridSearchResult};
 use crate::plan::{apply_split_plan, PlanError, ShardingPlan, SplitKind, SplitPlan, SplitStep};
+use crate::pool::WorkPool;
 
 /// Score offset for memory-infeasible beam entries: far above any real
 /// cost (ms), with the plan's largest shard size (bytes) added so that
 /// infeasible plans closer to fitting sort first.
 const INFEASIBLE_BASE: f64 = 1e15;
+
+/// Prediction-cache statistics split by search phase (the per-phase hit
+/// rates of the Table 3 ablation output).
+///
+/// The candidate phase is serial, so its counters are deterministic; the
+/// inner phase runs concurrently, so overlapping misses on the same key
+/// can shift a few counts between hits and misses across thread counts —
+/// plans and costs are unaffected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SearchPhaseStats {
+    /// Candidate ranking (single-table cost lookups in the beam expansion).
+    pub candidate: CacheStats,
+    /// Inner-loop plan evaluation (greedy probes + plan estimates).
+    pub inner: CacheStats,
+}
 
 /// Result of a beam search run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -30,6 +47,8 @@ pub struct BeamSearchResult {
     pub estimated_cost_ms: f64,
     /// Number of (column-plan, inner-search) evaluations performed.
     pub evaluated_plans: usize,
+    /// Per-phase prediction-cache statistics for this run.
+    pub phase_stats: SearchPhaseStats,
 }
 
 /// The beam-search driver over column-wise sharding plans.
@@ -47,6 +66,9 @@ pub struct BeamSearch<'a> {
     use_grid: bool,
     /// Also propose row-wise splits (the paper's future-work extension).
     row_wise: bool,
+    /// Worker threads for level evaluation; `0` = auto (see
+    /// [`crate::pool::resolve_threads`]).
+    threads: usize,
 }
 
 impl<'a> BeamSearch<'a> {
@@ -61,6 +83,7 @@ impl<'a> BeamSearch<'a> {
             m: 11,
             use_grid: true,
             row_wise: false,
+            threads: 0,
         }
     }
 
@@ -105,8 +128,16 @@ impl<'a> BeamSearch<'a> {
         self
     }
 
-    fn inner(&self) -> GreedyGridSearch<'a> {
-        let g = GreedyGridSearch::new(self.sim, self.m);
+    /// Sets the worker-thread count for level evaluation (`0` = auto).
+    /// Results are collected in candidate order, so the returned plan and
+    /// cost are **bit-for-bit identical** at any thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    fn inner_with_threads(&self, threads: usize) -> GreedyGridSearch<'a> {
+        let g = GreedyGridSearch::new(self.sim, self.m).with_threads(threads);
         if self.use_grid {
             g
         } else {
@@ -121,13 +152,21 @@ impl<'a> BeamSearch<'a> {
     /// [`PlanError::Infeasible`] when no explored column-wise plan admits a
     /// memory-feasible table-wise plan.
     pub fn search(&self, task: &ShardingTask) -> Result<BeamSearchResult, PlanError> {
-        let inner = self.inner();
+        // Standalone inner searches parallelize their own grid sweep; the
+        // per-level jobs below are themselves parallel, so each job runs a
+        // *serial* inner search to avoid oversubscription.
+        let pool = WorkPool::new(self.threads);
+        let inner = self.inner_with_threads(self.threads);
+        let inner_serial = self.inner_with_threads(1);
+        let cache = self.sim.cache();
+        let mut phase_stats = SearchPhaseStats::default();
         let mut evaluated = 0usize;
 
         // Evaluate the empty column plan first (line 4's initial beam).
         let mut best: Option<(SplitPlan, f64, Vec<usize>)> = None;
         let empty_tables = task.tables().to_vec();
         evaluated += 1;
+        let before = cache.stats();
         if let Ok(result) = inner.search(
             &empty_tables,
             task.num_devices(),
@@ -136,6 +175,7 @@ impl<'a> BeamSearch<'a> {
         ) {
             best = Some((Vec::new(), result.estimated_cost_ms, result.device_of));
         }
+        phase_stats.inner.absorb(&cache.stats().since(&before));
 
         // Beam entries carry (plan, cost) — infeasible plans carry +inf so
         // they sort last but can still be extended toward feasibility.
@@ -143,56 +183,74 @@ impl<'a> BeamSearch<'a> {
             vec![(Vec::new(), best.as_ref().map_or(f64::INFINITY, |b| b.1))];
 
         for _level in 0..self.l {
-            let mut next: Vec<(SplitPlan, f64)> = Vec::new();
+            // Expand every beam entry's candidates serially, building the
+            // level's evaluation jobs in a deterministic order.
+            let before = cache.stats();
+            let mut jobs: Vec<(SplitPlan, Vec<TableConfig>)> = Vec::new();
             for (col_plan, _) in &beam {
                 let sharded = apply_split_plan(task.tables(), col_plan)
                     .expect("beam plans are constructed to be applicable");
                 for cand in self.candidates(&sharded, task.batch_size()) {
                     let mut new_plan = col_plan.clone();
                     new_plan.push(cand);
-                    let new_sharded = match apply_split_plan(task.tables(), &new_plan) {
-                        Ok(s) => s,
+                    match apply_split_plan(task.tables(), &new_plan) {
+                        Ok(s) => jobs.push((new_plan, s)),
                         Err(_) => continue, // unsplittable candidate
-                    };
-                    evaluated += 1;
-                    match inner.search(
-                        &new_sharded,
-                        task.num_devices(),
-                        task.mem_budget_bytes(),
-                        task.batch_size(),
-                    ) {
-                        Ok(result) => {
-                            let improves = best
-                                .as_ref()
-                                .is_none_or(|(_, c, _)| result.estimated_cost_ms < *c);
-                            if improves {
-                                best = Some((
-                                    new_plan.clone(),
-                                    result.estimated_cost_ms,
-                                    result.device_of,
-                                ));
-                            }
-                            next.push((new_plan, result.estimated_cost_ms));
-                        }
-                        Err(_) => {
-                            // Memory-infeasible: keep the plan explorable,
-                            // ranked behind every feasible plan but ahead of
-                            // other infeasible plans with *larger* biggest
-                            // shards — this steers the beam monotonically
-                            // toward feasibility instead of pruning the
-                            // oversized-table branch arbitrarily.
-                            let max_bytes = new_sharded
-                                .iter()
-                                .map(|t| t.memory_bytes())
-                                .max()
-                                .unwrap_or(0);
-                            next.push((new_plan, INFEASIBLE_BASE + max_bytes as f64));
-                        }
                     }
                 }
             }
-            if next.is_empty() {
+            phase_stats.candidate.absorb(&cache.stats().since(&before));
+            if jobs.is_empty() {
                 break; // nothing splittable left anywhere in the beam
+            }
+            evaluated += jobs.len();
+
+            // Evaluate the K×2N jobs of this level concurrently. The pool
+            // returns results in job order, so the fold below visits them
+            // exactly as the serial loop would.
+            let before = cache.stats();
+            let results: Vec<Result<GridSearchResult, PlanError>> =
+                pool.map(&jobs, |(_, sharded)| {
+                    inner_serial.search(
+                        sharded,
+                        task.num_devices(),
+                        task.mem_budget_bytes(),
+                        task.batch_size(),
+                    )
+                });
+            phase_stats.inner.absorb(&cache.stats().since(&before));
+
+            let mut next: Vec<(SplitPlan, f64)> = Vec::with_capacity(jobs.len());
+            for ((new_plan, new_sharded), result) in jobs.into_iter().zip(results) {
+                match result {
+                    Ok(result) => {
+                        let improves = best
+                            .as_ref()
+                            .is_none_or(|(_, c, _)| result.estimated_cost_ms < *c);
+                        if improves {
+                            best = Some((
+                                new_plan.clone(),
+                                result.estimated_cost_ms,
+                                result.device_of,
+                            ));
+                        }
+                        next.push((new_plan, result.estimated_cost_ms));
+                    }
+                    Err(_) => {
+                        // Memory-infeasible: keep the plan explorable,
+                        // ranked behind every feasible plan but ahead of
+                        // other infeasible plans with *larger* biggest
+                        // shards — this steers the beam monotonically
+                        // toward feasibility instead of pruning the
+                        // oversized-table branch arbitrarily.
+                        let max_bytes = new_sharded
+                            .iter()
+                            .map(|t| t.memory_bytes())
+                            .max()
+                            .unwrap_or(0);
+                        next.push((new_plan, INFEASIBLE_BASE + max_bytes as f64));
+                    }
+                }
             }
             next.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("costs are comparable"));
             next.truncate(self.k);
@@ -212,6 +270,7 @@ impl<'a> BeamSearch<'a> {
             plan,
             estimated_cost_ms: cost,
             evaluated_plans: evaluated,
+            phase_stats,
         })
     }
 
@@ -219,7 +278,7 @@ impl<'a> BeamSearch<'a> {
     /// by size, duplicates removed, unsplittable tables excluded (line 9).
     /// With row-wise sharding enabled, each candidate table contributes
     /// both a column step and a row step (where legal).
-    fn candidates(&self, tables: &[nshard_data::TableConfig], batch_size: u32) -> Vec<SplitStep> {
+    fn candidates(&self, tables: &[TableConfig], batch_size: u32) -> Vec<SplitStep> {
         let relevant: Vec<usize> = (0..tables.len())
             .filter(|&i| {
                 tables[i].split_columns().is_some()
@@ -229,23 +288,33 @@ impl<'a> BeamSearch<'a> {
         if relevant.is_empty() {
             return Vec::new();
         }
-        let mut by_cost = relevant.clone();
-        by_cost.sort_by(|&a, &b| {
-            let ca = self.sim.single_table_cost(&tables[a].profile(batch_size));
-            let cb = self.sim.single_table_cost(&tables[b].profile(batch_size));
-            cb.partial_cmp(&ca).expect("costs are finite")
+        // One batched call scores every relevant table up front (memoized
+        // under singleton set keys), so the sort comparator is O(1) —
+        // no model call, no cache lookup per comparison.
+        let profiles: Vec<TableProfile> = relevant
+            .iter()
+            .map(|&i| tables[i].profile(batch_size))
+            .collect();
+        let costs = self.sim.single_table_cost_batch(&profiles);
+        let mut by_cost: Vec<usize> = (0..relevant.len()).collect();
+        by_cost.sort_by(|&a, &b| costs[b].partial_cmp(&costs[a]).expect("costs are finite"));
+        let mut by_size: Vec<usize> = (0..relevant.len()).collect();
+        by_size.sort_by(|&a, &b| {
+            tables[relevant[b]]
+                .memory_bytes()
+                .cmp(&tables[relevant[a]].memory_bytes())
         });
-        let mut by_size = relevant;
-        by_size.sort_by(|&a, &b| tables[b].memory_bytes().cmp(&tables[a].memory_bytes()));
 
+        let mut seen = vec![false; relevant.len()];
         let mut picked: Vec<usize> = Vec::with_capacity(2 * self.n);
-        for &i in by_cost
+        for &r in by_cost
             .iter()
             .take(self.n)
             .chain(by_size.iter().take(self.n))
         {
-            if !picked.contains(&i) {
-                picked.push(i);
+            if !seen[r] {
+                seen[r] = true;
+                picked.push(relevant[r]);
             }
         }
         let mut out = Vec::with_capacity(picked.len() * 2);
@@ -409,6 +478,50 @@ mod tests {
         let base = plain.search(&task).unwrap();
         let extended = plain.with_row_wise(true).search(&task).unwrap();
         assert!(extended.estimated_cost_ms <= base.estimated_cost_ms + 1e-9);
+    }
+
+    #[test]
+    fn parallel_beam_is_bit_identical_to_serial() {
+        let sim = sim(2);
+        let task = small_task(2);
+        let make = |threads| {
+            BeamSearch::new(&sim)
+                .with_l(2)
+                .with_n(3)
+                .with_k(2)
+                .with_m(3)
+                .with_threads(threads)
+        };
+        let serial = make(1).search(&task).unwrap();
+        for threads in [2, 8] {
+            let parallel = make(threads).search(&task).unwrap();
+            assert_eq!(
+                parallel.plan, serial.plan,
+                "plan diverged at {threads} threads"
+            );
+            assert_eq!(
+                parallel.estimated_cost_ms.to_bits(),
+                serial.estimated_cost_ms.to_bits(),
+                "cost diverged at {threads} threads"
+            );
+            assert_eq!(parallel.evaluated_plans, serial.evaluated_plans);
+        }
+    }
+
+    #[test]
+    fn phase_stats_are_populated() {
+        let sim = sim(2);
+        let task = small_task(2);
+        let result = BeamSearch::new(&sim)
+            .with_l(2)
+            .with_n(3)
+            .with_k(2)
+            .with_m(3)
+            .search(&task)
+            .unwrap();
+        assert!(result.phase_stats.candidate.total() > 0);
+        assert!(result.phase_stats.inner.total() > 0);
+        assert!(result.phase_stats.inner.hit_rate() <= 1.0);
     }
 
     #[test]

@@ -203,6 +203,7 @@ pub struct FallbackChain {
     repair: RepairConfig,
     verifier: Option<Box<PlanVerifier>>,
     seed: u64,
+    threads: usize,
 }
 
 impl FallbackChain {
@@ -216,6 +217,7 @@ impl FallbackChain {
             repair: RepairConfig::default(),
             verifier: None,
             seed: 0,
+            threads: 0,
         }
     }
 
@@ -250,6 +252,14 @@ impl FallbackChain {
     /// (builder-style).
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets the worker-thread count used by the repair engine
+    /// (builder-style); `0` = auto. Repaired plans are bit-identical at
+    /// any thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 
@@ -348,7 +358,7 @@ impl FallbackChain {
         match self.verify_with_retries(task, &plan, name, trail) {
             Ok(()) => Ok((plan, None)),
             Err(err) if is_repairable(&err) => {
-                let engine = RepairEngine::new(self.repair);
+                let engine = RepairEngine::new(self.repair).with_threads(self.threads);
                 match engine.repair(task, &plan) {
                     Ok(report) => {
                         trail.events.push(ProvenanceEvent::Repaired {

@@ -21,11 +21,12 @@
 
 use serde::{Deserialize, Serialize};
 
-use nshard_cost::CostSimulator;
+use nshard_cost::{CostSimulator, TableSetKey};
 use nshard_data::TableConfig;
 use nshard_sim::TableProfile;
 
 use crate::plan::PlanError;
+use crate::pool::WorkPool;
 
 /// Result of one inner-loop search.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -48,6 +49,9 @@ pub struct GreedyGridSearch<'a> {
     /// When `false`, only the unconstrained pass runs — the "w/o greedy
     /// grid search" ablation of Table 3.
     use_grid: bool,
+    /// Worker threads for the grid sweep; `0` = auto (see
+    /// [`crate::pool::resolve_threads`]).
+    threads: usize,
 }
 
 impl<'a> GreedyGridSearch<'a> {
@@ -58,6 +62,7 @@ impl<'a> GreedyGridSearch<'a> {
             sim,
             m_steps: m_steps.max(1),
             use_grid: true,
+            threads: 0,
         }
     }
 
@@ -65,6 +70,13 @@ impl<'a> GreedyGridSearch<'a> {
     /// pass with no dimension threshold.
     pub fn without_grid(mut self) -> Self {
         self.use_grid = false;
+        self
+    }
+
+    /// Sets the worker-thread count for the grid sweep (`0` = auto). The
+    /// best plan is identical at any thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 
@@ -97,10 +109,7 @@ impl<'a> GreedyGridSearch<'a> {
         // finds every device already occupied. For paper-style workloads,
         // big tables are also costly, so this rarely changes the order.
         let mut order: Vec<usize> = (0..tables.len()).collect();
-        let single_costs: Vec<f64> = profiles
-            .iter()
-            .map(|p| self.sim.single_table_cost(p))
-            .collect();
+        let single_costs: Vec<f64> = self.sim.single_table_cost_batch(&profiles);
         let half_budget = mem_budget_bytes / 2;
         order.sort_by(|&a, &b| {
             let huge_a = profiles[a].memory_bytes() > half_budget;
@@ -133,19 +142,37 @@ impl<'a> GreedyGridSearch<'a> {
         }
         thresholds.push(None); // unconstrained fallback
 
+        // Phase 1: run the greedy allocator for every grid point, in
+        // parallel. Each pass depends only on deterministic cache values,
+        // so the assignments are identical at any thread count.
+        let pool = WorkPool::new(self.threads);
+        let passes: Vec<Option<Vec<usize>>> = pool.map(&thresholds, |&threshold| {
+            self.greedy_assign(&profiles, &order, num_devices, mem_budget_bytes, threshold)
+        });
+
+        // Phase 2: evaluate every feasible assignment with one batched
+        // call into the pre-trained models, then fold in grid order (first
+        // strict improvement wins — exactly the serial tie-break).
+        let feasible: Vec<(Option<f64>, Vec<usize>)> = thresholds
+            .into_iter()
+            .zip(passes)
+            .filter_map(|(threshold, pass)| pass.map(|device_of| (threshold, device_of)))
+            .collect();
+        let assignments: Vec<Vec<Vec<TableProfile>>> = feasible
+            .iter()
+            .map(|(_, device_of)| {
+                let mut assignment: Vec<Vec<TableProfile>> = vec![Vec::new(); num_devices];
+                for (i, &d) in device_of.iter().enumerate() {
+                    assignment[d].push(profiles[i]);
+                }
+                assignment
+            })
+            .collect();
+        let estimates = self.sim.estimate_plan_batch(&assignments);
+
         let mut best: Option<GridSearchResult> = None;
-        for threshold in thresholds {
-            let Some(device_of) =
-                self.greedy_assign(&profiles, &order, num_devices, mem_budget_bytes, threshold)
-            else {
-                continue;
-            };
-            // Evaluate the complete plan with the pre-trained models.
-            let mut assignment: Vec<Vec<TableProfile>> = vec![Vec::new(); num_devices];
-            for (i, &d) in device_of.iter().enumerate() {
-                assignment[d].push(profiles[i]);
-            }
-            let cost = self.sim.estimate_plan(&assignment).total_ms();
+        for ((threshold, device_of), est) in feasible.into_iter().zip(estimates) {
+            let cost = est.total_ms();
             let better = best.as_ref().is_none_or(|b| cost < b.estimated_cost_ms);
             if better {
                 best = Some(GridSearchResult {
@@ -168,6 +195,10 @@ impl<'a> GreedyGridSearch<'a> {
     /// One greedy pass: assign tables in `order` to the candidate device
     /// with the lowest predicted cost after the assignment (lines 8-22).
     /// Returns `None` if some table has no feasible device.
+    ///
+    /// All feasible devices for a table are probed with **one batched**
+    /// model call over the cache misses, and each device's set key is
+    /// maintained incrementally — no per-probe rehash of the whole set.
     fn greedy_assign(
         &self,
         profiles: &[TableProfile],
@@ -177,6 +208,7 @@ impl<'a> GreedyGridSearch<'a> {
         max_dim: Option<f64>,
     ) -> Option<Vec<usize>> {
         let mut device_tables: Vec<Vec<TableProfile>> = vec![Vec::new(); num_devices];
+        let mut device_keys: Vec<TableSetKey> = vec![TableSetKey::empty(); num_devices];
         let mut device_bytes = vec![0u64; num_devices];
         let mut device_dims = vec![0.0f64; num_devices];
         let mut device_of = vec![usize::MAX; profiles.len()];
@@ -185,26 +217,31 @@ impl<'a> GreedyGridSearch<'a> {
             let p = &profiles[i];
             let bytes = p.memory_bytes();
             let dim = f64::from(p.dim());
+            let feasible: Vec<usize> = (0..num_devices)
+                .filter(|&g| {
+                    device_bytes[g] + bytes <= mem_budget_bytes
+                        && max_dim.is_none_or(|cap| device_dims[g] + dim <= cap)
+                })
+                .collect();
+            if feasible.is_empty() {
+                return None;
+            }
+            // Predicted device cost with the table added, all feasible
+            // devices scored in one batched call.
+            let bases: Vec<(TableSetKey, &[TableProfile])> = feasible
+                .iter()
+                .map(|&g| (device_keys[g], device_tables[g].as_slice()))
+                .collect();
+            let costs = self.sim.appended_compute_cost_batch(&bases, p);
             let mut best_dev: Option<(usize, f64)> = None;
-            for g in 0..num_devices {
-                if device_bytes[g] + bytes > mem_budget_bytes {
-                    continue;
-                }
-                if let Some(cap) = max_dim {
-                    if device_dims[g] + dim > cap {
-                        continue;
-                    }
-                }
-                // Predicted device cost with the table added (cache-hot).
-                device_tables[g].push(*p);
-                let cost = self.sim.device_compute_cost(&device_tables[g]);
-                device_tables[g].pop();
+            for (&g, &cost) in feasible.iter().zip(&costs) {
                 if best_dev.is_none_or(|(_, c)| cost < c) {
                     best_dev = Some((g, cost));
                 }
             }
             let (g, _) = best_dev?;
             device_tables[g].push(*p);
+            device_keys[g].add(p);
             device_bytes[g] += bytes;
             device_dims[g] += dim;
             device_of[i] = g;
@@ -328,6 +365,25 @@ mod tests {
             "hit rate {}",
             sim.cache().hit_rate()
         );
+    }
+
+    #[test]
+    fn parallel_grid_is_bit_identical_to_serial() {
+        let sim = sim(2);
+        let tables: Vec<TableConfig> = (0..14)
+            .map(|i| t(i, if i % 3 == 0 { 128 } else { 32 }))
+            .collect();
+        let serial = GreedyGridSearch::new(&sim, 7)
+            .with_threads(1)
+            .search(&tables, 2, nshard_sim::DEFAULT_MEM_BYTES, 65_536)
+            .unwrap();
+        for threads in [2, 4, 8] {
+            let parallel = GreedyGridSearch::new(&sim, 7)
+                .with_threads(threads)
+                .search(&tables, 2, nshard_sim::DEFAULT_MEM_BYTES, 65_536)
+                .unwrap();
+            assert_eq!(parallel, serial, "diverged at {threads} threads");
+        }
     }
 
     #[test]

@@ -19,6 +19,8 @@
 //!   sharding steps, candidates drawn from the most costly and the largest
 //!   tables,
 //! * [`neuroshard`] — the end-to-end [`NeuroShard`] sharder,
+//! * [`pool`] — the scoped-thread work pool behind the parallel search
+//!   (order-preserving, so parallel plans are bit-identical to serial),
 //! * [`eval`] — ground-truth evaluation of finished plans (the paper's
 //!   "collect real costs from GPUs" step),
 //! * [`repair`] — self-healing of memory-infeasible plans
@@ -52,9 +54,10 @@ pub mod fallback;
 pub mod greedy_grid;
 pub mod neuroshard;
 pub mod plan;
+pub mod pool;
 pub mod repair;
 
-pub use beam::{BeamSearch, BeamSearchResult};
+pub use beam::{BeamSearch, BeamSearchResult, SearchPhaseStats};
 pub use eval::{evaluate_plan, evaluate_plan_exact};
 pub use fallback::{
     size_balanced_plan, FallbackChain, PlanProvenance, PlanSource, ProvenanceEvent, ResilientError,
@@ -66,6 +69,7 @@ pub use plan::{
     apply_column_plan, apply_split_plan, ColumnPlan, PlanError, ShardingPlan, SplitKind, SplitPlan,
     SplitStep,
 };
+pub use pool::{resolve_threads, WorkPool};
 pub use repair::{RepairConfig, RepairEngine, RepairReport, RepairStep};
 
 use nshard_data::ShardingTask;

@@ -32,6 +32,14 @@ pub struct NeuroShardConfig {
     /// `true` also searches **row-wise** splits (the paper's future-work
     /// extension); default `false` reproduces the paper's search space.
     pub use_row_wise: bool,
+    /// `false` disables batched MLP inference (one single-row forward per
+    /// query — the pre-batching engine, kept as a benchmark baseline).
+    /// Plans and costs are bit-identical either way.
+    pub use_batch: bool,
+    /// Worker threads for the parallel search; `0` = auto (the
+    /// `NSHARD_THREADS` environment variable, then available
+    /// parallelism). Plans and costs are bit-identical at any count.
+    pub threads: usize,
 }
 
 impl Default for NeuroShardConfig {
@@ -45,6 +53,8 @@ impl Default for NeuroShardConfig {
             use_grid: true,
             use_cache: true,
             use_row_wise: false,
+            use_batch: true,
+            threads: 0,
         }
     }
 }
@@ -75,6 +85,8 @@ pub struct ShardOutcome {
     pub cache_hit_rate: f64,
     /// Number of inner-loop evaluations performed.
     pub evaluated_plans: usize,
+    /// Per-phase cache statistics (candidate ranking vs inner search).
+    pub phase_stats: crate::beam::SearchPhaseStats,
 }
 
 /// NeuroShard: pre-trained cost models + beam / greedy-grid online search.
@@ -105,11 +117,13 @@ impl NeuroShard {
     /// Builds a sharder from a pre-trained bundle and a search
     /// configuration.
     pub fn new(bundle: CostModelBundle, config: NeuroShardConfig) -> Self {
-        let sim = if config.use_cache {
-            CostSimulator::new(bundle)
-        } else {
-            CostSimulator::new(bundle).with_cache_disabled()
-        };
+        let mut sim = CostSimulator::new(bundle);
+        if !config.use_cache {
+            sim = sim.with_cache_disabled();
+        }
+        if !config.use_batch {
+            sim = sim.with_batching_disabled();
+        }
         Self { sim, config }
     }
 
@@ -143,7 +157,8 @@ impl NeuroShard {
                 0
             })
             .with_m(self.config.m)
-            .with_row_wise(self.config.use_row_wise);
+            .with_row_wise(self.config.use_row_wise)
+            .with_threads(self.config.threads);
         if !self.config.use_grid {
             search = search.without_grid();
         }
@@ -163,6 +178,7 @@ impl NeuroShard {
                 hits as f64 / total as f64
             },
             evaluated_plans: result.evaluated_plans,
+            phase_stats: result.phase_stats,
         })
     }
 }

@@ -19,11 +19,12 @@
 //! Repair is fully deterministic: identical inputs produce identical
 //! reports.
 
-use nshard_cost::CostSimulator;
+use nshard_cost::{CostSimulator, TableSetKey};
 use nshard_data::ShardingTask;
 use nshard_sim::TableProfile;
 
 use crate::plan::{PlanError, ShardingPlan, SplitStep};
+use crate::pool::WorkPool;
 
 /// Limits of the repair loop.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -96,18 +97,30 @@ impl RepairReport {
 pub struct RepairEngine<'a> {
     config: RepairConfig,
     cost: Option<&'a CostSimulator>,
+    threads: usize,
 }
 
 impl<'a> RepairEngine<'a> {
     /// An engine with the given limits and size-heuristic target choice.
     pub fn new(config: RepairConfig) -> Self {
-        Self { config, cost: None }
+        Self {
+            config,
+            cost: None,
+            threads: 0,
+        }
     }
 
     /// Guides target-device choice with predicted compute costs
     /// (builder-style).
     pub fn with_cost_model(mut self, cost: &'a CostSimulator) -> Self {
         self.cost = Some(cost);
+        self
+    }
+
+    /// Sets the worker-thread count for candidate-device scoring (`0` =
+    /// auto). Repair stays deterministic at any count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 
@@ -281,37 +294,45 @@ impl<'a> RepairEngine<'a> {
         budget: u64,
     ) -> Option<usize> {
         let bytes = tables[table_idx].memory_bytes();
-        let feasible = (0..bytes_of_device.len())
-            .filter(|&d| d != from && bytes_of_device[d].saturating_add(bytes) <= budget);
+        let feasible: Vec<usize> = (0..bytes_of_device.len())
+            .filter(|&d| d != from && bytes_of_device[d].saturating_add(bytes) <= budget)
+            .collect();
         match self.cost {
-            Some(cost) => feasible.min_by(|&a, &b| {
-                let ca = device_cost_after(cost, task, tables, device_of, a, table_idx);
-                let cb = device_cost_after(cost, task, tables, device_of, b, table_idx);
-                ca.total_cmp(&cb).then(a.cmp(&b))
-            }),
-            None => feasible.min_by_key(|&d| (bytes_of_device[d], d)),
+            Some(cost) => {
+                if feasible.is_empty() {
+                    return None;
+                }
+                // Build each candidate device's would-be table set in
+                // parallel, then score them all with one batched model
+                // call; ties break toward the lower device index, like
+                // the old per-device comparator.
+                let pool = WorkPool::new(self.threads);
+                let sets: Vec<(TableSetKey, Vec<TableProfile>)> = pool.map(&feasible, |&d| {
+                    let mut profiles: Vec<TableProfile> = tables
+                        .iter()
+                        .zip(device_of)
+                        .filter(|&(_, &dev)| dev == d)
+                        .map(|(t, _)| t.profile(task.batch_size()))
+                        .collect();
+                    profiles.push(tables[table_idx].profile(task.batch_size()));
+                    (TableSetKey::of(&profiles), profiles)
+                });
+                let keyed: Vec<(TableSetKey, &[TableProfile])> =
+                    sets.iter().map(|(k, p)| (*k, p.as_slice())).collect();
+                let costs = cost.device_compute_cost_batch(&keyed);
+                let mut best: Option<(usize, f64)> = None;
+                for (&d, &c) in feasible.iter().zip(&costs) {
+                    if best.is_none_or(|(_, bc)| c < bc) {
+                        best = Some((d, c));
+                    }
+                }
+                best.map(|(d, _)| d)
+            }
+            None => feasible
+                .into_iter()
+                .min_by_key(|&d| (bytes_of_device[d], d)),
         }
     }
-}
-
-/// Predicted compute cost of device `d` if it received table `table_idx`
-/// on top of its current tables.
-fn device_cost_after(
-    cost: &CostSimulator,
-    task: &ShardingTask,
-    tables: &[nshard_data::TableConfig],
-    device_of: &[usize],
-    d: usize,
-    table_idx: usize,
-) -> f64 {
-    let mut profiles: Vec<TableProfile> = tables
-        .iter()
-        .zip(device_of)
-        .filter(|&(_, &dev)| dev == d)
-        .map(|(t, _)| t.profile(task.batch_size()))
-        .collect();
-    profiles.push(tables[table_idx].profile(task.batch_size()));
-    cost.device_compute_cost(&profiles)
 }
 
 /// Index of the least-loaded device.

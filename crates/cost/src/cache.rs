@@ -6,12 +6,56 @@
 //! so the paper memoizes predictions in a "life-long hash map" and reports
 //! > 95% hit rates (Table 3). This cache is keyed by an order-insensitive
 //! > fingerprint of the table set and tracks hit statistics.
+//!
+//! Two properties matter for the parallel search runtime:
+//!
+//! * the cache is **sharded** into a power-of-two number of mutex-guarded
+//!   segments selected by key bits, so concurrent search threads rarely
+//!   contend on the same lock; hit/miss statistics are kept per shard and
+//!   summed on read, so global accounting survives sharding;
+//! * the set fingerprint is built by **commutative addition** of per-table
+//!   hashes, which makes it incrementally updatable: [`TableSetKey`] adds
+//!   or removes one table in O(1), so the greedy allocator never rehashes
+//!   a device's whole table set per probe.
 
 use std::collections::HashMap;
 
 use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
 
 use nshard_sim::TableProfile;
+
+/// Accumulator seed of the empty set.
+const KEY_SEED: u64 = 0x517c_c1b7_2722_0a95;
+
+/// Number of mutex-guarded cache segments. Must be a power of two; 16 is
+/// plenty for the ≤ 64 search threads we expect while keeping the stats
+/// sweep (one lock per shard) cheap.
+const NUM_SHARDS: usize = 16;
+
+/// FNV-style hash of one table profile (the per-table term of the set key).
+fn table_hash(t: &TableProfile) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for bits in [
+        u64::from(t.dim()),
+        t.hash_size(),
+        t.pooling_factor().to_bits(),
+        t.unique_frac().to_bits(),
+        t.zipf_alpha().to_bits(),
+    ] {
+        h ^= bits;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Final avalanche mix applied on top of the commutative accumulator.
+fn avalanche(acc: u64) -> u64 {
+    let mut z = acc;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// An order-insensitive fingerprint of a set of table profiles.
 ///
@@ -19,29 +63,124 @@ use nshard_sim::TableProfile;
 /// (commutative), then mixing; two permutations of the same multiset always
 /// collide on purpose, and distinct sets collide with probability ≈ 2⁻⁶⁴.
 pub fn table_set_key(tables: &[TableProfile]) -> u64 {
-    let mut acc: u64 = 0x517c_c1b7_2722_0a95;
-    for t in tables {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for bits in [
-            u64::from(t.dim()),
-            t.hash_size(),
-            t.pooling_factor().to_bits(),
-            t.unique_frac().to_bits(),
-            t.zipf_alpha().to_bits(),
-        ] {
-            h ^= bits;
-            h = h.wrapping_mul(0x100_0000_01b3);
-        }
-        acc = acc.wrapping_add(h);
-    }
-    // Final avalanche.
-    let mut z = acc;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+    TableSetKey::of(tables).key()
 }
 
-/// A thread-safe memoization cache with hit-rate accounting.
+/// An incrementally maintainable table-set fingerprint.
+///
+/// Holds the pre-avalanche commutative accumulator, so adding or removing
+/// one table is O(1) (`wrapping_add` / `wrapping_sub` of that table's
+/// hash) instead of rehashing the whole set. [`TableSetKey::key`] applies
+/// the final avalanche and equals [`table_set_key`] of the same multiset.
+///
+/// # Example
+///
+/// ```
+/// use nshard_cost::cache::{table_set_key, TableSetKey};
+/// use nshard_sim::TableProfile;
+///
+/// let a = TableProfile::new(16, 1 << 18, 10.0, 0.5, 1.0);
+/// let b = TableProfile::new(64, 1 << 20, 12.0, 0.3, 1.1);
+/// let mut key = TableSetKey::empty();
+/// key.add(&a);
+/// key.add(&b);
+/// assert_eq!(key.key(), table_set_key(&[a, b]));
+/// key.remove(&a);
+/// assert_eq!(key.key(), table_set_key(&[b]));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TableSetKey {
+    acc: u64,
+}
+
+impl TableSetKey {
+    /// The key of the empty set.
+    pub fn empty() -> Self {
+        Self { acc: KEY_SEED }
+    }
+
+    /// The key of a full multiset (O(n), the from-scratch construction).
+    pub fn of(tables: &[TableProfile]) -> Self {
+        let mut k = Self::empty();
+        for t in tables {
+            k.add(t);
+        }
+        k
+    }
+
+    /// Adds one table to the multiset, in place. O(1).
+    pub fn add(&mut self, t: &TableProfile) {
+        self.acc = self.acc.wrapping_add(table_hash(t));
+    }
+
+    /// Removes one table from the multiset, in place. O(1). The caller is
+    /// responsible for only removing tables previously added.
+    pub fn remove(&mut self, t: &TableProfile) {
+        self.acc = self.acc.wrapping_sub(table_hash(t));
+    }
+
+    /// The key with `t` added, by value — the greedy allocator's probe
+    /// pattern ("what if this table joined this device?").
+    #[must_use]
+    pub fn with(mut self, t: &TableProfile) -> Self {
+        self.add(t);
+        self
+    }
+
+    /// The final cache key (avalanche-mixed accumulator).
+    pub fn key(self) -> u64 {
+        avalanche(self.acc)
+    }
+}
+
+impl Default for TableSetKey {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+/// A hit/miss counter snapshot, summed across cache shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that required a model forward.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total lookups.
+    pub fn total(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit rate in `[0, 1]`; 0 when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total() as f64
+        }
+    }
+
+    /// The counter delta since an earlier snapshot (saturating).
+    #[must_use]
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+        }
+    }
+
+    /// Accumulates another delta into this one.
+    pub fn absorb(&mut self, delta: &CacheStats) {
+        self.hits += delta.hits;
+        self.misses += delta.misses;
+    }
+}
+
+/// A thread-safe memoization cache with hit-rate accounting, sharded into
+/// [`NUM_SHARDS`] independently locked segments selected by key bits.
 ///
 /// # Example
 ///
@@ -56,88 +195,162 @@ pub fn table_set_key(tables: &[TableProfile]) -> u64 {
 /// assert_eq!(cache.hits(), 1);
 /// assert_eq!(cache.misses(), 1);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct PredictionCache {
-    inner: Mutex<CacheInner>,
+    shards: Vec<Mutex<Shard>>,
 }
 
 #[derive(Debug, Default)]
-struct CacheInner {
+struct Shard {
     map: HashMap<u64, f64>,
     hits: u64,
     misses: u64,
 }
 
+impl Default for PredictionCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl PredictionCache {
-    /// Creates an empty cache.
+    /// Creates an empty cache with the default shard count.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_shards(NUM_SHARDS)
     }
 
-    /// Looks up `key`, computing and inserting the value on a miss.
+    /// Creates an empty cache with an explicit shard count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero or not a power of two.
+    pub fn with_shards(shards: usize) -> Self {
+        assert!(
+            shards > 0 && shards.is_power_of_two(),
+            "shard count must be a nonzero power of two, got {shards}"
+        );
+        Self {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+        }
+    }
+
+    /// Number of shards (always a power of two).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<Shard> {
+        // Keys are avalanche-mixed, so the low bits are uniform.
+        &self.shards[(key as usize) & (self.shards.len() - 1)]
+    }
+
+    /// Looks up `key`, computing and inserting the value on a miss. The
+    /// closure runs under the shard lock, so two threads racing on the same
+    /// key produce exactly one miss and one hit.
     pub fn get_or_insert_with(&self, key: u64, compute: impl FnOnce() -> f64) -> f64 {
-        let mut inner = self.inner.lock();
-        if let Some(&v) = inner.map.get(&key) {
-            inner.hits += 1;
+        let mut shard = self.shard(key).lock();
+        if let Some(&v) = shard.map.get(&key) {
+            shard.hits += 1;
             return v;
         }
-        inner.misses += 1;
+        shard.misses += 1;
         let v = compute();
-        inner.map.insert(key, v);
+        shard.map.insert(key, v);
         v
+    }
+
+    /// Returns the cached value for `key`, counting a hit if present. A
+    /// miss is *not* counted — batch callers pair this with
+    /// [`PredictionCache::record_miss`] once they commit to computing.
+    pub fn get_counted(&self, key: u64) -> Option<f64> {
+        let mut shard = self.shard(key).lock();
+        match shard.map.get(&key) {
+            Some(&v) => {
+                shard.hits += 1;
+                Some(v)
+            }
+            None => None,
+        }
+    }
+
+    /// Counts one hit against `key`'s shard without touching the map —
+    /// used for in-batch duplicate keys, which the serial path would have
+    /// answered from the cache.
+    pub fn record_hit(&self, key: u64) {
+        self.shard(key).lock().hits += 1;
+    }
+
+    /// Counts one miss against `key`'s shard without touching the map.
+    pub fn record_miss(&self, key: u64) {
+        self.shard(key).lock().misses += 1;
+    }
+
+    /// Inserts a computed value unless another thread got there first (the
+    /// first value wins, keeping reads stable).
+    pub fn insert_if_absent(&self, key: u64, value: f64) {
+        self.shard(key).lock().map.entry(key).or_insert(value);
     }
 
     /// Number of cache hits so far.
     pub fn hits(&self) -> u64 {
-        self.inner.lock().hits
+        self.shards.iter().map(|s| s.lock().hits).sum()
     }
 
     /// Number of cache misses so far.
     pub fn misses(&self) -> u64 {
-        self.inner.lock().misses
+        self.shards.iter().map(|s| s.lock().misses).sum()
+    }
+
+    /// One coherent snapshot of the summed hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        let mut out = CacheStats::default();
+        for s in &self.shards {
+            let s = s.lock();
+            out.hits += s.hits;
+            out.misses += s.misses;
+        }
+        out
     }
 
     /// Hit rate in `[0, 1]`; 0 when the cache has not been queried.
     pub fn hit_rate(&self) -> f64 {
-        let inner = self.inner.lock();
-        let total = inner.hits + inner.misses;
-        if total == 0 {
-            0.0
-        } else {
-            inner.hits as f64 / total as f64
-        }
+        self.stats().hit_rate()
     }
 
     /// Number of distinct entries stored.
     pub fn len(&self) -> usize {
-        self.inner.lock().map.len()
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
     }
 
     /// Whether the cache holds no entries.
     pub fn is_empty(&self) -> bool {
-        self.inner.lock().map.is_empty()
+        self.shards.iter().all(|s| s.lock().map.is_empty())
     }
 
     /// Clears entries and statistics.
     pub fn clear(&self) {
-        let mut inner = self.inner.lock();
-        inner.map.clear();
-        inner.hits = 0;
-        inner.misses = 0;
+        for s in &self.shards {
+            let mut s = s.lock();
+            s.map.clear();
+            s.hits = 0;
+            s.misses = 0;
+        }
     }
 
     /// Records a miss without storing an entry — used when caching is
     /// disabled (the "w/o caching" ablation) so hit rates report as 0%.
     pub fn count_miss(&self) {
-        self.inner.lock().misses += 1;
+        self.shards[0].lock().misses += 1;
     }
 
     /// Resets only the hit/miss statistics, keeping the entries (used
     /// between experiment phases so hit rates are attributable).
     pub fn reset_stats(&self) {
-        let mut inner = self.inner.lock();
-        inner.hits = 0;
-        inner.misses = 0;
+        for s in &self.shards {
+            let mut s = s.lock();
+            s.hits = 0;
+            s.misses = 0;
+        }
     }
 }
 
@@ -168,6 +381,25 @@ mod tests {
     }
 
     #[test]
+    fn incremental_add_remove_matches_from_scratch() {
+        let a = t(4, 100);
+        let b = t(8, 200);
+        let c = t(16, 300);
+        let mut key = TableSetKey::empty();
+        key.add(&a);
+        key.add(&b);
+        key.add(&c);
+        assert_eq!(key.key(), table_set_key(&[a, b, c]));
+        key.remove(&b);
+        assert_eq!(key.key(), table_set_key(&[a, c]));
+        assert_eq!(key.with(&b).key(), table_set_key(&[a, b, c]));
+        key.remove(&a);
+        key.remove(&c);
+        assert_eq!(key, TableSetKey::empty());
+        assert_eq!(key.key(), table_set_key(&[]));
+    }
+
+    #[test]
     fn cache_hits_and_misses_are_counted() {
         let cache = PredictionCache::new();
         assert_eq!(cache.hit_rate(), 0.0);
@@ -188,6 +420,20 @@ mod tests {
     }
 
     #[test]
+    fn batch_primitives_account_consistently() {
+        let cache = PredictionCache::new();
+        assert_eq!(cache.get_counted(7), None);
+        cache.record_miss(7);
+        cache.insert_if_absent(7, 1.5);
+        cache.insert_if_absent(7, 9.9); // first value wins
+        assert_eq!(cache.get_counted(7), Some(1.5));
+        cache.record_hit(7);
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
     fn clear_and_reset_stats() {
         let cache = PredictionCache::new();
         cache.get_or_insert_with(1, || 1.0);
@@ -200,9 +446,90 @@ mod tests {
     }
 
     #[test]
+    fn stats_sum_over_all_shards() {
+        let cache = PredictionCache::with_shards(4);
+        // Keys 0..16 cover every shard index at least once.
+        for k in 0..16u64 {
+            cache.get_or_insert_with(k, || k as f64);
+            cache.get_or_insert_with(k, || unreachable!());
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 16);
+        assert_eq!(stats.misses, 16);
+        assert_eq!(stats.total(), 32);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(cache.len(), 16);
+    }
+
+    #[test]
+    fn stats_since_delta() {
+        let a = CacheStats {
+            hits: 10,
+            misses: 5,
+        };
+        let b = CacheStats {
+            hits: 14,
+            misses: 6,
+        };
+        let d = b.since(&a);
+        assert_eq!(d, CacheStats { hits: 4, misses: 1 });
+        let mut acc = CacheStats::default();
+        acc.absorb(&d);
+        acc.absorb(&d);
+        assert_eq!(acc.total(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_shards_panics() {
+        let _ = PredictionCache::with_shards(3);
+    }
+
+    #[test]
     fn cache_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<PredictionCache>();
+        assert_send_sync::<TableSetKey>();
+    }
+
+    #[test]
+    fn concurrent_hammer_keeps_stats_consistent() {
+        // Many threads, overlapping keys, mixed scalar/batch primitives:
+        // every lookup must be counted exactly once, so hits + misses
+        // equals the number of calls regardless of interleaving.
+        const THREADS: usize = 8;
+        const OPS: u64 = 2_000;
+        let cache = PredictionCache::new();
+        std::thread::scope(|scope| {
+            for t in 0..THREADS as u64 {
+                let cache = &cache;
+                scope.spawn(move || {
+                    for i in 0..OPS {
+                        let key = avalanche((i % 64) ^ (t << 32));
+                        match i % 3 {
+                            0 => {
+                                let _ = cache.get_or_insert_with(key, || key as f64);
+                            }
+                            1 => match cache.get_counted(key) {
+                                Some(_) => {}
+                                None => {
+                                    cache.record_miss(key);
+                                    cache.insert_if_absent(key, key as f64);
+                                }
+                            },
+                            _ => {
+                                let _ = cache.get_or_insert_with(key, || key as f64);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.total(), THREADS as u64 * OPS);
+        // 64 distinct keys per thread stripe.
+        assert!(cache.len() <= THREADS * 64);
+        assert!(stats.hits > stats.misses, "repeated keys should mostly hit");
     }
 
     proptest! {
@@ -210,6 +537,35 @@ mod tests {
         fn key_deterministic(dims in proptest::collection::vec(1u32..64, 0..8)) {
             let tables: Vec<TableProfile> = dims.iter().map(|&d| t(d * 4, 1000)).collect();
             prop_assert_eq!(table_set_key(&tables), table_set_key(&tables));
+        }
+
+        #[test]
+        fn incremental_key_equals_from_scratch(
+            dims in proptest::collection::vec(1u32..64, 0..10),
+            remove_mask in 0u32..1024,
+        ) {
+            let tables: Vec<TableProfile> = dims
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| t(d * 4, 500 + i as u64 * 37))
+                .collect();
+            // Build incrementally, compare against the from-scratch key.
+            let mut key = TableSetKey::empty();
+            for tab in &tables {
+                key.add(tab);
+            }
+            prop_assert_eq!(key.key(), table_set_key(&tables));
+            // Remove a subset; the incremental key must equal the
+            // from-scratch key of the remaining multiset.
+            let mut remaining: Vec<TableProfile> = Vec::new();
+            for (i, tab) in tables.iter().enumerate() {
+                if remove_mask & (1 << i) != 0 {
+                    key.remove(tab);
+                } else {
+                    remaining.push(*tab);
+                }
+            }
+            prop_assert_eq!(key.key(), table_set_key(&remaining));
         }
     }
 }

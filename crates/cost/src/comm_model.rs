@@ -67,6 +67,34 @@ impl CommCostModel {
         f64::from(self.mlp.forward(&x).get(0, 0))
     }
 
+    /// Predicts many placements with a single multi-row forward pass.
+    /// `Mlp::forward` is row-independent, so each result is bit-identical
+    /// to calling [`CommCostModel::predict`] on that placement alone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any placement does not match the model's device count.
+    pub fn predict_batch(&self, placements: &[(&[f64], &[f64])], batch_size: u32) -> Vec<f64> {
+        if placements.is_empty() {
+            return Vec::new();
+        }
+        let rows: Vec<Vec<f32>> = placements
+            .iter()
+            .map(|(dims, starts)| {
+                assert_eq!(
+                    dims.len(),
+                    self.num_devices,
+                    "placement has the wrong number of devices for this model"
+                );
+                comm_features(dims, starts, batch_size)
+            })
+            .collect();
+        let y = self.mlp.forward(&Matrix::from_rows(&rows));
+        (0..placements.len())
+            .map(|i| f64::from(y.get(i, 0)))
+            .collect()
+    }
+
     /// Trains on a collected dataset (80/10/10 split from `seed`), keeping
     /// the best-on-validation checkpoint, and returns the report.
     ///
@@ -139,6 +167,26 @@ mod tests {
             skewed > balanced,
             "skewed {skewed} should exceed balanced {balanced}"
         );
+    }
+
+    #[test]
+    fn batch_prediction_is_bit_identical_to_single() {
+        let model = CommCostModel::new(4, 3);
+        let placements: Vec<(Vec<f64>, Vec<f64>)> = vec![
+            (vec![250.0; 4], vec![0.0; 4]),
+            (vec![700.0, 100.0, 100.0, 100.0], vec![1.0, 0.5, 0.0, 2.0]),
+            (vec![10.0, 20.0, 30.0, 40.0], vec![0.0; 4]),
+        ];
+        let refs: Vec<(&[f64], &[f64])> = placements
+            .iter()
+            .map(|(d, s)| (d.as_slice(), s.as_slice()))
+            .collect();
+        let batch = model.predict_batch(&refs, 65_536);
+        for ((dims, starts), &b) in placements.iter().zip(&batch) {
+            let single = model.predict(dims, starts, 65_536);
+            assert_eq!(single.to_bits(), b.to_bits());
+        }
+        assert!(model.predict_batch(&[], 65_536).is_empty());
     }
 
     #[test]

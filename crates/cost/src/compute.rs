@@ -92,16 +92,49 @@ impl ComputeCostModel {
         f64::from(self.head.forward(&pooled).get(0, 0))
     }
 
-    /// Mean squared error over a dataset.
+    /// Predicts the fused-kernel cost of many table combinations with two
+    /// forward passes total: every table row of every set goes through the
+    /// shared encoder as one matrix, each set's rows are sum-pooled, and
+    /// the pooled rows go through the head as one matrix.
+    ///
+    /// Both `Mlp::forward` and the pooling accumulate in the same order as
+    /// the single-set path, so each result is **bit-identical** to calling
+    /// [`ComputeCostModel::predict`] on that set alone.
+    pub fn predict_batch<S: AsRef<[Vec<f32>]>>(&self, sets: &[S]) -> Vec<f64> {
+        if sets.is_empty() {
+            return Vec::new();
+        }
+        let total_rows: usize = sets.iter().map(|s| s.as_ref().len()).sum();
+        let mut pooled_rows: Vec<Vec<f32>> = vec![vec![0.0; ENCODER_OUT]; sets.len()];
+        if total_rows > 0 {
+            let x = Matrix::from_rows(sets.iter().flat_map(|s| s.as_ref().iter()));
+            let encoded = self.encoder.forward(&x);
+            let mut r = 0;
+            for (pooled, s) in pooled_rows.iter_mut().zip(sets) {
+                for _ in 0..s.as_ref().len() {
+                    for (p, &v) in pooled.iter_mut().zip(encoded.row(r)) {
+                        *p += v;
+                    }
+                    r += 1;
+                }
+            }
+        }
+        let y = self.head.forward(&Matrix::from_rows(&pooled_rows));
+        (0..sets.len()).map(|i| f64::from(y.get(i, 0))).collect()
+    }
+
+    /// Mean squared error over a dataset (batched inference).
     pub fn evaluate_mse(&self, data: &ComputeDataset) -> f32 {
         if data.is_empty() {
             return f32::NAN;
         }
-        let se: f64 = data
-            .samples
+        let sets: Vec<&[Vec<f32>]> = data.samples.iter().map(|s| s.tables.as_slice()).collect();
+        let preds = self.predict_batch(&sets);
+        let se: f64 = preds
             .iter()
-            .map(|s| {
-                let err = self.predict(&s.tables) - f64::from(s.cost_ms);
+            .zip(&data.samples)
+            .map(|(p, s)| {
+                let err = p - f64::from(s.cost_ms);
                 err * err
             })
             .sum();
@@ -232,6 +265,21 @@ mod tests {
         tables.reverse();
         let b = model.predict(&tables);
         assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+    }
+
+    #[test]
+    fn batch_prediction_is_bit_identical_to_single() {
+        let model = ComputeCostModel::new(11);
+        let data = small_dataset(6);
+        let mut sets: Vec<Vec<Vec<f32>>> = data.samples.iter().map(|s| s.tables.clone()).collect();
+        sets.push(Vec::new()); // empty combination rides along
+        let batch = model.predict_batch(&sets);
+        assert_eq!(batch.len(), sets.len());
+        for (s, &b) in sets.iter().zip(&batch) {
+            let single = model.predict(s);
+            assert_eq!(single.to_bits(), b.to_bits(), "batch diverged on {s:?}");
+        }
+        assert!(model.predict_batch::<Vec<Vec<f32>>>(&[]).is_empty());
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub mod compute;
 pub mod features;
 pub mod simulator;
 
-pub use cache::PredictionCache;
+pub use cache::{table_set_key, CacheStats, PredictionCache, TableSetKey};
 pub use collect::{
     collect_comm_data, collect_compute_data, CollectConfig, CommDataset, ComputeDataset,
     ComputeSample,

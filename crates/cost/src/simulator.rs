@@ -7,12 +7,14 @@
 //! predicted max computation, forward communication and backward
 //! communication costs (§3.3) — no ground-truth (GPU) execution involved.
 
+use std::collections::HashMap;
+
 use serde::{Deserialize, Serialize};
 
 use nshard_data::TablePool;
 use nshard_sim::{CommParams, GpuSpec, KernelParams, TableProfile};
 
-use crate::cache::{table_set_key, PredictionCache};
+use crate::cache::{table_set_key, PredictionCache, TableSetKey};
 use crate::collect::{collect_comm_data, collect_compute_data, CollectConfig};
 use crate::comm_model::CommCostModel;
 use crate::compute::ComputeCostModel;
@@ -281,6 +283,7 @@ pub struct CostSimulator {
     bundle: CostModelBundle,
     cache: PredictionCache,
     cache_enabled: bool,
+    batch_enabled: bool,
 }
 
 impl CostSimulator {
@@ -290,6 +293,7 @@ impl CostSimulator {
             bundle,
             cache: PredictionCache::new(),
             cache_enabled: true,
+            batch_enabled: true,
         }
     }
 
@@ -298,6 +302,19 @@ impl CostSimulator {
     pub fn with_cache_disabled(mut self) -> Self {
         self.cache_enabled = false;
         self
+    }
+
+    /// Disables batched inference: every batch API falls back to one
+    /// single-row model forward per query (the pre-batching engine, kept
+    /// as a benchmark baseline). Results are bit-identical either way.
+    pub fn with_batching_disabled(mut self) -> Self {
+        self.batch_enabled = false;
+        self
+    }
+
+    /// Whether batched inference is enabled.
+    pub fn batching_enabled(&self) -> bool {
+        self.batch_enabled
     }
 
     /// The underlying bundle.
@@ -310,19 +327,89 @@ impl CostSimulator {
         &self.cache
     }
 
+    fn features(&self, tables: &[TableProfile]) -> Vec<Vec<f32>> {
+        tables
+            .iter()
+            .map(|t| table_features(t, self.bundle.batch_size))
+            .collect()
+    }
+
+    /// Runs the compute model over many feature sets, batched or one by
+    /// one depending on the ablation toggle. Identical bits either way.
+    fn predict_compute_sets(&self, sets: &[Vec<Vec<f32>>]) -> Vec<f64> {
+        if self.batch_enabled {
+            self.bundle.compute.predict_batch(sets)
+        } else {
+            sets.iter()
+                .map(|s| self.bundle.compute.predict(s))
+                .collect()
+        }
+    }
+
+    /// Resolves many keyed compute-cost queries against the cache, running
+    /// the model once over all misses. Within one batch the accounting
+    /// matches the serial path exactly: the first occurrence of a missing
+    /// key is a miss, every later duplicate is a hit.
+    fn cached_compute_batch(
+        &self,
+        keys: &[u64],
+        mut features_of: impl FnMut(usize) -> Vec<Vec<f32>>,
+    ) -> Vec<f64> {
+        let n = keys.len();
+        if !self.cache_enabled {
+            // Still count lookups so ablation hit rates read 0%.
+            for _ in 0..n {
+                self.cache.count_miss();
+            }
+            let feats: Vec<Vec<Vec<f32>>> = (0..n).map(&mut features_of).collect();
+            return self.predict_compute_sets(&feats);
+        }
+        let mut out = vec![f64::NAN; n];
+        // First-occurrence slot of each key this batch must compute.
+        let mut pending: HashMap<u64, usize> = HashMap::new();
+        let mut miss_items: Vec<usize> = Vec::new();
+        let mut dups: Vec<(usize, usize)> = Vec::new();
+        for (i, &key) in keys.iter().enumerate() {
+            if let Some(v) = self.cache.get_counted(key) {
+                out[i] = v;
+            } else if let Some(&slot) = pending.get(&key) {
+                // The serial path would answer this from the cache.
+                self.cache.record_hit(key);
+                dups.push((i, slot));
+            } else {
+                self.cache.record_miss(key);
+                pending.insert(key, miss_items.len());
+                miss_items.push(i);
+            }
+        }
+        if !miss_items.is_empty() {
+            let feats: Vec<Vec<Vec<f32>>> = miss_items.iter().map(|&i| features_of(i)).collect();
+            let preds = self.predict_compute_sets(&feats);
+            for (slot, &i) in miss_items.iter().enumerate() {
+                self.cache.insert_if_absent(keys[i], preds[slot]);
+                out[i] = preds[slot];
+            }
+            for (i, slot) in dups {
+                out[i] = preds[slot];
+            }
+        }
+        out
+    }
+
     /// Predicted fused-kernel cost (fwd+bwd, ms) of one device's table set,
     /// memoized in the life-long cache.
     pub fn device_compute_cost(&self, tables: &[TableProfile]) -> f64 {
-        let predict = || {
-            let feats: Vec<Vec<f32>> = tables
-                .iter()
-                .map(|t| table_features(t, self.bundle.batch_size))
-                .collect();
-            self.bundle.compute.predict(&feats)
-        };
+        self.device_compute_cost_keyed(TableSetKey::of(tables), tables)
+    }
+
+    /// Like [`CostSimulator::device_compute_cost`] for callers that
+    /// maintain the set key incrementally (skips the O(n) rehash).
+    ///
+    /// `key` must fingerprint exactly the multiset in `tables`.
+    pub fn device_compute_cost_keyed(&self, key: TableSetKey, tables: &[TableProfile]) -> f64 {
+        let predict = || self.bundle.compute.predict(&self.features(tables));
         if self.cache_enabled {
-            self.cache
-                .get_or_insert_with(table_set_key(tables), predict)
+            self.cache.get_or_insert_with(key.key(), predict)
         } else {
             // Still count lookups so ablation hit rates read 0%.
             self.cache.count_miss();
@@ -330,10 +417,49 @@ impl CostSimulator {
         }
     }
 
+    /// Predicted costs of many device table sets, resolved with one
+    /// batched model forward over the cache misses. Each `key` must
+    /// fingerprint its paired multiset.
+    pub fn device_compute_cost_batch(&self, sets: &[(TableSetKey, &[TableProfile])]) -> Vec<f64> {
+        let keys: Vec<u64> = sets.iter().map(|(k, _)| k.key()).collect();
+        self.cached_compute_batch(&keys, |i| self.features(sets[i].1))
+    }
+
+    /// Predicted costs of `extra` appended to each base set — the greedy
+    /// allocator's probe pattern ("what if this table joined device g?")
+    /// — scored with one batched forward over the cache misses and O(1)
+    /// key updates.
+    pub fn appended_compute_cost_batch(
+        &self,
+        bases: &[(TableSetKey, &[TableProfile])],
+        extra: &TableProfile,
+    ) -> Vec<f64> {
+        let keys: Vec<u64> = bases.iter().map(|(k, _)| k.with(extra).key()).collect();
+        let extra_feat = table_features(extra, self.bundle.batch_size);
+        self.cached_compute_batch(&keys, |i| {
+            let mut feats = self.features(bases[i].1);
+            feats.push(extra_feat.clone());
+            feats
+        })
+    }
+
     /// Predicted cost (fwd+bwd, ms) of a single table alone on a device —
     /// used by the search to rank candidate tables.
     pub fn single_table_cost(&self, table: &TableProfile) -> f64 {
         self.device_compute_cost(std::slice::from_ref(table))
+    }
+
+    /// [`CostSimulator::single_table_cost`] for many tables at once — one
+    /// batched forward over the misses, each result memoized under the
+    /// table's singleton set key.
+    pub fn single_table_cost_batch(&self, tables: &[TableProfile]) -> Vec<f64> {
+        let keys: Vec<u64> = tables
+            .iter()
+            .map(|t| table_set_key(std::slice::from_ref(t)))
+            .collect();
+        self.cached_compute_batch(&keys, |i| {
+            vec![table_features(&tables[i], self.bundle.batch_size)]
+        })
     }
 
     /// Estimates the full embedding cost of a plan (Equation 1's
@@ -345,36 +471,89 @@ impl CostSimulator {
     ///
     /// Panics if `assignment.len()` differs from the bundle's device count.
     pub fn estimate_plan(&self, assignment: &[Vec<TableProfile>]) -> EstimatedCost {
-        assert_eq!(
-            assignment.len(),
-            self.bundle.num_devices,
-            "plan device count does not match the bundle"
-        );
-        let compute: Vec<f64> = assignment
+        self.estimate_plan_batch(std::slice::from_ref(&assignment))
+            .pop()
+            .expect("one assignment in, one estimate out")
+    }
+
+    /// Estimates many plans at once: one batched (cached) compute call
+    /// over every device set of every plan, then one batched forward per
+    /// communication model. Each estimate is bit-identical to
+    /// [`CostSimulator::estimate_plan`] on that plan alone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any assignment's device count differs from the bundle's.
+    pub fn estimate_plan_batch<A: AsRef<[Vec<TableProfile>]>>(
+        &self,
+        assignments: &[A],
+    ) -> Vec<EstimatedCost> {
+        let d = self.bundle.num_devices;
+        for a in assignments {
+            assert_eq!(
+                a.as_ref().len(),
+                d,
+                "plan device count does not match the bundle"
+            );
+        }
+        // One batched compute call over all device sets of all plans.
+        let flat: Vec<&[TableProfile]> = assignments
             .iter()
-            .map(|tables| self.device_compute_cost(tables))
+            .flat_map(|a| a.as_ref().iter().map(Vec::as_slice))
             .collect();
-        let max_compute = compute.iter().cloned().fold(0.0, f64::max);
-        let dims: Vec<f64> = assignment
+        let keys: Vec<u64> = flat.iter().map(|s| table_set_key(s)).collect();
+        let compute_flat = self.cached_compute_batch(&keys, |i| self.features(flat[i]));
+
+        let mut dims_all: Vec<Vec<f64>> = Vec::with_capacity(assignments.len());
+        let mut fwd_starts_all: Vec<Vec<f64>> = Vec::with_capacity(assignments.len());
+        for (pi, a) in assignments.iter().enumerate() {
+            let compute = &compute_flat[pi * d..(pi + 1) * d];
+            dims_all.push(
+                a.as_ref()
+                    .iter()
+                    .map(|tables| tables.iter().map(|t| f64::from(t.dim())).sum())
+                    .collect(),
+            );
+            // Forward comm starts when each device's forward kernel ends.
+            fwd_starts_all.push(compute.iter().map(|c| c * FWD_FRACTION).collect());
+        }
+        let bwd_starts = vec![0.0; d];
+        let fwd_placements: Vec<(&[f64], &[f64])> = dims_all
             .iter()
-            .map(|tables| tables.iter().map(|t| f64::from(t.dim())).sum())
+            .zip(&fwd_starts_all)
+            .map(|(dims, starts)| (dims.as_slice(), starts.as_slice()))
             .collect();
-        // Forward comm starts when each device's forward kernel ends.
-        let fwd_starts: Vec<f64> = compute.iter().map(|c| c * FWD_FRACTION).collect();
-        let fwd = self
-            .bundle
-            .comm_fwd
-            .predict(&dims, &fwd_starts, self.bundle.batch_size);
-        let bwd_starts = vec![0.0; dims.len()];
-        let bwd = self
-            .bundle
-            .comm_bwd
-            .predict(&dims, &bwd_starts, self.bundle.batch_size);
-        EstimatedCost {
-            compute_per_device: compute,
-            max_compute_ms: max_compute,
-            fwd_comm_ms: fwd.max(0.0),
-            bwd_comm_ms: bwd.max(0.0),
+        let bwd_placements: Vec<(&[f64], &[f64])> = dims_all
+            .iter()
+            .map(|dims| (dims.as_slice(), bwd_starts.as_slice()))
+            .collect();
+        let fwd = self.predict_comm(&self.bundle.comm_fwd, &fwd_placements);
+        let bwd = self.predict_comm(&self.bundle.comm_bwd, &bwd_placements);
+
+        (0..assignments.len())
+            .map(|pi| {
+                let compute = compute_flat[pi * d..(pi + 1) * d].to_vec();
+                let max_compute = compute.iter().cloned().fold(0.0, f64::max);
+                EstimatedCost {
+                    compute_per_device: compute,
+                    max_compute_ms: max_compute,
+                    fwd_comm_ms: fwd[pi].max(0.0),
+                    bwd_comm_ms: bwd[pi].max(0.0),
+                }
+            })
+            .collect()
+    }
+
+    /// Runs one comm model over many placements, batched or row by row
+    /// depending on the ablation toggle. Identical bits either way.
+    fn predict_comm(&self, model: &CommCostModel, placements: &[(&[f64], &[f64])]) -> Vec<f64> {
+        if self.batch_enabled {
+            model.predict_batch(placements, self.bundle.batch_size)
+        } else {
+            placements
+                .iter()
+                .map(|(dims, starts)| model.predict(dims, starts, self.bundle.batch_size))
+                .collect()
         }
     }
 }
@@ -430,6 +609,75 @@ mod tests {
         let _ = sim.estimate_plan(&plan);
         assert_eq!(sim.cache().hits(), 0);
         assert_eq!(sim.cache().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn batch_apis_match_scalar_apis_bit_for_bit() {
+        let bundle = quick_bundle(2);
+        let batched = CostSimulator::new(bundle.clone());
+        let rowwise = CostSimulator::new(bundle).with_batching_disabled();
+        assert!(batched.batching_enabled());
+        assert!(!rowwise.batching_enabled());
+
+        let tables = [t(64), t(32), t(16), t(8)];
+        // single_table_cost_batch vs single_table_cost.
+        let singles = batched.single_table_cost_batch(&tables);
+        for (tab, &b) in tables.iter().zip(&singles) {
+            assert_eq!(rowwise.single_table_cost(tab).to_bits(), b.to_bits());
+        }
+
+        // device_compute_cost_batch vs device_compute_cost, including an
+        // in-batch duplicate and the empty set.
+        let sets: Vec<Vec<TableProfile>> = vec![
+            vec![t(64), t(32)],
+            vec![t(16)],
+            vec![t(64), t(32)], // duplicate of set 0
+            vec![],
+        ];
+        let keyed: Vec<(TableSetKey, &[TableProfile])> = sets
+            .iter()
+            .map(|s| (TableSetKey::of(s), s.as_slice()))
+            .collect();
+        let costs = batched.device_compute_cost_batch(&keyed);
+        for (s, &c) in sets.iter().zip(&costs) {
+            assert_eq!(rowwise.device_compute_cost(s).to_bits(), c.to_bits());
+        }
+
+        // appended probe vs push-predict-pop.
+        let extra = t(128);
+        let appended = batched.appended_compute_cost_batch(&keyed, &extra);
+        for (s, &c) in sets.iter().zip(&appended) {
+            let mut probed = s.clone();
+            probed.push(extra);
+            assert_eq!(rowwise.device_compute_cost(&probed).to_bits(), c.to_bits());
+        }
+
+        // estimate_plan_batch vs estimate_plan.
+        let plans = vec![
+            vec![vec![t(64), t(32)], vec![t(16)]],
+            vec![vec![t(8)], vec![t(64), t(8)]],
+        ];
+        let ests = batched.estimate_plan_batch(&plans);
+        for (plan, est) in plans.iter().zip(&ests) {
+            let scalar = rowwise.estimate_plan(plan);
+            assert_eq!(scalar.total_ms().to_bits(), est.total_ms().to_bits());
+            assert_eq!(scalar.compute_per_device, est.compute_per_device);
+        }
+    }
+
+    #[test]
+    fn batch_accounting_matches_serial_within_a_batch() {
+        let sim = CostSimulator::new(quick_bundle(2));
+        let a = vec![t(64)];
+        let b = vec![t(16)];
+        let keyed: Vec<(TableSetKey, &[TableProfile])> = [&a, &b, &a, &a]
+            .iter()
+            .map(|s| (TableSetKey::of(s), s.as_slice()))
+            .collect();
+        let _ = sim.device_compute_cost_batch(&keyed);
+        // Serial replay: miss(a), miss(b), hit(a), hit(a).
+        assert_eq!(sim.cache().misses(), 2);
+        assert_eq!(sim.cache().hits(), 2);
     }
 
     #[test]
