@@ -1,0 +1,240 @@
+//! Online re-sharding benchmark: drives one deployment through a fixed
+//! drift trace under the never / full / incremental maintenance
+//! strategies and records, per strategy, the wall time of the whole
+//! controller loop, the candidate plans evaluated by drift-triggered
+//! replans, the embedding bytes migrated, and the ground-truth
+//! max-device cost (final / mean / worst across the trace).
+//!
+//! The acceptance gate of the online subsystem is checked and recorded:
+//! on this trace the incremental planner must move at most 25% of the
+//! bytes a from-scratch replan moves while landing within 5% of the
+//! full replan's final max-device cost.
+//!
+//! Usage:
+//! `bench_online [--epochs 20] [--seed 7] [--drift-seed 42]
+//!  [--tables-min 25] [--tables-max 35] [--out BENCH_online.json]`
+
+use std::time::Instant;
+
+use serde::Serialize;
+
+use nshard_bench::{print_markdown_table, Args};
+use nshard_core::{NeuroShard, NeuroShardConfig};
+use nshard_cost::{CollectConfig, CostModelBundle, TrainSettings};
+use nshard_data::{ShardingTask, TablePool};
+use nshard_online::{
+    IncrementalConfig, OnlineConfig, OnlineController, ReplanAction, ReplanHistory, ReplanStrategy,
+    WorkloadDrift,
+};
+
+#[derive(Serialize)]
+struct StrategyRow {
+    strategy: String,
+    /// Wall clock of the full 20-epoch controller loop, seconds.
+    wall_clock_s: f64,
+    /// Drift-triggered replans across the trace (epoch-0 deployment is
+    /// shared by every strategy and not counted).
+    replans: usize,
+    /// Candidate plans scored by those replans: the incremental
+    /// planner's own counter, plus the full search's counter for every
+    /// epoch that went through the fallback chain.
+    evaluated_plans: usize,
+    /// Embedding bytes migrated across the whole trace.
+    migration_bytes: u64,
+    /// Ground-truth max-device cost at the last epoch, ms (`null` when
+    /// the deployed plan is memory-infeasible there).
+    final_ground_truth_ms: Option<f64>,
+    /// Mean ground-truth max-device cost over feasible epochs, ms.
+    mean_ground_truth_ms: f64,
+    /// Worst ground-truth max-device cost over feasible epochs, ms.
+    worst_ground_truth_ms: Option<f64>,
+}
+
+#[derive(Serialize)]
+struct Output {
+    epochs: u64,
+    num_gpus: usize,
+    tables: usize,
+    batch_size: u32,
+    drift_seed: u64,
+    controller_seed: u64,
+    /// The migration-aware objective's λ (ms of tolerated cost per GB
+    /// of bytes moved).
+    lambda_ms_per_gb: f64,
+    rows: Vec<StrategyRow>,
+    /// Incremental bytes moved over full-replan bytes moved.
+    incremental_bytes_over_full: f64,
+    /// Incremental final max-device cost over the full replan's.
+    incremental_final_cost_over_full: f64,
+    /// Acceptance: incremental moves ≤ 25% of full-replan bytes.
+    accept_bytes_le_quarter_of_full: bool,
+    /// Acceptance: incremental final cost within 5% of full replan's.
+    accept_final_cost_within_5pct: bool,
+}
+
+/// Candidate plans evaluated by a run's drift-triggered replans.
+///
+/// Incremental replans carry their own counter. Full replans go through
+/// the fallback chain, which does not surface search statistics, so the
+/// same deterministic search is re-run with `shard_with_stats` on the
+/// same drifted task to read the counter off.
+fn evaluated_plans(
+    history: &ReplanHistory,
+    bundle: &CostModelBundle,
+    drift: &WorkloadDrift,
+    search: NeuroShardConfig,
+) -> usize {
+    let sharder = NeuroShard::new(bundle.clone(), search);
+    history
+        .epochs
+        .iter()
+        .map(|e| match &e.action {
+            Some(ReplanAction::Incremental {
+                evaluated_plans, ..
+            }) => *evaluated_plans,
+            Some(ReplanAction::Full { .. }) | Some(ReplanAction::IncrementalFellBack { .. }) => {
+                sharder
+                    .shard_with_stats(&drift.task_at(e.epoch))
+                    .map_or(0, |o| o.evaluated_plans)
+            }
+            _ => 0,
+        })
+        .sum()
+}
+
+fn main() {
+    let args = Args::from_env();
+    let epochs: u64 = args.get("epochs", 20);
+    let seed: u64 = args.get("seed", 7);
+    let drift_seed: u64 = args.get("drift-seed", 42);
+    let t_min: usize = args.get("tables-min", 25);
+    let t_max: usize = args.get("tables-max", 35);
+    let collect = CollectConfig {
+        compute_samples: args.get("compute-samples", 2000),
+        comm_samples: args.get("comm-samples", 1500),
+        ..CollectConfig::default()
+    };
+    let out_path = args
+        .get_opt("out")
+        .unwrap_or_else(|| "BENCH_online.json".to_string());
+
+    let num_gpus = 4usize;
+    let pool = TablePool::synthetic_dlrm(856, 2023);
+    eprintln!("pre-training cost models for {num_gpus} GPUs...");
+    let bundle =
+        CostModelBundle::pretrain(&pool, num_gpus, &collect, &TrainSettings::default(), 42);
+
+    let base = ShardingTask::sample(&pool, num_gpus, t_min..=t_max, 64, seed);
+    let tables = base.num_tables();
+    let batch_size = base.batch_size();
+    let drift = WorkloadDrift::standard(base, drift_seed);
+    let search = NeuroShardConfig::default();
+    let incremental = IncrementalConfig::default();
+    let lambda = incremental.lambda_ms_per_gb;
+
+    let mut rows = Vec::new();
+    for strategy in [
+        ReplanStrategy::Never,
+        ReplanStrategy::Full,
+        ReplanStrategy::Incremental,
+    ] {
+        eprintln!(
+            "running the {} strategy over {epochs} epochs...",
+            strategy.name()
+        );
+        let config = OnlineConfig {
+            epochs,
+            strategy,
+            incremental,
+            search,
+            seed,
+            ..OnlineConfig::default()
+        };
+        let controller = OnlineController::new(bundle.clone(), drift.clone(), config);
+        let t0 = Instant::now();
+        let history = controller.run().expect("the deployment is feasible");
+        let wall = t0.elapsed().as_secs_f64();
+        rows.push(StrategyRow {
+            strategy: strategy.name().to_string(),
+            wall_clock_s: wall,
+            replans: history.replans(),
+            evaluated_plans: evaluated_plans(&history, &bundle, &drift, search),
+            migration_bytes: history.total_migration_bytes(),
+            final_ground_truth_ms: history.epochs.last().and_then(|e| e.ground_truth_ms),
+            mean_ground_truth_ms: history.mean_ground_truth_ms(),
+            worst_ground_truth_ms: history.worst_ground_truth_ms(),
+        });
+    }
+
+    let full = &rows[1];
+    let incr = &rows[2];
+    let bytes_ratio = incr.migration_bytes as f64 / full.migration_bytes.max(1) as f64;
+    let cost_ratio = match (incr.final_ground_truth_ms, full.final_ground_truth_ms) {
+        (Some(i), Some(f)) if f > 0.0 => i / f,
+        _ => f64::INFINITY,
+    };
+    let output = Output {
+        epochs,
+        num_gpus,
+        tables,
+        batch_size,
+        drift_seed,
+        controller_seed: seed,
+        lambda_ms_per_gb: lambda,
+        incremental_bytes_over_full: bytes_ratio,
+        incremental_final_cost_over_full: cost_ratio,
+        accept_bytes_le_quarter_of_full: bytes_ratio <= 0.25,
+        accept_final_cost_within_5pct: cost_ratio <= 1.05,
+        rows,
+    };
+
+    println!("\n# Online re-sharding, {epochs} epochs, {num_gpus} GPUs, {tables} tables\n");
+    let table: Vec<Vec<String>> = output
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.strategy.clone(),
+                format!("{:.2}", r.wall_clock_s),
+                format!("{}", r.replans),
+                format!("{}", r.evaluated_plans),
+                format!("{}", r.migration_bytes),
+                r.final_ground_truth_ms
+                    .map_or_else(|| "-".into(), |c| format!("{c:.2}")),
+                format!("{:.2}", r.mean_ground_truth_ms),
+            ]
+        })
+        .collect();
+    print_markdown_table(
+        &[
+            "strategy",
+            "wall (s)",
+            "replans",
+            "plans evaluated",
+            "bytes moved",
+            "final cost (ms)",
+            "mean cost (ms)",
+        ],
+        &table,
+    );
+    println!(
+        "\nincremental vs full: {:.1}% of the bytes, {:.3}x the final cost \
+         (accept: bytes {} | cost {})",
+        bytes_ratio * 100.0,
+        cost_ratio,
+        output.accept_bytes_le_quarter_of_full,
+        output.accept_final_cost_within_5pct,
+    );
+    assert!(
+        output.accept_bytes_le_quarter_of_full,
+        "incremental replanning must move ≤ 25% of full-replan bytes"
+    );
+    assert!(
+        output.accept_final_cost_within_5pct,
+        "incremental final cost must be within 5% of the full replan's"
+    );
+
+    let json = serde_json::to_string_pretty(&output).expect("results are serializable");
+    std::fs::write(&out_path, json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    eprintln!("wrote {out_path}");
+}

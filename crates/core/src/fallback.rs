@@ -25,6 +25,7 @@
 
 use nshard_data::ShardingTask;
 use nshard_sim::{Cluster, GpuSpec, SimError};
+use serde::{Deserialize, Serialize};
 
 use crate::plan::{PlanError, ShardingPlan};
 use crate::repair::{RepairConfig, RepairEngine};
@@ -57,7 +58,7 @@ impl RetryPolicy {
 }
 
 /// Which stage of the chain produced the accepted plan.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum PlanSource {
     /// The primary algorithm's plan, verified as-is.
     Primary {
@@ -89,7 +90,7 @@ impl PlanSource {
 }
 
 /// One recorded decision of the chain.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ProvenanceEvent {
     /// A stage started producing a plan.
     Attempt {
@@ -137,9 +138,26 @@ pub enum ProvenanceEvent {
     },
 }
 
+/// Why a *re*-plan was requested — set when a plan replaces an incumbent
+/// because the observed workload drifted away from the incumbent's
+/// assumptions (the online re-sharding loop), `None` for one-shot plans.
+///
+/// The `trigger_kind` is the short stable name of the drift trigger (e.g.
+/// `"cost_regression"`, `"imbalance"`, `"memory"`), so a degraded or
+/// migrated plan is attributable to the drift event that caused it, just
+/// like fault-driven fallbacks are attributable through
+/// [`ProvenanceEvent`]s.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplanAttribution {
+    /// Stable short name of the trigger that fired.
+    pub trigger_kind: String,
+    /// The drift epoch at which the trigger fired.
+    pub epoch: u64,
+}
+
 /// The full decision record of one [`FallbackChain::shard_with_provenance`]
 /// call.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PlanProvenance {
     /// Which stage produced the accepted plan.
     pub source: PlanSource,
@@ -149,12 +167,27 @@ pub struct PlanProvenance {
     pub total_retries: u32,
     /// Total recorded backoff across all stages, ms.
     pub total_backoff_ms: u64,
+    /// Drift attribution when this plan replaced an incumbent in response
+    /// to a workload-drift trigger; `None` for one-shot plans.
+    pub replan: Option<ReplanAttribution>,
 }
 
 impl PlanProvenance {
     /// `true` when the accepted plan is a downgrade from the primary.
     pub fn is_degraded(&self) -> bool {
         self.source.is_degraded()
+    }
+
+    /// Attributes this plan to a drift-triggered replan (builder-style) —
+    /// used by the online controller so every replacement plan records the
+    /// trigger kind and epoch that caused it.
+    #[must_use]
+    pub fn attributed_to_replan(mut self, trigger_kind: impl Into<String>, epoch: u64) -> Self {
+        self.replan = Some(ReplanAttribution {
+            trigger_kind: trigger_kind.into(),
+            epoch,
+        });
+        self
     }
 }
 
@@ -174,8 +207,9 @@ pub struct ResilientError {
     /// The error of the final stage.
     pub cause: PlanError,
     /// Every decision the chain made before giving up. `source` is the
-    /// last stage attempted.
-    pub provenance: PlanProvenance,
+    /// last stage attempted. Boxed to keep the error variant small on
+    /// the `Result` hot path.
+    pub provenance: Box<PlanProvenance>,
 }
 
 impl std::fmt::Display for ResilientError {
@@ -328,7 +362,7 @@ impl FallbackChain {
                 }),
                 Err(e) => Err(ResilientError {
                     cause: e,
-                    provenance: trail.into_provenance(PlanSource::SizeBalanced),
+                    provenance: Box::new(trail.into_provenance(PlanSource::SizeBalanced)),
                 }),
             },
             Err(e) => {
@@ -339,7 +373,7 @@ impl FallbackChain {
                 let cause = last_error.unwrap_or(e);
                 Err(ResilientError {
                     cause,
-                    provenance: trail.into_provenance(PlanSource::SizeBalanced),
+                    provenance: Box::new(trail.into_provenance(PlanSource::SizeBalanced)),
                 })
             }
         }
@@ -471,6 +505,7 @@ impl Trail {
             events: self.events,
             total_retries: self.total_retries,
             total_backoff_ms: self.total_backoff_ms,
+            replan: None,
         }
     }
 }
@@ -747,6 +782,26 @@ mod tests {
         let b = make().shard_with_provenance(&task).unwrap();
         assert_eq!(a.plan, b.plan);
         assert_eq!(a.provenance, b.provenance);
+    }
+
+    #[test]
+    fn replan_attribution_is_recordable() {
+        let chain = FallbackChain::new(Box::new(RoundRobin));
+        let outcome = chain.shard_with_provenance(&small_task()).unwrap();
+        assert_eq!(outcome.provenance.replan, None);
+        let attributed = outcome
+            .provenance
+            .clone()
+            .attributed_to_replan("cost_regression", 7);
+        assert_eq!(
+            attributed.replan,
+            Some(ReplanAttribution {
+                trigger_kind: "cost_regression".into(),
+                epoch: 7,
+            })
+        );
+        // Attribution does not change degradation status.
+        assert_eq!(attributed.is_degraded(), outcome.provenance.is_degraded());
     }
 
     #[test]

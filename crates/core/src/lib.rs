@@ -60,14 +60,14 @@ pub mod repair;
 pub use beam::{BeamSearch, BeamSearchResult, SearchPhaseStats};
 pub use eval::{evaluate_plan, evaluate_plan_exact};
 pub use fallback::{
-    size_balanced_plan, FallbackChain, PlanProvenance, PlanSource, ProvenanceEvent, ResilientError,
-    ResilientOutcome, RetryPolicy,
+    size_balanced_plan, FallbackChain, PlanProvenance, PlanSource, ProvenanceEvent,
+    ReplanAttribution, ResilientError, ResilientOutcome, RetryPolicy,
 };
 pub use greedy_grid::{GreedyGridSearch, GridSearchResult};
 pub use neuroshard::{NeuroShard, NeuroShardConfig, ShardOutcome};
 pub use plan::{
-    apply_column_plan, apply_split_plan, ColumnPlan, PlanError, ShardingPlan, SplitKind, SplitPlan,
-    SplitStep,
+    apply_column_plan, apply_split_plan, migration_bytes, ColumnPlan, PlanError, ShardingPlan,
+    SplitKind, SplitPlan, SplitStep,
 };
 pub use pool::{resolve_threads, WorkPool};
 pub use repair::{RepairConfig, RepairEngine, RepairReport, RepairStep};

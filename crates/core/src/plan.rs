@@ -337,6 +337,55 @@ impl ShardingPlan {
         out
     }
 
+    /// Rebases this plan onto a (typically drifted) task: re-applies the
+    /// recorded split plan to the task's current tables and keeps the
+    /// device assignment. This is how an incumbent plan is priced under a
+    /// new workload — the placement is unchanged, but every shard carries
+    /// the task's current pooling factors and hash sizes.
+    ///
+    /// The task must have the same table count as the one the plan was
+    /// built for (drift evolves table *parameters*, not the table list).
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError::Invalid`] on a table-count mismatch, or a split-plan
+    /// error when a recorded split is no longer legal for the drifted
+    /// tables (e.g. a row split of a table that shrank below the minimum
+    /// shard size).
+    pub fn rebase(&self, task: &ShardingTask) -> Result<ShardingPlan, PlanError> {
+        let expected = task.num_tables() + self.split_plan.len();
+        if expected != self.sharded_tables.len() {
+            return Err(PlanError::Invalid {
+                reason: format!(
+                    "cannot rebase: task has {} tables but the plan shards {} into {}",
+                    task.num_tables(),
+                    self.sharded_tables.len() - self.split_plan.len(),
+                    self.sharded_tables.len()
+                ),
+            });
+        }
+        let sharded = apply_split_plan(task.tables(), &self.split_plan)?;
+        Self::with_split_plan(
+            self.split_plan.clone(),
+            sharded,
+            self.device_of.clone(),
+            self.num_devices,
+        )
+    }
+
+    /// Per-`(TableId, device)` byte masses of this plan — the embedding
+    /// bytes of each logical table resident on each device. Column- and
+    /// row-wise shards of one table pool into the same entry, so the map is
+    /// invariant to *how* a table's bytes are split, only to *where* they
+    /// live.
+    fn device_mass(&self) -> std::collections::HashMap<(nshard_data::TableId, usize), u64> {
+        let mut mass = std::collections::HashMap::new();
+        for (table, &d) in self.sharded_tables.iter().zip(&self.device_of) {
+            *mass.entry((table.id(), d)).or_insert(0u64) += table.memory_bytes();
+        }
+        mass
+    }
+
     /// Validates the plan against a task: same device count, every device
     /// within the memory budget, and the sharded tables derivable from the
     /// task's tables via the recorded column plan.
@@ -372,6 +421,38 @@ impl ShardingPlan {
         }
         Ok(())
     }
+}
+
+/// The embedding bytes that must be *moved between devices* to transform
+/// plan `from` into plan `to` — the transport cost of a re-sharding step.
+///
+/// Both plans should describe the same task (same logical tables and device
+/// count); bytes are counted per `(TableId, device)` mass, so a table split
+/// differently but left on the same device moves nothing, while a shard
+/// relocated to another device moves its full byte size. The count is the
+/// sum of positive per-device inflows, i.e. every byte is counted once at
+/// its destination.
+///
+/// ```
+/// use nshard_core::{migration_bytes, ShardingPlan};
+/// use nshard_data::{TableConfig, TableId};
+///
+/// let tables = vec![
+///     TableConfig::new(TableId(0), 64, 1000, 5.0, 1.0),
+///     TableConfig::new(TableId(1), 32, 2000, 3.0, 1.0),
+/// ];
+/// let a = ShardingPlan::new(vec![], tables.clone(), vec![0, 1], 2)?;
+/// let b = ShardingPlan::new(vec![], tables.clone(), vec![1, 1], 2)?;
+/// assert_eq!(migration_bytes(&a, &a), 0);
+/// assert_eq!(migration_bytes(&a, &b), tables[0].memory_bytes());
+/// # Ok::<(), nshard_core::PlanError>(())
+/// ```
+pub fn migration_bytes(from: &ShardingPlan, to: &ShardingPlan) -> u64 {
+    let from_mass = from.device_mass();
+    to.device_mass()
+        .into_iter()
+        .map(|(key, to_bytes)| to_bytes.saturating_sub(from_mass.get(&key).copied().unwrap_or(0)))
+        .sum()
 }
 
 #[cfg(test)]
@@ -474,6 +555,73 @@ mod tests {
             plan.validate(&task),
             Err(PlanError::Invalid { .. })
         ));
+    }
+
+    #[test]
+    fn rebase_carries_drifted_parameters() {
+        let tables = vec![t(0, 64), t(1, 32)];
+        let sharded = apply_column_plan(&tables, &[0]).unwrap();
+        let plan = ShardingPlan::new(vec![0], sharded, vec![0, 1, 0], 2).unwrap();
+
+        // Drift: table 0's pooling factor doubles, table 1's rows double.
+        let drifted_tables = vec![
+            tables[0].with_pooling_factor(10.0),
+            tables[1].with_hash_size(2000),
+        ];
+        let drifted = ShardingTask::new(drifted_tables, 2, 1 << 30, 1024);
+        let rebased = plan.rebase(&drifted).unwrap();
+        assert_eq!(rebased.device_of(), plan.device_of());
+        assert_eq!(rebased.split_plan(), plan.split_plan());
+        assert_eq!(rebased.sharded_tables()[0].pooling_factor(), 10.0);
+        assert_eq!(rebased.sharded_tables()[1].hash_size(), 2000);
+        assert!(rebased.validate(&drifted).is_ok());
+    }
+
+    #[test]
+    fn rebase_rejects_table_count_mismatch() {
+        let plan = ShardingPlan::new(vec![], vec![t(0, 64)], vec![0], 1).unwrap();
+        let task = ShardingTask::new(vec![t(0, 64), t(1, 32)], 1, 1 << 30, 1024);
+        assert!(matches!(plan.rebase(&task), Err(PlanError::Invalid { .. })));
+    }
+
+    #[test]
+    fn migration_bytes_counts_moved_mass_only() {
+        let tables = vec![t(0, 64), t(1, 32), t(2, 16)];
+        let a = ShardingPlan::new(vec![], tables.clone(), vec![0, 1, 1], 2).unwrap();
+        // Identity moves nothing.
+        assert_eq!(migration_bytes(&a, &a), 0);
+        // Moving table 2 to device 0 moves exactly its bytes.
+        let b = ShardingPlan::new(vec![], tables.clone(), vec![0, 1, 0], 2).unwrap();
+        assert_eq!(migration_bytes(&a, &b), tables[2].memory_bytes());
+        // A swap moves both tables' bytes.
+        let c = ShardingPlan::new(vec![], tables.clone(), vec![1, 0, 1], 2).unwrap();
+        assert_eq!(
+            migration_bytes(&a, &c),
+            tables[0].memory_bytes() + tables[1].memory_bytes()
+        );
+    }
+
+    #[test]
+    fn migration_bytes_ignores_same_device_splits() {
+        let tables = vec![t(0, 64)];
+        let whole = ShardingPlan::new(vec![], tables.clone(), vec![0], 1).unwrap();
+        let sharded = apply_column_plan(&tables, &[0]).unwrap();
+        let split = ShardingPlan::new(vec![0], sharded, vec![0, 0], 1).unwrap();
+        // Splitting in place relocates nothing.
+        assert_eq!(migration_bytes(&whole, &split), 0);
+    }
+
+    #[test]
+    fn migration_bytes_charges_relocated_split_halves() {
+        let tables = vec![t(0, 64)];
+        let whole2 = ShardingPlan::new(vec![], tables.clone(), vec![0], 2).unwrap();
+        let sharded = apply_column_plan(&tables, &[0]).unwrap();
+        let half_moved = ShardingPlan::new(vec![0], sharded.clone(), vec![0, 1], 2).unwrap();
+        // One half relocated: half the table's bytes move.
+        assert_eq!(
+            migration_bytes(&whole2, &half_moved),
+            sharded[1].memory_bytes()
+        );
     }
 
     #[test]

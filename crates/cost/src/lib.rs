@@ -53,4 +53,4 @@ pub use collect::{
 pub use comm_model::CommCostModel;
 pub use compute::{ComputeCostModel, ComputeTrainReport};
 pub use features::{comm_feature_dim, comm_features, table_features, TABLE_FEATURE_DIM};
-pub use simulator::{BundleReport, CostModelBundle, CostSimulator, TrainSettings};
+pub use simulator::{BundleReport, CostModelBundle, CostSimulator, EstimatedCost, TrainSettings};

@@ -108,6 +108,32 @@ impl TableConfig {
         self
     }
 
+    /// Returns a copy with a different hash size (workload-drift hook: a
+    /// growing id space).
+    pub fn with_hash_size(mut self, hash_size: u64) -> Self {
+        assert!(hash_size > 0, "hash size must be positive");
+        self.hash_size = hash_size;
+        self
+    }
+
+    /// Returns a copy with a different pooling factor (workload-drift hook:
+    /// indices-per-lookup shifting with traffic).
+    pub fn with_pooling_factor(mut self, pooling_factor: f64) -> Self {
+        assert!(
+            pooling_factor.is_finite() && pooling_factor > 0.0,
+            "pooling factor must be positive"
+        );
+        self.pooling_factor = pooling_factor;
+        self
+    }
+
+    /// Returns a copy with a different Zipf exponent (workload-drift hook:
+    /// hotspots sharpening or flattening the access distribution).
+    pub fn with_zipf_alpha(mut self, zipf_alpha: f64) -> Self {
+        self.zipf_alpha = zipf_alpha.max(0.0);
+        self
+    }
+
     /// Bytes of fp32 storage at the current dimension.
     pub fn memory_bytes(&self) -> u64 {
         self.hash_size * u64::from(self.dim) * 4
@@ -199,6 +225,25 @@ mod tests {
         assert_eq!(t.dim(), 8);
         assert_eq!(t.id(), TableId(7));
         assert_eq!(t.hash_size(), 1 << 22);
+    }
+
+    #[test]
+    fn drift_builders_change_one_field_each() {
+        let t = table()
+            .with_hash_size(4096)
+            .with_pooling_factor(30.0)
+            .with_zipf_alpha(-0.5);
+        assert_eq!(t.hash_size(), 4096);
+        assert_eq!(t.pooling_factor(), 30.0);
+        assert_eq!(t.zipf_alpha(), 0.0); // clamped non-negative
+        assert_eq!(t.id(), TableId(7));
+        assert_eq!(t.dim(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "pooling factor must be positive")]
+    fn zero_pooling_factor_panics() {
+        let _ = table().with_pooling_factor(0.0);
     }
 
     #[test]

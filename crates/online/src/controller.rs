@@ -1,0 +1,567 @@
+//! The online re-sharding loop: observe → detect → replan → apply →
+//! evaluate.
+//!
+//! [`OnlineController`] drives a deployed sharding plan through a drifting
+//! workload, one epoch at a time:
+//!
+//! 1. **Observe** — materialize the epoch's drifted task from the
+//!    [`WorkloadDrift`] generator and rebase the incumbent plan onto it
+//!    (the placement is unchanged; every shard now carries the drifted
+//!    pooling factors and hash sizes).
+//! 2. **Detect** — the [`DriftDetector`] prices the rebased incumbent
+//!    with the pre-trained cost models and fires a typed
+//!    [`ReplanTrigger`] when the plan's assumptions no longer hold.
+//! 3. **Replan** — per the configured [`ReplanStrategy`]: keep the
+//!    incumbent, run a full search through the [`FallbackChain`] safety
+//!    net, or run the migration-aware [`IncrementalPlanner`] (falling
+//!    back to the chain when the incremental result is unusable).
+//! 4. **Apply** — adopt the new plan; migration bytes are charged by
+//!    [`migration_bytes`] against the rebased incumbent.
+//! 5. **Evaluate** — ground-truth the deployed plan on the cluster
+//!    simulator (the paper's "real GPU cost" oracle), which the search
+//!    itself never sees.
+//!
+//! Every epoch appends an [`EpochRecord`] to the returned
+//! [`ReplanHistory`]; every adopted plan carries a [`PlanProvenance`]
+//! whose `replan` field attributes it to the trigger kind and epoch that
+//! caused it. The whole loop is bit-deterministic per seed at any thread
+//! count.
+
+use serde::{Deserialize, Serialize};
+
+use nshard_baselines::SizeGreedy;
+use nshard_core::{
+    evaluate_plan, migration_bytes, FallbackChain, NeuroShard, NeuroShardConfig, PlanProvenance,
+    PlanSource, ShardingPlan,
+};
+use nshard_cost::{CostModelBundle, CostSimulator};
+use nshard_sim::GpuSpec;
+
+use crate::detect::{DriftDetector, DriftReport, DriftThresholds};
+use crate::drift::{mix, WorkloadDrift};
+use crate::incremental::{IncrementalConfig, IncrementalPlanner, PlanDelta};
+
+/// How the controller reacts to a fired trigger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReplanStrategy {
+    /// Never replan: ride the incumbent through all drift (the control
+    /// arm of the experiment).
+    Never,
+    /// Replan from scratch with the full NeuroShard search through the
+    /// fallback chain. Best cost, pays full migration.
+    Full,
+    /// Warm-start the migration-aware incremental planner; the fallback
+    /// chain is the safety net when the incremental result is unusable.
+    Incremental,
+}
+
+impl ReplanStrategy {
+    /// Short display name (`"never"`, `"full"`, `"incremental"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ReplanStrategy::Never => "never",
+            ReplanStrategy::Full => "full",
+            ReplanStrategy::Incremental => "incremental",
+        }
+    }
+}
+
+/// Controller configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OnlineConfig {
+    /// Drift epochs to run (epoch 0 is the initial deployment).
+    pub epochs: u64,
+    /// Replan strategy.
+    pub strategy: ReplanStrategy,
+    /// Drift-detector thresholds.
+    pub thresholds: DriftThresholds,
+    /// Incremental-planner knobs (used by
+    /// [`ReplanStrategy::Incremental`]).
+    pub incremental: IncrementalConfig,
+    /// Full-search knobs (used by [`ReplanStrategy::Full`] and as the
+    /// incremental strategy's fallback).
+    pub search: NeuroShardConfig,
+    /// Base seed for ground-truth evaluation noise (mixed with the epoch
+    /// so every epoch re-measures).
+    pub seed: u64,
+    /// Worker threads (`0` = auto, honoring `NSHARD_THREADS`). Thread
+    /// count never changes any result.
+    pub threads: usize,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 20,
+            strategy: ReplanStrategy::Incremental,
+            thresholds: DriftThresholds::default(),
+            incremental: IncrementalConfig::default(),
+            search: NeuroShardConfig::default(),
+            seed: 0,
+            threads: 0,
+        }
+    }
+}
+
+/// How an epoch's replan was carried out.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ReplanAction {
+    /// The trigger fired but the strategy is [`ReplanStrategy::Never`].
+    Suppressed,
+    /// A full search through the fallback chain produced the new plan.
+    Full {
+        /// The chain's full decision record, attributed to the trigger.
+        provenance: PlanProvenance,
+    },
+    /// The incremental planner produced the new plan.
+    Incremental {
+        /// The replayable delta from the rebased incumbent.
+        delta: PlanDelta,
+        /// Candidate plans the planner scored.
+        evaluated_plans: usize,
+        /// Synthetic provenance attributing the plan to the trigger.
+        provenance: PlanProvenance,
+    },
+    /// The incremental planner failed or produced an infeasible plan and
+    /// the fallback chain took over.
+    IncrementalFellBack {
+        /// Why the incremental path was abandoned.
+        reason: String,
+        /// The chain's full decision record, attributed to the trigger.
+        provenance: PlanProvenance,
+    },
+}
+
+impl ReplanAction {
+    /// The provenance of the adopted plan, if a new plan was adopted.
+    pub fn provenance(&self) -> Option<&PlanProvenance> {
+        match self {
+            ReplanAction::Suppressed => None,
+            ReplanAction::Full { provenance }
+            | ReplanAction::Incremental { provenance, .. }
+            | ReplanAction::IncrementalFellBack { provenance, .. } => Some(provenance),
+        }
+    }
+}
+
+/// The full record of one drift epoch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochRecord {
+    /// The epoch index (0 = initial deployment).
+    pub epoch: u64,
+    /// The detector's observation, `None` for epoch 0 and for epochs
+    /// where the incumbent could not be rebased onto the drifted task.
+    pub report: Option<DriftReport>,
+    /// What the controller did about the trigger, `None` when no trigger
+    /// fired.
+    pub action: Option<ReplanAction>,
+    /// Predicted cost of the deployed plan under this epoch's workload,
+    /// ms.
+    pub predicted_ms: f64,
+    /// Ground-truth max-device cost of the deployed plan on the cluster
+    /// simulator, ms; `None` when the plan is infeasible for the epoch's
+    /// task (e.g. drift pushed a never-replanned incumbent over budget).
+    pub ground_truth_ms: Option<f64>,
+    /// Embedding bytes moved by this epoch's replan (0 without one).
+    pub migration_bytes: u64,
+}
+
+/// The controller's full run: every epoch, in order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplanHistory {
+    /// The strategy that produced this history.
+    pub strategy: ReplanStrategy,
+    /// Per-epoch records, index = epoch.
+    pub epochs: Vec<EpochRecord>,
+}
+
+impl ReplanHistory {
+    /// Total embedding bytes moved across all replans.
+    pub fn total_migration_bytes(&self) -> u64 {
+        self.epochs.iter().map(|e| e.migration_bytes).sum()
+    }
+
+    /// Number of epochs that adopted a new plan.
+    pub fn replans(&self) -> usize {
+        self.epochs
+            .iter()
+            .filter(|e| !matches!(e.action, None | Some(ReplanAction::Suppressed)))
+            .count()
+    }
+
+    /// Mean ground-truth cost over the epochs where the deployed plan was
+    /// feasible, ms.
+    pub fn mean_ground_truth_ms(&self) -> f64 {
+        let costs: Vec<f64> = self
+            .epochs
+            .iter()
+            .filter_map(|e| e.ground_truth_ms)
+            .collect();
+        if costs.is_empty() {
+            f64::NAN
+        } else {
+            costs.iter().sum::<f64>() / costs.len() as f64
+        }
+    }
+
+    /// Worst feasible ground-truth cost across epochs, ms (`None` when no
+    /// epoch was feasible).
+    pub fn worst_ground_truth_ms(&self) -> Option<f64> {
+        self.epochs
+            .iter()
+            .filter_map(|e| e.ground_truth_ms)
+            .fold(None, |acc, c| Some(acc.map_or(c, |a: f64| a.max(c))))
+    }
+}
+
+/// The epoch loop. See the [module documentation](self).
+pub struct OnlineController {
+    drift: WorkloadDrift,
+    sim: CostSimulator,
+    chain: FallbackChain,
+    detector: DriftDetector,
+    planner: IncrementalPlanner,
+    config: OnlineConfig,
+}
+
+impl OnlineController {
+    /// Builds a controller from a pre-trained bundle, a drift generator
+    /// and a configuration. The bundle is shared (cloned) between the
+    /// detector/incremental-planner simulator and the full-search
+    /// fallback chain.
+    pub fn new(bundle: CostModelBundle, drift: WorkloadDrift, config: OnlineConfig) -> Self {
+        let sim = CostSimulator::new(bundle.clone());
+        let chain = FallbackChain::new(Box::new(NeuroShard::new(bundle, config.search)))
+            .with_fallback(Box::new(SizeGreedy))
+            .with_seed(config.seed)
+            .with_threads(config.threads);
+        let mut incremental = config.incremental;
+        incremental.threads = config.threads;
+        Self {
+            drift,
+            sim,
+            chain,
+            detector: DriftDetector::new(config.thresholds),
+            planner: IncrementalPlanner::new(incremental),
+            config,
+        }
+    }
+
+    /// The drift generator driving the run.
+    pub fn drift(&self) -> &WorkloadDrift {
+        &self.drift
+    }
+
+    /// The controller configuration.
+    pub fn config(&self) -> &OnlineConfig {
+        &self.config
+    }
+
+    /// Runs the full epoch loop and returns the per-epoch history.
+    ///
+    /// # Errors
+    ///
+    /// [`nshard_core::ResilientError`] when even the initial deployment
+    /// cannot be planned (every stage of the fallback chain failed).
+    pub fn run(&self) -> Result<ReplanHistory, nshard_core::ResilientError> {
+        let mut epochs = Vec::with_capacity(self.config.epochs as usize);
+
+        // Epoch 0: initial deployment via the full chain.
+        let task0 = self.drift.task_at(0);
+        let deployed = self.chain.shard_with_provenance(&task0)?;
+        let mut incumbent = deployed.plan;
+        let mut deployed_task = task0.clone();
+        let mut baseline_ms = self
+            .sim
+            .estimate_plan(&incumbent.device_profiles(task0.batch_size()))
+            .total_ms();
+        epochs.push(EpochRecord {
+            epoch: 0,
+            report: None,
+            action: None,
+            predicted_ms: baseline_ms,
+            ground_truth_ms: self.ground_truth(&task0, &incumbent, 0),
+            migration_bytes: 0,
+        });
+
+        for epoch in 1..self.config.epochs {
+            let task = self.drift.task_at(epoch);
+
+            // Observe: the incumbent's shards under the drifted workload.
+            let rebased = incumbent.rebase(&task);
+            let (report, reference) = match &rebased {
+                Ok(r) => {
+                    let report = self.detector.observe(
+                        &self.sim,
+                        r,
+                        &task,
+                        &deployed_task,
+                        baseline_ms,
+                        epoch,
+                    );
+                    (Some(report), r.clone())
+                }
+                // A recorded split became illegal after drift: detection
+                // cannot price the incumbent; force a full replan below.
+                Err(_) => (None, incumbent.clone()),
+            };
+
+            let trigger = report.as_ref().and_then(|r| r.trigger.clone());
+            let must_replan = trigger.is_some() || rebased.is_err();
+            let trigger_kind = trigger.as_ref().map_or("rebase_failed", |t| t.kind());
+
+            let mut action = None;
+            let mut moved = 0u64;
+            if must_replan {
+                match self.config.strategy {
+                    ReplanStrategy::Never => {
+                        action = Some(ReplanAction::Suppressed);
+                    }
+                    ReplanStrategy::Full => {
+                        let outcome = self.chain.shard_with_provenance(&task)?;
+                        moved = migration_bytes(&reference, &outcome.plan);
+                        incumbent = outcome.plan;
+                        action = Some(ReplanAction::Full {
+                            provenance: outcome
+                                .provenance
+                                .attributed_to_replan(trigger_kind, epoch),
+                        });
+                    }
+                    ReplanStrategy::Incremental => {
+                        let (next, act) =
+                            self.incremental_replan(&task, &incumbent, trigger_kind, epoch)?;
+                        moved = migration_bytes(&reference, &next);
+                        incumbent = next;
+                        action = Some(act);
+                    }
+                }
+            }
+
+            // The deployed plan for this epoch, priced under its workload.
+            // Without a replan the deployment is the rebased incumbent; a
+            // failed rebase leaves the stale incumbent (infeasible to
+            // evaluate against the drifted task's table list).
+            if !matches!(
+                action,
+                Some(ReplanAction::Full { .. })
+                    | Some(ReplanAction::Incremental { .. })
+                    | Some(ReplanAction::IncrementalFellBack { .. })
+            ) {
+                if let Ok(r) = rebased {
+                    incumbent = r;
+                }
+            }
+            let predicted_ms = self
+                .sim
+                .estimate_plan(&incumbent.device_profiles(task.batch_size()))
+                .total_ms();
+            let ground_truth_ms = self.ground_truth(&task, &incumbent, epoch);
+
+            // Future detection compares against this epoch's deployment.
+            deployed_task = task;
+            baseline_ms = predicted_ms;
+
+            epochs.push(EpochRecord {
+                epoch,
+                report,
+                action,
+                predicted_ms,
+                ground_truth_ms,
+                migration_bytes: moved,
+            });
+        }
+
+        Ok(ReplanHistory {
+            strategy: self.config.strategy,
+            epochs,
+        })
+    }
+
+    /// The incremental path with the fallback chain as safety net.
+    fn incremental_replan(
+        &self,
+        task: &nshard_data::ShardingTask,
+        incumbent: &ShardingPlan,
+        trigger_kind: &str,
+        epoch: u64,
+    ) -> Result<(ShardingPlan, ReplanAction), nshard_core::ResilientError> {
+        let fall_back = |reason: String| -> Result<(ShardingPlan, ReplanAction), _> {
+            let outcome = self.chain.shard_with_provenance(task)?;
+            let action = ReplanAction::IncrementalFellBack {
+                reason,
+                provenance: outcome.provenance.attributed_to_replan(trigger_kind, epoch),
+            };
+            Ok((outcome.plan, action))
+        };
+        match self.planner.replan(&self.sim, task, incumbent) {
+            Ok(out) => {
+                let feasible = out
+                    .plan
+                    .device_bytes()
+                    .iter()
+                    .all(|&b| b <= task.mem_budget_bytes());
+                if !feasible {
+                    return fall_back("incremental plan still over budget".into());
+                }
+                let provenance = PlanProvenance {
+                    source: PlanSource::Primary {
+                        algorithm: "incremental".into(),
+                    },
+                    events: Vec::new(),
+                    total_retries: 0,
+                    total_backoff_ms: 0,
+                    replan: None,
+                }
+                .attributed_to_replan(trigger_kind, epoch);
+                Ok((
+                    out.plan,
+                    ReplanAction::Incremental {
+                        delta: out.delta,
+                        evaluated_plans: out.evaluated_plans,
+                        provenance,
+                    },
+                ))
+            }
+            Err(e) => fall_back(format!("incremental replan failed: {e}")),
+        }
+    }
+
+    /// Ground-truth max-device cost of `plan` for `task`, `None` when the
+    /// cluster simulator rejects the plan (memory infeasibility).
+    fn ground_truth(
+        &self,
+        task: &nshard_data::ShardingTask,
+        plan: &ShardingPlan,
+        epoch: u64,
+    ) -> Option<f64> {
+        let seed = mix(self.config.seed ^ mix(epoch.wrapping_add(0x9e37_79b9)));
+        evaluate_plan(task, plan, &GpuSpec::default(), seed)
+            .ok()
+            .map(|c| c.max_total_ms())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nshard_cost::{CollectConfig, TrainSettings};
+    use nshard_data::{ShardingTask, TablePool};
+
+    fn bundle(d: usize) -> CostModelBundle {
+        let pool = TablePool::synthetic_dlrm(30, 1);
+        CostModelBundle::pretrain(
+            &pool,
+            d,
+            &CollectConfig::smoke(),
+            &TrainSettings::smoke(),
+            7,
+        )
+    }
+
+    fn small_config(strategy: ReplanStrategy) -> OnlineConfig {
+        OnlineConfig {
+            // Long enough to cover the standard trace's spike at epoch 10.
+            epochs: 12,
+            strategy,
+            thresholds: DriftThresholds {
+                max_cost_regression: 0.05,
+                ..DriftThresholds::default()
+            },
+            search: NeuroShardConfig {
+                n: 2,
+                k: 2,
+                l: 3,
+                m: 3,
+                ..NeuroShardConfig::default()
+            },
+            seed: 11,
+            ..OnlineConfig::default()
+        }
+    }
+
+    fn drift() -> WorkloadDrift {
+        let pool = TablePool::synthetic_dlrm(30, 1);
+        let base = ShardingTask::sample(&pool, 2, 10..=10, 32, 5);
+        WorkloadDrift::standard(base, 42)
+    }
+
+    #[test]
+    fn never_strategy_records_suppressed_triggers_and_moves_nothing() {
+        let controller =
+            OnlineController::new(bundle(2), drift(), small_config(ReplanStrategy::Never));
+        let history = controller.run().unwrap();
+        assert_eq!(history.epochs.len(), 12);
+        assert_eq!(history.total_migration_bytes(), 0);
+        assert_eq!(history.replans(), 0);
+        for e in &history.epochs {
+            assert!(matches!(e.action, None | Some(ReplanAction::Suppressed)));
+        }
+    }
+
+    #[test]
+    fn incremental_strategy_attributes_replans_to_triggers() {
+        let controller = OnlineController::new(
+            bundle(2),
+            drift(),
+            small_config(ReplanStrategy::Incremental),
+        );
+        let history = controller.run().unwrap();
+        let replanned: Vec<&EpochRecord> = history
+            .epochs
+            .iter()
+            .filter(|e| e.action.as_ref().is_some_and(|a| a.provenance().is_some()))
+            .collect();
+        assert!(
+            !replanned.is_empty(),
+            "the standard drift trace must trigger at least one replan in 12 epochs"
+        );
+        for e in replanned {
+            let prov = e.action.as_ref().unwrap().provenance().unwrap();
+            let replan = prov.replan.as_ref().expect("replan must be attributed");
+            assert_eq!(replan.epoch, e.epoch);
+            assert!(
+                ["cost_regression", "imbalance", "memory", "rebase_failed"]
+                    .contains(&replan.trigger_kind.as_str()),
+                "unexpected trigger kind {}",
+                replan.trigger_kind
+            );
+        }
+    }
+
+    #[test]
+    fn controller_loop_is_seed_deterministic() {
+        let a = OnlineController::new(
+            bundle(2),
+            drift(),
+            small_config(ReplanStrategy::Incremental),
+        )
+        .run()
+        .unwrap();
+        let b = OnlineController::new(
+            bundle(2),
+            drift(),
+            small_config(ReplanStrategy::Incremental),
+        )
+        .run()
+        .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn history_summaries_are_consistent() {
+        let controller =
+            OnlineController::new(bundle(2), drift(), small_config(ReplanStrategy::Full));
+        let history = controller.run().unwrap();
+        assert_eq!(
+            history.total_migration_bytes(),
+            history
+                .epochs
+                .iter()
+                .map(|e| e.migration_bytes)
+                .sum::<u64>()
+        );
+        let mean = history.mean_ground_truth_ms();
+        assert!(mean.is_finite(), "all epochs should be feasible here");
+        assert!(history.worst_ground_truth_ms().unwrap() >= mean);
+    }
+}

@@ -1,0 +1,71 @@
+//! # nshard-online — workload drift and migration-aware re-sharding
+//!
+//! The paper shards a *static* task: table features are measured once and
+//! the plan ships. Production recommendation workloads are not static —
+//! pool sizes grow, hot items shift, traffic breathes diurnally — and a
+//! plan that was optimal at deploy time slowly (or suddenly) is not.
+//!
+//! This crate closes the loop:
+//!
+//! * [`drift`] — a seeded, bit-deterministic **workload drift generator**
+//!   evolving a task's pooling factors, hash sizes and skew over discrete
+//!   epochs via composable [`DriftModel`]s (gradual growth, hotspot
+//!   shift, diurnal sinusoid, sudden spike). Synthetic drift stands in
+//!   for real traffic traces the same way the cluster simulator stands in
+//!   for real GPUs.
+//! * [`detect`] — a **drift detector** pricing the incumbent plan under
+//!   the current workload with the same pre-trained cost models used by
+//!   the search, firing a typed [`ReplanTrigger`] when the plan's
+//!   deploy-time assumptions break.
+//! * [`incremental`] — a **migration-aware incremental planner** that
+//!   warm-starts from the incumbent and hill-climbs over local moves
+//!   (move / swap / split), minimizing predicted cost plus a
+//!   λ·migration-bytes penalty, and emits a replayable [`PlanDelta`].
+//! * [`controller`] — the [`OnlineController`] epoch loop: observe →
+//!   detect → replan (through the `FallbackChain` safety net) → apply →
+//!   ground-truth evaluate, recording a full [`ReplanHistory`].
+//!
+//! Everything is bit-deterministic per seed at any thread count.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use nshard_cost::{CollectConfig, CostModelBundle, TrainSettings};
+//! use nshard_data::{ShardingTask, TablePool};
+//! use nshard_online::{OnlineConfig, OnlineController, ReplanStrategy, WorkloadDrift};
+//!
+//! let pool = TablePool::synthetic_dlrm(856, 2023);
+//! let bundle = CostModelBundle::pretrain(
+//!     &pool, 4, &CollectConfig::default(), &TrainSettings::default(), 0,
+//! );
+//! let base = ShardingTask::sample(&pool, 4, 20..=40, 64, 7);
+//! let drift = WorkloadDrift::standard(base, 42);
+//! let config = OnlineConfig {
+//!     epochs: 20,
+//!     strategy: ReplanStrategy::Incremental,
+//!     ..OnlineConfig::default()
+//! };
+//! let history = OnlineController::new(bundle, drift, config).run().unwrap();
+//! println!(
+//!     "replans: {}, bytes moved: {}",
+//!     history.replans(),
+//!     history.total_migration_bytes(),
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod controller;
+pub mod detect;
+pub mod drift;
+pub mod incremental;
+
+pub use controller::{
+    EpochRecord, OnlineConfig, OnlineController, ReplanAction, ReplanHistory, ReplanStrategy,
+};
+pub use detect::{DriftDetector, DriftReport, DriftThresholds, ReplanTrigger};
+pub use drift::{DriftFactors, DriftModel, WorkloadDrift};
+pub use incremental::{
+    DeltaStep, IncrementalConfig, IncrementalOutcome, IncrementalPlanner, PlanDelta,
+};

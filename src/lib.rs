@@ -11,6 +11,8 @@
 //! * [`cost`] — the pre-trained neural cost models and data collection.
 //! * [`core`] — the NeuroShard online search (beam + greedy grid search).
 //! * [`baselines`] — every comparator of the paper's Table 1 / Table 4.
+//! * [`online`] — workload drift, drift detection and migration-aware
+//!   incremental re-sharding (the deployed-plan maintenance loop).
 //!
 //! See the repository README for a quickstart, `DESIGN.md` for the system
 //! inventory, and `EXPERIMENTS.md` for the paper-vs-measured record.
@@ -38,6 +40,7 @@ pub use nshard_core as core;
 pub use nshard_cost as cost;
 pub use nshard_data as data;
 pub use nshard_nn as nn;
+pub use nshard_online as online;
 pub use nshard_sim as sim;
 
 /// Convenience re-exports of the most commonly used items.
@@ -46,14 +49,17 @@ pub mod prelude {
     pub use nshard_core::{FallbackChain, NeuroShard, NeuroShardConfig, ShardingPlan};
     pub use nshard_cost::{CostModelBundle, CostSimulator};
     pub use nshard_data::{ShardingTask, TablePool};
+    pub use nshard_online::{
+        OnlineConfig, OnlineController, PlanDelta, ReplanHistory, ReplanStrategy, WorkloadDrift,
+    };
     pub use nshard_sim::{Cluster, Fault, FaultPlan, FaultyCluster, GpuSpec, TableProfile};
 }
 
 /// Resilience: fault injection, plan repair and graceful degradation.
 ///
-/// Re-exports the fault layer of [`sim`](nshard_sim) and the repair /
-/// fallback machinery of [`core`](nshard_core), plus the wired-up default
-/// chain used in chaos testing.
+/// Re-exports the fault layer of [`nshard_sim`] and the repair / fallback
+/// machinery of [`nshard_core`], plus the wired-up default chain used in
+/// chaos testing.
 pub mod resilient {
     pub use nshard_core::{
         size_balanced_plan, FallbackChain, PlanProvenance, PlanSource, ProvenanceEvent,

@@ -159,7 +159,7 @@ fn sweep_exercises_the_degradation_machinery() {
     for seed in 0..SCENARIOS {
         let provenance = match run_scenario(seed, false) {
             Ok(outcome) => outcome.provenance,
-            Err(err) => err.provenance,
+            Err(err) => *err.provenance,
         };
         saw_retry |= provenance
             .events

@@ -1,0 +1,177 @@
+//! End-to-end properties of the online re-sharding loop:
+//!
+//! * a [`PlanDelta`] replayed against the incumbent reproduces the
+//!   incremental planner's output exactly (the delta is the full story),
+//! * the incremental plan is never worse than the incumbent under the
+//!   drifted workload (in predicted cost),
+//! * the whole controller loop is bit-deterministic per seed — CI runs
+//!   this suite again with `NSHARD_THREADS=8` to pin thread-count
+//!   invariance on oversubscribed hosts.
+
+use neuroshard::cost::{CollectConfig, CostModelBundle, CostSimulator, TrainSettings};
+use neuroshard::data::{ShardingTask, TablePool};
+use neuroshard::online::{
+    IncrementalPlanner, OnlineConfig, OnlineController, ReplanStrategy, WorkloadDrift,
+};
+use neuroshard::prelude::*;
+use proptest::prelude::*;
+
+fn quick_bundle(pool: &TablePool, gpus: usize, seed: u64) -> CostModelBundle {
+    CostModelBundle::pretrain(
+        pool,
+        gpus,
+        &CollectConfig::smoke(),
+        &TrainSettings::smoke(),
+        seed,
+    )
+}
+
+fn small_search() -> NeuroShardConfig {
+    NeuroShardConfig {
+        n: 2,
+        k: 2,
+        l: 3,
+        m: 3,
+        ..NeuroShardConfig::default()
+    }
+}
+
+/// An incumbent plan for the base task, via the full search.
+fn deploy(bundle: &CostModelBundle, task: &ShardingTask) -> ShardingPlan {
+    NeuroShard::new(bundle.clone(), small_search())
+        .shard(task)
+        .expect("benchmark tasks are feasible")
+}
+
+#[test]
+fn delta_replay_reproduces_the_incremental_plan() {
+    let pool = TablePool::synthetic_dlrm(40, 1);
+    let bundle = quick_bundle(&pool, 2, 7);
+    let sim = CostSimulator::new(bundle.clone());
+    let base_task = ShardingTask::sample(&pool, 2, 12..=12, 64, 3);
+    let incumbent = deploy(&bundle, &base_task);
+    let drift = WorkloadDrift::standard(base_task, 42);
+
+    // Replay the delta at several drift epochs, including the spike.
+    for epoch in [1u64, 5, 10, 11] {
+        let task = drift.task_at(epoch);
+        let out = IncrementalPlanner::default()
+            .replan(&sim, &task, &incumbent)
+            .expect("rebase is legal on this trace");
+        let rebased = incumbent.rebase(&task).unwrap();
+        let replayed = out.delta.apply(&rebased).expect("delta replays");
+        assert_eq!(
+            replayed, out.plan,
+            "delta at epoch {epoch} must reproduce the planner's output"
+        );
+    }
+}
+
+#[test]
+fn incremental_plan_is_never_worse_than_the_incumbent() {
+    let pool = TablePool::synthetic_dlrm(40, 1);
+    let bundle = quick_bundle(&pool, 2, 7);
+    let sim = CostSimulator::new(bundle.clone());
+    let base_task = ShardingTask::sample(&pool, 2, 12..=12, 64, 3);
+    let incumbent = deploy(&bundle, &base_task);
+    let drift = WorkloadDrift::standard(base_task, 42);
+
+    for epoch in 1..16u64 {
+        let task = drift.task_at(epoch);
+        let out = IncrementalPlanner::default()
+            .replan(&sim, &task, &incumbent)
+            .expect("rebase is legal on this trace");
+        let rebased = incumbent.rebase(&task).unwrap();
+        let incumbent_ms = sim
+            .estimate_plan(&rebased.device_profiles(task.batch_size()))
+            .total_ms();
+        assert!(
+            out.estimated.total_ms() <= incumbent_ms + 1e-12,
+            "epoch {epoch}: incremental {:.4} ms worse than incumbent {incumbent_ms:.4} ms",
+            out.estimated.total_ms()
+        );
+    }
+}
+
+#[test]
+fn controller_history_is_bit_deterministic_per_seed() {
+    let pool = TablePool::synthetic_dlrm(40, 1);
+    let base_task = ShardingTask::sample(&pool, 2, 12..=12, 64, 3);
+    let config = OnlineConfig {
+        epochs: 12,
+        strategy: ReplanStrategy::Incremental,
+        search: small_search(),
+        seed: 9,
+        ..OnlineConfig::default()
+    };
+    let run = || {
+        let bundle = quick_bundle(&pool, 2, 7);
+        let drift = WorkloadDrift::standard(base_task.clone(), 42);
+        OnlineController::new(bundle, drift, config)
+            .run()
+            .expect("initial deployment is feasible")
+    };
+    let a = run();
+    let b = run();
+    // Full structural equality: every report, trigger, action, delta,
+    // predicted and ground-truth cost — bit for bit (PartialEq on f64).
+    assert_eq!(a, b);
+
+    // An explicit thread-count sweep on top of the NSHARD_THREADS CI run.
+    for threads in [1usize, 4] {
+        let c = {
+            let bundle = quick_bundle(&pool, 2, 7);
+            let drift = WorkloadDrift::standard(base_task.clone(), 42);
+            OnlineController::new(bundle, drift, OnlineConfig { threads, ..config })
+                .run()
+                .expect("initial deployment is feasible")
+        };
+        assert_eq!(a, c, "history must not depend on threads ({threads})");
+    }
+}
+
+#[test]
+fn drift_generator_is_pure_per_seed() {
+    let pool = TablePool::synthetic_dlrm(40, 1);
+    let base = ShardingTask::sample(&pool, 2, 12..=12, 64, 3);
+    let drift = WorkloadDrift::standard(base.clone(), 42);
+    // Querying epochs out of order, repeatedly, never changes an answer.
+    let forward: Vec<ShardingTask> = (0..8).map(|e| drift.task_at(e)).collect();
+    for e in (0..8u64).rev() {
+        assert_eq!(drift.task_at(e), forward[e as usize]);
+    }
+    // A different seed produces a different trace.
+    let other = WorkloadDrift::standard(base, 43);
+    assert_ne!(other.task_at(3), forward[3]);
+}
+
+/// Shared fixture for the property test: pre-training once, not per case.
+fn fixture() -> &'static (CostSimulator, ShardingTask, ShardingPlan) {
+    static FIXTURE: std::sync::OnceLock<(CostSimulator, ShardingTask, ShardingPlan)> =
+        std::sync::OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let pool = TablePool::synthetic_dlrm(30, 1);
+        let bundle = quick_bundle(&pool, 2, 7);
+        let base_task = ShardingTask::sample(&pool, 2, 8..=8, 32, 3);
+        let incumbent = deploy(&bundle, &base_task);
+        (CostSimulator::new(bundle), base_task, incumbent)
+    })
+}
+
+proptest! {
+    /// Replaying the delta against the rebased incumbent reproduces the
+    /// planner's plan for arbitrary (seed, epoch) drift points.
+    #[test]
+    fn delta_replay_holds_across_drift_space(seed in 0u64..1000, epoch in 0u64..40) {
+        let (sim, base_task, incumbent) = fixture();
+        let task = WorkloadDrift::standard(base_task.clone(), seed).task_at(epoch);
+        if let Ok(out) = IncrementalPlanner::default().replan(sim, &task, incumbent) {
+            let rebased = incumbent.rebase(&task).unwrap();
+            prop_assert_eq!(out.delta.apply(&rebased).expect("delta replays"), out.plan);
+            prop_assert_eq!(
+                out.delta.migration_bytes,
+                neuroshard::core::migration_bytes(&rebased, &out.plan)
+            );
+        }
+    }
+}

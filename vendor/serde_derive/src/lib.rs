@@ -8,7 +8,10 @@
 //! * structs with named fields,
 //! * tuple structs (newtype structs serialize transparently),
 //! * unit structs,
-//! * enums whose variants are all unit variants (serialized as strings),
+//! * enums, externally tagged like real serde: unit variants serialize as
+//!   strings (`"Variant"`), struct variants as
+//!   `{"Variant": {field: ...}}`, newtype variants as
+//!   `{"Variant": value}` and tuple variants as `{"Variant": [..]}`,
 //! * the container attribute `#[serde(try_from = "Type")]` on
 //!   `Deserialize`.
 //!
@@ -47,15 +50,10 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             )
         }
         Shape::UnitStruct => "::serde::value::Value::Null".to_string(),
-        Shape::UnitEnum(variants) => {
+        Shape::Enum(variants) => {
             let arms: Vec<String> = variants
                 .iter()
-                .map(|v| {
-                    format!(
-                        "{name}::{v} => ::serde::value::Value::Str(::std::string::String::from(\"{v}\"))",
-                        name = item.name
-                    )
-                })
+                .map(|v| serialize_variant_arm(&item.name, v))
                 .collect();
             format!("match self {{ {} }}", arms.join(", "))
         }
@@ -123,20 +121,7 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
             )
         }
         Shape::UnitStruct => format!("::std::result::Result::Ok({name})"),
-        Shape::UnitEnum(variants) => {
-            let arms: Vec<String> = variants
-                .iter()
-                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v})"))
-                .collect();
-            format!(
-                "let s = v.as_str().ok_or_else(|| ::serde::de::Error::custom(\
-                     ::std::format!(\"expected string for enum {name}, found {{}}\", v.kind())))?;\n\
-                 match s {{ {}, other => ::std::result::Result::Err(\
-                     ::serde::de::Error::custom(::std::format!(\
-                         \"unknown variant `{{other}}` of enum {name}\"))) }}",
-                arms.join(", ")
-            )
-        }
+        Shape::Enum(variants) => deserialize_enum_body(name, variants),
     };
     format!(
         "impl ::serde::Deserialize for {name} {{\n\
@@ -155,7 +140,19 @@ enum Shape {
     NamedStruct(Vec<String>),
     TupleStruct(usize),
     UnitStruct,
-    UnitEnum(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+/// The payload shape of one enum variant.
+enum VariantKind {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
 }
 
 struct Item {
@@ -221,7 +218,7 @@ fn parse_item(input: TokenStream) -> Item {
         },
         "enum" => match tokens.get(i) {
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
-                Shape::UnitEnum(parse_unit_variants(&name, g.stream()))
+                Shape::Enum(parse_variants(&name, g.stream()))
             }
             other => panic!("serde derive: unsupported enum body for `{name}`: {other:?}"),
         },
@@ -303,8 +300,8 @@ fn count_tuple_fields(body: TokenStream) -> usize {
     split_top_level_commas(body).len()
 }
 
-/// Variant names of an all-unit-variant enum body.
-fn parse_unit_variants(enum_name: &str, body: TokenStream) -> Vec<String> {
+/// Variants of an enum body: unit, struct-like (named fields) or tuple.
+fn parse_variants(enum_name: &str, body: TokenStream) -> Vec<Variant> {
     split_top_level_commas(body)
         .into_iter()
         .map(|chunk| {
@@ -312,21 +309,169 @@ fn parse_unit_variants(enum_name: &str, body: TokenStream) -> Vec<String> {
             let TokenTree::Ident(id) = &chunk[j] else {
                 panic!("serde derive: expected variant name in enum `{enum_name}`");
             };
-            if chunk.len() > j + 1 {
-                if let Some(TokenTree::Punct(p)) = chunk.get(j + 1) {
-                    // `Variant = 3` discriminants are fine; data payloads are not.
-                    if p.as_char() == '=' {
-                        return id.to_string();
-                    }
+            let name = id.to_string();
+            let kind = match chunk.get(j + 1) {
+                None => VariantKind::Unit,
+                // `Variant = 3` discriminants behave like unit variants.
+                Some(TokenTree::Punct(p)) if p.as_char() == '=' => VariantKind::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantKind::Named(parse_named_fields(g.stream()))
                 }
-                panic!(
-                    "serde derive (vendored): enum `{enum_name}` variant `{id}` carries data; \
-                     only unit variants are supported"
-                );
-            }
-            id.to_string()
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantKind::Tuple(count_tuple_fields(g.stream()))
+                }
+                other => panic!(
+                    "serde derive: unsupported payload for variant `{name}` of enum \
+                     `{enum_name}`: {other:?}"
+                ),
+            };
+            Variant { name, kind }
         })
         .collect()
+}
+
+// ---- enum codegen ----------------------------------------------------------
+
+/// One `match self` arm lowering a variant into an externally tagged value.
+fn serialize_variant_arm(enum_name: &str, variant: &Variant) -> String {
+    let v = &variant.name;
+    match &variant.kind {
+        VariantKind::Unit => format!(
+            "{enum_name}::{v} => \
+             ::serde::value::Value::Str(::std::string::String::from(\"{v}\"))"
+        ),
+        VariantKind::Named(fields) => {
+            let bindings = fields.join(", ");
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "{enum_name}::{v} {{ {bindings} }} => ::serde::value::Value::Map(::std::vec![\
+                     (::std::string::String::from(\"{v}\"), \
+                      ::serde::value::Value::Map(::std::vec![{}]))])",
+                entries.join(", ")
+            )
+        }
+        VariantKind::Tuple(1) => format!(
+            "{enum_name}::{v}(x0) => ::serde::value::Value::Map(::std::vec![\
+                 (::std::string::String::from(\"{v}\"), ::serde::Serialize::to_value(x0))])"
+        ),
+        VariantKind::Tuple(n) => {
+            let bindings: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(x{i})"))
+                .collect();
+            format!(
+                "{enum_name}::{v}({}) => ::serde::value::Value::Map(::std::vec![\
+                     (::std::string::String::from(\"{v}\"), \
+                      ::serde::value::Value::Seq(::std::vec![{}]))])",
+                bindings.join(", "),
+                items.join(", ")
+            )
+        }
+    }
+}
+
+/// The `from_value` body of an enum: a bare string resolves unit variants;
+/// a single-entry object dispatches on the tag to rebuild the payload.
+fn deserialize_enum_body(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.kind, VariantKind::Unit))
+        .map(|v| {
+            format!(
+                "\"{v}\" => ::std::result::Result::Ok({name}::{v})",
+                v = v.name
+            )
+        })
+        .collect();
+    let tagged_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|variant| {
+            let v = &variant.name;
+            match &variant.kind {
+                VariantKind::Unit => None,
+                VariantKind::Named(fields) => {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| format!("{f}: ::serde::__field(fields, \"{f}\")?"))
+                        .collect();
+                    Some(format!(
+                        "\"{v}\" => {{\n\
+                             let fields = payload.as_map().ok_or_else(|| \
+                                 ::serde::de::Error::custom(::std::format!(\
+                                     \"expected object for variant `{v}` of enum {name}, \
+                                      found {{}}\", payload.kind())))?;\n\
+                             ::std::result::Result::Ok({name}::{v} {{ {} }})\n\
+                         }}",
+                        inits.join(", ")
+                    ))
+                }
+                VariantKind::Tuple(1) => Some(format!(
+                    "\"{v}\" => ::std::result::Result::Ok(\
+                         {name}::{v}(::serde::Deserialize::from_value(payload)?))"
+                )),
+                VariantKind::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&seq[{i}])?"))
+                        .collect();
+                    Some(format!(
+                        "\"{v}\" => {{\n\
+                             let seq = payload.as_seq().ok_or_else(|| \
+                                 ::serde::de::Error::custom(::std::format!(\
+                                     \"expected array for variant `{v}` of enum {name}, \
+                                      found {{}}\", payload.kind())))?;\n\
+                             if seq.len() != {n} {{\n\
+                                 return ::std::result::Result::Err(::serde::de::Error::custom(\
+                                     ::std::format!(\"expected {n} elements for variant `{v}`, \
+                                                     found {{}}\", seq.len())));\n\
+                             }}\n\
+                             ::std::result::Result::Ok({name}::{v}({}))\n\
+                         }}",
+                        items.join(", ")
+                    ))
+                }
+            }
+        })
+        .collect();
+
+    let unit_match = format!(
+        "if let ::std::option::Option::Some(s) = v.as_str() {{\n\
+             return match s {{ {} other => ::std::result::Result::Err(\
+                 ::serde::de::Error::custom(::std::format!(\
+                     \"unknown variant `{{other}}` of enum {name}\"))) }};\n\
+         }}",
+        unit_arms
+            .iter()
+            .map(|a| format!("{a},"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    format!(
+        "{unit_match}\n\
+         let entries = v.as_map().ok_or_else(|| ::serde::de::Error::custom(\
+             ::std::format!(\"expected string or object for enum {name}, found {{}}\", \
+                            v.kind())))?;\n\
+         if entries.len() != 1 {{\n\
+             return ::std::result::Result::Err(::serde::de::Error::custom(\
+                 ::std::format!(\"expected single-key object for enum {name}, found {{}} keys\", \
+                                entries.len())));\n\
+         }}\n\
+         let (tag, payload) = (&entries[0].0, &entries[0].1);\n\
+         match tag.as_str() {{ {} other => ::std::result::Result::Err(\
+             ::serde::de::Error::custom(::std::format!(\
+                 \"unknown variant `{{other}}` of enum {name}\"))) }}",
+        tagged_arms
+            .iter()
+            .map(|a| format!("{a},"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    )
 }
 
 /// Index of the first token after leading attributes and visibility.
