@@ -1,0 +1,281 @@
+//! Serving-layer load benchmark: drives a live `nshard-serve` daemon over
+//! TCP with a steady phase (distinct tasks, all admitted) and an overload
+//! burst at twice the admission-queue capacity, and records throughput,
+//! latency percentiles, and the load-shedding counters.
+//!
+//! The acceptance gate of the serving subsystem is checked and recorded:
+//! under a burst of 2× queue capacity the daemon must shed load with
+//! `429`s while the p99 latency of the *admitted* requests stays bounded
+//! (queue capacity + workers in flight, each at most the worst
+//! single-request service time — admission control converts overload into
+//! rejections instead of unbounded latency).
+//!
+//! Usage:
+//! `bench_serve [--steady 24] [--clients 2] [--queue 4] [--tables 8]
+//!  [--seed 7] [--out BENCH_serve.json]`
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use serde::Serialize;
+
+use nshard_bench::{maybe_write_json, print_markdown_table, Args};
+use nshard_core::NeuroShardConfig;
+use nshard_cost::{CollectConfig, CostModelBundle, TrainSettings};
+use nshard_data::{ShardingTask, TableConfig, TableId, TablePool};
+use nshard_serve::{http_call, ServeConfig, Server, Service};
+
+#[derive(Serialize)]
+struct Phase {
+    /// Requests issued.
+    offered: usize,
+    /// `200 OK` responses (admitted and planned).
+    admitted_200: usize,
+    /// `429` load-shed responses.
+    shed_429: usize,
+    /// `503` deadline/drain responses.
+    expired_503: usize,
+    /// Other status codes (should be 0).
+    other: usize,
+    /// Wall clock of the phase, seconds.
+    wall_clock_s: f64,
+    /// Admitted-request throughput, requests/second.
+    throughput_rps: f64,
+    /// Latency percentiles of admitted requests, ms.
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+    max_ms: f64,
+}
+
+#[derive(Serialize)]
+struct Gates {
+    /// Overload shed at least one request with `429`.
+    sheds_load: bool,
+    /// Overload p99 of admitted requests is under the queueing bound:
+    /// (queue capacity + workers + 1) × worst steady-phase latency.
+    p99_bounded: bool,
+    /// The bound itself, ms.
+    p99_bound_ms: f64,
+    pass: bool,
+}
+
+#[derive(Serialize)]
+struct Output {
+    queue_capacity: usize,
+    workers: usize,
+    steady_requests: usize,
+    steady_clients: usize,
+    overload_burst: usize,
+    tables_per_task: usize,
+    num_gpus: usize,
+    seed: u64,
+    steady: Phase,
+    overload: Phase,
+    gates: Gates,
+}
+
+/// Issues `bodies` against `addr` from `clients` threads; returns
+/// per-request `(status, latency_ms)` pairs.
+fn fire(addr: &str, bodies: &[String], clients: usize) -> Vec<(u16, f64)> {
+    let bodies: Arc<Vec<String>> = Arc::new(bodies.to_vec());
+    let next = Arc::new(AtomicUsize::new(0));
+    let handles: Vec<_> = (0..clients)
+        .map(|_| {
+            let addr = addr.to_string();
+            let bodies = Arc::clone(&bodies);
+            let next = Arc::clone(&next);
+            std::thread::spawn(move || {
+                let mut out = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::SeqCst);
+                    if i >= bodies.len() {
+                        return out;
+                    }
+                    let started = Instant::now();
+                    let status = match http_call(&addr, "POST", "/v1/plan", bodies[i].as_bytes()) {
+                        Ok((status, _)) => status,
+                        Err(e) => {
+                            eprintln!("request {i} failed: {e}");
+                            0
+                        }
+                    };
+                    out.push((status, started.elapsed().as_secs_f64() * 1e3));
+                }
+            })
+        })
+        .collect();
+    handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("client thread"))
+        .collect()
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn summarize(results: &[(u16, f64)], wall_clock_s: f64) -> Phase {
+    let mut admitted: Vec<f64> = results
+        .iter()
+        .filter(|(status, _)| *status == 200)
+        .map(|(_, ms)| *ms)
+        .collect();
+    admitted.sort_by(|a, b| a.total_cmp(b));
+    let count = |code: u16| results.iter().filter(|(s, _)| *s == code).count();
+    let admitted_200 = count(200);
+    Phase {
+        offered: results.len(),
+        admitted_200,
+        shed_429: count(429),
+        expired_503: count(503),
+        other: results.len() - admitted_200 - count(429) - count(503),
+        wall_clock_s,
+        throughput_rps: admitted_200 as f64 / wall_clock_s.max(1e-9),
+        p50_ms: percentile(&admitted, 0.50),
+        p95_ms: percentile(&admitted, 0.95),
+        p99_ms: percentile(&admitted, 0.99),
+        max_ms: percentile(&admitted, 1.0),
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    let steady_requests: usize = args.get("steady", 24);
+    let steady_clients: usize = args.get("clients", 2);
+    let queue_capacity: usize = args.get("queue", 4);
+    let tables: usize = args.get("tables", 8);
+    let gpus: usize = args.get("gpus", 2);
+    let seed: u64 = args.get("seed", 7);
+
+    eprintln!("pre-training cost models (smoke settings)...");
+    let pool = TablePool::synthetic_dlrm(60, seed);
+    let bundle = CostModelBundle::pretrain(
+        &pool,
+        gpus,
+        &CollectConfig::smoke(),
+        &TrainSettings::smoke(),
+        seed,
+    );
+
+    // One worker: the queue, not the worker pool, is the quantity under
+    // test — a single drain rate makes the overload arithmetic exact.
+    let config = ServeConfig {
+        search: NeuroShardConfig::smoke(),
+        queue_capacity,
+        workers: 1,
+        seed,
+        ..ServeConfig::default()
+    };
+    let workers = 1;
+    let service = Arc::new(Service::new(bundle, config).expect("service boots"));
+    let server = Server::start(Arc::clone(&service), "127.0.0.1:0").expect("server binds");
+    let addr = server.addr().to_string();
+
+    // Distinct, always-feasible tasks: per-seed table shapes under a
+    // generous budget, so every admitted request plans successfully and
+    // the status-code columns isolate *admission* behaviour.
+    let body_for = |task_seed: u64| {
+        let mut x = task_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut next = move || {
+            x ^= x >> 33;
+            x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+            x ^= x >> 29;
+            x
+        };
+        let table_configs: Vec<TableConfig> = (0..tables)
+            .map(|i| {
+                TableConfig::new(
+                    TableId(u32::try_from(i).expect("table index fits u32")),
+                    16 << (next() % 3),              // dim 16 / 32 / 64
+                    1 << (12 + next() % 4),          // 4k – 32k rows
+                    4.0 + (next() % 16) as f64,      // pooling factor
+                    0.8 + (next() % 5) as f64 * 0.1, // zipf alpha
+                )
+            })
+            .collect();
+        let task = ShardingTask::new(table_configs, gpus, 1 << 30, 4096);
+        format!(
+            "{{\"task\":{}}}",
+            serde_json::to_string(&task).expect("tasks serialize")
+        )
+    };
+
+    // Steady phase: distinct tasks, offered no faster than the daemon
+    // drains (clients ≤ a small multiple of workers), so nothing is shed.
+    eprintln!("steady phase: {steady_requests} requests from {steady_clients} clients...");
+    let bodies: Vec<String> = (0..steady_requests)
+        .map(|i| body_for(1000 + i as u64))
+        .collect();
+    let started = Instant::now();
+    let results = fire(&addr, &bodies, steady_clients);
+    let steady = summarize(&results, started.elapsed().as_secs_f64());
+
+    // Overload burst: 2× queue capacity simultaneous requests against one
+    // worker — admission control must shed the excess with 429s.
+    let overload_burst = 2 * queue_capacity;
+    eprintln!("overload burst: {overload_burst} simultaneous requests (queue={queue_capacity})...");
+    let bodies: Vec<String> = (0..overload_burst)
+        .map(|i| body_for(2000 + i as u64))
+        .collect();
+    let started = Instant::now();
+    let results = fire(&addr, &bodies, overload_burst);
+    let overload = summarize(&results, started.elapsed().as_secs_f64());
+
+    server.shutdown();
+
+    let p99_bound_ms = (queue_capacity + workers + 1) as f64 * steady.max_ms.max(1.0);
+    let gates = Gates {
+        sheds_load: overload.shed_429 > 0,
+        p99_bounded: overload.p99_ms <= p99_bound_ms,
+        p99_bound_ms,
+        pass: overload.shed_429 > 0 && overload.p99_ms <= p99_bound_ms,
+    };
+
+    let fmt_phase = |name: &str, p: &Phase| {
+        vec![
+            name.to_string(),
+            p.offered.to_string(),
+            p.admitted_200.to_string(),
+            p.shed_429.to_string(),
+            p.expired_503.to_string(),
+            format!("{:.1}", p.throughput_rps),
+            format!("{:.1}", p.p50_ms),
+            format!("{:.1}", p.p95_ms),
+            format!("{:.1}", p.p99_ms),
+        ]
+    };
+    print_markdown_table(
+        &[
+            "phase", "offered", "200", "429", "503", "rps", "p50 ms", "p95 ms", "p99 ms",
+        ],
+        &[
+            fmt_phase("steady", &steady),
+            fmt_phase("overload", &overload),
+        ],
+    );
+    println!(
+        "\ngates: sheds_load={} p99_bounded={} (p99 {:.1} ms <= bound {:.1} ms) pass={}",
+        gates.sheds_load, gates.p99_bounded, overload.p99_ms, gates.p99_bound_ms, gates.pass
+    );
+
+    let output = Output {
+        queue_capacity,
+        workers,
+        steady_requests,
+        steady_clients,
+        overload_burst,
+        tables_per_task: tables,
+        num_gpus: gpus,
+        seed,
+        steady,
+        overload,
+        gates,
+    };
+    maybe_write_json(&args, &output);
+}

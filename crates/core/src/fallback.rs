@@ -227,12 +227,20 @@ impl std::error::Error for ResilientError {}
 
 /// Verifies a candidate plan for a task. The `u64` is a per-attempt seed so
 /// retries of flaky verifiers re-measure rather than repeat the failure.
-pub type PlanVerifier = dyn Fn(&ShardingTask, &ShardingPlan, u64) -> Result<(), SimError>;
+///
+/// `Send + Sync` so a chain can be shared by reference across the worker
+/// threads of a serving daemon (see `nshard-serve`).
+pub type PlanVerifier =
+    dyn Fn(&ShardingTask, &ShardingPlan, u64) -> Result<(), SimError> + Send + Sync;
 
 /// The degradation chain. See the [module documentation](self).
+///
+/// The chain is `Send + Sync` (all stages must be too), so one chain can
+/// serve concurrent planning requests behind an `Arc` — the contract the
+/// `nshard-serve` worker pool relies on.
 pub struct FallbackChain {
-    primary: Box<dyn ShardingAlgorithm>,
-    fallbacks: Vec<Box<dyn ShardingAlgorithm>>,
+    primary: Box<dyn ShardingAlgorithm + Send + Sync>,
+    fallbacks: Vec<Box<dyn ShardingAlgorithm + Send + Sync>>,
     retry: RetryPolicy,
     repair: RepairConfig,
     verifier: Option<Box<PlanVerifier>>,
@@ -243,7 +251,7 @@ pub struct FallbackChain {
 impl FallbackChain {
     /// A chain with only the primary algorithm and the built-in
     /// size-balanced last resort.
-    pub fn new(primary: Box<dyn ShardingAlgorithm>) -> Self {
+    pub fn new(primary: Box<dyn ShardingAlgorithm + Send + Sync>) -> Self {
         Self {
             primary,
             fallbacks: Vec::new(),
@@ -257,7 +265,7 @@ impl FallbackChain {
 
     /// Appends a fallback algorithm (builder-style; tried in insertion
     /// order after the primary).
-    pub fn with_fallback(mut self, algo: Box<dyn ShardingAlgorithm>) -> Self {
+    pub fn with_fallback(mut self, algo: Box<dyn ShardingAlgorithm + Send + Sync>) -> Self {
         self.fallbacks.push(algo);
         self
     }
@@ -309,9 +317,14 @@ impl FallbackChain {
     ) -> Result<ResilientOutcome, ResilientError> {
         let mut trail = Trail::default();
 
-        let stages: Vec<&dyn ShardingAlgorithm> = std::iter::once(self.primary.as_ref())
-            .chain(self.fallbacks.iter().map(|b| b.as_ref()))
-            .collect();
+        let stages: Vec<&dyn ShardingAlgorithm> =
+            std::iter::once(self.primary.as_ref() as &dyn ShardingAlgorithm)
+                .chain(
+                    self.fallbacks
+                        .iter()
+                        .map(|b| b.as_ref() as &dyn ShardingAlgorithm),
+                )
+                .collect();
 
         let mut last_error = None;
         for (rank, algo) in stages.iter().enumerate() {
@@ -689,8 +702,9 @@ mod tests {
 
     #[test]
     fn transient_failures_are_retried_with_recorded_backoff() {
-        use std::cell::Cell;
-        let calls = std::rc::Rc::new(Cell::new(0u32));
+        use std::sync::atomic::{AtomicU32, Ordering};
+        use std::sync::Arc;
+        let calls = Arc::new(AtomicU32::new(0));
         let calls_in = calls.clone();
         let chain = FallbackChain::new(Box::new(RoundRobin))
             .with_retry(RetryPolicy {
@@ -698,8 +712,7 @@ mod tests {
                 base_backoff_ms: 10,
             })
             .with_verifier(Box::new(move |_task, _plan, _seed| {
-                let n = calls_in.get();
-                calls_in.set(n + 1);
+                let n = calls_in.fetch_add(1, Ordering::SeqCst);
                 if n < 2 {
                     Err(SimError::TransientFailure {
                         device: 0,
@@ -710,7 +723,7 @@ mod tests {
                 }
             }));
         let outcome = chain.shard_with_provenance(&small_task()).unwrap();
-        assert_eq!(calls.get(), 3);
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
         assert_eq!(outcome.provenance.total_retries, 2);
         // Exponential: 10 then 20 ms, recorded but never slept.
         assert_eq!(outcome.provenance.total_backoff_ms, 30);
@@ -802,6 +815,14 @@ mod tests {
         );
         // Attribution does not change degradation status.
         assert_eq!(attributed.is_degraded(), outcome.provenance.is_degraded());
+    }
+
+    #[test]
+    fn chain_is_shareable_across_threads() {
+        // The serving daemon shares one chain behind an Arc across its
+        // worker pool; a missing auto-trait bound would break that.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FallbackChain>();
     }
 
     #[test]

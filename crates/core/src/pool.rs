@@ -13,6 +13,13 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Environment variable overriding the worker count (`0` or unparsable
 /// values fall back to the available parallelism).
+///
+/// This is the **single** thread-count knob of the workspace: every
+/// component that spawns workers — the parallel search, the repair engine,
+/// the online controller, and the `nshard-serve` daemon's request worker
+/// pool — resolves its count through [`resolve_threads`], so one
+/// environment variable governs them all and no crate re-reads the
+/// variable on its own.
 pub const THREADS_ENV: &str = "NSHARD_THREADS";
 
 /// Resolves a requested worker count: an explicit nonzero request wins,

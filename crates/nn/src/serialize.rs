@@ -4,21 +4,49 @@
 //! cost-model checkpoints so a training job resumes with the same sharding
 //! plan. Checkpoints here are JSON documents with an explicit format version
 //! and a human-readable header.
+//!
+//! Two layers live here:
+//!
+//! * [`Checkpoint`] — the concrete single-[`Mlp`] checkpoint used by the
+//!   training binaries;
+//! * the **versioned envelope** ([`envelope_to_json`] /
+//!   [`envelope_from_json`] / [`save_envelope`] / [`load_envelope`]) — a
+//!   generic wrapper putting the same version header around *any*
+//!   serializable payload. The `nshard-serve` daemon persists whole
+//!   cost-model bundles and adopted plans through it, so every artifact on
+//!   disk is self-describing and version-checked at load time.
+//!
+//! **Version policy.** The current format is [`CHECKPOINT_VERSION`]; every
+//! version down to [`MIN_SUPPORTED_CHECKPOINT_VERSION`] still loads and is
+//! migrated forward in memory (v1 documents predate the `created_by`
+//! field, which migration defaults to the empty string). Anything outside
+//! that range surfaces a typed [`CheckpointError::UnsupportedVersion`] —
+//! never a bare parse failure — so a daemon refusing to boot can say
+//! exactly which version it found and which range it supports.
 
+use serde::value::Value;
 use serde::{Deserialize, Serialize};
 
 use crate::mlp::Mlp;
 
 /// Current checkpoint format version.
-pub const CHECKPOINT_VERSION: u32 = 1;
+pub const CHECKPOINT_VERSION: u32 = 2;
+
+/// Oldest checkpoint format version this build still loads (migrating it
+/// forward in memory).
+pub const MIN_SUPPORTED_CHECKPOINT_VERSION: u32 = 1;
 
 /// A versioned, self-describing model checkpoint.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Checkpoint {
-    /// Checkpoint format version; loading fails on mismatch.
+    /// Checkpoint format version; see the module docs for the policy.
     pub version: u32,
     /// Free-form model name (e.g. `"compute_cost"`).
     pub name: String,
+    /// Free-form producer tag (e.g. a binary name or a daemon instance);
+    /// empty for checkpoints migrated from version 1, which predates the
+    /// field.
+    pub created_by: String,
     /// The serialized network.
     pub model: Mlp,
 }
@@ -28,12 +56,28 @@ pub struct Checkpoint {
 pub enum CheckpointError {
     /// The JSON could not be parsed.
     Parse(serde_json::Error),
-    /// The checkpoint has an unsupported format version.
-    VersionMismatch {
+    /// The checkpoint has a version outside the supported range
+    /// `[MIN_SUPPORTED_CHECKPOINT_VERSION, CHECKPOINT_VERSION]`.
+    UnsupportedVersion {
         /// Version found in the document.
         found: u32,
-        /// Version this library supports.
+        /// Oldest version this build loads.
+        min_supported: u32,
+        /// Newest version this build loads (the current format).
         supported: u32,
+    },
+    /// The document parsed but is not a checkpoint envelope (e.g. the
+    /// version header is missing or not an integer).
+    MalformedHeader {
+        /// What was wrong.
+        reason: String,
+    },
+    /// Reading or writing the checkpoint file failed.
+    Io {
+        /// The file path involved.
+        path: String,
+        /// The rendered I/O error.
+        error: String,
     },
 }
 
@@ -41,10 +85,21 @@ impl std::fmt::Display for CheckpointError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CheckpointError::Parse(e) => write!(f, "failed to parse checkpoint: {e}"),
-            CheckpointError::VersionMismatch { found, supported } => write!(
+            CheckpointError::UnsupportedVersion {
+                found,
+                min_supported,
+                supported,
+            } => write!(
                 f,
-                "checkpoint version {found} is not supported (this build supports {supported})"
+                "checkpoint version {found} is not supported \
+                 (this build supports versions {min_supported} through {supported})"
             ),
+            CheckpointError::MalformedHeader { reason } => {
+                write!(f, "malformed checkpoint header: {reason}")
+            }
+            CheckpointError::Io { path, error } => {
+                write!(f, "checkpoint I/O failed for {path}: {error}")
+            }
         }
     }
 }
@@ -53,9 +108,65 @@ impl std::error::Error for CheckpointError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CheckpointError::Parse(e) => Some(e),
-            CheckpointError::VersionMismatch { .. } => None,
+            _ => None,
         }
     }
+}
+
+/// Validates a version header against the supported range.
+///
+/// # Errors
+///
+/// [`CheckpointError::UnsupportedVersion`] when outside
+/// `[MIN_SUPPORTED_CHECKPOINT_VERSION, CHECKPOINT_VERSION]`.
+pub fn check_version(found: u32) -> Result<(), CheckpointError> {
+    if !(MIN_SUPPORTED_CHECKPOINT_VERSION..=CHECKPOINT_VERSION).contains(&found) {
+        return Err(CheckpointError::UnsupportedVersion {
+            found,
+            min_supported: MIN_SUPPORTED_CHECKPOINT_VERSION,
+            supported: CHECKPOINT_VERSION,
+        });
+    }
+    Ok(())
+}
+
+/// Reads the `version` header out of a parsed envelope.
+fn header_version(map: &[(String, Value)]) -> Result<u32, CheckpointError> {
+    match map.iter().find(|(k, _)| k == "version") {
+        Some((_, Value::UInt(v))) => {
+            u32::try_from(*v).map_err(|_| CheckpointError::MalformedHeader {
+                reason: format!("version {v} out of range"),
+            })
+        }
+        Some((_, Value::Int(v))) if *v >= 0 => {
+            u32::try_from(*v).map_err(|_| CheckpointError::MalformedHeader {
+                reason: format!("version {v} out of range"),
+            })
+        }
+        Some((_, other)) => Err(CheckpointError::MalformedHeader {
+            reason: format!("version header is {}, expected an integer", other.kind()),
+        }),
+        None => Err(CheckpointError::MalformedHeader {
+            reason: "missing version header".into(),
+        }),
+    }
+}
+
+/// Migrates a parsed envelope map to the current version in place:
+/// version 1 predates `created_by`, which is defaulted to the empty
+/// string. Returns the (already validated) version it migrated from.
+fn migrate_header(map: &mut Vec<(String, Value)>) -> Result<u32, CheckpointError> {
+    let found = header_version(map)?;
+    check_version(found)?;
+    if found < 2 && !map.iter().any(|(k, _)| k == "created_by") {
+        map.push(("created_by".to_string(), Value::Str(String::new())));
+    }
+    for (k, v) in map.iter_mut() {
+        if k == "version" {
+            *v = Value::UInt(u64::from(CHECKPOINT_VERSION));
+        }
+    }
+    Ok(found)
 }
 
 impl Checkpoint {
@@ -64,8 +175,16 @@ impl Checkpoint {
         Self {
             version: CHECKPOINT_VERSION,
             name: name.into(),
+            created_by: String::new(),
             model,
         }
+    }
+
+    /// Sets the producer tag (builder-style).
+    #[must_use]
+    pub fn with_created_by(mut self, created_by: impl Into<String>) -> Self {
+        self.created_by = created_by.into();
+        self
     }
 
     /// Serializes to a JSON string.
@@ -78,22 +197,169 @@ impl Checkpoint {
         serde_json::to_string(self).expect("checkpoints are always serializable")
     }
 
-    /// Parses a checkpoint from JSON, validating the format version.
+    /// Parses a checkpoint from JSON, validating the format version and
+    /// migrating supported prior versions forward.
     ///
     /// # Errors
     ///
     /// [`CheckpointError::Parse`] on malformed JSON,
-    /// [`CheckpointError::VersionMismatch`] on an unsupported version.
+    /// [`CheckpointError::UnsupportedVersion`] on a version outside the
+    /// supported range, [`CheckpointError::MalformedHeader`] when the
+    /// version header is absent or not an integer.
     pub fn from_json(json: &str) -> Result<Self, CheckpointError> {
-        let ckpt: Checkpoint = serde_json::from_str(json).map_err(CheckpointError::Parse)?;
-        if ckpt.version != CHECKPOINT_VERSION {
-            return Err(CheckpointError::VersionMismatch {
-                found: ckpt.version,
-                supported: CHECKPOINT_VERSION,
-            });
-        }
-        Ok(ckpt)
+        let value = serde_json::parse_value(json).map_err(CheckpointError::Parse)?;
+        let mut map = match value {
+            Value::Map(m) => m,
+            other => {
+                return Err(CheckpointError::MalformedHeader {
+                    reason: format!("checkpoint is {}, expected an object", other.kind()),
+                })
+            }
+        };
+        migrate_header(&mut map)?;
+        Checkpoint::from_value(&Value::Map(map)).map_err(|e| CheckpointError::Parse(e.into()))
     }
+
+    /// Writes the checkpoint to a file.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] when the file cannot be written.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), CheckpointError> {
+        let path = path.as_ref();
+        std::fs::write(path, self.to_json()).map_err(|e| CheckpointError::Io {
+            path: path.display().to_string(),
+            error: e.to_string(),
+        })
+    }
+
+    /// Loads and version-checks a checkpoint from a file.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] when the file cannot be read, otherwise the
+    /// errors of [`Checkpoint::from_json`].
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, CheckpointError> {
+        let path = path.as_ref();
+        let json = std::fs::read_to_string(path).map_err(|e| CheckpointError::Io {
+            path: path.display().to_string(),
+            error: e.to_string(),
+        })?;
+        Self::from_json(&json)
+    }
+}
+
+// ---- generic versioned envelope -------------------------------------------
+
+/// Wraps any serializable payload in the versioned checkpoint envelope:
+/// `{"version": .., "name": .., "created_by": .., "payload": ..}`.
+pub fn envelope_to_json<T: Serialize>(name: &str, created_by: &str, payload: &T) -> String {
+    let map = Value::Map(vec![
+        (
+            "version".to_string(),
+            Value::UInt(u64::from(CHECKPOINT_VERSION)),
+        ),
+        ("name".to_string(), Value::Str(name.to_string())),
+        ("created_by".to_string(), Value::Str(created_by.to_string())),
+        ("payload".to_string(), payload.to_value()),
+    ]);
+    serde_json::to_string(&map).expect("envelopes are always serializable")
+}
+
+/// A deserialized envelope: header fields plus the typed payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope<T> {
+    /// The version the document was written with (before migration).
+    pub version: u32,
+    /// Artifact name.
+    pub name: String,
+    /// Producer tag; empty for version-1 documents, which predate it.
+    pub created_by: String,
+    /// The payload.
+    pub payload: T,
+}
+
+/// Parses and version-checks an envelope produced by [`envelope_to_json`]
+/// (or by a prior supported version of it).
+///
+/// # Errors
+///
+/// The same typed errors as [`Checkpoint::from_json`].
+pub fn envelope_from_json<T: Deserialize>(json: &str) -> Result<Envelope<T>, CheckpointError> {
+    let value = serde_json::parse_value(json).map_err(CheckpointError::Parse)?;
+    let mut map = match value {
+        Value::Map(m) => m,
+        other => {
+            return Err(CheckpointError::MalformedHeader {
+                reason: format!("envelope is {}, expected an object", other.kind()),
+            })
+        }
+    };
+    let written = migrate_header(&mut map)?;
+    let field = |key: &str| -> Result<&Value, CheckpointError> {
+        map.iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| CheckpointError::MalformedHeader {
+                reason: format!("missing `{key}` field"),
+            })
+    };
+    let name = field("name")?
+        .as_str()
+        .ok_or_else(|| CheckpointError::MalformedHeader {
+            reason: "`name` is not a string".into(),
+        })?
+        .to_string();
+    let created_by = field("created_by")?
+        .as_str()
+        .ok_or_else(|| CheckpointError::MalformedHeader {
+            reason: "`created_by` is not a string".into(),
+        })?
+        .to_string();
+    let payload = T::from_value(field("payload")?).map_err(|e| CheckpointError::Parse(e.into()))?;
+    Ok(Envelope {
+        version: written,
+        name,
+        created_by,
+        payload,
+    })
+}
+
+/// Writes an envelope-wrapped payload to a file.
+///
+/// # Errors
+///
+/// [`CheckpointError::Io`] when the file cannot be written.
+pub fn save_envelope<T: Serialize>(
+    path: impl AsRef<std::path::Path>,
+    name: &str,
+    created_by: &str,
+    payload: &T,
+) -> Result<(), CheckpointError> {
+    let path = path.as_ref();
+    std::fs::write(path, envelope_to_json(name, created_by, payload)).map_err(|e| {
+        CheckpointError::Io {
+            path: path.display().to_string(),
+            error: e.to_string(),
+        }
+    })
+}
+
+/// Loads an envelope-wrapped payload from a file.
+///
+/// # Errors
+///
+/// [`CheckpointError::Io`] when the file cannot be read, otherwise the
+/// errors of [`envelope_from_json`].
+pub fn load_envelope<T: Deserialize>(
+    path: impl AsRef<std::path::Path>,
+) -> Result<Envelope<T>, CheckpointError> {
+    let path = path.as_ref();
+    let json = std::fs::read_to_string(path).map_err(|e| CheckpointError::Io {
+        path: path.display().to_string(),
+        error: e.to_string(),
+    })?;
+    envelope_from_json(&json)
 }
 
 #[cfg(test)]
@@ -104,39 +370,139 @@ mod tests {
     #[test]
     fn round_trip_preserves_predictions() {
         let mlp = Mlp::new(3, &[8, 4], 1, 9);
-        let ckpt = Checkpoint::new("compute_cost", mlp.clone());
+        let ckpt = Checkpoint::new("compute_cost", mlp.clone()).with_created_by("unit_test");
         let json = ckpt.to_json();
         let back = Checkpoint::from_json(&json).unwrap();
         assert_eq!(back.name, "compute_cost");
+        assert_eq!(back.created_by, "unit_test");
+        assert_eq!(back.version, CHECKPOINT_VERSION);
         let x = Matrix::from_rows([vec![0.1, 0.2, 0.3]]);
         assert_eq!(mlp.forward(&x), back.model.forward(&x));
     }
 
     #[test]
-    fn rejects_wrong_version() {
+    fn prior_version_header_round_trips_through_migration() {
+        // A version-1 document: no `created_by` field, version header 1 —
+        // exactly what a pre-upgrade binary wrote to disk. It must load,
+        // migrate forward, and predict identically.
+        let mlp = Mlp::new(2, &[4], 1, 3);
+        let current = Checkpoint::new("legacy", mlp.clone());
+        let v1_json = current
+            .to_json()
+            .replacen(
+                &format!("\"version\":{CHECKPOINT_VERSION}"),
+                "\"version\":1",
+                1,
+            )
+            .replace(",\"created_by\":\"\"", "");
+        assert!(!v1_json.contains("created_by"), "fixture must be v1-shaped");
+        let back = Checkpoint::from_json(&v1_json).unwrap();
+        assert_eq!(back.version, CHECKPOINT_VERSION, "migrated forward");
+        assert_eq!(back.created_by, "", "defaulted by migration");
+        assert_eq!(back.name, "legacy");
+        let x = Matrix::from_rows([vec![0.5, -0.25]]);
+        assert_eq!(mlp.forward(&x), back.model.forward(&x));
+        // Re-serializing writes the current version.
+        let rewritten = back.to_json();
+        assert!(rewritten.contains(&format!("\"version\":{CHECKPOINT_VERSION}")));
+    }
+
+    #[test]
+    fn rejects_unsupported_version_with_typed_error() {
         let mut ckpt = Checkpoint::new("m", Mlp::new(1, &[], 1, 0));
         ckpt.version = 999;
         let json = serde_json::to_string(&ckpt).unwrap();
         match Checkpoint::from_json(&json) {
-            Err(CheckpointError::VersionMismatch { found, .. }) => assert_eq!(found, 999),
+            Err(CheckpointError::UnsupportedVersion {
+                found,
+                min_supported,
+                supported,
+            }) => {
+                assert_eq!(found, 999);
+                assert_eq!(min_supported, MIN_SUPPORTED_CHECKPOINT_VERSION);
+                assert_eq!(supported, CHECKPOINT_VERSION);
+            }
             other => panic!("expected version mismatch, got {other:?}"),
         }
+        // Version 0 predates the format entirely.
+        let json0 = json.replacen("\"version\":999", "\"version\":0", 1);
+        assert!(matches!(
+            Checkpoint::from_json(&json0),
+            Err(CheckpointError::UnsupportedVersion { found: 0, .. })
+        ));
     }
 
     #[test]
-    fn rejects_garbage() {
+    fn rejects_garbage_and_missing_header() {
         assert!(matches!(
             Checkpoint::from_json("not json"),
             Err(CheckpointError::Parse(_))
+        ));
+        assert!(matches!(
+            Checkpoint::from_json("{\"name\":\"x\"}"),
+            Err(CheckpointError::MalformedHeader { .. })
+        ));
+        assert!(matches!(
+            Checkpoint::from_json("[1,2,3]"),
+            Err(CheckpointError::MalformedHeader { .. })
         ));
     }
 
     #[test]
     fn error_display_is_informative() {
-        let err = CheckpointError::VersionMismatch {
-            found: 2,
-            supported: 1,
+        let err = CheckpointError::UnsupportedVersion {
+            found: 7,
+            min_supported: 1,
+            supported: 2,
         };
-        assert!(err.to_string().contains('2'));
+        let msg = err.to_string();
+        assert!(msg.contains('7') && msg.contains('1') && msg.contains('2'));
+        let io = CheckpointError::Io {
+            path: "/tmp/x.json".into(),
+            error: "denied".into(),
+        };
+        assert!(io.to_string().contains("/tmp/x.json"));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("nshard_nn_serialize_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.json");
+        let ckpt = Checkpoint::new("disk", Mlp::new(2, &[3], 1, 1)).with_created_by("test");
+        ckpt.save(&path).unwrap();
+        let back = Checkpoint::load(&path).unwrap();
+        assert_eq!(back, ckpt);
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(matches!(
+            Checkpoint::load(dir.join("missing.json")),
+            Err(CheckpointError::Io { .. })
+        ));
+    }
+
+    #[test]
+    fn envelope_round_trips_arbitrary_payloads() {
+        let payload = vec![1.5f64, 2.5, -3.0];
+        let json = envelope_to_json("weights", "daemon", &payload);
+        let env: Envelope<Vec<f64>> = envelope_from_json(&json).unwrap();
+        assert_eq!(env.version, CHECKPOINT_VERSION);
+        assert_eq!(env.name, "weights");
+        assert_eq!(env.created_by, "daemon");
+        assert_eq!(env.payload, payload);
+    }
+
+    #[test]
+    fn envelope_migrates_prior_version() {
+        let json = envelope_to_json("w", "x", &vec![1u32, 2])
+            .replacen(
+                &format!("\"version\":{CHECKPOINT_VERSION}"),
+                "\"version\":1",
+                1,
+            )
+            .replace(",\"created_by\":\"x\"", "");
+        let env: Envelope<Vec<u32>> = envelope_from_json(&json).unwrap();
+        assert_eq!(env.version, 1, "reports the version it was written with");
+        assert_eq!(env.created_by, "");
+        assert_eq!(env.payload, vec![1, 2]);
     }
 }

@@ -1,0 +1,322 @@
+//! The planning engine behind the daemon's endpoints.
+//!
+//! One [`PlanningEngine`] is shared (behind an `Arc`) by every worker
+//! thread. It owns:
+//!
+//! * the **full chain** — NeuroShard primary with a `SizeGreedy` fallback
+//!   and the size-balanced last resort, via [`FallbackChain`];
+//! * the **degraded chain** — greedy primaries only, used when a request's
+//!   remaining deadline budget is too small for a beam search, so a
+//!   deadline-pressed request degrades to a fast plan instead of erroring;
+//! * the **incremental planner** — warm-started replans around a stored
+//!   incumbent for `POST /v1/replan`.
+//!
+//! Everything downstream is deterministic (order-preserving work pools,
+//! serial batched scoring), so identical requests produce **bit-identical
+//! plans at any concurrency** — the serving layer adds no entropy: plan
+//! ids are content-addressed hashes of the task + plan JSON, and no
+//! timestamps enter response bodies.
+
+use std::sync::Arc;
+
+use nshard_baselines::{DimGreedy, SizeGreedy};
+use nshard_core::{
+    migration_bytes, FallbackChain, NeuroShard, NeuroShardConfig, PlanError, PlanProvenance,
+    PlanSource, ResilientError, ShardingAlgorithm, ShardingPlan,
+};
+use nshard_cost::{CacheStats, CostModelBundle, CostSimulator};
+use nshard_data::ShardingTask;
+use nshard_online::{IncrementalConfig, IncrementalPlanner};
+
+/// A [`ShardingAlgorithm`] view of a shared [`NeuroShard`].
+///
+/// The chain owns its primary as a `Box<dyn ShardingAlgorithm>`, but the
+/// engine also needs the sharder afterwards (its simulator prices plans
+/// and exposes cache statistics for `/metrics`), so the chain gets this
+/// forwarding wrapper around the engine's `Arc`.
+struct SharedAlgo(Arc<NeuroShard>);
+
+impl ShardingAlgorithm for SharedAlgo {
+    fn name(&self) -> &str {
+        self.0.name()
+    }
+
+    fn shard(&self, task: &ShardingTask) -> Result<ShardingPlan, PlanError> {
+        self.0.shard(task)
+    }
+}
+
+/// One planned (or replanned) task, ready to store and serialize.
+#[derive(Debug, Clone)]
+pub struct PlanOutput {
+    /// Content-addressed plan id (16 hex chars over task + plan JSON).
+    pub id: String,
+    /// The accepted plan.
+    pub plan: ShardingPlan,
+    /// How the chain arrived at it.
+    pub provenance: PlanProvenance,
+    /// Predicted embedding cost under the cost models, ms.
+    pub predicted_ms: f64,
+    /// `true` when the serving layer routed this request through the
+    /// degraded chain (deadline pressure) or the chain itself downgraded.
+    pub degraded: bool,
+}
+
+/// A replan: a [`PlanOutput`] plus migration accounting.
+#[derive(Debug, Clone)]
+pub struct ReplanOutput {
+    /// The plan and its provenance.
+    pub output: PlanOutput,
+    /// Bytes that must move from the incumbent to adopt the new plan.
+    pub migration_bytes: u64,
+    /// `true` when the warm-started incremental planner produced the plan;
+    /// `false` when it could not (e.g. the incumbent no longer rebases
+    /// onto the drifted task) and a full search ran instead.
+    pub incremental: bool,
+    /// Candidate plans scored (incremental path only; `0` for full).
+    pub evaluated_plans: usize,
+}
+
+/// The shared planning engine. See the [module documentation](self).
+pub struct PlanningEngine {
+    neuro: Arc<NeuroShard>,
+    full: FallbackChain,
+    degraded: FallbackChain,
+    incremental: IncrementalPlanner,
+}
+
+impl PlanningEngine {
+    /// Builds the engine from a pre-trained bundle and search knobs.
+    ///
+    /// `threads = 0` in `search` resolves through the single
+    /// [`nshard_core::pool::THREADS_ENV`] path, so the daemon honors
+    /// `NSHARD_THREADS` exactly like the offline binaries.
+    pub fn new(
+        bundle: CostModelBundle,
+        search: NeuroShardConfig,
+        incremental: IncrementalConfig,
+        seed: u64,
+    ) -> Self {
+        let neuro = Arc::new(NeuroShard::new(bundle, search));
+        let full = FallbackChain::new(Box::new(SharedAlgo(Arc::clone(&neuro))))
+            .with_fallback(Box::new(SizeGreedy))
+            .with_seed(seed)
+            .with_threads(search.threads);
+        let degraded = FallbackChain::new(Box::new(SizeGreedy))
+            .with_fallback(Box::new(DimGreedy))
+            .with_seed(seed)
+            .with_threads(search.threads);
+        Self {
+            neuro,
+            full,
+            degraded,
+            incremental: IncrementalPlanner::new(incremental),
+        }
+    }
+
+    /// The cost simulator pricing plans (and backing the search).
+    pub fn simulator(&self) -> &CostSimulator {
+        self.neuro.simulator()
+    }
+
+    /// Cumulative prediction-cache statistics, for `/metrics`.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.neuro.simulator().cache().stats()
+    }
+
+    /// Plans `task` from scratch. `degrade` routes through the greedy
+    /// chain (deadline pressure); otherwise the full NeuroShard chain
+    /// runs.
+    ///
+    /// # Errors
+    ///
+    /// [`ResilientError`] when every stage of the chain failed (the task
+    /// is infeasible even size-balanced); carries full provenance.
+    pub fn plan(&self, task: &ShardingTask, degrade: bool) -> Result<PlanOutput, ResilientError> {
+        let chain = if degrade { &self.degraded } else { &self.full };
+        let outcome = chain.shard_with_provenance(task)?;
+        Ok(self.finish(task, outcome.plan, outcome.provenance, degrade))
+    }
+
+    /// Replans `task` warm-started from `incumbent`. Falls back to a full
+    /// search when the incumbent cannot be rebased onto the drifted task;
+    /// `degrade` skips the incremental path entirely (a deadline-pressed
+    /// replan takes the greedy chain, charged with full migration).
+    ///
+    /// # Errors
+    ///
+    /// [`ResilientError`] when the full-search fallback also failed.
+    pub fn replan(
+        &self,
+        task: &ShardingTask,
+        incumbent: &ShardingPlan,
+        degrade: bool,
+    ) -> Result<ReplanOutput, ResilientError> {
+        if !degrade {
+            if let Ok(out) = self.incremental.replan(self.simulator(), task, incumbent) {
+                let provenance = PlanProvenance {
+                    source: PlanSource::Primary {
+                        algorithm: "incremental_planner".into(),
+                    },
+                    events: Vec::new(),
+                    total_retries: 0,
+                    total_backoff_ms: 0,
+                    replan: None,
+                };
+                let migration = out.delta.migration_bytes;
+                let evaluated = out.evaluated_plans;
+                let output = self.finish(task, out.plan, provenance, false);
+                return Ok(ReplanOutput {
+                    output,
+                    migration_bytes: migration,
+                    incremental: true,
+                    evaluated_plans: evaluated,
+                });
+            }
+        }
+        // Full (or degraded) search; migration is charged against the
+        // rebased incumbent when it still rebases, else everything moves.
+        let output = self.plan(task, degrade)?;
+        let moved = incumbent
+            .rebase(task)
+            .map(|base| migration_bytes(&base, &output.plan))
+            .unwrap_or_else(|_| task.tables().iter().map(|t| t.memory_bytes()).sum());
+        Ok(ReplanOutput {
+            output,
+            migration_bytes: moved,
+            incremental: false,
+            evaluated_plans: 0,
+        })
+    }
+
+    /// Prices, ids, and packages an accepted plan.
+    fn finish(
+        &self,
+        task: &ShardingTask,
+        plan: ShardingPlan,
+        provenance: PlanProvenance,
+        degrade: bool,
+    ) -> PlanOutput {
+        let predicted_ms = self
+            .simulator()
+            .estimate_plan(&plan.device_profiles(task.batch_size()))
+            .total_ms();
+        let id = plan_id(task, &plan);
+        let degraded = degrade || provenance.is_degraded();
+        PlanOutput {
+            id,
+            plan,
+            provenance,
+            predicted_ms,
+            degraded,
+        }
+    }
+}
+
+/// Content-addressed plan id: FNV-1a over the task and plan JSON, 16 hex
+/// chars. Identical (task, plan) pairs — the only thing a deterministic
+/// engine can produce for identical requests — get identical ids, which
+/// makes store adoption idempotent and responses bit-identical.
+pub fn plan_id(task: &ShardingTask, plan: &ShardingPlan) -> String {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    eat(serde_json::to_string(task).unwrap_or_default().as_bytes());
+    eat(b"|");
+    eat(serde_json::to_string(plan).unwrap_or_default().as_bytes());
+    format!("{hash:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nshard_cost::{CollectConfig, TrainSettings};
+    use nshard_data::{TableConfig, TableId, TablePool};
+
+    fn engine() -> PlanningEngine {
+        let pool = TablePool::synthetic_dlrm(40, 3);
+        let bundle = CostModelBundle::pretrain(
+            &pool,
+            2,
+            &CollectConfig::smoke(),
+            &TrainSettings::smoke(),
+            7,
+        );
+        PlanningEngine::new(
+            bundle,
+            NeuroShardConfig::smoke(),
+            IncrementalConfig::default(),
+            7,
+        )
+    }
+
+    fn task() -> ShardingTask {
+        let tables: Vec<TableConfig> = (0..8)
+            .map(|i| TableConfig::new(TableId(i), 16 + 16 * (i % 2), 1 << 14, 8.0, 1.05))
+            .collect();
+        ShardingTask::new(tables, 2, 1 << 30, 1024)
+    }
+
+    #[test]
+    fn planning_is_deterministic_and_content_addressed() {
+        let eng = engine();
+        let a = eng.plan(&task(), false).unwrap();
+        let b = eng.plan(&task(), false).unwrap();
+        assert_eq!(a.plan, b.plan);
+        assert_eq!(a.id, b.id);
+        assert!(!a.degraded);
+        assert!(a.predicted_ms.is_finite() && a.predicted_ms > 0.0);
+    }
+
+    #[test]
+    fn degraded_path_is_marked_and_still_valid() {
+        let eng = engine();
+        let t = task();
+        let out = eng.plan(&t, true).unwrap();
+        assert!(out.degraded);
+        assert!(out.plan.validate(&t).is_ok());
+        // Different route may mean a different plan — and a different id.
+        let full = eng.plan(&t, false).unwrap();
+        if full.plan != out.plan {
+            assert_ne!(full.id, out.id);
+        }
+    }
+
+    #[test]
+    fn replan_warm_starts_from_the_incumbent() {
+        let eng = engine();
+        let t = task();
+        let incumbent = eng.plan(&t, false).unwrap();
+        // Same task: nothing to move.
+        let re = eng.replan(&t, &incumbent.plan, false).unwrap();
+        assert!(re.incremental);
+        assert_eq!(re.migration_bytes, 0);
+        assert!(re.output.plan.validate(&t).is_ok());
+    }
+
+    #[test]
+    fn replan_falls_back_to_full_search_when_rebase_fails() {
+        let eng = engine();
+        let t = task();
+        let incumbent = eng.plan(&t, false).unwrap();
+        // A task with a different table count cannot host the incumbent.
+        let tables: Vec<TableConfig> = (0..5)
+            .map(|i| TableConfig::new(TableId(100 + i), 32, 1 << 14, 8.0, 1.05))
+            .collect();
+        let drifted = ShardingTask::new(tables, 2, 1 << 30, 1024);
+        let re = eng.replan(&drifted, &incumbent.plan, false).unwrap();
+        assert!(!re.incremental);
+        assert!(re.migration_bytes > 0);
+        assert!(re.output.plan.validate(&drifted).is_ok());
+    }
+
+    #[test]
+    fn engine_is_shareable_across_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PlanningEngine>();
+    }
+}

@@ -1,0 +1,295 @@
+//! A minimal, dependency-free HTTP/1.1 subset: exactly what the daemon
+//! needs and nothing more.
+//!
+//! Requests are parsed from a stream (request line, headers, optional
+//! `Content-Length` body) and responses are written with
+//! `Connection: close` — one request per connection keeps the server
+//! simple and the tests honest. A tiny blocking client ([`http_call`])
+//! lives here too, shared by the integration tests, the load-generator
+//! bench, and the demo's self-check.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on request bodies; larger requests get `413`.
+pub const MAX_BODY_BYTES: usize = 8 << 20;
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// Request method, upper-case (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request path, e.g. `/v1/plan` (query strings are not supported).
+    pub path: String,
+    /// Raw body bytes (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be parsed.
+#[derive(Debug)]
+pub enum HttpParseError {
+    /// The stream closed or errored mid-request.
+    Io(std::io::Error),
+    /// The request line or headers were not valid HTTP/1.1.
+    Malformed(String),
+    /// The declared body exceeds [`MAX_BODY_BYTES`].
+    BodyTooLarge {
+        /// Declared `Content-Length`.
+        declared: usize,
+    },
+}
+
+impl std::fmt::Display for HttpParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpParseError::Io(e) => write!(f, "I/O while reading request: {e}"),
+            HttpParseError::Malformed(reason) => write!(f, "malformed request: {reason}"),
+            HttpParseError::BodyTooLarge { declared } => {
+                write!(f, "body of {declared} bytes exceeds {MAX_BODY_BYTES}")
+            }
+        }
+    }
+}
+
+impl From<std::io::Error> for HttpParseError {
+    fn from(e: std::io::Error) -> Self {
+        HttpParseError::Io(e)
+    }
+}
+
+/// Reads and parses one request from `stream`.
+///
+/// # Errors
+///
+/// [`HttpParseError`] on stream errors, malformed framing, or an
+/// oversized declared body.
+pub fn read_request(stream: &mut TcpStream) -> Result<HttpRequest, HttpParseError> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpParseError::Malformed("empty request line".into()))?
+        .to_ascii_uppercase();
+    let path = parts
+        .next()
+        .ok_or_else(|| HttpParseError::Malformed("request line has no path".into()))?
+        .to_string();
+
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        let n = reader.read_line(&mut header)?;
+        if n == 0 {
+            return Err(HttpParseError::Malformed(
+                "connection closed in headers".into(),
+            ));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| HttpParseError::Malformed("bad Content-Length".into()))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpParseError::BodyTooLarge {
+            declared: content_length,
+        });
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(HttpRequest { method, path, body })
+}
+
+/// A response ready to serialize.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpResponse {
+    /// Status code (200, 404, 429, ...).
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Body bytes.
+    pub body: Vec<u8>,
+    /// Optional `Retry-After` seconds (load-shedding responses).
+    pub retry_after_s: Option<u32>,
+}
+
+impl HttpResponse {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Self {
+        Self {
+            status,
+            content_type: "application/json",
+            body: body.into_bytes(),
+            retry_after_s: None,
+        }
+    }
+
+    /// A plain-text response (Prometheus exposition, health).
+    pub fn text(status: u16, body: String) -> Self {
+        Self {
+            status,
+            content_type: "text/plain; version=0.0.4",
+            body: body.into_bytes(),
+            retry_after_s: None,
+        }
+    }
+
+    /// Attaches a `Retry-After` header (builder-style).
+    #[must_use]
+    pub fn with_retry_after(mut self, seconds: u32) -> Self {
+        self.retry_after_s = Some(seconds);
+        self
+    }
+
+    /// The standard reason phrase for the status code.
+    pub fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            413 => "Payload Too Large",
+            422 => "Unprocessable Entity",
+            429 => "Too Many Requests",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+
+    /// Serializes the response (status line, headers, body) to `out`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors from `out`.
+    pub fn write_to(&self, out: &mut impl Write) -> std::io::Result<()> {
+        write!(
+            out,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            self.status,
+            self.reason(),
+            self.content_type,
+            self.body.len()
+        )?;
+        if let Some(seconds) = self.retry_after_s {
+            write!(out, "Retry-After: {seconds}\r\n")?;
+        }
+        out.write_all(b"\r\n")?;
+        out.write_all(&self.body)?;
+        out.flush()
+    }
+}
+
+/// A blocking one-shot HTTP call: connect, send, read the full response.
+/// Returns `(status, body)`.
+///
+/// # Errors
+///
+/// I/O errors connecting or reading; `InvalidData` when the response is
+/// not parseable HTTP.
+pub fn http_call(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body)?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let text = String::from_utf8_lossy(&raw);
+    let mut lines = text.splitn(2, "\r\n");
+    let status_line = lines.next().unwrap_or_default();
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad status line: {status_line:?}"),
+            )
+        })?;
+    let rest = lines.next().unwrap_or_default();
+    let body = rest
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn request_round_trips_over_a_socket() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let req = read_request(&mut stream).unwrap();
+            assert_eq!(req.method, "POST");
+            assert_eq!(req.path, "/v1/plan");
+            assert_eq!(req.body, b"{\"x\":1}");
+            HttpResponse::json(200, "{\"ok\":true}".into())
+                .write_to(&mut stream)
+                .unwrap();
+        });
+        let (status, body) =
+            http_call(&addr.to_string(), "POST", "/v1/plan", b"{\"x\":1}").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "{\"ok\":true}");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn retry_after_header_is_emitted() {
+        let resp = HttpResponse::json(429, "{}".into()).with_retry_after(1);
+        let mut out = Vec::new();
+        resp.write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn oversized_declared_body_is_rejected() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            matches!(
+                read_request(&mut stream),
+                Err(HttpParseError::BodyTooLarge { .. })
+            )
+        });
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(
+            stream,
+            "POST /v1/plan HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        )
+        .unwrap();
+        stream.flush().unwrap();
+        assert!(handle.join().unwrap());
+    }
+}

@@ -1,0 +1,59 @@
+//! # nshard-serve — sharding as a service
+//!
+//! A long-running, dependency-free HTTP/1.1 JSON daemon around the
+//! NeuroShard planner: the deployment story for the paper's "pre-train
+//! once, search per task" workflow. Pre-trained cost models load at
+//! startup (optionally from a [`store::ModelStore`] checkpoint) and every
+//! request is an online search.
+//!
+//! ## Endpoints
+//!
+//! | Route | Effect |
+//! |---|---|
+//! | `POST /v1/plan` | Plan a task from scratch through the full [`nshard_core::FallbackChain`] |
+//! | `POST /v1/replan` | Warm-started incremental replan around a stored incumbent |
+//! | `GET /v1/plans/{id}` | Fetch a stored plan with provenance |
+//! | `GET /health` | Liveness + store/queue facts |
+//! | `GET /metrics` | Prometheus exposition ([`metrics`]) |
+//!
+//! ## Admission control
+//!
+//! The accept loop feeds a **bounded** queue drained by a worker pool; a
+//! full queue sheds load with `429 Too Many Requests` instead of building
+//! unbounded latency. Every job carries a deadline: expired jobs answer
+//! `503` without searching, and deadline-pressed jobs degrade to the
+//! greedy chain — a fast plan beats no plan, the same philosophy as the
+//! fault-driven [`nshard_core::FallbackChain`].
+//!
+//! ## Determinism
+//!
+//! Identical request bodies produce **byte-identical** `200` responses at
+//! any concurrency: the engine is deterministic at any thread count, plan
+//! ids are content-addressed, store adoption is idempotent by id, the
+//! vendored serializer has a fixed field order, and response bodies carry
+//! no timestamps. The worker-pool size (like every other parallel knob in
+//! the workspace) resolves through [`nshard_core::resolve_threads`], so
+//! `NSHARD_THREADS` ([`nshard_core::pool::THREADS_ENV`]) is the single
+//! thread-count control.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod clock;
+pub mod engine;
+pub mod http;
+pub mod metrics;
+pub mod server;
+pub mod store;
+
+pub use api::{
+    source_label, ErrorBody, HealthResponse, PlanRequest, PlanResponse, ReplanRequest,
+    ReplanResponse,
+};
+pub use clock::{Clock, ManualClock, WallClock};
+pub use engine::{plan_id, PlanOutput, PlanningEngine, ReplanOutput};
+pub use http::{http_call, HttpRequest, HttpResponse};
+pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+pub use server::{Routed, ServeConfig, Server, Service};
+pub use store::{ModelStore, PlanStore, StoreError, StoredPlan};

@@ -1,0 +1,483 @@
+//! A small lock-sharded metrics registry with Prometheus text exposition.
+//!
+//! The daemon (and the bench binaries) need counters, gauges and latency
+//! histograms that are cheap to update from many worker threads at once.
+//! The registry shards its name → metric maps across a fixed set of
+//! mutexes, so *registration* (a rare, name-hashed lookup) takes one shard
+//! lock while *updates* (the hot path) are plain atomic operations on the
+//! `Arc`-shared metric — no lock is held while counting.
+//!
+//! Rendering ([`MetricsRegistry::render`]) walks every shard, sorts by
+//! metric name and emits the Prometheus text format, so scrapes are
+//! deterministic byte-for-byte for a given set of counter values.
+//!
+//! Histograms use fixed exponential bucket bounds and expose
+//! summary-style `quantile` lines (p50/p95/p99 interpolated from bucket
+//! counts) plus `_sum`/`_count`, which is what the serving layer's latency
+//! SLO dashboards read.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of registry shards; a power of two so the name hash maps with a
+/// mask. Contention on registration is negligible at this size.
+const REGISTRY_SHARDS: usize = 8;
+
+/// FNV-1a hash of a metric name, for shard selection.
+fn name_hash(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increments by `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable gauge holding a non-negative integer (e.g. a queue depth).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Decrements by one (saturating at zero).
+    pub fn dec(&self) {
+        let _ = self
+            .value
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            });
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Default histogram bucket upper bounds, in milliseconds: exponential
+/// from 0.25 ms to ~128 s. Values above the last bound land in the
+/// implicit `+Inf` bucket.
+pub const DEFAULT_BUCKETS_MS: [f64; 20] = [
+    0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0, 4096.0,
+    8192.0, 16384.0, 32768.0, 65536.0, 131072.0,
+];
+
+/// A fixed-bucket latency histogram with atomic bucket counters.
+///
+/// # Example
+///
+/// ```
+/// use nshard_serve::metrics::Histogram;
+///
+/// let h = Histogram::default_ms();
+/// for v in [1.0, 2.0, 3.0, 100.0] {
+///     h.observe(v);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert!(h.quantile(0.5) <= h.quantile(0.99));
+/// ```
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    /// `buckets[i]` counts observations `<= bounds[i]`; the last slot is
+    /// the `+Inf` bucket.
+    buckets: Vec<AtomicU64>,
+    /// Sum of observations in micro-units (value × 1000, rounded), so the
+    /// atomic stays an integer.
+    sum_milli: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram over the given ascending upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly ascending.
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "bounds must be strictly ascending"
+        );
+        Self {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum_milli: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// A histogram with the default millisecond bounds.
+    pub fn default_ms() -> Self {
+        Self::new(&DEFAULT_BUCKETS_MS)
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, value: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        let milli = (value.max(0.0) * 1000.0).round() as u64;
+        self.sum_milli.fetch_add(milli, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum_milli.load(Ordering::Relaxed) as f64 / 1000.0
+    }
+
+    /// The `q`-quantile (`0 < q <= 1`), linearly interpolated within the
+    /// containing bucket; 0 when empty. Values in the `+Inf` bucket report
+    /// the last finite bound.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            let n = bucket.load(Ordering::Relaxed);
+            if seen + n >= target {
+                if i >= self.bounds.len() {
+                    return *self.bounds.last().expect("bounds are non-empty");
+                }
+                let lo = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let hi = self.bounds[i];
+                let into = (target - seen) as f64 / n.max(1) as f64;
+                return lo + (hi - lo) * into;
+            }
+            seen += n;
+        }
+        *self.bounds.last().expect("bounds are non-empty")
+    }
+
+    /// A `(count, sum, p50, p95, p99)` snapshot.
+    pub fn snapshot(&self) -> (u64, f64, f64, f64, f64) {
+        (
+            self.count(),
+            self.sum(),
+            self.quantile(0.5),
+            self.quantile(0.95),
+            self.quantile(0.99),
+        )
+    }
+}
+
+/// One registered metric.
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+struct Entry {
+    help: String,
+    metric: Metric,
+}
+
+/// A lock-sharded registry of named metrics rendering to Prometheus text.
+///
+/// Metric names may carry inline Prometheus labels
+/// (`requests_total{code="200"}`); the family name before the brace is
+/// what `# HELP` / `# TYPE` comments are grouped by.
+///
+/// # Example
+///
+/// ```
+/// use nshard_serve::metrics::MetricsRegistry;
+///
+/// let reg = MetricsRegistry::new();
+/// reg.counter("requests_total{code=\"200\"}", "Requests served").inc();
+/// let text = reg.render();
+/// assert!(text.contains("# TYPE requests_total counter"));
+/// assert!(text.contains("requests_total{code=\"200\"} 1"));
+/// ```
+pub struct MetricsRegistry {
+    shards: Vec<Mutex<BTreeMap<String, Entry>>>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self {
+            shards: (0..REGISTRY_SHARDS)
+                .map(|_| Mutex::new(BTreeMap::new()))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, name: &str) -> &Mutex<BTreeMap<String, Entry>> {
+        &self.shards[(name_hash(name) as usize) & (REGISTRY_SHARDS - 1)]
+    }
+
+    /// Gets or creates a counter. The help text of the first registration
+    /// wins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        let mut shard = self.shard(name).lock().expect("registry shard poisoned");
+        let entry = shard.entry(name.to_string()).or_insert_with(|| Entry {
+            help: help.to_string(),
+            metric: Metric::Counter(Arc::new(Counter::default())),
+        });
+        match &entry.metric {
+            Metric::Counter(c) => Arc::clone(c),
+            _ => panic!("metric `{name}` is already registered with a different kind"),
+        }
+    }
+
+    /// Gets or creates a gauge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        let mut shard = self.shard(name).lock().expect("registry shard poisoned");
+        let entry = shard.entry(name.to_string()).or_insert_with(|| Entry {
+            help: help.to_string(),
+            metric: Metric::Gauge(Arc::new(Gauge::default())),
+        });
+        match &entry.metric {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric `{name}` is already registered with a different kind"),
+        }
+    }
+
+    /// Gets or creates a histogram with the default millisecond buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<Histogram> {
+        let mut shard = self.shard(name).lock().expect("registry shard poisoned");
+        let entry = shard.entry(name.to_string()).or_insert_with(|| Entry {
+            help: help.to_string(),
+            metric: Metric::Histogram(Arc::new(Histogram::default_ms())),
+        });
+        match &entry.metric {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric `{name}` is already registered with a different kind"),
+        }
+    }
+
+    /// Renders every metric in Prometheus text exposition format, sorted
+    /// by name (deterministic for fixed counter values).
+    pub fn render(&self) -> String {
+        let mut all: BTreeMap<String, (String, String)> = BTreeMap::new();
+        // (name -> (family, rendered lines)); collected under shard locks,
+        // formatted outside them.
+        for shard in &self.shards {
+            let shard = shard.lock().expect("registry shard poisoned");
+            for (name, entry) in shard.iter() {
+                let family = name.split('{').next().unwrap_or(name).to_string();
+                let lines = match &entry.metric {
+                    Metric::Counter(c) => format!("{name} {}\n", c.get()),
+                    Metric::Gauge(g) => format!("{name} {}\n", g.get()),
+                    Metric::Histogram(h) => {
+                        let (count, sum, p50, p95, p99) = h.snapshot();
+                        format!(
+                            "{family}{{quantile=\"0.5\"}} {p50}\n\
+                             {family}{{quantile=\"0.95\"}} {p95}\n\
+                             {family}{{quantile=\"0.99\"}} {p99}\n\
+                             {family}_sum {sum}\n\
+                             {family}_count {count}\n"
+                        )
+                    }
+                };
+                all.insert(
+                    name.clone(),
+                    (family, format!("{}\u{0}{lines}", entry.help)),
+                );
+            }
+        }
+        let mut out = String::new();
+        let mut last_family = String::new();
+        for (_, (family, help_and_lines)) in all {
+            let (help, lines) = help_and_lines
+                .split_once('\u{0}')
+                .expect("separator is always present");
+            if family != last_family {
+                let kind = if lines.contains("quantile=") {
+                    "summary"
+                } else if family.ends_with("_total") {
+                    "counter"
+                } else {
+                    "gauge"
+                };
+                out.push_str(&format!("# HELP {family} {help}\n# TYPE {family} {kind}\n"));
+                last_family = family;
+            }
+            out.push_str(lines);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_count() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("x_total", "help");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Re-registration returns the same underlying counter.
+        assert_eq!(reg.counter("x_total", "other").get(), 5);
+
+        let g = reg.gauge("depth", "queue depth");
+        g.set(3);
+        g.inc();
+        g.dec();
+        g.dec();
+        assert_eq!(g.get(), 2);
+        g.set(0);
+        g.dec();
+        assert_eq!(g.get(), 0, "gauge saturates at zero");
+    }
+
+    #[test]
+    fn histogram_quantiles_are_ordered_and_interpolated() {
+        let h = Histogram::new(&[1.0, 10.0, 100.0]);
+        for _ in 0..50 {
+            h.observe(0.5);
+        }
+        for _ in 0..40 {
+            h.observe(5.0);
+        }
+        for _ in 0..10 {
+            h.observe(50.0);
+        }
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile(0.5);
+        let p95 = h.quantile(0.95);
+        let p99 = h.quantile(0.99);
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        assert!(p50 <= 1.0, "median falls in the first bucket");
+        assert!(p99 > 10.0, "p99 falls in the last bucket");
+        // Overflow lands in +Inf and reports the last finite bound.
+        h.observe(1e9);
+        assert_eq!(h.quantile(1.0), 100.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = Histogram::default_ms();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.99), 0.0);
+        assert_eq!(h.sum(), 0.0);
+    }
+
+    #[test]
+    fn render_is_sorted_and_typed() {
+        let reg = MetricsRegistry::new();
+        reg.counter("b_total{code=\"200\"}", "bs").add(2);
+        reg.counter("b_total{code=\"429\"}", "bs").inc();
+        reg.gauge("a_depth", "depth").set(7);
+        reg.histogram("c_latency_ms", "latency").observe(3.0);
+        let text = reg.render();
+        let a = text.find("a_depth 7").expect("gauge rendered");
+        let b = text
+            .find("b_total{code=\"200\"} 2")
+            .expect("counter rendered");
+        let b2 = text
+            .find("b_total{code=\"429\"} 1")
+            .expect("counter rendered");
+        let c = text
+            .find("c_latency_ms_count 1")
+            .expect("histogram rendered");
+        assert!(a < b && b < b2 && b2 < c, "sorted by name");
+        assert!(text.contains("# TYPE a_depth gauge"));
+        assert!(text.contains("# TYPE b_total counter"));
+        assert!(text.contains("# TYPE c_latency_ms summary"));
+        // One HELP/TYPE pair per family, not per labeled series.
+        assert_eq!(text.matches("# TYPE b_total").count(), 1);
+        // Rendering twice with no updates is byte-identical.
+        assert_eq!(text, reg.render());
+    }
+
+    #[test]
+    fn updates_are_thread_safe() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("hammer_total", "hammered");
+        let h = reg.histogram("hammer_ms", "hammered");
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = Arc::clone(&c);
+                let h = Arc::clone(&h);
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        c.inc();
+                        h.observe(f64::from(i % 100));
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 8000);
+        assert_eq!(h.count(), 8000);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("m", "h");
+        reg.gauge("m", "h");
+    }
+}

@@ -1,0 +1,788 @@
+//! The daemon: TCP accept loop, bounded admission queue, worker pool,
+//! endpoint dispatch, and graceful shutdown.
+//!
+//! # Request flow
+//!
+//! ```text
+//! connection thread            bounded queue            worker pool
+//! ──────────────────           ─────────────            ───────────────
+//! parse HTTP ── GET ──────────────────────────────────▶ answered inline
+//!          └─── POST ─▶ admit ─▶ [Job, Job, ...] ─pop─▶ deadline check
+//!                        │ full                            │ expired → 503
+//!                        ▼                                 │ pressed → degraded chain
+//!                       429                                ▼
+//!                                                    PlanningEngine
+//!                                                          │
+//!                              ResponseSlot ◀── response ──┘
+//! ```
+//!
+//! Admission control: the queue is **bounded** (`queue_capacity`) — a full
+//! queue sheds load with `429` + `Retry-After` instead of letting latency
+//! grow without bound. Each job carries its enqueue time; a worker that
+//! pops an already-expired job answers `503` without searching, and a job
+//! whose remaining budget is below `degrade_below_ms` is routed through
+//! the **degraded** (greedy) chain rather than erroring — the
+//! `FallbackChain` discipline applied to deadlines.
+//!
+//! The worker pool size resolves through the same
+//! [`nshard_core::resolve_threads`] path as every other parallel
+//! component, so `NSHARD_THREADS` is the single thread-count knob
+//! (see [`nshard_core::pool::THREADS_ENV`]).
+//!
+//! Determinism: workers add no entropy — identical request bodies produce
+//! byte-identical `200` responses at any concurrency, because the engine
+//! is deterministic, plan ids are content-addressed, store adoption is
+//! idempotent by id, and response bodies contain no timestamps.
+
+use std::collections::VecDeque;
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use nshard_core::{resolve_threads, NeuroShardConfig};
+use nshard_cost::CostModelBundle;
+use nshard_online::IncrementalConfig;
+
+use crate::api::{
+    source_label, ErrorBody, HealthResponse, PlanRequest, PlanResponse, ReplanRequest,
+    ReplanResponse,
+};
+use crate::clock::{Clock, WallClock};
+use crate::engine::PlanningEngine;
+use crate::http::{read_request, HttpParseError, HttpRequest, HttpResponse};
+use crate::metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+use crate::store::{PlanStore, StoreError};
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// NeuroShard search knobs for the full chain.
+    pub search: NeuroShardConfig,
+    /// Warm-start knobs for `POST /v1/replan`.
+    pub incremental: IncrementalConfig,
+    /// Seed mixed into chain verifier seeds.
+    pub seed: u64,
+    /// Bounded admission-queue capacity; a full queue answers `429`.
+    pub queue_capacity: usize,
+    /// Worker threads draining the queue; `0` = auto via
+    /// [`resolve_threads`] (the `NSHARD_THREADS` path).
+    pub workers: usize,
+    /// Deadline applied when a request does not carry one, ms.
+    pub default_deadline_ms: u64,
+    /// Remaining-budget threshold below which a request takes the
+    /// degraded (greedy) chain instead of the full search, ms.
+    pub degrade_below_ms: u64,
+    /// Persist adopted plans under this directory; `None` = memory only.
+    pub store_dir: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            search: NeuroShardConfig::default(),
+            incremental: IncrementalConfig::default(),
+            seed: 0,
+            queue_capacity: 64,
+            workers: 0,
+            default_deadline_ms: 30_000,
+            degrade_below_ms: 250,
+            store_dir: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// A fast configuration for tests and demos.
+    pub fn smoke() -> Self {
+        Self {
+            search: NeuroShardConfig::smoke(),
+            ..Self::default()
+        }
+    }
+}
+
+/// Which queued endpoint a job belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JobKind {
+    Plan,
+    Replan,
+}
+
+impl JobKind {
+    fn endpoint(self) -> &'static str {
+        match self {
+            JobKind::Plan => "plan",
+            JobKind::Replan => "replan",
+        }
+    }
+}
+
+/// A queued planning request.
+struct Job {
+    kind: JobKind,
+    body: Vec<u8>,
+    enqueued_ms: u64,
+    slot: Arc<ResponseSlot>,
+}
+
+/// Hand-off cell between a worker and the waiting connection thread.
+pub struct ResponseSlot {
+    cell: Mutex<Option<HttpResponse>>,
+    ready: Condvar,
+}
+
+impl ResponseSlot {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            cell: Mutex::new(None),
+            ready: Condvar::new(),
+        })
+    }
+
+    fn put(&self, response: HttpResponse) {
+        let mut cell = self.cell.lock().expect("slot poisoned");
+        *cell = Some(response);
+        self.ready.notify_all();
+    }
+
+    /// Blocks until a worker fills the slot.
+    pub fn wait(&self) -> HttpResponse {
+        let mut cell = self.cell.lock().expect("slot poisoned");
+        loop {
+            if let Some(response) = cell.take() {
+                return response;
+            }
+            cell = self.ready.wait(cell).expect("slot poisoned");
+        }
+    }
+}
+
+/// Why admission refused a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rejection {
+    /// The bounded queue is full — shed load, retry later.
+    QueueFull,
+    /// The daemon is draining for shutdown.
+    ShuttingDown,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+/// The bounded admission queue.
+struct AdmissionQueue {
+    state: Mutex<QueueState>,
+    nonempty: Condvar,
+    capacity: usize,
+    depth: Arc<Gauge>,
+}
+
+impl AdmissionQueue {
+    fn new(capacity: usize, depth: Arc<Gauge>) -> Self {
+        Self {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            nonempty: Condvar::new(),
+            capacity,
+            depth,
+        }
+    }
+
+    fn push(&self, job: Job) -> Result<(), Rejection> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        if state.closed {
+            return Err(Rejection::ShuttingDown);
+        }
+        if state.jobs.len() >= self.capacity {
+            return Err(Rejection::QueueFull);
+        }
+        state.jobs.push_back(job);
+        self.depth.set(state.jobs.len() as u64);
+        self.nonempty.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next job; `None` once closed **and** drained, so
+    /// shutdown still answers everything already admitted.
+    fn pop(&self) -> Option<Job> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(job) = state.jobs.pop_front() {
+                self.depth.set(state.jobs.len() as u64);
+                return Some(job);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.nonempty.wait(state).expect("queue poisoned");
+        }
+    }
+
+    /// Non-blocking pop (the synchronous test hook).
+    fn try_pop(&self) -> Option<Job> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        let job = state.jobs.pop_front();
+        self.depth.set(state.jobs.len() as u64);
+        job
+    }
+
+    fn close(&self) {
+        self.state.lock().expect("queue poisoned").closed = true;
+        self.nonempty.notify_all();
+    }
+}
+
+/// Per-endpoint metric handles.
+struct ServiceMetrics {
+    registry: MetricsRegistry,
+    queue_depth: Arc<Gauge>,
+    search_latency: Arc<Histogram>,
+    degraded: Arc<Counter>,
+    fallbacks: Arc<Counter>,
+    repairs: Arc<Counter>,
+}
+
+impl ServiceMetrics {
+    fn new() -> Self {
+        let registry = MetricsRegistry::new();
+        let queue_depth = registry.gauge(
+            "nshard_serve_queue_depth",
+            "Planning jobs waiting in the admission queue",
+        );
+        let search_latency = registry.histogram(
+            "nshard_serve_search_latency_ms",
+            "Wall-clock latency of admitted planning jobs, ms",
+        );
+        let degraded = registry.counter(
+            "nshard_serve_degraded_total",
+            "Requests answered with a degraded (non-primary) plan",
+        );
+        let fallbacks = registry.counter(
+            "nshard_serve_fallback_total",
+            "Plans produced by a fallback stage or the size-balanced last resort",
+        );
+        let repairs = registry.counter(
+            "nshard_serve_repair_total",
+            "Plans that needed the repair engine",
+        );
+        Self {
+            registry,
+            queue_depth,
+            search_latency,
+            degraded,
+            fallbacks,
+            repairs,
+        }
+    }
+
+    fn count_request(&self, endpoint: &str, code: u16) {
+        self.registry
+            .counter(
+                &format!("nshard_serve_requests_total{{endpoint=\"{endpoint}\",code=\"{code}\"}}"),
+                "Requests by endpoint and status code",
+            )
+            .inc();
+    }
+
+    fn count_rejection(&self, reason: &str) {
+        self.registry
+            .counter(
+                &format!("nshard_serve_rejected_total{{reason=\"{reason}\"}}"),
+                "Requests shed by admission control",
+            )
+            .inc();
+    }
+}
+
+/// The daemon's service layer: everything minus the TCP accept loop, so
+/// tests can drive it synchronously ([`Service::drain_one`]) with a
+/// manual clock and zero sleeps.
+pub struct Service {
+    config: ServeConfig,
+    engine: PlanningEngine,
+    plans: PlanStore,
+    clock: Arc<dyn Clock>,
+    queue: AdmissionQueue,
+    metrics: ServiceMetrics,
+    workers: usize,
+}
+
+impl Service {
+    /// Builds the service from a pre-trained bundle.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] when `store_dir` exists but cannot be opened or
+    /// holds an unloadable plan.
+    pub fn new(bundle: CostModelBundle, config: ServeConfig) -> Result<Self, StoreError> {
+        Self::with_clock(bundle, config, Arc::new(WallClock::new()))
+    }
+
+    /// Same, with an explicit clock (tests inject a
+    /// [`crate::clock::ManualClock`]).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] as for [`Service::new`].
+    pub fn with_clock(
+        bundle: CostModelBundle,
+        config: ServeConfig,
+        clock: Arc<dyn Clock>,
+    ) -> Result<Self, StoreError> {
+        let plans = match &config.store_dir {
+            Some(dir) => PlanStore::open(dir)?,
+            None => PlanStore::in_memory(),
+        };
+        let engine = PlanningEngine::new(bundle, config.search, config.incremental, config.seed);
+        let metrics = ServiceMetrics::new();
+        let queue = AdmissionQueue::new(config.queue_capacity, Arc::clone(&metrics.queue_depth));
+        let workers = resolve_threads(config.workers);
+        Ok(Self {
+            config,
+            engine,
+            plans,
+            clock,
+            queue,
+            metrics,
+            workers,
+        })
+    }
+
+    /// The plan store (tests and the demo inspect it directly).
+    pub fn plans(&self) -> &PlanStore {
+        &self.plans
+    }
+
+    /// The resolved worker-pool size.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Answers a request end to end, blocking until a worker (or the
+    /// caller's own [`Service::drain_one`]) produces the response.
+    pub fn handle_blocking(&self, request: &HttpRequest) -> HttpResponse {
+        match self.route(request) {
+            Routed::Inline(response) => response,
+            Routed::Queued(slot) => slot.wait(),
+        }
+    }
+
+    /// Routes a request: GETs answered inline, planning POSTs admitted to
+    /// the queue (the returned slot resolves when a worker finishes).
+    pub fn route(&self, request: &HttpRequest) -> Routed {
+        match (request.method.as_str(), request.path.as_str()) {
+            ("GET", "/health") => Routed::Inline(self.health()),
+            ("GET", "/metrics") => Routed::Inline(HttpResponse::text(200, self.render_metrics())),
+            ("GET", path) if path.starts_with("/v1/plans/") => {
+                Routed::Inline(self.get_plan(&path["/v1/plans/".len()..]))
+            }
+            ("POST", "/v1/plan") => self.admit(JobKind::Plan, request.body.clone()),
+            ("POST", "/v1/replan") => self.admit(JobKind::Replan, request.body.clone()),
+            ("POST", _) | ("GET", _) => {
+                self.metrics.count_request("other", 404);
+                Routed::Inline(error_response(
+                    404,
+                    "not_found",
+                    format!("no route for {} {}", request.method, request.path),
+                ))
+            }
+            (method, _) => {
+                self.metrics.count_request("other", 405);
+                Routed::Inline(error_response(
+                    405,
+                    "method_not_allowed",
+                    format!("method {method} not supported"),
+                ))
+            }
+        }
+    }
+
+    fn health(&self) -> HttpResponse {
+        self.metrics.count_request("health", 200);
+        let body = HealthResponse {
+            status: "ok".into(),
+            plans: self.plans.len() as u64,
+            workers: self.workers as u64,
+            queue_capacity: self.config.queue_capacity as u64,
+        };
+        HttpResponse::json(200, serde_json::to_string(&body).unwrap_or_default())
+    }
+
+    fn get_plan(&self, id: &str) -> HttpResponse {
+        match self.plans.get(id) {
+            Some(stored) => {
+                self.metrics.count_request("plans_get", 200);
+                HttpResponse::json(200, serde_json::to_string(&stored).unwrap_or_default())
+            }
+            None => {
+                self.metrics.count_request("plans_get", 404);
+                error_response(404, "not_found", format!("no stored plan with id {id}"))
+            }
+        }
+    }
+
+    /// Admits a planning job, or sheds it with `429`/`503`.
+    fn admit(&self, kind: JobKind, body: Vec<u8>) -> Routed {
+        let slot = ResponseSlot::new();
+        let job = Job {
+            kind,
+            body,
+            enqueued_ms: self.clock.now_ms(),
+            slot: Arc::clone(&slot),
+        };
+        match self.queue.push(job) {
+            Ok(()) => Routed::Queued(slot),
+            Err(Rejection::QueueFull) => {
+                self.metrics.count_rejection("queue_full");
+                self.metrics.count_request(kind.endpoint(), 429);
+                Routed::Inline(
+                    error_response(
+                        429,
+                        "queue_full",
+                        format!(
+                            "admission queue at capacity ({}); retry later",
+                            self.config.queue_capacity
+                        ),
+                    )
+                    .with_retry_after(1),
+                )
+            }
+            Err(Rejection::ShuttingDown) => {
+                self.metrics.count_rejection("shutdown");
+                self.metrics.count_request(kind.endpoint(), 503);
+                Routed::Inline(
+                    error_response(503, "shutting_down", "daemon is draining".to_string())
+                        .with_retry_after(5),
+                )
+            }
+        }
+    }
+
+    /// Worker body: blocks for the next job and processes it. Returns
+    /// `false` once the queue is closed and drained.
+    fn drain_blocking(&self) -> bool {
+        match self.queue.pop() {
+            Some(job) => {
+                self.process(job);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Synchronously processes one queued job if any — the no-sleep test
+    /// hook. Returns `false` when the queue was empty.
+    pub fn drain_one(&self) -> bool {
+        match self.queue.try_pop() {
+            Some(job) => {
+                self.process(job);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn process(&self, job: Job) {
+        let started_ms = self.clock.now_ms();
+        let response = self.respond(&job, started_ms);
+        self.metrics.search_latency.observe(
+            (self.clock.now_ms() - started_ms) as f64 + (started_ms - job.enqueued_ms) as f64,
+        );
+        self.metrics
+            .count_request(job.kind.endpoint(), response.status);
+        job.slot.put(response);
+    }
+
+    /// Produces the response for one job: deadline check, degradation
+    /// decision, parse, plan, adopt, serialize.
+    fn respond(&self, job: &Job, now_ms: u64) -> HttpResponse {
+        let parsed_deadline = match job.kind {
+            JobKind::Plan => {
+                serde_json::from_str::<PlanRequest>(&String::from_utf8_lossy(&job.body)).map(|r| {
+                    let deadline = r.deadline_ms;
+                    (Parsed::Plan(r), deadline)
+                })
+            }
+            JobKind::Replan => serde_json::from_str::<ReplanRequest>(&String::from_utf8_lossy(
+                &job.body,
+            ))
+            .map(|r| {
+                let deadline = r.deadline_ms;
+                (Parsed::Replan(r), deadline)
+            }),
+        };
+        let (parsed, deadline_ms) = match parsed_deadline {
+            Ok((parsed, deadline)) => (parsed, deadline.unwrap_or(self.config.default_deadline_ms)),
+            Err(e) => {
+                return error_response(400, "bad_request", format!("invalid request body: {e}"))
+            }
+        };
+
+        let waited_ms = now_ms.saturating_sub(job.enqueued_ms);
+        if waited_ms >= deadline_ms {
+            self.metrics.count_rejection("deadline");
+            return error_response(
+                503,
+                "deadline_expired",
+                format!("request waited {waited_ms} ms against a {deadline_ms} ms deadline"),
+            )
+            .with_retry_after(1);
+        }
+        // Deadline-pressed: not enough budget left for a beam search, so
+        // degrade to the greedy chain instead of erroring later.
+        let degrade = deadline_ms - waited_ms < self.config.degrade_below_ms;
+
+        match parsed {
+            Parsed::Plan(request) => self.respond_plan(request, degrade),
+            Parsed::Replan(request) => self.respond_replan(request, degrade),
+        }
+    }
+
+    fn respond_plan(&self, request: PlanRequest, degrade: bool) -> HttpResponse {
+        let output = match self.engine.plan(&request.task, degrade) {
+            Ok(output) => output,
+            Err(e) => return error_response(422, "infeasible", e.to_string()),
+        };
+        self.observe_outcome(&output.provenance, output.degraded);
+        let version = if request.adopt {
+            match self.plans.adopt(
+                &output.id,
+                request.task,
+                output.plan.clone(),
+                output.provenance.clone(),
+                output.predicted_ms,
+                output.degraded,
+            ) {
+                Ok(stored) => stored.version,
+                Err(e) => return error_response(500, "store_failed", e.to_string()),
+            }
+        } else {
+            0
+        };
+        let body = PlanResponse {
+            id: output.id,
+            version,
+            degraded: output.degraded,
+            source: source_label(&output.provenance.source),
+            predicted_ms: output.predicted_ms,
+            plan: output.plan,
+            provenance: output.provenance,
+        };
+        HttpResponse::json(200, serde_json::to_string(&body).unwrap_or_default())
+    }
+
+    fn respond_replan(&self, request: ReplanRequest, degrade: bool) -> HttpResponse {
+        let incumbent = match &request.incumbent_id {
+            Some(id) => self.plans.get(id),
+            None => self.plans.latest(),
+        };
+        let Some(incumbent) = incumbent else {
+            return error_response(
+                404,
+                "no_incumbent",
+                match &request.incumbent_id {
+                    Some(id) => format!("no stored plan with id {id}"),
+                    None => "the store holds no plan to warm-start from".to_string(),
+                },
+            );
+        };
+        let re = match self.engine.replan(&request.task, &incumbent.plan, degrade) {
+            Ok(re) => re,
+            Err(e) => return error_response(422, "infeasible", e.to_string()),
+        };
+        self.observe_outcome(&re.output.provenance, re.output.degraded);
+        let version = if request.adopt {
+            match self.plans.adopt(
+                &re.output.id,
+                request.task,
+                re.output.plan.clone(),
+                re.output.provenance.clone(),
+                re.output.predicted_ms,
+                re.output.degraded,
+            ) {
+                Ok(stored) => stored.version,
+                Err(e) => return error_response(500, "store_failed", e.to_string()),
+            }
+        } else {
+            0
+        };
+        let body = ReplanResponse {
+            id: re.output.id,
+            version,
+            degraded: re.output.degraded,
+            source: source_label(&re.output.provenance.source),
+            predicted_ms: re.output.predicted_ms,
+            migration_bytes: re.migration_bytes,
+            incremental: re.incremental,
+            evaluated_plans: re.evaluated_plans as u64,
+            plan: re.output.plan,
+            provenance: re.output.provenance,
+        };
+        HttpResponse::json(200, serde_json::to_string(&body).unwrap_or_default())
+    }
+
+    fn observe_outcome(&self, provenance: &nshard_core::PlanProvenance, degraded: bool) {
+        if degraded {
+            self.metrics.degraded.inc();
+        }
+        match &provenance.source {
+            nshard_core::PlanSource::Repaired { .. } => self.metrics.repairs.inc(),
+            nshard_core::PlanSource::Fallback { .. } | nshard_core::PlanSource::SizeBalanced => {
+                self.metrics.fallbacks.inc()
+            }
+            nshard_core::PlanSource::Primary { .. } => {}
+        }
+    }
+
+    /// Prometheus exposition: the registry plus prediction-cache gauges
+    /// scraped live from the engine.
+    pub fn render_metrics(&self) -> String {
+        let mut out = self.metrics.registry.render();
+        let stats = self.engine.cache_stats();
+        out.push_str(
+            "# HELP nshard_serve_cache_hits_total Prediction-cache hits across all searches\n\
+             # TYPE nshard_serve_cache_hits_total counter\n",
+        );
+        out.push_str(&format!("nshard_serve_cache_hits_total {}\n", stats.hits));
+        out.push_str(
+            "# HELP nshard_serve_cache_misses_total Prediction-cache misses across all searches\n\
+             # TYPE nshard_serve_cache_misses_total counter\n",
+        );
+        out.push_str(&format!(
+            "nshard_serve_cache_misses_total {}\n",
+            stats.misses
+        ));
+        out
+    }
+
+    /// Stops admission and lets workers drain what was already accepted.
+    pub fn close(&self) {
+        self.queue.close();
+    }
+}
+
+/// Result of routing one request.
+pub enum Routed {
+    /// Answered without queueing.
+    Inline(HttpResponse),
+    /// Admitted; the slot resolves when a worker finishes the job.
+    Queued(Arc<ResponseSlot>),
+}
+
+fn error_response(status: u16, kind: &str, detail: String) -> HttpResponse {
+    HttpResponse::json(status, ErrorBody::new(kind, detail).to_json())
+}
+
+/// A running daemon: accept loop plus worker pool around a [`Service`].
+pub struct Server {
+    service: Arc<Service>,
+    addr: std::net::SocketAddr,
+    running: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    worker_threads: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and starts
+    /// the accept loop and worker pool.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors binding the listener.
+    pub fn start(service: Arc<Service>, addr: &str) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let running = Arc::new(AtomicBool::new(true));
+
+        let worker_threads: Vec<JoinHandle<()>> = (0..service.workers())
+            .map(|i| {
+                let service = Arc::clone(&service);
+                std::thread::Builder::new()
+                    .name(format!("nshard-serve-worker-{i}"))
+                    .spawn(move || while service.drain_blocking() {})
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let accept_thread = {
+            let service = Arc::clone(&service);
+            let running = Arc::clone(&running);
+            std::thread::Builder::new()
+                .name("nshard-serve-accept".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if !running.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        let service = Arc::clone(&service);
+                        // One thread per connection: connections are
+                        // short-lived (Connection: close) and the real
+                        // concurrency limit is the bounded queue behind.
+                        std::thread::spawn(move || handle_connection(&service, stream));
+                    }
+                })
+                .expect("spawn accept loop")
+        };
+
+        Ok(Self {
+            service,
+            addr: local,
+            running,
+            accept_thread: Some(accept_thread),
+            worker_threads,
+        })
+    }
+
+    /// The bound address (useful with ephemeral ports).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// The shared service.
+    pub fn service(&self) -> &Arc<Service> {
+        &self.service
+    }
+
+    /// Graceful shutdown: stop accepting, drain the queue, join all
+    /// threads. Everything already admitted still gets its response.
+    pub fn shutdown(mut self) {
+        self.running.store(false, Ordering::SeqCst);
+        self.service.close();
+        // Self-connect to wake the blocking accept call.
+        let _ = TcpStream::connect(self.addr).map(|mut s| s.write_all(b""));
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        for handle in self.worker_threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Parsed request body, by endpoint.
+enum Parsed {
+    Plan(PlanRequest),
+    Replan(ReplanRequest),
+}
+
+fn handle_connection(service: &Service, mut stream: TcpStream) {
+    let response = match read_request(&mut stream) {
+        Ok(request) => service.handle_blocking(&request),
+        Err(HttpParseError::BodyTooLarge { declared }) => error_response(
+            413,
+            "body_too_large",
+            format!("declared body of {declared} bytes exceeds the limit"),
+        ),
+        // Includes the zero-byte wake-up connection from shutdown.
+        Err(_) => return,
+    };
+    let _ = response.write_to(&mut stream);
+}

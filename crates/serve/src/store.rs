@@ -1,0 +1,407 @@
+//! The versioned plan & model store behind the daemon.
+//!
+//! Two registries live here, both persisted as versioned-envelope JSON
+//! documents (see `nshard_nn::serialize`) so a restarted daemon boots warm
+//! and refuses artifacts from unsupported format versions with a typed
+//! error instead of undefined behavior:
+//!
+//! * [`PlanStore`] — every **adopted** [`ShardingPlan`] with its
+//!   [`PlanProvenance`], keyed by a deterministic content-addressed id and
+//!   stamped with a monotonically increasing adoption `version`. Adoption
+//!   is idempotent by id, which keeps concurrent identical requests
+//!   bit-deterministic: the first adoption wins and every duplicate maps
+//!   to the same stored record.
+//! * [`ModelStore`] — named cost-model checkpoints ([`CostModelBundle`]s)
+//!   the planning engine loads at startup.
+//!
+//! On-disk layout under the store directory:
+//!
+//! ```text
+//! store/
+//!   plans/<id>.json      (envelope; payload = StoredPlan)
+//!   models/<name>.json   (envelope; payload = CostModelBundle)
+//! ```
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+use nshard_core::{PlanProvenance, ShardingPlan};
+use nshard_cost::CostModelBundle;
+use nshard_data::ShardingTask;
+use nshard_nn::serialize::{load_envelope, save_envelope, CheckpointError};
+
+/// The producer tag written into envelope headers.
+const CREATED_BY: &str = "nshard-serve";
+
+/// Errors of the plan/model store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem trouble outside an envelope read/write.
+    Io {
+        /// The path involved.
+        path: String,
+        /// Rendered I/O error.
+        error: String,
+    },
+    /// A persisted artifact failed to load or save (parse, version or I/O).
+    Checkpoint(CheckpointError),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io { path, error } => write!(f, "store I/O failed for {path}: {error}"),
+            StoreError::Checkpoint(e) => write!(f, "store artifact error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<CheckpointError> for StoreError {
+    fn from(e: CheckpointError) -> Self {
+        StoreError::Checkpoint(e)
+    }
+}
+
+/// One adopted plan: the daemon's unit of persistence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoredPlan {
+    /// Content-addressed id (hex of the task+plan fingerprint).
+    pub id: String,
+    /// Adoption sequence number (1-based, monotonic per store).
+    pub version: u64,
+    /// The task the plan was produced for.
+    pub task: ShardingTask,
+    /// The adopted plan.
+    pub plan: ShardingPlan,
+    /// How the plan was obtained.
+    pub provenance: PlanProvenance,
+    /// Predicted embedding cost under the cost models, ms.
+    pub predicted_ms: f64,
+    /// Whether the serving layer degraded the search (deadline pressure).
+    pub degraded: bool,
+}
+
+struct PlanStoreInner {
+    plans: HashMap<String, StoredPlan>,
+    /// Adoption order (ids), oldest first; parallel to `version` stamps.
+    order: Vec<String>,
+    next_version: u64,
+}
+
+/// The versioned, optionally disk-backed registry of adopted plans.
+pub struct PlanStore {
+    inner: Mutex<PlanStoreInner>,
+    dir: Option<PathBuf>,
+}
+
+impl PlanStore {
+    /// A store that lives only in memory.
+    pub fn in_memory() -> Self {
+        Self {
+            inner: Mutex::new(PlanStoreInner {
+                plans: HashMap::new(),
+                order: Vec::new(),
+                next_version: 1,
+            }),
+            dir: None,
+        }
+    }
+
+    /// Opens (creating if needed) a disk-backed store rooted at `dir`,
+    /// loading every persisted plan so the daemon restarts warm.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] when the directory cannot be created or a persisted
+    /// plan fails to load (unsupported version, parse error, I/O).
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let root = dir.as_ref().join("plans");
+        std::fs::create_dir_all(&root).map_err(|e| StoreError::Io {
+            path: root.display().to_string(),
+            error: e.to_string(),
+        })?;
+        let mut plans: Vec<StoredPlan> = Vec::new();
+        let entries = std::fs::read_dir(&root).map_err(|e| StoreError::Io {
+            path: root.display().to_string(),
+            error: e.to_string(),
+        })?;
+        for entry in entries {
+            let entry = entry.map_err(|e| StoreError::Io {
+                path: root.display().to_string(),
+                error: e.to_string(),
+            })?;
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("json") {
+                continue;
+            }
+            let envelope = load_envelope::<StoredPlan>(&path)?;
+            plans.push(envelope.payload);
+        }
+        // Replaying in stamped-version order reconstructs the adoption
+        // sequence regardless of directory iteration order.
+        plans.sort_by_key(|p| p.version);
+        let next_version = plans.iter().map(|p| p.version).max().unwrap_or(0) + 1;
+        let order: Vec<String> = plans.iter().map(|p| p.id.clone()).collect();
+        Ok(Self {
+            inner: Mutex::new(PlanStoreInner {
+                plans: plans.into_iter().map(|p| (p.id.clone(), p)).collect(),
+                order,
+                next_version,
+            }),
+            dir: Some(dir.as_ref().to_path_buf()),
+        })
+    }
+
+    /// Adopts a plan: stamps the next version, stores and (when
+    /// disk-backed) persists it. Adoption is **idempotent by id** — an id
+    /// already in the store returns the existing record unchanged, so
+    /// duplicate identical requests never fork versions.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] when persisting to disk fails; the in-memory record
+    /// is kept consistent either way.
+    pub fn adopt(
+        &self,
+        id: &str,
+        task: ShardingTask,
+        plan: ShardingPlan,
+        provenance: PlanProvenance,
+        predicted_ms: f64,
+        degraded: bool,
+    ) -> Result<StoredPlan, StoreError> {
+        let record = {
+            let mut inner = self.inner.lock().expect("plan store poisoned");
+            if let Some(existing) = inner.plans.get(id) {
+                return Ok(existing.clone());
+            }
+            let record = StoredPlan {
+                id: id.to_string(),
+                version: inner.next_version,
+                task,
+                plan,
+                provenance,
+                predicted_ms,
+                degraded,
+            };
+            inner.next_version += 1;
+            inner.plans.insert(id.to_string(), record.clone());
+            inner.order.push(id.to_string());
+            record
+        };
+        if let Some(dir) = &self.dir {
+            let path = dir.join("plans").join(format!("{id}.json"));
+            save_envelope(&path, id, CREATED_BY, &record)?;
+        }
+        Ok(record)
+    }
+
+    /// Looks up a plan by id.
+    pub fn get(&self, id: &str) -> Option<StoredPlan> {
+        self.inner
+            .lock()
+            .expect("plan store poisoned")
+            .plans
+            .get(id)
+            .cloned()
+    }
+
+    /// The most recently adopted plan.
+    pub fn latest(&self) -> Option<StoredPlan> {
+        let inner = self.inner.lock().expect("plan store poisoned");
+        inner
+            .order
+            .last()
+            .and_then(|id| inner.plans.get(id))
+            .cloned()
+    }
+
+    /// Number of stored plans.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("plan store poisoned").plans.len()
+    }
+
+    /// Whether the store holds no plans.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All stored ids in adoption order.
+    pub fn ids(&self) -> Vec<String> {
+        self.inner
+            .lock()
+            .expect("plan store poisoned")
+            .order
+            .clone()
+    }
+}
+
+/// The named cost-model checkpoint registry.
+pub struct ModelStore {
+    dir: PathBuf,
+}
+
+impl ModelStore {
+    /// Opens (creating if needed) a model store rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the directory cannot be created.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let root = dir.as_ref().join("models");
+        std::fs::create_dir_all(&root).map_err(|e| StoreError::Io {
+            path: root.display().to_string(),
+            error: e.to_string(),
+        })?;
+        Ok(Self { dir: root })
+    }
+
+    /// Persists a bundle checkpoint under `name`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] when the envelope cannot be written.
+    pub fn save(&self, name: &str, bundle: &CostModelBundle) -> Result<PathBuf, StoreError> {
+        let path = self.dir.join(format!("{name}.json"));
+        save_envelope(&path, name, CREATED_BY, bundle)?;
+        Ok(path)
+    }
+
+    /// Loads and version-checks the bundle checkpoint named `name` — the
+    /// daemon's warm-start path.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Checkpoint`] with a typed cause: I/O (missing file),
+    /// unsupported version, or parse failure.
+    pub fn load(&self, name: &str) -> Result<CostModelBundle, StoreError> {
+        let path = self.dir.join(format!("{name}.json"));
+        Ok(load_envelope::<CostModelBundle>(&path)?.payload)
+    }
+
+    /// Names of every stored checkpoint, sorted.
+    pub fn list(&self) -> Vec<String> {
+        let mut names: Vec<String> = std::fs::read_dir(&self.dir)
+            .into_iter()
+            .flatten()
+            .flatten()
+            .filter_map(|e| {
+                let p = e.path();
+                if p.extension().and_then(|x| x.to_str()) == Some("json") {
+                    p.file_stem().and_then(|s| s.to_str()).map(String::from)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        names.sort();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nshard_core::PlanSource;
+    use nshard_data::{TableConfig, TableId};
+
+    fn task() -> ShardingTask {
+        let tables: Vec<TableConfig> = (0..4)
+            .map(|i| TableConfig::new(TableId(i), 32, 4096, 8.0, 1.0))
+            .collect();
+        ShardingTask::new(tables, 2, 1 << 30, 1024)
+    }
+
+    fn plan(task: &ShardingTask) -> ShardingPlan {
+        ShardingPlan::new(
+            Vec::new(),
+            task.tables().to_vec(),
+            (0..task.num_tables()).map(|i| i % 2).collect(),
+            2,
+        )
+        .unwrap()
+    }
+
+    fn provenance() -> PlanProvenance {
+        PlanProvenance {
+            source: PlanSource::Primary {
+                algorithm: "test".into(),
+            },
+            events: Vec::new(),
+            total_retries: 0,
+            total_backoff_ms: 0,
+            replan: None,
+        }
+    }
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("nshard_store_{tag}_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn adoption_is_versioned_and_idempotent() {
+        let store = PlanStore::in_memory();
+        let t = task();
+        let p = plan(&t);
+        let a = store
+            .adopt("aaaa", t.clone(), p.clone(), provenance(), 1.0, false)
+            .unwrap();
+        let b = store
+            .adopt("bbbb", t.clone(), p.clone(), provenance(), 2.0, false)
+            .unwrap();
+        assert_eq!(a.version, 1);
+        assert_eq!(b.version, 2);
+        // Re-adopting an existing id returns the original record.
+        let a2 = store.adopt("aaaa", t, p, provenance(), 99.0, true).unwrap();
+        assert_eq!(a2, a);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.latest().unwrap().id, "bbbb");
+        assert_eq!(store.ids(), vec!["aaaa".to_string(), "bbbb".to_string()]);
+    }
+
+    #[test]
+    fn disk_store_restarts_warm() {
+        let dir = tmp("warm");
+        let t = task();
+        let p = plan(&t);
+        {
+            let store = PlanStore::open(&dir).unwrap();
+            store
+                .adopt("p1", t.clone(), p.clone(), provenance(), 1.5, false)
+                .unwrap();
+            store
+                .adopt("p2", t.clone(), p.clone(), provenance(), 2.5, true)
+                .unwrap();
+        }
+        // A fresh process opens the same directory and sees everything.
+        let reopened = PlanStore::open(&dir).unwrap();
+        assert_eq!(reopened.len(), 2);
+        assert_eq!(reopened.latest().unwrap().id, "p2");
+        assert_eq!(reopened.get("p1").unwrap().predicted_ms, 1.5);
+        // Versions continue from where they left off.
+        let third = reopened
+            .adopt("p3", t, p, provenance(), 3.5, false)
+            .unwrap();
+        assert_eq!(third.version, 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_model_is_a_typed_error() {
+        let dir = tmp("models");
+        let store = ModelStore::open(&dir).unwrap();
+        assert!(store.list().is_empty());
+        match store.load("nope") {
+            Err(StoreError::Checkpoint(CheckpointError::Io { .. })) => {}
+            other => panic!("expected typed I/O checkpoint error, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

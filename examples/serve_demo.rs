@@ -1,0 +1,109 @@
+//! Sharding-as-a-service demo: boot the `nshard-serve` daemon on a local
+//! port and exercise every endpoint, or run the same flow as an
+//! in-process smoke test.
+//!
+//! ```text
+//! cargo run --release --example serve_demo            # serve on :7878 until Ctrl-C
+//! cargo run --release --example serve_demo -- --smoke # one-shot self-test, then exit
+//! ```
+//!
+//! With the daemon running, the README's curl walkthrough applies:
+//!
+//! ```text
+//! curl -s localhost:7878/health
+//! curl -s -X POST localhost:7878/v1/plan -d @task.json
+//! curl -s localhost:7878/metrics
+//! ```
+
+use std::sync::Arc;
+
+use neuroshard::cost::{CollectConfig, CostModelBundle, TrainSettings};
+use neuroshard::data::{ShardingTask, TableConfig, TableId, TablePool};
+use neuroshard::serve::{http_call, ServeConfig, Server, Service};
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+
+    eprintln!("pre-training cost models (smoke settings, ~seconds)...");
+    let pool = TablePool::synthetic_dlrm(60, 7);
+    let bundle = CostModelBundle::pretrain(
+        &pool,
+        2,
+        &CollectConfig::smoke(),
+        &TrainSettings::smoke(),
+        7,
+    );
+
+    let config = ServeConfig::smoke();
+    let service = Arc::new(Service::new(bundle, config).expect("service boots"));
+    let addr = if smoke {
+        "127.0.0.1:0"
+    } else {
+        "127.0.0.1:7878"
+    };
+    let server = Server::start(Arc::clone(&service), addr).expect("server binds");
+    let addr = server.addr().to_string();
+    eprintln!(
+        "nshard-serve listening on {addr} ({} workers)",
+        service.workers()
+    );
+
+    if !smoke {
+        eprintln!("try: curl -s {addr}/health");
+        eprintln!("     curl -s -X POST {addr}/v1/plan -d '{{\"task\":{{...}}}}'");
+        eprintln!("     curl -s {addr}/metrics");
+        // Serve until the process is killed.
+        loop {
+            std::thread::park();
+        }
+    }
+
+    // --smoke: drive every endpoint once and verify the responses.
+    let (status, body) = http_call(&addr, "GET", "/health", b"").expect("health");
+    assert_eq!(status, 200, "health: {body}");
+    println!("GET  /health          -> {status} {body}");
+
+    let tables: Vec<TableConfig> = (0..8)
+        .map(|i| TableConfig::new(TableId(i), 16 + 16 * (i % 2), 1 << 14, 8.0, 1.05))
+        .collect();
+    let task = ShardingTask::new(tables, 2, 1 << 30, 1024);
+    let request = format!(
+        "{{\"task\":{}}}",
+        serde_json::to_string(&task).expect("tasks serialize")
+    );
+
+    let (status, body) = http_call(&addr, "POST", "/v1/plan", request.as_bytes()).expect("plan");
+    assert_eq!(status, 200, "plan: {body}");
+    let id = body
+        .split("\"id\":\"")
+        .nth(1)
+        .and_then(|rest| rest.split('"').next())
+        .expect("plan response carries an id")
+        .to_string();
+    println!(
+        "POST /v1/plan         -> {status} (plan id {id}, {} bytes)",
+        body.len()
+    );
+
+    let (status, body) =
+        http_call(&addr, "GET", &format!("/v1/plans/{id}"), b"").expect("get plan");
+    assert_eq!(status, 200, "get plan: {body}");
+    println!("GET  /v1/plans/{{id}}   -> {status} ({} bytes)", body.len());
+
+    let (status, body) =
+        http_call(&addr, "POST", "/v1/replan", request.as_bytes()).expect("replan");
+    assert_eq!(status, 200, "replan: {body}");
+    assert!(body.contains("\"incremental\":true"), "replan: {body}");
+    println!("POST /v1/replan       -> {status} (incremental, 0 bytes migrated)");
+
+    let (status, metrics) = http_call(&addr, "GET", "/metrics", b"").expect("metrics");
+    assert_eq!(status, 200);
+    assert!(metrics.contains("nshard_serve_requests_total"));
+    println!(
+        "GET  /metrics         -> {status} ({} families)",
+        metrics.lines().filter(|l| l.starts_with("# TYPE")).count()
+    );
+
+    server.shutdown();
+    println!("smoke OK");
+}

@@ -13,6 +13,8 @@
 //! * [`baselines`] — every comparator of the paper's Table 1 / Table 4.
 //! * [`online`] — workload drift, drift detection and migration-aware
 //!   incremental re-sharding (the deployed-plan maintenance loop).
+//! * [`serve`] — sharding-as-a-service daemon: HTTP/1.1 JSON API with
+//!   admission control, a versioned plan/model store, and `/metrics`.
 //!
 //! See the repository README for a quickstart, `DESIGN.md` for the system
 //! inventory, and `EXPERIMENTS.md` for the paper-vs-measured record.
@@ -41,6 +43,7 @@ pub use nshard_cost as cost;
 pub use nshard_data as data;
 pub use nshard_nn as nn;
 pub use nshard_online as online;
+pub use nshard_serve as serve;
 pub use nshard_sim as sim;
 
 /// Convenience re-exports of the most commonly used items.
@@ -52,6 +55,7 @@ pub mod prelude {
     pub use nshard_online::{
         OnlineConfig, OnlineController, PlanDelta, ReplanHistory, ReplanStrategy, WorkloadDrift,
     };
+    pub use nshard_serve::{ServeConfig, Server, Service};
     pub use nshard_sim::{Cluster, Fault, FaultPlan, FaultyCluster, GpuSpec, TableProfile};
 }
 

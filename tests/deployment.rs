@@ -47,19 +47,35 @@ fn reloaded_bundle_reproduces_the_same_plan() {
     assert_eq!(plan_a, plan_b);
 }
 
-/// Versioned NN checkpoints reject future formats instead of silently
-/// loading garbage.
+/// Versioned NN checkpoints reject future formats with a typed error
+/// instead of silently loading garbage, and still load the supported
+/// prior version by migrating it forward.
 #[test]
 fn checkpoint_version_control() {
+    use neuroshard::nn::serialize::CHECKPOINT_VERSION;
+
     let ckpt = Checkpoint::new("compute_cost", Mlp::new(4, &[8], 1, 0));
     let json = ckpt.to_json();
     assert!(Checkpoint::from_json(&json).is_ok());
 
-    let tampered = json.replace("\"version\":1", "\"version\":7");
+    let tampered = json.replace(
+        &format!("\"version\":{CHECKPOINT_VERSION}"),
+        "\"version\":7",
+    );
     assert!(matches!(
         Checkpoint::from_json(&tampered),
-        Err(CheckpointError::VersionMismatch { found: 7, .. })
+        Err(CheckpointError::UnsupportedVersion { found: 7, .. })
     ));
+
+    // A version-1 document (predating `created_by`) still loads warm.
+    let legacy = json
+        .replace(
+            &format!("\"version\":{CHECKPOINT_VERSION}"),
+            "\"version\":1",
+        )
+        .replace(",\"created_by\":\"\"", "");
+    let migrated = Checkpoint::from_json(&legacy).expect("prior version migrates");
+    assert_eq!(migrated.version, CHECKPOINT_VERSION);
 }
 
 /// Re-training on shifted data (different pooling factors ≈ shifted index

@@ -1,0 +1,293 @@
+//! Serving-layer integration tests: bit-identical responses under
+//! concurrency, deadline handling through a manual clock (no sleeps),
+//! queue-full load shedding, store persistence across restarts, and the
+//! `/metrics` contract.
+
+use std::sync::Arc;
+
+use neuroshard::cost::{CollectConfig, CostModelBundle, TrainSettings};
+use neuroshard::data::{ShardingTask, TableConfig, TableId, TablePool};
+use neuroshard::serve::http::HttpRequest;
+use neuroshard::serve::server::Routed;
+use neuroshard::serve::{http_call, ManualClock, ServeConfig, Server, Service};
+
+fn quick_bundle(seed: u64) -> CostModelBundle {
+    let pool = TablePool::synthetic_dlrm(40, 3);
+    CostModelBundle::pretrain(
+        &pool,
+        2,
+        &CollectConfig::smoke(),
+        &TrainSettings::smoke(),
+        seed,
+    )
+}
+
+fn task_json() -> String {
+    let tables: Vec<TableConfig> = (0..8)
+        .map(|i| TableConfig::new(TableId(i), 16 + 16 * (i % 2), 1 << 14, 8.0, 1.05))
+        .collect();
+    let task = ShardingTask::new(tables, 2, 1 << 30, 1024);
+    serde_json::to_string(&task).expect("tasks serialize")
+}
+
+fn plan_body() -> String {
+    format!("{{\"task\":{}}}", task_json())
+}
+
+fn post(service: &Service, path: &str, body: &str) -> Routed {
+    service.route(&HttpRequest {
+        method: "POST".into(),
+        path: path.into(),
+        body: body.as_bytes().to_vec(),
+    })
+}
+
+/// The acceptance-criterion test: 8 threads posting the same `/v1/plan`
+/// body over real TCP receive **byte-identical** responses, identical to
+/// a subsequent single call.
+#[test]
+fn eight_threads_get_byte_identical_plans() {
+    let service =
+        Arc::new(Service::new(quick_bundle(7), ServeConfig::smoke()).expect("service boots"));
+    let server = Server::start(Arc::clone(&service), "127.0.0.1:0").expect("server binds");
+    let addr = server.addr().to_string();
+    let body = plan_body();
+
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let addr = addr.clone();
+            let body = body.clone();
+            std::thread::spawn(move || {
+                http_call(&addr, "POST", "/v1/plan", body.as_bytes()).expect("call succeeds")
+            })
+        })
+        .collect();
+    let responses: Vec<(u16, String)> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    for (status, _) in &responses {
+        assert_eq!(*status, 200);
+    }
+    let first = &responses[0].1;
+    for (_, other) in &responses[1..] {
+        assert_eq!(other, first, "concurrent responses must be byte-identical");
+    }
+
+    // A later identical request (idempotent adoption) matches too.
+    let (status, again) = http_call(&addr, "POST", "/v1/plan", body.as_bytes()).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(&again, first);
+
+    // Exactly one plan was adopted for the nine identical requests.
+    assert_eq!(service.plans().len(), 1);
+    server.shutdown();
+}
+
+/// A request whose deadline expired while queued is answered `503`
+/// without searching — driven entirely by the manual clock, no sleeps.
+#[test]
+fn expired_deadline_is_shed_with_503() {
+    let clock = Arc::new(ManualClock::new());
+    let service = Service::with_clock(
+        quick_bundle(7),
+        ServeConfig::smoke(),
+        Arc::clone(&clock) as Arc<_>,
+    )
+    .expect("service boots");
+
+    let body = format!("{{\"task\":{},\"deadline_ms\":100}}", task_json());
+    let Routed::Queued(slot) = post(&service, "/v1/plan", &body) else {
+        panic!("plan request must be queued");
+    };
+    clock.advance_ms(150); // past the 100 ms deadline while "queued"
+    assert!(service.drain_one());
+    let response = slot.wait();
+    assert_eq!(response.status, 503);
+    assert_eq!(response.retry_after_s, Some(1));
+    let text = String::from_utf8(response.body).unwrap();
+    assert!(text.contains("deadline_expired"), "got: {text}");
+}
+
+/// A request with *almost* no budget left degrades to the greedy chain
+/// (a fast plan) instead of erroring — the FallbackChain discipline
+/// applied to deadlines.
+#[test]
+fn deadline_pressure_degrades_instead_of_failing() {
+    let clock = Arc::new(ManualClock::new());
+    let service = Service::with_clock(
+        quick_bundle(7),
+        ServeConfig::smoke(),
+        Arc::clone(&clock) as Arc<_>,
+    )
+    .expect("service boots");
+
+    let body = format!("{{\"task\":{},\"deadline_ms\":1000}}", task_json());
+    let Routed::Queued(slot) = post(&service, "/v1/plan", &body) else {
+        panic!("plan request must be queued");
+    };
+    // 800 ms of queueing leaves 200 ms — below the 250 ms degrade floor.
+    clock.advance_ms(800);
+    assert!(service.drain_one());
+    let response = slot.wait();
+    assert_eq!(response.status, 200);
+    let text = String::from_utf8(response.body).unwrap();
+    assert!(text.contains("\"degraded\":true"), "got: {text}");
+
+    // The same request with full budget is served by the primary search.
+    let Routed::Queued(slot) = post(&service, "/v1/plan", &plan_body()) else {
+        panic!("plan request must be queued");
+    };
+    assert!(service.drain_one());
+    let response = slot.wait();
+    assert_eq!(response.status, 200);
+    let text = String::from_utf8(response.body).unwrap();
+    assert!(text.contains("\"degraded\":false"), "got: {text}");
+}
+
+/// A full admission queue sheds load with `429` + `Retry-After`; the
+/// already-admitted jobs still complete.
+#[test]
+fn full_queue_sheds_load_with_429() {
+    let config = ServeConfig {
+        queue_capacity: 2,
+        ..ServeConfig::smoke()
+    };
+    let service = Service::with_clock(
+        quick_bundle(7),
+        config,
+        Arc::new(ManualClock::new()) as Arc<_>,
+    )
+    .expect("service boots");
+    let body = plan_body();
+
+    // No workers are draining: two jobs fill the queue.
+    let Routed::Queued(first) = post(&service, "/v1/plan", &body) else {
+        panic!("first request must be queued");
+    };
+    let Routed::Queued(second) = post(&service, "/v1/plan", &body) else {
+        panic!("second request must be queued");
+    };
+    // The third is shed immediately.
+    let Routed::Inline(rejected) = post(&service, "/v1/plan", &body) else {
+        panic!("third request must be rejected inline");
+    };
+    assert_eq!(rejected.status, 429);
+    assert_eq!(rejected.retry_after_s, Some(1));
+    assert!(String::from_utf8(rejected.body)
+        .unwrap()
+        .contains("queue_full"));
+
+    // Draining answers the admitted jobs; the queue never lost them.
+    assert!(service.drain_one());
+    assert!(service.drain_one());
+    assert!(!service.drain_one());
+    assert_eq!(first.wait().status, 200);
+    assert_eq!(second.wait().status, 200);
+
+    let metrics = service.render_metrics();
+    assert!(
+        metrics.contains("nshard_serve_rejected_total{reason=\"queue_full\"} 1"),
+        "got: {metrics}"
+    );
+}
+
+/// Adopted plans survive a daemon restart (disk-backed store) and are
+/// retrievable over `GET /v1/plans/{id}` with full provenance.
+#[test]
+fn plan_store_survives_restart() {
+    let dir = std::env::temp_dir().join(format!("nshard_serve_restart_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let config = ServeConfig {
+        store_dir: Some(dir.clone()),
+        ..ServeConfig::smoke()
+    };
+
+    let id = {
+        let service =
+            Arc::new(Service::new(quick_bundle(7), config.clone()).expect("service boots"));
+        let server = Server::start(Arc::clone(&service), "127.0.0.1:0").expect("server binds");
+        let (status, body) = http_call(
+            &server.addr().to_string(),
+            "POST",
+            "/v1/plan",
+            plan_body().as_bytes(),
+        )
+        .unwrap();
+        assert_eq!(status, 200);
+        let id = body
+            .split("\"id\":\"")
+            .nth(1)
+            .and_then(|rest| rest.split('"').next())
+            .expect("response carries an id")
+            .to_string();
+        server.shutdown();
+        id
+    };
+
+    // A "restarted daemon" (fresh service, same directory) is warm.
+    let service = Arc::new(Service::new(quick_bundle(7), config).expect("service reboots"));
+    assert_eq!(service.plans().len(), 1);
+    let server = Server::start(Arc::clone(&service), "127.0.0.1:0").expect("server binds");
+    let (status, body) = http_call(
+        &server.addr().to_string(),
+        "GET",
+        &format!("/v1/plans/{id}"),
+        b"",
+    )
+    .unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains(&id));
+    assert!(body.contains("\"provenance\""));
+
+    // Replanning warm-starts from the restored incumbent.
+    let (status, body) = http_call(
+        &server.addr().to_string(),
+        "POST",
+        "/v1/replan",
+        plan_body().as_bytes(),
+    )
+    .unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("\"incremental\":true"), "got: {body}");
+    assert!(body.contains("\"migration_bytes\":0"), "got: {body}");
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `/health` and `/metrics` expose the daemon's core observability
+/// contract: liveness facts, request counters, latency quantiles, and
+/// prediction-cache statistics.
+#[test]
+fn health_and_metrics_expose_the_core_counters() {
+    let service =
+        Arc::new(Service::new(quick_bundle(7), ServeConfig::smoke()).expect("service boots"));
+    let server = Server::start(Arc::clone(&service), "127.0.0.1:0").expect("server binds");
+    let addr = server.addr().to_string();
+
+    let (status, health) = http_call(&addr, "GET", "/health", b"").unwrap();
+    assert_eq!(status, 200);
+    assert!(health.contains("\"status\":\"ok\""));
+    assert!(health.contains("\"queue_capacity\":64"));
+
+    let (status, _) = http_call(&addr, "POST", "/v1/plan", plan_body().as_bytes()).unwrap();
+    assert_eq!(status, 200);
+
+    let (status, metrics) = http_call(&addr, "GET", "/metrics", b"").unwrap();
+    assert_eq!(status, 200);
+    for needle in [
+        "nshard_serve_requests_total{endpoint=\"plan\",code=\"200\"} 1",
+        "nshard_serve_queue_depth 0",
+        "nshard_serve_search_latency_ms{quantile=\"0.99\"}",
+        "nshard_serve_search_latency_ms_count 1",
+        "nshard_serve_cache_hits_total",
+        "nshard_serve_cache_misses_total",
+    ] {
+        assert!(metrics.contains(needle), "missing {needle} in:\n{metrics}");
+    }
+
+    // Unknown routes 404 with a JSON error body.
+    let (status, body) = http_call(&addr, "GET", "/nope", b"").unwrap();
+    assert_eq!(status, 404);
+    assert!(body.contains("not_found"));
+    server.shutdown();
+}
