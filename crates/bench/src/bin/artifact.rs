@@ -154,34 +154,16 @@ fn train(workdir: &Path, args: &Args) {
     let bwd_data: nshard_nn::Dataset = read_json(&workdir.join("cost_data/comm_bwd.json"));
 
     let mut compute = ComputeCostModel::new(seed);
-    let report = compute.train(
-        &compute_data,
-        settings.epochs,
-        settings.batch_size,
-        settings.learning_rate,
-        seed ^ 0x1,
-    );
+    let report = compute.train(&compute_data, &settings, seed ^ 0x1);
     println!(
         "Final result, train MSE: {}, valid MSE {}, test MSE: {}",
         report.train_mse, report.valid_mse, report.test_mse
     );
 
     let mut comm_fwd = CommCostModel::new(gpus, seed ^ 0x2);
-    let fwd_report = comm_fwd.train(
-        &fwd_data,
-        settings.epochs,
-        settings.batch_size,
-        settings.learning_rate,
-        seed ^ 0x3,
-    );
+    let fwd_report = comm_fwd.train(&fwd_data, &settings, seed ^ 0x3);
     let mut comm_bwd = CommCostModel::new(gpus, seed ^ 0x4);
-    let bwd_report = comm_bwd.train(
-        &bwd_data,
-        settings.epochs,
-        settings.batch_size,
-        settings.learning_rate,
-        seed ^ 0x5,
-    );
+    let bwd_report = comm_bwd.train(&bwd_data, &settings, seed ^ 0x5);
     println!(
         "Final result, fwd comm test MSE: {}, bwd comm test MSE: {}",
         fwd_report.test_mse, bwd_report.test_mse

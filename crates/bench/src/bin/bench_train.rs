@@ -1,0 +1,229 @@
+//! Parallel pre-training benchmark: runs the label-collection and
+//! model-fitting stages of the pre-training pipeline at 1, 2, 4 and 8
+//! worker threads, verifies that every configuration produces bit-identical
+//! datasets and trained weights, and writes the timings to
+//! `BENCH_train.json`.
+//!
+//! Thread scaling is bounded by the host: the JSON records
+//! `hardware_threads` so flat curves on small containers are explainable.
+//! The bit-identity columns are hardware-independent and must hold
+//! everywhere.
+//!
+//! Usage:
+//! `bench_train [--compute-samples 4000] [--comm-samples 3000]
+//!  [--epochs 10] [--seed 3] [--out BENCH_train.json]`
+
+use std::time::Instant;
+
+use serde::Serialize;
+
+use nshard_bench::{print_markdown_table, Args};
+use nshard_cost::{
+    collect_comm_data, collect_compute_data, CollectConfig, CommCostModel, CommDataset,
+    ComputeCostModel, ComputeDataset, TrainSettings,
+};
+use nshard_data::TablePool;
+use nshard_sim::GpuSpec;
+
+#[derive(Serialize)]
+struct StageRow {
+    threads: usize,
+    wall_clock_s: f64,
+    speedup_vs_1_thread: f64,
+    /// Whether this run's output is bit-identical to the 1-thread run
+    /// (trivially true for the 1-thread row itself).
+    identical_to_serial: bool,
+}
+
+#[derive(Serialize)]
+struct Output {
+    /// Logical CPUs visible to this process — thread scaling is bounded
+    /// above by this number.
+    hardware_threads: usize,
+    num_gpus: usize,
+    compute_samples: usize,
+    comm_samples: usize,
+    train: TrainSettings,
+    /// Label collection (compute + comm micro-benchmarks) per thread count.
+    collect: Vec<StageRow>,
+    /// Model fitting (compute model + both comm models) per thread count.
+    fit: Vec<StageRow>,
+    /// True iff every thread count collected bit-identical datasets.
+    datasets_identical: bool,
+    /// True iff every thread count trained bit-identical models.
+    models_identical: bool,
+}
+
+struct FitResult {
+    compute: ComputeCostModel,
+    comm_fwd: CommCostModel,
+    comm_bwd: CommCostModel,
+}
+
+fn collect(
+    pool: &TablePool,
+    spec: &GpuSpec,
+    num_gpus: usize,
+    config: &CollectConfig,
+    seed: u64,
+) -> (ComputeDataset, CommDataset) {
+    (
+        collect_compute_data(pool, spec.kernel(), config, seed),
+        collect_comm_data(pool, spec.comm(), num_gpus, config, seed ^ 0x1234),
+    )
+}
+
+fn fit(
+    compute_data: &ComputeDataset,
+    comm_data: &CommDataset,
+    num_gpus: usize,
+    settings: &TrainSettings,
+    seed: u64,
+) -> FitResult {
+    let mut compute = ComputeCostModel::new(seed);
+    compute.train(compute_data, settings, seed ^ 0x1);
+    let mut comm_fwd = CommCostModel::new(num_gpus, seed ^ 0x2);
+    comm_fwd.train(&comm_data.forward, settings, seed ^ 0x3);
+    let mut comm_bwd = CommCostModel::new(num_gpus, seed ^ 0x4);
+    comm_bwd.train(&comm_data.backward, settings, seed ^ 0x5);
+    FitResult {
+        compute,
+        comm_fwd,
+        comm_bwd,
+    }
+}
+
+fn row(threads: usize, wall: f64, base_wall: f64, identical: bool) -> StageRow {
+    StageRow {
+        threads,
+        wall_clock_s: wall,
+        speedup_vs_1_thread: base_wall / wall.max(1e-9),
+        identical_to_serial: identical,
+    }
+}
+
+fn print_stage(name: &str, rows: &[StageRow]) {
+    println!("\n## {name}\n");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{} thread(s)", r.threads),
+                format!("{:.2}", r.wall_clock_s),
+                format!("{:.2}x", r.speedup_vs_1_thread),
+                r.identical_to_serial.to_string(),
+            ]
+        })
+        .collect();
+    print_markdown_table(
+        &["workers", "wall clock (s)", "speedup", "bit-identical"],
+        &table,
+    );
+}
+
+fn main() {
+    let args = Args::from_env();
+    let seed: u64 = args.get("seed", 3);
+    let collect_cfg = CollectConfig {
+        compute_samples: args.get("compute-samples", 4000),
+        comm_samples: args.get("comm-samples", 3000),
+        ..CollectConfig::default()
+    };
+    let train = TrainSettings {
+        epochs: args.get("epochs", 10),
+        // 512-row batches shard into 8 gradient shards, so the
+        // data-parallel trainer genuinely fans out.
+        batch_size: args.get("batch-size", 512),
+        ..TrainSettings::default()
+    };
+    let out_path = args
+        .get_opt("out")
+        .unwrap_or_else(|| "BENCH_train.json".to_string());
+
+    let num_gpus = 4usize;
+    let pool = TablePool::synthetic_dlrm(856, 2023);
+    let spec = GpuSpec::rtx_2080_ti();
+
+    let mut collect_rows = Vec::new();
+    let mut fit_rows = Vec::new();
+    let mut datasets_identical = true;
+    let mut models_identical = true;
+    let mut collect_base_wall = 0.0;
+    let mut fit_base_wall = 0.0;
+    let mut reference: Option<((ComputeDataset, CommDataset), FitResult)> = None;
+
+    for threads in [1usize, 2, 4, 8] {
+        eprintln!(
+            "collecting {} + {} labels at {threads} thread(s)...",
+            collect_cfg.compute_samples, collect_cfg.comm_samples
+        );
+        let cfg = CollectConfig {
+            threads,
+            ..collect_cfg.clone()
+        };
+        let t0 = Instant::now();
+        let data = collect(&pool, &spec, num_gpus, &cfg, seed);
+        let collect_wall = t0.elapsed().as_secs_f64();
+
+        eprintln!("fitting the three cost models at {threads} thread(s)...");
+        let settings = TrainSettings { threads, ..train };
+        let t0 = Instant::now();
+        let models = fit(&data.0, &data.1, num_gpus, &settings, seed);
+        let fit_wall = t0.elapsed().as_secs_f64();
+
+        let (data_ok, model_ok) = match &reference {
+            None => {
+                collect_base_wall = collect_wall;
+                fit_base_wall = fit_wall;
+                reference = Some((data, models));
+                (true, true)
+            }
+            Some((ref_data, ref_models)) => (
+                data.0 == ref_data.0
+                    && data.1.forward == ref_data.1.forward
+                    && data.1.backward == ref_data.1.backward,
+                models.compute == ref_models.compute
+                    && models.comm_fwd == ref_models.comm_fwd
+                    && models.comm_bwd == ref_models.comm_bwd,
+            ),
+        };
+        datasets_identical &= data_ok;
+        models_identical &= model_ok;
+        collect_rows.push(row(threads, collect_wall, collect_base_wall, data_ok));
+        fit_rows.push(row(threads, fit_wall, fit_base_wall, model_ok));
+    }
+
+    let output = Output {
+        hardware_threads: std::thread::available_parallelism().map_or(1, usize::from),
+        num_gpus,
+        compute_samples: collect_cfg.compute_samples,
+        comm_samples: collect_cfg.comm_samples,
+        train,
+        collect: collect_rows,
+        fit: fit_rows,
+        datasets_identical,
+        models_identical,
+    };
+
+    println!(
+        "\n# Parallel pre-training, {} + {} samples, {} epochs, {} hardware thread(s)",
+        output.compute_samples, output.comm_samples, output.train.epochs, output.hardware_threads
+    );
+    print_stage("Label collection", &output.collect);
+    print_stage("Model fitting", &output.fit);
+    println!(
+        "\ndatasets identical: {datasets_identical}; trained models identical: {models_identical}"
+    );
+    assert!(
+        datasets_identical,
+        "collected datasets must not depend on the thread count"
+    );
+    assert!(
+        models_identical,
+        "trained weights must not depend on the thread count"
+    );
+
+    let json = serde_json::to_string_pretty(&output).expect("results are serializable");
+    std::fs::write(&out_path, json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    eprintln!("wrote {out_path}");
+}

@@ -56,25 +56,9 @@ fn main() {
     let compute_data = collect_compute_data(&pool, spec.kernel(), &collect, seed);
     let comm_data = collect_comm_data(&pool, spec.comm(), d, &collect, seed ^ 0x1234);
     let mut comm_fwd = CommCostModel::new(d, seed ^ 0x2);
-    let fwd_mse = comm_fwd
-        .train(
-            &comm_data.forward,
-            train.epochs,
-            train.batch_size,
-            train.learning_rate,
-            seed,
-        )
-        .test_mse;
+    let fwd_mse = comm_fwd.train(&comm_data.forward, &train, seed).test_mse;
     let mut comm_bwd = CommCostModel::new(d, seed ^ 0x4);
-    let bwd_mse = comm_bwd
-        .train(
-            &comm_data.backward,
-            train.epochs,
-            train.batch_size,
-            train.learning_rate,
-            seed,
-        )
-        .test_mse;
+    let bwd_mse = comm_bwd.train(&comm_data.backward, &train, seed).test_mse;
 
     let tasks: Vec<ShardingTask> = (0..tasks_n)
         .map(|i| ShardingTask::sample(&pool, d, 10..=60, 128, seed ^ 0xCC00 ^ i as u64))
@@ -86,13 +70,7 @@ fn main() {
         ("linear model", ComputeCostModel::linear(seed)),
     ] {
         eprintln!("training {name}...");
-        let report = compute.train(
-            &compute_data,
-            train.epochs,
-            train.batch_size,
-            train.learning_rate,
-            seed ^ 0x1,
-        );
+        let report = compute.train(&compute_data, &train, seed ^ 0x1);
         let bundle = CostModelBundle::from_parts(
             compute,
             comm_fwd.clone(),

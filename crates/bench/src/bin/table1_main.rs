@@ -10,9 +10,10 @@
 //!  [--comm-samples 6000] [--epochs 30] [--seed 3] [--skip-rl]
 //!  [--threads 0(=auto)] [--out t1.json]`
 //!
-//! `--threads` sets the search worker-thread count (0 = auto via
-//! `NSHARD_THREADS` or available parallelism); plans are bit-identical at
-//! any count.
+//! `--threads` sets the worker-thread count for every stage — label
+//! collection, model training, and the search (0 = auto via
+//! `NSHARD_THREADS` or available parallelism); datasets, trained weights,
+//! and plans are all bit-identical at any count.
 
 use serde::Serialize;
 
@@ -50,10 +51,12 @@ fn main() {
     let collect = CollectConfig {
         compute_samples: args.get("compute-samples", 8000),
         comm_samples: args.get("comm-samples", 6000),
+        threads,
         ..CollectConfig::default()
     };
     let train = TrainSettings {
         epochs: args.get("epochs", 30),
+        threads,
         ..TrainSettings::default()
     };
 

@@ -3,7 +3,17 @@
 //! Drives the ground-truth simulator with the synthetic inputs of §3.1
 //! (Algorithms 3–5) to produce labeled training data for the three cost
 //! models, exactly as the paper collects costs from real GPUs.
+//!
+//! ## Parallel collection
+//!
+//! Sample `i` of a run seeded with `seed` draws from its own RNG seeded
+//! with [`nshard_pool::sample_seed`]`(seed, i)`, and the simulator's noise
+//! model is a pure function of its stream id — no sequential RNG state is
+//! shared across samples. Collection therefore fans out over a
+//! [`WorkPool`] and the resulting dataset is **bit-identical** at any
+//! [`CollectConfig::threads`] setting, including the serial `threads = 1`.
 
+use nshard_pool::{sample_seed, WorkPool};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -38,6 +48,11 @@ pub struct CollectConfig {
     pub repeats: u32,
     /// Relative measurement noise.
     pub noise_sigma: f64,
+    /// Worker threads for label collection; `0` = auto (the
+    /// `NSHARD_THREADS` environment variable, then available parallelism,
+    /// via [`nshard_pool::resolve_threads`]). Collected datasets are
+    /// bit-identical at any setting.
+    pub threads: usize,
 }
 
 impl Default for CollectConfig {
@@ -52,6 +67,7 @@ impl Default for CollectConfig {
             batch_size: nshard_sim::DEFAULT_BATCH_SIZE,
             repeats: 11,
             noise_sigma: 0.02,
+            threads: 0,
         }
     }
 }
@@ -140,6 +156,11 @@ impl ComputeDataset {
 /// Collects computation-cost data: random table combinations (Algorithm 4)
 /// over the augmented pool (Algorithm 3), labeled by the simulated fused
 /// multi-table kernel.
+///
+/// Samples fan out over a [`WorkPool`] sized by [`CollectConfig::threads`];
+/// sample `i` is generated from its own RNG seeded with
+/// [`sample_seed`]`(seed, i)`, so the dataset does not depend on the worker
+/// count or completion order.
 pub fn collect_compute_data(
     pool: &TablePool,
     kernel: &KernelParams,
@@ -150,22 +171,22 @@ pub fn collect_compute_data(
     let generator =
         CombinationGenerator::new(augmented, config.combo_tables.0, config.combo_tables.1);
     let noise = NoiseModel::new(seed ^ 0xC0FFEE, config.noise_sigma);
-    let combos = generator.generate(config.compute_samples, seed);
-    let samples = combos
-        .into_iter()
-        .map(|combo| {
-            let profiles = combo.profiles(config.batch_size);
-            let cost =
-                kernel.measure_multi_cost_ms(&profiles, config.batch_size, &noise, config.repeats);
-            ComputeSample {
-                tables: profiles
-                    .iter()
-                    .map(|p| table_features(p, config.batch_size))
-                    .collect(),
-                cost_ms: cost as f32,
-            }
-        })
-        .collect();
+    let workers = WorkPool::new(config.threads);
+    let indices: Vec<u64> = (0..config.compute_samples as u64).collect();
+    let samples = workers.map(&indices, |&i| {
+        let mut rng = StdRng::seed_from_u64(sample_seed(seed, i));
+        let combo = generator.generate_one(&mut rng);
+        let profiles = combo.profiles(config.batch_size);
+        let cost =
+            kernel.measure_multi_cost_ms(&profiles, config.batch_size, &noise, config.repeats);
+        ComputeSample {
+            tables: profiles
+                .iter()
+                .map(|p| table_features(p, config.batch_size))
+                .collect(),
+            cost_ms: cost as f32,
+        }
+    });
     ComputeDataset { samples }
 }
 
@@ -183,6 +204,10 @@ pub struct CommDataset {
 /// random start timestamps, labeled by the simulated all-to-all collective's
 /// **max** per-GPU latency (the quantity the search minimizes).
 ///
+/// Like [`collect_compute_data`], samples fan out over a [`WorkPool`] with
+/// per-sample seeding, so the datasets are bit-identical at any
+/// [`CollectConfig::threads`] setting.
+///
 /// # Panics
 ///
 /// Panics if `config.comm_samples == 0` (a dataset must be non-empty).
@@ -199,12 +224,11 @@ pub fn collect_comm_data(
     let generator = PlacementGenerator::new(augmented, num_devices, t_min, t_max)
         .with_max_start_ms(config.max_start_ms);
     let noise = NoiseModel::new(seed ^ 0xBEEF, config.noise_sigma);
-    let placements = generator.generate(config.comm_samples, seed);
-
-    let mut xs: Vec<Vec<f32>> = Vec::with_capacity(placements.len());
-    let mut fwd_y: Vec<Vec<f32>> = Vec::with_capacity(placements.len());
-    let mut bwd_y: Vec<Vec<f32>> = Vec::with_capacity(placements.len());
-    for p in &placements {
+    let workers = WorkPool::new(config.threads);
+    let indices: Vec<u64> = (0..config.comm_samples as u64).collect();
+    let rows = workers.map(&indices, |&i| {
+        let mut rng = StdRng::seed_from_u64(sample_seed(seed, i));
+        let p = generator.generate_one(&mut rng);
         let dims = p.device_dims();
         let costs = comm.measure_costs_ms(
             &dims,
@@ -213,9 +237,20 @@ pub fn collect_comm_data(
             &noise,
             config.repeats,
         );
-        xs.push(comm_features(&dims, &p.start_ts_ms, config.batch_size));
-        fwd_y.push(vec![costs.max_fwd_ms() as f32]);
-        bwd_y.push(vec![costs.max_bwd_ms() as f32]);
+        (
+            comm_features(&dims, &p.start_ts_ms, config.batch_size),
+            costs.max_fwd_ms() as f32,
+            costs.max_bwd_ms() as f32,
+        )
+    });
+
+    let mut xs: Vec<Vec<f32>> = Vec::with_capacity(rows.len());
+    let mut fwd_y: Vec<Vec<f32>> = Vec::with_capacity(rows.len());
+    let mut bwd_y: Vec<Vec<f32>> = Vec::with_capacity(rows.len());
+    for (features, fwd, bwd) in rows {
+        xs.push(features);
+        fwd_y.push(vec![fwd]);
+        bwd_y.push(vec![bwd]);
     }
     let x = Matrix::from_rows(&xs);
     CommDataset {

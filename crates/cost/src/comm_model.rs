@@ -10,6 +10,7 @@ use serde::{Deserialize, Serialize};
 use nshard_nn::{Dataset, Matrix, Mlp, TrainConfig, TrainReport, Trainer};
 
 use crate::features::{comm_feature_dim, comm_features};
+use crate::simulator::TrainSettings;
 
 /// The paper's communication model architecture: input → 128-64-32-16 → 1.
 const COMM_HIDDEN: [usize; 4] = [128, 64, 32, 16];
@@ -98,26 +99,24 @@ impl CommCostModel {
     /// Trains on a collected dataset (80/10/10 split from `seed`), keeping
     /// the best-on-validation checkpoint, and returns the report.
     ///
+    /// Training runs the data-parallel [`Trainer`] with
+    /// [`TrainSettings::threads`] workers; the trained model is
+    /// bit-identical at any thread count.
+    ///
     /// # Panics
     ///
     /// Panics if the dataset's feature width does not match this model.
-    pub fn train(
-        &mut self,
-        data: &Dataset,
-        epochs: usize,
-        batch_size: usize,
-        learning_rate: f32,
-        seed: u64,
-    ) -> TrainReport {
+    pub fn train(&mut self, data: &Dataset, settings: &TrainSettings, seed: u64) -> TrainReport {
         assert_eq!(
             data.x().cols(),
             comm_feature_dim(self.num_devices),
             "dataset feature width does not match the model's device count"
         );
         let mut trainer = Trainer::new(TrainConfig {
-            epochs,
-            batch_size,
-            learning_rate,
+            epochs: settings.epochs,
+            batch_size: settings.batch_size,
+            learning_rate: settings.learning_rate,
+            threads: settings.threads,
         });
         let report = trainer.fit(self.mlp.clone(), data, seed);
         self.mlp = trainer.into_best_model().expect("fit always sets a model");
@@ -151,7 +150,16 @@ mod tests {
         let data = dataset(500, 4);
         let mut model = CommCostModel::new(4, 0);
         let before = model.evaluate_mse(&data.forward);
-        model.train(&data.forward, 40, 64, 1e-3, 5);
+        model.train(
+            &data.forward,
+            &TrainSettings {
+                epochs: 40,
+                batch_size: 64,
+                learning_rate: 1e-3,
+                ..TrainSettings::default()
+            },
+            5,
+        );
         let after = model.evaluate_mse(&data.forward);
         assert!(after < before / 2.0, "MSE {before} -> {after}");
     }
@@ -160,7 +168,16 @@ mod tests {
     fn trained_model_tracks_imbalance() {
         let data = dataset(800, 4);
         let mut model = CommCostModel::new(4, 1);
-        model.train(&data.forward, 60, 64, 1e-3, 2);
+        model.train(
+            &data.forward,
+            &TrainSettings {
+                epochs: 60,
+                batch_size: 64,
+                learning_rate: 1e-3,
+                ..TrainSettings::default()
+            },
+            2,
+        );
         let balanced = model.predict(&[250.0; 4], &[0.0; 4], 65_536);
         let skewed = model.predict(&[700.0, 100.0, 100.0, 100.0], &[0.0; 4], 65_536);
         assert!(
@@ -201,7 +218,16 @@ mod tests {
     fn wrong_dataset_width_panics() {
         let data = dataset(20, 4);
         let mut model = CommCostModel::new(8, 0);
-        let _ = model.train(&data.forward, 1, 8, 1e-3, 0);
+        let _ = model.train(
+            &data.forward,
+            &TrainSettings {
+                epochs: 1,
+                batch_size: 8,
+                learning_rate: 1e-3,
+                ..TrainSettings::default()
+            },
+            0,
+        );
     }
 
     #[test]

@@ -7,12 +7,14 @@
 //! makes the model handle any number of tables — the property that lets one
 //! pre-trained model serve every sharding task.
 
+use nshard_pool::WorkPool;
 use serde::{Deserialize, Serialize};
 
 use nshard_nn::{Adam, Gradients, Matrix, Mlp};
 
 use crate::collect::{ComputeDataset, ComputeSample};
 use crate::features::TABLE_FEATURE_DIM;
+use crate::simulator::TrainSettings;
 
 /// The paper's encoder architecture: table features → 128 → 32.
 const ENCODER_HIDDEN: [usize; 1] = [128];
@@ -144,45 +146,48 @@ impl ComputeCostModel {
     /// Trains the model on `data` (80/10/10 split from `seed`), keeping the
     /// best-on-validation checkpoint. Mirrors the paper's protocol:
     /// mini-batch Adam on an MSE loss.
+    ///
+    /// Per-sample gradients are pure functions of the current weights, so
+    /// they fan out over a [`WorkPool`] sized by [`TrainSettings::threads`]
+    /// while the mini-batch accumulation stays a serial in-order fold —
+    /// trained weights are bit-identical at any thread count.
     pub fn train(
         &mut self,
         data: &ComputeDataset,
-        epochs: usize,
-        batch_size: usize,
-        learning_rate: f32,
+        settings: &TrainSettings,
         seed: u64,
     ) -> ComputeTrainReport {
         use rand::Rng;
         use rand::{rngs::StdRng, SeedableRng};
 
         let (train, valid, test) = data.split(seed);
-        let mut adam_enc = Adam::new(&self.encoder, learning_rate);
-        let mut adam_head = Adam::new(&self.head, learning_rate);
+        let pool = WorkPool::new(settings.threads);
+        let mut adam_enc = Adam::new(&self.encoder, settings.learning_rate);
+        let mut adam_head = Adam::new(&self.head, settings.learning_rate);
         let mut rng = StdRng::seed_from_u64(seed ^ 0x7A57);
 
         let n = train.len().max(1);
-        let batch_size = batch_size.clamp(1, n);
+        let batch_size = settings.batch_size.clamp(1, n);
         let mut best = (self.encoder.clone(), self.head.clone());
         let mut best_valid = f32::INFINITY;
-        let mut valid_history = Vec::with_capacity(epochs);
+        let mut valid_history = Vec::with_capacity(settings.epochs);
         let mut order: Vec<usize> = (0..n).collect();
 
-        for _epoch in 0..epochs {
+        for _epoch in 0..settings.epochs {
             for i in (1..n).rev() {
                 let j = rng.random_range(0..=i);
                 order.swap(i, j);
             }
             for chunk in order.chunks(batch_size) {
+                let per_sample = pool.map(chunk, |&idx| self.sample_gradients(&train.samples[idx]));
                 let mut grad_enc = Gradients::zeros_like(&self.encoder);
                 let mut grad_head = Gradients::zeros_like(&self.head);
                 let scale = 1.0 / chunk.len() as f32;
-                for &idx in chunk {
-                    let sample = &train.samples[idx];
-                    let (g_enc, g_head) = self.sample_gradients(sample);
+                for (g_enc, g_head) in &per_sample {
                     if let Some(g) = g_enc {
-                        grad_enc.accumulate(&g, scale);
+                        grad_enc.accumulate(g, scale);
                     }
-                    grad_head.accumulate(&g_head, scale);
+                    grad_head.accumulate(g_head, scale);
                 }
                 adam_enc.step(&mut self.encoder, &grad_enc);
                 adam_head.step(&mut self.head, &grad_head);
@@ -287,7 +292,16 @@ mod tests {
         let data = small_dataset(400);
         let mut model = ComputeCostModel::new(7);
         let before = model.evaluate_mse(&data);
-        let report = model.train(&data, 30, 64, 1e-3, 9);
+        let report = model.train(
+            &data,
+            &TrainSettings {
+                epochs: 30,
+                batch_size: 64,
+                learning_rate: 1e-3,
+                ..TrainSettings::default()
+            },
+            9,
+        );
         let after = model.evaluate_mse(&data);
         assert!(
             after < before / 2.0,
@@ -302,7 +316,16 @@ mod tests {
         // A trained model should rank a heavy combination above a light one.
         let data = small_dataset(600);
         let mut model = ComputeCostModel::new(1);
-        model.train(&data, 40, 64, 1e-3, 2);
+        model.train(
+            &data,
+            &TrainSettings {
+                epochs: 40,
+                batch_size: 64,
+                learning_rate: 1e-3,
+                ..TrainSettings::default()
+            },
+            2,
+        );
         // Pick the lightest and heaviest training samples by label.
         let min = data
             .samples
@@ -322,8 +345,26 @@ mod tests {
         let data = small_dataset(100);
         let mut m1 = ComputeCostModel::new(4);
         let mut m2 = ComputeCostModel::new(4);
-        let r1 = m1.train(&data, 5, 32, 1e-3, 6);
-        let r2 = m2.train(&data, 5, 32, 1e-3, 6);
+        let r1 = m1.train(
+            &data,
+            &TrainSettings {
+                epochs: 5,
+                batch_size: 32,
+                learning_rate: 1e-3,
+                ..TrainSettings::default()
+            },
+            6,
+        );
+        let r2 = m2.train(
+            &data,
+            &TrainSettings {
+                epochs: 5,
+                batch_size: 32,
+                learning_rate: 1e-3,
+                ..TrainSettings::default()
+            },
+            6,
+        );
         assert_eq!(r1, r2);
         assert_eq!(m1, m2);
     }
@@ -335,8 +376,26 @@ mod tests {
         let data = small_dataset(500);
         let mut nn = ComputeCostModel::new(3);
         let mut linear = ComputeCostModel::linear(3);
-        let nn_report = nn.train(&data, 30, 64, 1e-3, 4);
-        let lin_report = linear.train(&data, 30, 64, 1e-3, 4);
+        let nn_report = nn.train(
+            &data,
+            &TrainSettings {
+                epochs: 30,
+                batch_size: 64,
+                learning_rate: 1e-3,
+                ..TrainSettings::default()
+            },
+            4,
+        );
+        let lin_report = linear.train(
+            &data,
+            &TrainSettings {
+                epochs: 30,
+                batch_size: 64,
+                learning_rate: 1e-3,
+                ..TrainSettings::default()
+            },
+            4,
+        );
         assert!(
             nn_report.test_mse < lin_report.test_mse,
             "nn {} should beat linear {}",

@@ -35,6 +35,10 @@ pub struct TrainSettings {
     pub batch_size: usize,
     /// Adam learning rate (paper: 0.001).
     pub learning_rate: f32,
+    /// Worker threads for gradient computation; `0` = auto (the
+    /// `NSHARD_THREADS` environment variable, then available parallelism).
+    /// Trained models are bit-identical at any setting.
+    pub threads: usize,
 }
 
 impl Default for TrainSettings {
@@ -43,6 +47,7 @@ impl Default for TrainSettings {
             epochs: 30,
             batch_size: 128,
             learning_rate: 1e-3,
+            threads: 0,
         }
     }
 }
@@ -54,6 +59,7 @@ impl TrainSettings {
             epochs: 10,
             batch_size: 64,
             learning_rate: 2e-3,
+            threads: 0,
         }
     }
 }
@@ -142,30 +148,12 @@ impl CostModelBundle {
         let comm_data = collect_comm_data(pool, comm, num_devices, collect, seed ^ 0x1234);
 
         let mut compute = ComputeCostModel::new(seed);
-        let compute_report = compute.train(
-            &compute_data,
-            train.epochs,
-            train.batch_size,
-            train.learning_rate,
-            seed ^ 0x1,
-        );
+        let compute_report = compute.train(&compute_data, train, seed ^ 0x1);
 
         let mut comm_fwd = CommCostModel::new(num_devices, seed ^ 0x2);
-        let fwd_report = comm_fwd.train(
-            &comm_data.forward,
-            train.epochs,
-            train.batch_size,
-            train.learning_rate,
-            seed ^ 0x3,
-        );
+        let fwd_report = comm_fwd.train(&comm_data.forward, train, seed ^ 0x3);
         let mut comm_bwd = CommCostModel::new(num_devices, seed ^ 0x4);
-        let bwd_report = comm_bwd.train(
-            &comm_data.backward,
-            train.epochs,
-            train.batch_size,
-            train.learning_rate,
-            seed ^ 0x5,
-        );
+        let bwd_report = comm_bwd.train(&comm_data.backward, train, seed ^ 0x5);
 
         Self {
             compute,

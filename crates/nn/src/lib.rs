@@ -51,7 +51,11 @@ pub mod train;
 
 pub use adam::Adam;
 pub use layer::Dense;
-pub use loss::{mse, mse_grad};
+pub use loss::{mse, mse_grad, mse_grad_scaled};
 pub use mlp::{Gradients, Mlp, MlpCache};
+pub use serialize::{
+    envelope_from_json, envelope_to_json, load_envelope, save_envelope, Checkpoint,
+    CheckpointError, Envelope, CHECKPOINT_VERSION, MIN_SUPPORTED_CHECKPOINT_VERSION,
+};
 pub use tensor::Matrix;
-pub use train::{Dataset, Split, TrainConfig, TrainReport, Trainer};
+pub use train::{Dataset, Split, TrainConfig, TrainReport, Trainer, GRAD_SHARD_ROWS};

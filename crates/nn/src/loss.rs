@@ -36,9 +36,27 @@ pub fn mse(pred: &Matrix, target: &Matrix) -> f32 {
 ///
 /// Panics if shapes differ.
 pub fn mse_grad(pred: &Matrix, target: &Matrix) -> Matrix {
+    mse_grad_scaled(pred, target, pred.rows() * pred.cols())
+}
+
+/// Gradient of the squared error summed over this shard and divided by
+/// `total_elems`: `2 (pred - target) / total_elems`.
+///
+/// This is the per-shard building block of the data-parallel trainer: each
+/// row shard of a mini-batch computes its gradient against the *whole*
+/// batch's element count, so the fixed-order sum over shards equals the
+/// full-batch [`mse_grad`] (up to float re-association — which is why the
+/// shard decomposition is fixed and never depends on the thread count).
+/// With `total_elems == pred.rows() * pred.cols()` this is exactly
+/// [`mse_grad`].
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn mse_grad_scaled(pred: &Matrix, target: &Matrix, total_elems: usize) -> Matrix {
     assert_eq!(pred.rows(), target.rows(), "mse shape mismatch");
     assert_eq!(pred.cols(), target.cols(), "mse shape mismatch");
-    let n = (pred.rows() * pred.cols()).max(1) as f32;
+    let n = total_elems.max(1) as f32;
     let mut grad = pred.clone();
     for (g, &t) in grad.as_mut_slice().iter_mut().zip(target.as_slice()) {
         *g = 2.0 * (*g - t) / n;

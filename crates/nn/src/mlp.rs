@@ -77,6 +77,33 @@ impl Gradients {
             }
         }
     }
+
+    /// Sums a list of gradients with a fixed-order pairwise tree reduction:
+    /// level by level, element `2k` absorbs element `2k + 1`.
+    ///
+    /// The reduction order is a pure function of `grads.len()`, never of
+    /// which thread produced which entry — the property that lets the
+    /// data-parallel trainer produce bit-identical weights at any worker
+    /// count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grads` is empty or the shapes mismatch.
+    pub fn tree_reduce(mut grads: Vec<Gradients>) -> Gradients {
+        assert!(!grads.is_empty(), "cannot reduce zero gradients");
+        while grads.len() > 1 {
+            let mut next = Vec::with_capacity(grads.len().div_ceil(2));
+            let mut it = grads.into_iter();
+            while let Some(mut left) = it.next() {
+                if let Some(right) = it.next() {
+                    left.accumulate(&right, 1.0);
+                }
+                next.push(left);
+            }
+            grads = next;
+        }
+        grads.pop().expect("one gradient remains")
+    }
 }
 
 impl Mlp {
@@ -257,6 +284,41 @@ mod tests {
             assert!(dw.norm() < 1e-6);
             assert!(db.iter().all(|&v| v.abs() < 1e-6));
         }
+    }
+
+    #[test]
+    fn tree_reduce_sums_in_fixed_order() {
+        let mlp = Mlp::new(2, &[3], 1, 0);
+        let x = Matrix::from_rows([vec![1.0, -1.0]]);
+        let (_, cache) = mlp.forward_cached(&x);
+        let (_, g) = mlp.backward(&cache, &Matrix::from_rows([vec![1.0]]));
+        // For three entries the tree order is exactly ((a + b) + c).
+        let scaled = |s: f32| {
+            let mut out = Gradients::zeros_like(&mlp);
+            out.accumulate(&g, s);
+            out
+        };
+        let (a, b, c) = (scaled(1.0), scaled(0.25), scaled(-0.5));
+        let mut expected = a.clone();
+        expected.accumulate(&b, 1.0);
+        expected.accumulate(&c, 1.0);
+        let reduced = Gradients::tree_reduce(vec![a.clone(), b.clone(), c.clone()]);
+        for ((rw, rb), (sw, sb)) in reduced.layers.iter().zip(&expected.layers) {
+            assert_eq!(rw.as_slice(), sw.as_slice());
+            assert_eq!(rb, sb);
+        }
+        // The reduction is a pure function of its inputs.
+        let again = Gradients::tree_reduce(vec![a, b, c]);
+        assert_eq!(again.layers[0].0.as_slice(), reduced.layers[0].0.as_slice());
+        // Single-element reduction is the identity.
+        let one = Gradients::tree_reduce(vec![g.clone()]);
+        assert_eq!(one.layers[0].0.as_slice(), g.layers[0].0.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero gradients")]
+    fn tree_reduce_rejects_empty() {
+        let _ = Gradients::tree_reduce(Vec::new());
     }
 
     #[test]

@@ -3,15 +3,33 @@
 //! Mirrors the paper's training protocol (Appendix C/F): 80/10/10 split,
 //! batch size 512, Adam at lr 0.001, a fixed number of epochs, keeping the
 //! checkpoint with the best validation MSE.
+//!
+//! ## Data-parallel gradients
+//!
+//! Each mini-batch is decomposed into fixed-width row shards of
+//! [`GRAD_SHARD_ROWS`]; workers compute per-shard gradients against the
+//! whole batch's element count, a fixed-order tree reduction
+//! ([`crate::Gradients::tree_reduce`]) sums them, and a single Adam step
+//! applies the sum. The shard decomposition and the reduction order are
+//! pure functions of the batch — never of the thread count — so trained
+//! weights are **bit-identical** at any [`TrainConfig::threads`] setting,
+//! including the serial `threads = 1`.
 
+use nshard_pool::WorkPool;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use crate::adam::Adam;
-use crate::loss::{mse, mse_grad};
-use crate::mlp::Mlp;
+use crate::loss::{mse, mse_grad_scaled};
+use crate::mlp::{Gradients, Mlp};
 use crate::tensor::Matrix;
+
+/// Width (in dataset rows) of one gradient shard. A mini-batch of 512 rows
+/// becomes 8 shards. The constant is part of the trainer's numerical
+/// contract: changing it re-associates the gradient sum and therefore
+/// changes trained weights (deterministically so).
+pub const GRAD_SHARD_ROWS: usize = 64;
 
 /// A supervised regression dataset: feature rows `x` and target rows `y`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -137,6 +155,11 @@ pub struct TrainConfig {
     pub batch_size: usize,
     /// Adam learning rate (the paper uses 0.001).
     pub learning_rate: f32,
+    /// Worker threads for per-shard gradient computation; `0` = auto (the
+    /// `NSHARD_THREADS` environment variable, then available parallelism,
+    /// via [`nshard_pool::resolve_threads`]). Trained weights are
+    /// bit-identical at any setting.
+    pub threads: usize,
 }
 
 impl Default for TrainConfig {
@@ -145,6 +168,7 @@ impl Default for TrainConfig {
             epochs: 100,
             batch_size: 512,
             learning_rate: 1e-3,
+            threads: 0,
         }
     }
 }
@@ -206,6 +230,7 @@ impl Trainer {
 
     /// Trains on an explicit split.
     pub fn fit_split(&mut self, mut mlp: Mlp, split: &Split, seed: u64) -> TrainReport {
+        let pool = WorkPool::new(self.config.threads);
         let mut adam = Adam::new(&mlp, self.config.learning_rate);
         let mut rng = StdRng::seed_from_u64(seed ^ 0xA5A5_5A5A);
         let n = split.train.len();
@@ -223,11 +248,7 @@ impl Trainer {
                 order.swap(i, j);
             }
             for chunk in order.chunks(batch) {
-                let xb = split.train.x().select_rows(chunk);
-                let yb = split.train.y().select_rows(chunk);
-                let (pred, cache) = mlp.forward_cached(&xb);
-                let dy = mse_grad(&pred, &yb);
-                let (_, grads) = mlp.backward(&cache, &dy);
+                let grads = batch_gradients(&mlp, &split.train, chunk, &pool);
                 adam.step(&mut mlp, &grads);
             }
             let valid_mse = mse(&mlp.forward(split.valid.x()), split.valid.y());
@@ -253,6 +274,29 @@ impl Trainer {
             valid_history,
         }
     }
+}
+
+/// Computes the gradient of one mini-batch (`chunk` of row indices into
+/// `train`) by fanning fixed-width row shards over `pool` and summing the
+/// per-shard gradients with [`Gradients::tree_reduce`].
+///
+/// Each shard's upstream gradient is scaled by the *whole* batch's element
+/// count ([`mse_grad_scaled`]), so the reduced sum is the mini-batch MSE
+/// gradient. Both the shard boundaries ([`GRAD_SHARD_ROWS`]) and the
+/// reduction order depend only on the batch itself, making the result
+/// bit-identical at any worker count.
+fn batch_gradients(mlp: &Mlp, train: &Dataset, chunk: &[usize], pool: &WorkPool) -> Gradients {
+    let total_elems = chunk.len() * train.y().cols();
+    let shards: Vec<&[usize]> = chunk.chunks(GRAD_SHARD_ROWS).collect();
+    let per_shard = pool.map(&shards, |shard| {
+        let xb = train.x().select_rows(shard);
+        let yb = train.y().select_rows(shard);
+        let (pred, cache) = mlp.forward_cached(&xb);
+        let dy = mse_grad_scaled(&pred, &yb, total_elems);
+        let (_, grads) = mlp.backward(&cache, &dy);
+        grads
+    });
+    Gradients::tree_reduce(per_shard)
 }
 
 #[cfg(test)]
@@ -290,6 +334,7 @@ mod tests {
             epochs: 150,
             batch_size: 32,
             learning_rate: 3e-3,
+            ..TrainConfig::default()
         });
         let report = trainer.fit(Mlp::new(2, &[16], 1, 0), &d, 7);
         assert!(report.test_mse < 0.02, "test MSE {}", report.test_mse);
@@ -304,6 +349,7 @@ mod tests {
             epochs: 50,
             batch_size: 32,
             learning_rate: 3e-3,
+            ..TrainConfig::default()
         });
         let report = trainer.fit(Mlp::new(2, &[8], 1, 1), &d, 3);
         let first = report.valid_history[0];
@@ -347,9 +393,128 @@ mod tests {
             epochs: 10,
             batch_size: 16,
             learning_rate: 1e-3,
+            ..TrainConfig::default()
         };
         let r1 = Trainer::new(cfg).fit(Mlp::new(2, &[8], 1, 2), &d, 5);
         let r2 = Trainer::new(cfg).fit(Mlp::new(2, &[8], 1, 2), &d, 5);
         assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn fit_is_bit_identical_across_thread_counts() {
+        // Batch of 256 rows = 4 shards of GRAD_SHARD_ROWS, so the parallel
+        // path genuinely fans out and must still match the serial run.
+        let d = linear_dataset(320);
+        let base = TrainConfig {
+            epochs: 8,
+            batch_size: 256,
+            learning_rate: 1e-3,
+            threads: 1,
+        };
+        let serial = Trainer::new(base).fit(Mlp::new(2, &[16], 1, 9), &d, 11);
+        let serial_model = {
+            let mut t = Trainer::new(base);
+            t.fit(Mlp::new(2, &[16], 1, 9), &d, 11);
+            t.into_best_model().unwrap()
+        };
+        for threads in [2, 3, 8] {
+            let mut t = Trainer::new(TrainConfig { threads, ..base });
+            let report = t.fit(Mlp::new(2, &[16], 1, 9), &d, 11);
+            assert_eq!(report, serial, "report diverged at {threads} threads");
+            assert_eq!(
+                t.into_best_model().unwrap(),
+                serial_model,
+                "weights diverged at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn trainer_overfits_tiny_dataset() {
+        // Convergence smoke: 32 samples, capacity to memorize them, and
+        // enough epochs must drive the training MSE to ~zero.
+        let d = linear_dataset(32);
+        let split = Split {
+            train: d.clone(),
+            valid: d.clone(),
+            test: d.clone(),
+        };
+        let mut trainer = Trainer::new(TrainConfig {
+            epochs: 800,
+            batch_size: 32,
+            learning_rate: 5e-3,
+            ..TrainConfig::default()
+        });
+        let report = trainer.fit_split(Mlp::new(2, &[32], 1, 0), &split, 13);
+        assert!(
+            report.train_mse < 1e-4,
+            "failed to overfit 32 samples: train MSE {}",
+            report.train_mse
+        );
+    }
+
+    #[test]
+    fn best_checkpoint_is_min_of_validation_history() {
+        let d = linear_dataset(200);
+        let mut trainer = Trainer::new(TrainConfig {
+            epochs: 60,
+            batch_size: 32,
+            learning_rate: 3e-3,
+            ..TrainConfig::default()
+        });
+        let report = trainer.fit(Mlp::new(2, &[8], 1, 4), &d, 21);
+        let min = report
+            .valid_history
+            .iter()
+            .copied()
+            .fold(f32::INFINITY, f32::min);
+        assert_eq!(
+            report.valid_mse, min,
+            "best-on-validation checkpoint must track the history minimum"
+        );
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn split_with_ratios_partitions_any_dataset(
+            n in 1usize..200,
+            train in 0.0f64..1.0,
+            valid in 0.0f64..1.0,
+            seed in 0u64..1000,
+        ) {
+            let d = linear_dataset(n);
+            let s = d.split_with_ratios(train, valid, seed);
+            // Exhaustive: every sample lands in exactly one part.
+            proptest::prop_assert_eq!(s.train.len() + s.valid.len() + s.test.len(), n);
+            // Disjoint: recombining the parts recovers the multiset of rows.
+            let mut rows: Vec<Vec<u32>> = Vec::with_capacity(n);
+            for part in [&s.train, &s.valid, &s.test] {
+                for r in 0..part.len() {
+                    let xr = part.x().row(r);
+                    let yr = part.y().row(r);
+                    rows.push(
+                        xr.iter().chain(yr.iter()).map(|v| v.to_bits()).collect(),
+                    );
+                }
+            }
+            rows.sort_unstable();
+            let mut expected: Vec<Vec<u32>> = (0..n)
+                .map(|r| {
+                    d.x().row(r)
+                        .iter()
+                        .chain(d.y().row(r).iter())
+                        .map(|v| v.to_bits())
+                        .collect()
+                })
+                .collect();
+            expected.sort_unstable();
+            proptest::prop_assert_eq!(rows, expected);
+            // Non-degenerate parts whenever the dataset can afford them.
+            if n >= 3 {
+                proptest::prop_assert!(!s.train.is_empty());
+                proptest::prop_assert!(!s.valid.is_empty());
+                proptest::prop_assert!(!s.test.is_empty());
+            }
+        }
     }
 }

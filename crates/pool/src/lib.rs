@@ -1,0 +1,238 @@
+//! # nshard-pool — the workspace's scoped-thread work pool
+//!
+//! All external dependencies are vendored offline stand-ins, so there is no
+//! rayon here — just [`std::thread::scope`] and an atomic work counter.
+//! The pool's one operation, [`WorkPool::map`], evaluates a function over a
+//! slice and returns the results **in input order**, regardless of which
+//! worker ran which item or in what order they finished. Callers build
+//! their work list serially, map over it, and fold the results in input
+//! order — which is what makes every parallel pipeline in the workspace
+//! (the search, the micro-benchmark collectors, the trainer) bit-for-bit
+//! identical to its serial counterpart at any thread count.
+//!
+//! This crate sits at the bottom of the dependency graph so both halves of
+//! the paper's *pre-train, and search* pipeline share one pool: `nshard-nn`
+//! and `nshard-cost` parallelize training and label collection with it,
+//! `nshard-core` (which re-exports it as `nshard_core::pool`) parallelizes
+//! the plan search, and `nshard-serve` sizes its request worker pool
+//! through [`resolve_threads`].
+//!
+//! [`splitmix64`] / [`sample_seed`] live here too: deterministic fan-out
+//! needs per-item seeds that are a pure function of `(seed, index)`, so a
+//! dataset or gradient computed by worker 7 is the same one the serial
+//! loop would have produced.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// SplitMix64: a tiny, high-quality 64-bit mixer (public-domain constants).
+///
+/// Used wherever the workspace needs an independent RNG stream per work
+/// item: mixing `(seed, index)` through SplitMix64 gives every item its own
+/// seed with no sequential RNG state shared across items, so results do not
+/// depend on which worker processes which item.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives the seed for work item `index` of a run seeded with `seed`:
+/// `splitmix64(splitmix64(seed) ^ index)`. The double mix keeps related
+/// run seeds (e.g. `seed` and `seed + 1`) from producing overlapping
+/// per-item streams.
+pub fn sample_seed(seed: u64, index: u64) -> u64 {
+    splitmix64(splitmix64(seed) ^ index)
+}
+
+/// Environment variable overriding the worker count (`0` or unparsable
+/// values fall back to the available parallelism).
+///
+/// This is the **single** thread-count knob of the workspace: every
+/// component that spawns workers — the parallel search, the repair engine,
+/// the online controller, and the `nshard-serve` daemon's request worker
+/// pool — resolves its count through [`resolve_threads`], so one
+/// environment variable governs them all and no crate re-reads the
+/// variable on its own.
+pub const THREADS_ENV: &str = "NSHARD_THREADS";
+
+/// Resolves a requested worker count: an explicit nonzero request wins,
+/// then a nonzero [`THREADS_ENV`], then the machine's available
+/// parallelism.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    if let Ok(v) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// An order-preserving scoped-thread work pool.
+///
+/// # Example
+///
+/// ```
+/// use nshard_pool::WorkPool;
+///
+/// let pool = WorkPool::new(4);
+/// let squares = pool.map(&[1, 2, 3, 4, 5], |&x: &i32| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16, 25]);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct WorkPool {
+    threads: usize,
+}
+
+impl WorkPool {
+    /// A pool with the given worker count; `0` means auto (environment
+    /// override, then available parallelism) via [`resolve_threads`].
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: resolve_threads(threads),
+        }
+    }
+
+    /// A single-worker pool that never spawns threads — used for nested
+    /// work (e.g. the inner grid search inside an already-parallel beam
+    /// level) to avoid oversubscription.
+    pub fn serial() -> Self {
+        Self { threads: 1 }
+    }
+
+    /// The resolved worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Applies `f` to every item and returns the results in input order.
+    ///
+    /// Work is claimed from a shared atomic counter, so threads stay busy
+    /// even when item costs are skewed. With one worker (or one item) no
+    /// thread is spawned. A panic in `f` propagates to the caller.
+    pub fn map<T, O, F>(&self, items: &[T], f: F) -> Vec<O>
+    where
+        T: Sync,
+        O: Send,
+        F: Fn(&T) -> O + Sync,
+    {
+        let workers = self.threads.min(items.len());
+        if workers <= 1 {
+            return items.iter().map(f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let mut collected: Vec<(usize, O)> = Vec::with_capacity(items.len());
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                let next = &next;
+                let f = &f;
+                handles.push(scope.spawn(move || {
+                    let mut local: Vec<(usize, O)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(&items[i])));
+                    }
+                    local
+                }));
+            }
+            for h in handles {
+                collected.extend(h.join().expect("worker panicked"));
+            }
+        });
+        collected.sort_by_key(|(i, _)| *i);
+        collected.into_iter().map(|(_, o)| o).collect()
+    }
+}
+
+impl Default for WorkPool {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_order_at_any_thread_count() {
+        let items: Vec<usize> = (0..100).collect();
+        let expected: Vec<usize> = items.iter().map(|x| x * 3).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let pool = WorkPool::new(threads);
+            assert_eq!(pool.map(&items, |&x: &usize| x * 3), expected);
+        }
+    }
+
+    #[test]
+    fn map_handles_empty_and_single() {
+        let pool = WorkPool::new(8);
+        assert_eq!(
+            pool.map::<usize, usize, _>(&[], |&x| x),
+            Vec::<usize>::new()
+        );
+        assert_eq!(pool.map(&[7], |&x: &usize| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn serial_pool_has_one_thread() {
+        assert_eq!(WorkPool::serial().threads(), 1);
+    }
+
+    #[test]
+    fn explicit_request_wins() {
+        assert_eq!(WorkPool::new(5).threads(), 5);
+        assert_eq!(resolve_threads(3), 3);
+    }
+
+    #[test]
+    fn auto_resolution_is_nonzero() {
+        assert!(resolve_threads(0) >= 1);
+    }
+
+    #[test]
+    fn skewed_work_still_lands_in_order() {
+        // Early items sleep longest, so out-of-order completion is likely.
+        let items: Vec<u64> = (0..16).collect();
+        let pool = WorkPool::new(8);
+        let out = pool.map(&items, |&x: &u64| {
+            std::thread::sleep(std::time::Duration::from_millis(16 - x));
+            x
+        });
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn sample_seeds_are_distinct_and_deterministic() {
+        assert_eq!(sample_seed(1, 2), sample_seed(1, 2));
+        let mut seen: Vec<u64> = (0..1000).map(|i| sample_seed(42, i)).collect();
+        // Adjacent run seeds must not collide with each other's streams.
+        seen.extend((0..1000).map(|i| sample_seed(43, i)));
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 2000, "per-item seeds collided");
+    }
+
+    #[test]
+    fn splitmix_matches_reference_values() {
+        // Reference values from the public-domain splitmix64 test vector
+        // property: mixing 0 twice gives two distinct well-mixed words.
+        let a = splitmix64(0);
+        let b = splitmix64(a);
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+    }
+}

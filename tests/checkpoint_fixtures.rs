@@ -1,0 +1,157 @@
+//! Golden-fixture tests for the checkpoint envelope format.
+//!
+//! The JSON documents under `tests/fixtures/` are committed artifacts: they
+//! pin the exact bytes the serializer produces (v2, the current format) and
+//! the exact bytes a pre-upgrade binary wrote (v1, which predates the
+//! `created_by` header field). Loading them must keep working — and keep
+//! producing identical results — across refactors of `nshard-nn`'s
+//! serialization layer, so any change to the wire format shows up as a
+//! fixture diff instead of a silent compatibility break.
+//!
+//! To regenerate after an *intentional* format change:
+//!
+//! ```text
+//! NSHARD_WRITE_FIXTURES=1 cargo test --test checkpoint_fixtures
+//! ```
+//!
+//! then commit the updated files (and bump `CHECKPOINT_VERSION` /
+//! migration logic as the change demands).
+
+use std::path::PathBuf;
+
+use neuroshard::nn::{
+    envelope_from_json, envelope_to_json, Checkpoint, Envelope, Matrix, Mlp, CHECKPOINT_VERSION,
+};
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn read_fixture(name: &str) -> String {
+    let path = fixture_path(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing committed fixture {}: {e}", path.display()))
+}
+
+/// Writes `content` to the fixture when `NSHARD_WRITE_FIXTURES=1` and
+/// returns whether the test should skip its assertions (regeneration mode).
+fn maybe_write(name: &str, content: &str) -> bool {
+    if std::env::var("NSHARD_WRITE_FIXTURES").as_deref() == Ok("1") {
+        std::fs::write(fixture_path(name), content).expect("fixture write");
+        return true;
+    }
+    false
+}
+
+/// The deterministic model every checkpoint fixture wraps.
+fn fixture_mlp() -> Mlp {
+    Mlp::new(3, &[8, 4], 1, 0xF1C5)
+}
+
+/// The current-format checkpoint whose serialization is pinned.
+fn v2_checkpoint() -> Checkpoint {
+    Checkpoint::new("compute_cost", fixture_mlp()).with_created_by("fixture_writer")
+}
+
+/// The v1-shaped document: version header 1, no `created_by` field —
+/// exactly what a pre-upgrade binary wrote to disk.
+fn v1_json() -> String {
+    let json = v2_checkpoint()
+        .to_json()
+        .replacen(
+            &format!("\"version\":{CHECKPOINT_VERSION}"),
+            "\"version\":1",
+            1,
+        )
+        .replace(",\"created_by\":\"fixture_writer\"", "");
+    assert!(!json.contains("created_by"), "fixture must be v1-shaped");
+    json
+}
+
+const ENVELOPE_PAYLOAD: [f64; 4] = [1.5, -2.25, 0.0, 1e-3];
+
+#[test]
+fn v2_checkpoint_fixture_is_byte_exact() {
+    let json = v2_checkpoint().to_json();
+    if maybe_write("checkpoint_v2.json", &json) {
+        return;
+    }
+    let committed = read_fixture("checkpoint_v2.json");
+    assert_eq!(
+        json, committed,
+        "serializer output drifted from the committed v2 fixture; if the \
+         format change is intentional, regenerate with NSHARD_WRITE_FIXTURES=1"
+    );
+    // And the committed bytes load back to exactly the original checkpoint.
+    let loaded = Checkpoint::from_json(&committed).expect("v2 fixture loads");
+    assert_eq!(loaded, v2_checkpoint());
+}
+
+#[test]
+fn v1_checkpoint_fixture_migrates_forward() {
+    let json = v1_json();
+    if maybe_write("checkpoint_v1.json", &json) {
+        return;
+    }
+    let committed = read_fixture("checkpoint_v1.json");
+    assert_eq!(json, committed, "v1 fixture generator drifted");
+
+    let loaded = Checkpoint::from_json(&committed).expect("v1 fixture loads");
+    // Migration output, field by field: current version, defaulted
+    // `created_by`, untouched name and weights.
+    let expected = Checkpoint::new("compute_cost", fixture_mlp());
+    assert_eq!(loaded, expected);
+    assert_eq!(loaded.version, CHECKPOINT_VERSION);
+    assert_eq!(loaded.created_by, "");
+    // The migrated model predicts bit-identically to the fixture's source.
+    let x = Matrix::from_rows([vec![0.25, -1.0, 3.5]]);
+    assert_eq!(loaded.model.forward(&x), fixture_mlp().forward(&x));
+    // Re-serializing the migrated checkpoint is byte-exact too: migration
+    // is deterministic, not best-effort.
+    assert_eq!(loaded.to_json(), expected.to_json());
+}
+
+#[test]
+fn v2_envelope_fixture_is_byte_exact() {
+    let json = envelope_to_json(
+        "bench_payload",
+        "fixture_writer",
+        &ENVELOPE_PAYLOAD.to_vec(),
+    );
+    if maybe_write("envelope_v2.json", &json) {
+        return;
+    }
+    let committed = read_fixture("envelope_v2.json");
+    assert_eq!(json, committed, "envelope serializer drifted");
+    let env: Envelope<Vec<f64>> = envelope_from_json(&committed).expect("v2 envelope loads");
+    assert_eq!(env.version, CHECKPOINT_VERSION);
+    assert_eq!(env.name, "bench_payload");
+    assert_eq!(env.created_by, "fixture_writer");
+    assert_eq!(env.payload, ENVELOPE_PAYLOAD.to_vec());
+}
+
+#[test]
+fn v1_envelope_fixture_migrates_forward() {
+    let json = envelope_to_json(
+        "bench_payload",
+        "fixture_writer",
+        &ENVELOPE_PAYLOAD.to_vec(),
+    )
+    .replacen(
+        &format!("\"version\":{CHECKPOINT_VERSION}"),
+        "\"version\":1",
+        1,
+    )
+    .replace(",\"created_by\":\"fixture_writer\"", "");
+    if maybe_write("envelope_v1.json", &json) {
+        return;
+    }
+    let committed = read_fixture("envelope_v1.json");
+    assert_eq!(json, committed, "v1 envelope fixture generator drifted");
+    let env: Envelope<Vec<f64>> = envelope_from_json(&committed).expect("v1 envelope loads");
+    assert_eq!(env.version, 1, "reports the version it was written with");
+    assert_eq!(env.created_by, "", "defaulted by migration");
+    assert_eq!(env.payload, ENVELOPE_PAYLOAD.to_vec());
+}

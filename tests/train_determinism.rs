@@ -1,0 +1,172 @@
+//! Determinism of the parallel pre-training pipeline: collected datasets,
+//! trained weights, and training reports must be bit-identical at any
+//! worker-thread count.
+//!
+//! Collection owes this to per-sample seeding (`sample_seed(seed, i)` gives
+//! every sample its own RNG, so results do not depend on which worker ran
+//! it), and training owes it to the fixed shard decomposition plus the
+//! fixed-order tree reduction of per-shard gradients. This suite sweeps
+//! explicit thread counts {1, 2, 8}; CI additionally runs it under
+//! `NSHARD_THREADS=8` so the `threads: 0` (auto) paths resolve to an
+//! oversubscribed worker count.
+
+use neuroshard::cost::{
+    collect_comm_data, collect_compute_data, CollectConfig, CommCostModel, ComputeCostModel,
+    CostModelBundle, TrainSettings,
+};
+use neuroshard::data::TablePool;
+use neuroshard::nn::{Mlp, TrainConfig, Trainer, GRAD_SHARD_ROWS};
+use neuroshard::sim::{CommParams, KernelParams};
+
+const THREAD_SWEEP: [usize; 3] = [1, 2, 8];
+
+fn pool() -> TablePool {
+    TablePool::synthetic_dlrm(60, 0xD17E)
+}
+
+fn collect_config(threads: usize) -> CollectConfig {
+    CollectConfig {
+        compute_samples: 200,
+        comm_samples: 200,
+        threads,
+        ..CollectConfig::smoke()
+    }
+}
+
+#[test]
+fn collectors_are_bit_identical_across_thread_counts() {
+    let pool = pool();
+    let kernel = KernelParams::rtx_2080_ti();
+    let comm = CommParams::pcie_server();
+
+    let compute_ref = collect_compute_data(&pool, &kernel, &collect_config(1), 7);
+    let comm_ref = collect_comm_data(&pool, &comm, 4, &collect_config(1), 9);
+    for threads in THREAD_SWEEP {
+        let cfg = collect_config(threads);
+        assert_eq!(
+            collect_compute_data(&pool, &kernel, &cfg, 7),
+            compute_ref,
+            "compute dataset diverged at {threads} threads"
+        );
+        let comm_data = collect_comm_data(&pool, &comm, 4, &cfg, 9);
+        assert_eq!(
+            comm_data.forward, comm_ref.forward,
+            "forward comm dataset diverged at {threads} threads"
+        );
+        assert_eq!(
+            comm_data.backward, comm_ref.backward,
+            "backward comm dataset diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn trainer_is_bit_identical_across_thread_counts() {
+    // 200 training rows at batch 160 = shards of 64/64/32 per batch: the
+    // sharded gradient path genuinely fans out.
+    let xs: Vec<Vec<f32>> = (0..250)
+        .map(|i| vec![(i % 23) as f32 / 23.0, (i % 7) as f32 / 7.0])
+        .collect();
+    let ys: Vec<Vec<f32>> = xs.iter().map(|r| vec![2.0 * r[0] - r[1] + 0.25]).collect();
+    let data = neuroshard::nn::Dataset::new(
+        neuroshard::nn::Matrix::from_rows(&xs),
+        neuroshard::nn::Matrix::from_rows(&ys),
+    )
+    .unwrap();
+    assert!(data.len() > 2 * GRAD_SHARD_ROWS, "batches must multi-shard");
+
+    let config = |threads: usize| TrainConfig {
+        epochs: 12,
+        batch_size: 160,
+        learning_rate: 1e-3,
+        threads,
+    };
+    let mut reference = Trainer::new(config(1));
+    let report_ref = reference.fit(Mlp::new(2, &[16, 8], 1, 3), &data, 17);
+    let model_ref = reference.into_best_model().unwrap();
+
+    for threads in THREAD_SWEEP {
+        let mut trainer = Trainer::new(config(threads));
+        let report = trainer.fit(Mlp::new(2, &[16, 8], 1, 3), &data, 17);
+        assert_eq!(
+            report, report_ref,
+            "train report diverged at {threads} threads"
+        );
+        assert_eq!(
+            trainer.into_best_model().unwrap(),
+            model_ref,
+            "trained weights diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn cost_model_training_is_bit_identical_across_thread_counts() {
+    let pool = pool();
+    let compute_data =
+        collect_compute_data(&pool, &KernelParams::rtx_2080_ti(), &collect_config(0), 21);
+    let comm_data = collect_comm_data(&pool, &CommParams::pcie_server(), 4, &collect_config(0), 23);
+
+    let settings = |threads: usize| TrainSettings {
+        epochs: 4,
+        batch_size: 128,
+        learning_rate: 1e-3,
+        threads,
+    };
+    let mut compute_ref = ComputeCostModel::new(5);
+    let compute_report_ref = compute_ref.train(&compute_data, &settings(1), 31);
+    let mut comm_ref = CommCostModel::new(4, 6);
+    let comm_report_ref = comm_ref.train(&comm_data.forward, &settings(1), 33);
+
+    for threads in THREAD_SWEEP {
+        let mut compute = ComputeCostModel::new(5);
+        let report = compute.train(&compute_data, &settings(threads), 31);
+        assert_eq!(
+            report, compute_report_ref,
+            "compute train report diverged at {threads} threads"
+        );
+        assert_eq!(
+            compute, compute_ref,
+            "compute model weights diverged at {threads} threads"
+        );
+
+        let mut comm = CommCostModel::new(4, 6);
+        let report = comm.train(&comm_data.forward, &settings(threads), 33);
+        assert_eq!(
+            report, comm_report_ref,
+            "comm train report diverged at {threads} threads"
+        );
+        assert_eq!(
+            comm, comm_ref,
+            "comm model weights diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn pretrained_bundle_is_bit_identical_across_thread_counts() {
+    // End to end: collect + train all three models through the public
+    // pre-training entry point, sweeping the thread knob on both stages.
+    let pool = pool();
+    let bundle = |threads: usize| {
+        CostModelBundle::pretrain(
+            &pool,
+            2,
+            &collect_config(threads),
+            &TrainSettings {
+                epochs: 3,
+                threads,
+                ..TrainSettings::smoke()
+            },
+            41,
+        )
+    };
+    let reference = bundle(1);
+    for threads in THREAD_SWEEP {
+        assert_eq!(
+            bundle(threads),
+            reference,
+            "pre-trained bundle diverged at {threads} threads"
+        );
+    }
+}
