@@ -1,0 +1,98 @@
+//! Criterion benchmarks of the replicated control plane's hot paths:
+//! leader-side conditional upserts, follower-side sequence-gated apply
+//! (in-order and fully reversed delivery), and snapshot restore — the
+//! costs that bound a serve tier's replication throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use nshard_serve::{LogFetch, MatchSeq, PlanKv};
+
+/// A leader KV pre-filled with `n` plan-sized values, plus its op log.
+fn filled(n: usize) -> (PlanKv, Vec<nshard_serve::LogOp>) {
+    let kv = PlanKv::new(n.max(1));
+    let value = "x".repeat(512); // a small stored-plan record
+    for i in 0..n {
+        kv.upsert(&format!("plans/{i:06}"), value.clone(), MatchSeq::Any)
+            .unwrap();
+    }
+    let LogFetch::Ops(ops) = kv.log_since(0) else {
+        panic!("log retained")
+    };
+    (kv, ops)
+}
+
+fn bench_upsert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replication/upsert");
+    group.sample_size(10);
+    for n in [64usize, 512] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let kv = PlanKv::new(n);
+                let value = "x".repeat(512);
+                for i in 0..n {
+                    kv.upsert(
+                        black_box(&format!("plans/{i:06}")),
+                        value.clone(),
+                        MatchSeq::Exact(0),
+                    )
+                    .unwrap();
+                }
+                kv.applied_seq()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_apply(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replication/apply");
+    group.sample_size(10);
+    for n in [64usize, 512] {
+        let (_leader, ops) = filled(n);
+        // In-order delivery: every op applies immediately.
+        group.bench_with_input(BenchmarkId::new("in_order", n), &ops, |b, ops| {
+            b.iter(|| {
+                let replica = PlanKv::new(ops.len());
+                for op in ops {
+                    black_box(replica.apply(op.clone()));
+                }
+                replica.applied_seq()
+            });
+        });
+        // Fully reversed delivery: worst-case buffering, one drain.
+        group.bench_with_input(BenchmarkId::new("reversed", n), &ops, |b, ops| {
+            b.iter(|| {
+                let replica = PlanKv::new(ops.len());
+                for op in ops.iter().rev() {
+                    black_box(replica.apply(op.clone()));
+                }
+                replica.applied_seq()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replication/snapshot");
+    group.sample_size(10);
+    for n in [64usize, 512] {
+        let (leader, _) = filled(n);
+        let snapshot = leader.snapshot();
+        group.bench_with_input(BenchmarkId::new("restore", n), &snapshot, |b, snapshot| {
+            b.iter(|| {
+                let replica = PlanKv::new(n);
+                replica.restore(black_box(snapshot));
+                replica.applied_seq()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("digest", n), &leader, |b, leader| {
+            b.iter(|| black_box(leader.digest()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_upsert, bench_apply, bench_snapshot);
+criterion_main!(benches);

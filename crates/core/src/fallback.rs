@@ -50,10 +50,12 @@ impl Default for RetryPolicy {
 }
 
 impl RetryPolicy {
-    /// The recorded backoff before retry `attempt` (1-based), in ms.
+    /// The recorded backoff before retry `attempt` (1-based), in ms —
+    /// the plain exponential schedule of the shared
+    /// [`nshard_pool::Backoff`] helper (the same helper whose jittered
+    /// mode paces replication reconnects in `nshard-serve`).
     pub fn backoff_ms(&self, attempt: u32) -> u64 {
-        self.base_backoff_ms
-            .saturating_mul(1u64 << (attempt.saturating_sub(1)).min(16))
+        nshard_pool::Backoff::exponential(self.base_backoff_ms).delay_ms(attempt)
     }
 }
 
@@ -155,6 +157,30 @@ pub struct ReplanAttribution {
     pub epoch: u64,
 }
 
+/// Which replica produced a plan *after a control-plane failover* — set by
+/// a serving daemon that promoted itself from follower to leader when the
+/// incumbent leader died, `None` for plans produced under the original
+/// leader (or outside a replicated deployment entirely).
+///
+/// The attribution makes degraded-mode planning auditable the same way
+/// [`ReplanAttribution`] makes drift-triggered replans auditable: any plan
+/// minted while the control plane was recovering names the surviving node
+/// and the replicated sequence number it had caught up to at promotion, so
+/// an operator can tell exactly which writes the plan could (and could
+/// not) have seen.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FailoverAttribution {
+    /// Identity of the replica that promoted itself and produced the plan.
+    pub node: String,
+    /// The replicated sequence number the promoted replica had applied at
+    /// promotion time — the horizon of writes this plan could observe.
+    pub at_seq: u64,
+    /// `true` when the promoted replica knew it was still behind the dead
+    /// leader's last advertised sequence (stale-read mode): the plan may
+    /// have been produced from an incomplete store.
+    pub stale: bool,
+}
+
 /// The full decision record of one [`FallbackChain::shard_with_provenance`]
 /// call.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -170,6 +196,9 @@ pub struct PlanProvenance {
     /// Drift attribution when this plan replaced an incumbent in response
     /// to a workload-drift trigger; `None` for one-shot plans.
     pub replan: Option<ReplanAttribution>,
+    /// Failover attribution when this plan was produced by a replica that
+    /// promoted itself after the leader died; `None` otherwise.
+    pub failover: Option<FailoverAttribution>,
 }
 
 impl PlanProvenance {
@@ -186,6 +215,25 @@ impl PlanProvenance {
         self.replan = Some(ReplanAttribution {
             trigger_kind: trigger_kind.into(),
             epoch,
+        });
+        self
+    }
+
+    /// Attributes this plan to a post-failover promoted replica
+    /// (builder-style) — used by the serving control plane so every plan
+    /// minted while a follower-turned-leader was recovering records who
+    /// produced it and how caught-up that replica was.
+    #[must_use]
+    pub fn attributed_to_failover(
+        mut self,
+        node: impl Into<String>,
+        at_seq: u64,
+        stale: bool,
+    ) -> Self {
+        self.failover = Some(FailoverAttribution {
+            node: node.into(),
+            at_seq,
+            stale,
         });
         self
     }
@@ -519,6 +567,7 @@ impl Trail {
             total_retries: self.total_retries,
             total_backoff_ms: self.total_backoff_ms,
             replan: None,
+            failover: None,
         }
     }
 }
@@ -815,6 +864,38 @@ mod tests {
         );
         // Attribution does not change degradation status.
         assert_eq!(attributed.is_degraded(), outcome.provenance.is_degraded());
+    }
+
+    #[test]
+    fn failover_attribution_is_recordable() {
+        let chain = FallbackChain::new(Box::new(RoundRobin));
+        let outcome = chain.shard_with_provenance(&small_task()).unwrap();
+        assert_eq!(outcome.provenance.failover, None);
+        let attributed = outcome
+            .provenance
+            .clone()
+            .attributed_to_failover("node-1", 42, true);
+        assert_eq!(
+            attributed.failover,
+            Some(FailoverAttribution {
+                node: "node-1".into(),
+                at_seq: 42,
+                stale: true,
+            })
+        );
+        assert_eq!(attributed.is_degraded(), outcome.provenance.is_degraded());
+    }
+
+    #[test]
+    fn retry_backoff_uses_the_shared_helper() {
+        let policy = RetryPolicy {
+            max_retries: 3,
+            base_backoff_ms: 10,
+        };
+        let helper = nshard_pool::Backoff::exponential(10);
+        for attempt in 1..20 {
+            assert_eq!(policy.backoff_ms(attempt), helper.delay_ms(attempt));
+        }
     }
 
     #[test]

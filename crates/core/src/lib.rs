@@ -60,8 +60,8 @@ pub mod repair;
 pub use beam::{BeamSearch, BeamSearchResult, SearchPhaseStats};
 pub use eval::{evaluate_plan, evaluate_plan_exact};
 pub use fallback::{
-    size_balanced_plan, FallbackChain, PlanProvenance, PlanSource, ProvenanceEvent,
-    ReplanAttribution, ResilientError, ResilientOutcome, RetryPolicy,
+    size_balanced_plan, FailoverAttribution, FallbackChain, PlanProvenance, PlanSource,
+    ProvenanceEvent, ReplanAttribution, ResilientError, ResilientOutcome, RetryPolicy,
 };
 pub use greedy_grid::{GreedyGridSearch, GridSearchResult};
 pub use neuroshard::{NeuroShard, NeuroShardConfig, ShardOutcome};

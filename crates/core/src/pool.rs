@@ -5,4 +5,4 @@
 //! same pool without a dependency cycle; this module re-exports it under
 //! the historical `nshard_core::pool` path.
 
-pub use nshard_pool::{resolve_threads, sample_seed, splitmix64, WorkPool, THREADS_ENV};
+pub use nshard_pool::{resolve_threads, sample_seed, splitmix64, Backoff, WorkPool, THREADS_ENV};

@@ -411,6 +411,7 @@ impl OnlineController {
                     total_retries: 0,
                     total_backoff_ms: 0,
                     replan: None,
+                    failover: None,
                 }
                 .attributed_to_replan(trigger_kind, epoch);
                 Ok((

@@ -162,6 +162,7 @@ impl PlanningEngine {
                     total_retries: 0,
                     total_backoff_ms: 0,
                     replan: None,
+                    failover: None,
                 };
                 let migration = out.delta.migration_bytes;
                 let evaluated = out.evaluated_plans;

@@ -120,6 +120,9 @@ pub struct HttpResponse {
     pub body: Vec<u8>,
     /// Optional `Retry-After` seconds (load-shedding responses).
     pub retry_after_s: Option<u32>,
+    /// Extra response headers (e.g. `X-Nshard-Stale` on degraded-mode
+    /// reads after a failover).
+    pub headers: Vec<(String, String)>,
 }
 
 impl HttpResponse {
@@ -130,6 +133,7 @@ impl HttpResponse {
             content_type: "application/json",
             body: body.into_bytes(),
             retry_after_s: None,
+            headers: Vec::new(),
         }
     }
 
@@ -140,6 +144,7 @@ impl HttpResponse {
             content_type: "text/plain; version=0.0.4",
             body: body.into_bytes(),
             retry_after_s: None,
+            headers: Vec::new(),
         }
     }
 
@@ -147,6 +152,13 @@ impl HttpResponse {
     #[must_use]
     pub fn with_retry_after(mut self, seconds: u32) -> Self {
         self.retry_after_s = Some(seconds);
+        self
+    }
+
+    /// Attaches an extra response header (builder-style).
+    #[must_use]
+    pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.headers.push((name.into(), value.into()));
         self
     }
 
@@ -182,6 +194,9 @@ impl HttpResponse {
         )?;
         if let Some(seconds) = self.retry_after_s {
             write!(out, "Retry-After: {seconds}\r\n")?;
+        }
+        for (name, value) in &self.headers {
+            write!(out, "{name}: {value}\r\n")?;
         }
         out.write_all(b"\r\n")?;
         out.write_all(&self.body)?;
@@ -268,6 +283,16 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
         assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn extra_headers_are_emitted() {
+        let resp = HttpResponse::json(200, "{}".into()).with_header("X-Nshard-Stale", "true");
+        let mut out = Vec::new();
+        resp.write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("X-Nshard-Stale: true\r\n"));
         assert!(text.ends_with("\r\n\r\n{}"));
     }
 

@@ -1,0 +1,558 @@
+//! The sequenced plan KV — the replication substrate of the control plane.
+//!
+//! [`PlanKv`] is a typed key/value layer over the daemon's stores in which
+//! **every mutation carries a monotonic sequence number**. Writers express
+//! their expectation with a [`MatchSeq`] condition (the classic
+//! conditional-upsert discipline of metadata stores): `Exact(0)` means
+//! "create only", `Exact(n)` means "replace exactly revision *n*", `GE(n)`
+//! means "replace any revision at least *n*", `Any` is unconditional. A
+//! failed condition is a typed [`KvError::SeqConflict`], never a silent
+//! overwrite — which makes *retrying* an upsert idempotent: the retry that
+//! lost the race conflicts instead of double-writing.
+//!
+//! Mutations append to a bounded **op log** ([`LogOp`]) that followers
+//! tail. The follower side ([`PlanKv::apply`]) accepts ops in any order,
+//! any number of times: ops at or below the applied sequence are
+//! duplicates and ignored, the next-expected op applies immediately (plus
+//! everything contiguous buffered behind it), and future ops are buffered.
+//! Because application is gated on *exact sequence continuity*, two
+//! replicas fed the same set of ops — shuffled, duplicated, re-sent —
+//! converge to **byte-identical** stores ([`PlanKv::dump`] /
+//! [`PlanKv::digest`] make that checkable). A replica whose lag exceeds
+//! the leader's retained log window catches up from a full
+//! [`KvSnapshot`] instead ([`LogFetch::NeedSnapshot`]).
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+use crate::store::fnv64;
+
+/// The sequence condition of a conditional upsert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatchSeq {
+    /// Upsert unconditionally.
+    Any,
+    /// The key must currently be at exactly this sequence (`0` = absent,
+    /// so `Exact(0)` is *create-only*).
+    Exact(u64),
+    /// The key's current sequence must be at least this (`GE(1)` =
+    /// "must exist").
+    GE(u64),
+}
+
+impl MatchSeq {
+    /// Whether a key currently at `seq` (`0` when absent) satisfies the
+    /// condition.
+    pub fn matches(&self, seq: u64) -> bool {
+        match self {
+            MatchSeq::Any => true,
+            MatchSeq::Exact(want) => seq == *want,
+            MatchSeq::GE(min) => seq >= *min,
+        }
+    }
+}
+
+impl std::fmt::Display for MatchSeq {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MatchSeq::Any => write!(f, "any"),
+            MatchSeq::Exact(s) => write!(f, "== {s}"),
+            MatchSeq::GE(s) => write!(f, ">= {s}"),
+        }
+    }
+}
+
+/// Errors of the sequenced KV.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvError {
+    /// The upsert's [`MatchSeq`] condition did not hold.
+    SeqConflict {
+        /// The contended key.
+        key: String,
+        /// The condition the writer demanded.
+        expected: String,
+        /// The sequence actually found (`0` = key absent).
+        found: u64,
+    },
+}
+
+impl std::fmt::Display for KvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KvError::SeqConflict {
+                key,
+                expected,
+                found,
+            } => write!(
+                f,
+                "sequence conflict on {key}: expected seq {expected}, found {found}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for KvError {}
+
+/// A stored value with the sequence of the mutation that wrote it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SeqEntry {
+    /// Sequence of the writing mutation.
+    pub seq: u64,
+    /// The value (JSON in practice; the KV is payload-agnostic).
+    pub value: String,
+}
+
+/// One sequenced mutation — the unit of the replication log.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogOp {
+    /// Global sequence number (1-based, gapless per store).
+    pub seq: u64,
+    /// The key written.
+    pub key: String,
+    /// The value written.
+    pub value: String,
+}
+
+/// One entry of a [`KvSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SnapshotEntry {
+    /// The key.
+    pub key: String,
+    /// Sequence of the mutation that wrote it.
+    pub seq: u64,
+    /// The value.
+    pub value: String,
+}
+
+/// A full materialized copy of the KV — the catch-up path for replicas
+/// whose lag exceeds the leader's retained log.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KvSnapshot {
+    /// The sequence the snapshot is current through.
+    pub applied_seq: u64,
+    /// Every entry, in key order.
+    pub entries: Vec<SnapshotEntry>,
+}
+
+/// A follower's log-fetch result.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LogFetch {
+    /// Ops strictly after the requested sequence, in order.
+    Ops(Vec<LogOp>),
+    /// The requested sequence predates the retained log — fetch a
+    /// [`KvSnapshot`] instead.
+    NeedSnapshot {
+        /// Oldest sequence still in the retained log.
+        earliest: u64,
+    },
+}
+
+struct KvInner {
+    entries: BTreeMap<String, SeqEntry>,
+    applied_seq: u64,
+    /// Retained tail of the op log, oldest first.
+    log: VecDeque<LogOp>,
+    /// Sequence of `log.front()`; `applied_seq + 1` when the log is empty.
+    log_start: u64,
+    /// Out-of-order ops waiting for their predecessors, keyed by seq.
+    pending: BTreeMap<u64, LogOp>,
+}
+
+/// The sequenced, replicable KV. See the [module docs](self).
+pub struct PlanKv {
+    inner: Mutex<KvInner>,
+    log_keep: usize,
+}
+
+impl PlanKv {
+    /// An empty KV retaining at most `log_keep` ops for followers to
+    /// tail (older ops are compacted away; lagging followers then take
+    /// the snapshot path).
+    pub fn new(log_keep: usize) -> Self {
+        Self {
+            inner: Mutex::new(KvInner {
+                entries: BTreeMap::new(),
+                applied_seq: 0,
+                log: VecDeque::new(),
+                log_start: 1,
+                pending: BTreeMap::new(),
+            }),
+            log_keep: log_keep.max(1),
+        }
+    }
+
+    /// Conditionally upserts `key` — the **leader** write path. On success
+    /// the mutation is stamped with the next global sequence, logged for
+    /// followers, and the new sequence returned.
+    ///
+    /// # Errors
+    ///
+    /// [`KvError::SeqConflict`] when the key's current sequence does not
+    /// satisfy `expect`. Conflicts mutate nothing, which is what makes
+    /// retried upserts idempotent.
+    pub fn upsert(
+        &self,
+        key: &str,
+        value: impl Into<String>,
+        expect: MatchSeq,
+    ) -> Result<u64, KvError> {
+        let mut inner = self.inner.lock().expect("plan kv poisoned");
+        let found = inner.entries.get(key).map(|e| e.seq).unwrap_or(0);
+        if !expect.matches(found) {
+            return Err(KvError::SeqConflict {
+                key: key.to_string(),
+                expected: expect.to_string(),
+                found,
+            });
+        }
+        let seq = inner.applied_seq + 1;
+        let value = value.into();
+        inner.applied_seq = seq;
+        inner.entries.insert(
+            key.to_string(),
+            SeqEntry {
+                seq,
+                value: value.clone(),
+            },
+        );
+        let op = LogOp {
+            seq,
+            key: key.to_string(),
+            value,
+        };
+        Self::append_log(&mut inner, op, self.log_keep);
+        Ok(seq)
+    }
+
+    /// Applies a replicated op — the **follower** write path. Returns the
+    /// ops actually applied this call, in order (empty when `op` was a
+    /// duplicate or had to be buffered; more than one when it unblocked
+    /// buffered successors). Applied ops re-enter this replica's own log,
+    /// so a promoted follower can serve followers of its own.
+    pub fn apply(&self, op: LogOp) -> Vec<LogOp> {
+        let mut inner = self.inner.lock().expect("plan kv poisoned");
+        if op.seq <= inner.applied_seq {
+            return Vec::new(); // duplicate delivery
+        }
+        if op.seq > inner.applied_seq + 1 {
+            inner.pending.insert(op.seq, op); // future op: hold it
+            return Vec::new();
+        }
+        let mut applied = Vec::new();
+        let mut next = op;
+        loop {
+            inner.applied_seq = next.seq;
+            inner.entries.insert(
+                next.key.clone(),
+                SeqEntry {
+                    seq: next.seq,
+                    value: next.value.clone(),
+                },
+            );
+            Self::append_log(&mut inner, next.clone(), self.log_keep);
+            applied.push(next);
+            let want = inner.applied_seq + 1;
+            match inner.pending.remove(&want) {
+                Some(op) => next = op,
+                None => break,
+            }
+        }
+        applied
+    }
+
+    fn append_log(inner: &mut KvInner, op: LogOp, keep: usize) {
+        if inner.log.is_empty() {
+            inner.log_start = op.seq;
+        }
+        inner.log.push_back(op);
+        while inner.log.len() > keep {
+            inner.log.pop_front();
+            inner.log_start += 1;
+        }
+    }
+
+    /// Looks up one key.
+    pub fn get(&self, key: &str) -> Option<SeqEntry> {
+        self.inner
+            .lock()
+            .expect("plan kv poisoned")
+            .entries
+            .get(key)
+            .cloned()
+    }
+
+    /// Looks up many keys at once, positionally.
+    pub fn mget<'a>(&self, keys: impl IntoIterator<Item = &'a str>) -> Vec<Option<SeqEntry>> {
+        let inner = self.inner.lock().expect("plan kv poisoned");
+        keys.into_iter()
+            .map(|k| inner.entries.get(k).cloned())
+            .collect()
+    }
+
+    /// All entries whose key starts with `prefix`, in key order.
+    pub fn prefix_list(&self, prefix: &str) -> Vec<(String, SeqEntry)> {
+        let inner = self.inner.lock().expect("plan kv poisoned");
+        inner
+            .entries
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// The sequence of the last applied mutation (`0` when pristine).
+    pub fn applied_seq(&self) -> u64 {
+        self.inner.lock().expect("plan kv poisoned").applied_seq
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("plan kv poisoned").entries.len()
+    }
+
+    /// Whether the KV holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of out-of-order ops buffered awaiting predecessors.
+    pub fn pending_len(&self) -> usize {
+        self.inner.lock().expect("plan kv poisoned").pending.len()
+    }
+
+    /// The retained log window: `(oldest retained sequence, length)`.
+    pub fn log_window(&self) -> (u64, usize) {
+        let inner = self.inner.lock().expect("plan kv poisoned");
+        (inner.log_start, inner.log.len())
+    }
+
+    /// Ops strictly after `from_seq` for a tailing follower, or the
+    /// snapshot redirect when `from_seq` predates the retained log.
+    pub fn log_since(&self, from_seq: u64) -> LogFetch {
+        let inner = self.inner.lock().expect("plan kv poisoned");
+        if from_seq + 1 < inner.log_start && inner.applied_seq > from_seq {
+            return LogFetch::NeedSnapshot {
+                earliest: inner.log_start,
+            };
+        }
+        LogFetch::Ops(
+            inner
+                .log
+                .iter()
+                .filter(|op| op.seq > from_seq)
+                .cloned()
+                .collect(),
+        )
+    }
+
+    /// A full copy of the KV for cold/lagging replicas.
+    pub fn snapshot(&self) -> KvSnapshot {
+        let inner = self.inner.lock().expect("plan kv poisoned");
+        KvSnapshot {
+            applied_seq: inner.applied_seq,
+            entries: inner
+                .entries
+                .iter()
+                .map(|(k, e)| SnapshotEntry {
+                    key: k.clone(),
+                    seq: e.seq,
+                    value: e.value.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Replaces this replica's contents with `snapshot` (the catch-up
+    /// path). Buffered future ops beyond the snapshot are kept and drain
+    /// as soon as their predecessors stream in.
+    pub fn restore(&self, snapshot: &KvSnapshot) {
+        let mut inner = self.inner.lock().expect("plan kv poisoned");
+        inner.entries = snapshot
+            .entries
+            .iter()
+            .map(|e| {
+                (
+                    e.key.clone(),
+                    SeqEntry {
+                        seq: e.seq,
+                        value: e.value.clone(),
+                    },
+                )
+            })
+            .collect();
+        inner.applied_seq = snapshot.applied_seq;
+        inner.log.clear();
+        inner.log_start = snapshot.applied_seq + 1;
+        let stale: Vec<u64> = inner
+            .pending
+            .range(..=snapshot.applied_seq)
+            .map(|(s, _)| *s)
+            .collect();
+        for s in stale {
+            inner.pending.remove(&s);
+        }
+    }
+
+    /// Canonical dump of the live entries (`key\tseq\tvalue` lines in key
+    /// order) — two converged replicas dump **byte-identical** strings.
+    pub fn dump(&self) -> String {
+        let inner = self.inner.lock().expect("plan kv poisoned");
+        let mut out = format!("applied_seq={}\n", inner.applied_seq);
+        for (k, e) in &inner.entries {
+            out.push_str(&format!("{k}\t{}\t{}\n", e.seq, e.value));
+        }
+        out
+    }
+
+    /// FNV-1a digest of [`PlanKv::dump`] — the cheap convergence check.
+    pub fn digest(&self) -> u64 {
+        fnv64(self.dump().as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn match_seq_semantics() {
+        assert!(MatchSeq::Any.matches(0) && MatchSeq::Any.matches(7));
+        assert!(MatchSeq::Exact(0).matches(0) && !MatchSeq::Exact(0).matches(1));
+        assert!(MatchSeq::GE(1).matches(1) && MatchSeq::GE(1).matches(9));
+        assert!(!MatchSeq::GE(1).matches(0));
+    }
+
+    #[test]
+    fn conditional_upserts_are_sequenced_and_idempotent() {
+        let kv = PlanKv::new(64);
+        let s1 = kv.upsert("plans/a", "A1", MatchSeq::Exact(0)).unwrap();
+        assert_eq!(s1, 1);
+        // Create-only on an existing key conflicts — the idempotence story.
+        let err = kv.upsert("plans/a", "A1", MatchSeq::Exact(0)).unwrap_err();
+        assert!(matches!(err, KvError::SeqConflict { found: 1, .. }));
+        assert_eq!(
+            kv.get("plans/a").unwrap().value,
+            "A1",
+            "conflict mutates nothing"
+        );
+        // Replace exactly revision 1.
+        let s2 = kv.upsert("plans/a", "A2", MatchSeq::Exact(1)).unwrap();
+        assert_eq!(s2, 2);
+        // A writer still holding revision 1 loses cleanly.
+        assert!(kv.upsert("plans/a", "stale", MatchSeq::Exact(1)).is_err());
+        // GE accepts anything current-or-later.
+        let s3 = kv.upsert("plans/a", "A3", MatchSeq::GE(1)).unwrap();
+        assert_eq!(s3, 3);
+        assert_eq!(kv.applied_seq(), 3);
+    }
+
+    #[test]
+    fn reads_get_mget_prefix() {
+        let kv = PlanKv::new(64);
+        kv.upsert("plans/b", "B", MatchSeq::Any).unwrap();
+        kv.upsert("plans/a", "A", MatchSeq::Any).unwrap();
+        kv.upsert("models/m", "M", MatchSeq::Any).unwrap();
+        assert_eq!(kv.get("plans/a").unwrap().value, "A");
+        assert!(kv.get("plans/zz").is_none());
+        let got = kv.mget(["plans/a", "nope", "models/m"]);
+        assert_eq!(got[0].as_ref().unwrap().value, "A");
+        assert!(got[1].is_none());
+        assert_eq!(got[2].as_ref().unwrap().value, "M");
+        let plans = kv.prefix_list("plans/");
+        assert_eq!(
+            plans.iter().map(|(k, _)| k.as_str()).collect::<Vec<_>>(),
+            vec!["plans/a", "plans/b"],
+            "prefix listing is key-ordered"
+        );
+        assert_eq!(kv.len(), 3);
+    }
+
+    #[test]
+    fn apply_tolerates_reorder_and_duplication() {
+        let leader = PlanKv::new(64);
+        for i in 0..5 {
+            leader
+                .upsert(&format!("k{i}"), format!("v{i}"), MatchSeq::Any)
+                .unwrap();
+        }
+        let LogFetch::Ops(ops) = leader.log_since(0) else {
+            panic!("log retained")
+        };
+        let follower = PlanKv::new(64);
+        // Deliver out of order with duplicates: 3, 1, 1, 4, 2, 0, 0, 3.
+        for &i in &[3usize, 1, 1, 4, 2, 0, 0, 3] {
+            follower.apply(ops[i].clone());
+        }
+        assert_eq!(follower.dump(), leader.dump(), "byte-identical convergence");
+        assert_eq!(follower.digest(), leader.digest());
+        assert_eq!(follower.pending_len(), 0);
+        // The op that unblocked the buffer reported the whole drained run.
+        let f2 = PlanKv::new(64);
+        assert!(f2.apply(ops[2].clone()).is_empty(), "buffered");
+        assert!(f2.apply(ops[1].clone()).is_empty(), "still gapped");
+        let drained = f2.apply(ops[0].clone());
+        assert_eq!(drained.len(), 3, "op 1 drained ops 2 and 3 behind it");
+    }
+
+    #[test]
+    fn compaction_redirects_laggards_to_snapshot() {
+        let kv = PlanKv::new(4);
+        for i in 0..10 {
+            kv.upsert("hot", format!("v{i}"), MatchSeq::Any).unwrap();
+        }
+        // Seqs 1..=6 are compacted away (keep = 4 retains 7..=10).
+        match kv.log_since(2) {
+            LogFetch::NeedSnapshot { earliest } => assert_eq!(earliest, 7),
+            other => panic!("expected snapshot redirect, got {other:?}"),
+        }
+        // A follower inside the window tails normally.
+        match kv.log_since(8) {
+            LogFetch::Ops(ops) => {
+                assert_eq!(ops.iter().map(|o| o.seq).collect::<Vec<_>>(), vec![9, 10]);
+            }
+            other => panic!("expected ops, got {other:?}"),
+        }
+        // Fully caught up: empty fetch, not a snapshot.
+        assert_eq!(kv.log_since(10), LogFetch::Ops(Vec::new()));
+
+        // Snapshot restore catches the laggard up byte-identically...
+        let lagging = PlanKv::new(4);
+        lagging.restore(&kv.snapshot());
+        assert_eq!(lagging.dump(), kv.dump());
+        assert_eq!(lagging.applied_seq(), 10);
+        // ...and it keeps tailing from there.
+        kv.upsert("hot", "v10", MatchSeq::Any).unwrap();
+        if let LogFetch::Ops(ops) = kv.log_since(lagging.applied_seq()) {
+            for op in ops {
+                lagging.apply(op);
+            }
+        }
+        assert_eq!(lagging.dump(), kv.dump());
+    }
+
+    #[test]
+    fn wire_types_round_trip_as_json() {
+        let op = LogOp {
+            seq: 3,
+            key: "plans/x".into(),
+            value: "{\"id\":\"x\"}".into(),
+        };
+        let back: LogOp = serde_json::from_str(&serde_json::to_string(&op).unwrap()).unwrap();
+        assert_eq!(back, op);
+        let fetch = LogFetch::Ops(vec![op]);
+        let back: LogFetch = serde_json::from_str(&serde_json::to_string(&fetch).unwrap()).unwrap();
+        assert_eq!(back, fetch);
+        let redirect = LogFetch::NeedSnapshot { earliest: 9 };
+        let back: LogFetch =
+            serde_json::from_str(&serde_json::to_string(&redirect).unwrap()).unwrap();
+        assert_eq!(back, redirect);
+        let kv = PlanKv::new(8);
+        kv.upsert("a", "1", MatchSeq::Any).unwrap();
+        let snap = kv.snapshot();
+        let back: KvSnapshot =
+            serde_json::from_str(&serde_json::to_string(&snap).unwrap()).unwrap();
+        assert_eq!(back, snap);
+    }
+}

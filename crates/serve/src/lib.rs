@@ -13,8 +13,18 @@
 //! | `POST /v1/plan` | Plan a task from scratch through the full [`nshard_core::FallbackChain`] |
 //! | `POST /v1/replan` | Warm-started incremental replan around a stored incumbent |
 //! | `GET /v1/plans/{id}` | Fetch a stored plan with provenance |
-//! | `GET /health` | Liveness + store/queue facts |
+//! | `GET /health` | Liveness + store/queue facts + replication role |
 //! | `GET /metrics` | Prometheus exposition ([`metrics`]) |
+//! | `GET /v1/repl/status` | Replication role, applied sequence, staleness |
+//! | `GET /v1/repl/log/{from}` | Sequenced op log for tailing followers ([`repl`]) |
+//! | `GET /v1/repl/snapshot` | Full KV snapshot for cold/lagging catch-up |
+//!
+//! ## Replication
+//!
+//! N daemons form a serve tier sharing one logical plan store: a leader
+//! adopts plans through sequence-checked conditional upserts in the
+//! [`kv::PlanKv`], followers tail its op log and promote themselves on
+//! leader death ([`repl`] has the full story).
 //!
 //! ## Admission control
 //!
@@ -43,17 +53,21 @@ pub mod api;
 pub mod clock;
 pub mod engine;
 pub mod http;
+pub mod kv;
 pub mod metrics;
+pub mod repl;
 pub mod server;
 pub mod store;
 
 pub use api::{
-    source_label, ErrorBody, HealthResponse, PlanRequest, PlanResponse, ReplanRequest,
+    source_label, ErrorBody, HealthResponse, PlanRequest, PlanResponse, ReplStatus, ReplanRequest,
     ReplanResponse,
 };
 pub use clock::{Clock, ManualClock, WallClock};
 pub use engine::{plan_id, PlanOutput, PlanningEngine, ReplanOutput};
 pub use http::{http_call, HttpRequest, HttpResponse};
+pub use kv::{KvError, KvSnapshot, LogFetch, LogOp, MatchSeq, PlanKv, SeqEntry, SnapshotEntry};
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
-pub use server::{Routed, ServeConfig, Server, Service};
+pub use repl::{HttpTransport, PollOutcome, ReplError, ReplTransport, Replicator, Role, RoleCell};
+pub use server::{ReplicaConfig, Routed, ServeConfig, Server, Service};
 pub use store::{ModelStore, PlanStore, StoreError, StoredPlan};

@@ -44,17 +44,20 @@ use std::thread::JoinHandle;
 
 use nshard_core::{resolve_threads, NeuroShardConfig};
 use nshard_cost::CostModelBundle;
+use nshard_data::ShardingTask;
 use nshard_online::IncrementalConfig;
 
 use crate::api::{
-    source_label, ErrorBody, HealthResponse, PlanRequest, PlanResponse, ReplanRequest,
+    source_label, ErrorBody, HealthResponse, PlanRequest, PlanResponse, ReplStatus, ReplanRequest,
     ReplanResponse,
 };
 use crate::clock::{Clock, WallClock};
 use crate::engine::PlanningEngine;
 use crate::http::{read_request, HttpParseError, HttpRequest, HttpResponse};
+use crate::kv::{KvSnapshot, LogOp, MatchSeq, PlanKv};
 use crate::metrics::{Counter, Gauge, Histogram, MetricsRegistry};
-use crate::store::{PlanStore, StoreError};
+use crate::repl::{Role, RoleCell};
+use crate::store::{PlanStore, StoreError, StoredPlan};
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -77,6 +80,42 @@ pub struct ServeConfig {
     pub degrade_below_ms: u64,
     /// Persist adopted plans under this directory; `None` = memory only.
     pub store_dir: Option<PathBuf>,
+    /// Replication role and tier knobs; defaults to a standalone leader,
+    /// so single-node deployments need no extra configuration.
+    pub replica: ReplicaConfig,
+}
+
+/// Replication knobs of one node in a serve tier.
+#[derive(Debug, Clone)]
+pub struct ReplicaConfig {
+    /// This node's name, used in failover attribution.
+    pub node: String,
+    /// Start as a follower (tail a leader's log) instead of as the
+    /// leader.
+    pub follower: bool,
+    /// Consecutive transport failures after which a follower promotes
+    /// itself to leader.
+    pub failure_threshold: u32,
+    /// Base reconnect backoff, ms (seeded decorrelated jitter on top).
+    pub backoff_base_ms: u64,
+    /// Reconnect backoff cap, ms.
+    pub backoff_cap_ms: u64,
+    /// Ops retained in the replication log before compaction; lagging
+    /// followers beyond the window catch up by snapshot.
+    pub log_keep: usize,
+}
+
+impl Default for ReplicaConfig {
+    fn default() -> Self {
+        Self {
+            node: "node-0".to_string(),
+            follower: false,
+            failure_threshold: 3,
+            backoff_base_ms: 50,
+            backoff_cap_ms: 2_000,
+            log_keep: 1_024,
+        }
+    }
 }
 
 impl Default for ServeConfig {
@@ -90,6 +129,7 @@ impl Default for ServeConfig {
             default_deadline_ms: 30_000,
             degrade_below_ms: 250,
             store_dir: None,
+            replica: ReplicaConfig::default(),
         }
     }
 }
@@ -247,6 +287,10 @@ struct ServiceMetrics {
     degraded: Arc<Counter>,
     fallbacks: Arc<Counter>,
     repairs: Arc<Counter>,
+    replica_role: Arc<Gauge>,
+    replication_lag: Arc<Gauge>,
+    snapshot_catchup: Arc<Counter>,
+    seq_conflicts: Arc<Counter>,
 }
 
 impl ServiceMetrics {
@@ -272,6 +316,22 @@ impl ServiceMetrics {
             "nshard_serve_repair_total",
             "Plans that needed the repair engine",
         );
+        let replica_role = registry.gauge(
+            "nshard_serve_replica_role",
+            "This node's replication role: 0 follower, 1 candidate, 2 leader",
+        );
+        let replication_lag = registry.gauge(
+            "nshard_serve_replication_lag",
+            "Sequence delta between the last observed leader op and this replica",
+        );
+        let snapshot_catchup = registry.counter(
+            "nshard_serve_snapshot_catchup_total",
+            "Times this replica caught up by full snapshot instead of log tailing",
+        );
+        let seq_conflicts = registry.counter(
+            "nshard_serve_seq_conflict_total",
+            "Conditional KV upserts refused by their MatchSeq condition",
+        );
         Self {
             registry,
             queue_depth,
@@ -279,6 +339,10 @@ impl ServiceMetrics {
             degraded,
             fallbacks,
             repairs,
+            replica_role,
+            replication_lag,
+            snapshot_catchup,
+            seq_conflicts,
         }
     }
 
@@ -308,6 +372,8 @@ pub struct Service {
     config: ServeConfig,
     engine: PlanningEngine,
     plans: PlanStore,
+    kv: PlanKv,
+    role: RoleCell,
     clock: Arc<dyn Clock>,
     queue: AdmissionQueue,
     metrics: ServiceMetrics,
@@ -344,10 +410,29 @@ impl Service {
         let metrics = ServiceMetrics::new();
         let queue = AdmissionQueue::new(config.queue_capacity, Arc::clone(&metrics.queue_depth));
         let workers = resolve_threads(config.workers);
+        let role = RoleCell::new(if config.replica.follower {
+            Role::Follower
+        } else {
+            Role::Leader
+        });
+        metrics.replica_role.set(role.role().gauge_value());
+        let kv = PlanKv::new(config.replica.log_keep);
+        // Replay warm-restarted plans into the KV in adoption order, so a
+        // restarted leader immediately serves its log to followers.
+        if !config.replica.follower {
+            for id in plans.ids() {
+                if let Some(record) = plans.get(&id) {
+                    let value = serde_json::to_string(&record).unwrap_or_default();
+                    let _ = kv.upsert(&plan_key(&id), value, MatchSeq::Any);
+                }
+            }
+        }
         Ok(Self {
             config,
             engine,
             plans,
+            kv,
+            role,
             clock,
             queue,
             metrics,
@@ -358,6 +443,21 @@ impl Service {
     /// The plan store (tests and the demo inspect it directly).
     pub fn plans(&self) -> &PlanStore {
         &self.plans
+    }
+
+    /// The sequenced KV behind replication.
+    pub fn kv(&self) -> &PlanKv {
+        &self.kv
+    }
+
+    /// This node's replication role cell.
+    pub fn role(&self) -> &RoleCell {
+        &self.role
+    }
+
+    /// The daemon configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
     }
 
     /// The resolved worker-pool size.
@@ -382,6 +482,11 @@ impl Service {
             ("GET", "/metrics") => Routed::Inline(HttpResponse::text(200, self.render_metrics())),
             ("GET", path) if path.starts_with("/v1/plans/") => {
                 Routed::Inline(self.get_plan(&path["/v1/plans/".len()..]))
+            }
+            ("GET", "/v1/repl/status") => Routed::Inline(self.repl_status()),
+            ("GET", "/v1/repl/snapshot") => Routed::Inline(self.repl_snapshot()),
+            ("GET", path) if path.starts_with("/v1/repl/log/") => {
+                Routed::Inline(self.repl_log(&path["/v1/repl/log/".len()..]))
             }
             ("POST", "/v1/plan") => self.admit(JobKind::Plan, request.body.clone()),
             ("POST", "/v1/replan") => self.admit(JobKind::Replan, request.body.clone()),
@@ -411,6 +516,7 @@ impl Service {
             plans: self.plans.len() as u64,
             workers: self.workers as u64,
             queue_capacity: self.config.queue_capacity as u64,
+            role: self.role.role().label().to_string(),
         };
         HttpResponse::json(200, serde_json::to_string(&body).unwrap_or_default())
     }
@@ -419,7 +525,9 @@ impl Service {
         match self.plans.get(id) {
             Some(stored) => {
                 self.metrics.count_request("plans_get", 200);
-                HttpResponse::json(200, serde_json::to_string(&stored).unwrap_or_default())
+                let response =
+                    HttpResponse::json(200, serde_json::to_string(&stored).unwrap_or_default());
+                self.mark_stale(response)
             }
             None => {
                 self.metrics.count_request("plans_get", 404);
@@ -428,8 +536,69 @@ impl Service {
         }
     }
 
+    /// Flags degraded-mode (stale) reads after a promotion that is known
+    /// to be behind the dead leader.
+    fn mark_stale(&self, response: HttpResponse) -> HttpResponse {
+        if self.role.stale() {
+            response.with_header("X-Nshard-Stale", "true")
+        } else {
+            response
+        }
+    }
+
+    fn repl_status(&self) -> HttpResponse {
+        self.metrics.count_request("repl_status", 200);
+        let (log_earliest, log_len) = self.kv.log_window();
+        let body = ReplStatus {
+            node: self.config.replica.node.clone(),
+            role: self.role.role().label().to_string(),
+            applied_seq: self.kv.applied_seq(),
+            stale: self.role.stale(),
+            log_earliest,
+            log_len: log_len as u64,
+            plans: self.plans.len() as u64,
+        };
+        HttpResponse::json(200, serde_json::to_string(&body).unwrap_or_default())
+    }
+
+    fn repl_snapshot(&self) -> HttpResponse {
+        self.metrics.count_request("repl_snapshot", 200);
+        let snapshot = self.kv.snapshot();
+        HttpResponse::json(200, serde_json::to_string(&snapshot).unwrap_or_default())
+    }
+
+    fn repl_log(&self, from: &str) -> HttpResponse {
+        let Ok(from_seq) = from.parse::<u64>() else {
+            self.metrics.count_request("repl_log", 400);
+            return error_response(
+                400,
+                "bad_request",
+                format!("log position {from:?} is not a sequence number"),
+            );
+        };
+        self.metrics.count_request("repl_log", 200);
+        let fetch = self.kv.log_since(from_seq);
+        HttpResponse::json(200, serde_json::to_string(&fetch).unwrap_or_default())
+    }
+
     /// Admits a planning job, or sheds it with `429`/`503`.
     fn admit(&self, kind: JobKind, body: Vec<u8>) -> Routed {
+        if !self.role.is_leader() {
+            self.metrics.count_rejection("not_leader");
+            self.metrics.count_request(kind.endpoint(), 503);
+            return Routed::Inline(
+                error_response(
+                    503,
+                    "not_leader",
+                    format!(
+                        "node {} is a {}; planning writes go to the leader",
+                        self.config.replica.node,
+                        self.role.role().label()
+                    ),
+                )
+                .with_retry_after(1),
+            );
+        }
         let slot = ResponseSlot::new();
         let job = Job {
             kind,
@@ -545,22 +714,69 @@ impl Service {
         }
     }
 
+    /// Stamps failover attribution onto new plans produced after this
+    /// node promoted itself — every plan records *which* node took over,
+    /// at what sequence, and whether it was known stale.
+    fn attribute_failover(
+        &self,
+        provenance: nshard_core::PlanProvenance,
+    ) -> nshard_core::PlanProvenance {
+        match self.role.promoted_at() {
+            Some(at_seq) => provenance.attributed_to_failover(
+                self.config.replica.node.clone(),
+                at_seq,
+                self.role.stale(),
+            ),
+            None => provenance,
+        }
+    }
+
+    /// Adopts into the plan store and, when the adoption is new, appends
+    /// it to the replication log as a create-only (`MatchSeq::Exact(0)`)
+    /// conditional upsert. A sequence conflict there means a concurrent
+    /// identical adoption already logged it — counted, not an error.
+    fn adopt_and_log(
+        &self,
+        id: &str,
+        task: ShardingTask,
+        plan: nshard_core::ShardingPlan,
+        provenance: nshard_core::PlanProvenance,
+        predicted_ms: f64,
+        degraded: bool,
+    ) -> Result<u64, StoreError> {
+        let (stored, newly_adopted) =
+            self.plans
+                .adopt_new(id, task, plan, provenance, predicted_ms, degraded)?;
+        if newly_adopted {
+            let value = serde_json::to_string(&stored).unwrap_or_default();
+            if self
+                .kv
+                .upsert(&plan_key(id), value, MatchSeq::Exact(0))
+                .is_err()
+            {
+                self.metrics.seq_conflicts.inc();
+            }
+        }
+        Ok(stored.version)
+    }
+
     fn respond_plan(&self, request: PlanRequest, degrade: bool) -> HttpResponse {
         let output = match self.engine.plan(&request.task, degrade) {
             Ok(output) => output,
             Err(e) => return error_response(422, "infeasible", e.to_string()),
         };
-        self.observe_outcome(&output.provenance, output.degraded);
+        let provenance = self.attribute_failover(output.provenance);
+        self.observe_outcome(&provenance, output.degraded);
         let version = if request.adopt {
-            match self.plans.adopt(
+            match self.adopt_and_log(
                 &output.id,
                 request.task,
                 output.plan.clone(),
-                output.provenance.clone(),
+                provenance.clone(),
                 output.predicted_ms,
                 output.degraded,
             ) {
-                Ok(stored) => stored.version,
+                Ok(version) => version,
                 Err(e) => return error_response(500, "store_failed", e.to_string()),
             }
         } else {
@@ -570,10 +786,10 @@ impl Service {
             id: output.id,
             version,
             degraded: output.degraded,
-            source: source_label(&output.provenance.source),
+            source: source_label(&provenance.source),
             predicted_ms: output.predicted_ms,
             plan: output.plan,
-            provenance: output.provenance,
+            provenance,
         };
         HttpResponse::json(200, serde_json::to_string(&body).unwrap_or_default())
     }
@@ -597,17 +813,18 @@ impl Service {
             Ok(re) => re,
             Err(e) => return error_response(422, "infeasible", e.to_string()),
         };
-        self.observe_outcome(&re.output.provenance, re.output.degraded);
+        let provenance = self.attribute_failover(re.output.provenance.clone());
+        self.observe_outcome(&provenance, re.output.degraded);
         let version = if request.adopt {
-            match self.plans.adopt(
+            match self.adopt_and_log(
                 &re.output.id,
                 request.task,
                 re.output.plan.clone(),
-                re.output.provenance.clone(),
+                provenance.clone(),
                 re.output.predicted_ms,
                 re.output.degraded,
             ) {
-                Ok(stored) => stored.version,
+                Ok(version) => version,
                 Err(e) => return error_response(500, "store_failed", e.to_string()),
             }
         } else {
@@ -617,15 +834,82 @@ impl Service {
             id: re.output.id,
             version,
             degraded: re.output.degraded,
-            source: source_label(&re.output.provenance.source),
+            source: source_label(&provenance.source),
             predicted_ms: re.output.predicted_ms,
             migration_bytes: re.migration_bytes,
             incremental: re.incremental,
             evaluated_plans: re.evaluated_plans as u64,
             plan: re.output.plan,
-            provenance: re.output.provenance,
+            provenance,
         };
         HttpResponse::json(200, serde_json::to_string(&body).unwrap_or_default())
+    }
+
+    /// Applies replicated ops through the sequence-gated KV and
+    /// materializes newly applied plans into the local store — the
+    /// follower ingest path. Returns how many ops actually applied.
+    pub fn apply_replicated(&self, ops: Vec<LogOp>) -> usize {
+        let mut applied = 0usize;
+        for op in ops {
+            for done in self.kv.apply(op) {
+                applied += 1;
+                self.materialize(&done.key, &done.value);
+            }
+        }
+        applied
+    }
+
+    /// Replaces this replica's KV with a full snapshot and materializes
+    /// every plan in it — the cold/lagging catch-up path.
+    pub fn restore_snapshot(&self, snapshot: &KvSnapshot) {
+        self.kv.restore(snapshot);
+        for entry in &snapshot.entries {
+            self.materialize(&entry.key, &entry.value);
+        }
+        self.metrics.snapshot_catchup.inc();
+    }
+
+    /// Materializes one replicated KV value into the typed stores.
+    fn materialize(&self, key: &str, value: &str) {
+        if key.strip_prefix("plans/").is_some() {
+            if let Ok(record) = serde_json::from_str::<StoredPlan>(value) {
+                // Persist errors surface via store metrics on the leader;
+                // a replica keeps the in-memory copy serving either way.
+                let _ = self.plans.insert_replica(record);
+            }
+        }
+    }
+
+    /// Records the observed replication lag (sequence delta to the
+    /// leader) in `/metrics`.
+    pub fn note_replication_lag(&self, lag: u64) {
+        self.metrics.replication_lag.set(lag);
+    }
+
+    /// Promotes this node to leader after failover detection — the store
+    /// it caught up keeps serving, now accepting writes. `stale` marks
+    /// degraded-mode reads (the dead leader was known to be ahead).
+    pub fn promote(&self, at_seq: u64, stale: bool) {
+        self.role.mark_promoted(at_seq, stale);
+        self.metrics.replica_role.set(Role::Leader.gauge_value());
+    }
+
+    /// Moves a follower to candidate while failures accumulate (visible
+    /// in the role gauge and `/v1/repl/status`).
+    pub fn set_candidate_if_follower(&self) {
+        if matches!(self.role.role(), Role::Follower) {
+            self.role.set_role(Role::Candidate);
+            self.metrics.replica_role.set(Role::Candidate.gauge_value());
+        }
+    }
+
+    /// Drops a candidate back to follower once the leader answers again
+    /// (a blip, not a death).
+    pub fn reaffirm_follower(&self) {
+        if matches!(self.role.role(), Role::Candidate) {
+            self.role.set_role(Role::Follower);
+            self.metrics.replica_role.set(Role::Follower.gauge_value());
+        }
     }
 
     fn observe_outcome(&self, provenance: &nshard_core::PlanProvenance, degraded: bool) {
@@ -678,6 +962,11 @@ pub enum Routed {
 
 fn error_response(status: u16, kind: &str, detail: String) -> HttpResponse {
     HttpResponse::json(status, ErrorBody::new(kind, detail).to_json())
+}
+
+/// The KV key under which an adopted plan replicates.
+fn plan_key(id: &str) -> String {
+    format!("plans/{id}")
 }
 
 /// A running daemon: accept loop plus worker pool around a [`Service`].

@@ -18,9 +18,21 @@
 //!
 //! ```text
 //! store/
-//!   plans/<id>.json      (envelope; payload = StoredPlan)
-//!   models/<name>.json   (envelope; payload = CostModelBundle)
+//!   plans/<id>.json      (checksummed envelope; payload = StoredPlan)
+//!   models/<name>.json   (checksummed envelope; payload = CostModelBundle)
 //! ```
+//!
+//! ## Torn-write hardening
+//!
+//! Every file this module writes is framed with a leading checksum line
+//! (`#nshard-checksum: <fnv64 hex>` over the rest of the file) so a write
+//! torn by a crash — truncation, a half-flushed page, a bit flip — is
+//! *detected* instead of parsed into garbage. On warm restart,
+//! [`PlanStore::open`] **quarantines** corrupt entries (renames them to
+//! `*.json.quarantined`) and keeps booting with the surviving plans rather
+//! than refusing to start; [`PlanStore::quarantined`] reports how many were
+//! set aside. Files written by pre-checksum builds carry no magic line and
+//! still load unchanged.
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -31,10 +43,24 @@ use serde::{Deserialize, Serialize};
 use nshard_core::{PlanProvenance, ShardingPlan};
 use nshard_cost::CostModelBundle;
 use nshard_data::ShardingTask;
-use nshard_nn::serialize::{load_envelope, save_envelope, CheckpointError};
+use nshard_nn::serialize::{envelope_from_json, envelope_to_json, CheckpointError, Envelope};
 
 /// The producer tag written into envelope headers.
 const CREATED_BY: &str = "nshard-serve";
+
+/// Magic prefix of the checksum line framing every persisted artifact.
+const CHECKSUM_MAGIC: &str = "#nshard-checksum: ";
+
+/// FNV-1a over a byte string — the same cheap, dependency-free digest the
+/// engine uses for content-addressed plan ids.
+pub(crate) fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
 
 /// Errors of the plan/model store.
 #[derive(Debug)]
@@ -48,6 +74,13 @@ pub enum StoreError {
     },
     /// A persisted artifact failed to load or save (parse, version or I/O).
     Checkpoint(CheckpointError),
+    /// A persisted artifact failed its checksum — a torn or tampered write.
+    Corrupt {
+        /// The file involved.
+        path: String,
+        /// What the detector saw.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for StoreError {
@@ -55,6 +88,9 @@ impl std::fmt::Display for StoreError {
         match self {
             StoreError::Io { path, error } => write!(f, "store I/O failed for {path}: {error}"),
             StoreError::Checkpoint(e) => write!(f, "store artifact error: {e}"),
+            StoreError::Corrupt { path, reason } => {
+                write!(f, "store artifact {path} is corrupt: {reason}")
+            }
         }
     }
 }
@@ -65,6 +101,70 @@ impl From<CheckpointError> for StoreError {
     fn from(e: CheckpointError) -> Self {
         StoreError::Checkpoint(e)
     }
+}
+
+/// Writes `payload` as a checksum-framed versioned envelope: the first
+/// line is `#nshard-checksum: <fnv64 hex of the remainder>`, the rest the
+/// envelope JSON.
+fn write_checked<T: Serialize>(path: &Path, name: &str, payload: &T) -> Result<(), StoreError> {
+    let body = envelope_to_json(name, CREATED_BY, payload);
+    let framed = format!("{CHECKSUM_MAGIC}{:016x}\n{body}", fnv64(body.as_bytes()));
+    std::fs::write(path, framed).map_err(|e| StoreError::Io {
+        path: path.display().to_string(),
+        error: e.to_string(),
+    })
+}
+
+/// Reads a checksum-framed envelope written by [`write_checked`]. Files
+/// without the magic first line (pre-checksum builds) parse as plain
+/// envelopes, so old stores keep loading.
+///
+/// # Errors
+///
+/// [`StoreError::Corrupt`] on a checksum mismatch or an unparseable
+/// checksum line; [`StoreError::Checkpoint`] / [`StoreError::Io`] as for
+/// any envelope load.
+fn read_checked<T: Deserialize>(path: &Path) -> Result<Envelope<T>, StoreError> {
+    let raw = std::fs::read_to_string(path).map_err(|e| {
+        StoreError::Checkpoint(CheckpointError::Io {
+            path: path.display().to_string(),
+            error: e.to_string(),
+        })
+    })?;
+    let body = match raw.strip_prefix(CHECKSUM_MAGIC) {
+        None => raw.as_str(),
+        Some(rest) => {
+            let (stamp, body) = rest.split_once('\n').ok_or_else(|| StoreError::Corrupt {
+                path: path.display().to_string(),
+                reason: "checksum line is not newline-terminated (truncated write)".into(),
+            })?;
+            let want = u64::from_str_radix(stamp.trim(), 16).map_err(|_| StoreError::Corrupt {
+                path: path.display().to_string(),
+                reason: format!("unparseable checksum stamp {stamp:?}"),
+            })?;
+            let got = fnv64(body.as_bytes());
+            if got != want {
+                return Err(StoreError::Corrupt {
+                    path: path.display().to_string(),
+                    reason: format!("checksum mismatch: stamped {want:016x}, computed {got:016x}"),
+                });
+            }
+            body
+        }
+    };
+    Ok(envelope_from_json(body)?)
+}
+
+/// Whether a load failure means the *file* is damaged (quarantine it)
+/// rather than the build being incompatible or the filesystem failing
+/// (surface those).
+fn is_damage(err: &StoreError) -> bool {
+    matches!(
+        err,
+        StoreError::Corrupt { .. }
+            | StoreError::Checkpoint(CheckpointError::Parse(_))
+            | StoreError::Checkpoint(CheckpointError::MalformedHeader { .. })
+    )
 }
 
 /// One adopted plan: the daemon's unit of persistence.
@@ -97,6 +197,7 @@ struct PlanStoreInner {
 pub struct PlanStore {
     inner: Mutex<PlanStoreInner>,
     dir: Option<PathBuf>,
+    quarantined: usize,
 }
 
 impl PlanStore {
@@ -109,16 +210,22 @@ impl PlanStore {
                 next_version: 1,
             }),
             dir: None,
+            quarantined: 0,
         }
     }
 
     /// Opens (creating if needed) a disk-backed store rooted at `dir`,
-    /// loading every persisted plan so the daemon restarts warm.
+    /// loading every persisted plan so the daemon restarts warm. Entries
+    /// that fail their checksum or do not parse — torn writes from a crash
+    /// mid-persist — are renamed to `*.json.quarantined` and skipped, so
+    /// one damaged file never blocks the whole store from booting.
     ///
     /// # Errors
     ///
-    /// [`StoreError`] when the directory cannot be created or a persisted
-    /// plan fails to load (unsupported version, parse error, I/O).
+    /// [`StoreError`] when the directory cannot be created, a file cannot
+    /// be read or renamed, or a persisted plan carries an unsupported
+    /// format version (a build problem, not file damage — never
+    /// quarantined silently).
     pub fn open(dir: impl AsRef<Path>) -> Result<Self, StoreError> {
         let root = dir.as_ref().join("plans");
         std::fs::create_dir_all(&root).map_err(|e| StoreError::Io {
@@ -126,6 +233,7 @@ impl PlanStore {
             error: e.to_string(),
         })?;
         let mut plans: Vec<StoredPlan> = Vec::new();
+        let mut quarantined = 0usize;
         let entries = std::fs::read_dir(&root).map_err(|e| StoreError::Io {
             path: root.display().to_string(),
             error: e.to_string(),
@@ -139,8 +247,18 @@ impl PlanStore {
             if path.extension().and_then(|e| e.to_str()) != Some("json") {
                 continue;
             }
-            let envelope = load_envelope::<StoredPlan>(&path)?;
-            plans.push(envelope.payload);
+            match read_checked::<StoredPlan>(&path) {
+                Ok(envelope) => plans.push(envelope.payload),
+                Err(e) if is_damage(&e) => {
+                    let aside = path.with_extension("json.quarantined");
+                    std::fs::rename(&path, &aside).map_err(|e| StoreError::Io {
+                        path: path.display().to_string(),
+                        error: e.to_string(),
+                    })?;
+                    quarantined += 1;
+                }
+                Err(e) => return Err(e),
+            }
         }
         // Replaying in stamped-version order reconstructs the adoption
         // sequence regardless of directory iteration order.
@@ -154,7 +272,14 @@ impl PlanStore {
                 next_version,
             }),
             dir: Some(dir.as_ref().to_path_buf()),
+            quarantined,
         })
+    }
+
+    /// How many persisted entries the last [`PlanStore::open`] quarantined
+    /// as corrupt (always `0` for in-memory stores).
+    pub fn quarantined(&self) -> usize {
+        self.quarantined
     }
 
     /// Adopts a plan: stamps the next version, stores and (when
@@ -175,10 +300,31 @@ impl PlanStore {
         predicted_ms: f64,
         degraded: bool,
     ) -> Result<StoredPlan, StoreError> {
+        self.adopt_new(id, task, plan, provenance, predicted_ms, degraded)
+            .map(|(record, _)| record)
+    }
+
+    /// Like [`PlanStore::adopt`], but also reports whether this call
+    /// actually created the record (`true`) or hit the idempotent
+    /// duplicate path (`false`) — the replication layer only logs the
+    /// former.
+    ///
+    /// # Errors
+    ///
+    /// As for [`PlanStore::adopt`].
+    pub fn adopt_new(
+        &self,
+        id: &str,
+        task: ShardingTask,
+        plan: ShardingPlan,
+        provenance: PlanProvenance,
+        predicted_ms: f64,
+        degraded: bool,
+    ) -> Result<(StoredPlan, bool), StoreError> {
         let record = {
             let mut inner = self.inner.lock().expect("plan store poisoned");
             if let Some(existing) = inner.plans.get(id) {
-                return Ok(existing.clone());
+                return Ok((existing.clone(), false));
             }
             let record = StoredPlan {
                 id: id.to_string(),
@@ -194,11 +340,38 @@ impl PlanStore {
             inner.order.push(id.to_string());
             record
         };
-        if let Some(dir) = &self.dir {
-            let path = dir.join("plans").join(format!("{id}.json"));
-            save_envelope(&path, id, CREATED_BY, &record)?;
+        self.persist(&record)?;
+        Ok((record, true))
+    }
+
+    /// Installs a leader-stamped record as-is — the follower's apply path.
+    /// The record keeps the **leader's** version (replicas must agree
+    /// byte-for-byte); the local version counter advances past it so a
+    /// promoted follower stamps fresh adoptions above everything it
+    /// replicated. Idempotent by id, like [`PlanStore::adopt`].
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] when persisting to disk fails.
+    pub fn insert_replica(&self, record: StoredPlan) -> Result<(), StoreError> {
+        {
+            let mut inner = self.inner.lock().expect("plan store poisoned");
+            if inner.plans.contains_key(&record.id) {
+                return Ok(());
+            }
+            inner.next_version = inner.next_version.max(record.version + 1);
+            inner.order.push(record.id.clone());
+            inner.plans.insert(record.id.clone(), record.clone());
         }
-        Ok(record)
+        self.persist(&record)
+    }
+
+    fn persist(&self, record: &StoredPlan) -> Result<(), StoreError> {
+        if let Some(dir) = &self.dir {
+            let path = dir.join("plans").join(format!("{}.json", record.id));
+            write_checked(&path, &record.id, record)?;
+        }
+        Ok(())
     }
 
     /// Looks up a plan by id.
@@ -268,7 +441,7 @@ impl ModelStore {
     /// [`StoreError`] when the envelope cannot be written.
     pub fn save(&self, name: &str, bundle: &CostModelBundle) -> Result<PathBuf, StoreError> {
         let path = self.dir.join(format!("{name}.json"));
-        save_envelope(&path, name, CREATED_BY, bundle)?;
+        write_checked(&path, name, bundle)?;
         Ok(path)
     }
 
@@ -278,10 +451,11 @@ impl ModelStore {
     /// # Errors
     ///
     /// [`StoreError::Checkpoint`] with a typed cause: I/O (missing file),
-    /// unsupported version, or parse failure.
+    /// unsupported version, or parse failure — or [`StoreError::Corrupt`]
+    /// when the checkpoint fails its checksum.
     pub fn load(&self, name: &str) -> Result<CostModelBundle, StoreError> {
         let path = self.dir.join(format!("{name}.json"));
-        Ok(load_envelope::<CostModelBundle>(&path)?.payload)
+        Ok(read_checked::<CostModelBundle>(&path)?.payload)
     }
 
     /// Names of every stored checkpoint, sorted.
@@ -336,6 +510,7 @@ mod tests {
             total_retries: 0,
             total_backoff_ms: 0,
             replan: None,
+            failover: None,
         }
     }
 
@@ -390,6 +565,82 @@ mod tests {
             .adopt("p3", t, p, provenance(), 3.5, false)
             .unwrap();
         assert_eq!(third.version, 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_plan_file_is_quarantined_not_fatal() {
+        let dir = tmp("torn");
+        let t = task();
+        let p = plan(&t);
+        {
+            let store = PlanStore::open(&dir).unwrap();
+            store
+                .adopt("good", t.clone(), p.clone(), provenance(), 1.0, false)
+                .unwrap();
+            store
+                .adopt("torn", t.clone(), p.clone(), provenance(), 2.0, false)
+                .unwrap();
+        }
+        // Simulate a crash mid-persist: the file stops halfway through.
+        let victim = dir.join("plans").join("torn.json");
+        let full = std::fs::read_to_string(&victim).unwrap();
+        std::fs::write(&victim, &full[..full.len() / 2]).unwrap();
+
+        let reopened = PlanStore::open(&dir).unwrap();
+        assert_eq!(reopened.len(), 1, "the intact plan survives");
+        assert!(reopened.get("good").is_some());
+        assert!(reopened.get("torn").is_none());
+        assert_eq!(reopened.quarantined(), 1);
+        assert!(!victim.exists(), "damaged file moved aside");
+        assert!(dir.join("plans").join("torn.json.quarantined").exists());
+        // A third open sees a clean directory: quarantine is sticky.
+        let again = PlanStore::open(&dir).unwrap();
+        assert_eq!(again.quarantined(), 0);
+        assert_eq!(again.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bit_flip_is_caught_by_the_checksum() {
+        let dir = tmp("flip");
+        let t = task();
+        let p = plan(&t);
+        {
+            let store = PlanStore::open(&dir).unwrap();
+            store.adopt("flip", t, p, provenance(), 1.0, false).unwrap();
+        }
+        let victim = dir.join("plans").join("flip.json");
+        // Corrupt the payload without breaking the JSON shape: the
+        // checksum, not the parser, must catch this.
+        let full = std::fs::read_to_string(&victim).unwrap();
+        let tampered = full.replacen("\"degraded\":false", "\"degraded\":true ", 1);
+        assert_ne!(full, tampered, "fixture must contain the degraded flag");
+        std::fs::write(&victim, tampered).unwrap();
+        let reopened = PlanStore::open(&dir).unwrap();
+        assert_eq!(reopened.quarantined(), 1);
+        assert!(reopened.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn legacy_unframed_files_still_load() {
+        let dir = tmp("legacy");
+        let t = task();
+        let p = plan(&t);
+        {
+            let store = PlanStore::open(&dir).unwrap();
+            store.adopt("old", t, p, provenance(), 4.5, false).unwrap();
+        }
+        // Strip the checksum line, leaving the bare envelope a
+        // pre-checksum build would have written.
+        let path = dir.join("plans").join("old.json");
+        let framed = std::fs::read_to_string(&path).unwrap();
+        let bare = framed.split_once('\n').unwrap().1;
+        std::fs::write(&path, bare).unwrap();
+        let reopened = PlanStore::open(&dir).unwrap();
+        assert_eq!(reopened.quarantined(), 0);
+        assert_eq!(reopened.get("old").unwrap().predicted_ms, 4.5);
         std::fs::remove_dir_all(&dir).ok();
     }
 

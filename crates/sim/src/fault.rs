@@ -17,7 +17,10 @@
 //!   embedding-memory budget available,
 //! * [`Fault::TransientFailures`] — measured evaluations fail with some
 //!   probability (deterministic in the evaluation seed), modelling flaky
-//!   profiling runs.
+//!   profiling runs,
+//! * [`Fault::Partition`] / [`Fault::NodeCrash`] — *control-plane* faults
+//!   consumed by the `nshard-serve` replication chaos harness; they never
+//!   perturb plan evaluation.
 //!
 //! [`FaultyCluster`] bundles a [`Cluster`] with a [`FaultPlan`] and exposes
 //! the same evaluation API, so everything written against `Cluster` can be
@@ -79,6 +82,25 @@ pub enum Fault {
     TransientFailures {
         /// Per-evaluation failure probability, in `[0, 1)`.
         rate: f64,
+    },
+    /// The network between **control-plane nodes** `a` and `b` is cut
+    /// (both directions). Partitions model the serving tier's replication
+    /// fabric, not the training cluster's all-to-all: plan *evaluation*
+    /// ignores them, while the `nshard-serve` replication harness consults
+    /// [`FaultPlan::is_partitioned`] before delivering any message.
+    Partition {
+        /// One endpoint of the severed link (node index).
+        a: usize,
+        /// The other endpoint (node index); must differ from `a`.
+        b: usize,
+    },
+    /// Control-plane node `node` has crashed: it answers nothing and sends
+    /// nothing. Like [`Fault::Partition`], this is consumed by the
+    /// replication chaos harness ([`FaultPlan::is_crashed`]) and ignored by
+    /// plan evaluation — it models a dead daemon, not a dead GPU.
+    NodeCrash {
+        /// Index of the crashed node.
+        node: usize,
     },
 }
 
@@ -143,6 +165,13 @@ impl FaultPlan {
                     "transient failure rate must be in [0, 1), got {rate}"
                 );
             }
+            Fault::Partition { a, b } => {
+                assert!(
+                    a != b,
+                    "a partition needs two distinct nodes, got {a} twice"
+                );
+            }
+            Fault::NodeCrash { .. } => {}
         }
         self.faults.push(fault);
         self
@@ -235,6 +264,23 @@ impl FaultPlan {
         } else {
             None
         }
+    }
+
+    /// `true` when a [`Fault::Partition`] severs the link between
+    /// control-plane nodes `a` and `b` (in either orientation).
+    pub fn is_partitioned(&self, a: usize, b: usize) -> bool {
+        self.faults.iter().any(|f| {
+            matches!(f, Fault::Partition { a: x, b: y }
+                if (*x == a && *y == b) || (*x == b && *y == a))
+        })
+    }
+
+    /// `true` when a [`Fault::NodeCrash`] has taken control-plane
+    /// `node` down.
+    pub fn is_crashed(&self, node: usize) -> bool {
+        self.faults
+            .iter()
+            .any(|f| matches!(f, Fault::NodeCrash { node: n } if *n == node))
     }
 
     /// Samples a random fault scenario for chaos testing: up to two
@@ -502,9 +548,41 @@ mod tests {
                     Fault::TransientFailures { rate } => {
                         assert!((0.0..1.0).contains(rate));
                     }
+                    Fault::Partition { a, b } => {
+                        panic!("sampled() never draws control-plane faults, got Partition {a}-{b}")
+                    }
+                    Fault::NodeCrash { node } => {
+                        panic!("sampled() never draws control-plane faults, got NodeCrash {node}")
+                    }
                 }
             }
         }
+    }
+
+    #[test]
+    fn control_plane_faults_are_queryable_and_inert_for_evaluation() {
+        let faults = FaultPlan::new(0)
+            .with_fault(Fault::Partition { a: 0, b: 2 })
+            .with_fault(Fault::NodeCrash { node: 1 });
+        assert!(faults.is_partitioned(0, 2));
+        assert!(faults.is_partitioned(2, 0), "partitions are symmetric");
+        assert!(!faults.is_partitioned(0, 1));
+        assert!(faults.is_crashed(1));
+        assert!(!faults.is_crashed(0));
+        // Evaluation semantics are untouched: these faults live in the
+        // control plane, not the training cluster.
+        let plan = vec![vec![t(64)], vec![t(32)]];
+        let clean = Cluster::new(GpuSpec::rtx_2080_ti(), 2, 65_536);
+        assert_eq!(
+            clean.evaluate_exact(&plan),
+            faulty(faults).evaluate_exact(&plan)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "partition needs two distinct nodes")]
+    fn degenerate_partition_rejected() {
+        let _ = FaultPlan::new(0).with_fault(Fault::Partition { a: 3, b: 3 });
     }
 
     #[test]
