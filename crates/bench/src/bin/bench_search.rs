@@ -18,8 +18,12 @@ use serde::Serialize;
 
 use nshard_bench::{print_markdown_table, Args};
 use nshard_core::{NeuroShard, NeuroShardConfig, ShardOutcome};
-use nshard_cost::{CollectConfig, CostModelBundle, TrainSettings};
+use nshard_cost::{CollectConfig, CostModelBundle, CostSimulator, TrainSettings};
 use nshard_data::{ShardingTask, TablePool};
+
+/// Conformance band for the int8 engine: the f32-evaluated cost of every
+/// int8-found plan must stay within this factor of the f32 plan's cost.
+const INT8_COST_BAND: f64 = 1.10;
 
 #[derive(Serialize)]
 struct ThreadRow {
@@ -55,6 +59,16 @@ struct Output {
     /// Wall-clock of the uncached unbatched engine over the uncached
     /// batched engine — the batching speedup on model-bound search.
     batched_speedup_vs_unbatched_nocache: f64,
+    /// Same workload with `use_int8: true` (quantized cost-model
+    /// inference) at 1 thread. Approximate by design, so it is *not* part
+    /// of the plan-identity checks; instead its plans must be
+    /// memory-feasible and within [`INT8_COST_BAND`] of the f32 plans
+    /// when re-evaluated under the exact f32 simulator.
+    int8: ThreadRow,
+    /// Worst f32-evaluated cost ratio (int8 plan / f32 plan) over tasks.
+    int8_max_cost_ratio_vs_f32: f64,
+    /// The conformance band the ratio is checked against.
+    int8_cost_band: f64,
     /// True iff every thread count and the unbatched engine returned the
     /// same plan and bit-identical cost for every task (at the default
     /// cached configuration).
@@ -191,6 +205,36 @@ fn main() {
     let nocache_unbatched = row(1, nocache_u_wall, &outcomes, base_wall);
     let nocache_batched_speedup = nocache_u_wall / nocache_b_wall.max(1e-9);
 
+    eprintln!("searching {tasks_n} tasks with int8 inference...");
+    let (int8_wall, int8_outcomes) = run(
+        &bundle,
+        NeuroShardConfig {
+            threads: 1,
+            use_int8: true,
+            ..search
+        },
+        &tasks,
+    );
+    let int8 = row(1, int8_wall, &int8_outcomes, base_wall);
+    // Conformance: every int8 plan must be memory-feasible and, when
+    // re-evaluated under the exact f32 simulator, within the band of the
+    // f32 engine's plan for the same task.
+    let eval_sim = CostSimulator::new(bundle.clone());
+    let mut int8_max_ratio: f64 = 0.0;
+    for ((task, f32_o), int8_o) in tasks.iter().zip(&base_outcomes).zip(&int8_outcomes) {
+        int8_o
+            .plan
+            .validate(task)
+            .expect("int8 plan must be memory-feasible");
+        let f32_cost = eval_sim
+            .estimate_plan(&f32_o.plan.device_profiles(task.batch_size()))
+            .total_ms();
+        let int8_cost = eval_sim
+            .estimate_plan(&int8_o.plan.device_profiles(task.batch_size()))
+            .total_ms();
+        int8_max_ratio = int8_max_ratio.max(int8_cost / f32_cost.max(1e-9));
+    }
+
     let output = Output {
         hardware_threads: std::thread::available_parallelism().map_or(1, usize::from),
         tasks: tasks_n,
@@ -202,6 +246,9 @@ fn main() {
         nocache_batched,
         nocache_unbatched,
         batched_speedup_vs_unbatched_nocache: nocache_batched_speedup,
+        int8,
+        int8_max_cost_ratio_vs_f32: int8_max_ratio,
+        int8_cost_band: INT8_COST_BAND,
         plans_identical: identical,
         plans_identical_nocache: identical_nocache,
     };
@@ -227,6 +274,7 @@ fn main() {
         ("unbatched, 1 thread", &output.unbatched),
         ("batched, no cache", &output.nocache_batched),
         ("unbatched, no cache", &output.nocache_unbatched),
+        ("int8, 1 thread", &output.int8),
     ] {
         table.push(vec![
             name.into(),
@@ -245,10 +293,18 @@ fn main() {
          {nocache_batched_speedup:.2}x uncached; plans identical: {identical} \
          (uncached pair: {identical_nocache})"
     );
+    println!(
+        "int8 engine: worst f32-evaluated cost ratio {int8_max_ratio:.4} \
+         (band {INT8_COST_BAND})"
+    );
     assert!(identical, "plans must not depend on threads or batching");
     assert!(
         identical_nocache,
         "uncached plans must not depend on batching"
+    );
+    assert!(
+        int8_max_ratio <= INT8_COST_BAND,
+        "int8 plan cost ratio {int8_max_ratio} exceeds the band {INT8_COST_BAND}"
     );
 
     let json = serde_json::to_string_pretty(&output).expect("results are serializable");

@@ -212,27 +212,33 @@ impl<'a> GreedyGridSearch<'a> {
         let mut device_bytes = vec![0u64; num_devices];
         let mut device_dims = vec![0.0f64; num_devices];
         let mut device_of = vec![usize::MAX; profiles.len()];
+        // Reused across all placements of this pass — the probe loop
+        // itself allocates nothing.
+        let mut feasible: Vec<usize> = Vec::with_capacity(num_devices);
+        let mut key_scratch: Vec<u64> = Vec::with_capacity(num_devices);
 
         for &i in order {
             let p = &profiles[i];
             let bytes = p.memory_bytes();
             let dim = f64::from(p.dim());
-            let feasible: Vec<usize> = (0..num_devices)
-                .filter(|&g| {
-                    device_bytes[g] + bytes <= mem_budget_bytes
-                        && max_dim.is_none_or(|cap| device_dims[g] + dim <= cap)
-                })
-                .collect();
+            feasible.clear();
+            feasible.extend((0..num_devices).filter(|&g| {
+                device_bytes[g] + bytes <= mem_budget_bytes
+                    && max_dim.is_none_or(|cap| device_dims[g] + dim <= cap)
+            }));
             if feasible.is_empty() {
                 return None;
             }
             // Predicted device cost with the table added, all feasible
-            // devices scored in one batched call.
-            let bases: Vec<(TableSetKey, &[TableProfile])> = feasible
-                .iter()
-                .map(|&g| (device_keys[g], device_tables[g].as_slice()))
-                .collect();
-            let costs = self.sim.appended_compute_cost_batch(&bases, p);
+            // devices scored in one batched call straight off the
+            // per-device state.
+            let costs = self.sim.appended_compute_cost_indexed(
+                &device_tables,
+                &device_keys,
+                &feasible,
+                p,
+                &mut key_scratch,
+            );
             let mut best_dev: Option<(usize, f64)> = None;
             for (&g, &cost) in feasible.iter().zip(&costs) {
                 if best_dev.is_none_or(|(_, c)| cost < c) {

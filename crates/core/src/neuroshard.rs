@@ -36,6 +36,10 @@ pub struct NeuroShardConfig {
     /// query — the pre-batching engine, kept as a benchmark baseline).
     /// Plans and costs are bit-identical either way.
     pub use_batch: bool,
+    /// `true` runs cost-model inference through int8-quantized weights
+    /// (faster, approximate; see [`nshard_cost::InferenceMode`]). Default
+    /// `false` keeps the bit-exact f32 path.
+    pub use_int8: bool,
     /// Worker threads for the parallel search; `0` = auto (the
     /// `NSHARD_THREADS` environment variable, then available
     /// parallelism). Plans and costs are bit-identical at any count.
@@ -54,6 +58,7 @@ impl Default for NeuroShardConfig {
             use_cache: true,
             use_row_wise: false,
             use_batch: true,
+            use_int8: false,
             threads: 0,
         }
     }
@@ -123,6 +128,9 @@ impl NeuroShard {
         }
         if !config.use_batch {
             sim = sim.with_batching_disabled();
+        }
+        if config.use_int8 {
+            sim = sim.with_inference_mode(nshard_cost::InferenceMode::Int8);
         }
         Self { sim, config }
     }
@@ -267,6 +275,22 @@ mod tests {
         let ns = sharder(2, config);
         let outcome = ns.shard_with_stats(&task(2)).unwrap();
         assert!(outcome.plan.validate(&task(2)).is_ok());
+    }
+
+    #[test]
+    fn int8_config_produces_valid_plan() {
+        let config = NeuroShardConfig {
+            use_int8: true,
+            ..NeuroShardConfig::smoke()
+        };
+        let ns = sharder(2, config);
+        assert_eq!(
+            ns.simulator().inference_mode(),
+            nshard_cost::InferenceMode::Int8
+        );
+        let outcome = ns.shard_with_stats(&task(2)).unwrap();
+        assert!(outcome.plan.validate(&task(2)).is_ok());
+        assert!(outcome.estimated_cost_ms.is_finite());
     }
 
     #[test]

@@ -19,11 +19,51 @@
 //!   a device's whole table set per probe.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasher, Hasher};
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 
 use nshard_sim::TableProfile;
+
+/// A pass-through [`Hasher`] for keys that are already avalanche-mixed
+/// 64-bit fingerprints (every key in this crate goes through
+/// [`avalanche`]). Re-hashing such keys with SipHash is pure overhead on
+/// the search hot path, so maps keyed by them use the key bits directly.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PreMixedHasher(u64);
+
+impl Hasher for PreMixedHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = n;
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback (never hit for u64 keys): FNV-1a fold.
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+}
+
+/// [`BuildHasher`] for [`PreMixedHasher`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BuildPreMixed;
+
+impl BuildHasher for BuildPreMixed {
+    type Hasher = PreMixedHasher;
+
+    fn build_hasher(&self) -> PreMixedHasher {
+        PreMixedHasher::default()
+    }
+}
+
+/// A hash map keyed by pre-mixed `u64` fingerprints (no re-hashing).
+pub type PreMixedMap<V> = HashMap<u64, V, BuildPreMixed>;
 
 /// Accumulator seed of the empty set.
 const KEY_SEED: u64 = 0x517c_c1b7_2722_0a95;
@@ -47,6 +87,13 @@ fn table_hash(t: &TableProfile) -> u64 {
         h = h.wrapping_mul(0x100_0000_01b3);
     }
     h
+}
+
+/// Avalanche-mixed fingerprint of a single table profile — the key of the
+/// per-table [`EncodingCache`]. Distinct from [`table_set_key`] of the
+/// singleton set (which goes through the commutative accumulator).
+pub fn table_key(t: &TableProfile) -> u64 {
+    avalanche(table_hash(t))
 }
 
 /// Final avalanche mix applied on top of the commutative accumulator.
@@ -202,7 +249,7 @@ pub struct PredictionCache {
 
 #[derive(Debug, Default)]
 struct Shard {
-    map: HashMap<u64, f64>,
+    map: PreMixedMap<f64>,
     hits: u64,
     misses: u64,
 }
@@ -354,6 +401,75 @@ impl PredictionCache {
     }
 }
 
+/// Life-long cache of per-table *encoder outputs*.
+///
+/// The computation cost model is a DeepSets regressor: a shared encoder
+/// maps each table to a fixed-width row, the rows of a device's table set
+/// are summed, and a small head maps the sum to a cost. Encoder rows are
+/// pure functions of one table — bit-identical whether computed alone or
+/// inside any batch — so the search caches them life-long and rebuilds a
+/// set's pooled representation by re-folding cached rows, skipping the
+/// encoder (the bulk of the inference FLOPs) for every table it has seen
+/// before. Keyed by [`table_key`]. Reads take a shared lock; inserting a
+/// newly seen table takes the write lock.
+#[derive(Debug, Default)]
+pub struct EncodingCache {
+    map: RwLock<PreMixedMap<Box<[f32]>>>,
+}
+
+impl EncodingCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether `key`'s encoding is cached.
+    pub fn contains(&self, key: u64) -> bool {
+        self.map.read().contains_key(&key)
+    }
+
+    /// Inserts an encoding unless one is already present (the first value
+    /// wins; every computed encoding for a key is bit-identical anyway).
+    pub fn insert_if_absent(&self, key: u64, encoding: Box<[f32]>) {
+        self.map.write().entry(key).or_insert(encoding);
+    }
+
+    /// Element-wise adds `key`'s cached encoding into `acc`, returning
+    /// whether the key was present (on `false`, `acc` is untouched).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cached encoding's width differs from `acc.len()`.
+    pub fn accumulate(&self, key: u64, acc: &mut [f32]) -> bool {
+        let map = self.map.read();
+        match map.get(&key) {
+            Some(enc) => {
+                assert_eq!(enc.len(), acc.len(), "encoding width mismatch");
+                for (a, &e) in acc.iter_mut().zip(enc.iter()) {
+                    *a += e;
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of distinct table encodings stored.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// Whether the cache holds no encodings.
+    pub fn is_empty(&self) -> bool {
+        self.map.read().is_empty()
+    }
+
+    /// Drops every entry.
+    pub fn clear(&self) {
+        self.map.write().clear();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -490,6 +606,35 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<PredictionCache>();
         assert_send_sync::<TableSetKey>();
+        assert_send_sync::<EncodingCache>();
+    }
+
+    #[test]
+    fn table_key_distinguishes_tables() {
+        assert_eq!(table_key(&t(4, 100)), table_key(&t(4, 100)));
+        assert_ne!(table_key(&t(4, 100)), table_key(&t(8, 100)));
+        assert_ne!(table_key(&t(4, 100)), table_key(&t(4, 200)));
+    }
+
+    #[test]
+    fn encoding_cache_accumulates_and_first_value_wins() {
+        let cache = EncodingCache::new();
+        assert!(cache.is_empty());
+        assert!(!cache.contains(5));
+        let mut acc = vec![1.0f32, 2.0];
+        assert!(!cache.accumulate(5, &mut acc));
+        assert_eq!(acc, [1.0, 2.0]);
+
+        cache.insert_if_absent(5, vec![0.5, 0.25].into_boxed_slice());
+        cache.insert_if_absent(5, vec![9.0, 9.0].into_boxed_slice());
+        assert!(cache.contains(5));
+        assert_eq!(cache.len(), 1);
+        assert!(cache.accumulate(5, &mut acc));
+        assert!(cache.accumulate(5, &mut acc));
+        assert_eq!(acc, [2.0, 2.5]);
+
+        cache.clear();
+        assert!(cache.is_empty());
     }
 
     #[test]

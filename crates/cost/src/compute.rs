@@ -7,14 +7,17 @@
 //! makes the model handle any number of tables — the property that lets one
 //! pre-trained model serve every sharding task.
 
+use std::cell::RefCell;
+use std::sync::OnceLock;
+
 use nshard_pool::WorkPool;
 use serde::{Deserialize, Serialize};
 
-use nshard_nn::{Adam, Gradients, Matrix, Mlp};
+use nshard_nn::{Adam, Gradients, Matrix, Mlp, MlpScratch, QuantizedMlp};
 
 use crate::collect::{ComputeDataset, ComputeSample};
 use crate::features::TABLE_FEATURE_DIM;
-use crate::simulator::TrainSettings;
+use crate::simulator::{InferenceMode, TrainSettings};
 
 /// The paper's encoder architecture: table features → 128 → 32.
 const ENCODER_HIDDEN: [usize; 1] = [128];
@@ -49,10 +52,87 @@ pub struct ComputeTrainReport {
 /// let cost = model.predict(&features);
 /// assert!(cost.is_finite());
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug)]
 pub struct ComputeCostModel {
     encoder: Mlp,
     head: Mlp,
+    /// Lazily built int8 snapshot of `(encoder, head)` for
+    /// [`InferenceMode::Int8`]; derived state, invalidated on retrain and
+    /// never serialized or compared.
+    quant: OnceLock<QuantizedPair>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct QuantizedPair {
+    encoder: QuantizedMlp,
+    head: QuantizedMlp,
+}
+
+/// Reusable per-thread buffers for `predict`/`predict_batch`: the batch
+/// input, the pooled per-set encodings, and the two MLPs' activation
+/// ping-pongs. Thread-local because models are shared `&self` across
+/// search worker threads.
+#[derive(Debug, Default)]
+struct ComputeScratch {
+    x: Matrix,
+    pooled: Matrix,
+    enc: MlpScratch,
+    head: MlpScratch,
+}
+
+thread_local! {
+    static COMPUTE_SCRATCH: RefCell<ComputeScratch> = RefCell::new(ComputeScratch::default());
+}
+
+impl Clone for ComputeCostModel {
+    fn clone(&self) -> Self {
+        Self {
+            encoder: self.encoder.clone(),
+            head: self.head.clone(),
+            quant: self
+                .quant
+                .get()
+                .cloned()
+                .map(OnceLock::from)
+                .unwrap_or_default(),
+        }
+    }
+}
+
+impl PartialEq for ComputeCostModel {
+    fn eq(&self, other: &Self) -> bool {
+        self.encoder == other.encoder && self.head == other.head
+    }
+}
+
+// Mirrors the historical derive on `{ encoder, head }` so committed model
+// fixtures stay byte-compatible; the quantized cache is derived state.
+impl serde::Serialize for ComputeCostModel {
+    fn to_value(&self) -> serde::value::Value {
+        serde::value::Value::Map(vec![
+            (
+                String::from("encoder"),
+                serde::Serialize::to_value(&self.encoder),
+            ),
+            (String::from("head"), serde::Serialize::to_value(&self.head)),
+        ])
+    }
+}
+
+impl serde::Deserialize for ComputeCostModel {
+    fn from_value(v: &serde::value::Value) -> Result<Self, serde::de::Error> {
+        let map = v.as_map().ok_or_else(|| {
+            serde::de::Error::custom(format!(
+                "expected object for struct ComputeCostModel, found {}",
+                v.kind()
+            ))
+        })?;
+        Ok(ComputeCostModel {
+            encoder: serde::__field(map, "encoder")?,
+            head: serde::__field(map, "head")?,
+            quant: OnceLock::new(),
+        })
+    }
 }
 
 impl ComputeCostModel {
@@ -69,6 +149,7 @@ impl ComputeCostModel {
         Self {
             encoder: Mlp::new(TABLE_FEATURE_DIM, encoder_hidden, ENCODER_OUT, seed),
             head: Mlp::new(ENCODER_OUT, head_hidden, 1, seed ^ 0x5EED_CAFE),
+            quant: OnceLock::new(),
         }
     }
 
@@ -78,20 +159,33 @@ impl ComputeCostModel {
         Self::with_architecture(&[], &[], seed)
     }
 
+    /// The int8 snapshot of the current weights, built on first use.
+    fn quantized(&self) -> &QuantizedPair {
+        self.quant.get_or_init(|| QuantizedPair {
+            encoder: QuantizedMlp::from_mlp(&self.encoder),
+            head: QuantizedMlp::from_mlp(&self.head),
+        })
+    }
+
+    /// The largest recorded per-layer weight-quantization error bound
+    /// across the encoder and head (`scale / 2` of the widest layer).
+    pub fn quantization_error_bound(&self) -> f32 {
+        let q = self.quantized();
+        q.encoder.error_bound().max(q.head.error_bound())
+    }
+
     /// Predicts the fused multi-table kernel cost (ms) for a combination
     /// given per-table feature vectors.
     ///
     /// An empty combination predicts the head's response to a zero sum
     /// (≈ the kernel launch overhead once trained).
     pub fn predict(&self, tables: &[Vec<f32>]) -> f64 {
-        let pooled = if tables.is_empty() {
-            Matrix::zeros(1, ENCODER_OUT)
-        } else {
-            let x = Matrix::from_rows(tables);
-            let encoded = self.encoder.forward(&x);
-            Matrix::from_rows([encoded.sum_rows()])
-        };
-        f64::from(self.head.forward(&pooled).get(0, 0))
+        self.predict_with_mode(tables, InferenceMode::F32)
+    }
+
+    /// [`ComputeCostModel::predict`] on an explicit numeric path.
+    pub fn predict_with_mode(&self, tables: &[Vec<f32>], mode: InferenceMode) -> f64 {
+        self.predict_batch_with_mode(&[tables], mode)[0]
     }
 
     /// Predicts the fused-kernel cost of many table combinations with two
@@ -99,30 +193,127 @@ impl ComputeCostModel {
     /// shared encoder as one matrix, each set's rows are sum-pooled, and
     /// the pooled rows go through the head as one matrix.
     ///
-    /// Both `Mlp::forward` and the pooling accumulate in the same order as
+    /// Both forward passes and the pooling accumulate in the same order as
     /// the single-set path, so each result is **bit-identical** to calling
-    /// [`ComputeCostModel::predict`] on that set alone.
+    /// [`ComputeCostModel::predict`] on that set alone. All intermediates
+    /// live in thread-local scratch — the hot path allocates only the
+    /// returned `Vec` after warm-up.
     pub fn predict_batch<S: AsRef<[Vec<f32>]>>(&self, sets: &[S]) -> Vec<f64> {
+        self.predict_batch_with_mode(sets, InferenceMode::F32)
+    }
+
+    /// [`ComputeCostModel::predict_batch`] on an explicit numeric path.
+    /// [`InferenceMode::Int8`] runs both MLPs through their quantized
+    /// snapshots (approximate, inference-only).
+    pub fn predict_batch_with_mode<S: AsRef<[Vec<f32>]>>(
+        &self,
+        sets: &[S],
+        mode: InferenceMode,
+    ) -> Vec<f64> {
         if sets.is_empty() {
             return Vec::new();
         }
-        let total_rows: usize = sets.iter().map(|s| s.as_ref().len()).sum();
-        let mut pooled_rows: Vec<Vec<f32>> = vec![vec![0.0; ENCODER_OUT]; sets.len()];
-        if total_rows > 0 {
-            let x = Matrix::from_rows(sets.iter().flat_map(|s| s.as_ref().iter()));
-            let encoded = self.encoder.forward(&x);
-            let mut r = 0;
-            for (pooled, s) in pooled_rows.iter_mut().zip(sets) {
-                for _ in 0..s.as_ref().len() {
-                    for (p, &v) in pooled.iter_mut().zip(encoded.row(r)) {
-                        *p += v;
+        COMPUTE_SCRATCH.with(|scratch| {
+            let s = &mut *scratch.borrow_mut();
+            let total_rows: usize = sets.iter().map(|s| s.as_ref().len()).sum();
+            s.pooled.reset(sets.len(), ENCODER_OUT);
+            if total_rows > 0 {
+                s.x.reset(total_rows, self.encoder.input_dim());
+                let mut r = 0;
+                for set in sets {
+                    for row in set.as_ref() {
+                        s.x.row_mut(r).copy_from_slice(row);
+                        r += 1;
                     }
-                    r += 1;
+                }
+                let encoded: &Matrix = match mode {
+                    InferenceMode::F32 => self.encoder.forward_scratch(&s.x, &mut s.enc),
+                    InferenceMode::Int8 => {
+                        self.quantized().encoder.forward_scratch(&s.x, &mut s.enc)
+                    }
+                };
+                let mut r = 0;
+                for (i, set) in sets.iter().enumerate() {
+                    let pooled = s.pooled.row_mut(i);
+                    for _ in 0..set.as_ref().len() {
+                        for (p, &v) in pooled.iter_mut().zip(encoded.row(r)) {
+                            *p += v;
+                        }
+                        r += 1;
+                    }
                 }
             }
+            let y: &Matrix = match mode {
+                InferenceMode::F32 => self.head.forward_scratch(&s.pooled, &mut s.head),
+                InferenceMode::Int8 => self
+                    .quantized()
+                    .head
+                    .forward_scratch(&s.pooled, &mut s.head),
+            };
+            (0..sets.len()).map(|i| f64::from(y.get(i, 0))).collect()
+        })
+    }
+
+    /// Width of one per-table encoding (the pooled-representation
+    /// dimension fed to the head).
+    pub fn encoding_dim(&self) -> usize {
+        self.head.input_dim()
+    }
+
+    /// Runs only the shared encoder over per-table feature rows, returning
+    /// one encoding row per input row.
+    ///
+    /// Encoder rows are independent of batch composition, so each returned
+    /// row is bit-identical to the corresponding row of any other forward
+    /// containing that table — the property the search's per-table
+    /// encoding cache relies on.
+    pub fn encode_tables_with_mode(
+        &self,
+        features: &[Vec<f32>],
+        mode: InferenceMode,
+    ) -> Vec<Vec<f32>> {
+        if features.is_empty() {
+            return Vec::new();
         }
-        let y = self.head.forward(&Matrix::from_rows(&pooled_rows));
-        (0..sets.len()).map(|i| f64::from(y.get(i, 0))).collect()
+        COMPUTE_SCRATCH.with(|scratch| {
+            let s = &mut *scratch.borrow_mut();
+            s.x.reset(features.len(), self.encoder.input_dim());
+            for (i, row) in features.iter().enumerate() {
+                s.x.row_mut(i).copy_from_slice(row);
+            }
+            let encoded: &Matrix = match mode {
+                InferenceMode::F32 => self.encoder.forward_scratch(&s.x, &mut s.enc),
+                InferenceMode::Int8 => self.quantized().encoder.forward_scratch(&s.x, &mut s.enc),
+            };
+            (0..features.len())
+                .map(|i| encoded.row(i).to_vec())
+                .collect()
+        })
+    }
+
+    /// Runs only the head over already sum-pooled encoding rows, returning
+    /// one cost per row. Combined with [`ComputeCostModel::encode_tables_with_mode`]
+    /// and a left-to-right fold of the encodings, this reproduces
+    /// [`ComputeCostModel::predict_batch_with_mode`] bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pooled`'s width differs from
+    /// [`ComputeCostModel::encoding_dim`].
+    pub fn head_costs_with_mode(&self, pooled: &Matrix, mode: InferenceMode) -> Vec<f64> {
+        assert_eq!(
+            pooled.cols(),
+            self.encoding_dim(),
+            "pooled rows have the wrong encoding width"
+        );
+        COMPUTE_SCRATCH.with(|scratch| {
+            let s = &mut *scratch.borrow_mut();
+            let y: &Matrix = match mode {
+                InferenceMode::F32 => self.head.forward_scratch(pooled, &mut s.head),
+                InferenceMode::Int8 => self.quantized().head.forward_scratch(pooled, &mut s.head),
+            };
+            (0..pooled.rows()).map(|i| f64::from(y.get(i, 0))).collect()
+        })
     }
 
     /// Mean squared error over a dataset (batched inference).
@@ -202,6 +393,7 @@ impl ComputeCostModel {
 
         self.encoder = best.0;
         self.head = best.1;
+        self.quant = OnceLock::new();
         ComputeTrainReport {
             train_mse: self.evaluate_mse(&train),
             valid_mse: best_valid,
@@ -285,6 +477,36 @@ mod tests {
             assert_eq!(single.to_bits(), b.to_bits(), "batch diverged on {s:?}");
         }
         assert!(model.predict_batch::<Vec<Vec<f32>>>(&[]).is_empty());
+    }
+
+    #[test]
+    fn decomposed_encode_fold_head_matches_predict() {
+        // encode → left-fold → head must reproduce the fused forward bit
+        // for bit on both numeric paths (the encoding cache's contract).
+        let model = ComputeCostModel::new(5);
+        let data = small_dataset(4);
+        for mode in [InferenceMode::F32, InferenceMode::Int8] {
+            for s in &data.samples {
+                let encoded = model.encode_tables_with_mode(&s.tables, mode);
+                assert_eq!(encoded.len(), s.tables.len());
+                let mut pooled = Matrix::zeros(1, model.encoding_dim());
+                for row in &encoded {
+                    for (p, &v) in pooled.row_mut(0).iter_mut().zip(row) {
+                        *p += v;
+                    }
+                }
+                let via_parts = model.head_costs_with_mode(&pooled, mode)[0];
+                let direct = model.predict_with_mode(&s.tables, mode);
+                assert_eq!(
+                    via_parts.to_bits(),
+                    direct.to_bits(),
+                    "decomposed path diverged in mode {mode:?}"
+                );
+            }
+        }
+        assert!(model
+            .encode_tables_with_mode(&[], InferenceMode::F32)
+            .is_empty());
     }
 
     #[test]

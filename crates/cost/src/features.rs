@@ -75,12 +75,35 @@ pub fn comm_feature_dim(num_devices: usize) -> usize {
 /// assert_eq!(f.len(), comm_feature_dim(4));
 /// ```
 pub fn comm_features(device_dims: &[f64], start_ts_ms: &[f64], batch_size: u32) -> Vec<f32> {
+    let mut features = vec![0.0f32; comm_feature_dim(device_dims.len())];
+    comm_features_into(device_dims, start_ts_ms, batch_size, &mut features);
+    features
+}
+
+/// [`comm_features`] into a caller-provided slice (e.g. a batch-matrix row),
+/// writing the exact same values without allocating the output.
+///
+/// # Panics
+///
+/// Panics if the slice lengths are inconsistent with
+/// [`comm_feature_dim`]`(device_dims.len())`.
+pub fn comm_features_into(
+    device_dims: &[f64],
+    start_ts_ms: &[f64],
+    batch_size: u32,
+    out: &mut [f32],
+) {
     assert_eq!(
         device_dims.len(),
         start_ts_ms.len(),
         "device_dims and start_ts_ms must have the same length"
     );
     let d = device_dims.len();
+    assert_eq!(
+        out.len(),
+        comm_feature_dim(d),
+        "output slice has the wrong feature width"
+    );
     let mut pairs: Vec<(f64, f64)> = device_dims
         .iter()
         .copied()
@@ -91,19 +114,17 @@ pub fn comm_features(device_dims: &[f64], start_ts_ms: &[f64], batch_size: u32) 
     // Normalize data sizes by a nominal 1024-dim device at this batch size.
     let dim_scale = 1024.0;
     let batch_scale = f64::from(batch_size) / 65_536.0;
-    let mut features = Vec::with_capacity(comm_feature_dim(d));
-    for &(dim, start) in &pairs {
-        features.push((dim * batch_scale / dim_scale) as f32);
-        features.push((start / 20.0) as f32);
+    for (slot, &(dim, start)) in out.chunks_exact_mut(2).zip(&pairs) {
+        slot[0] = (dim * batch_scale / dim_scale) as f32;
+        slot[1] = (start / 20.0) as f32;
     }
     let max_dim = pairs.first().map_or(0.0, |p| p.0);
     let mean_dim = device_dims.iter().sum::<f64>() / d.max(1) as f64;
     let start_spread = start_ts_ms.iter().cloned().fold(f64::MIN, f64::max)
         - start_ts_ms.iter().cloned().fold(f64::MAX, f64::min);
-    features.push((max_dim * batch_scale / dim_scale) as f32);
-    features.push((mean_dim * batch_scale / dim_scale) as f32);
-    features.push((start_spread.max(0.0) / 20.0) as f32);
-    features
+    out[2 * d] = (max_dim * batch_scale / dim_scale) as f32;
+    out[2 * d + 1] = (mean_dim * batch_scale / dim_scale) as f32;
+    out[2 * d + 2] = (start_spread.max(0.0) / 20.0) as f32;
 }
 
 #[cfg(test)]

@@ -52,5 +52,9 @@ pub use collect::{
 };
 pub use comm_model::CommCostModel;
 pub use compute::{ComputeCostModel, ComputeTrainReport};
-pub use features::{comm_feature_dim, comm_features, table_features, TABLE_FEATURE_DIM};
-pub use simulator::{BundleReport, CostModelBundle, CostSimulator, EstimatedCost, TrainSettings};
+pub use features::{
+    comm_feature_dim, comm_features, comm_features_into, table_features, TABLE_FEATURE_DIM,
+};
+pub use simulator::{
+    BundleReport, CostModelBundle, CostSimulator, EstimatedCost, InferenceMode, TrainSettings,
+};

@@ -7,14 +7,17 @@
 //! predicted max computation, forward communication and backward
 //! communication costs (§3.3) — no ground-truth (GPU) execution involved.
 
-use std::collections::HashMap;
+use std::cell::RefCell;
 
 use serde::{Deserialize, Serialize};
 
 use nshard_data::TablePool;
+use nshard_nn::Matrix;
 use nshard_sim::{CommParams, GpuSpec, KernelParams, TableProfile};
 
-use crate::cache::{table_set_key, PredictionCache, TableSetKey};
+use crate::cache::{
+    table_key, table_set_key, EncodingCache, PreMixedMap, PredictionCache, TableSetKey,
+};
 use crate::collect::{collect_comm_data, collect_compute_data, CollectConfig};
 use crate::comm_model::CommCostModel;
 use crate::compute::ComputeCostModel;
@@ -24,6 +27,22 @@ use crate::features::table_features;
 /// the forward pass (used to estimate all-to-all start skews at search
 /// time; matches the simulator's default backward/forward ratio).
 const FWD_FRACTION: f64 = 1.0 / 2.45;
+
+/// Numeric path used for cost-model inference.
+///
+/// `F32` is the exact path: bit-identical to the scalar reference kernels
+/// and to every pre-batching/pre-blocking engine. `Int8` runs forward
+/// passes through per-layer symmetrically quantized weights
+/// ([`nshard_nn::QuantizedMlp`]) with f32 accumulation — approximate but
+/// faster; it is inference-only and gated by a cost-band conformance test.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InferenceMode {
+    /// Exact f32 inference (the default).
+    #[default]
+    F32,
+    /// Int8 symmetric weight quantization with f32 accumulation.
+    Int8,
+}
 
 /// Training hyperparameters for all three cost models.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -270,8 +289,29 @@ impl EstimatedCost {
 pub struct CostSimulator {
     bundle: CostModelBundle,
     cache: PredictionCache,
+    /// Life-long per-table encoder outputs (see [`EncodingCache`]); like
+    /// the cost cache, per-simulator so numeric modes never mix.
+    encodings: EncodingCache,
     cache_enabled: bool,
     batch_enabled: bool,
+    inference_mode: InferenceMode,
+}
+
+/// Reusable per-thread buffers for the batched cache-resolution path:
+/// the pooled encoding rows of the current miss batch, the flat per-table
+/// fingerprint list, and the miss bookkeeping containers. Thread-local
+/// because simulators are shared `&self` across search worker threads.
+#[derive(Debug, Default)]
+struct SimScratch {
+    pooled: Matrix,
+    table_keys: Vec<u64>,
+    pending: PreMixedMap<usize>,
+    miss_items: Vec<usize>,
+    dups: Vec<(usize, usize)>,
+}
+
+thread_local! {
+    static SIM_SCRATCH: RefCell<SimScratch> = RefCell::new(SimScratch::default());
 }
 
 impl CostSimulator {
@@ -280,8 +320,10 @@ impl CostSimulator {
         Self {
             bundle,
             cache: PredictionCache::new(),
+            encodings: EncodingCache::new(),
             cache_enabled: true,
             batch_enabled: true,
+            inference_mode: InferenceMode::F32,
         }
     }
 
@@ -290,6 +332,24 @@ impl CostSimulator {
     pub fn with_cache_disabled(mut self) -> Self {
         self.cache_enabled = false;
         self
+    }
+
+    /// Selects the numeric inference path. [`InferenceMode::Int8`] trades
+    /// exactness for speed; cached predictions are per-simulator, so one
+    /// simulator instance never mixes values from different modes (both
+    /// caches are dropped here in case anything was already memoized).
+    pub fn with_inference_mode(mut self, mode: InferenceMode) -> Self {
+        if mode != self.inference_mode {
+            self.cache.clear();
+            self.encodings.clear();
+        }
+        self.inference_mode = mode;
+        self
+    }
+
+    /// The active numeric inference path.
+    pub fn inference_mode(&self) -> InferenceMode {
+        self.inference_mode
     }
 
     /// Disables batched inference: every batch API falls back to one
@@ -322,14 +382,34 @@ impl CostSimulator {
             .collect()
     }
 
+    /// Feature rows of `tables` with `extra`'s row appended (the greedy
+    /// probe's set layout).
+    fn features_with_extra(
+        &self,
+        tables: &[TableProfile],
+        extra: Option<&TableProfile>,
+    ) -> Vec<Vec<f32>> {
+        tables
+            .iter()
+            .chain(extra)
+            .map(|t| table_features(t, self.bundle.batch_size))
+            .collect()
+    }
+
     /// Runs the compute model over many feature sets, batched or one by
     /// one depending on the ablation toggle. Identical bits either way.
     fn predict_compute_sets(&self, sets: &[Vec<Vec<f32>>]) -> Vec<f64> {
         if self.batch_enabled {
-            self.bundle.compute.predict_batch(sets)
+            self.bundle
+                .compute
+                .predict_batch_with_mode(sets, self.inference_mode)
         } else {
             sets.iter()
-                .map(|s| self.bundle.compute.predict(s))
+                .map(|s| {
+                    self.bundle
+                        .compute
+                        .predict_with_mode(s, self.inference_mode)
+                })
                 .collect()
         }
     }
@@ -338,10 +418,17 @@ impl CostSimulator {
     /// the model once over all misses. Within one batch the accounting
     /// matches the serial path exactly: the first occurrence of a missing
     /// key is a miss, every later duplicate is a hit.
-    fn cached_compute_batch(
+    ///
+    /// Query `i`'s table set is `set_of(i)` with `extra` (if any)
+    /// appended; `keys[i]` must fingerprint exactly that multiset. Taking
+    /// the sets as an indexing closure (rather than a slice of slices)
+    /// lets hot callers probe directly out of their own storage without
+    /// building a borrowed `Vec` per call.
+    fn cached_compute_batch<'a>(
         &self,
         keys: &[u64],
-        mut features_of: impl FnMut(usize) -> Vec<Vec<f32>>,
+        set_of: impl Fn(usize) -> &'a [TableProfile],
+        extra: Option<&TableProfile>,
     ) -> Vec<f64> {
         let n = keys.len();
         if !self.cache_enabled {
@@ -349,39 +436,114 @@ impl CostSimulator {
             for _ in 0..n {
                 self.cache.count_miss();
             }
-            let feats: Vec<Vec<Vec<f32>>> = (0..n).map(&mut features_of).collect();
+            let feats: Vec<Vec<Vec<f32>>> = (0..n)
+                .map(|i| self.features_with_extra(set_of(i), extra))
+                .collect();
             return self.predict_compute_sets(&feats);
         }
-        let mut out = vec![f64::NAN; n];
-        // First-occurrence slot of each key this batch must compute.
-        let mut pending: HashMap<u64, usize> = HashMap::new();
-        let mut miss_items: Vec<usize> = Vec::new();
-        let mut dups: Vec<(usize, usize)> = Vec::new();
-        for (i, &key) in keys.iter().enumerate() {
-            if let Some(v) = self.cache.get_counted(key) {
-                out[i] = v;
-            } else if let Some(&slot) = pending.get(&key) {
-                // The serial path would answer this from the cache.
-                self.cache.record_hit(key);
-                dups.push((i, slot));
-            } else {
-                self.cache.record_miss(key);
-                pending.insert(key, miss_items.len());
-                miss_items.push(i);
+        SIM_SCRATCH.with(|scratch| {
+            let s = &mut *scratch.borrow_mut();
+            let mut out = vec![f64::NAN; n];
+            // First-occurrence slot of each key this batch must compute.
+            s.pending.clear();
+            s.miss_items.clear();
+            s.dups.clear();
+            for (i, &key) in keys.iter().enumerate() {
+                if let Some(v) = self.cache.get_counted(key) {
+                    out[i] = v;
+                } else if let Some(&slot) = s.pending.get(&key) {
+                    // The serial path would answer this from the cache.
+                    self.cache.record_hit(key);
+                    s.dups.push((i, slot));
+                } else {
+                    self.cache.record_miss(key);
+                    s.pending.insert(key, s.miss_items.len());
+                    s.miss_items.push(i);
+                }
+            }
+            if !s.miss_items.is_empty() {
+                let preds = if self.batch_enabled {
+                    self.predict_misses_via_encodings(
+                        &s.miss_items,
+                        &set_of,
+                        extra,
+                        &mut s.pooled,
+                        &mut s.table_keys,
+                    )
+                } else {
+                    let feats: Vec<Vec<Vec<f32>>> = s
+                        .miss_items
+                        .iter()
+                        .map(|&i| self.features_with_extra(set_of(i), extra))
+                        .collect();
+                    self.predict_compute_sets(&feats)
+                };
+                for (slot, &i) in s.miss_items.iter().enumerate() {
+                    self.cache.insert_if_absent(keys[i], preds[slot]);
+                    out[i] = preds[slot];
+                }
+                for &(i, slot) in &s.dups {
+                    out[i] = preds[slot];
+                }
+            }
+            out
+        })
+    }
+
+    /// Scores the cache-missing sets by re-folding per-table encodings:
+    /// tables never seen before are encoded with one batched encoder
+    /// forward and memoized in the life-long [`EncodingCache`], every
+    /// other table's encoding is read back, each miss's rows are left-fold
+    /// summed in set order, and the pooled rows go through the head as one
+    /// matrix. Bit-identical to the full forward — encoder rows are
+    /// independent of batch composition and the fold matches the fused
+    /// path's pooling order — while skipping the encoder (the bulk of the
+    /// FLOPs) for every previously seen table.
+    fn predict_misses_via_encodings<'a>(
+        &self,
+        miss_items: &[usize],
+        set_of: impl Fn(usize) -> &'a [TableProfile],
+        extra: Option<&TableProfile>,
+        pooled: &mut Matrix,
+        table_keys: &mut Vec<u64>,
+    ) -> Vec<f64> {
+        let model = self.bundle.compute_model();
+        // Fingerprint every table of the miss batch; collect the ones with
+        // no cached encoding (deduplicated — the list stays tiny because a
+        // table is unknown at most once per search).
+        table_keys.clear();
+        let mut unknown: Vec<(u64, &TableProfile)> = Vec::new();
+        for &i in miss_items {
+            for t in set_of(i).iter().chain(extra) {
+                let k = table_key(t);
+                table_keys.push(k);
+                if !self.encodings.contains(k) && !unknown.iter().any(|&(u, _)| u == k) {
+                    unknown.push((k, t));
+                }
             }
         }
-        if !miss_items.is_empty() {
-            let feats: Vec<Vec<Vec<f32>>> = miss_items.iter().map(|&i| features_of(i)).collect();
-            let preds = self.predict_compute_sets(&feats);
-            for (slot, &i) in miss_items.iter().enumerate() {
-                self.cache.insert_if_absent(keys[i], preds[slot]);
-                out[i] = preds[slot];
-            }
-            for (i, slot) in dups {
-                out[i] = preds[slot];
+        if !unknown.is_empty() {
+            let feats: Vec<Vec<f32>> = unknown
+                .iter()
+                .map(|&(_, t)| table_features(t, self.bundle.batch_size))
+                .collect();
+            let encoded = model.encode_tables_with_mode(&feats, self.inference_mode);
+            for (&(k, _), row) in unknown.iter().zip(encoded) {
+                self.encodings.insert_if_absent(k, row.into_boxed_slice());
             }
         }
-        out
+        pooled.reset(miss_items.len(), model.encoding_dim());
+        let mut next_key = 0usize;
+        for (slot, &i) in miss_items.iter().enumerate() {
+            let acc = pooled.row_mut(slot);
+            let count = set_of(i).len() + usize::from(extra.is_some());
+            for &k in &table_keys[next_key..next_key + count] {
+                let present = self.encodings.accumulate(k, acc);
+                debug_assert!(present, "encoding missing from the life-long cache");
+            }
+            next_key += count;
+        }
+        model.head_costs_with_mode(pooled, self.inference_mode)
     }
 
     /// Predicted fused-kernel cost (fwd+bwd, ms) of one device's table set,
@@ -395,7 +557,11 @@ impl CostSimulator {
     ///
     /// `key` must fingerprint exactly the multiset in `tables`.
     pub fn device_compute_cost_keyed(&self, key: TableSetKey, tables: &[TableProfile]) -> f64 {
-        let predict = || self.bundle.compute.predict(&self.features(tables));
+        let predict = || {
+            self.bundle
+                .compute
+                .predict_with_mode(&self.features(tables), self.inference_mode)
+        };
         if self.cache_enabled {
             self.cache.get_or_insert_with(key.key(), predict)
         } else {
@@ -410,7 +576,7 @@ impl CostSimulator {
     /// fingerprint its paired multiset.
     pub fn device_compute_cost_batch(&self, sets: &[(TableSetKey, &[TableProfile])]) -> Vec<f64> {
         let keys: Vec<u64> = sets.iter().map(|(k, _)| k.key()).collect();
-        self.cached_compute_batch(&keys, |i| self.features(sets[i].1))
+        self.cached_compute_batch(&keys, |i| sets[i].1, None)
     }
 
     /// Predicted costs of `extra` appended to each base set — the greedy
@@ -423,12 +589,34 @@ impl CostSimulator {
         extra: &TableProfile,
     ) -> Vec<f64> {
         let keys: Vec<u64> = bases.iter().map(|(k, _)| k.with(extra).key()).collect();
-        let extra_feat = table_features(extra, self.bundle.batch_size);
-        self.cached_compute_batch(&keys, |i| {
-            let mut feats = self.features(bases[i].1);
-            feats.push(extra_feat.clone());
-            feats
-        })
+        self.cached_compute_batch(&keys, |i| bases[i].1, Some(extra))
+    }
+
+    /// [`CostSimulator::appended_compute_cost_batch`] for callers that
+    /// keep per-device sets and keys in parallel arrays: candidate device
+    /// `candidates[j]`'s probe cost lands in slot `j` of the result, and
+    /// the device sets are read straight out of `device_sets` — no
+    /// per-probe view building.
+    pub fn appended_compute_cost_indexed(
+        &self,
+        device_sets: &[Vec<TableProfile>],
+        device_keys: &[TableSetKey],
+        candidates: &[usize],
+        extra: &TableProfile,
+        keys_scratch: &mut Vec<u64>,
+    ) -> Vec<f64> {
+        assert_eq!(
+            device_sets.len(),
+            device_keys.len(),
+            "device sets and keys must be aligned"
+        );
+        keys_scratch.clear();
+        keys_scratch.extend(candidates.iter().map(|&g| device_keys[g].with(extra).key()));
+        self.cached_compute_batch(
+            keys_scratch,
+            |j| device_sets[candidates[j]].as_slice(),
+            Some(extra),
+        )
     }
 
     /// Predicted cost (fwd+bwd, ms) of a single table alone on a device —
@@ -445,9 +633,7 @@ impl CostSimulator {
             .iter()
             .map(|t| table_set_key(std::slice::from_ref(t)))
             .collect();
-        self.cached_compute_batch(&keys, |i| {
-            vec![table_features(&tables[i], self.bundle.batch_size)]
-        })
+        self.cached_compute_batch(&keys, |i| std::slice::from_ref(&tables[i]), None)
     }
 
     /// Estimates the full embedding cost of a plan (Equation 1's
@@ -490,7 +676,7 @@ impl CostSimulator {
             .flat_map(|a| a.as_ref().iter().map(Vec::as_slice))
             .collect();
         let keys: Vec<u64> = flat.iter().map(|s| table_set_key(s)).collect();
-        let compute_flat = self.cached_compute_batch(&keys, |i| self.features(flat[i]));
+        let compute_flat = self.cached_compute_batch(&keys, |i| flat[i], None);
 
         let mut dims_all: Vec<Vec<f64>> = Vec::with_capacity(assignments.len());
         let mut fwd_starts_all: Vec<Vec<f64>> = Vec::with_capacity(assignments.len());
@@ -536,11 +722,18 @@ impl CostSimulator {
     /// depending on the ablation toggle. Identical bits either way.
     fn predict_comm(&self, model: &CommCostModel, placements: &[(&[f64], &[f64])]) -> Vec<f64> {
         if self.batch_enabled {
-            model.predict_batch(placements, self.bundle.batch_size)
+            model.predict_batch_with_mode(placements, self.bundle.batch_size, self.inference_mode)
         } else {
             placements
                 .iter()
-                .map(|(dims, starts)| model.predict(dims, starts, self.bundle.batch_size))
+                .map(|(dims, starts)| {
+                    model.predict_with_mode(
+                        dims,
+                        starts,
+                        self.bundle.batch_size,
+                        self.inference_mode,
+                    )
+                })
                 .collect()
         }
     }
@@ -666,6 +859,24 @@ mod tests {
         // Serial replay: miss(a), miss(b), hit(a), hit(a).
         assert_eq!(sim.cache().misses(), 2);
         assert_eq!(sim.cache().hits(), 2);
+    }
+
+    #[test]
+    fn int8_mode_estimates_stay_close_to_f32() {
+        let bundle = quick_bundle(2);
+        let exact_sim = CostSimulator::new(bundle.clone());
+        let quant_sim = CostSimulator::new(bundle).with_inference_mode(InferenceMode::Int8);
+        assert_eq!(exact_sim.inference_mode(), InferenceMode::F32);
+        assert_eq!(quant_sim.inference_mode(), InferenceMode::Int8);
+        let plan = vec![vec![t(64), t(32)], vec![t(16)]];
+        let exact = exact_sim.estimate_plan(&plan).total_ms();
+        let quant = quant_sim.estimate_plan(&plan).total_ms();
+        assert!(quant.is_finite());
+        let denom = exact.abs().max(1e-3);
+        assert!(
+            ((exact - quant).abs() / denom) < 0.25,
+            "int8 estimate {quant} drifted too far from f32 {exact}"
+        );
     }
 
     #[test]

@@ -171,6 +171,23 @@ fn scatter(rank: u64, n: u64) -> u64 {
 /// assert!(z < u / 2.0);
 /// ```
 pub fn expected_distinct_fraction(hash_size: u64, alpha: f64, lookups: f64) -> f64 {
+    // The estimator is pure but libm-heavy (~300 transcendental calls), and
+    // the search re-profiles the same tables constantly — memoize per
+    // thread. Bit-identical: the cache stores exactly the computed value.
+    thread_local! {
+        static MEMO: std::cell::RefCell<std::collections::HashMap<(u64, u64, u64), f64>> =
+            std::cell::RefCell::new(std::collections::HashMap::new());
+    }
+    let key = (hash_size, alpha.to_bits(), lookups.to_bits());
+    if let Some(v) = MEMO.with(|m| m.borrow().get(&key).copied()) {
+        return v;
+    }
+    let v = expected_distinct_fraction_uncached(hash_size, alpha, lookups);
+    MEMO.with(|m| m.borrow_mut().insert(key, v));
+    v
+}
+
+fn expected_distinct_fraction_uncached(hash_size: u64, alpha: f64, lookups: f64) -> f64 {
     let n = hash_size.max(1) as f64;
     let lookups = lookups.max(1.0);
     if alpha < 1e-9 {

@@ -1,9 +1,11 @@
 //! Dense (fully connected) layer with manual gradients.
 
+use std::sync::OnceLock;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
+use crate::gemm::PackedGemm;
 use crate::tensor::Matrix;
 
 /// A fully connected layer `y = x · W + b` with `W: in × out`.
@@ -12,10 +14,68 @@ use crate::tensor::Matrix;
 /// (see [`crate::mlp::MlpCache`]) so a layer can be shared across several
 /// forward passes in flight (the computation cost model applies one shared
 /// encoder to many tables).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Forward passes run through a packed-panel copy of `W` (see
+/// [`crate::gemm::PackedGemm`]) that is built lazily on first use and
+/// invalidated whenever the parameters are mutated. The cache is pure
+/// derived state: it never affects equality, serialization, or results
+/// (the packed kernel is bit-identical to the scalar reference).
+#[derive(Debug)]
 pub struct Dense {
     w: Matrix,
     b: Vec<f32>,
+    packed: OnceLock<PackedGemm>,
+}
+
+impl Clone for Dense {
+    fn clone(&self) -> Self {
+        Self {
+            w: self.w.clone(),
+            b: self.b.clone(),
+            // Carry the packed panels over so clones stay on the fast path.
+            packed: self
+                .packed
+                .get()
+                .cloned()
+                .map(OnceLock::from)
+                .unwrap_or_default(),
+        }
+    }
+}
+
+impl PartialEq for Dense {
+    fn eq(&self, other: &Self) -> bool {
+        self.w == other.w && self.b == other.b
+    }
+}
+
+// Serialization must stay byte-compatible with the historical
+// `#[derive(Serialize, Deserialize)]` on `{ w, b }` — golden checkpoint
+// fixtures pin the exact output — so these impls mirror the derive macro's
+// expansion and simply omit the packed cache.
+impl serde::Serialize for Dense {
+    fn to_value(&self) -> serde::value::Value {
+        serde::value::Value::Map(vec![
+            (String::from("w"), serde::Serialize::to_value(&self.w)),
+            (String::from("b"), serde::Serialize::to_value(&self.b)),
+        ])
+    }
+}
+
+impl serde::Deserialize for Dense {
+    fn from_value(v: &serde::value::Value) -> Result<Self, serde::de::Error> {
+        let map = v.as_map().ok_or_else(|| {
+            serde::de::Error::custom(format!(
+                "expected object for struct Dense, found {}",
+                v.kind()
+            ))
+        })?;
+        Ok(Dense {
+            w: serde::__field(map, "w")?,
+            b: serde::__field(map, "b")?,
+            packed: OnceLock::new(),
+        })
+    }
 }
 
 impl Dense {
@@ -29,6 +89,7 @@ impl Dense {
         Self {
             w: Matrix::from_flat(input_dim, output_dim, data),
             b: vec![0.0; output_dim],
+            packed: OnceLock::new(),
         }
     }
 
@@ -52,15 +113,36 @@ impl Dense {
         &self.b
     }
 
+    /// The packed-panel copy of `W`, built on first use.
+    fn packed(&self) -> &PackedGemm {
+        self.packed
+            .get_or_init(|| PackedGemm::pack(self.w.as_slice(), self.w.rows(), self.w.cols()))
+    }
+
     /// Forward pass: `x (batch × in) → batch × out`.
     ///
     /// # Panics
     ///
     /// Panics if `x.cols() != input_dim`.
     pub fn forward(&self, x: &Matrix) -> Matrix {
-        let mut y = x.matmul(&self.w);
-        y.add_row_bias(&self.b);
+        let mut y = Matrix::zeros(x.rows(), self.output_dim());
+        self.forward_into(x, &mut y);
         y
+    }
+
+    /// Forward pass into a caller-provided output, reusing its allocation.
+    ///
+    /// Bit-identical to [`Dense::forward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != input_dim`.
+    pub fn forward_into(&self, x: &Matrix, out: &mut Matrix) {
+        assert_eq!(x.cols(), self.input_dim(), "matmul shape mismatch");
+        out.reset(x.rows(), self.output_dim());
+        self.packed()
+            .gemm_into(x.as_slice(), x.rows(), out.as_mut_slice());
+        out.add_row_bias(&self.b);
     }
 
     /// Backward pass. Given the layer input `x` and the upstream gradient
@@ -83,6 +165,7 @@ impl Dense {
     ///
     /// Panics on shape mismatches.
     pub fn apply_update(&mut self, dw: &Matrix, db: &[f32]) {
+        self.packed.take();
         self.w.add_scaled(dw, 1.0);
         assert_eq!(db.len(), self.b.len(), "bias update length mismatch");
         for (b, &d) in self.b.iter_mut().zip(db) {
@@ -93,6 +176,7 @@ impl Dense {
     /// Direct mutable access to the parameters (weights buffer then bias),
     /// used by the optimizer.
     pub fn params_mut(&mut self) -> (&mut [f32], &mut [f32]) {
+        self.packed.take();
         (self.w.as_mut_slice(), &mut self.b)
     }
 }
@@ -100,8 +184,14 @@ impl Dense {
 /// ReLU forward: `max(0, x)` element-wise, returning a new matrix.
 pub fn relu(x: &Matrix) -> Matrix {
     let mut y = x.clone();
-    y.map_inplace(|v| v.max(0.0));
+    relu_inplace(&mut y);
     y
+}
+
+/// ReLU forward in place: `max(0, x)` element-wise (bit-identical to
+/// [`relu`], without the allocation).
+pub fn relu_inplace(x: &mut Matrix) {
+    x.map_inplace(|v| v.max(0.0));
 }
 
 /// ReLU backward: zeroes the upstream gradient wherever the *pre-activation*

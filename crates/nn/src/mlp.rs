@@ -2,8 +2,32 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::layer::{relu, relu_backward, Dense};
+use crate::layer::{relu, relu_backward, relu_inplace, Dense};
 use crate::tensor::Matrix;
+
+/// Reusable activation buffers for allocation-free forward passes.
+///
+/// [`Mlp::forward_scratch`] ping-pongs between two matrices, so a caller
+/// that evaluates many batches (the cost models' `predict_batch` hot path)
+/// allocates nothing after the first call. The buffers grow to the largest
+/// batch seen and are reused thereafter.
+#[derive(Debug, Default)]
+pub struct MlpScratch {
+    ping: Matrix,
+    pong: Matrix,
+}
+
+impl MlpScratch {
+    /// Empty scratch; buffers are sized lazily by the first forward pass.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The two ping-pong buffers (used by quantized forward passes too).
+    pub(crate) fn buffers(&mut self) -> (&mut Matrix, &mut Matrix) {
+        (&mut self.ping, &mut self.pong)
+    }
+}
 
 /// An MLP: dense layers with ReLU between all but the last.
 ///
@@ -161,6 +185,34 @@ impl Mlp {
         h
     }
 
+    /// Inference forward pass through caller-provided scratch buffers,
+    /// returning a borrow of the final activation.
+    ///
+    /// Bit-identical to [`Mlp::forward`]; the only difference is that all
+    /// intermediate (and the final) activations live in `scratch`, so a hot
+    /// caller performs no allocations after warm-up.
+    pub fn forward_scratch<'s>(&self, x: &Matrix, scratch: &'s mut MlpScratch) -> &'s Matrix {
+        let (ping, pong) = scratch.buffers();
+        if self.layers.is_empty() {
+            ping.copy_from(x);
+            return ping;
+        }
+        let last = self.layers.len() - 1;
+        self.layers[0].forward_into(x, ping);
+        if last > 0 {
+            relu_inplace(ping);
+        }
+        let (mut cur, mut nxt) = (ping, pong);
+        for (i, layer) in self.layers.iter().enumerate().skip(1) {
+            layer.forward_into(cur, nxt);
+            if i < last {
+                relu_inplace(nxt);
+            }
+            std::mem::swap(&mut cur, &mut nxt);
+        }
+        cur
+    }
+
     /// Forward pass that records the cache needed for [`Mlp::backward`].
     pub fn forward_cached(&self, x: &Matrix) -> (Matrix, MlpCache) {
         let mut cache = MlpCache {
@@ -225,6 +277,30 @@ mod tests {
         let mlp = Mlp::new(2, &[3], 1, 0);
         // 2*3 + 3 + 3*1 + 1 = 13
         assert_eq!(mlp.num_params(), 13);
+    }
+
+    #[test]
+    fn scratch_forward_is_bit_identical() {
+        let mlp = Mlp::new(4, &[8, 8], 2, 3);
+        let x1 = Matrix::from_rows([vec![0.1, -0.2, 0.3, 0.4], vec![1.0, 2.0, -3.0, 0.5]]);
+        let x2 = Matrix::from_rows([vec![-0.7, 0.0, 2.5, 0.9]]);
+        let mut scratch = MlpScratch::new();
+        // Reusing the same scratch across differently-shaped batches.
+        for x in [&x1, &x2, &x1] {
+            let want = mlp.forward(x);
+            let got = mlp.forward_scratch(x, &mut scratch);
+            assert_eq!(&want, got);
+            assert_eq!(
+                want.as_slice()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                got.as_slice()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+            );
+        }
     }
 
     #[test]

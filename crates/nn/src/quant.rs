@@ -1,0 +1,299 @@
+//! Int8 quantized inference for [`Mlp`] forward passes.
+//!
+//! The cost models are read-mostly at search time: weights are frozen after
+//! pre-training and every plan evaluation is a forward pass. That makes
+//! them a natural fit for **per-layer symmetric weight quantization**:
+//!
+//! * each layer's weights are mapped to `i8` with a single scale
+//!   `s = max|w| / 127` (`q = round(w / s)`, clamped to `[-127, 127]`),
+//! * activations stay `f32` and accumulation is `f32`
+//!   (`y = s · (x · q) + b`), so there is no activation calibration step
+//!   and no accumulation overflow to manage,
+//! * the worst-case weight reconstruction error is recorded per layer:
+//!   round-to-nearest guarantees `|w - s·q| ≤ s/2`, exposed as
+//!   [`QuantizedDense::error_bound`] and asserted by the conformance suite.
+//!
+//! Quantization is **inference-only**: training, checkpoints, and the f32
+//! search path never see these types. The kernels reuse the packed-panel
+//! layout from [`crate::gemm`] with `i8` storage, widening each panel row
+//! to `f32` inside the register tile.
+
+use crate::gemm::{MR, NR};
+use crate::layer::{relu_inplace, Dense};
+use crate::mlp::{Mlp, MlpScratch};
+use crate::tensor::Matrix;
+
+/// A dense layer with int8-quantized weights and f32 bias/accumulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedDense {
+    k: usize,
+    n: usize,
+    scale: f32,
+    /// `ceil(n/NR)` panels of `k × NR` int8 weights, zero-padded like
+    /// [`crate::gemm::PackedGemm`].
+    panels: Vec<i8>,
+    bias: Vec<f32>,
+}
+
+impl QuantizedDense {
+    /// Quantizes a trained layer's weights symmetrically per layer.
+    pub fn quantize(layer: &Dense) -> Self {
+        let w = layer.weights();
+        let (k, n) = (w.rows(), w.cols());
+        let max_abs = w.as_slice().iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        let scale = if max_abs > 0.0 { max_abs / 127.0 } else { 1.0 };
+        let n_panels = n.div_ceil(NR);
+        let mut panels = vec![0i8; n_panels * k * NR];
+        let b = w.as_slice();
+        for p in 0..n_panels {
+            let j = p * NR;
+            let width = (n - j).min(NR);
+            let panel = &mut panels[p * k * NR..(p + 1) * k * NR];
+            for (kk, dst) in panel.chunks_exact_mut(NR).enumerate() {
+                for c in 0..width {
+                    let q = (b[kk * n + j + c] / scale).round();
+                    dst[c] = q.clamp(-127.0, 127.0) as i8;
+                }
+            }
+        }
+        Self {
+            k,
+            n,
+            scale,
+            panels,
+            bias: layer.bias().to_vec(),
+        }
+    }
+
+    /// The per-layer symmetric quantization scale.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Recorded worst-case weight reconstruction error: round-to-nearest
+    /// symmetric quantization guarantees `|w - scale·q| ≤ scale / 2`.
+    pub fn error_bound(&self) -> f32 {
+        self.scale * 0.5
+    }
+
+    /// Input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.k
+    }
+
+    /// Output dimension.
+    pub fn output_dim(&self) -> usize {
+        self.n
+    }
+
+    /// Reconstructed (dequantized) weight at `(r, c)` — test/diagnostic aid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn dequantized_weight(&self, r: usize, c: usize) -> f32 {
+        assert!(r < self.k && c < self.n, "index out of bounds");
+        let p = c / NR;
+        f32::from(self.panels[(p * self.k + r) * NR + c % NR]) * self.scale
+    }
+
+    /// Forward pass into a caller-provided output:
+    /// `out = scale · (x · q) + bias` with f32 accumulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != input_dim()`.
+    pub fn forward_into(&self, x: &Matrix, out: &mut Matrix) {
+        assert_eq!(x.cols(), self.k, "quantized forward shape mismatch");
+        let m = x.rows();
+        out.reset(m, self.n);
+        self.gemm_into(x.as_slice(), m, out.as_mut_slice());
+        out.add_row_bias(&self.bias);
+    }
+
+    /// `out = scale · (a · q)` over the packed int8 panels; same tiling as
+    /// [`crate::gemm::PackedGemm::gemm_into`] with an `i8 → f32` widen in
+    /// the register tile and one scale multiply at store time.
+    fn gemm_into(&self, a: &[f32], m: usize, out: &mut [f32]) {
+        let (k, n, scale) = (self.k, self.n, self.scale);
+        assert_eq!(a.len(), m * k, "quantized gemm: lhs length mismatch");
+        assert_eq!(out.len(), m * n, "quantized gemm: out length mismatch");
+        if n == 0 {
+            return;
+        }
+        if k == 0 {
+            out.fill(0.0);
+            return;
+        }
+        let m_main = m - m % MR;
+        let mut i = 0;
+        while i < m_main {
+            let a0 = &a[i * k..(i + 1) * k];
+            let a1 = &a[(i + 1) * k..(i + 2) * k];
+            let a2 = &a[(i + 2) * k..(i + 3) * k];
+            let a3 = &a[(i + 3) * k..(i + 4) * k];
+            for (p, panel) in self.panels.chunks_exact(k * NR).enumerate() {
+                let j = p * NR;
+                let w = (n - j).min(NR);
+                let mut acc = [[0.0f32; NR]; MR];
+                for ((((qk, &v0), &v1), &v2), &v3) in
+                    panel.chunks_exact(NR).zip(a0).zip(a1).zip(a2).zip(a3)
+                {
+                    let qk: &[i8; NR] = qk.try_into().expect("NR-wide panel row");
+                    let mut bk = [0.0f32; NR];
+                    for c in 0..NR {
+                        bk[c] = f32::from(qk[c]);
+                    }
+                    let av = [v0, v1, v2, v3];
+                    for r in 0..MR {
+                        for c in 0..NR {
+                            acc[r][c] += av[r] * bk[c];
+                        }
+                    }
+                }
+                for (r, acc_row) in acc.iter().enumerate() {
+                    let out_row = &mut out[(i + r) * n + j..(i + r) * n + j + w];
+                    for (o, &v) in out_row.iter_mut().zip(acc_row) {
+                        *o = v * scale;
+                    }
+                }
+            }
+            i += MR;
+        }
+        while i < m {
+            let a_row = &a[i * k..(i + 1) * k];
+            for (p, panel) in self.panels.chunks_exact(k * NR).enumerate() {
+                let j = p * NR;
+                let w = (n - j).min(NR);
+                let mut acc = [0.0f32; NR];
+                for (qk, &av) in panel.chunks_exact(NR).zip(a_row) {
+                    let qk: &[i8; NR] = qk.try_into().expect("NR-wide panel row");
+                    for c in 0..NR {
+                        acc[c] += av * f32::from(qk[c]);
+                    }
+                }
+                let out_row = &mut out[i * n + j..i * n + j + w];
+                for (o, &v) in out_row.iter_mut().zip(&acc) {
+                    *o = v * scale;
+                }
+            }
+            i += 1;
+        }
+    }
+}
+
+/// An int8-quantized snapshot of an [`Mlp`], for inference only.
+///
+/// Mirrors [`Mlp::forward`]'s structure (ReLU between all layers but the
+/// last) over [`QuantizedDense`] layers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedMlp {
+    layers: Vec<QuantizedDense>,
+}
+
+impl QuantizedMlp {
+    /// Quantizes every layer of a trained MLP.
+    pub fn from_mlp(mlp: &Mlp) -> Self {
+        Self {
+            layers: mlp.layers().iter().map(QuantizedDense::quantize).collect(),
+        }
+    }
+
+    /// The quantized layers.
+    pub fn layers(&self) -> &[QuantizedDense] {
+        &self.layers
+    }
+
+    /// Largest per-layer weight reconstruction error bound across the net.
+    pub fn error_bound(&self) -> f32 {
+        self.layers
+            .iter()
+            .fold(0.0f32, |m, l| m.max(l.error_bound()))
+    }
+
+    /// Forward pass allocating a fresh output matrix.
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        let mut scratch = MlpScratch::new();
+        self.forward_scratch(x, &mut scratch).clone()
+    }
+
+    /// Forward pass through caller-provided scratch, returning a borrow of
+    /// the final activation. Mirrors [`Mlp::forward_scratch`].
+    pub fn forward_scratch<'s>(&self, x: &Matrix, scratch: &'s mut MlpScratch) -> &'s Matrix {
+        let (ping, pong) = scratch.buffers();
+        if self.layers.is_empty() {
+            ping.copy_from(x);
+            return ping;
+        }
+        let last = self.layers.len() - 1;
+        self.layers[0].forward_into(x, ping);
+        if last > 0 {
+            relu_inplace(ping);
+        }
+        let (mut cur, mut nxt) = (ping, pong);
+        for (idx, layer) in self.layers.iter().enumerate().skip(1) {
+            layer.forward_into(cur, nxt);
+            if idx < last {
+                relu_inplace(nxt);
+            }
+            std::mem::swap(&mut cur, &mut nxt);
+        }
+        cur
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_error_within_bound() {
+        let layer = Dense::new(16, 12, 3);
+        let q = QuantizedDense::quantize(&layer);
+        let bound = q.error_bound();
+        for r in 0..16 {
+            for c in 0..12 {
+                let err = (q.dequantized_weight(r, c) - layer.weights().get(r, c)).abs();
+                assert!(
+                    err <= bound * 1.0000001,
+                    "weight ({r},{c}) error {err} exceeds bound {bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_forward_close_to_f32() {
+        let mlp = Mlp::new(8, &[32, 16], 1, 11);
+        let q = QuantizedMlp::from_mlp(&mlp);
+        let x = Matrix::from_rows((0..5).map(|i| {
+            (0..8)
+                .map(|j| ((i * 8 + j) as f32 * 0.17).sin())
+                .collect::<Vec<_>>()
+        }));
+        let exact = mlp.forward(&x);
+        let approx = q.forward(&x);
+        assert_eq!(exact.rows(), approx.rows());
+        for (e, a) in exact.as_slice().iter().zip(approx.as_slice()) {
+            assert!(
+                (e - a).abs() < 0.05 * e.abs().max(1.0),
+                "quantized output {a} far from exact {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_weights_quantize_cleanly() {
+        let mut layer = Dense::new(4, 4, 0);
+        layer.params_mut().0.fill(0.0);
+        let q = QuantizedDense::quantize(&layer);
+        assert_eq!(q.scale(), 1.0);
+        let x = Matrix::from_rows([vec![1.0, 2.0, 3.0, 4.0]]);
+        let y = {
+            let mut out = Matrix::zeros(0, 0);
+            q.forward_into(&x, &mut out);
+            out
+        };
+        assert_eq!(y.as_slice(), &[0.0; 4]);
+    }
+}

@@ -24,6 +24,13 @@ pub struct Matrix {
     data: Vec<f32>,
 }
 
+impl Default for Matrix {
+    /// An empty `0 × 0` matrix.
+    fn default() -> Self {
+        Self::zeros(0, 0)
+    }
+}
+
 impl Matrix {
     /// A `rows × cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
@@ -142,28 +149,75 @@ impl Matrix {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
-    /// `self · other`.
+    /// `self · other`, via the cache-blocked kernel in [`crate::gemm`].
+    ///
+    /// Bit-identical to [`Matrix::matmul_ref`] (the kernels accumulate each
+    /// output element over `k` in the same ascending order).
     ///
     /// # Panics
     ///
     /// Panics if `self.cols != other.rows`.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// `self · other` into a caller-provided output matrix, reusing its
+    /// allocation. The output is reshaped to `self.rows × other.cols`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.rows`.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        out.reset(self.rows, other.cols);
+        crate::gemm::gemm_into(
+            &self.data,
+            &other.data,
+            self.rows,
+            self.cols,
+            other.cols,
+            &mut out.data,
+        );
+    }
+
+    /// `self · other` through the scalar reference kernel.
+    ///
+    /// This is the historical scalar loop nest the blocked kernels are
+    /// conformance-tested against; use [`Matrix::matmul`] in real code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.rows`.
+    pub fn matmul_ref(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.rows, "matmul shape mismatch");
         let mut out = Matrix::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
-                let o_row = &other.data[k * other.cols..(k + 1) * other.cols];
-                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (o, &b) in out_row.iter_mut().zip(o_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        crate::gemm::gemm_ref_into(
+            &self.data,
+            &other.data,
+            self.rows,
+            self.cols,
+            other.cols,
+            &mut out.data,
+        );
         out
+    }
+
+    /// Reshapes to `rows × cols` and zero-fills, reusing the allocation.
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Makes `self` an exact copy of `other`, reusing the allocation.
+    pub fn copy_from(&mut self, other: &Matrix) {
+        self.rows = other.rows;
+        self.cols = other.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&other.data);
     }
 
     /// `selfᵀ · other` without materializing the transpose.

@@ -1,0 +1,175 @@
+//! Kernel conformance: the blocked and packed f32 GEMM kernels must be
+//! bit-identical to the scalar reference across arbitrary (including
+//! degenerate and non-tile-multiple) shapes, the int8 quantizer must honor
+//! its recorded per-layer error bound, and a search run entirely on int8
+//! inference must produce memory-feasible plans whose *f32-evaluated* cost
+//! stays within a recorded band of the exact-search plan.
+
+use proptest::prelude::*;
+
+use neuroshard::core::{NeuroShard, NeuroShardConfig, ShardingAlgorithm};
+use neuroshard::cost::{CollectConfig, CostModelBundle, CostSimulator, TrainSettings};
+use neuroshard::data::{ShardingTask, TableConfig, TableId, TablePool};
+use neuroshard::nn::gemm::{gemm_into, gemm_ref_into, PackedGemm};
+use neuroshard::nn::{Dense, QuantizedDense, QuantizedMlp};
+
+/// Recorded conformance band: the f32-evaluated cost of the plan found by
+/// the int8-driven search may exceed the exact search's plan cost by at
+/// most this factor. Measured headroom on the smoke workload is well under
+/// half the band.
+const INT8_COST_BAND: f64 = 1.10;
+
+fn matrix_entries(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-8.0f32..8.0, len..=len)
+}
+
+proptest! {
+    /// Blocked GEMM is bitwise identical to the scalar reference for any
+    /// shape, including 1x1, tall/skinny and non-multiples of the 4x8 tile.
+    #[test]
+    fn blocked_gemm_matches_reference_bitwise(
+        m in 1usize..17,
+        k in 1usize..33,
+        n in 1usize..41,
+        seed in any::<u64>(),
+    ) {
+        let mut rng_state = seed | 1;
+        let mut next = move || {
+            rng_state ^= rng_state << 13;
+            rng_state ^= rng_state >> 7;
+            rng_state ^= rng_state << 17;
+            (rng_state >> 40) as f32 / (1u64 << 24) as f32 - 0.5
+        };
+        let a: Vec<f32> = (0..m * k).map(|_| next()).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| next()).collect();
+
+        let mut reference = vec![0.0f32; m * n];
+        gemm_ref_into(&a, &b, m, k, n, &mut reference);
+
+        let mut blocked = vec![0.0f32; m * n];
+        gemm_into(&a, &b, m, k, n, &mut blocked);
+        for (r, x) in reference.iter().zip(&blocked) {
+            prop_assert_eq!(r.to_bits(), x.to_bits());
+        }
+
+        let packed = PackedGemm::pack(&b, k, n);
+        let mut via_panels = vec![0.0f32; m * n];
+        packed.gemm_into(&a, m, &mut via_panels);
+        for (r, x) in reference.iter().zip(&via_panels) {
+            prop_assert_eq!(r.to_bits(), x.to_bits());
+        }
+    }
+
+    /// Quantize→dequantize error never exceeds the recorded per-layer
+    /// bound (half an int8 step at the layer's scale).
+    #[test]
+    fn int8_round_trip_stays_within_recorded_bound(
+        rows in 1usize..9,
+        cols in 1usize..17,
+        seed in any::<u64>(),
+    ) {
+        let dense = Dense::new(rows, cols, seed);
+        let quant = QuantizedDense::quantize(&dense);
+        let bound = quant.error_bound();
+        prop_assert!(bound >= 0.0);
+        for r in 0..rows {
+            for c in 0..cols {
+                let err = (dense.weights().get(r, c) - quant.dequantized_weight(r, c)).abs();
+                prop_assert!(
+                    err <= bound + 1e-7,
+                    "weight ({}, {}) error {} exceeds bound {}", r, c, err, bound
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Same bitwise conformance at larger, cache-blocking-relevant shapes.
+    #[test]
+    fn blocked_gemm_matches_reference_at_layer_shapes(
+        a in matrix_entries(64 * 128),
+        b in matrix_entries(128 * 64),
+    ) {
+        let (m, k, n) = (64usize, 128usize, 64usize);
+        let mut reference = vec![0.0f32; m * n];
+        gemm_ref_into(&a, &b, m, k, n, &mut reference);
+        let mut blocked = vec![0.0f32; m * n];
+        gemm_into(&a, &b, m, k, n, &mut blocked);
+        for (r, x) in reference.iter().zip(&blocked) {
+            prop_assert_eq!(r.to_bits(), x.to_bits());
+        }
+    }
+}
+
+/// Every layer of a quantized MLP reports a bound no smaller than its own
+/// max round-trip error, and the MLP-level bound dominates all layers.
+#[test]
+fn mlp_error_bound_dominates_layers() {
+    let mlp = neuroshard::nn::Mlp::new(8, &[32, 16], 1, 11);
+    let quant = QuantizedMlp::from_mlp(&mlp);
+    let top = quant.error_bound();
+    for layer in quant.layers() {
+        assert!(layer.error_bound() <= top);
+    }
+}
+
+/// A deterministic per-seed workload that comfortably fits the default
+/// per-device memory budget (so both searches are feasible by
+/// construction).
+fn conformance_task(devices: usize, seed: u64) -> ShardingTask {
+    let tables: Vec<TableConfig> = (0..12u32)
+        .map(|i| {
+            let dim = [64, 32, 16, 8][((u64::from(i) + seed) % 4) as usize];
+            TableConfig::new(TableId(i), dim, 1 << 18, 6.0 + f64::from(i % 5), 1.0)
+        })
+        .collect();
+    ShardingTask::new(tables, devices, neuroshard::sim::DEFAULT_MEM_BYTES, 65_536)
+}
+
+/// The int8-driven search must return memory-feasible plans whose cost —
+/// re-evaluated under the exact f32 simulator — is within
+/// [`INT8_COST_BAND`] of the f32 search's plan.
+#[test]
+fn int8_search_stays_in_cost_band_and_feasible() {
+    let pool = TablePool::synthetic_dlrm(60, 5);
+    let bundle = CostModelBundle::pretrain(
+        &pool,
+        2,
+        &CollectConfig::smoke(),
+        &TrainSettings::smoke(),
+        13,
+    );
+
+    let f32_sharder = NeuroShard::new(bundle.clone(), NeuroShardConfig::smoke());
+    let int8_sharder = NeuroShard::new(
+        bundle.clone(),
+        NeuroShardConfig {
+            use_int8: true,
+            ..NeuroShardConfig::smoke()
+        },
+    );
+    let eval_sim = CostSimulator::new(bundle);
+
+    for seed in 0..3u64 {
+        let task = conformance_task(2, seed);
+        let f32_plan = f32_sharder.shard(&task).expect("f32 search is feasible");
+        let int8_plan = int8_sharder.shard(&task).expect("int8 search is feasible");
+
+        int8_plan
+            .validate(&task)
+            .expect("int8 plan must be memory-feasible");
+
+        let f32_cost = eval_sim
+            .estimate_plan(&f32_plan.device_profiles(task.batch_size()))
+            .total_ms();
+        let int8_cost = eval_sim
+            .estimate_plan(&int8_plan.device_profiles(task.batch_size()))
+            .total_ms();
+        assert!(
+            int8_cost <= f32_cost * INT8_COST_BAND,
+            "task seed {seed}: int8 plan cost {int8_cost} ms exceeds \
+             {INT8_COST_BAND}x band of f32 plan cost {f32_cost} ms"
+        );
+    }
+}
