@@ -87,6 +87,23 @@ pub struct OnlineConfig {
     /// Worker threads (`0` = auto, honoring `NSHARD_THREADS`). Thread
     /// count never changes any result.
     pub threads: usize,
+    /// End-of-trace escape hatch for [`ReplanStrategy::Incremental`]:
+    /// when the λ-objective has stalled — some incremental replan left
+    /// the predicted cost more than
+    /// [`stall_improvement`](Self::stall_improvement) above the last
+    /// unconstrained (full-chain) deployment's quality, and no later
+    /// replan recovered — the final epoch runs one full-chain replan to
+    /// clear the accumulated drift debt. Off by default; migration
+    /// bytes for the cleanup replan are charged like any other.
+    pub final_full_replan_on_stall: bool,
+    /// Relative predicted-cost excess over the last unconstrained
+    /// deployment's quality above which an incremental replan counts as
+    /// stalled (see
+    /// [`final_full_replan_on_stall`](Self::final_full_replan_on_stall)).
+    /// Drift can make the workload intrinsically costlier, so the
+    /// reference is a lower bound, not an entitlement: a false stall
+    /// costs at most the one cleanup replan.
+    pub stall_improvement: f64,
 }
 
 impl Default for OnlineConfig {
@@ -99,6 +116,8 @@ impl Default for OnlineConfig {
             search: NeuroShardConfig::default(),
             seed: 0,
             threads: 0,
+            final_full_replan_on_stall: false,
+            stall_improvement: 0.05,
         }
     }
 }
@@ -284,6 +303,14 @@ impl OnlineController {
             migration_bytes: 0,
         });
 
+        // λ-objective stall tracking for the end-of-trace escape hatch:
+        // > 0 when some incremental replan under-delivered and no later
+        // one recovered. The debt reference is the predicted quality of
+        // the last unconstrained (full-chain) deployment — initially the
+        // epoch-0 plan.
+        let mut stalled_replans = 0u64;
+        let mut full_quality_ms = baseline_ms;
+
         for epoch in 1..self.config.epochs {
             let task = self.drift.task_at(epoch);
 
@@ -307,8 +334,22 @@ impl OnlineController {
             };
 
             let trigger = report.as_ref().and_then(|r| r.trigger.clone());
-            let must_replan = trigger.is_some() || rebased.is_err();
-            let trigger_kind = trigger.as_ref().map_or("rebase_failed", |t| t.kind());
+            // The end-of-trace escape hatch: a stalled incremental trace
+            // replans through the full chain on its final epoch, trigger
+            // or not, clearing the debt the patches could not.
+            let escape = self.config.final_full_replan_on_stall
+                && self.config.strategy == ReplanStrategy::Incremental
+                && epoch + 1 == self.config.epochs
+                && stalled_replans > 0;
+            let must_replan = trigger.is_some() || rebased.is_err() || escape;
+            let trigger_kind = trigger.as_ref().map_or(
+                if rebased.is_err() {
+                    "rebase_failed"
+                } else {
+                    "stall_escape"
+                },
+                |t| t.kind(),
+            );
 
             let mut action = None;
             let mut moved = 0u64;
@@ -327,9 +368,45 @@ impl OnlineController {
                                 .attributed_to_replan(trigger_kind, epoch),
                         });
                     }
+                    ReplanStrategy::Incremental if escape => {
+                        let outcome = self.chain.shard_with_provenance(&task)?;
+                        moved = migration_bytes(&reference, &outcome.plan);
+                        incumbent = outcome.plan;
+                        stalled_replans = 0;
+                        action = Some(ReplanAction::Full {
+                            provenance: outcome
+                                .provenance
+                                .attributed_to_replan(trigger_kind, epoch),
+                        });
+                    }
                     ReplanStrategy::Incremental => {
                         let (next, act) =
                             self.incremental_replan(&task, &incumbent, trigger_kind, epoch)?;
+                        // Stall accounting against the λ-objective: a
+                        // patch that beats the drifted incumbent can
+                        // still ratchet the deployment away from what an
+                        // unconstrained search would find, so progress
+                        // is measured against the last full-chain
+                        // deployment's predicted quality instead.
+                        let after = self
+                            .sim
+                            .estimate_plan(&next.device_profiles(task.batch_size()))
+                            .total_ms();
+                        if matches!(act, ReplanAction::IncrementalFellBack { .. }) {
+                            // The fallback chain replans unconstrained:
+                            // it clears the debt by construction and
+                            // becomes the new reference.
+                            full_quality_ms = after;
+                            stalled_replans = 0;
+                        } else {
+                            let debt =
+                                (after - full_quality_ms) / full_quality_ms.max(f64::MIN_POSITIVE);
+                            if debt > self.config.stall_improvement {
+                                stalled_replans += 1;
+                            } else {
+                                stalled_replans = 0;
+                            }
+                        }
                         moved = migration_bytes(&reference, &next);
                         incumbent = next;
                         action = Some(act);
@@ -527,6 +604,46 @@ mod tests {
                 replan.trigger_kind
             );
         }
+    }
+
+    #[test]
+    fn stall_escape_forces_a_final_epoch_full_replan() {
+        let mut config = small_config(ReplanStrategy::Incremental);
+        config.final_full_replan_on_stall = true;
+        // Any predicted cost counts as debt, so the first incremental
+        // replan arms the hatch and the final epoch must go through the
+        // full chain.
+        config.stall_improvement = f64::NEG_INFINITY;
+        let controller = OnlineController::new(bundle(2), drift(), config);
+        let history = controller.run().unwrap();
+        let last = history.epochs.last().expect("history is nonempty");
+        let action = last.action.as_ref().expect("escape hatch must replan");
+        assert!(
+            matches!(action, ReplanAction::Full { .. }),
+            "final epoch must replan through the full chain, got {action:?}"
+        );
+        let replan = action
+            .provenance()
+            .and_then(|p| p.replan.as_ref())
+            .expect("escape replan must be attributed");
+        assert_eq!(replan.epoch, last.epoch);
+
+        // Off by default: the plain incremental run does not end in a
+        // forced full replan on this trace.
+        let plain = OnlineController::new(
+            bundle(2),
+            drift(),
+            small_config(ReplanStrategy::Incremental),
+        )
+        .run()
+        .unwrap();
+        assert!(
+            !matches!(
+                plain.epochs.last().unwrap().action,
+                Some(ReplanAction::Full { .. })
+            ),
+            "hatch must not fire unless armed"
+        );
     }
 
     #[test]

@@ -2,11 +2,14 @@
 //! needs and nothing more.
 //!
 //! Requests are parsed from a stream (request line, headers, optional
-//! `Content-Length` body) and responses are written with
-//! `Connection: close` — one request per connection keeps the server
-//! simple and the tests honest. A tiny blocking client ([`http_call`])
-//! lives here too, shared by the integration tests, the load-generator
-//! bench, and the demo's self-check.
+//! `Content-Length` body). The blocking reference path writes responses
+//! with `Connection: close` — one request per connection keeps it simple
+//! and the conformance tests honest — while the event-driven path
+//! ([`crate::net`]) serializes the same bytes with `Connection:
+//! keep-alive` via [`HttpResponse::to_bytes`]. Two blocking clients live
+//! here too: the one-shot [`http_call`] and the connection-reusing
+//! [`KeepAliveClient`], shared by the integration tests, the
+//! load-generator benches, and the demos' self-checks.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -169,37 +172,55 @@ impl HttpResponse {
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            408 => "Request Timeout",
             413 => "Payload Too Large",
             422 => "Unprocessable Entity",
             429 => "Too Many Requests",
+            431 => "Request Header Fields Too Large",
             500 => "Internal Server Error",
             503 => "Service Unavailable",
             _ => "Unknown",
         }
     }
 
-    /// Serializes the response (status line, headers, body) to `out`.
+    /// Serializes the response to bytes. `keep_alive` selects the
+    /// `Connection` header; everything else — header order included — is
+    /// identical between the two values, so the blocking path
+    /// ([`HttpResponse::write_to`], always `close`) and the event-driven
+    /// path differ by exactly that one header value and nothing more.
+    pub fn to_bytes(&self, keep_alive: bool) -> Vec<u8> {
+        let connection = if keep_alive { "keep-alive" } else { "close" };
+        let mut out = Vec::with_capacity(128 + self.body.len());
+        out.extend_from_slice(
+            format!(
+                "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+                self.status,
+                self.reason(),
+                self.content_type,
+                self.body.len(),
+                connection,
+            )
+            .as_bytes(),
+        );
+        if let Some(seconds) = self.retry_after_s {
+            out.extend_from_slice(format!("Retry-After: {seconds}\r\n").as_bytes());
+        }
+        for (name, value) in &self.headers {
+            out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+        }
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Serializes the response (status line, headers, body) to `out`
+    /// with `Connection: close` — the blocking path's exact bytes.
     ///
     /// # Errors
     ///
     /// Propagates write errors from `out`.
     pub fn write_to(&self, out: &mut impl Write) -> std::io::Result<()> {
-        write!(
-            out,
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
-            self.status,
-            self.reason(),
-            self.content_type,
-            self.body.len()
-        )?;
-        if let Some(seconds) = self.retry_after_s {
-            write!(out, "Retry-After: {seconds}\r\n")?;
-        }
-        for (name, value) in &self.headers {
-            write!(out, "{name}: {value}\r\n")?;
-        }
-        out.write_all(b"\r\n")?;
-        out.write_all(&self.body)?;
+        out.write_all(&self.to_bytes(false))?;
         out.flush()
     }
 }
@@ -249,6 +270,150 @@ pub fn http_call(
     Ok((status, body))
 }
 
+/// A blocking HTTP/1.1 client that keeps one connection open across
+/// calls — the load-generation counterpart of the event loop's
+/// keep-alive serving path (`bench_replay` and the replication tailer
+/// use it to avoid a connect per request).
+///
+/// Responses are framed by `Content-Length`, so the client reads exactly
+/// one response per call and leaves the connection ready for the next.
+/// If the server closed the connection (or it was never opened), the
+/// next call reconnects transparently.
+pub struct KeepAliveClient {
+    addr: String,
+    stream: Option<BufReader<TcpStream>>,
+    /// Calls that found the cached connection dead and reconnected.
+    reconnects: u64,
+}
+
+impl KeepAliveClient {
+    /// A client for `addr` (connects lazily on the first call).
+    pub fn new(addr: impl Into<String>) -> Self {
+        Self {
+            addr: addr.into(),
+            stream: None,
+            reconnects: 0,
+        }
+    }
+
+    /// How many calls had to re-establish the connection.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// Sends one request and reads one response. Returns
+    /// `(status, body)`.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors connecting, writing, or reading; `InvalidData` when
+    /// the response is not parseable HTTP.
+    pub fn call(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> std::io::Result<(u16, String)> {
+        if self.stream.is_none() {
+            self.connect()?;
+        }
+        match self.try_call(method, path, body) {
+            Ok(result) => Ok(result),
+            Err(_) => {
+                // The server may have closed an idle keep-alive
+                // connection between calls; retry once on a fresh one.
+                self.reconnects += 1;
+                self.connect()?;
+                self.try_call(method, path, body)
+            }
+        }
+    }
+
+    fn connect(&mut self) -> std::io::Result<()> {
+        let stream = TcpStream::connect(&self.addr)?;
+        stream.set_nodelay(true)?;
+        self.stream = Some(BufReader::new(stream));
+        Ok(())
+    }
+
+    fn try_call(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> std::io::Result<(u16, String)> {
+        let reader = self.stream.as_mut().expect("connected");
+        {
+            let stream = reader.get_mut();
+            write!(
+                stream,
+                "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+                self.addr,
+                body.len()
+            )?;
+            stream.write_all(body)?;
+            stream.flush()?;
+        }
+
+        let mut status_line = String::new();
+        if reader.read_line(&mut status_line)? == 0 {
+            self.stream = None;
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed before the status line",
+            ));
+        }
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("bad status line: {status_line:?}"),
+                )
+            })?;
+
+        let mut content_length = 0usize;
+        let mut server_closes = false;
+        loop {
+            let mut header = String::new();
+            if reader.read_line(&mut header)? == 0 {
+                self.stream = None;
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed in response headers",
+                ));
+            }
+            let header = header.trim_end();
+            if header.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = header.split_once(':') {
+                let name = name.trim();
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse().map_err(|_| {
+                        std::io::Error::new(
+                            std::io::ErrorKind::InvalidData,
+                            "bad response Content-Length",
+                        )
+                    })?;
+                } else if name.eq_ignore_ascii_case("connection")
+                    && value.trim().eq_ignore_ascii_case("close")
+                {
+                    server_closes = true;
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body)?;
+        if server_closes {
+            self.stream = None;
+        }
+        Ok((status, String::from_utf8_lossy(&body).into_owned()))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -294,6 +459,48 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("X-Nshard-Stale: true\r\n"));
         assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn to_bytes_differs_from_write_to_only_in_the_connection_header() {
+        let resp = HttpResponse::json(200, "{\"ok\":true}".into())
+            .with_retry_after(2)
+            .with_header("X-Nshard-Stale", "true");
+        let mut via_write_to = Vec::new();
+        resp.write_to(&mut via_write_to).unwrap();
+        assert_eq!(
+            via_write_to,
+            resp.to_bytes(false),
+            "write_to and to_bytes(false) are the same bytes"
+        );
+        let keep = String::from_utf8(resp.to_bytes(true)).unwrap();
+        let close = String::from_utf8(resp.to_bytes(false)).unwrap();
+        assert_eq!(
+            keep.replace("Connection: keep-alive", "Connection: close"),
+            close
+        );
+    }
+
+    #[test]
+    fn keepalive_client_reuses_one_connection() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            // One accepted connection serves two requests.
+            let (mut stream, _) = listener.accept().unwrap();
+            for _ in 0..2 {
+                let req = read_request(&mut stream).unwrap();
+                let resp = HttpResponse::json(200, format!("{{\"path\":\"{}\"}}", req.path));
+                stream.write_all(&resp.to_bytes(true)).unwrap();
+            }
+        });
+        let mut client = KeepAliveClient::new(addr.to_string());
+        let (status, body) = client.call("GET", "/a", b"").unwrap();
+        assert_eq!((status, body.as_str()), (200, "{\"path\":\"/a\"}"));
+        let (status, body) = client.call("GET", "/b", b"").unwrap();
+        assert_eq!((status, body.as_str()), (200, "{\"path\":\"/b\"}"));
+        assert_eq!(client.reconnects(), 0);
+        handle.join().unwrap();
     }
 
     #[test]

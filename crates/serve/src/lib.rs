@@ -46,7 +46,11 @@
 //! `NSHARD_THREADS` ([`nshard_core::pool::THREADS_ENV`]) is the single
 //! thread-count control.
 
-#![forbid(unsafe_code)]
+// `deny` (not `forbid`) so the one syscall-wrapper module can opt back
+// in: `net::sys` carries a scoped `#![allow(unsafe_code)]` for its raw
+// epoll/poll FFI, with a safety comment on every unsafe block. All other
+// modules remain unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod api;
@@ -55,6 +59,7 @@ pub mod engine;
 pub mod http;
 pub mod kv;
 pub mod metrics;
+pub mod net;
 pub mod repl;
 pub mod server;
 pub mod store;
@@ -65,9 +70,10 @@ pub use api::{
 };
 pub use clock::{Clock, ManualClock, WallClock};
 pub use engine::{plan_id, PlanOutput, PlanningEngine, ReplanOutput};
-pub use http::{http_call, HttpRequest, HttpResponse};
+pub use http::{http_call, HttpRequest, HttpResponse, KeepAliveClient};
 pub use kv::{KvError, KvSnapshot, LogFetch, LogOp, MatchSeq, PlanKv, SeqEntry, SnapshotEntry};
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+pub use net::{ConnConfig, IoMode};
 pub use repl::{HttpTransport, PollOutcome, ReplError, ReplTransport, Replicator, Role, RoleCell};
 pub use server::{ReplicaConfig, Routed, ServeConfig, Server, Service};
 pub use store::{ModelStore, PlanStore, StoreError, StoredPlan};

@@ -56,6 +56,7 @@ use crate::engine::PlanningEngine;
 use crate::http::{read_request, HttpParseError, HttpRequest, HttpResponse};
 use crate::kv::{KvSnapshot, LogOp, MatchSeq, PlanKv};
 use crate::metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+use crate::net::{ConnConfig, IoMode, Reactor};
 use crate::repl::{Role, RoleCell};
 use crate::store::{PlanStore, StoreError, StoredPlan};
 
@@ -83,6 +84,21 @@ pub struct ServeConfig {
     /// Replication role and tier knobs; defaults to a standalone leader,
     /// so single-node deployments need no extra configuration.
     pub replica: ReplicaConfig,
+    /// Which accept path serves connections: the event-driven reactor
+    /// (default) or the blocking thread-per-connection reference.
+    pub io_mode: IoMode,
+    /// Event-loop connection knobs (timeouts, pipeline depth, write
+    /// buffering); ignored in [`IoMode::Blocking`].
+    pub net: ConnConfig,
+    /// Identical-request response cache entries; `0` (default) disables
+    /// it. Safe because identical bodies already produce byte-identical
+    /// responses (the documented determinism contract) and replan
+    /// entries key on the store generation, so adoption invalidates
+    /// them. Hits are answered inline at admission without consuming
+    /// queue capacity. `bench_replay` turns this on to push request
+    /// volume into HTTP-path territory instead of re-running identical
+    /// searches.
+    pub response_cache_entries: usize,
 }
 
 /// Replication knobs of one node in a serve tier.
@@ -130,6 +146,9 @@ impl Default for ServeConfig {
             degrade_below_ms: 250,
             store_dir: None,
             replica: ReplicaConfig::default(),
+            io_mode: IoMode::Event,
+            net: ConnConfig::default(),
+            response_cache_entries: 0,
         }
     }
 }
@@ -165,7 +184,24 @@ struct Job {
     kind: JobKind,
     body: Vec<u8>,
     enqueued_ms: u64,
-    slot: Arc<ResponseSlot>,
+    sink: ResponseSink,
+}
+
+/// Where a worker delivers a finished response: a blocking slot (the
+/// thread-per-connection path parks on it) or a callback (the event
+/// loop's completion queue — the reactor thread never blocks).
+enum ResponseSink {
+    Slot(Arc<ResponseSlot>),
+    Callback(Box<dyn FnOnce(HttpResponse) + Send>),
+}
+
+impl ResponseSink {
+    fn deliver(self, response: HttpResponse) {
+        match self {
+            ResponseSink::Slot(slot) => slot.put(response),
+            ResponseSink::Callback(callback) => callback(response),
+        }
+    }
 }
 
 /// Hand-off cell between a worker and the waiting connection thread.
@@ -279,6 +315,66 @@ impl AdmissionQueue {
     }
 }
 
+/// A bounded FIFO cache of `200` responses for byte-identical request
+/// bodies. Correctness rests on the daemon's determinism contract —
+/// identical bodies already yield byte-identical responses (plan ids are
+/// content-addressed, adoption is idempotent) — so a hit only skips
+/// redundant search work, never changes an answer. Replan entries fold
+/// the store generation into the key, so any adoption invalidates them.
+struct ResponseCache {
+    capacity: usize,
+    map: std::collections::HashMap<u64, HttpResponse>,
+    order: VecDeque<u64>,
+}
+
+impl ResponseCache {
+    fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            map: std::collections::HashMap::with_capacity(capacity),
+            order: VecDeque::with_capacity(capacity),
+        }
+    }
+
+    fn get(&self, key: u64) -> Option<HttpResponse> {
+        self.map.get(&key).cloned()
+    }
+
+    fn put(&mut self, key: u64, response: HttpResponse) {
+        if self.map.contains_key(&key) {
+            return;
+        }
+        if self.order.len() >= self.capacity {
+            if let Some(evicted) = self.order.pop_front() {
+                self.map.remove(&evicted);
+            }
+        }
+        self.order.push_back(key);
+        self.map.insert(key, response);
+    }
+}
+
+/// FNV-1a over the facts that determine a cached response.
+fn response_cache_key(kind: JobKind, degrade: bool, generation: u64, body: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |byte: u8| {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    mix(match kind {
+        JobKind::Plan => 1,
+        JobKind::Replan => 2,
+    });
+    mix(u8::from(degrade));
+    for byte in generation.to_le_bytes() {
+        mix(byte);
+    }
+    for &byte in body {
+        mix(byte);
+    }
+    hash
+}
+
 /// Per-endpoint metric handles.
 struct ServiceMetrics {
     registry: MetricsRegistry,
@@ -291,6 +387,8 @@ struct ServiceMetrics {
     replication_lag: Arc<Gauge>,
     snapshot_catchup: Arc<Counter>,
     seq_conflicts: Arc<Counter>,
+    response_cache_hits: Arc<Counter>,
+    response_cache_misses: Arc<Counter>,
 }
 
 impl ServiceMetrics {
@@ -332,6 +430,14 @@ impl ServiceMetrics {
             "nshard_serve_seq_conflict_total",
             "Conditional KV upserts refused by their MatchSeq condition",
         );
+        let response_cache_hits = registry.counter(
+            "nshard_serve_response_cache_hits_total",
+            "Planning jobs answered from the identical-request response cache",
+        );
+        let response_cache_misses = registry.counter(
+            "nshard_serve_response_cache_misses_total",
+            "Planning jobs that missed the response cache (cache enabled only)",
+        );
         Self {
             registry,
             queue_depth,
@@ -343,6 +449,8 @@ impl ServiceMetrics {
             replication_lag,
             snapshot_catchup,
             seq_conflicts,
+            response_cache_hits,
+            response_cache_misses,
         }
     }
 
@@ -378,6 +486,7 @@ pub struct Service {
     queue: AdmissionQueue,
     metrics: ServiceMetrics,
     workers: usize,
+    response_cache: Option<Mutex<ResponseCache>>,
 }
 
 impl Service {
@@ -427,6 +536,8 @@ impl Service {
                 }
             }
         }
+        let response_cache = (config.response_cache_entries > 0)
+            .then(|| Mutex::new(ResponseCache::new(config.response_cache_entries)));
         Ok(Self {
             config,
             engine,
@@ -437,6 +548,7 @@ impl Service {
             queue,
             metrics,
             workers,
+            response_cache,
         })
     }
 
@@ -581,52 +693,112 @@ impl Service {
         HttpResponse::json(200, serde_json::to_string(&fetch).unwrap_or_default())
     }
 
-    /// Admits a planning job, or sheds it with `429`/`503`.
+    /// Routes a request for the event loop: inline answers return
+    /// `Some(response)` immediately; planning POSTs are admitted with
+    /// `on_response` as the delivery callback and return `None` (the
+    /// callback fires from a worker thread when the job completes).
+    /// Admission rejections (429/503) and response-cache hits come back
+    /// inline, so the callback fires **only** for admitted jobs.
+    pub fn route_async(
+        &self,
+        request: &HttpRequest,
+        on_response: Box<dyn FnOnce(HttpResponse) + Send>,
+    ) -> Option<HttpResponse> {
+        let kind = match (request.method.as_str(), request.path.as_str()) {
+            ("POST", "/v1/plan") => JobKind::Plan,
+            ("POST", "/v1/replan") => JobKind::Replan,
+            _ => {
+                return match self.route(request) {
+                    Routed::Inline(response) => Some(response),
+                    Routed::Queued(_) => unreachable!("only planning POSTs queue"),
+                }
+            }
+        };
+        self.admit_with(
+            kind,
+            request.body.clone(),
+            ResponseSink::Callback(on_response),
+        )
+        .err()
+    }
+
+    /// Admits a planning job with a blocking slot, or sheds it inline.
     fn admit(&self, kind: JobKind, body: Vec<u8>) -> Routed {
+        let slot = ResponseSlot::new();
+        match self.admit_with(kind, body, ResponseSink::Slot(Arc::clone(&slot))) {
+            Ok(()) => Routed::Queued(slot),
+            Err(rejection) => Routed::Inline(rejection),
+        }
+    }
+
+    /// Admits a planning job, or returns an inline response: a shed
+    /// (`429`/`503`) or an admission-time response-cache hit (`200`).
+    fn admit_with(
+        &self,
+        kind: JobKind,
+        body: Vec<u8>,
+        sink: ResponseSink,
+    ) -> Result<(), HttpResponse> {
         if !self.role.is_leader() {
             self.metrics.count_rejection("not_leader");
             self.metrics.count_request(kind.endpoint(), 503);
-            return Routed::Inline(
-                error_response(
-                    503,
-                    "not_leader",
-                    format!(
-                        "node {} is a {}; planning writes go to the leader",
-                        self.config.replica.node,
-                        self.role.role().label()
-                    ),
-                )
-                .with_retry_after(1),
-            );
+            return Err(error_response(
+                503,
+                "not_leader",
+                format!(
+                    "node {} is a {}; planning writes go to the leader",
+                    self.config.replica.node,
+                    self.role.role().label()
+                ),
+            )
+            .with_retry_after(1));
         }
-        let slot = ResponseSlot::new();
+        // Admission-time cache fast path: a hit is answered inline
+        // without consuming queue capacity — equivalent to a worker
+        // picking the job up instantly. The lookup keys `degrade =
+        // false` (the zero-wait decision); identical bodies carry
+        // identical deadlines, so a body whose deadline forces
+        // degradation (or instant expiry) can never have an entry under
+        // this key and falls through to the worker path, which computes
+        // the full deadline/degrade semantics. Both I/O modes share
+        // this path, so cross-mode conformance is untouched.
+        if let Some(cache) = &self.response_cache {
+            let generation = match kind {
+                JobKind::Plan => 0,
+                JobKind::Replan => self.plans.len() as u64,
+            };
+            let key = response_cache_key(kind, false, generation, &body);
+            if let Some(hit) = cache.lock().expect("cache poisoned").get(key) {
+                self.metrics.response_cache_hits.inc();
+                self.metrics.count_request(kind.endpoint(), hit.status);
+                return Err(hit);
+            }
+        }
         let job = Job {
             kind,
             body,
             enqueued_ms: self.clock.now_ms(),
-            slot: Arc::clone(&slot),
+            sink,
         };
         match self.queue.push(job) {
-            Ok(()) => Routed::Queued(slot),
+            Ok(()) => Ok(()),
             Err(Rejection::QueueFull) => {
                 self.metrics.count_rejection("queue_full");
                 self.metrics.count_request(kind.endpoint(), 429);
-                Routed::Inline(
-                    error_response(
-                        429,
-                        "queue_full",
-                        format!(
-                            "admission queue at capacity ({}); retry later",
-                            self.config.queue_capacity
-                        ),
-                    )
-                    .with_retry_after(1),
+                Err(error_response(
+                    429,
+                    "queue_full",
+                    format!(
+                        "admission queue at capacity ({}); retry later",
+                        self.config.queue_capacity
+                    ),
                 )
+                .with_retry_after(1))
             }
             Err(Rejection::ShuttingDown) => {
                 self.metrics.count_rejection("shutdown");
                 self.metrics.count_request(kind.endpoint(), 503);
-                Routed::Inline(
+                Err(
                     error_response(503, "shutting_down", "daemon is draining".to_string())
                         .with_retry_after(5),
                 )
@@ -666,7 +838,7 @@ impl Service {
         );
         self.metrics
             .count_request(job.kind.endpoint(), response.status);
-        job.slot.put(response);
+        job.sink.deliver(response);
     }
 
     /// Produces the response for one job: deadline check, degradation
@@ -708,10 +880,40 @@ impl Service {
         // degrade to the greedy chain instead of erroring later.
         let degrade = deadline_ms - waited_ms < self.config.degrade_below_ms;
 
-        match parsed {
+        // Cache lookup happens only after the deadline check: an expired
+        // request answers 503 whether or not its twin is cached — the
+        // shed/degrade semantics are identical with the cache on or off.
+        let cache_key = self.response_cache.as_ref().map(|_| {
+            let generation = match job.kind {
+                // Plan responses depend only on the body; replans also
+                // depend on the incumbent, so fold in the store
+                // generation — any adoption invalidates the entry.
+                JobKind::Plan => 0,
+                JobKind::Replan => self.plans.len() as u64,
+            };
+            response_cache_key(job.kind, degrade, generation, &job.body)
+        });
+        if let (Some(cache), Some(key)) = (&self.response_cache, cache_key) {
+            if let Some(hit) = cache.lock().expect("cache poisoned").get(key) {
+                self.metrics.response_cache_hits.inc();
+                return hit;
+            }
+            self.metrics.response_cache_misses.inc();
+        }
+
+        let response = match parsed {
             Parsed::Plan(request) => self.respond_plan(request, degrade),
             Parsed::Replan(request) => self.respond_replan(request, degrade),
+        };
+        if let (Some(cache), Some(key)) = (&self.response_cache, cache_key) {
+            if response.status == 200 {
+                cache
+                    .lock()
+                    .expect("cache poisoned")
+                    .put(key, response.clone());
+            }
         }
+        response
     }
 
     /// Stamps failover attribution onto new plans produced after this
@@ -925,6 +1127,13 @@ impl Service {
         }
     }
 
+    /// The shared metrics registry — the event loop ([`crate::net`])
+    /// registers its connection-level series here, so `/metrics` is one
+    /// exposition for the whole daemon.
+    pub fn metrics_registry(&self) -> &MetricsRegistry {
+        &self.metrics.registry
+    }
+
     /// Prometheus exposition: the registry plus prediction-cache gauges
     /// scraped live from the engine.
     pub fn render_metrics(&self) -> String {
@@ -969,22 +1178,26 @@ fn plan_key(id: &str) -> String {
     format!("plans/{id}")
 }
 
-/// A running daemon: accept loop plus worker pool around a [`Service`].
+/// A running daemon: accept path (event-driven reactor or the blocking
+/// thread-per-connection reference, per [`ServeConfig::io_mode`]) plus
+/// worker pool around a [`Service`].
 pub struct Server {
     service: Arc<Service>,
     addr: std::net::SocketAddr,
     running: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
     worker_threads: Vec<JoinHandle<()>>,
+    reactor: Option<Reactor>,
 }
 
 impl Server {
     /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and starts
-    /// the accept loop and worker pool.
+    /// the accept path and worker pool.
     ///
     /// # Errors
     ///
-    /// I/O errors binding the listener.
+    /// I/O errors binding the listener (or creating the reactor's poller
+    /// and waker in [`IoMode::Event`]).
     pub fn start(service: Arc<Service>, addr: &str) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
@@ -1000,33 +1213,42 @@ impl Server {
             })
             .collect();
 
-        let accept_thread = {
-            let service = Arc::clone(&service);
-            let running = Arc::clone(&running);
-            std::thread::Builder::new()
-                .name("nshard-serve-accept".into())
-                .spawn(move || {
-                    for stream in listener.incoming() {
-                        if !running.load(Ordering::SeqCst) {
-                            break;
+        let (accept_thread, reactor) = match service.config().io_mode {
+            IoMode::Event => {
+                let reactor = Reactor::spawn(Arc::clone(&service), listener)?;
+                (None, Some(reactor))
+            }
+            IoMode::Blocking => {
+                let service = Arc::clone(&service);
+                let running = Arc::clone(&running);
+                let handle = std::thread::Builder::new()
+                    .name("nshard-serve-accept".into())
+                    .spawn(move || {
+                        for stream in listener.incoming() {
+                            if !running.load(Ordering::SeqCst) {
+                                break;
+                            }
+                            let Ok(stream) = stream else { continue };
+                            let service = Arc::clone(&service);
+                            // One thread per connection: connections are
+                            // short-lived (Connection: close) and the
+                            // real concurrency limit is the bounded
+                            // queue behind.
+                            std::thread::spawn(move || handle_connection(&service, stream));
                         }
-                        let Ok(stream) = stream else { continue };
-                        let service = Arc::clone(&service);
-                        // One thread per connection: connections are
-                        // short-lived (Connection: close) and the real
-                        // concurrency limit is the bounded queue behind.
-                        std::thread::spawn(move || handle_connection(&service, stream));
-                    }
-                })
-                .expect("spawn accept loop")
+                    })
+                    .expect("spawn accept loop");
+                (Some(handle), None)
+            }
         };
 
         Ok(Self {
             service,
             addr: local,
             running,
-            accept_thread: Some(accept_thread),
+            accept_thread,
             worker_threads,
+            reactor,
         })
     }
 
@@ -1045,6 +1267,9 @@ impl Server {
     pub fn shutdown(mut self) {
         self.running.store(false, Ordering::SeqCst);
         self.service.close();
+        if let Some(reactor) = self.reactor.take() {
+            reactor.shutdown();
+        }
         // Self-connect to wake the blocking accept call.
         let _ = TcpStream::connect(self.addr).map(|mut s| s.write_all(b""));
         if let Some(handle) = self.accept_thread.take() {

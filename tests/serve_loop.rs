@@ -9,7 +9,7 @@ use neuroshard::cost::{CollectConfig, CostModelBundle, TrainSettings};
 use neuroshard::data::{ShardingTask, TableConfig, TableId, TablePool};
 use neuroshard::serve::http::HttpRequest;
 use neuroshard::serve::server::Routed;
-use neuroshard::serve::{http_call, ManualClock, ServeConfig, Server, Service};
+use neuroshard::serve::{http_call, IoMode, ManualClock, ServeConfig, Server, Service};
 
 fn quick_bundle(seed: u64) -> CostModelBundle {
     let pool = TablePool::synthetic_dlrm(40, 3);
@@ -44,11 +44,14 @@ fn post(service: &Service, path: &str, body: &str) -> Routed {
 
 /// The acceptance-criterion test: 8 threads posting the same `/v1/plan`
 /// body over real TCP receive **byte-identical** responses, identical to
-/// a subsequent single call.
-#[test]
-fn eight_threads_get_byte_identical_plans() {
-    let service =
-        Arc::new(Service::new(quick_bundle(7), ServeConfig::smoke()).expect("service boots"));
+/// a subsequent single call. Runs in both I/O modes: the event-driven
+/// reactor and the blocking thread-per-connection conformance reference.
+fn eight_threads_get_byte_identical_plans(io_mode: IoMode) {
+    let config = ServeConfig {
+        io_mode,
+        ..ServeConfig::smoke()
+    };
+    let service = Arc::new(Service::new(quick_bundle(7), config).expect("service boots"));
     let server = Server::start(Arc::clone(&service), "127.0.0.1:0").expect("server binds");
     let addr = server.addr().to_string();
     let body = plan_body();
@@ -80,6 +83,16 @@ fn eight_threads_get_byte_identical_plans() {
     // Exactly one plan was adopted for the nine identical requests.
     assert_eq!(service.plans().len(), 1);
     server.shutdown();
+}
+
+#[test]
+fn eight_threads_get_byte_identical_plans_event_mode() {
+    eight_threads_get_byte_identical_plans(IoMode::Event);
+}
+
+#[test]
+fn eight_threads_get_byte_identical_plans_blocking_mode() {
+    eight_threads_get_byte_identical_plans(IoMode::Blocking);
 }
 
 /// A request whose deadline expired while queued is answered `503`
@@ -190,14 +203,65 @@ fn full_queue_sheds_load_with_429() {
     );
 }
 
-/// Adopted plans survive a daemon restart (disk-backed store) and are
-/// retrievable over `GET /v1/plans/{id}` with full provenance.
+/// With the response cache enabled, an identical request is answered
+/// inline at admission — byte-identical to the worker-path original —
+/// while distinct bodies still queue.
 #[test]
-fn plan_store_survives_restart() {
-    let dir = std::env::temp_dir().join(format!("nshard_serve_restart_{}", std::process::id()));
+fn response_cache_answers_identical_requests_inline() {
+    let config = ServeConfig {
+        response_cache_entries: 8,
+        ..ServeConfig::smoke()
+    };
+    let service = Service::with_clock(
+        quick_bundle(7),
+        config,
+        Arc::new(ManualClock::new()) as Arc<_>,
+    )
+    .expect("service boots");
+    let body = plan_body();
+
+    // First request runs the full chain through the queue.
+    let Routed::Queued(slot) = post(&service, "/v1/plan", &body) else {
+        panic!("first request must queue");
+    };
+    assert!(service.drain_one());
+    let original = slot.wait();
+    assert_eq!(original.status, 200);
+
+    // The identical twin is served inline, without queueing.
+    let Routed::Inline(cached) = post(&service, "/v1/plan", &body) else {
+        panic!("identical request must be served from the cache inline");
+    };
+    assert_eq!(cached, original, "cache hits are byte-identical");
+    assert!(!service.drain_one(), "no job was queued for the hit");
+
+    // A different body misses and queues as usual.
+    let other = format!("{{\"task\":{},\"deadline_ms\":9000}}", task_json());
+    let Routed::Queued(slot) = post(&service, "/v1/plan", &other) else {
+        panic!("distinct request must queue");
+    };
+    assert!(service.drain_one());
+    assert_eq!(slot.wait().status, 200);
+
+    let metrics = service.render_metrics();
+    assert!(
+        metrics.contains("nshard_serve_response_cache_hits_total 1"),
+        "got: {metrics}"
+    );
+}
+
+/// Adopted plans survive a daemon restart (disk-backed store) and are
+/// retrievable over `GET /v1/plans/{id}` with full provenance. Runs in
+/// both I/O modes.
+fn plan_store_survives_restart(io_mode: IoMode) {
+    let dir = std::env::temp_dir().join(format!(
+        "nshard_serve_restart_{}_{io_mode:?}",
+        std::process::id()
+    ));
     std::fs::remove_dir_all(&dir).ok();
     let config = ServeConfig {
         store_dir: Some(dir.clone()),
+        io_mode,
         ..ServeConfig::smoke()
     };
 
@@ -254,13 +318,25 @@ fn plan_store_survives_restart() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+#[test]
+fn plan_store_survives_restart_event_mode() {
+    plan_store_survives_restart(IoMode::Event);
+}
+
+#[test]
+fn plan_store_survives_restart_blocking_mode() {
+    plan_store_survives_restart(IoMode::Blocking);
+}
+
 /// `/health` and `/metrics` expose the daemon's core observability
 /// contract: liveness facts, request counters, latency quantiles, and
-/// prediction-cache statistics.
-#[test]
-fn health_and_metrics_expose_the_core_counters() {
-    let service =
-        Arc::new(Service::new(quick_bundle(7), ServeConfig::smoke()).expect("service boots"));
+/// prediction-cache statistics. Runs in both I/O modes.
+fn health_and_metrics_expose_the_core_counters(io_mode: IoMode) {
+    let config = ServeConfig {
+        io_mode,
+        ..ServeConfig::smoke()
+    };
+    let service = Arc::new(Service::new(quick_bundle(7), config).expect("service boots"));
     let server = Server::start(Arc::clone(&service), "127.0.0.1:0").expect("server binds");
     let addr = server.addr().to_string();
 
@@ -290,4 +366,14 @@ fn health_and_metrics_expose_the_core_counters() {
     assert_eq!(status, 404);
     assert!(body.contains("not_found"));
     server.shutdown();
+}
+
+#[test]
+fn health_and_metrics_expose_the_core_counters_event_mode() {
+    health_and_metrics_expose_the_core_counters(IoMode::Event);
+}
+
+#[test]
+fn health_and_metrics_expose_the_core_counters_blocking_mode() {
+    health_and_metrics_expose_the_core_counters(IoMode::Blocking);
 }
