@@ -1,0 +1,412 @@
+//! Continual-learning benchmark: drives the same drift trace twice —
+//! once with the pre-trained cost models **frozen** and once with the
+//! [`nshard_learn::ContinualLearner`] fine-tuning them from served
+//! ground truth — and records whether closing the training loop
+//! actually plans better.
+//!
+//! The incumbent is pre-trained *weakly* on purpose (a small sample
+//! budget), standing in for a model whose pre-training distribution the
+//! production workload has drifted away from. The frozen run keeps
+//! planning with it; the continual run buffers every epoch's
+//! `(predicted, observed)` pair, fine-tunes when the drift detector
+//! fires, shadow-evaluates each candidate, and hot-swaps the planner's
+//! models only on promotion.
+//!
+//! Acceptance gates, checked and recorded in the output JSON:
+//! * the continual run's final ground-truth max-device cost is at most
+//!   **0.97×** the frozen run's (full mode; smoke records the ratio);
+//! * at least one fine-tuned candidate was **promoted**, and the
+//!   promoted candidate's probe plan was memory-feasible with its
+//!   estimate inside the **1.5×** train→search conformance band;
+//! * a fine-tune on **poisoned observations** (labels scaled far off the
+//!   oracle) is rejected by the shadow evaluation and the active
+//!   checkpoint stays **byte-identical** — the rollback guarantee.
+//!
+//! Usage:
+//! `bench_learn [--smoke] [--epochs 28] [--seed 9] [--drift-seed 33]
+//!  [--tables-min 25] [--tables-max 35] [--out BENCH_learn.json]`
+
+use std::time::Instant;
+
+use serde::Serialize;
+
+use nshard_bench::{print_markdown_table, Args};
+use nshard_cost::{table_features, CollectConfig, CostModelBundle, TrainSettings};
+use nshard_data::{ShardingTask, TableConfig, TablePool};
+use nshard_learn::{ContinualConfig, ContinualLearner, FineTuneSettings};
+use nshard_online::{OnlineConfig, OnlineController, ReplanStrategy, WorkloadDrift};
+use nshard_serve::ObservationWire;
+
+#[derive(Serialize)]
+struct RunRow {
+    mode: String,
+    /// Wall clock of the whole controller loop, seconds.
+    wall_clock_s: f64,
+    /// Drift-triggered replans across the trace.
+    replans: usize,
+    /// Fine-tune proposals evaluated (0 for the frozen run).
+    proposals: usize,
+    /// Proposals promoted (0 for the frozen run).
+    promotions: usize,
+    /// Ground-truth max-device cost at the last epoch, ms.
+    final_ground_truth_ms: Option<f64>,
+    /// Mean ground-truth max-device cost over feasible epochs, ms.
+    mean_ground_truth_ms: f64,
+    /// Worst ground-truth max-device cost over feasible epochs, ms.
+    worst_ground_truth_ms: Option<f64>,
+}
+
+#[derive(Serialize)]
+struct PromotionRow {
+    proposal: u64,
+    version: u64,
+    promoted: bool,
+    reason: String,
+    conformance_ratio: f64,
+    feasible: bool,
+}
+
+#[derive(Serialize)]
+struct Output {
+    smoke: bool,
+    epochs: u64,
+    num_gpus: usize,
+    tables: usize,
+    batch_size: u32,
+    drift_seed: u64,
+    controller_seed: u64,
+    /// Pre-training sample budget — deliberately small, see module docs.
+    pretrain_compute_samples: usize,
+    pretrain_comm_samples: usize,
+    rows: Vec<RunRow>,
+    /// Every shadow-evaluation decision of the continual run, in order.
+    promotion_log: Vec<PromotionRow>,
+    /// Continual final max-device cost over the frozen run's.
+    continual_final_cost_over_frozen: f64,
+    /// Continual mean max-device cost over the frozen run's.
+    continual_mean_cost_over_frozen: f64,
+    /// Probe-plan conformance of the last promoted candidate.
+    promoted_conformance_ratio: f64,
+    /// Acceptance: continual final cost ≤ 0.97× frozen final cost.
+    accept_finetuned_beats_frozen: bool,
+    /// Acceptance: ≥ 1 fine-tuned candidate was promoted.
+    accept_promotion_happened: bool,
+    /// Acceptance: the promoted candidate's probe plan was
+    /// memory-feasible.
+    accept_promoted_feasible: bool,
+    /// Acceptance: the promoted candidate's estimate agreed with the
+    /// exact oracle within the 1.5× train→search conformance band.
+    accept_promoted_within_band: bool,
+    /// Acceptance: the poisoned candidate was rejected.
+    accept_poison_rejected: bool,
+    /// Acceptance: rejection left the active checkpoint byte-identical.
+    accept_rollback_byte_identical: bool,
+}
+
+/// Self-removing scratch directory for the versioned checkpoint stores.
+struct TempDir(std::path::PathBuf);
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir =
+            std::env::temp_dir().join(format!("nshard_bench_learn_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        Self(dir)
+    }
+    fn path(&self) -> &std::path::Path {
+        &self.0
+    }
+}
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn run_row(
+    mode: &str,
+    wall: f64,
+    history: &nshard_online::ReplanHistory,
+    learner: Option<&ContinualLearner>,
+) -> RunRow {
+    RunRow {
+        mode: mode.to_string(),
+        wall_clock_s: wall,
+        replans: history.replans(),
+        proposals: learner.map_or(0, |l| l.lifecycle().proposals() as usize),
+        promotions: learner.map_or(0, |l| l.records().iter().filter(|r| r.promoted).count()),
+        final_ground_truth_ms: history.epochs.last().and_then(|e| e.ground_truth_ms),
+        mean_ground_truth_ms: history.mean_ground_truth_ms(),
+        worst_ground_truth_ms: history.worst_ground_truth_ms(),
+    }
+}
+
+/// Fine-tunes on poisoned observations (labels 25× the model's own
+/// predictions) and checks the lifecycle rejects the candidate with the
+/// active checkpoint byte-identical. Returns
+/// `(poison_rejected, rollback_byte_identical)`.
+fn poison_rollback(
+    bundle: &CostModelBundle,
+    pool: &TablePool,
+    probe: &ShardingTask,
+) -> (bool, bool) {
+    let dir = TempDir::new("poison");
+    // Aggressive tuning settings: the point is to *move* the model onto
+    // the poisoned labels so the shadow evaluation has something real to
+    // reject — a nudge too small to break conformance would vacuously
+    // pass.
+    let config = ContinualConfig {
+        settings: FineTuneSettings {
+            epochs: 40,
+            learning_rate: 1e-2,
+            min_samples: 8,
+            ..FineTuneSettings::default()
+        },
+        ..ContinualConfig::smoke()
+    };
+    let mut learner =
+        ContinualLearner::new(bundle.clone(), dir.path(), config).expect("store opens");
+    let batch = bundle.batch_size();
+    let wires: Vec<ObservationWire> = pool
+        .tables()
+        .iter()
+        .take(64)
+        .map(|t| {
+            let features = vec![table_features(&t.profile(batch), batch)];
+            let predicted = bundle.compute_model().predict(&features);
+            ObservationWire {
+                kind: "compute".to_string(),
+                features,
+                predicted_ms: predicted,
+                observed_ms: predicted * 25.0,
+            }
+        })
+        .collect();
+    learner.ingest_wire(&wires);
+    let before = std::fs::read(learner.lifecycle().active_path()).expect("active checkpoint");
+    let installed = learner.fine_tune_now(0, probe);
+    let after = std::fs::read(learner.lifecycle().active_path()).expect("active checkpoint");
+    let rejected = installed.is_none()
+        && learner.records().iter().all(|r| !r.promoted)
+        && !learner.records().is_empty();
+    (rejected, before == after)
+}
+
+fn main() {
+    let args = Args::from_env();
+    let smoke = args.has("smoke");
+    let epochs: u64 = args.get("epochs", if smoke { 14 } else { 28 });
+    let seed: u64 = args.get("seed", 9);
+    let drift_seed: u64 = args.get("drift-seed", 33);
+    let t_min: usize = args.get("tables-min", 25);
+    let t_max: usize = args.get("tables-max", 35);
+    let collect = CollectConfig {
+        compute_samples: args.get("compute-samples", 400),
+        comm_samples: args.get("comm-samples", 400),
+        ..CollectConfig::default()
+    };
+    let out_path = args
+        .get_opt("out")
+        .unwrap_or_else(|| "BENCH_learn.json".to_string());
+
+    let num_gpus = 4usize;
+    let stale_pooling: f64 = args.get("stale-pooling", 0.35);
+    let pool = TablePool::synthetic_dlrm(856, 2023);
+    // The incumbent pre-trains on a *stale* snapshot of the workload:
+    // the same tables with their pooling factors scaled down, standing in
+    // for a model trained months before the traffic it now prices. At
+    // serve time every feature vector sits outside the pre-training
+    // distribution, so the frozen model extrapolates — the gap the
+    // continual loop exists to close.
+    let stale_tables: Vec<TableConfig> = pool
+        .tables()
+        .iter()
+        .map(|t| t.with_pooling_factor((t.pooling_factor() * stale_pooling).max(1.0)))
+        .collect();
+    let stale_pool = TablePool::from_tables(stale_tables);
+    eprintln!(
+        "pre-training cost models on the stale workload ({} compute / {} comm samples, \
+         pooling x{stale_pooling})...",
+        collect.compute_samples, collect.comm_samples
+    );
+    let bundle =
+        CostModelBundle::pretrain(&stale_pool, num_gpus, &collect, &TrainSettings::smoke(), 42);
+
+    let base = ShardingTask::sample(&pool, num_gpus, t_min..=t_max, 64, seed);
+    let tables = base.num_tables();
+    let batch_size = base.batch_size();
+    let drift = WorkloadDrift::standard(base.clone(), drift_seed);
+    let config = OnlineConfig {
+        epochs,
+        strategy: ReplanStrategy::Full,
+        seed,
+        ..OnlineConfig::default()
+    };
+
+    eprintln!("running the frozen baseline over {epochs} epochs...");
+    let mut frozen_ctl = OnlineController::new(bundle.clone(), drift.clone(), config);
+    let t0 = Instant::now();
+    let frozen_history = frozen_ctl.run().expect("the deployment is feasible");
+    let frozen_wall = t0.elapsed().as_secs_f64();
+
+    eprintln!("running the continual-learning loop over {epochs} epochs...");
+    let learn_dir = TempDir::new("loop");
+    let learn_config = ContinualConfig {
+        settings: FineTuneSettings {
+            epochs: 30,
+            learning_rate: 1e-3,
+            min_samples: 12,
+            ..FineTuneSettings::default()
+        },
+        min_observations: 24,
+        cooldown_epochs: 3,
+        seed,
+        ..ContinualConfig::default()
+    };
+    let mut learner =
+        ContinualLearner::new(bundle.clone(), learn_dir.path(), learn_config).expect("store opens");
+    let mut continual_ctl = OnlineController::new(bundle.clone(), drift.clone(), config);
+    let t1 = Instant::now();
+    let continual_history = continual_ctl
+        .run_hooked(&mut learner)
+        .expect("the deployment is feasible");
+    let continual_wall = t1.elapsed().as_secs_f64();
+
+    let rows = vec![
+        run_row("frozen", frozen_wall, &frozen_history, None),
+        run_row(
+            "continual",
+            continual_wall,
+            &continual_history,
+            Some(&learner),
+        ),
+    ];
+
+    let cost_ratio = match (rows[1].final_ground_truth_ms, rows[0].final_ground_truth_ms) {
+        (Some(c), Some(f)) if f > 0.0 => c / f,
+        _ => f64::INFINITY,
+    };
+    let mean_ratio = if rows[0].mean_ground_truth_ms > 0.0 {
+        rows[1].mean_ground_truth_ms / rows[0].mean_ground_truth_ms
+    } else {
+        f64::INFINITY
+    };
+
+    let promoted = learner.records().iter().rfind(|r| r.promoted);
+    let promoted_feasible = promoted.is_some_and(|r| r.feasible);
+    let promoted_ratio = promoted.map_or(f64::NAN, |r| r.conformance_ratio);
+    let promoted_within_band = promoted.is_some_and(|r| r.conformance_ratio <= 1.5);
+
+    eprintln!("injecting poisoned observations and checking rollback...");
+    let probe = drift.task_at(epochs.saturating_sub(1));
+    let (poison_rejected, rollback_identical) = poison_rollback(&bundle, &pool, &probe);
+
+    let output = Output {
+        smoke,
+        epochs,
+        num_gpus,
+        tables,
+        batch_size,
+        drift_seed,
+        controller_seed: seed,
+        pretrain_compute_samples: collect.compute_samples,
+        pretrain_comm_samples: collect.comm_samples,
+        promotion_log: learner
+            .records()
+            .iter()
+            .map(|r| PromotionRow {
+                proposal: r.proposal,
+                version: r.version,
+                promoted: r.promoted,
+                reason: r.reason.clone(),
+                conformance_ratio: r.conformance_ratio,
+                feasible: r.feasible,
+            })
+            .collect(),
+        continual_final_cost_over_frozen: cost_ratio,
+        continual_mean_cost_over_frozen: mean_ratio,
+        promoted_conformance_ratio: promoted_ratio,
+        accept_finetuned_beats_frozen: cost_ratio <= 0.97,
+        accept_promotion_happened: promoted.is_some(),
+        accept_promoted_feasible: promoted_feasible,
+        accept_promoted_within_band: promoted_within_band,
+        accept_poison_rejected: poison_rejected,
+        accept_rollback_byte_identical: rollback_identical,
+        rows,
+    };
+
+    println!("\n# Continual learning, {epochs} epochs, {num_gpus} GPUs, {tables} tables\n");
+    let table: Vec<Vec<String>> = output
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.mode.clone(),
+                format!("{:.2}", r.wall_clock_s),
+                format!("{}", r.replans),
+                format!("{}", r.proposals),
+                format!("{}", r.promotions),
+                r.final_ground_truth_ms
+                    .map_or_else(|| "-".into(), |c| format!("{c:.2}")),
+                format!("{:.2}", r.mean_ground_truth_ms),
+            ]
+        })
+        .collect();
+    print_markdown_table(
+        &[
+            "mode",
+            "wall (s)",
+            "replans",
+            "proposals",
+            "promotions",
+            "final cost (ms)",
+            "mean cost (ms)",
+        ],
+        &table,
+    );
+    println!(
+        "\ncontinual vs frozen: {:.3}x final cost, {:.3}x mean cost; \
+         promoted conformance {:.3} (accept: beat {} | promote {} | feasible {} | \
+         band {} | poison-reject {} | rollback {})",
+        cost_ratio,
+        mean_ratio,
+        promoted_ratio,
+        output.accept_finetuned_beats_frozen,
+        output.accept_promotion_happened,
+        output.accept_promoted_feasible,
+        output.accept_promoted_within_band,
+        output.accept_poison_rejected,
+        output.accept_rollback_byte_identical,
+    );
+
+    assert!(
+        output.accept_promotion_happened,
+        "the continual run must promote at least one fine-tuned candidate"
+    );
+    assert!(
+        output.accept_promoted_feasible,
+        "the promoted candidate's probe plan must be memory-feasible"
+    );
+    assert!(
+        output.accept_promoted_within_band,
+        "the promoted candidate must stay within the 1.5x conformance band"
+    );
+    assert!(
+        output.accept_poison_rejected,
+        "the poisoned candidate must be rejected by the shadow evaluation"
+    );
+    assert!(
+        output.accept_rollback_byte_identical,
+        "rollback must leave the active checkpoint byte-identical"
+    );
+    if !smoke {
+        assert!(
+            output.accept_finetuned_beats_frozen,
+            "the continual run must land at most 0.97x the frozen final cost, got {cost_ratio:.3}"
+        );
+    }
+
+    let json = serde_json::to_string_pretty(&output).expect("results are serializable");
+    std::fs::write(&out_path, json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    eprintln!("wrote {out_path}");
+}

@@ -162,7 +162,7 @@ fn main() {
             final_full_replan_on_stall: true,
             ..OnlineConfig::default()
         };
-        let controller = OnlineController::new(bundle.clone(), drift.clone(), config);
+        let mut controller = OnlineController::new(bundle.clone(), drift.clone(), config);
         let t0 = Instant::now();
         let history = controller.run().expect("the deployment is feasible");
         let wall = t0.elapsed().as_secs_f64();

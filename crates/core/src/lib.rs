@@ -64,7 +64,7 @@ pub use fallback::{
     ProvenanceEvent, ReplanAttribution, ResilientError, ResilientOutcome, RetryPolicy,
 };
 pub use greedy_grid::{GreedyGridSearch, GridSearchResult};
-pub use neuroshard::{NeuroShard, NeuroShardConfig, ShardOutcome};
+pub use neuroshard::{ConfigError, NeuroShard, NeuroShardConfig, ShardOutcome};
 pub use plan::{
     apply_column_plan, apply_split_plan, migration_bytes, ColumnPlan, PlanError, ShardingPlan,
     SplitKind, SplitPlan, SplitStep,

@@ -75,7 +75,50 @@ impl NeuroShardConfig {
             ..Self::default()
         }
     }
+
+    /// Rejects configurations whose switches silently contradict each
+    /// other instead of letting them become dead config.
+    ///
+    /// Today the one rejected combination is `use_row_wise: true` with
+    /// `use_beam: false`: split candidates (column- *and* row-wise) are
+    /// only explored during beam expansion, so disabling the beam makes
+    /// the row-wise request unreachable — historically it was silently
+    /// ignored (see ROADMAP item 4).
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::RowWiseRequiresBeam`] for the combination above.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.use_row_wise && !self.use_beam {
+            return Err(ConfigError::RowWiseRequiresBeam);
+        }
+        Ok(())
+    }
 }
+
+/// Typed rejection of a contradictory [`NeuroShardConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConfigError {
+    /// `use_row_wise: true` with `use_beam: false`: row-wise splits are
+    /// only reachable through beam expansion, so the request would be
+    /// silently ignored.
+    RowWiseRequiresBeam,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::RowWiseRequiresBeam => write!(
+                f,
+                "use_row_wise: true requires use_beam: true — row-wise splits are only \
+                 explored during beam expansion, so this combination would be dead config \
+                 (ROADMAP item 4 tracks first-class row-wise sharding)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// The result of sharding one task.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -121,7 +164,25 @@ pub struct NeuroShard {
 impl NeuroShard {
     /// Builds a sharder from a pre-trained bundle and a search
     /// configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration is contradictory (see
+    /// [`NeuroShardConfig::validate`]); use [`NeuroShard::try_new`] to
+    /// handle the typed error instead.
     pub fn new(bundle: CostModelBundle, config: NeuroShardConfig) -> Self {
+        Self::try_new(bundle, config).unwrap_or_else(|e| panic!("invalid NeuroShardConfig: {e}"))
+    }
+
+    /// [`NeuroShard::new`] returning the typed [`ConfigError`] instead of
+    /// panicking on a contradictory configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] when [`NeuroShardConfig::validate`] rejects
+    /// `config`.
+    pub fn try_new(bundle: CostModelBundle, config: NeuroShardConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
         let mut sim = CostSimulator::new(bundle);
         if !config.use_cache {
             sim = sim.with_cache_disabled();
@@ -132,7 +193,7 @@ impl NeuroShard {
         if config.use_int8 {
             sim = sim.with_inference_mode(nshard_cost::InferenceMode::Int8);
         }
-        Self { sim, config }
+        Ok(Self { sim, config })
     }
 
     /// The search configuration.
@@ -275,6 +336,38 @@ mod tests {
         let ns = sharder(2, config);
         let outcome = ns.shard_with_stats(&task(2)).unwrap();
         assert!(outcome.plan.validate(&task(2)).is_ok());
+    }
+
+    #[test]
+    fn row_wise_without_beam_is_rejected_with_typed_error() {
+        let config = NeuroShardConfig {
+            use_row_wise: true,
+            use_beam: false,
+            ..NeuroShardConfig::smoke()
+        };
+        assert_eq!(config.validate(), Err(ConfigError::RowWiseRequiresBeam));
+        let pool = TablePool::synthetic_dlrm(30, 1);
+        let bundle = CostModelBundle::pretrain(
+            &pool,
+            2,
+            &CollectConfig::smoke(),
+            &TrainSettings::smoke(),
+            7,
+        );
+        let err = NeuroShard::try_new(bundle, config).err().unwrap();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("ROADMAP item 4"),
+            "error must cite the roadmap: {msg}"
+        );
+        // The paper's default search space stays valid, including the
+        // beam-less ablation without a row-wise request.
+        assert!(NeuroShardConfig::default().validate().is_ok());
+        let ablation = NeuroShardConfig {
+            use_beam: false,
+            ..NeuroShardConfig::smoke()
+        };
+        assert!(ablation.validate().is_ok());
     }
 
     #[test]

@@ -232,6 +232,55 @@ impl CommCostModel {
         report
     }
 
+    /// Fine-tunes on explicit train/valid partitions (no internal split),
+    /// keeping the best-on-validation checkpoint. `frozen_layers` indices
+    /// are left bitwise untouched (their gradients are zeroed before every
+    /// optimizer step — see [`nshard_nn::Gradients::zero_layers`]). The
+    /// reported `test_mse` is the selected checkpoint's MSE on `valid`.
+    ///
+    /// Same determinism contract as [`CommCostModel::train`]: weights are
+    /// bit-identical at any [`TrainSettings::threads`] setting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either partition's feature width does not match this model.
+    pub fn fine_tune(
+        &mut self,
+        train: &Dataset,
+        valid: &Dataset,
+        settings: &TrainSettings,
+        frozen_layers: &[usize],
+        seed: u64,
+    ) -> TrainReport {
+        let width = comm_feature_dim(self.num_devices);
+        assert_eq!(
+            train.x().cols(),
+            width,
+            "dataset feature width does not match the model's device count"
+        );
+        assert_eq!(
+            valid.x().cols(),
+            width,
+            "dataset feature width does not match the model's device count"
+        );
+        let split = nshard_nn::Split {
+            train: train.clone(),
+            valid: valid.clone(),
+            test: valid.clone(),
+        };
+        let mut trainer = Trainer::new(TrainConfig {
+            epochs: settings.epochs,
+            batch_size: settings.batch_size,
+            learning_rate: settings.learning_rate,
+            threads: settings.threads,
+        })
+        .with_frozen_layers(frozen_layers.to_vec());
+        let report = trainer.fit_split(self.mlp.clone(), &split, seed);
+        self.mlp = trainer.into_best_model().expect("fit always sets a model");
+        self.quant = OnceLock::new();
+        report
+    }
+
     /// MSE over an arbitrary dataset (e.g. a held-out split).
     pub fn evaluate_mse(&self, data: &Dataset) -> f32 {
         nshard_nn::mse(&self.mlp.forward(data.x()), data.y())
@@ -340,6 +389,36 @@ mod tests {
             ((f32_cost - int8_cost).abs() / denom) < 0.25,
             "int8 {int8_cost} drifted too far from f32 {f32_cost}"
         );
+    }
+
+    #[test]
+    fn fine_tune_adapts_and_respects_frozen_layers() {
+        let data = dataset(400, 4);
+        let settings = TrainSettings {
+            epochs: 20,
+            batch_size: 64,
+            learning_rate: 1e-3,
+            ..TrainSettings::default()
+        };
+        let mut model = CommCostModel::new(4, 5);
+        model.train(&data.forward, &settings, 5);
+        let before = model.clone();
+        let split = data.forward.split(9);
+        let ft = TrainSettings {
+            epochs: 8,
+            batch_size: 32,
+            learning_rate: 2e-4,
+            ..TrainSettings::default()
+        };
+        // Freeze the first two layers: they must stay bitwise identical.
+        let report = model.fine_tune(&split.train, &split.valid, &ft, &[0, 1], 7);
+        assert!(report.valid_mse.is_finite());
+        assert_eq!(before.mlp.layers()[0], model.mlp.layers()[0]);
+        assert_eq!(before.mlp.layers()[1], model.mlp.layers()[1]);
+        // Determinism: a second identical fine-tune matches bitwise.
+        let mut again = before.clone();
+        again.fine_tune(&split.train, &split.valid, &ft, &[0, 1], 7);
+        assert_eq!(model, again);
     }
 
     #[test]

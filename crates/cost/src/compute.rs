@@ -348,10 +348,53 @@ impl ComputeCostModel {
         settings: &TrainSettings,
         seed: u64,
     ) -> ComputeTrainReport {
+        let (train, valid, test) = data.split(seed);
+        self.fit_partitions(&train, &valid, &test, settings, false, seed)
+    }
+
+    /// Fine-tunes the model on explicit train/valid partitions (no internal
+    /// split), keeping the best-on-validation checkpoint. The reported
+    /// `test_mse` is the selected checkpoint's MSE on `valid`.
+    ///
+    /// With `freeze_encoder` the shared table encoder is left **bitwise
+    /// untouched** — only the head adapts. That preserves the per-table
+    /// encoding geometry the search's encoding cache and DeepSets pooling
+    /// rely on, while the head re-calibrates to observed costs.
+    ///
+    /// Returns an unchanged-model report when `train` is empty. Same
+    /// determinism contract as [`ComputeCostModel::train`]: bit-identical
+    /// weights at any thread count.
+    pub fn fine_tune(
+        &mut self,
+        train: &ComputeDataset,
+        valid: &ComputeDataset,
+        settings: &TrainSettings,
+        freeze_encoder: bool,
+        seed: u64,
+    ) -> ComputeTrainReport {
+        self.fit_partitions(train, valid, valid, settings, freeze_encoder, seed)
+    }
+
+    fn fit_partitions(
+        &mut self,
+        train: &ComputeDataset,
+        valid: &ComputeDataset,
+        test: &ComputeDataset,
+        settings: &TrainSettings,
+        freeze_encoder: bool,
+        seed: u64,
+    ) -> ComputeTrainReport {
         use rand::Rng;
         use rand::{rngs::StdRng, SeedableRng};
 
-        let (train, valid, test) = data.split(seed);
+        if train.is_empty() {
+            return ComputeTrainReport {
+                train_mse: f32::NAN,
+                valid_mse: self.evaluate_mse(valid),
+                test_mse: self.evaluate_mse(test),
+                valid_history: Vec::new(),
+            };
+        }
         let pool = WorkPool::new(settings.threads);
         let mut adam_enc = Adam::new(&self.encoder, settings.learning_rate);
         let mut adam_head = Adam::new(&self.head, settings.learning_rate);
@@ -380,10 +423,16 @@ impl ComputeCostModel {
                     }
                     grad_head.accumulate(g_head, scale);
                 }
-                adam_enc.step(&mut self.encoder, &grad_enc);
+                // Exact encoder freeze: equivalent to zeroing the encoder
+                // gradients (Adam with perpetually-zero gradients keeps
+                // zero moments, so the update is exactly zero) — skipping
+                // the step makes the bitwise invariant free.
+                if !freeze_encoder {
+                    adam_enc.step(&mut self.encoder, &grad_enc);
+                }
                 adam_head.step(&mut self.head, &grad_head);
             }
-            let valid_mse = self.evaluate_mse(&valid);
+            let valid_mse = self.evaluate_mse(valid);
             valid_history.push(valid_mse);
             if valid_mse < best_valid {
                 best_valid = valid_mse;
@@ -395,9 +444,9 @@ impl ComputeCostModel {
         self.head = best.1;
         self.quant = OnceLock::new();
         ComputeTrainReport {
-            train_mse: self.evaluate_mse(&train),
+            train_mse: self.evaluate_mse(train),
             valid_mse: best_valid,
-            test_mse: self.evaluate_mse(&test),
+            test_mse: self.evaluate_mse(test),
             valid_history,
         }
     }
@@ -624,6 +673,97 @@ mod tests {
             nn_report.test_mse,
             lin_report.test_mse
         );
+    }
+
+    #[test]
+    fn fine_tune_with_frozen_encoder_keeps_encoder_bitwise() {
+        let data = small_dataset(200);
+        let mut model = ComputeCostModel::new(7);
+        model.train(
+            &data,
+            &TrainSettings {
+                epochs: 10,
+                batch_size: 64,
+                learning_rate: 1e-3,
+                ..TrainSettings::default()
+            },
+            9,
+        );
+        let before = model.clone();
+        let (train, valid, _) = data.split(13);
+        let report = model.fine_tune(
+            &train,
+            &valid,
+            &TrainSettings {
+                epochs: 5,
+                batch_size: 32,
+                learning_rate: 2e-4,
+                ..TrainSettings::default()
+            },
+            true,
+            17,
+        );
+        assert!(report.valid_mse.is_finite());
+        assert_eq!(report.valid_history.len(), 5);
+        // Frozen encoder is untouched; the head is free to move.
+        assert_eq!(before.encoder, model.encoder);
+    }
+
+    #[test]
+    fn fine_tune_is_deterministic_and_improves_on_shifted_labels() {
+        let data = small_dataset(300);
+        // Shift the cost regime: the "observed" world is 1.7× the
+        // collected labels, as if the hardware drifted.
+        let shifted = ComputeDataset {
+            samples: data
+                .samples
+                .iter()
+                .map(|s| ComputeSample {
+                    tables: s.tables.clone(),
+                    cost_ms: s.cost_ms * 1.7,
+                })
+                .collect(),
+        };
+        let settings = TrainSettings {
+            epochs: 12,
+            batch_size: 64,
+            learning_rate: 1e-3,
+            ..TrainSettings::default()
+        };
+        let mut base = ComputeCostModel::new(2);
+        base.train(&data, &settings, 3);
+        let before = base.evaluate_mse(&shifted);
+        let (train, valid, _) = shifted.split(5);
+        let ft_settings = TrainSettings {
+            epochs: 15,
+            batch_size: 32,
+            learning_rate: 5e-4,
+            ..TrainSettings::default()
+        };
+        let mut a = base.clone();
+        let ra = a.fine_tune(&train, &valid, &ft_settings, false, 11);
+        let mut b = base.clone();
+        let rb = b.fine_tune(&train, &valid, &ft_settings, false, 11);
+        assert_eq!(ra, rb);
+        assert_eq!(a, b);
+        let after = a.evaluate_mse(&shifted);
+        assert!(
+            after < before / 2.0,
+            "fine-tune did not adapt to the shifted regime: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn fine_tune_on_empty_train_is_a_no_op() {
+        let data = small_dataset(20);
+        let mut model = ComputeCostModel::new(4);
+        let before = model.clone();
+        let empty = ComputeDataset {
+            samples: Vec::new(),
+        };
+        let report = model.fine_tune(&empty, &data, &TrainSettings::smoke(), false, 1);
+        assert_eq!(before, model);
+        assert!(report.valid_history.is_empty());
     }
 
     #[test]

@@ -57,4 +57,5 @@ pub use features::{
 };
 pub use simulator::{
     BundleReport, CostModelBundle, CostSimulator, EstimatedCost, InferenceMode, TrainSettings,
+    FWD_FRACTION,
 };

@@ -26,7 +26,11 @@ use crate::features::table_features;
 /// Fraction of the combined forward+backward kernel cost attributable to
 /// the forward pass (used to estimate all-to-all start skews at search
 /// time; matches the simulator's default backward/forward ratio).
-const FWD_FRACTION: f64 = 1.0 / 2.45;
+///
+/// Public so observation pipelines (the continual-learning loop) can
+/// derive forward-comm start timestamps from per-device compute
+/// predictions exactly the way [`CostSimulator::estimate_plan`] does.
+pub const FWD_FRACTION: f64 = 1.0 / 2.45;
 
 /// Numeric path used for cost-model inference.
 ///
@@ -264,6 +268,17 @@ impl EstimatedCost {
     /// + backward comm (the objective `f(c, t)` of Equation 1).
     pub fn total_ms(&self) -> f64 {
         self.max_compute_ms + self.fwd_comm_ms + self.bwd_comm_ms
+    }
+
+    /// Per-device forward all-to-all start timestamps implied by the
+    /// compute predictions (`compute × `[`FWD_FRACTION`]) — exactly the
+    /// starts [`CostSimulator::estimate_plan`] feeds the forward comm
+    /// model, so observation pipelines can rebuild its feature rows.
+    pub fn fwd_comm_starts(&self) -> Vec<f64> {
+        self.compute_per_device
+            .iter()
+            .map(|c| c * FWD_FRACTION)
+            .collect()
     }
 }
 

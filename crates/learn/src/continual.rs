@@ -1,0 +1,370 @@
+//! The closed continual-learning loop: observe → buffer → fine-tune →
+//! shadow-evaluate → promote or roll back.
+//!
+//! [`ContinualLearner`] implements the online controller's
+//! [`EpochHook`]: every epoch it converts the controller's
+//! `(estimated, ground-truth)` pair into per-model observations and, when
+//! the drift detector fires (and enough observations accumulated and the
+//! cooldown elapsed), fine-tunes the incumbent, runs the candidate
+//! through the [`ModelLifecycle`] shadow evaluation, and — only on
+//! promotion — asks the controller to hot-swap the serving models.
+//!
+//! The same learner also ingests wire observations drained from a serve
+//! daemon (`Service::take_observations`), so one loop can learn from both
+//! the epoch simulator and live traffic.
+
+use nshard_cost::{comm_features, table_features, CostModelBundle};
+use nshard_online::{EpochHook, EpochObservation, HookAction};
+use nshard_serve::{ObservationWire, StoreError};
+use nshard_sim::{Cluster, DeviceCost};
+
+use crate::buffer::{BufferConfig, Observation, ObservationBuffer, ObservationKind};
+use crate::finetune::{FineTuneSettings, FineTuner};
+use crate::lifecycle::{LifecycleConfig, ModelLifecycle, PromotionRecord};
+
+/// Knobs of the continual-learning loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContinualConfig {
+    /// Observation-buffer sizing and sampling seed.
+    pub buffer: BufferConfig,
+    /// Fine-tuning hyperparameters.
+    pub settings: FineTuneSettings,
+    /// Shadow-evaluation thresholds.
+    pub lifecycle: LifecycleConfig,
+    /// Fine-tuning is only attempted once the training reservoir holds
+    /// at least this many observations.
+    pub min_observations: usize,
+    /// Epochs that must pass between fine-tuning attempts — one drifted
+    /// epoch must not trigger a thrashing retrain storm.
+    pub cooldown_epochs: u64,
+    /// Seed mixed into every fine-tuning run.
+    pub seed: u64,
+}
+
+impl Default for ContinualConfig {
+    fn default() -> Self {
+        Self {
+            buffer: BufferConfig::default(),
+            settings: FineTuneSettings::default(),
+            lifecycle: LifecycleConfig::default(),
+            min_observations: 64,
+            cooldown_epochs: 5,
+            seed: 0,
+        }
+    }
+}
+
+impl ContinualConfig {
+    /// A reduced configuration for tests and smoke runs.
+    pub fn smoke() -> Self {
+        Self {
+            settings: FineTuneSettings::smoke(),
+            min_observations: 16,
+            cooldown_epochs: 2,
+            ..Self::default()
+        }
+    }
+}
+
+/// splitmix64 (same mixer as the buffer's — local copy keeps the crate
+/// graph acyclic).
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The closed-loop learner: buffers ground truth, fine-tunes on drift,
+/// and versions every promotion decision through a [`ModelLifecycle`].
+pub struct ContinualLearner {
+    config: ContinualConfig,
+    buffer: ObservationBuffer,
+    lifecycle: ModelLifecycle,
+    incumbent: CostModelBundle,
+    last_attempt_epoch: Option<u64>,
+    records: Vec<PromotionRecord>,
+}
+
+impl ContinualLearner {
+    /// Builds the learner around the serving incumbent; `store_dir` roots
+    /// the versioned checkpoint store.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] when the checkpoint store cannot be created.
+    pub fn new(
+        incumbent: CostModelBundle,
+        store_dir: impl AsRef<std::path::Path>,
+        config: ContinualConfig,
+    ) -> Result<Self, StoreError> {
+        let lifecycle = ModelLifecycle::open(store_dir, &incumbent, config.lifecycle.clone())?;
+        let buffer = ObservationBuffer::new(config.buffer);
+        Ok(Self {
+            config,
+            buffer,
+            lifecycle,
+            incumbent,
+            last_attempt_epoch: None,
+            records: Vec::new(),
+        })
+    }
+
+    /// The observation buffer.
+    pub fn buffer(&self) -> &ObservationBuffer {
+        &self.buffer
+    }
+
+    /// The versioned lifecycle.
+    pub fn lifecycle(&self) -> &ModelLifecycle {
+        &self.lifecycle
+    }
+
+    /// The bundle the learner currently considers incumbent.
+    pub fn incumbent(&self) -> &CostModelBundle {
+        &self.incumbent
+    }
+
+    /// Every promotion decision so far, in order.
+    pub fn records(&self) -> &[PromotionRecord] {
+        &self.records
+    }
+
+    /// Ingests observations reported over the wire
+    /// (`POST /v1/observations` → `Service::take_observations`). Unknown
+    /// kinds and empty feature sets are skipped, not errors.
+    pub fn ingest_wire(&mut self, wires: &[ObservationWire]) {
+        for wire in wires {
+            let Some(kind) = ObservationKind::from_label(&wire.kind) else {
+                continue;
+            };
+            if wire.features.is_empty() {
+                continue;
+            }
+            self.buffer.insert(Observation {
+                kind,
+                features: wire.features.clone(),
+                predicted_ms: wire.predicted_ms,
+                observed_ms: wire.observed_ms,
+            });
+        }
+    }
+
+    /// Converts one controller epoch into observations: a per-device
+    /// compute sample plus one forward and one backward comm sample,
+    /// each pairing the models' prediction with the simulated ground
+    /// truth. Epochs without ground truth contribute nothing.
+    fn ingest_epoch(&mut self, observation: &EpochObservation<'_>) {
+        let Some(truth) = observation.ground_truth else {
+            return;
+        };
+        let batch = observation.task.batch_size();
+        let devices = truth.devices();
+        for (d, tables) in observation.assignment.iter().enumerate() {
+            if tables.is_empty() {
+                continue;
+            }
+            let Some(cost) = devices.get(d) else { continue };
+            let features: Vec<Vec<f32>> = tables.iter().map(|t| table_features(t, batch)).collect();
+            let predicted = observation
+                .estimated
+                .compute_per_device
+                .get(d)
+                .copied()
+                .unwrap_or_default();
+            self.buffer.insert(Observation {
+                kind: ObservationKind::Compute,
+                features,
+                predicted_ms: predicted,
+                observed_ms: cost.compute_ms(),
+            });
+        }
+        // Comm observations: rebuild exactly the feature rows the
+        // simulator fed the comm models (same dims, same start offsets),
+        // labeled with the observed max across devices — the quantity
+        // the models are trained to predict.
+        let dims = Cluster::device_dims(observation.assignment);
+        let fwd_starts = observation.estimated.fwd_comm_starts();
+        let max_fwd = devices
+            .iter()
+            .map(|c: &DeviceCost| c.comm_fwd_ms)
+            .fold(0.0f64, f64::max);
+        self.buffer.insert(Observation {
+            kind: ObservationKind::CommForward,
+            features: vec![comm_features(&dims, &fwd_starts, batch)],
+            predicted_ms: observation.estimated.fwd_comm_ms,
+            observed_ms: max_fwd,
+        });
+        let bwd_starts = vec![0.0; dims.len()];
+        let max_bwd = devices
+            .iter()
+            .map(|c: &DeviceCost| c.comm_bwd_ms)
+            .fold(0.0f64, f64::max);
+        self.buffer.insert(Observation {
+            kind: ObservationKind::CommBackward,
+            features: vec![comm_features(&dims, &bwd_starts, batch)],
+            predicted_ms: observation.estimated.bwd_comm_ms,
+            observed_ms: max_bwd,
+        });
+    }
+
+    fn cooldown_elapsed(&self, epoch: u64) -> bool {
+        match self.last_attempt_epoch {
+            None => true,
+            Some(last) => epoch.saturating_sub(last) >= self.config.cooldown_epochs.max(1),
+        }
+    }
+
+    /// Fine-tunes and shadow-evaluates now, regardless of triggers —
+    /// the explicit entry point for driving the loop outside the
+    /// [`EpochHook`] (e.g. from a serve-daemon control thread). Returns
+    /// the promoted bundle when the candidate won.
+    pub fn fine_tune_now(
+        &mut self,
+        epoch: u64,
+        probe: &nshard_data::ShardingTask,
+    ) -> Option<CostModelBundle> {
+        self.last_attempt_epoch = Some(epoch);
+        let train = self.buffer.training_data();
+        let valid = self.buffer.validation_data();
+        let candidate = FineTuner::fine_tune(
+            &self.incumbent,
+            &train,
+            &valid,
+            &self.config.settings,
+            self.config.seed ^ mix(epoch),
+        )?;
+        let proposed = self
+            .lifecycle
+            .propose(&self.incumbent, candidate, &valid, probe);
+        // A store failure cannot crash the serving loop: treat it as a
+        // rejected proposal (the incumbent keeps serving) and move on.
+        let (record, installed) = proposed.ok()?;
+        self.records.push(record);
+        if let Some(bundle) = installed {
+            self.incumbent = bundle.clone();
+            return Some(bundle);
+        }
+        None
+    }
+}
+
+impl EpochHook for ContinualLearner {
+    fn on_epoch(&mut self, observation: &EpochObservation<'_>) -> HookAction {
+        self.ingest_epoch(observation);
+        let should_try = observation.trigger.is_some()
+            && self.buffer.len() >= self.config.min_observations
+            && self.cooldown_elapsed(observation.epoch);
+        if !should_try {
+            return HookAction::Continue;
+        }
+        match self.fine_tune_now(observation.epoch, observation.task) {
+            Some(bundle) => HookAction::SwapModels(Box::new(bundle)),
+            None => HookAction::Continue,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nshard_cost::{CollectConfig, TrainSettings};
+    use nshard_data::{ShardingTask, TablePool};
+    use nshard_online::{OnlineConfig, OnlineController, ReplanStrategy, WorkloadDrift};
+
+    struct TempDir(std::path::PathBuf);
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            let dir =
+                std::env::temp_dir().join(format!("nshard_continual_{tag}_{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).expect("create temp dir");
+            Self(dir)
+        }
+        fn path(&self) -> &std::path::Path {
+            &self.0
+        }
+    }
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn hooked_run_buffers_observations_and_stays_deterministic() {
+        let pool = TablePool::synthetic_dlrm(64, 21);
+        let bundle = CostModelBundle::pretrain(
+            &pool,
+            2,
+            &CollectConfig::smoke(),
+            &TrainSettings::smoke(),
+            21,
+        );
+        let base = ShardingTask::sample(&pool, 2, 8..=12, 64, 21);
+        let run = |tag: &str| {
+            let dir = TempDir::new(tag);
+            let drift = WorkloadDrift::standard(base.clone(), 3);
+            let config = OnlineConfig {
+                epochs: 6,
+                strategy: ReplanStrategy::Incremental,
+                ..OnlineConfig::default()
+            };
+            let mut learner =
+                ContinualLearner::new(bundle.clone(), dir.path(), ContinualConfig::smoke())
+                    .expect("store opens");
+            let history = OnlineController::new(bundle.clone(), drift, config)
+                .run_hooked(&mut learner)
+                .expect("run succeeds");
+            (history.epochs.len(), learner.buffer.to_bytes())
+        };
+        let (epochs_a, bytes_a) = run("det_a");
+        let (epochs_b, bytes_b) = run("det_b");
+        assert!(
+            epochs_a >= 6,
+            "expected at least the drift epochs, got {epochs_a}"
+        );
+        assert_eq!(epochs_a, epochs_b);
+        assert_eq!(
+            bytes_a, bytes_b,
+            "hooked observation stream must be bit-deterministic"
+        );
+        assert!(!bytes_a.is_empty());
+    }
+
+    #[test]
+    fn wire_ingest_skips_unknown_kinds() {
+        let pool = TablePool::synthetic_dlrm(32, 2);
+        let bundle = CostModelBundle::pretrain(
+            &pool,
+            2,
+            &CollectConfig::smoke(),
+            &TrainSettings::smoke(),
+            2,
+        );
+        let dir = TempDir::new("wire");
+        let mut learner =
+            ContinualLearner::new(bundle, dir.path(), ContinualConfig::smoke()).unwrap();
+        learner.ingest_wire(&[
+            ObservationWire {
+                kind: "compute".into(),
+                features: vec![vec![1.0; 8]],
+                predicted_ms: 1.0,
+                observed_ms: 2.0,
+            },
+            ObservationWire {
+                kind: "mystery".into(),
+                features: vec![vec![1.0; 8]],
+                predicted_ms: 1.0,
+                observed_ms: 2.0,
+            },
+            ObservationWire {
+                kind: "comm_forward".into(),
+                features: vec![],
+                predicted_ms: 1.0,
+                observed_ms: 2.0,
+            },
+        ]);
+        assert_eq!(learner.buffer().inserted(), 1);
+    }
+}

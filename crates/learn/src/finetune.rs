@@ -1,0 +1,238 @@
+//! Drift-triggered fine-tuning of the pre-trained cost models.
+//!
+//! Fine-tuning is deliberately conservative: a **low learning rate**
+//! (an order of magnitude below pre-training) and, by default, a
+//! **frozen encoder** for the DeepSets compute model — the shared
+//! per-table encoder captures table geometry that drift does not change,
+//! while the head re-calibrates absolute cost levels. The comm MLPs
+//! freeze their first layers for the same reason. Freezing is *exact*:
+//! frozen parameters are bitwise untouched (see
+//! `ComputeCostModel::fine_tune` / `CommCostModel::fine_tune`), so a
+//! fine-tuned checkpoint provably cannot have corrupted the pre-trained
+//! representation it keeps.
+//!
+//! Every produced bundle is a candidate only — promotion is the model
+//! lifecycle's decision ([`crate::lifecycle`]), never the tuner's.
+
+use serde::{Deserialize, Serialize};
+
+use nshard_cost::{CostModelBundle, TrainSettings};
+use nshard_nn::Dataset;
+
+use crate::buffer::LearnDatasets;
+
+/// Fine-tuning hyperparameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FineTuneSettings {
+    /// Adam epochs over the buffered observations.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Learning rate — low by design; defaults to 10× below the
+    /// pre-training default so fine-tuning nudges rather than rewrites.
+    pub learning_rate: f32,
+    /// Keep the DeepSets table encoder bitwise frozen and adapt only the
+    /// cost head (default `true`).
+    pub freeze_encoder: bool,
+    /// Comm-MLP layer indices kept bitwise frozen (default `[0]`, the
+    /// input layer).
+    pub frozen_comm_layers: Vec<usize>,
+    /// Gradient worker threads; `0` = auto (`NSHARD_THREADS`). Results
+    /// are bit-identical at any setting.
+    pub threads: usize,
+    /// A model is only fine-tuned when its dataset has at least this
+    /// many samples; smaller datasets leave the model untouched.
+    pub min_samples: usize,
+}
+
+impl Default for FineTuneSettings {
+    fn default() -> Self {
+        Self {
+            epochs: 12,
+            batch_size: 32,
+            learning_rate: 1e-4,
+            freeze_encoder: true,
+            frozen_comm_layers: vec![0],
+            threads: 0,
+            min_samples: 24,
+        }
+    }
+}
+
+impl FineTuneSettings {
+    /// A reduced setting for tests and smoke runs.
+    pub fn smoke() -> Self {
+        Self {
+            epochs: 6,
+            batch_size: 16,
+            min_samples: 8,
+            ..Self::default()
+        }
+    }
+
+    fn as_train_settings(&self) -> TrainSettings {
+        TrainSettings {
+            epochs: self.epochs,
+            batch_size: self.batch_size,
+            learning_rate: self.learning_rate,
+            threads: self.threads,
+        }
+    }
+}
+
+/// Fine-tunes an incumbent bundle on buffered ground truth.
+#[derive(Debug, Clone, Default)]
+pub struct FineTuner;
+
+impl FineTuner {
+    /// Produces a candidate bundle: each cost model with enough buffered
+    /// data is fine-tuned from the incumbent's weights; the rest carry
+    /// over bitwise unchanged. Returns `None` when **no** model had
+    /// enough data — there is nothing to propose.
+    ///
+    /// `valid` is the held-back validation slice; models select their
+    /// best epoch against it (falling back to the training data when the
+    /// slice is empty for that model). Deterministic per `seed` at any
+    /// thread count.
+    pub fn fine_tune(
+        incumbent: &CostModelBundle,
+        train: &LearnDatasets,
+        valid: &LearnDatasets,
+        settings: &FineTuneSettings,
+        seed: u64,
+    ) -> Option<CostModelBundle> {
+        let ts = settings.as_train_settings();
+        let mut tuned_any = false;
+        let mut report = *incumbent.report();
+
+        let mut compute = incumbent.compute_model().clone();
+        if train.compute.len() >= settings.min_samples {
+            let fallback = &train.compute;
+            let valid_ds = if valid.compute.is_empty() {
+                fallback
+            } else {
+                &valid.compute
+            };
+            let tune =
+                compute.fine_tune(&train.compute, valid_ds, &ts, settings.freeze_encoder, seed);
+            report.compute_test_mse = tune.test_mse;
+            report.compute_samples = train.compute.len();
+            tuned_any = true;
+        }
+
+        let mut comm_fwd = incumbent.comm_fwd_model().clone();
+        let mut comm_bwd = incumbent.comm_bwd_model().clone();
+        let tune_comm = |model: &mut nshard_cost::CommCostModel,
+                         train_ds: &Option<Dataset>,
+                         valid_ds: &Option<Dataset>,
+                         salt: u64|
+         -> Option<f32> {
+            let train_ds = train_ds.as_ref()?;
+            if train_ds.len() < settings.min_samples {
+                return None;
+            }
+            let valid_ds = valid_ds.as_ref().unwrap_or(train_ds);
+            let tune = model.fine_tune(
+                train_ds,
+                valid_ds,
+                &ts,
+                &settings.frozen_comm_layers,
+                seed ^ salt,
+            );
+            Some(tune.valid_mse)
+        };
+        let mut comm_samples = 0usize;
+        if let Some(mse) = tune_comm(&mut comm_fwd, &train.comm_fwd, &valid.comm_fwd, 0x0f0d) {
+            report.fwd_comm_test_mse = mse;
+            comm_samples += train.comm_fwd.as_ref().map_or(0, Dataset::len);
+            tuned_any = true;
+        }
+        if let Some(mse) = tune_comm(&mut comm_bwd, &train.comm_bwd, &valid.comm_bwd, 0x0b0d) {
+            report.bwd_comm_test_mse = mse;
+            comm_samples += train.comm_bwd.as_ref().map_or(0, Dataset::len);
+            tuned_any = true;
+        }
+        if comm_samples > 0 {
+            report.comm_samples = comm_samples;
+        }
+
+        tuned_any.then(|| {
+            CostModelBundle::from_parts(compute, comm_fwd, comm_bwd, incumbent.batch_size(), report)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::{BufferConfig, Observation, ObservationBuffer, ObservationKind};
+    use nshard_cost::{table_features, CollectConfig};
+    use nshard_data::{TableConfig, TablePool};
+
+    fn smoke_bundle() -> CostModelBundle {
+        let pool = TablePool::synthetic_dlrm(64, 11);
+        CostModelBundle::pretrain(
+            &pool,
+            2,
+            &CollectConfig::smoke(),
+            &nshard_cost::TrainSettings::smoke(),
+            11,
+        )
+    }
+
+    fn compute_obs(bundle: &CostModelBundle, table: &TableConfig, scale: f64) -> Observation {
+        let profile = table.profile(bundle.batch_size());
+        let features = vec![table_features(&profile, bundle.batch_size())];
+        let predicted = bundle.compute_model().predict(&features);
+        Observation {
+            kind: ObservationKind::Compute,
+            features,
+            predicted_ms: predicted,
+            observed_ms: predicted * scale,
+        }
+    }
+
+    #[test]
+    fn too_little_data_yields_no_candidate() {
+        let bundle = smoke_bundle();
+        let buffer = ObservationBuffer::new(BufferConfig::default());
+        let candidate = FineTuner::fine_tune(
+            &bundle,
+            &buffer.training_data(),
+            &buffer.validation_data(),
+            &FineTuneSettings::smoke(),
+            0,
+        );
+        assert!(candidate.is_none());
+    }
+
+    #[test]
+    fn fine_tune_is_deterministic_and_adapts_toward_shifted_truth() {
+        let bundle = smoke_bundle();
+        let pool = TablePool::synthetic_dlrm(64, 11);
+        let mut buffer = ObservationBuffer::new(BufferConfig {
+            validation_stride: u64::MAX,
+            ..BufferConfig::default()
+        });
+        // Ground truth runs 1.6× the incumbent's predictions.
+        for table in pool.tables() {
+            buffer.insert(compute_obs(&bundle, table, 1.6));
+        }
+        let train = buffer.training_data();
+        let settings = FineTuneSettings::smoke();
+        let a = FineTuner::fine_tune(&bundle, &train, &buffer.validation_data(), &settings, 9)
+            .expect("enough data");
+        let b = FineTuner::fine_tune(&bundle, &train, &buffer.validation_data(), &settings, 9)
+            .expect("enough data");
+        assert_eq!(a, b, "fine-tuning must be bit-deterministic per seed");
+        // The candidate predicts closer to the shifted truth than the
+        // incumbent does.
+        assert!(
+            a.compute_model().evaluate_mse(&train.compute)
+                <= bundle.compute_model().evaluate_mse(&train.compute)
+        );
+        // Comm models had no data, so they carry over bitwise.
+        assert_eq!(a.comm_fwd_model(), bundle.comm_fwd_model());
+        assert_eq!(a.comm_bwd_model(), bundle.comm_bwd_model());
+    }
+}

@@ -1,0 +1,45 @@
+//! # nshard-learn — continual learning for the cost models
+//!
+//! The paper pre-trains its neural cost models once and searches forever.
+//! Production drifts: the workload the models were pre-trained on slowly
+//! stops resembling the workload being served, and every prediction
+//! inherits the gap. This crate closes the *training* loop the way
+//! `nshard-online` closes the *planning* loop:
+//!
+//! * [`buffer`] — a bounded [`ObservationBuffer`] of
+//!   `(model input, predicted, observed)` triples with **error-weighted
+//!   reservoir sampling**: samples the current models mispredict worst
+//!   are kept preferentially, and a deterministic held-back validation
+//!   slice never trains. Bit-deterministic per `(seed, insert sequence)`
+//!   at any thread count.
+//! * [`finetune`] — a conservative [`FineTuner`]: low learning rate,
+//!   exact (bitwise) frozen-encoder option for the DeepSets compute
+//!   model, frozen input layers for the comm MLPs — built on the same
+//!   data-parallel trainer as pre-training.
+//! * [`lifecycle`] — a versioned [`ModelLifecycle`] over the serve
+//!   crate's checksum-framed `ModelStore`: every candidate is
+//!   shadow-evaluated (held-back validation MSE + train→search
+//!   conformance probe) and atomically **promoted or rolled back**; a
+//!   rejected candidate leaves the active checkpoint byte-identical.
+//! * [`continual`] — the [`ContinualLearner`] tying it together as an
+//!   `nshard_online::EpochHook`: observe every epoch, fine-tune when the
+//!   drift detector fires, hot-swap the serving models only on
+//!   promotion. It also ingests wire observations drained from a serve
+//!   daemon's `POST /v1/observations` buffer.
+//!
+//! Everything is bit-deterministic per seed at any thread count — the
+//! same contract as the rest of the workspace, extended to the learning
+//! loop.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod buffer;
+pub mod continual;
+pub mod finetune;
+pub mod lifecycle;
+
+pub use buffer::{BufferConfig, LearnDatasets, Observation, ObservationBuffer, ObservationKind};
+pub use continual::{ContinualConfig, ContinualLearner};
+pub use finetune::{FineTuneSettings, FineTuner};
+pub use lifecycle::{LifecycleConfig, ModelLifecycle, PromotionRecord, ACTIVE_NAME};

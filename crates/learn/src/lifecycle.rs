@@ -1,0 +1,336 @@
+//! Versioned model lifecycle: shadow-evaluate, promote or roll back.
+//!
+//! A fine-tuned candidate never serves directly. It must first pass a
+//! **shadow evaluation** against the incumbent:
+//!
+//! 1. **Held-back validation** — the candidate's MSE on the buffer's
+//!    validation slice (data no fine-tuning step ever saw) must not be
+//!    worse than the incumbent's. A candidate that memorized poisoned or
+//!    unrepresentative training samples fails here.
+//! 2. **Train→search conformance** — the candidate must still *search
+//!    well*: a NeuroShard run on a probe task must produce a
+//!    memory-feasible plan whose estimated cost agrees with the exact
+//!    ground-truth oracle within the workspace's conformance band
+//!    (`max(est/exact, exact/est) ≤ band`). Low validation MSE with a
+//!    broken cost surface (e.g. a collapsed head) fails here.
+//!
+//! Promotion is atomic from the caller's perspective: the versioned
+//! checkpoint and the `active` checkpoint are written through the
+//! checksum-framed [`ModelStore`], and only then is the bundle handed
+//! back for installation. A rejected candidate leaves the active
+//! checkpoint **byte-identical** — the rollback guarantee the
+//! `bench_learn` regression gate asserts — while still being archived
+//! under a `rejected` name for post-mortems.
+
+use std::path::PathBuf;
+
+use serde::{Deserialize, Serialize};
+
+use nshard_core::{evaluate_plan_exact, NeuroShard, NeuroShardConfig};
+use nshard_cost::CostModelBundle;
+use nshard_data::ShardingTask;
+use nshard_serve::{ModelStore, StoreError};
+use nshard_sim::GpuSpec;
+
+use crate::buffer::LearnDatasets;
+
+/// Shadow-evaluation thresholds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LifecycleConfig {
+    /// Allowed estimated-vs-exact disagreement on the probe search:
+    /// `max(est/exact, exact/est)` must stay at or below this. Mirrors
+    /// the train→search conformance band.
+    pub conformance_band: f64,
+    /// Slack on the validation-MSE gate: the candidate passes when
+    /// `candidate_mse ≤ incumbent_mse × mse_tolerance`. `1.0` = strictly
+    /// no worse.
+    pub mse_tolerance: f32,
+    /// Search knobs for the probe search (smoke-sized by default — the
+    /// probe is a conformance check, not a production search).
+    pub probe_search: NeuroShardConfig,
+}
+
+impl Default for LifecycleConfig {
+    fn default() -> Self {
+        Self {
+            conformance_band: 1.5,
+            mse_tolerance: 1.05,
+            probe_search: NeuroShardConfig::smoke(),
+        }
+    }
+}
+
+/// The recorded outcome of one promotion decision — serialized into the
+/// golden fixtures, so field order and content must stay deterministic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PromotionRecord {
+    /// Proposal ordinal (1-based, counts rejected proposals too).
+    pub proposal: u64,
+    /// Active model version **after** the decision.
+    pub version: u64,
+    /// `true` when the candidate was promoted.
+    pub promoted: bool,
+    /// Stable machine-readable reason label: `"promoted"`,
+    /// `"validation_regression"`, `"infeasible"` or `"conformance"`.
+    pub reason: String,
+    /// Candidate MSE on the held-back validation slice (NaN when the
+    /// slice had no compute samples — the gate then passes vacuously).
+    pub candidate_valid_mse: f32,
+    /// Incumbent MSE on the same slice.
+    pub incumbent_valid_mse: f32,
+    /// Probe-search agreement `max(est/exact, exact/est)`; NaN when the
+    /// probe search itself failed.
+    pub conformance_ratio: f64,
+    /// `true` when the probe search produced a memory-feasible plan.
+    pub feasible: bool,
+}
+
+/// The versioned promote-or-rollback state machine over a [`ModelStore`].
+pub struct ModelLifecycle {
+    store: ModelStore,
+    config: LifecycleConfig,
+    version: u64,
+    proposals: u64,
+    active_path: PathBuf,
+}
+
+/// Checkpoint name of the bundle currently serving.
+pub const ACTIVE_NAME: &str = "cost-bundle-active";
+
+impl ModelLifecycle {
+    /// Opens the lifecycle over `dir` and persists `incumbent` as the
+    /// version-1 active checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] when the store cannot be created or written.
+    pub fn open(
+        dir: impl AsRef<std::path::Path>,
+        incumbent: &CostModelBundle,
+        config: LifecycleConfig,
+    ) -> Result<Self, StoreError> {
+        let store = ModelStore::open(dir)?;
+        store.save("cost-bundle-v1", incumbent)?;
+        let active_path = store.save(ACTIVE_NAME, incumbent)?;
+        Ok(Self {
+            store,
+            config,
+            version: 1,
+            proposals: 0,
+            active_path,
+        })
+    }
+
+    /// The active model version (1 = the pre-trained incumbent).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Proposals evaluated so far (promoted or not).
+    pub fn proposals(&self) -> u64 {
+        self.proposals
+    }
+
+    /// Path of the active checkpoint file — the byte-identity anchor for
+    /// rollback tests.
+    pub fn active_path(&self) -> &std::path::Path {
+        &self.active_path
+    }
+
+    /// The underlying checkpoint registry.
+    pub fn store(&self) -> &ModelStore {
+        &self.store
+    }
+
+    /// Reloads the active checkpoint from disk.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] when the checkpoint is missing or corrupt.
+    pub fn load_active(&self) -> Result<CostModelBundle, StoreError> {
+        self.store.load(ACTIVE_NAME)
+    }
+
+    /// Shadow-evaluates `candidate` against `incumbent` and either
+    /// promotes it (returning the bundle to install) or rolls back
+    /// (returning `None`, active checkpoint untouched).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] when a checkpoint write fails. Evaluation failures
+    /// are not errors — they are rejections, recorded in the
+    /// [`PromotionRecord`].
+    pub fn propose(
+        &mut self,
+        incumbent: &CostModelBundle,
+        candidate: CostModelBundle,
+        validation: &LearnDatasets,
+        probe: &ShardingTask,
+    ) -> Result<(PromotionRecord, Option<CostModelBundle>), StoreError> {
+        self.proposals += 1;
+        let proposal = self.proposals;
+
+        // Gate 1: held-back validation MSE, candidate vs incumbent.
+        let (candidate_mse, incumbent_mse) = if validation.compute.is_empty() {
+            (f32::NAN, f32::NAN)
+        } else {
+            (
+                candidate.compute_model().evaluate_mse(&validation.compute),
+                incumbent.compute_model().evaluate_mse(&validation.compute),
+            )
+        };
+        let mse_ok =
+            candidate_mse.is_nan() || candidate_mse <= incumbent_mse * self.config.mse_tolerance;
+
+        // Gate 2: the candidate must still search well — feasible probe
+        // plan, estimate within the conformance band of the exact oracle.
+        let (feasible, ratio) = self.probe_conformance(&candidate, probe);
+        let conformance_ok = feasible && ratio <= self.config.conformance_band;
+
+        let reason = if !mse_ok {
+            "validation_regression"
+        } else if !feasible {
+            "infeasible"
+        } else if !conformance_ok {
+            "conformance"
+        } else {
+            "promoted"
+        };
+        let promoted = reason == "promoted";
+
+        let installed = if promoted {
+            self.version += 1;
+            self.store
+                .save(&format!("cost-bundle-v{}", self.version), &candidate)?;
+            self.active_path = self.store.save(ACTIVE_NAME, &candidate)?;
+            Some(candidate)
+        } else {
+            // Archive for post-mortems; the active checkpoint stays
+            // byte-identical.
+            self.store
+                .save(&format!("cost-bundle-rejected-p{proposal}"), &candidate)?;
+            None
+        };
+
+        let record = PromotionRecord {
+            proposal,
+            version: self.version,
+            promoted,
+            reason: reason.to_string(),
+            candidate_valid_mse: candidate_mse,
+            incumbent_valid_mse: incumbent_mse,
+            conformance_ratio: ratio,
+            feasible,
+        };
+        Ok((record, installed))
+    }
+
+    /// Runs the probe search under `bundle` and compares its estimate to
+    /// the exact oracle. Returns `(feasible, ratio)`; an infeasible or
+    /// failed search yields `(false, NaN)`.
+    fn probe_conformance(&self, bundle: &CostModelBundle, probe: &ShardingTask) -> (bool, f64) {
+        let Ok(sharder) = NeuroShard::try_new(bundle.clone(), self.config.probe_search) else {
+            return (false, f64::NAN);
+        };
+        let Ok(outcome) = sharder.shard_with_stats(probe) else {
+            return (false, f64::NAN);
+        };
+        let Ok(exact) = evaluate_plan_exact(probe, &outcome.plan, &GpuSpec::default()) else {
+            return (false, f64::NAN);
+        };
+        let exact_ms = exact.max_total_ms();
+        let est_ms = outcome.estimated_cost_ms;
+        if exact_ms <= 0.0 || est_ms <= 0.0 || exact_ms.is_nan() || est_ms.is_nan() {
+            return (true, f64::NAN);
+        }
+        (true, (est_ms / exact_ms).max(exact_ms / est_ms))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nshard_cost::{CollectConfig, TrainSettings};
+    use nshard_data::TablePool;
+
+    fn setup(tag: &str) -> (CostModelBundle, ShardingTask, TempDir) {
+        let pool = TablePool::synthetic_dlrm(64, 5);
+        let bundle = CostModelBundle::pretrain(
+            &pool,
+            2,
+            &CollectConfig::smoke(),
+            &TrainSettings::smoke(),
+            5,
+        );
+        let task = ShardingTask::sample(&pool, 2, 8..=12, 64, 5);
+        (bundle, task, TempDir::new(tag))
+    }
+
+    /// Minimal self-removing temp dir (same idiom as the serve store
+    /// tests — tag + pid keeps parallel test binaries apart).
+    struct TempDir(std::path::PathBuf);
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            let dir =
+                std::env::temp_dir().join(format!("nshard_lifecycle_{tag}_{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).expect("create temp dir");
+            Self(dir)
+        }
+        fn path(&self) -> &std::path::Path {
+            &self.0
+        }
+    }
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn healthy_incumbent_copy_promotes() {
+        let (bundle, task, dir) = setup("promote");
+        let mut lifecycle =
+            ModelLifecycle::open(dir.path(), &bundle, LifecycleConfig::default()).unwrap();
+        let validation =
+            crate::buffer::ObservationBuffer::new(Default::default()).validation_data();
+        let (record, installed) = lifecycle
+            .propose(&bundle, bundle.clone(), &validation, &task)
+            .unwrap();
+        assert!(record.promoted, "reason: {}", record.reason);
+        assert_eq!(record.version, 2);
+        assert!(installed.is_some());
+        assert_eq!(lifecycle.load_active().unwrap(), bundle);
+    }
+
+    #[test]
+    fn broken_candidate_rolls_back_with_active_bytes_untouched() {
+        let (bundle, task, dir) = setup("rollback");
+        let mut lifecycle =
+            ModelLifecycle::open(dir.path(), &bundle, LifecycleConfig::default()).unwrap();
+        let before = std::fs::read(lifecycle.active_path()).unwrap();
+        // A freshly-initialized (untrained) compute model: predicts
+        // garbage, so the probe search disagrees with the oracle far
+        // beyond the band.
+        let broken = CostModelBundle::from_parts(
+            nshard_cost::ComputeCostModel::new(99),
+            bundle.comm_fwd_model().clone(),
+            bundle.comm_bwd_model().clone(),
+            bundle.batch_size(),
+            *bundle.report(),
+        );
+        let validation =
+            crate::buffer::ObservationBuffer::new(Default::default()).validation_data();
+        let (record, installed) = lifecycle
+            .propose(&bundle, broken, &validation, &task)
+            .unwrap();
+        assert!(!record.promoted);
+        assert!(installed.is_none());
+        assert_eq!(record.version, 1);
+        let after = std::fs::read(lifecycle.active_path()).unwrap();
+        assert_eq!(
+            before, after,
+            "rollback must leave the active checkpoint byte-identical"
+        );
+    }
+}

@@ -67,6 +67,22 @@ pub struct Gradients {
 }
 
 impl Gradients {
+    /// Zeroes the gradients of the given layers in place (out-of-range
+    /// indices are ignored).
+    ///
+    /// Used to freeze layers during fine-tuning: Adam's moment estimates
+    /// for a layer whose gradients are always zero stay zero, so the
+    /// resulting parameter update is exactly `lr·0/(√0+ε) = 0` — the layer
+    /// is bitwise untouched, from any fresh optimizer state.
+    pub fn zero_layers(&mut self, layers: &[usize]) {
+        for &idx in layers {
+            if let Some((dw, db)) = self.layers.get_mut(idx) {
+                dw.as_mut_slice().fill(0.0);
+                db.iter_mut().for_each(|b| *b = 0.0);
+            }
+        }
+    }
+
     /// Gradients of all zeros shaped like `mlp`.
     pub fn zeros_like(mlp: &Mlp) -> Self {
         Self {

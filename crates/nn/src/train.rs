@@ -192,6 +192,9 @@ pub struct TrainReport {
 #[derive(Debug, Clone)]
 pub struct Trainer {
     config: TrainConfig,
+    /// Layer indices whose gradients are zeroed before every optimizer
+    /// step (exact freeze; see [`Gradients::zero_layers`]).
+    frozen_layers: Vec<usize>,
     /// The best model found (set by [`Trainer::fit`]).
     best_model: Option<Mlp>,
 }
@@ -201,8 +204,23 @@ impl Trainer {
     pub fn new(config: TrainConfig) -> Self {
         Self {
             config,
+            frozen_layers: Vec::new(),
             best_model: None,
         }
+    }
+
+    /// Freezes the given layer indices for subsequent fits: their gradients
+    /// are zeroed before every Adam step, which leaves the layer parameters
+    /// bitwise unchanged (zero gradients keep Adam's moments at zero, so
+    /// the update is exactly zero).
+    pub fn with_frozen_layers(mut self, layers: Vec<usize>) -> Self {
+        self.frozen_layers = layers;
+        self
+    }
+
+    /// The frozen layer indices.
+    pub fn frozen_layers(&self) -> &[usize] {
+        &self.frozen_layers
     }
 
     /// The configuration.
@@ -248,7 +266,10 @@ impl Trainer {
                 order.swap(i, j);
             }
             for chunk in order.chunks(batch) {
-                let grads = batch_gradients(&mlp, &split.train, chunk, &pool);
+                let mut grads = batch_gradients(&mlp, &split.train, chunk, &pool);
+                if !self.frozen_layers.is_empty() {
+                    grads.zero_layers(&self.frozen_layers);
+                }
                 adam.step(&mut mlp, &grads);
             }
             let valid_mse = mse(&mlp.forward(split.valid.x()), split.valid.y());
@@ -451,6 +472,28 @@ mod tests {
             "failed to overfit 32 samples: train MSE {}",
             report.train_mse
         );
+    }
+
+    #[test]
+    fn frozen_layers_are_bitwise_untouched() {
+        let d = linear_dataset(120);
+        let init = Mlp::new(2, &[8, 8], 1, 6);
+        let cfg = TrainConfig {
+            epochs: 12,
+            batch_size: 32,
+            learning_rate: 3e-3,
+            ..TrainConfig::default()
+        };
+        let mut trainer = Trainer::new(cfg).with_frozen_layers(vec![0]);
+        trainer.fit(init.clone(), &d, 9);
+        let fitted = trainer.into_best_model().unwrap();
+        // Layer 0 never moved; the unfrozen layers did.
+        assert_eq!(init.layers()[0], fitted.layers()[0]);
+        assert_ne!(init.layers()[1], fitted.layers()[1]);
+        // Freezing everything is an exact no-op on all parameters.
+        let mut all = Trainer::new(cfg).with_frozen_layers(vec![0, 1, 2]);
+        all.fit(init.clone(), &d, 9);
+        assert_eq!(init, all.into_best_model().unwrap());
     }
 
     #[test]

@@ -34,10 +34,11 @@ use nshard_core::{
     evaluate_plan, migration_bytes, FallbackChain, NeuroShard, NeuroShardConfig, PlanProvenance,
     PlanSource, ShardingPlan,
 };
-use nshard_cost::{CostModelBundle, CostSimulator};
-use nshard_sim::GpuSpec;
+use nshard_cost::{CostModelBundle, CostSimulator, EstimatedCost};
+use nshard_data::ShardingTask;
+use nshard_sim::{GpuSpec, PlanCosts, TableProfile};
 
-use crate::detect::{DriftDetector, DriftReport, DriftThresholds};
+use crate::detect::{DriftDetector, DriftReport, DriftThresholds, ReplanTrigger};
 use crate::drift::{mix, WorkloadDrift};
 use crate::incremental::{IncrementalConfig, IncrementalPlanner, PlanDelta};
 
@@ -233,6 +234,62 @@ impl ReplanHistory {
     }
 }
 
+/// Everything one epoch of the loop observed about the deployed plan,
+/// handed to an [`EpochHook`] after the epoch's record is finalized.
+///
+/// `estimated` and `ground_truth` describe the **same** deployment priced
+/// two ways — by the neural cost models and by the cluster-simulator
+/// oracle — which is exactly the `(predicted, observed)` pairing the
+/// continual-learning observation buffer accumulates.
+#[derive(Debug)]
+pub struct EpochObservation<'a> {
+    /// The epoch index (0 = initial deployment).
+    pub epoch: u64,
+    /// The epoch's drifted task.
+    pub task: &'a ShardingTask,
+    /// Per-device feature profiles of the deployed plan under `task`
+    /// (index = device).
+    pub assignment: &'a [Vec<TableProfile>],
+    /// The cost models' estimate of the deployed plan.
+    pub estimated: &'a EstimatedCost,
+    /// The oracle's per-device cost breakdown, `None` when the plan is
+    /// memory-infeasible for the epoch's task.
+    pub ground_truth: Option<&'a PlanCosts>,
+    /// The drift trigger that fired this epoch, if any.
+    pub trigger: Option<&'a ReplanTrigger>,
+}
+
+/// What an [`EpochHook`] asks the controller to do next.
+#[derive(Debug)]
+pub enum HookAction {
+    /// Keep running with the current cost models.
+    Continue,
+    /// Swap in a new cost-model bundle before the next epoch: the
+    /// controller rebuilds its simulator and full-search chain from it
+    /// and re-prices the detector baseline so subsequent regression
+    /// ratios compare like with like.
+    SwapModels(Box<CostModelBundle>),
+}
+
+/// Observer of the epoch loop — the seam the continual-learning subsystem
+/// plugs into. Called once per epoch after the [`EpochRecord`] is
+/// finalized; returning [`HookAction::SwapModels`] hot-swaps the cost
+/// models the loop plans with.
+pub trait EpochHook {
+    /// Observes one finished epoch.
+    fn on_epoch(&mut self, observation: &EpochObservation<'_>) -> HookAction;
+}
+
+/// The do-nothing hook: [`OnlineController::run`] uses it.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopHook;
+
+impl EpochHook for NoopHook {
+    fn on_epoch(&mut self, _observation: &EpochObservation<'_>) -> HookAction {
+        HookAction::Continue
+    }
+}
+
 /// The epoch loop. See the [module documentation](self).
 pub struct OnlineController {
     drift: WorkloadDrift,
@@ -250,12 +307,13 @@ impl OnlineController {
     /// fallback chain.
     pub fn new(bundle: CostModelBundle, drift: WorkloadDrift, config: OnlineConfig) -> Self {
         let sim = CostSimulator::new(bundle.clone());
-        let chain = FallbackChain::new(Box::new(NeuroShard::new(bundle, config.search)))
-            .with_fallback(Box::new(SizeGreedy))
-            .with_seed(config.seed)
-            .with_threads(config.threads);
+        let chain = Self::build_chain(bundle, &config);
         let mut incremental = config.incremental;
         incremental.threads = config.threads;
+        // The incremental planner honors the search config's row-wise
+        // setting: a disabled `use_row_wise` must disable row-split
+        // candidates everywhere, not just in the full search.
+        incremental.row_wise = config.search.use_row_wise;
         Self {
             drift,
             sim,
@@ -264,6 +322,23 @@ impl OnlineController {
             planner: IncrementalPlanner::new(incremental),
             config,
         }
+    }
+
+    /// The full-search fallback chain for `bundle` under `config` — used
+    /// at construction and again on every [`HookAction::SwapModels`].
+    fn build_chain(bundle: CostModelBundle, config: &OnlineConfig) -> FallbackChain {
+        FallbackChain::new(Box::new(NeuroShard::new(bundle, config.search)))
+            .with_fallback(Box::new(SizeGreedy))
+            .with_seed(config.seed)
+            .with_threads(config.threads)
+    }
+
+    /// Hot-swaps the cost models the loop plans with: the simulator (and
+    /// with it every prediction/encoding cache) and the full-search chain
+    /// are rebuilt from `bundle`.
+    fn install_bundle(&mut self, bundle: CostModelBundle) {
+        self.sim = CostSimulator::new(bundle.clone());
+        self.chain = Self::build_chain(bundle, &self.config);
     }
 
     /// The drift generator driving the run.
@@ -282,7 +357,22 @@ impl OnlineController {
     ///
     /// [`nshard_core::ResilientError`] when even the initial deployment
     /// cannot be planned (every stage of the fallback chain failed).
-    pub fn run(&self) -> Result<ReplanHistory, nshard_core::ResilientError> {
+    pub fn run(&mut self) -> Result<ReplanHistory, nshard_core::ResilientError> {
+        self.run_hooked(&mut NoopHook)
+    }
+
+    /// [`OnlineController::run`] with an [`EpochHook`] observing every
+    /// epoch; [`HookAction::SwapModels`] hot-swaps the cost models between
+    /// epochs (the continual-learning loop's entry point).
+    ///
+    /// # Errors
+    ///
+    /// [`nshard_core::ResilientError`] when even the initial deployment
+    /// cannot be planned (every stage of the fallback chain failed).
+    pub fn run_hooked(
+        &mut self,
+        hook: &mut dyn EpochHook,
+    ) -> Result<ReplanHistory, nshard_core::ResilientError> {
         let mut epochs = Vec::with_capacity(self.config.epochs as usize);
 
         // Epoch 0: initial deployment via the full chain.
@@ -290,18 +380,30 @@ impl OnlineController {
         let deployed = self.chain.shard_with_provenance(&task0)?;
         let mut incumbent = deployed.plan;
         let mut deployed_task = task0.clone();
-        let mut baseline_ms = self
-            .sim
-            .estimate_plan(&incumbent.device_profiles(task0.batch_size()))
-            .total_ms();
+        let profiles0 = incumbent.device_profiles(task0.batch_size());
+        let estimated0 = self.sim.estimate_plan(&profiles0);
+        let truth0 = self.ground_truth(&task0, &incumbent, 0);
+        let mut baseline_ms = estimated0.total_ms();
         epochs.push(EpochRecord {
             epoch: 0,
             report: None,
             action: None,
             predicted_ms: baseline_ms,
-            ground_truth_ms: self.ground_truth(&task0, &incumbent, 0),
+            ground_truth_ms: truth0.as_ref().map(PlanCosts::max_total_ms),
             migration_bytes: 0,
         });
+        let hook_action = hook.on_epoch(&EpochObservation {
+            epoch: 0,
+            task: &task0,
+            assignment: &profiles0,
+            estimated: &estimated0,
+            ground_truth: truth0.as_ref(),
+            trigger: None,
+        });
+        if let HookAction::SwapModels(bundle) = hook_action {
+            self.install_bundle(*bundle);
+            baseline_ms = self.sim.estimate_plan(&profiles0).total_ms();
+        }
 
         // λ-objective stall tracking for the end-of-trace escape hatch:
         // > 0 when some incremental replan under-delivered and no later
@@ -428,24 +530,44 @@ impl OnlineController {
                     incumbent = r;
                 }
             }
-            let predicted_ms = self
-                .sim
-                .estimate_plan(&incumbent.device_profiles(task.batch_size()))
-                .total_ms();
-            let ground_truth_ms = self.ground_truth(&task, &incumbent, epoch);
-
-            // Future detection compares against this epoch's deployment.
-            deployed_task = task;
-            baseline_ms = predicted_ms;
+            let profiles = incumbent.device_profiles(task.batch_size());
+            let estimated = self.sim.estimate_plan(&profiles);
+            let truth = self.ground_truth(&task, &incumbent, epoch);
+            let predicted_ms = estimated.total_ms();
 
             epochs.push(EpochRecord {
                 epoch,
                 report,
                 action,
                 predicted_ms,
-                ground_truth_ms,
+                ground_truth_ms: truth.as_ref().map(PlanCosts::max_total_ms),
                 migration_bytes: moved,
             });
+
+            let hook_action = hook.on_epoch(&EpochObservation {
+                epoch,
+                task: &task,
+                assignment: &profiles,
+                estimated: &estimated,
+                ground_truth: truth.as_ref(),
+                trigger: trigger.as_ref(),
+            });
+
+            // Future detection compares against this epoch's deployment.
+            deployed_task = task;
+            baseline_ms = predicted_ms;
+            if let HookAction::SwapModels(bundle) = hook_action {
+                self.install_bundle(*bundle);
+                // Re-price the baseline (and the stall reference) with the
+                // new models so next epoch's regression ratio is not an
+                // artifact of the swap itself.
+                let repriced = self
+                    .sim
+                    .estimate_plan(&incumbent.device_profiles(deployed_task.batch_size()))
+                    .total_ms();
+                full_quality_ms *= repriced / baseline_ms.max(f64::MIN_POSITIVE);
+                baseline_ms = repriced;
+            }
         }
 
         Ok(ReplanHistory {
@@ -504,18 +626,17 @@ impl OnlineController {
         }
     }
 
-    /// Ground-truth max-device cost of `plan` for `task`, `None` when the
-    /// cluster simulator rejects the plan (memory infeasibility).
+    /// Ground-truth per-device cost breakdown of `plan` for `task`,
+    /// `None` when the cluster simulator rejects the plan (memory
+    /// infeasibility).
     fn ground_truth(
         &self,
-        task: &nshard_data::ShardingTask,
+        task: &ShardingTask,
         plan: &ShardingPlan,
         epoch: u64,
-    ) -> Option<f64> {
+    ) -> Option<PlanCosts> {
         let seed = mix(self.config.seed ^ mix(epoch.wrapping_add(0x9e37_79b9)));
-        evaluate_plan(task, plan, &GpuSpec::default(), seed)
-            .ok()
-            .map(|c| c.max_total_ms())
+        evaluate_plan(task, plan, &GpuSpec::default(), seed).ok()
     }
 }
 
@@ -565,7 +686,7 @@ mod tests {
 
     #[test]
     fn never_strategy_records_suppressed_triggers_and_moves_nothing() {
-        let controller =
+        let mut controller =
             OnlineController::new(bundle(2), drift(), small_config(ReplanStrategy::Never));
         let history = controller.run().unwrap();
         assert_eq!(history.epochs.len(), 12);
@@ -578,7 +699,7 @@ mod tests {
 
     #[test]
     fn incremental_strategy_attributes_replans_to_triggers() {
-        let controller = OnlineController::new(
+        let mut controller = OnlineController::new(
             bundle(2),
             drift(),
             small_config(ReplanStrategy::Incremental),
@@ -614,7 +735,7 @@ mod tests {
         // replan arms the hatch and the final epoch must go through the
         // full chain.
         config.stall_improvement = f64::NEG_INFINITY;
-        let controller = OnlineController::new(bundle(2), drift(), config);
+        let mut controller = OnlineController::new(bundle(2), drift(), config);
         let history = controller.run().unwrap();
         let last = history.epochs.last().expect("history is nonempty");
         let action = last.action.as_ref().expect("escape hatch must replan");
@@ -667,7 +788,7 @@ mod tests {
 
     #[test]
     fn history_summaries_are_consistent() {
-        let controller =
+        let mut controller =
             OnlineController::new(bundle(2), drift(), small_config(ReplanStrategy::Full));
         let history = controller.run().unwrap();
         assert_eq!(

@@ -23,7 +23,9 @@
 
 use serde::{Deserialize, Serialize};
 
-use nshard_core::{migration_bytes, PlanError, ShardingPlan, SplitKind, WorkPool};
+use nshard_core::{
+    migration_bytes, NeuroShardConfig, PlanError, ShardingPlan, SplitKind, WorkPool,
+};
 use nshard_cost::{CostSimulator, EstimatedCost};
 use nshard_data::ShardingTask;
 
@@ -181,6 +183,11 @@ pub struct IncrementalConfig {
     /// Worker threads for candidate construction (`0` = auto, honoring
     /// `NSHARD_THREADS`). Thread count never changes the result.
     pub threads: usize,
+    /// Whether row-wise split candidates are proposed. The controller
+    /// mirrors [`nshard_core::NeuroShardConfig::use_row_wise`] here so a
+    /// disabled setting disables row splits on the incremental path too
+    /// (it used to be silently ignored — ROADMAP item 4).
+    pub row_wise: bool,
 }
 
 impl Default for IncrementalConfig {
@@ -190,6 +197,7 @@ impl Default for IncrementalConfig {
             candidates_per_device: 8,
             max_rounds: 32,
             threads: 0,
+            row_wise: NeuroShardConfig::default().use_row_wise,
         }
     }
 }
@@ -464,7 +472,7 @@ impl IncrementalPlanner {
                             second_device: second,
                         });
                     }
-                    if plan.sharded_tables()[t].split_rows().is_some() {
+                    if self.config.row_wise && plan.sharded_tables()[t].split_rows().is_some() {
                         steps.push(DeltaStep::Split {
                             table: t,
                             kind: SplitKind::Row,

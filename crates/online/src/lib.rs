@@ -62,7 +62,8 @@ pub mod drift;
 pub mod incremental;
 
 pub use controller::{
-    EpochRecord, OnlineConfig, OnlineController, ReplanAction, ReplanHistory, ReplanStrategy,
+    EpochHook, EpochObservation, EpochRecord, HookAction, NoopHook, OnlineConfig, OnlineController,
+    ReplanAction, ReplanHistory, ReplanStrategy,
 };
 pub use detect::{DriftDetector, DriftReport, DriftThresholds, ReplanTrigger};
 pub use drift::{DriftFactors, DriftModel, WorkloadDrift};

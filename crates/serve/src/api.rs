@@ -126,6 +126,55 @@ pub struct ReplanResponse {
     pub provenance: PlanProvenance,
 }
 
+/// One ground-truth cost observation reported by a deployment —
+/// `(model input features, predicted cost, observed cost)` for exactly
+/// one of the three cost models. The serve daemon buffers these verbatim
+/// (`POST /v1/observations`); the continual-learning loop drains them
+/// with `Service::take_observations` and owns sampling and fine-tuning.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObservationWire {
+    /// Which cost model the sample feeds: `"compute"`, `"comm_forward"`
+    /// or `"comm_backward"`.
+    pub kind: String,
+    /// Model input rows: per-table feature rows for `"compute"`, a single
+    /// wrapped feature row for the comm kinds.
+    pub features: Vec<Vec<f32>>,
+    /// What the currently-served model predicted, ms.
+    pub predicted_ms: f64,
+    /// What the deployment actually measured, ms.
+    pub observed_ms: f64,
+}
+
+/// `POST /v1/observations` — report a batch of ground-truth observations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObservationsRequest {
+    /// The batch; empty batches are accepted (and ack `accepted: 0`).
+    pub observations: Vec<ObservationWire>,
+}
+
+impl Deserialize for ObservationsRequest {
+    fn from_value(v: &Value) -> Result<Self, serde::de::Error> {
+        let map = v.as_map().ok_or_else(|| {
+            serde::de::Error::custom("observations request must be a JSON object")
+        })?;
+        Ok(Self {
+            observations: serde::__field(map, "observations")?,
+        })
+    }
+}
+
+/// Body of a successful `POST /v1/observations`.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ObservationsAck {
+    /// Observations admitted into the buffer by this request.
+    pub accepted: u64,
+    /// Total observations currently buffered (after bounded eviction).
+    pub buffered: u64,
+    /// The model version the predictions were scored against (the
+    /// engine's current version at ingest time).
+    pub model_version: u64,
+}
+
 /// Body of every error response.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct ErrorBody {
@@ -166,6 +215,10 @@ pub struct HealthResponse {
     /// This node's replication role (`"leader"`, `"follower"`,
     /// `"candidate"`).
     pub role: String,
+    /// Version of the cost-model bundle currently serving predictions;
+    /// starts at `1` and increments on every continual-learning
+    /// promotion (or replicated model swap).
+    pub model_version: u64,
 }
 
 /// Body of `GET /v1/repl/status` — a replica's replication facts.
@@ -245,6 +298,28 @@ mod tests {
     fn missing_task_is_an_error() {
         let err = serde_json::from_str::<PlanRequest>("{}").unwrap_err();
         assert!(err.to_string().contains("task"));
+    }
+
+    #[test]
+    fn observations_request_round_trips() {
+        let wire = ObservationWire {
+            kind: "compute".into(),
+            features: vec![vec![1.0, 2.0], vec![3.0, 4.0]],
+            predicted_ms: 1.5,
+            observed_ms: 2.0,
+        };
+        let body = format!(
+            "{{\"observations\":[{}]}}",
+            serde_json::to_string(&wire).unwrap()
+        );
+        let req: ObservationsRequest = serde_json::from_str(&body).unwrap();
+        assert_eq!(req.observations, vec![wire]);
+    }
+
+    #[test]
+    fn observations_request_requires_the_field() {
+        let err = serde_json::from_str::<ObservationsRequest>("{}").unwrap_err();
+        assert!(err.to_string().contains("observations"));
     }
 
     #[test]

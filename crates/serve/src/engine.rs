@@ -17,14 +17,14 @@
 //! ids are content-addressed hashes of the task + plan JSON, and no
 //! timestamps enter response bodies.
 
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 use nshard_baselines::{DimGreedy, SizeGreedy};
 use nshard_core::{
     migration_bytes, FallbackChain, NeuroShard, NeuroShardConfig, PlanError, PlanProvenance,
     PlanSource, ResilientError, ShardingAlgorithm, ShardingPlan,
 };
-use nshard_cost::{CacheStats, CostModelBundle, CostSimulator};
+use nshard_cost::{CacheStats, CostModelBundle};
 use nshard_data::ShardingTask;
 use nshard_online::{IncrementalConfig, IncrementalPlanner};
 
@@ -77,12 +77,26 @@ pub struct ReplanOutput {
     pub evaluated_plans: usize,
 }
 
-/// The shared planning engine. See the [module documentation](self).
-pub struct PlanningEngine {
+/// Everything derived from one cost-model bundle: the sharder, both
+/// fallback chains, the incremental planner, and the monotonically
+/// increasing model version. Swapped atomically as a unit on promotion,
+/// which also replaces the simulator — and with it every prediction and
+/// encoding cache, so a promoted model can never serve a predecessor's
+/// cached predictions.
+struct EngineCore {
     neuro: Arc<NeuroShard>,
     full: FallbackChain,
     degraded: FallbackChain,
     incremental: IncrementalPlanner,
+    version: u64,
+}
+
+/// The shared planning engine. See the [module documentation](self).
+pub struct PlanningEngine {
+    core: RwLock<Arc<EngineCore>>,
+    search: NeuroShardConfig,
+    incremental_config: IncrementalConfig,
+    seed: u64,
 }
 
 impl PlanningEngine {
@@ -90,13 +104,34 @@ impl PlanningEngine {
     ///
     /// `threads = 0` in `search` resolves through the single
     /// [`nshard_core::pool::THREADS_ENV`] path, so the daemon honors
-    /// `NSHARD_THREADS` exactly like the offline binaries.
+    /// `NSHARD_THREADS` exactly like the offline binaries. The initial
+    /// model version is `1`.
     pub fn new(
         bundle: CostModelBundle,
         search: NeuroShardConfig,
         incremental: IncrementalConfig,
         seed: u64,
     ) -> Self {
+        let mut incremental = incremental;
+        // Mirror the search's row-wise setting on the incremental path —
+        // a disabled `use_row_wise` disables row splits everywhere.
+        incremental.row_wise = search.use_row_wise;
+        let core = Arc::new(Self::build_core(bundle, search, incremental, seed, 1));
+        Self {
+            core: RwLock::new(core),
+            search,
+            incremental_config: incremental,
+            seed,
+        }
+    }
+
+    fn build_core(
+        bundle: CostModelBundle,
+        search: NeuroShardConfig,
+        incremental: IncrementalConfig,
+        seed: u64,
+        version: u64,
+    ) -> EngineCore {
         let neuro = Arc::new(NeuroShard::new(bundle, search));
         let full = FallbackChain::new(Box::new(SharedAlgo(Arc::clone(&neuro))))
             .with_fallback(Box::new(SizeGreedy))
@@ -106,22 +141,50 @@ impl PlanningEngine {
             .with_fallback(Box::new(DimGreedy))
             .with_seed(seed)
             .with_threads(search.threads);
-        Self {
+        EngineCore {
             neuro,
             full,
             degraded,
             incremental: IncrementalPlanner::new(incremental),
+            version,
         }
     }
 
-    /// The cost simulator pricing plans (and backing the search).
-    pub fn simulator(&self) -> &CostSimulator {
-        self.neuro.simulator()
+    /// The current core; cloned out of the lock so in-flight requests keep
+    /// planning against the model generation they started with even if a
+    /// promotion lands mid-request.
+    fn current(&self) -> Arc<EngineCore> {
+        self.core.read().expect("engine core lock poisoned").clone()
     }
 
-    /// Cumulative prediction-cache statistics, for `/metrics`.
+    /// Atomically swaps in a new cost-model bundle, rebuilding the
+    /// sharder, both chains, and the incremental planner around it, and
+    /// returns the new model version. The fresh simulator starts with
+    /// empty prediction/encoding caches, so no stale predictions survive
+    /// the promotion.
+    pub fn swap_bundle(&self, bundle: CostModelBundle) -> u64 {
+        let mut guard = self.core.write().expect("engine core lock poisoned");
+        let version = guard.version + 1;
+        *guard = Arc::new(Self::build_core(
+            bundle,
+            self.search,
+            self.incremental_config,
+            self.seed,
+            version,
+        ));
+        version
+    }
+
+    /// The active model version (starts at 1, +1 per
+    /// [`PlanningEngine::swap_bundle`]).
+    pub fn model_version(&self) -> u64 {
+        self.current().version
+    }
+
+    /// Cumulative prediction-cache statistics of the **active** model
+    /// generation, for `/metrics` (a swap resets them with the caches).
     pub fn cache_stats(&self) -> CacheStats {
-        self.neuro.simulator().cache().stats()
+        self.current().neuro.simulator().cache().stats()
     }
 
     /// Plans `task` from scratch. `degrade` routes through the greedy
@@ -133,9 +196,16 @@ impl PlanningEngine {
     /// [`ResilientError`] when every stage of the chain failed (the task
     /// is infeasible even size-balanced); carries full provenance.
     pub fn plan(&self, task: &ShardingTask, degrade: bool) -> Result<PlanOutput, ResilientError> {
-        let chain = if degrade { &self.degraded } else { &self.full };
+        let core = self.current();
+        let chain = if degrade { &core.degraded } else { &core.full };
         let outcome = chain.shard_with_provenance(task)?;
-        Ok(self.finish(task, outcome.plan, outcome.provenance, degrade))
+        Ok(finish(
+            &core,
+            task,
+            outcome.plan,
+            outcome.provenance,
+            degrade,
+        ))
     }
 
     /// Replans `task` warm-started from `incumbent`. Falls back to a full
@@ -152,8 +222,12 @@ impl PlanningEngine {
         incumbent: &ShardingPlan,
         degrade: bool,
     ) -> Result<ReplanOutput, ResilientError> {
+        let core = self.current();
         if !degrade {
-            if let Ok(out) = self.incremental.replan(self.simulator(), task, incumbent) {
+            if let Ok(out) = core
+                .incremental
+                .replan(core.neuro.simulator(), task, incumbent)
+            {
                 let provenance = PlanProvenance {
                     source: PlanSource::Primary {
                         algorithm: "incremental_planner".into(),
@@ -166,7 +240,7 @@ impl PlanningEngine {
                 };
                 let migration = out.delta.migration_bytes;
                 let evaluated = out.evaluated_plans;
-                let output = self.finish(task, out.plan, provenance, false);
+                let output = finish(&core, task, out.plan, provenance, false);
                 return Ok(ReplanOutput {
                     output,
                     migration_bytes: migration,
@@ -189,28 +263,30 @@ impl PlanningEngine {
             evaluated_plans: 0,
         })
     }
+}
 
-    /// Prices, ids, and packages an accepted plan.
-    fn finish(
-        &self,
-        task: &ShardingTask,
-        plan: ShardingPlan,
-        provenance: PlanProvenance,
-        degrade: bool,
-    ) -> PlanOutput {
-        let predicted_ms = self
-            .simulator()
-            .estimate_plan(&plan.device_profiles(task.batch_size()))
-            .total_ms();
-        let id = plan_id(task, &plan);
-        let degraded = degrade || provenance.is_degraded();
-        PlanOutput {
-            id,
-            plan,
-            provenance,
-            predicted_ms,
-            degraded,
-        }
+/// Prices, ids, and packages an accepted plan against one core (so the
+/// whole request is served by a single model generation).
+fn finish(
+    core: &EngineCore,
+    task: &ShardingTask,
+    plan: ShardingPlan,
+    provenance: PlanProvenance,
+    degrade: bool,
+) -> PlanOutput {
+    let predicted_ms = core
+        .neuro
+        .simulator()
+        .estimate_plan(&plan.device_profiles(task.batch_size()))
+        .total_ms();
+    let id = plan_id(task, &plan);
+    let degraded = degrade || provenance.is_degraded();
+    PlanOutput {
+        id,
+        plan,
+        provenance,
+        predicted_ms,
+        degraded,
     }
 }
 
@@ -319,5 +395,43 @@ mod tests {
     fn engine_is_shareable_across_threads() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<PlanningEngine>();
+    }
+
+    #[test]
+    fn swap_bundle_bumps_version_and_clears_caches() {
+        let eng = engine();
+        assert_eq!(eng.model_version(), 1);
+        let t = task();
+        let first = eng.plan(&t, false).unwrap();
+        assert!(
+            eng.cache_stats().misses > 0,
+            "planning must touch the prediction cache"
+        );
+
+        // Swap in a differently-seeded (differently-initialized) bundle.
+        let pool = TablePool::synthetic_dlrm(40, 3);
+        let other = CostModelBundle::pretrain(
+            &pool,
+            2,
+            &CollectConfig::smoke(),
+            &TrainSettings::smoke(),
+            99,
+        );
+        assert_eq!(eng.swap_bundle(other), 2);
+        assert_eq!(eng.model_version(), 2);
+        let stats = eng.cache_stats();
+        assert_eq!(
+            (stats.hits, stats.misses),
+            (0, 0),
+            "a promoted model must start with empty caches"
+        );
+
+        // The new generation prices plans with the new models.
+        let second = eng.plan(&t, false).unwrap();
+        assert!(second.plan.validate(&t).is_ok());
+        assert_ne!(
+            first.predicted_ms, second.predicted_ms,
+            "different bundles should price the workload differently"
+        );
     }
 }

@@ -12,6 +12,7 @@
 //! |---|---|
 //! | `POST /v1/plan` | Plan a task from scratch through the full [`nshard_core::FallbackChain`] |
 //! | `POST /v1/replan` | Warm-started incremental replan around a stored incumbent |
+//! | `POST /v1/observations` | Report ground-truth costs for continual learning |
 //! | `GET /v1/plans/{id}` | Fetch a stored plan with provenance |
 //! | `GET /health` | Liveness + store/queue facts + replication role |
 //! | `GET /metrics` | Prometheus exposition ([`metrics`]) |
@@ -65,8 +66,8 @@ pub mod server;
 pub mod store;
 
 pub use api::{
-    source_label, ErrorBody, HealthResponse, PlanRequest, PlanResponse, ReplStatus, ReplanRequest,
-    ReplanResponse,
+    source_label, ErrorBody, HealthResponse, ObservationWire, ObservationsAck, ObservationsRequest,
+    PlanRequest, PlanResponse, ReplStatus, ReplanRequest, ReplanResponse,
 };
 pub use clock::{Clock, ManualClock, WallClock};
 pub use engine::{plan_id, PlanOutput, PlanningEngine, ReplanOutput};
@@ -75,5 +76,5 @@ pub use kv::{KvError, KvSnapshot, LogFetch, LogOp, MatchSeq, PlanKv, SeqEntry, S
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 pub use net::{ConnConfig, IoMode};
 pub use repl::{HttpTransport, PollOutcome, ReplError, ReplTransport, Replicator, Role, RoleCell};
-pub use server::{ReplicaConfig, Routed, ServeConfig, Server, Service};
+pub use server::{ReplicaConfig, Routed, ServeConfig, Server, Service, MODEL_KEY};
 pub use store::{ModelStore, PlanStore, StoreError, StoredPlan};

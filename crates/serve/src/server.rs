@@ -48,8 +48,8 @@ use nshard_data::ShardingTask;
 use nshard_online::IncrementalConfig;
 
 use crate::api::{
-    source_label, ErrorBody, HealthResponse, PlanRequest, PlanResponse, ReplStatus, ReplanRequest,
-    ReplanResponse,
+    source_label, ErrorBody, HealthResponse, ObservationWire, ObservationsAck, ObservationsRequest,
+    PlanRequest, PlanResponse, ReplStatus, ReplanRequest, ReplanResponse,
 };
 use crate::clock::{Clock, WallClock};
 use crate::engine::PlanningEngine;
@@ -92,12 +92,13 @@ pub struct ServeConfig {
     pub net: ConnConfig,
     /// Identical-request response cache entries; `0` (default) disables
     /// it. Safe because identical bodies already produce byte-identical
-    /// responses (the documented determinism contract) and replan
-    /// entries key on the store generation, so adoption invalidates
-    /// them. Hits are answered inline at admission without consuming
-    /// queue capacity. `bench_replay` turns this on to push request
-    /// volume into HTTP-path territory instead of re-running identical
-    /// searches.
+    /// responses (the documented determinism contract) and every entry
+    /// keys on the serving model version (replans additionally on the
+    /// store generation), so a model promotion or plan adoption
+    /// invalidates it. Hits are answered inline at admission without
+    /// consuming queue capacity. `bench_replay` turns this on to push
+    /// request volume into HTTP-path territory instead of re-running
+    /// identical searches.
     pub response_cache_entries: usize,
 }
 
@@ -319,8 +320,10 @@ impl AdmissionQueue {
 /// bodies. Correctness rests on the daemon's determinism contract —
 /// identical bodies already yield byte-identical responses (plan ids are
 /// content-addressed, adoption is idempotent) — so a hit only skips
-/// redundant search work, never changes an answer. Replan entries fold
-/// the store generation into the key, so any adoption invalidates them.
+/// redundant search work, never changes an answer. Every entry folds the
+/// serving model version into the key (replan entries also the store
+/// generation), so a model promotion or plan adoption invalidates it —
+/// a response priced by a retired model is never replayed.
 struct ResponseCache {
     capacity: usize,
     map: std::collections::HashMap<u64, HttpResponse>,
@@ -389,6 +392,10 @@ struct ServiceMetrics {
     seq_conflicts: Arc<Counter>,
     response_cache_hits: Arc<Counter>,
     response_cache_misses: Arc<Counter>,
+    observations: Arc<Counter>,
+    model_promotions: Arc<Counter>,
+    model_rollbacks: Arc<Counter>,
+    model_version: Arc<Gauge>,
 }
 
 impl ServiceMetrics {
@@ -438,6 +445,22 @@ impl ServiceMetrics {
             "nshard_serve_response_cache_misses_total",
             "Planning jobs that missed the response cache (cache enabled only)",
         );
+        let observations = registry.counter(
+            "nshard_serve_observations_total",
+            "Ground-truth cost observations accepted via POST /v1/observations",
+        );
+        let model_promotions = registry.counter(
+            "nshard_serve_model_promotions_total",
+            "Fine-tuned cost-model bundles promoted into the serving engine",
+        );
+        let model_rollbacks = registry.counter(
+            "nshard_serve_model_rollbacks_total",
+            "Candidate cost-model bundles rejected by shadow evaluation (incumbent kept)",
+        );
+        let model_version = registry.gauge(
+            "nshard_serve_model_version",
+            "Version of the cost-model bundle currently serving predictions",
+        );
         Self {
             registry,
             queue_depth,
@@ -451,6 +474,10 @@ impl ServiceMetrics {
             seq_conflicts,
             response_cache_hits,
             response_cache_misses,
+            observations,
+            model_promotions,
+            model_rollbacks,
+            model_version,
         }
     }
 
@@ -487,7 +514,14 @@ pub struct Service {
     metrics: ServiceMetrics,
     workers: usize,
     response_cache: Option<Mutex<ResponseCache>>,
+    observations: Mutex<VecDeque<ObservationWire>>,
 }
+
+/// Most ground-truth observations the daemon buffers before evicting the
+/// oldest — bounds memory under a reporting storm. The continual-learning
+/// loop ([`Service::take_observations`]) owns prioritized sampling; the
+/// daemon keeps only a bounded FIFO staging area.
+const OBSERVATION_BUFFER_CAP: usize = 65_536;
 
 impl Service {
     /// Builds the service from a pre-trained bundle.
@@ -511,12 +545,21 @@ impl Service {
         config: ServeConfig,
         clock: Arc<dyn Clock>,
     ) -> Result<Self, StoreError> {
+        // Reject dead configurations before they can panic deep inside
+        // the engine: the typed [`nshard_core::ConfigError`] surfaces the
+        // same way store corruption does — at construction, not at the
+        // first request.
+        config
+            .search
+            .validate()
+            .map_err(StoreError::InvalidConfig)?;
         let plans = match &config.store_dir {
             Some(dir) => PlanStore::open(dir)?,
             None => PlanStore::in_memory(),
         };
         let engine = PlanningEngine::new(bundle, config.search, config.incremental, config.seed);
         let metrics = ServiceMetrics::new();
+        metrics.model_version.set(engine.model_version());
         let queue = AdmissionQueue::new(config.queue_capacity, Arc::clone(&metrics.queue_depth));
         let workers = resolve_threads(config.workers);
         let role = RoleCell::new(if config.replica.follower {
@@ -549,6 +592,7 @@ impl Service {
             metrics,
             workers,
             response_cache,
+            observations: Mutex::new(VecDeque::new()),
         })
     }
 
@@ -602,6 +646,7 @@ impl Service {
             }
             ("POST", "/v1/plan") => self.admit(JobKind::Plan, request.body.clone()),
             ("POST", "/v1/replan") => self.admit(JobKind::Replan, request.body.clone()),
+            ("POST", "/v1/observations") => Routed::Inline(self.ingest_observations(&request.body)),
             ("POST", _) | ("GET", _) => {
                 self.metrics.count_request("other", 404);
                 Routed::Inline(error_response(
@@ -629,8 +674,102 @@ impl Service {
             workers: self.workers as u64,
             queue_capacity: self.config.queue_capacity as u64,
             role: self.role.role().label().to_string(),
+            model_version: self.engine.model_version(),
         };
         HttpResponse::json(200, serde_json::to_string(&body).unwrap_or_default())
+    }
+
+    /// `POST /v1/observations`: buffers ground-truth cost observations
+    /// for the continual-learning loop. Answered inline — ingest is a
+    /// bounded buffer push, not a search — so observation storms cannot
+    /// starve planning jobs of queue capacity.
+    fn ingest_observations(&self, body: &[u8]) -> HttpResponse {
+        let request =
+            match serde_json::from_str::<ObservationsRequest>(&String::from_utf8_lossy(body)) {
+                Ok(request) => request,
+                Err(e) => {
+                    self.metrics.count_request("observations", 400);
+                    return error_response(
+                        400,
+                        "bad_request",
+                        format!("invalid observations body: {e}"),
+                    );
+                }
+            };
+        let accepted = request.observations.len() as u64;
+        let buffered = {
+            let mut buffer = self.observations.lock().expect("observations poisoned");
+            buffer.extend(request.observations);
+            while buffer.len() > OBSERVATION_BUFFER_CAP {
+                buffer.pop_front();
+            }
+            buffer.len() as u64
+        };
+        self.metrics.observations.add(accepted);
+        self.metrics.count_request("observations", 200);
+        let ack = ObservationsAck {
+            accepted,
+            buffered,
+            model_version: self.engine.model_version(),
+        };
+        HttpResponse::json(200, serde_json::to_string(&ack).unwrap_or_default())
+    }
+
+    /// Drains every buffered ground-truth observation — the
+    /// continual-learning loop's pull path.
+    pub fn take_observations(&self) -> Vec<ObservationWire> {
+        self.observations
+            .lock()
+            .expect("observations poisoned")
+            .drain(..)
+            .collect()
+    }
+
+    /// Observations currently staged for the learning loop.
+    pub fn observations_buffered(&self) -> usize {
+        self.observations
+            .lock()
+            .expect("observations poisoned")
+            .len()
+    }
+
+    /// The model version currently serving predictions.
+    pub fn model_version(&self) -> u64 {
+        self.engine.model_version()
+    }
+
+    /// Response-cache generation for `kind`: every cached response was
+    /// priced by a specific model version (a promotion must invalidate
+    /// it), and replans additionally depend on the plan-store generation
+    /// (an adoption changes the incumbent a replan warm-starts from).
+    fn cache_generation(&self, kind: JobKind) -> u64 {
+        let version = self.engine.model_version() << 32;
+        match kind {
+            JobKind::Plan => version,
+            JobKind::Replan => version | (self.plans.len() as u64 & 0xffff_ffff),
+        }
+    }
+
+    /// Atomically promotes a fine-tuned cost-model bundle into the
+    /// serving engine: the engine core (sharder, chains, incremental
+    /// planner, prediction/encoding caches) is rebuilt and swapped under
+    /// one write lock, and a leader replicates the bundle to followers
+    /// under the `models/active` KV key. Returns the new model version.
+    pub fn promote_model(&self, bundle: &CostModelBundle) -> u64 {
+        let version = self.engine.swap_bundle(bundle.clone());
+        self.metrics.model_promotions.inc();
+        self.metrics.model_version.set(version);
+        if self.role.is_leader() {
+            let value = nshard_nn::serialize::envelope_to_json("cost-bundle", "nshard", bundle);
+            let _ = self.kv.upsert(MODEL_KEY, value, MatchSeq::Any);
+        }
+        version
+    }
+
+    /// Records a shadow-evaluation rejection (the incumbent stays) in
+    /// `/metrics` — the lifecycle calls this so rollbacks are observable.
+    pub fn note_model_rollback(&self) {
+        self.metrics.model_rollbacks.inc();
     }
 
     fn get_plan(&self, id: &str) -> HttpResponse {
@@ -763,11 +902,7 @@ impl Service {
         // the full deadline/degrade semantics. Both I/O modes share
         // this path, so cross-mode conformance is untouched.
         if let Some(cache) = &self.response_cache {
-            let generation = match kind {
-                JobKind::Plan => 0,
-                JobKind::Replan => self.plans.len() as u64,
-            };
-            let key = response_cache_key(kind, false, generation, &body);
+            let key = response_cache_key(kind, false, self.cache_generation(kind), &body);
             if let Some(hit) = cache.lock().expect("cache poisoned").get(key) {
                 self.metrics.response_cache_hits.inc();
                 self.metrics.count_request(kind.endpoint(), hit.status);
@@ -884,14 +1019,12 @@ impl Service {
         // request answers 503 whether or not its twin is cached — the
         // shed/degrade semantics are identical with the cache on or off.
         let cache_key = self.response_cache.as_ref().map(|_| {
-            let generation = match job.kind {
-                // Plan responses depend only on the body; replans also
-                // depend on the incumbent, so fold in the store
-                // generation — any adoption invalidates the entry.
-                JobKind::Plan => 0,
-                JobKind::Replan => self.plans.len() as u64,
-            };
-            response_cache_key(job.kind, degrade, generation, &job.body)
+            response_cache_key(
+                job.kind,
+                degrade,
+                self.cache_generation(job.kind),
+                &job.body,
+            )
         });
         if let (Some(cache), Some(key)) = (&self.response_cache, cache_key) {
             if let Some(hit) = cache.lock().expect("cache poisoned").get(key) {
@@ -1079,6 +1212,15 @@ impl Service {
                 // a replica keeps the in-memory copy serving either way.
                 let _ = self.plans.insert_replica(record);
             }
+        } else if key == MODEL_KEY {
+            // A promoted cost-model bundle replicating from the leader:
+            // swap it into this replica's engine so a failover promotes a
+            // node already serving the fine-tuned models.
+            if let Ok(envelope) = nshard_nn::serialize::envelope_from_json::<CostModelBundle>(value)
+            {
+                let version = self.engine.swap_bundle(envelope.payload);
+                self.metrics.model_version.set(version);
+            }
         }
     }
 
@@ -1135,21 +1277,28 @@ impl Service {
     }
 
     /// Prometheus exposition: the registry plus prediction-cache gauges
-    /// scraped live from the engine.
+    /// scraped live from the engine. The cache series carry a
+    /// `model_version` label so dashboards can attribute hit-rate resets
+    /// and cost shifts to a promotion event (a swap rebuilds the caches,
+    /// so counts restart from zero under the new label).
     pub fn render_metrics(&self) -> String {
         let mut out = self.metrics.registry.render();
         let stats = self.engine.cache_stats();
+        let version = self.engine.model_version();
         out.push_str(
             "# HELP nshard_serve_cache_hits_total Prediction-cache hits across all searches\n\
              # TYPE nshard_serve_cache_hits_total counter\n",
         );
-        out.push_str(&format!("nshard_serve_cache_hits_total {}\n", stats.hits));
+        out.push_str(&format!(
+            "nshard_serve_cache_hits_total{{model_version=\"{version}\"}} {}\n",
+            stats.hits
+        ));
         out.push_str(
             "# HELP nshard_serve_cache_misses_total Prediction-cache misses across all searches\n\
              # TYPE nshard_serve_cache_misses_total counter\n",
         );
         out.push_str(&format!(
-            "nshard_serve_cache_misses_total {}\n",
+            "nshard_serve_cache_misses_total{{model_version=\"{version}\"}} {}\n",
             stats.misses
         ));
         out
@@ -1177,6 +1326,11 @@ fn error_response(status: u16, kind: &str, detail: String) -> HttpResponse {
 fn plan_key(id: &str) -> String {
     format!("plans/{id}")
 }
+
+/// The KV key under which the promoted cost-model bundle replicates.
+/// A single key — promotion is last-writer-wins by design: the lifecycle
+/// serializes promotions, and followers always want the newest bundle.
+pub const MODEL_KEY: &str = "models/active";
 
 /// A running daemon: accept path (event-driven reactor or the blocking
 /// thread-per-connection reference, per [`ServeConfig::io_mode`]) plus

@@ -81,6 +81,10 @@ pub enum StoreError {
         /// What the detector saw.
         reason: String,
     },
+    /// The daemon configuration is internally inconsistent — rejected at
+    /// construction with the typed search-config error instead of
+    /// panicking on the first request.
+    InvalidConfig(nshard_core::ConfigError),
 }
 
 impl std::fmt::Display for StoreError {
@@ -91,6 +95,7 @@ impl std::fmt::Display for StoreError {
             StoreError::Corrupt { path, reason } => {
                 write!(f, "store artifact {path} is corrupt: {reason}")
             }
+            StoreError::InvalidConfig(e) => write!(f, "invalid serve configuration: {e}"),
         }
     }
 }

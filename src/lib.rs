@@ -15,6 +15,8 @@
 //!   incremental re-sharding (the deployed-plan maintenance loop).
 //! * [`serve`] — sharding-as-a-service daemon: HTTP/1.1 JSON API with
 //!   admission control, a versioned plan/model store, and `/metrics`.
+//! * [`learn`] — continual learning: observation buffering, drift-triggered
+//!   fine-tuning and the versioned promote-or-rollback model lifecycle.
 //!
 //! See the repository README for a quickstart, `DESIGN.md` for the system
 //! inventory, and `EXPERIMENTS.md` for the paper-vs-measured record.
@@ -41,6 +43,7 @@ pub use nshard_baselines as baselines;
 pub use nshard_core as core;
 pub use nshard_cost as cost;
 pub use nshard_data as data;
+pub use nshard_learn as learn;
 pub use nshard_nn as nn;
 pub use nshard_online as online;
 pub use nshard_serve as serve;

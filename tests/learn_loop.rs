@@ -1,0 +1,279 @@
+//! Continual-learning loop integration tests: the observation buffer is
+//! a **pure function of `(seed, insert sequence)`** (proptest), the
+//! hooked epoch loop produces byte-identical buffers and identical
+//! promotion decisions at every worker thread count, and an end-to-end
+//! drift run against a stale incumbent promotes at least one fine-tuned
+//! candidate through the shadow evaluation.
+//!
+//! The thread-count sweep is the learning loop's entry in the workspace
+//! determinism contract: CI runs this file under `NSHARD_THREADS=8` as
+//! well, and nothing here may depend on the ambient thread count.
+
+use proptest::prelude::*;
+
+use neuroshard::cost::{CollectConfig, CostModelBundle, TrainSettings};
+use neuroshard::data::{ShardingTask, TableConfig, TablePool};
+use neuroshard::learn::{
+    BufferConfig, ContinualConfig, ContinualLearner, FineTuneSettings, Observation,
+    ObservationBuffer, ObservationKind,
+};
+use neuroshard::online::{
+    DriftThresholds, OnlineConfig, OnlineController, ReplanStrategy, WorkloadDrift,
+};
+
+/// Self-removing scratch directory for checkpoint stores.
+struct TempDir(std::path::PathBuf);
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir =
+            std::env::temp_dir().join(format!("nshard_learn_loop_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        Self(dir)
+    }
+    fn path(&self) -> &std::path::Path {
+        &self.0
+    }
+}
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn observation(kind_tag: u8, feature: f32, error: f64) -> Observation {
+    let kind = match kind_tag % 3 {
+        0 => ObservationKind::Compute,
+        1 => ObservationKind::CommForward,
+        _ => ObservationKind::CommBackward,
+    };
+    Observation {
+        kind,
+        features: vec![vec![feature; 4]],
+        predicted_ms: 1.0,
+        observed_ms: 1.0 + error,
+    }
+}
+
+proptest! {
+    /// Replaying the same insert sequence into a fresh buffer with the
+    /// same seed reproduces the serialized buffer **byte for byte** —
+    /// eviction is a pure function of `(seed, insert sequence)`, with no
+    /// hidden dependence on time, allocation order or thread count.
+    #[test]
+    fn buffer_eviction_is_a_pure_function_of_seed_and_sequence(
+        seed in any::<u64>(),
+        inserts in proptest::collection::vec(
+            (0u8..3, -4.0f32..4.0, -8.0f64..8.0),
+            1..200,
+        ),
+    ) {
+        let config = BufferConfig {
+            capacity: 32,
+            validation_capacity: 8,
+            validation_stride: 4,
+            seed,
+        };
+        let build = || {
+            let mut buffer = ObservationBuffer::new(config);
+            for (kind, feature, error) in &inserts {
+                buffer.insert(observation(*kind, *feature, *error));
+            }
+            buffer
+        };
+        let a = build();
+        let b = build();
+        prop_assert_eq!(a.to_bytes(), b.to_bytes());
+
+        // Bounded reservoirs, full accounting, disjoint slices.
+        prop_assert!(a.len() <= config.capacity);
+        prop_assert!(a.validation_len() <= config.validation_capacity);
+        prop_assert_eq!(a.inserted(), inserts.len() as u64);
+        let kept = a.len() + a.validation_len();
+        prop_assert!(kept <= inserts.len());
+    }
+
+    /// The high-|predicted − observed| half of a stream must dominate a
+    /// reservoir that cannot hold everything: active sampling keeps what
+    /// the models get wrong.
+    #[test]
+    fn high_error_samples_dominate_after_eviction(seed in any::<u64>()) {
+        let config = BufferConfig {
+            capacity: 20,
+            validation_capacity: 4,
+            validation_stride: u64::MAX,
+            seed,
+        };
+        let mut buffer = ObservationBuffer::new(config);
+        for i in 0..200u32 {
+            // Even inserts: tiny error; odd inserts: large error.
+            let error = if i % 2 == 0 { 1e-3 } else { 5.0 };
+            buffer.insert(observation(0, i as f32, error));
+        }
+        let high = buffer
+            .training_observations()
+            .iter()
+            .filter(|o| o.weight() > 1.0)
+            .count();
+        prop_assert!(
+            high >= buffer.len() * 3 / 4,
+            "only {high}/{} retained samples are high-error",
+            buffer.len()
+        );
+    }
+}
+
+fn stale_setup() -> (CostModelBundle, ShardingTask, TablePool) {
+    let pool = TablePool::synthetic_dlrm(96, 17);
+    // Pre-train on a stale snapshot (pooling factors scaled down), so
+    // serving-time features sit outside the pre-training distribution
+    // and the fine-tuner has a real gap to close.
+    let stale: Vec<TableConfig> = pool
+        .tables()
+        .iter()
+        .map(|t| t.with_pooling_factor((t.pooling_factor() * 0.35).max(1.0)))
+        .collect();
+    let stale_pool = TablePool::from_tables(stale);
+    let bundle = CostModelBundle::pretrain(
+        &stale_pool,
+        2,
+        &CollectConfig::smoke(),
+        &TrainSettings::smoke(),
+        17,
+    );
+    let base = ShardingTask::sample(&pool, 2, 10..=14, 64, 17);
+    (bundle, base, pool)
+}
+
+fn hooked_run(
+    bundle: &CostModelBundle,
+    base: &ShardingTask,
+    threads: usize,
+    tag: &str,
+) -> (Vec<u8>, Vec<neuroshard::learn::PromotionRecord>, u64) {
+    let dir = TempDir::new(tag);
+    let drift = WorkloadDrift::standard(base.clone(), 29);
+    let config = OnlineConfig {
+        epochs: 10,
+        strategy: ReplanStrategy::Full,
+        threads,
+        seed: 29,
+        ..OnlineConfig::default()
+    };
+    let learn_config = ContinualConfig {
+        settings: FineTuneSettings {
+            threads,
+            ..FineTuneSettings::smoke()
+        },
+        seed: 29,
+        ..ContinualConfig::smoke()
+    };
+    let mut learner =
+        ContinualLearner::new(bundle.clone(), dir.path(), learn_config).expect("store opens");
+    let history = OnlineController::new(bundle.clone(), drift, config)
+        .run_hooked(&mut learner)
+        .expect("the deployment is feasible");
+    (
+        learner.buffer().to_bytes(),
+        learner.records().to_vec(),
+        history.epochs.len() as u64,
+    )
+}
+
+/// The whole hooked loop — observation stream, reservoir eviction,
+/// fine-tuning and every promotion decision — is bit-identical at 1, 2
+/// and 8 worker threads.
+#[test]
+fn hooked_loop_is_bit_identical_across_thread_counts() {
+    let (bundle, base, _pool) = stale_setup();
+    let (bytes_1, records_1, epochs_1) = hooked_run(&bundle, &base, 1, "threads_1");
+    let (bytes_2, records_2, epochs_2) = hooked_run(&bundle, &base, 2, "threads_2");
+    let (bytes_8, records_8, epochs_8) = hooked_run(&bundle, &base, 8, "threads_8");
+    assert_eq!(epochs_1, epochs_2);
+    assert_eq!(epochs_1, epochs_8);
+    assert_eq!(
+        bytes_1, bytes_2,
+        "observation buffers must be byte-identical at 1 vs 2 threads"
+    );
+    assert_eq!(
+        bytes_1, bytes_8,
+        "observation buffers must be byte-identical at 1 vs 8 threads"
+    );
+    assert_eq!(
+        records_1, records_2,
+        "promotion decisions must not depend on threads"
+    );
+    assert_eq!(
+        records_1, records_8,
+        "promotion decisions must not depend on threads"
+    );
+    assert!(!bytes_1.is_empty());
+}
+
+/// End-to-end: a drift trace against a stale incumbent accumulates
+/// observations, fires the detector, and promotes at least one
+/// fine-tuned candidate whose probe plan stayed inside the conformance
+/// band — the learner's incumbent is no longer the pre-trained bundle.
+#[test]
+fn drift_run_promotes_a_finetuned_candidate() {
+    let (bundle, base, _pool) = stale_setup();
+    let dir = TempDir::new("promote");
+    let drift = WorkloadDrift::standard(base, 29);
+    let config = OnlineConfig {
+        epochs: 12,
+        strategy: ReplanStrategy::Full,
+        seed: 29,
+        // A twitchy detector: the point here is the promote path, not
+        // trigger calibration, so make sure the trace fires it.
+        thresholds: DriftThresholds {
+            max_cost_regression: 0.02,
+            imbalance_ratio: 1.05,
+        },
+        ..OnlineConfig::default()
+    };
+    let learn_config = ContinualConfig {
+        // Enough optimization to actually close a stale incumbent's gap
+        // — the smoke settings only nudge (see the thread-count test).
+        settings: FineTuneSettings {
+            epochs: 30,
+            learning_rate: 1e-3,
+            min_samples: 12,
+            ..FineTuneSettings::default()
+        },
+        ..ContinualConfig::smoke()
+    };
+    let mut learner =
+        ContinualLearner::new(bundle.clone(), dir.path(), learn_config).expect("store opens");
+    OnlineController::new(bundle.clone(), drift, config)
+        .run_hooked(&mut learner)
+        .expect("the deployment is feasible");
+    let promoted: Vec<_> = learner.records().iter().filter(|r| r.promoted).collect();
+    assert!(
+        !promoted.is_empty(),
+        "expected at least one promotion; records: {:?}",
+        learner.records()
+    );
+    for record in &promoted {
+        assert!(record.feasible, "promoted probe plans are memory-feasible");
+        assert!(
+            record.conformance_ratio <= 1.5,
+            "promoted candidates stay inside the conformance band: {record:?}"
+        );
+    }
+    assert_ne!(
+        learner.incumbent(),
+        &bundle,
+        "promotion installs the fine-tuned bundle as the new incumbent"
+    );
+    assert_eq!(
+        learner.lifecycle().version(),
+        1 + promoted.len() as u64,
+        "every promotion bumps the checkpoint version exactly once"
+    );
+    // The active checkpoint on disk round-trips to the installed
+    // incumbent — what serves is what was persisted.
+    assert_eq!(
+        &learner.lifecycle().load_active().unwrap(),
+        learner.incumbent()
+    );
+}

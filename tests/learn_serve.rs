@@ -1,0 +1,266 @@
+//! Serving-side integration of the continual-learning subsystem:
+//! ground-truth observations flow over `POST /v1/observations` into an
+//! [`neuroshard::learn::ContinualLearner`], a model promotion atomically
+//! invalidates every serving cache (no response priced by a retired
+//! model is ever replayed), promoted bundles replicate to followers
+//! through the plan-KV log, and a contradictory search configuration is
+//! rejected at boot with a typed error instead of becoming dead config.
+//! Zero sleeps — manual clocks and synchronous queue draining.
+
+use std::sync::Arc;
+
+use neuroshard::core::ConfigError;
+use neuroshard::cost::{CollectConfig, CostModelBundle, TrainSettings};
+use neuroshard::data::{ShardingTask, TableConfig, TableId, TablePool};
+use neuroshard::learn::{ContinualConfig, ContinualLearner};
+use neuroshard::serve::http::HttpRequest;
+use neuroshard::serve::server::Routed;
+use neuroshard::serve::{ManualClock, ServeConfig, Service, StoreError};
+
+fn quick_bundle(seed: u64) -> CostModelBundle {
+    let pool = TablePool::synthetic_dlrm(40, 3);
+    CostModelBundle::pretrain(
+        &pool,
+        2,
+        &CollectConfig::smoke(),
+        &TrainSettings::smoke(),
+        seed,
+    )
+}
+
+fn task_json() -> String {
+    let tables: Vec<TableConfig> = (0..8)
+        .map(|i| TableConfig::new(TableId(i), 16 + 16 * (i % 2), 1 << 14, 8.0, 1.05))
+        .collect();
+    let task = ShardingTask::new(tables, 2, 1 << 30, 1024);
+    serde_json::to_string(&task).expect("tasks serialize")
+}
+
+fn plan_body() -> String {
+    format!("{{\"task\":{}}}", task_json())
+}
+
+fn post(service: &Service, path: &str, body: &str) -> Routed {
+    service.route(&HttpRequest {
+        method: "POST".into(),
+        path: path.into(),
+        body: body.as_bytes().to_vec(),
+    })
+}
+
+fn get_inline(service: &Service, path: &str) -> (u16, String) {
+    let Routed::Inline(r) = service.route(&HttpRequest {
+        method: "GET".into(),
+        path: path.into(),
+        body: Vec::new(),
+    }) else {
+        panic!("GET {path} answers inline")
+    };
+    (r.status, String::from_utf8_lossy(&r.body).to_string())
+}
+
+/// Self-removing scratch directory for checkpoint stores.
+struct TempDir(std::path::PathBuf);
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir =
+            std::env::temp_dir().join(format!("nshard_learn_serve_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        Self(dir)
+    }
+    fn path(&self) -> &std::path::Path {
+        &self.0
+    }
+}
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// `POST /v1/observations` stages ground-truth reports inline, the
+/// learning loop drains them with `take_observations`, and a
+/// `ContinualLearner` ingests the drained batch (unknown kinds skipped).
+#[test]
+fn observations_flow_from_the_wire_into_the_learner() {
+    let service = Service::with_clock(
+        quick_bundle(7),
+        ServeConfig::smoke(),
+        Arc::new(ManualClock::new()),
+    )
+    .expect("service boots");
+    let body = r#"{"observations":[
+        {"kind":"compute","features":[[1.0,2.0,3.0,4.0,5.0,6.0,7.0,8.0]],"predicted_ms":1.5,"observed_ms":2.0},
+        {"kind":"comm_forward","features":[[0.5,0.5,0.5,0.5,0.5,0.5,0.5,0.5,0.5]],"predicted_ms":0.4,"observed_ms":0.6},
+        {"kind":"mystery","features":[[1.0]],"predicted_ms":0.0,"observed_ms":0.0}
+    ]}"#;
+    let Routed::Inline(ack) = post(&service, "/v1/observations", body) else {
+        panic!("observation ingest answers inline")
+    };
+    assert_eq!(ack.status, 200, "{}", String::from_utf8_lossy(&ack.body));
+    let ack_body = String::from_utf8_lossy(&ack.body).to_string();
+    assert!(ack_body.contains("\"accepted\":3"), "got: {ack_body}");
+    assert_eq!(service.observations_buffered(), 3);
+
+    let dir = TempDir::new("wire");
+    let mut learner = ContinualLearner::new(quick_bundle(7), dir.path(), ContinualConfig::smoke())
+        .expect("store opens");
+    learner.ingest_wire(&service.take_observations());
+    assert_eq!(
+        learner.buffer().inserted(),
+        2,
+        "the unknown kind is skipped, the rest are buffered"
+    );
+    assert_eq!(
+        service.observations_buffered(),
+        0,
+        "draining empties the stage"
+    );
+
+    let metrics = service.render_metrics();
+    assert!(
+        metrics.contains("nshard_serve_observations_total 3"),
+        "got: {metrics}"
+    );
+}
+
+/// The stale-cache-across-promotion test: a model promotion bumps the
+/// version in `/health` and `/metrics`, re-labels the prediction-cache
+/// series, and invalidates the identical-request response cache — the
+/// twin of a pre-promotion request must be re-planned by the new model,
+/// not replayed from the old one's cache.
+#[test]
+fn promotion_invalidates_caches_and_relabels_metrics() {
+    let config = ServeConfig {
+        response_cache_entries: 8,
+        ..ServeConfig::smoke()
+    };
+    let service = Service::with_clock(quick_bundle(7), config, Arc::new(ManualClock::new()))
+        .expect("service boots");
+    let body = plan_body();
+
+    let (status, health) = get_inline(&service, "/health");
+    assert_eq!(status, 200);
+    assert!(health.contains("\"model_version\":1"), "got: {health}");
+
+    // Warm the response cache: plan once, then hit with the twin.
+    let Routed::Queued(slot) = post(&service, "/v1/plan", &body) else {
+        panic!("first request must queue")
+    };
+    assert!(service.drain_one());
+    assert_eq!(slot.wait().status, 200);
+    let Routed::Inline(hit) = post(&service, "/v1/plan", &body) else {
+        panic!("identical request must be served from the cache inline")
+    };
+    assert_eq!(hit.status, 200);
+    let metrics = service.render_metrics();
+    assert!(
+        metrics.contains("nshard_serve_response_cache_hits_total 1"),
+        "got: {metrics}"
+    );
+    assert!(
+        metrics.contains("model_version=\"1\""),
+        "prediction-cache series carry the serving model version: {metrics}"
+    );
+
+    // Promote a different bundle: version bumps everywhere...
+    let version = service.promote_model(&quick_bundle(9));
+    assert_eq!(version, 2);
+    assert_eq!(service.model_version(), 2);
+    let (_, health) = get_inline(&service, "/health");
+    assert!(health.contains("\"model_version\":2"), "got: {health}");
+
+    // ...and the twin of the cached request must MISS — it re-queues and
+    // is re-planned by the promoted model instead of replaying the
+    // retired model's response.
+    let Routed::Queued(slot) = post(&service, "/v1/plan", &body) else {
+        panic!("post-promotion twin must miss the response cache and queue")
+    };
+    assert!(service.drain_one());
+    assert_eq!(slot.wait().status, 200);
+
+    let metrics = service.render_metrics();
+    assert!(
+        metrics.contains("nshard_serve_response_cache_hits_total 1"),
+        "the post-promotion twin must not be a cache hit: {metrics}"
+    );
+    assert!(
+        metrics.contains("nshard_serve_model_version 2"),
+        "got: {metrics}"
+    );
+    assert!(
+        metrics.contains("nshard_serve_model_promotions_total 1"),
+        "got: {metrics}"
+    );
+    assert!(
+        metrics.contains("model_version=\"2\""),
+        "cache series re-label after promotion: {metrics}"
+    );
+
+    // Rollbacks are observable too.
+    service.note_model_rollback();
+    let metrics = service.render_metrics();
+    assert!(
+        metrics.contains("nshard_serve_model_rollbacks_total 1"),
+        "got: {metrics}"
+    );
+}
+
+/// A leader promotion writes the promoted bundle into the replicated KV
+/// under `models/active`; a follower applying the log materializes it
+/// and starts serving the same model version.
+#[test]
+fn promoted_model_replicates_to_the_follower() {
+    let leader = Service::with_clock(
+        quick_bundle(7),
+        ServeConfig::smoke(),
+        Arc::new(ManualClock::new()),
+    )
+    .expect("leader boots");
+    let mut follower_config = ServeConfig::smoke();
+    follower_config.replica.node = "node-1".into();
+    follower_config.replica.follower = true;
+    let follower = Service::with_clock(
+        quick_bundle(7),
+        follower_config,
+        Arc::new(ManualClock::new()),
+    )
+    .expect("follower boots");
+    assert_eq!(follower.model_version(), 1);
+
+    let promoted = quick_bundle(9);
+    assert_eq!(leader.promote_model(&promoted), 2);
+
+    let neuroshard::serve::kv::LogFetch::Ops(ops) = leader.kv().log_since(0) else {
+        panic!("leader log is retained")
+    };
+    assert!(follower.apply_replicated(ops) > 0);
+    assert_eq!(
+        follower.model_version(),
+        2,
+        "the follower materializes the promoted bundle"
+    );
+}
+
+/// The historically-dead `use_row_wise` + `use_beam: false` combination
+/// is rejected at boot with a typed error, not silently ignored.
+#[test]
+fn contradictory_search_config_is_rejected_at_boot() {
+    let mut config = ServeConfig::smoke();
+    config.search.use_row_wise = true;
+    config.search.use_beam = false;
+    let err = Service::with_clock(quick_bundle(7), config, Arc::new(ManualClock::new()))
+        .err()
+        .expect("boot must fail");
+    match err {
+        StoreError::InvalidConfig(e) => assert_eq!(e, ConfigError::RowWiseRequiresBeam),
+        other => panic!("expected InvalidConfig, got {other:?}"),
+    }
+    let message = format!("{err}");
+    assert!(
+        message.contains("ROADMAP item 4"),
+        "the error points at the roadmap item tracking first-class row-wise \
+         sharding: {message}"
+    );
+}
