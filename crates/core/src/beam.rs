@@ -10,7 +10,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use nshard_cost::{CacheStats, CostSimulator};
+use nshard_cost::{CacheStats, CostSimulator, DeviceScales};
 use nshard_data::{ShardingTask, TableConfig};
 use nshard_sim::TableProfile;
 
@@ -66,6 +66,9 @@ pub struct BeamSearch<'a> {
     use_grid: bool,
     /// Also propose row-wise splits (the paper's future-work extension).
     row_wise: bool,
+    /// Also propose replicating hot tables (memory on every holder, traffic
+    /// split across them).
+    replication: bool,
     /// Worker threads for level evaluation; `0` = auto (see
     /// [`crate::pool::resolve_threads`]).
     threads: usize,
@@ -83,6 +86,7 @@ impl<'a> BeamSearch<'a> {
             m: 11,
             use_grid: true,
             row_wise: false,
+            replication: false,
             threads: 0,
         }
     }
@@ -128,6 +132,14 @@ impl<'a> BeamSearch<'a> {
         self
     }
 
+    /// Also proposes **replicating** hot tables: each replica costs full
+    /// memory on its holder but serves only its share of the lookups, so a
+    /// single skew-dominating table stops bottlenecking one device.
+    pub fn with_replication(mut self, enable: bool) -> Self {
+        self.replication = enable;
+        self
+    }
+
     /// Sets the worker-thread count for level evaluation (`0` = auto).
     /// Results are collected in candidate order, so the returned plan and
     /// cost are **bit-for-bit identical** at any thread count.
@@ -162,25 +174,44 @@ impl<'a> BeamSearch<'a> {
         let mut phase_stats = SearchPhaseStats::default();
         let mut evaluated = 0usize;
 
-        // Evaluate the empty column plan first (line 4's initial beam).
+        // Heterogeneous-fleet context, shared by every inner search of this
+        // run. `scales` is `None` on uniform fleets, which keeps the whole
+        // search on the bit-exact homogeneous path.
+        let budgets = task.budgets();
+        let scales = task.device_pool().and_then(DeviceScales::from_pool);
+        let scales = scales.as_ref();
+
+        // The root plan: empty, except when row-wise sharding is on —
+        // then a deterministic presplit pass first row-halves any table
+        // too large for every device, so row-wise splits stay reachable
+        // even with the beam disabled (`L = 0`, the greedy-only config).
+        let root: SplitPlan = if self.row_wise {
+            self.presplit_steps(task)
+        } else {
+            Vec::new()
+        };
+        let root_tables = apply_split_plan(task.tables(), &root)
+            .expect("presplit steps are constructed to be applicable");
+
+        // Evaluate the root plan first (line 4's initial beam).
         let mut best: Option<(SplitPlan, f64, Vec<usize>)> = None;
-        let empty_tables = task.tables().to_vec();
         evaluated += 1;
         let before = cache.stats();
-        if let Ok(result) = inner.search(
-            &empty_tables,
+        if let Ok(result) = inner.search_with_devices(
+            &root_tables,
             task.num_devices(),
-            task.mem_budget_bytes(),
+            &budgets,
+            scales,
             task.batch_size(),
         ) {
-            best = Some((Vec::new(), result.estimated_cost_ms, result.device_of));
+            best = Some((root.clone(), result.estimated_cost_ms, result.device_of));
         }
         phase_stats.inner.absorb(&cache.stats().since(&before));
 
         // Beam entries carry (plan, cost) — infeasible plans carry +inf so
         // they sort last but can still be extended toward feasibility.
         let mut beam: Vec<(SplitPlan, f64)> =
-            vec![(Vec::new(), best.as_ref().map_or(f64::INFINITY, |b| b.1))];
+            vec![(root, best.as_ref().map_or(f64::INFINITY, |b| b.1))];
 
         for _level in 0..self.l {
             // Expand every beam entry's candidates serially, building the
@@ -211,10 +242,11 @@ impl<'a> BeamSearch<'a> {
             let before = cache.stats();
             let results: Vec<Result<GridSearchResult, PlanError>> =
                 pool.map(&jobs, |(_, sharded)| {
-                    inner_serial.search(
+                    inner_serial.search_with_devices(
                         sharded,
                         task.num_devices(),
-                        task.mem_budget_bytes(),
+                        &budgets,
+                        scales,
                         task.batch_size(),
                     )
                 });
@@ -274,15 +306,53 @@ impl<'a> BeamSearch<'a> {
         })
     }
 
+    /// Deterministic feasibility presplit (row-wise mode only): while the
+    /// largest shard exceeds every device's memory budget, halve it —
+    /// row-wise when its rows still split, column-wise otherwise. Ties
+    /// break on the lowest index, so the step sequence is a pure function
+    /// of the task. Returns an empty plan when every table already fits.
+    fn presplit_steps(&self, task: &ShardingTask) -> SplitPlan {
+        let max_budget = task.budgets().into_iter().max().unwrap_or(0);
+        let mut steps: SplitPlan = Vec::new();
+        let mut tables = task.tables().to_vec();
+        while let Some(worst) = (0..tables.len()).max_by(|&a, &b| {
+            tables[a]
+                .memory_bytes()
+                .cmp(&tables[b].memory_bytes())
+                .then(b.cmp(&a)) // prefer the lower index on ties
+        }) {
+            if tables[worst].memory_bytes() <= max_budget {
+                break;
+            }
+            let halves = tables[worst]
+                .split_rows()
+                .or_else(|| tables[worst].split_columns());
+            let Some((a, b)) = halves else {
+                break; // unsplittable: leave infeasibility to the search
+            };
+            let kind = if tables[worst].split_rows().is_some() {
+                SplitKind::Row
+            } else {
+                SplitKind::Column
+            };
+            steps.push(SplitStep { index: worst, kind });
+            tables[worst] = a;
+            tables.push(b);
+        }
+        steps
+    }
+
     /// Candidate split steps: top-`N` tables by predicted cost plus top-`N`
     /// by size, duplicates removed, unsplittable tables excluded (line 9).
     /// With row-wise sharding enabled, each candidate table contributes
-    /// both a column step and a row step (where legal).
+    /// both a column step and a row step (where legal); with replication
+    /// enabled, a replicate step as well.
     fn candidates(&self, tables: &[TableConfig], batch_size: u32) -> Vec<SplitStep> {
         let relevant: Vec<usize> = (0..tables.len())
             .filter(|&i| {
                 tables[i].split_columns().is_some()
                     || (self.row_wise && tables[i].split_rows().is_some())
+                    || (self.replication && tables[i].replicate().is_some())
             })
             .collect();
         if relevant.is_empty() {
@@ -329,6 +399,12 @@ impl<'a> BeamSearch<'a> {
                 out.push(SplitStep {
                     index: i,
                     kind: SplitKind::Row,
+                });
+            }
+            if self.replication && tables[i].replicate().is_some() {
+                out.push(SplitStep {
+                    index: i,
+                    kind: SplitKind::Replicate,
                 });
             }
         }
@@ -522,6 +598,120 @@ mod tests {
         assert!(result.phase_stats.candidate.total() > 0);
         assert!(result.phase_stats.inner.total() > 0);
         assert!(result.phase_stats.inner.hit_rate() <= 1.0);
+    }
+
+    #[test]
+    fn row_wise_without_beam_presplits_tall_tables() {
+        let sim = sim(2);
+        // 8 GB tall-skinny table, greedy-only config (L = 0): the
+        // deterministic presplit pass must row-halve it until it fits.
+        let tall = TableConfig::new(TableId(0), 4, 512 << 20, 16.0, 1.0);
+        let task = ShardingTask::new(vec![tall], 2, nshard_sim::DEFAULT_MEM_BYTES, 65_536);
+        let search = BeamSearch::new(&sim).with_l(0).with_row_wise(true);
+        let result = search.search(&task).unwrap();
+        assert!(result.plan.num_row_splits() >= 1);
+        assert!(result.plan.validate(&task).is_ok());
+    }
+
+    #[test]
+    fn replication_proposes_replicate_candidates() {
+        let sim = sim(2);
+        let search = BeamSearch::new(&sim).with_n(3).with_replication(true);
+        let task = small_task(2);
+        let cands = search.candidates(task.tables(), task.batch_size());
+        assert!(cands.iter().any(|s| s.kind == SplitKind::Replicate));
+    }
+
+    #[test]
+    fn replication_never_hurts_estimated_cost() {
+        let sim = sim(2);
+        let task = small_task(2);
+        let plain = BeamSearch::new(&sim)
+            .with_l(2)
+            .with_n(3)
+            .with_k(2)
+            .with_m(3);
+        let base = plain.search(&task).unwrap();
+        let replicated = plain.with_replication(true).search(&task).unwrap();
+        assert!(replicated.estimated_cost_ms <= base.estimated_cost_ms + 1e-9);
+        assert!(replicated.plan.validate(&task).is_ok());
+    }
+
+    #[test]
+    fn heterogeneous_task_plans_respect_per_device_budgets() {
+        use nshard_data::{DevicePool, DeviceProfile};
+        let sim = sim(2);
+        let tables: Vec<TableConfig> = (0..6)
+            .map(|i| TableConfig::new(TableId(i), 32, 1 << 16, 6.0, 1.0))
+            .collect();
+        let total: u64 = tables.iter().map(|t| t.memory_bytes()).sum();
+        // Device 1 fits a single table; the rest must crowd onto device 0.
+        let one_table = tables[0].memory_bytes();
+        let pool = DevicePool::new(
+            vec![
+                DeviceProfile::new(total, 1.0, 0),
+                DeviceProfile::new(one_table, 1.0, 0),
+            ],
+            1.0,
+        );
+        let task =
+            ShardingTask::new(tables, 2, nshard_sim::DEFAULT_MEM_BYTES, 65_536).with_devices(pool);
+        let result = BeamSearch::new(&sim)
+            .with_l(1)
+            .with_n(2)
+            .with_k(2)
+            .with_m(3)
+            .search(&task)
+            .unwrap();
+        assert!(result.plan.validate(&task).is_ok());
+        let bytes = result.plan.device_bytes();
+        assert!(bytes[1] <= one_table);
+    }
+
+    #[test]
+    fn hetero_parallel_beam_is_bit_identical_to_serial() {
+        use nshard_data::DevicePool;
+        let sim = sim(2);
+        let tables: Vec<TableConfig> = (0..8)
+            .map(|i| {
+                TableConfig::new(
+                    TableId(i),
+                    if i % 2 == 0 { 64 } else { 16 },
+                    1 << 18,
+                    8.0,
+                    1.0,
+                )
+            })
+            .collect();
+        let pool = DevicePool::two_tier(
+            1,
+            nshard_sim::DEFAULT_MEM_BYTES,
+            1,
+            nshard_sim::DEFAULT_MEM_BYTES / 2,
+            2.0,
+            0.25,
+        );
+        let task =
+            ShardingTask::new(tables, 2, nshard_sim::DEFAULT_MEM_BYTES, 65_536).with_devices(pool);
+        let make = |threads| {
+            BeamSearch::new(&sim)
+                .with_l(2)
+                .with_n(3)
+                .with_k(2)
+                .with_m(3)
+                .with_row_wise(true)
+                .with_replication(true)
+                .with_threads(threads)
+        };
+        let serial = make(1).search(&task).unwrap();
+        for threads in [2, 8] {
+            let parallel = make(threads).search(&task).unwrap();
+            assert_eq!(parallel.plan, serial.plan, "diverged at {threads} threads");
+            assert_eq!(
+                parallel.estimated_cost_ms.to_bits(),
+                serial.estimated_cost_ms.to_bits()
+            );
+        }
     }
 
     #[test]

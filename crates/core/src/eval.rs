@@ -9,6 +9,22 @@ use nshard_sim::{Cluster, GpuSpec, PlanCosts, SimError};
 
 use crate::plan::ShardingPlan;
 
+/// The ground-truth cluster for `task`: the GPU spec's memory budget is
+/// overridden by the task's, and when the task describes a heterogeneous
+/// fleet the cluster inherits its per-device memory, compute, and
+/// interconnect profiles.
+pub fn cluster_for(task: &ShardingTask, spec: &GpuSpec) -> Cluster {
+    let cluster = Cluster::new(
+        spec.with_mem_budget(task.mem_budget_bytes()),
+        task.num_devices(),
+        task.batch_size(),
+    );
+    match task.device_pool() {
+        Some(pool) => cluster.with_devices(pool.clone()),
+        None => cluster,
+    }
+}
+
 /// Evaluates `plan` for `task` on the ground-truth cluster with measurement
 /// noise (the paper's repeated-measurement protocol), returning the full
 /// per-device cost breakdown.
@@ -23,12 +39,7 @@ pub fn evaluate_plan(
     spec: &GpuSpec,
     seed: u64,
 ) -> Result<PlanCosts, SimError> {
-    let cluster = Cluster::new(
-        spec.with_mem_budget(task.mem_budget_bytes()),
-        task.num_devices(),
-        task.batch_size(),
-    );
-    cluster.evaluate(&plan.device_profiles(task.batch_size()), seed)
+    cluster_for(task, spec).evaluate(&plan.device_profiles(task.batch_size()), seed)
 }
 
 /// Like [`evaluate_plan`] but without measurement noise (used by analytical
@@ -42,12 +53,7 @@ pub fn evaluate_plan_exact(
     plan: &ShardingPlan,
     spec: &GpuSpec,
 ) -> Result<PlanCosts, SimError> {
-    let cluster = Cluster::new(
-        spec.with_mem_budget(task.mem_budget_bytes()),
-        task.num_devices(),
-        task.batch_size(),
-    );
-    cluster.evaluate_exact(&plan.device_profiles(task.batch_size()))
+    cluster_for(task, spec).evaluate_exact(&plan.device_profiles(task.batch_size()))
 }
 
 #[cfg(test)]
@@ -100,6 +106,41 @@ mod tests {
             evaluate_plan(&t, &p, &GpuSpec::rtx_2080_ti(), 0),
             Err(SimError::OutOfMemory { .. })
         ));
+    }
+
+    #[test]
+    fn heterogeneous_budgets_reach_the_ground_truth() {
+        use nshard_data::{DevicePool, DeviceProfile};
+        let t = task();
+        let p = plan(&t);
+        // Uniform evaluation succeeds; starving device 1's budget makes
+        // the same plan overflow at ground truth.
+        assert!(evaluate_plan_exact(&t, &p, &GpuSpec::rtx_2080_ti()).is_ok());
+        let starved = DevicePool::new(
+            vec![
+                DeviceProfile::new(nshard_sim::DEFAULT_MEM_BYTES, 1.0, 0),
+                DeviceProfile::new(1024, 1.0, 0),
+            ],
+            1.0,
+        );
+        let hetero = t.clone().with_devices(starved);
+        assert!(matches!(
+            evaluate_plan_exact(&hetero, &plan(&hetero), &GpuSpec::rtx_2080_ti()),
+            Err(SimError::OutOfMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn uniform_pool_evaluation_is_bit_identical_to_scalar() {
+        use nshard_data::DevicePool;
+        let t = task();
+        let p = plan(&t);
+        let scalar = evaluate_plan_exact(&t, &p, &GpuSpec::rtx_2080_ti()).unwrap();
+        let pooled_task = t
+            .clone()
+            .with_devices(DevicePool::uniform(2, nshard_sim::DEFAULT_MEM_BYTES));
+        let pooled = evaluate_plan_exact(&pooled_task, &p, &GpuSpec::rtx_2080_ti()).unwrap();
+        assert_eq!(scalar, pooled);
     }
 
     #[test]

@@ -24,7 +24,7 @@
 //! degraded plan is always attributable.
 
 use nshard_data::ShardingTask;
-use nshard_sim::{Cluster, GpuSpec, SimError};
+use nshard_sim::{GpuSpec, SimError};
 use serde::{Deserialize, Serialize};
 
 use crate::plan::{PlanError, ShardingPlan};
@@ -573,13 +573,9 @@ impl Trail {
 }
 
 /// Memory feasibility on a healthy cluster: the minimum bar any plan must
-/// clear.
+/// clear. Heterogeneous tasks verify against their per-device budgets.
 fn default_verifier(task: &ShardingTask, plan: &ShardingPlan) -> Result<(), SimError> {
-    let cluster = Cluster::new(
-        GpuSpec::rtx_2080_ti().with_mem_budget(task.mem_budget_bytes()),
-        task.num_devices(),
-        task.batch_size(),
-    );
+    let cluster = crate::eval::cluster_for(task, &GpuSpec::rtx_2080_ti());
     cluster.check_memory(&plan.device_profiles(task.batch_size()))
 }
 
@@ -610,13 +606,18 @@ pub fn size_balanced_plan(
     let mut order: Vec<usize> = (0..tables.len()).collect();
     order.sort_by_key(|&i| (std::cmp::Reverse(tables[i].memory_bytes()), i));
 
+    // Targets are picked by maximum remaining headroom against each
+    // device's own budget; on uniform fleets this is exactly the classic
+    // least-loaded rule (same selections, same tie-breaks).
+    let budgets = task.budgets();
     let mut device_of = vec![0usize; tables.len()];
     let mut load = vec![0u64; task.num_devices()];
     for i in order {
         let target = load
             .iter()
+            .zip(&budgets)
             .enumerate()
-            .min_by_key(|&(d, &b)| (b, d))
+            .max_by_key(|&(d, (&b, &cap))| (cap.saturating_sub(b), std::cmp::Reverse(d)))
             .map(|(d, _)| d)
             .expect("task has at least one device");
         device_of[i] = target;
@@ -904,6 +905,50 @@ mod tests {
         // worker pool; a missing auto-trait bound would break that.
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<FallbackChain>();
+    }
+
+    #[test]
+    fn chain_verifies_against_per_device_budgets() {
+        use nshard_data::{DevicePool, DeviceProfile};
+        // Round-robin is feasible under the scalar budget but overflows
+        // the starved device of the heterogeneous pool, so the chain must
+        // repair it rather than accept it as-is.
+        let tables: Vec<TableConfig> = (0..6).map(|i| t(i, 32, 4096)).collect();
+        let each = tables[0].memory_bytes();
+        let pool = DevicePool::new(
+            vec![
+                DeviceProfile::new(each * 6, 1.0, 0),
+                DeviceProfile::new(each, 1.0, 0),
+            ],
+            1.0,
+        );
+        let task = ShardingTask::new(tables, 2, each * 6, 1024).with_devices(pool);
+        let chain = FallbackChain::new(Box::new(RoundRobin));
+        let outcome = chain.shard_with_provenance(&task).unwrap();
+        assert!(matches!(
+            outcome.provenance.source,
+            PlanSource::Repaired { .. }
+        ));
+        assert!(outcome.plan.validate(&task).is_ok());
+        assert!(outcome.plan.device_bytes()[1] <= each);
+    }
+
+    #[test]
+    fn size_balanced_plan_honors_per_device_budgets() {
+        use nshard_data::{DevicePool, DeviceProfile};
+        let tables: Vec<TableConfig> = (0..4).map(|i| t(i, 32, 4096)).collect();
+        let each = tables[0].memory_bytes();
+        let pool = DevicePool::new(
+            vec![
+                DeviceProfile::new(each * 3, 1.0, 0),
+                DeviceProfile::new(each, 1.0, 0),
+            ],
+            1.0,
+        );
+        let task = ShardingTask::new(tables, 2, each * 3, 1024).with_devices(pool);
+        let plan = size_balanced_plan(&task, RepairConfig::default()).unwrap();
+        assert!(plan.validate(&task).is_ok());
+        assert!(plan.device_bytes()[1] <= each);
     }
 
     #[test]

@@ -21,7 +21,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use nshard_cost::{CostSimulator, TableSetKey};
+use nshard_cost::{CostSimulator, DeviceScales, TableSetKey};
 use nshard_data::TableConfig;
 use nshard_sim::TableProfile;
 
@@ -94,10 +94,49 @@ impl<'a> GreedyGridSearch<'a> {
         mem_budget_bytes: u64,
         batch_size: u32,
     ) -> Result<GridSearchResult, PlanError> {
+        let budgets = vec![mem_budget_bytes; num_devices];
+        self.search_with_devices(tables, num_devices, &budgets, None, batch_size)
+    }
+
+    /// Heterogeneous-fleet variant of [`Self::search`]: per-device memory
+    /// budgets, and optional per-device compute/bandwidth scales applied to
+    /// every prediction during allocation and scoring.
+    ///
+    /// With uniform budgets and no scales this is **bit-identical** to
+    /// [`Self::search`] (the homogeneous path multiplies and divides by
+    /// exact `1.0`s, which are bitwise identities for finite floats).
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError::Infeasible`] when even the unconstrained greedy pass
+    /// cannot satisfy the per-device memory budgets.
+    pub fn search_with_devices(
+        &self,
+        tables: &[TableConfig],
+        num_devices: usize,
+        budgets: &[u64],
+        scales: Option<&DeviceScales>,
+        batch_size: u32,
+    ) -> Result<GridSearchResult, PlanError> {
         if num_devices == 0 {
             return Err(PlanError::Invalid {
                 reason: "need at least one device".into(),
             });
+        }
+        if budgets.len() != num_devices {
+            return Err(PlanError::Invalid {
+                reason: format!(
+                    "{} per-device budgets for {num_devices} devices",
+                    budgets.len()
+                ),
+            });
+        }
+        if let Some(s) = scales {
+            if s.len() != num_devices {
+                return Err(PlanError::Invalid {
+                    reason: format!("{} device scales for {num_devices} devices", s.len()),
+                });
+            }
         }
         let profiles: Vec<TableProfile> = tables.iter().map(|t| t.profile(batch_size)).collect();
 
@@ -110,7 +149,7 @@ impl<'a> GreedyGridSearch<'a> {
         // big tables are also costly, so this rarely changes the order.
         let mut order: Vec<usize> = (0..tables.len()).collect();
         let single_costs: Vec<f64> = self.sim.single_table_cost_batch(&profiles);
-        let half_budget = mem_budget_bytes / 2;
+        let half_budget = budgets.iter().copied().max().unwrap_or(0) / 2;
         order.sort_by(|&a, &b| {
             let huge_a = profiles[a].memory_bytes() > half_budget;
             let huge_b = profiles[b].memory_bytes() > half_budget;
@@ -124,10 +163,18 @@ impl<'a> GreedyGridSearch<'a> {
             }
         });
 
-        // Grid of max_dim thresholds: M_s = average device dimension,
-        // M_e = 1.5 * M_s, plus the unconstrained fallback.
-        let total_dim: f64 = profiles.iter().map(|p| f64::from(p.dim())).sum();
-        let m_s = total_dim / num_devices as f64;
+        // Grid of max_dim thresholds: M_s = average *effective* device
+        // dimension (replicas count at their traffic share; slow links
+        // inflate a device's effective load, so the denominator is total
+        // bandwidth rather than the device count), M_e = 1.5 * M_s, plus
+        // the unconstrained fallback. On homogeneous fleets this reduces
+        // exactly to total_dim / num_devices.
+        let total_dim: f64 = profiles.iter().map(TableProfile::comm_dim).sum();
+        let total_bw: f64 = match scales {
+            Some(s) => (0..num_devices).map(|g| s.bandwidth_scale(g)).sum(),
+            None => (0..num_devices).map(|_| 1.0).sum(),
+        };
+        let m_s = total_dim / total_bw;
         let m_e = 1.5 * m_s;
         let mut thresholds: Vec<Option<f64>> = Vec::with_capacity(self.m_steps + 1);
         if self.use_grid {
@@ -147,7 +194,7 @@ impl<'a> GreedyGridSearch<'a> {
         // so the assignments are identical at any thread count.
         let pool = WorkPool::new(self.threads);
         let passes: Vec<Option<Vec<usize>>> = pool.map(&thresholds, |&threshold| {
-            self.greedy_assign(&profiles, &order, num_devices, mem_budget_bytes, threshold)
+            self.greedy_assign(&profiles, &order, num_devices, budgets, scales, threshold)
         });
 
         // Phase 2: evaluate every feasible assignment with one batched
@@ -168,7 +215,7 @@ impl<'a> GreedyGridSearch<'a> {
                 assignment
             })
             .collect();
-        let estimates = self.sim.estimate_plan_batch(&assignments);
+        let estimates = self.sim.estimate_plan_batch_scaled(&assignments, scales);
 
         let mut best: Option<GridSearchResult> = None;
         for ((threshold, device_of), est) in feasible.into_iter().zip(estimates) {
@@ -186,8 +233,9 @@ impl<'a> GreedyGridSearch<'a> {
         best.ok_or_else(|| PlanError::Infeasible {
             reason: format!(
                 "no greedy assignment of {} tables to {num_devices} devices fits \
-                 {mem_budget_bytes} bytes per device",
-                tables.len()
+                 the per-device memory budgets (max {} bytes)",
+                tables.len(),
+                budgets.iter().copied().max().unwrap_or(0)
             ),
         })
     }
@@ -204,7 +252,8 @@ impl<'a> GreedyGridSearch<'a> {
         profiles: &[TableProfile],
         order: &[usize],
         num_devices: usize,
-        mem_budget_bytes: u64,
+        budgets: &[u64],
+        scales: Option<&DeviceScales>,
         max_dim: Option<f64>,
     ) -> Option<Vec<usize>> {
         let mut device_tables: Vec<Vec<TableProfile>> = vec![Vec::new(); num_devices];
@@ -217,21 +266,29 @@ impl<'a> GreedyGridSearch<'a> {
         let mut feasible: Vec<usize> = Vec::with_capacity(num_devices);
         let mut key_scratch: Vec<u64> = Vec::with_capacity(num_devices);
 
+        // Effective dimension of a table on device `g`: its traffic share,
+        // inflated by the device's link slowness. On homogeneous fleets
+        // both factors are exact 1.0s, so this is bitwise `dim`.
+        let eff_dim = |p: &TableProfile, g: usize| match scales {
+            Some(s) => p.comm_dim() / s.bandwidth_scale(g),
+            None => p.comm_dim(),
+        };
+
         for &i in order {
             let p = &profiles[i];
             let bytes = p.memory_bytes();
-            let dim = f64::from(p.dim());
             feasible.clear();
             feasible.extend((0..num_devices).filter(|&g| {
-                device_bytes[g] + bytes <= mem_budget_bytes
-                    && max_dim.is_none_or(|cap| device_dims[g] + dim <= cap)
+                device_bytes[g] + bytes <= budgets[g]
+                    && max_dim.is_none_or(|cap| device_dims[g] + eff_dim(p, g) <= cap)
             }));
             if feasible.is_empty() {
                 return None;
             }
             // Predicted device cost with the table added, all feasible
             // devices scored in one batched call straight off the
-            // per-device state.
+            // per-device state. Compute scales are applied *after* the
+            // (raw, cacheable) prediction, mirroring the simulator.
             let costs = self.sim.appended_compute_cost_indexed(
                 &device_tables,
                 &device_keys,
@@ -241,6 +298,10 @@ impl<'a> GreedyGridSearch<'a> {
             );
             let mut best_dev: Option<(usize, f64)> = None;
             for (&g, &cost) in feasible.iter().zip(&costs) {
+                let cost = match scales {
+                    Some(s) => cost * s.compute_scale(g),
+                    None => cost,
+                };
                 if best_dev.is_none_or(|(_, c)| cost < c) {
                     best_dev = Some((g, cost));
                 }
@@ -249,7 +310,7 @@ impl<'a> GreedyGridSearch<'a> {
             device_tables[g].push(*p);
             device_keys[g].add(p);
             device_bytes[g] += bytes;
-            device_dims[g] += dim;
+            device_dims[g] += eff_dim(p, g);
             device_of[i] = g;
         }
         Some(device_of)
@@ -390,6 +451,75 @@ mod tests {
                 .unwrap();
             assert_eq!(parallel, serial, "diverged at {threads} threads");
         }
+    }
+
+    #[test]
+    fn uniform_device_context_is_bit_identical_to_scalar_search() {
+        let sim = sim(2);
+        let tables: Vec<TableConfig> = (0..10)
+            .map(|i| t(i, if i % 3 == 0 { 128 } else { 32 }))
+            .collect();
+        let search = GreedyGridSearch::new(&sim, 7);
+        let scalar = search
+            .search(&tables, 2, nshard_sim::DEFAULT_MEM_BYTES, 65_536)
+            .unwrap();
+        let budgets = [nshard_sim::DEFAULT_MEM_BYTES; 2];
+        let unit = DeviceScales::new(vec![1.0; 2], vec![1.0; 2]);
+        let scaled = search
+            .search_with_devices(&tables, 2, &budgets, Some(&unit), 65_536)
+            .unwrap();
+        assert_eq!(scaled.device_of, scalar.device_of);
+        assert_eq!(
+            scaled.estimated_cost_ms.to_bits(),
+            scalar.estimated_cost_ms.to_bits()
+        );
+        assert_eq!(scaled.max_dim_used, scalar.max_dim_used);
+    }
+
+    #[test]
+    fn per_device_budgets_steer_big_tables() {
+        let sim = sim(2);
+        let search = GreedyGridSearch::new(&sim, 3);
+        // Two 256 KB tables; device 1 can hold at most one byte.
+        let tables: Vec<TableConfig> = (0..2)
+            .map(|i| TableConfig::new(TableId(i), 64, 1024, 5.0, 1.0))
+            .collect();
+        let budgets = [1 << 30, 1];
+        let result = search
+            .search_with_devices(&tables, 2, &budgets, None, 1024)
+            .unwrap();
+        assert_eq!(result.device_of, vec![0, 0]);
+    }
+
+    #[test]
+    fn compute_scales_repel_load_from_slow_devices() {
+        let sim = sim(2);
+        let search = GreedyGridSearch::new(&sim, 3).without_grid();
+        let tables: Vec<TableConfig> = (0..8).map(|i| t(i, 32)).collect();
+        let budgets = [nshard_sim::DEFAULT_MEM_BYTES; 2];
+        // Device 1 is 100x slower: the allocator should load device 0
+        // strictly more heavily than device 1.
+        let slow = DeviceScales::new(vec![1.0, 100.0], vec![1.0, 1.0]);
+        let result = search
+            .search_with_devices(&tables, 2, &budgets, Some(&slow), 65_536)
+            .unwrap();
+        let on_fast = result.device_of.iter().filter(|&&d| d == 0).count();
+        let on_slow = tables.len() - on_fast;
+        assert!(
+            on_fast > on_slow,
+            "fast device got {on_fast} of {} tables",
+            tables.len()
+        );
+    }
+
+    #[test]
+    fn mismatched_budget_count_is_invalid() {
+        let sim = sim(2);
+        let search = GreedyGridSearch::new(&sim, 3);
+        assert!(matches!(
+            search.search_with_devices(&[t(0, 8)], 2, &[1 << 30], None, 1024),
+            Err(PlanError::Invalid { .. })
+        ));
     }
 
     #[test]

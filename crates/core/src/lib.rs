@@ -58,7 +58,7 @@ pub mod pool;
 pub mod repair;
 
 pub use beam::{BeamSearch, BeamSearchResult, SearchPhaseStats};
-pub use eval::{evaluate_plan, evaluate_plan_exact};
+pub use eval::{cluster_for, evaluate_plan, evaluate_plan_exact};
 pub use fallback::{
     size_balanced_plan, FailoverAttribution, FallbackChain, PlanProvenance, PlanSource,
     ProvenanceEvent, ReplanAttribution, ResilientError, ResilientOutcome, RetryPolicy,

@@ -31,7 +31,17 @@ pub struct NeuroShardConfig {
     pub use_cache: bool,
     /// `true` also searches **row-wise** splits (the paper's future-work
     /// extension); default `false` reproduces the paper's search space.
+    /// Works with or without the beam: in the greedy-only configuration
+    /// (`use_beam: false`) a deterministic presplit pass row-halves tables
+    /// too large for any device before allocation.
     pub use_row_wise: bool,
+    /// `true` also searches **replicated** placements of hot tables:
+    /// replicas cost memory on every holder but split the table's lookup
+    /// traffic. Requires `use_beam` (replicas are only proposed during
+    /// beam expansion). Deserializes as `false` when absent, so persisted
+    /// configs from earlier versions load unchanged.
+    #[serde(default)]
+    pub use_replication: bool,
     /// `false` disables batched MLP inference (one single-row forward per
     /// query — the pre-batching engine, kept as a benchmark baseline).
     /// Plans and costs are bit-identical either way.
@@ -57,6 +67,7 @@ impl Default for NeuroShardConfig {
             use_grid: true,
             use_cache: true,
             use_row_wise: false,
+            use_replication: false,
             use_batch: true,
             use_int8: false,
             threads: 0,
@@ -79,18 +90,20 @@ impl NeuroShardConfig {
     /// Rejects configurations whose switches silently contradict each
     /// other instead of letting them become dead config.
     ///
-    /// Today the one rejected combination is `use_row_wise: true` with
-    /// `use_beam: false`: split candidates (column- *and* row-wise) are
-    /// only explored during beam expansion, so disabling the beam makes
-    /// the row-wise request unreachable — historically it was silently
-    /// ignored (see ROADMAP item 4).
+    /// `use_row_wise` is valid in every configuration: with the beam it
+    /// expands the candidate set, and without it a deterministic presplit
+    /// pass still row-halves oversized tables (ROADMAP item 4, now
+    /// first-class). The one rejected combination is `use_replication:
+    /// true` with `use_beam: false`: replicated placements are only
+    /// proposed during beam expansion, so disabling the beam would make
+    /// the replication request dead config.
     ///
     /// # Errors
     ///
-    /// [`ConfigError::RowWiseRequiresBeam`] for the combination above.
+    /// [`ConfigError::ReplicationRequiresBeam`] for the combination above.
     pub fn validate(&self) -> Result<(), ConfigError> {
-        if self.use_row_wise && !self.use_beam {
-            return Err(ConfigError::RowWiseRequiresBeam);
+        if self.use_replication && !self.use_beam {
+            return Err(ConfigError::ReplicationRequiresBeam);
         }
         Ok(())
     }
@@ -99,20 +112,20 @@ impl NeuroShardConfig {
 /// Typed rejection of a contradictory [`NeuroShardConfig`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ConfigError {
-    /// `use_row_wise: true` with `use_beam: false`: row-wise splits are
-    /// only reachable through beam expansion, so the request would be
-    /// silently ignored.
-    RowWiseRequiresBeam,
+    /// `use_replication: true` with `use_beam: false`: replicated
+    /// placements are only reachable through beam expansion, so the
+    /// request would be silently ignored.
+    ReplicationRequiresBeam,
 }
 
 impl std::fmt::Display for ConfigError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ConfigError::RowWiseRequiresBeam => write!(
+            ConfigError::ReplicationRequiresBeam => write!(
                 f,
-                "use_row_wise: true requires use_beam: true — row-wise splits are only \
-                 explored during beam expansion, so this combination would be dead config \
-                 (ROADMAP item 4 tracks first-class row-wise sharding)"
+                "use_replication: true requires use_beam: true — replicated placements \
+                 are only explored during beam expansion, so this combination would be \
+                 dead config"
             ),
         }
     }
@@ -227,6 +240,7 @@ impl NeuroShard {
             })
             .with_m(self.config.m)
             .with_row_wise(self.config.use_row_wise)
+            .with_replication(self.config.use_replication)
             .with_threads(self.config.threads);
         if !self.config.use_grid {
             search = search.without_grid();
@@ -339,13 +353,34 @@ mod tests {
     }
 
     #[test]
-    fn row_wise_without_beam_is_rejected_with_typed_error() {
+    fn row_wise_without_beam_is_accepted_and_live() {
+        // Formerly rejected as dead config (ROADMAP item 4): row-wise is
+        // now first-class in the greedy-only configuration thanks to the
+        // deterministic presplit pass.
         let config = NeuroShardConfig {
             use_row_wise: true,
             use_beam: false,
             ..NeuroShardConfig::smoke()
         };
-        assert_eq!(config.validate(), Err(ConfigError::RowWiseRequiresBeam));
+        assert!(config.validate().is_ok());
+        let ns = sharder(2, config);
+        // An 8 GB tall-skinny table only shards row-wise; the greedy-only
+        // sharder must now handle it rather than reject the config.
+        let tall = TableConfig::new(TableId(0), 4, 512 << 20, 16.0, 1.0);
+        let t = ShardingTask::new(vec![tall], 2, nshard_sim::DEFAULT_MEM_BYTES, 65_536);
+        let outcome = ns.shard_with_stats(&t).unwrap();
+        assert!(outcome.plan.num_row_splits() >= 1);
+        assert!(outcome.plan.validate(&t).is_ok());
+    }
+
+    #[test]
+    fn replication_without_beam_is_rejected_with_typed_error() {
+        let config = NeuroShardConfig {
+            use_replication: true,
+            use_beam: false,
+            ..NeuroShardConfig::smoke()
+        };
+        assert_eq!(config.validate(), Err(ConfigError::ReplicationRequiresBeam));
         let pool = TablePool::synthetic_dlrm(30, 1);
         let bundle = CostModelBundle::pretrain(
             &pool,
@@ -357,17 +392,42 @@ mod tests {
         let err = NeuroShard::try_new(bundle, config).err().unwrap();
         let msg = err.to_string();
         assert!(
-            msg.contains("ROADMAP item 4"),
-            "error must cite the roadmap: {msg}"
+            msg.contains("use_replication") && msg.contains("use_beam"),
+            "error must name both switches: {msg}"
         );
         // The paper's default search space stays valid, including the
-        // beam-less ablation without a row-wise request.
+        // beam-less ablation without a replication request.
         assert!(NeuroShardConfig::default().validate().is_ok());
         let ablation = NeuroShardConfig {
             use_beam: false,
             ..NeuroShardConfig::smoke()
         };
         assert!(ablation.validate().is_ok());
+    }
+
+    #[test]
+    fn replication_config_is_accepted_with_beam() {
+        let config = NeuroShardConfig {
+            use_replication: true,
+            ..NeuroShardConfig::smoke()
+        };
+        let ns = sharder(2, config);
+        let outcome = ns.shard_with_stats(&task(2)).unwrap();
+        assert!(outcome.plan.validate(&task(2)).is_ok());
+    }
+
+    #[test]
+    fn configs_without_replication_field_deserialize() {
+        // A persisted config from before the replication switch existed.
+        let legacy = serde_json::to_string(&NeuroShardConfig::smoke()).unwrap();
+        let legacy = legacy.replace("\"use_replication\":false,", "");
+        assert!(
+            !legacy.contains("use_replication"),
+            "fixture must lack the field: {legacy}"
+        );
+        let parsed: NeuroShardConfig = serde_json::from_str(&legacy).unwrap();
+        assert!(!parsed.use_replication);
+        assert_eq!(parsed, NeuroShardConfig::smoke());
     }
 
     #[test]

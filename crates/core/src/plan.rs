@@ -20,6 +20,11 @@ pub enum SplitKind {
     /// Halve the rows and the pooling workload (the paper's stated
     /// future-work extension for partitioning large tables).
     Row,
+    /// Duplicate a hot table: both "halves" keep the full rows and
+    /// dimension (memory is paid on every holder) but each answers half
+    /// the batch's lookups, splitting the table's compute and all-to-all
+    /// traffic across its holders.
+    Replicate,
 }
 
 /// One step of a generalized sharding plan: split the table at `index`
@@ -46,6 +51,14 @@ impl SplitStep {
         Self {
             index,
             kind: SplitKind::Row,
+        }
+    }
+
+    /// A replication step.
+    pub fn replicate(index: usize) -> Self {
+        Self {
+            index,
+            kind: SplitKind::Replicate,
         }
     }
 }
@@ -169,6 +182,7 @@ pub fn apply_split_plan(
         let halves = match kind {
             SplitKind::Column => list[index].split_columns(),
             SplitKind::Row => list[index].split_rows(),
+            SplitKind::Replicate => list[index].replicate(),
         };
         let (a, b) = halves.ok_or(PlanError::UnsplittableTable {
             step,
@@ -301,6 +315,14 @@ impl ShardingPlan {
             .count()
     }
 
+    /// Number of replication steps taken.
+    pub fn num_replications(&self) -> usize {
+        self.split_plan
+            .iter()
+            .filter(|s| s.kind == SplitKind::Replicate)
+            .count()
+    }
+
     /// Tables grouped by device.
     pub fn device_tables(&self) -> Vec<Vec<TableConfig>> {
         let mut out = vec![Vec::new(); self.num_devices];
@@ -328,11 +350,13 @@ impl ShardingPlan {
         out
     }
 
-    /// Per-device dimension sums.
+    /// Per-device **communication-effective** dimension sums: replicated
+    /// shards count at `dim / replicas` (each holder moves only its share
+    /// of the traffic); ordinary shards count their full dimension.
     pub fn device_dims(&self) -> Vec<f64> {
         let mut out = vec![0.0; self.num_devices];
         for (table, &d) in self.sharded_tables.iter().zip(&self.device_of) {
-            out[d] += f64::from(table.dim());
+            out[d] += table.comm_dim();
         }
         out
     }
@@ -410,11 +434,11 @@ impl ShardingPlan {
             });
         }
         for (d, &bytes) in self.device_bytes().iter().enumerate() {
-            if bytes > task.mem_budget_bytes() {
+            let budget = task.budget_of(d);
+            if bytes > budget {
                 return Err(PlanError::Invalid {
                     reason: format!(
-                        "device {d} holds {bytes} bytes, exceeding the {} byte budget",
-                        task.mem_budget_bytes()
+                        "device {d} holds {bytes} bytes, exceeding its {budget} byte budget"
                     ),
                 });
             }
@@ -458,7 +482,7 @@ pub fn migration_bytes(from: &ShardingPlan, to: &ShardingPlan) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nshard_data::TableId;
+    use nshard_data::{DevicePool, DeviceProfile, TableId};
 
     fn t(id: u32, dim: u32) -> TableConfig {
         TableConfig::new(TableId(id), dim, 1000, 5.0, 1.0)
@@ -622,6 +646,107 @@ mod tests {
             migration_bytes(&whole2, &half_moved),
             sharded[1].memory_bytes()
         );
+    }
+
+    #[test]
+    fn replicate_step_duplicates_hot_tables() {
+        let hot = TableConfig::new(TableId(0), 64, 1000, 8.0, 1.0);
+        let out = apply_split_plan(&[hot], &[SplitStep::replicate(0)]).unwrap();
+        assert_eq!(out.len(), 2);
+        for replica in &out {
+            assert_eq!(replica.dim(), 64); // full columns on every holder
+            assert_eq!(replica.hash_size(), 1000); // full rows on every holder
+            assert_eq!(replica.pooling_factor(), 4.0); // traffic split
+            assert_eq!(replica.replicas(), 2);
+            assert_eq!(replica.memory_bytes(), hot.memory_bytes());
+        }
+    }
+
+    #[test]
+    fn replicate_step_rejects_cold_tables() {
+        let cold = TableConfig::new(TableId(0), 64, 1000, 1.5, 1.0);
+        let err = apply_split_plan(&[cold], &[SplitStep::replicate(0)]).unwrap_err();
+        assert!(matches!(err, PlanError::UnsplittableTable { index: 0, .. }));
+    }
+
+    #[test]
+    fn num_replications_counts_only_replicate_steps() {
+        let tables = vec![TableConfig::new(TableId(0), 64, 1 << 20, 8.0, 1.0)];
+        let steps = vec![
+            SplitStep::column(0),
+            SplitStep::replicate(0),
+            SplitStep::row(1),
+        ];
+        let sharded = apply_split_plan(&tables, &steps).unwrap();
+        let plan = ShardingPlan::with_split_plan(steps, sharded, vec![0, 1, 2, 3], 4).unwrap();
+        assert_eq!(plan.num_column_splits(), 1);
+        assert_eq!(plan.num_replications(), 1);
+        assert_eq!(plan.num_row_splits(), 1);
+    }
+
+    #[test]
+    fn device_dims_weight_replicas_by_comm_share() {
+        let hot = TableConfig::new(TableId(0), 64, 1000, 8.0, 1.0);
+        let steps = vec![SplitStep::replicate(0)];
+        let sharded = apply_split_plan(&[hot], &steps).unwrap();
+        let plan = ShardingPlan::with_split_plan(steps, sharded, vec![0, 1], 2).unwrap();
+        // Each of the two replicas carries half the table's traffic.
+        assert_eq!(plan.device_dims(), vec![32.0, 32.0]);
+        // But memory is paid in full on both holders.
+        assert_eq!(plan.device_bytes(), vec![hot.memory_bytes(); 2]);
+    }
+
+    #[test]
+    fn validate_respects_per_device_budgets() {
+        let small = t(0, 64); // 256 KB
+        let big = TableConfig::new(TableId(1), 64, 1 << 20, 5.0, 1.0); // 256 MB
+        let pool = DevicePool::new(
+            vec![
+                DeviceProfile::new(1 << 30, 1.0, 0), // roomy
+                DeviceProfile::new(1 << 20, 1.0, 0), // 1 MB: fits `small` only
+            ],
+            1.0,
+        );
+        let task = ShardingTask::new(vec![small, big], 2, 1 << 30, 1024).with_devices(pool.clone());
+
+        let good = ShardingPlan::new(vec![], vec![small, big], vec![1, 0], 2).unwrap();
+        assert!(good.validate(&task).is_ok());
+
+        // Same plan flipped: the big table lands on the tight device.
+        let bad = ShardingPlan::new(vec![], vec![small, big], vec![0, 1], 2).unwrap();
+        let err = bad.validate(&task).unwrap_err();
+        assert!(err.to_string().contains("device 1"));
+    }
+
+    #[test]
+    fn migration_bytes_charges_full_replica_mass() {
+        let hot = TableConfig::new(TableId(0), 64, 1000, 8.0, 1.0);
+        let whole = ShardingPlan::new(vec![], vec![hot], vec![0], 2).unwrap();
+        let steps = vec![SplitStep::replicate(0)];
+        let sharded = apply_split_plan(&[hot], &steps).unwrap();
+        let replicated = ShardingPlan::with_split_plan(steps, sharded, vec![0, 1], 2).unwrap();
+        // Standing up the new replica ships the full table to device 1.
+        assert_eq!(migration_bytes(&whole, &replicated), hot.memory_bytes());
+        // Tearing it down moves nothing (bytes are counted at destinations).
+        assert_eq!(migration_bytes(&replicated, &whole), 0);
+    }
+
+    #[test]
+    fn replicated_plans_rebase_onto_drifted_tasks() {
+        let hot = TableConfig::new(TableId(0), 64, 1000, 8.0, 1.0);
+        let steps = vec![SplitStep::replicate(0)];
+        let sharded = apply_split_plan(&[hot], &steps).unwrap();
+        let plan = ShardingPlan::with_split_plan(steps, sharded, vec![0, 1], 2).unwrap();
+
+        let drifted_task = ShardingTask::new(vec![hot.with_pooling_factor(16.0)], 2, 1 << 30, 1024);
+        let rebased = plan.rebase(&drifted_task).unwrap();
+        // The replicate step re-applies: both replicas see the drifted
+        // pooling factor halved, and stay flagged as replicas.
+        for replica in rebased.sharded_tables() {
+            assert_eq!(replica.pooling_factor(), 8.0);
+            assert_eq!(replica.replicas(), 2);
+        }
+        assert!(rebased.validate(&drifted_task).is_ok());
     }
 
     #[test]

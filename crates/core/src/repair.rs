@@ -140,7 +140,7 @@ impl<'a> RepairEngine<'a> {
         plan: &ShardingPlan,
     ) -> Result<RepairReport, PlanError> {
         let num_devices = task.num_devices();
-        let budget = task.mem_budget_bytes();
+        let budgets = task.budgets();
 
         let mut split_plan = plan.split_plan().to_vec();
         let mut tables = plan.sharded_tables().to_vec();
@@ -167,22 +167,23 @@ impl<'a> RepairEngine<'a> {
 
         let initial_overflow_bytes: u64 = bytes_of_device
             .iter()
-            .map(|&b| b.saturating_sub(budget))
+            .zip(&budgets)
+            .map(|(&b, &cap)| b.saturating_sub(cap))
             .sum();
 
         let total: u64 = tables.iter().map(|t| t.memory_bytes()).sum();
-        if total > budget.saturating_mul(num_devices as u64) {
+        let capacity: u64 = budgets.iter().fold(0u64, |acc, &b| acc.saturating_add(b));
+        if total > capacity {
             return Err(PlanError::Infeasible {
                 reason: format!(
-                    "tables need {total} bytes but the cluster holds {} \
-                     ({num_devices} devices x {budget} bytes)",
-                    budget.saturating_mul(num_devices as u64)
+                    "tables need {total} bytes but the cluster holds {capacity} \
+                     across {num_devices} devices"
                 ),
             });
         }
 
         let mut steps = Vec::new();
-        while let Some(offender) = worst_device(&bytes_of_device, budget) {
+        while let Some(offender) = worst_device(&bytes_of_device, &budgets) {
             if steps.len() >= self.config.max_steps {
                 return Err(PlanError::Infeasible {
                     reason: format!(
@@ -208,7 +209,7 @@ impl<'a> RepairEngine<'a> {
                     &bytes_of_device,
                     offender,
                     i,
-                    budget,
+                    &budgets,
                 )
                 .map(|to| (i, to, bytes))
             });
@@ -291,11 +292,11 @@ impl<'a> RepairEngine<'a> {
         bytes_of_device: &[u64],
         from: usize,
         table_idx: usize,
-        budget: u64,
+        budgets: &[u64],
     ) -> Option<usize> {
         let bytes = tables[table_idx].memory_bytes();
         let feasible: Vec<usize> = (0..bytes_of_device.len())
-            .filter(|&d| d != from && bytes_of_device[d].saturating_add(bytes) <= budget)
+            .filter(|&d| d != from && bytes_of_device[d].saturating_add(bytes) <= budgets[d])
             .collect();
         match self.cost {
             Some(cost) => {
@@ -345,13 +346,15 @@ fn least_loaded(bytes: &[u64]) -> usize {
         .expect("at least one device")
 }
 
-/// The most-overloaded device, or `None` when everything fits.
-fn worst_device(bytes: &[u64], budget: u64) -> Option<usize> {
+/// The most-overloaded device (largest overflow above its own budget), or
+/// `None` when everything fits.
+fn worst_device(bytes: &[u64], budgets: &[u64]) -> Option<usize> {
     bytes
         .iter()
+        .zip(budgets)
         .enumerate()
-        .filter(|&(_, &b)| b > budget)
-        .max_by_key(|&(i, &b)| (b, std::cmp::Reverse(i)))
+        .filter(|&(_, (&b, &cap))| b > cap)
+        .max_by_key(|&(i, (&b, &cap))| (b - cap, std::cmp::Reverse(i)))
         .map(|(i, _)| i)
 }
 
@@ -460,6 +463,29 @@ mod tests {
         assert!(report.remapped_devices);
         assert!(report.plan.validate(&task).is_ok());
         assert_eq!(report.plan.num_devices(), 2);
+    }
+
+    #[test]
+    fn repair_honors_per_device_budgets() {
+        use nshard_data::{DevicePool, DeviceProfile};
+        // Three 1 MB tables, all on the tight device (fits one).
+        let tables = vec![t(0, 64, 4096), t(1, 64, 4096), t(2, 64, 4096)];
+        let each = tables[0].memory_bytes();
+        let pool = DevicePool::new(
+            vec![
+                DeviceProfile::new(each * 2, 1.0, 0),
+                DeviceProfile::new(each, 1.0, 0),
+            ],
+            1.0,
+        );
+        let task = ShardingTask::new(tables.clone(), 2, each * 2, 1024).with_devices(pool);
+        let plan = ShardingPlan::new(vec![], tables, vec![1, 1, 1], 2).unwrap();
+        assert!(plan.validate(&task).is_err());
+        let report = RepairEngine::default().repair(&task, &plan).unwrap();
+        assert!(report.plan.validate(&task).is_ok());
+        let bytes = report.plan.device_bytes();
+        assert!(bytes[0] <= each * 2);
+        assert!(bytes[1] <= each, "tight device must end within its budget");
     }
 
     #[test]

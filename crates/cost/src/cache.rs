@@ -74,6 +74,8 @@ const KEY_SEED: u64 = 0x517c_c1b7_2722_0a95;
 const NUM_SHARDS: usize = 16;
 
 /// FNV-style hash of one table profile (the per-table term of the set key).
+/// Folds every cost-relevant field, including the communication share, so a
+/// replica of a table never aliases the unreplicated shard in the cache.
 fn table_hash(t: &TableProfile) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for bits in [
@@ -82,6 +84,7 @@ fn table_hash(t: &TableProfile) -> u64 {
         t.pooling_factor().to_bits(),
         t.unique_frac().to_bits(),
         t.zipf_alpha().to_bits(),
+        t.comm_share().to_bits(),
     ] {
         h ^= bits;
         h = h.wrapping_mul(0x100_0000_01b3);

@@ -48,6 +48,77 @@ pub enum InferenceMode {
     Int8,
 }
 
+/// Per-device heterogeneity scales applied **after** cost-model inference.
+///
+/// The pre-trained models (and their caches) always see the *baseline*
+/// hardware: the feature schema is frozen at [`crate::TABLE_FEATURE_DIM`]
+/// and checkpoints are shared across fleets. Heterogeneity is priced on
+/// top of the raw predictions instead — a device of compute class `s`
+/// multiplies its predicted kernel cost by `s`, and a device whose
+/// effective all-to-all bandwidth is `b ×` baseline contributes its
+/// communication dimension as `dim / b` (moving bytes at `b ×` bandwidth
+/// looks exactly like moving `1/b ×` bytes at baseline).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceScales {
+    compute: Vec<f64>,
+    bandwidth: Vec<f64>,
+}
+
+impl DeviceScales {
+    /// Creates scales from per-device compute-time multipliers and
+    /// effective bandwidth scales.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the vectors' lengths differ, are empty, or any scale is
+    /// not finite and positive.
+    pub fn new(compute: Vec<f64>, bandwidth: Vec<f64>) -> Self {
+        assert_eq!(
+            compute.len(),
+            bandwidth.len(),
+            "compute and bandwidth scales must cover the same devices"
+        );
+        assert!(!compute.is_empty(), "device scales cannot be empty");
+        for s in compute.iter().chain(&bandwidth) {
+            assert!(
+                s.is_finite() && *s > 0.0,
+                "device scales must be finite and positive, got {s}"
+            );
+        }
+        Self { compute, bandwidth }
+    }
+
+    /// Lowers a [`nshard_sim::DevicePool`] to inference scales. Returns
+    /// `None` for a pool with baseline compute and a flat network — the
+    /// caller should then use the unscaled (bit-exact legacy) path.
+    pub fn from_pool(pool: &nshard_sim::DevicePool) -> Option<Self> {
+        if pool.has_uniform_compute() && pool.has_uniform_bandwidth() {
+            return None;
+        }
+        Some(Self::new(pool.compute_scales(), pool.bw_scales()))
+    }
+
+    /// Number of devices covered.
+    pub fn len(&self) -> usize {
+        self.compute.len()
+    }
+
+    /// Whether the scales are empty (never true for constructed scales).
+    pub fn is_empty(&self) -> bool {
+        self.compute.is_empty()
+    }
+
+    /// Compute-time multiplier of device `g`.
+    pub fn compute_scale(&self, g: usize) -> f64 {
+        self.compute[g]
+    }
+
+    /// Effective bandwidth scale of device `g`.
+    pub fn bandwidth_scale(&self, g: usize) -> f64 {
+        self.bandwidth[g]
+    }
+}
+
 /// Training hyperparameters for all three cost models.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TrainSettings {
@@ -677,6 +748,26 @@ impl CostSimulator {
         &self,
         assignments: &[A],
     ) -> Vec<EstimatedCost> {
+        self.estimate_plan_batch_scaled(assignments, None)
+    }
+
+    /// Like [`CostSimulator::estimate_plan_batch`], with optional
+    /// per-device heterogeneity scales (see [`DeviceScales`]): raw model
+    /// predictions — and the cache holding them — are always baseline;
+    /// compute predictions are multiplied by each device's compute class
+    /// and communication dimensions divided by each device's effective
+    /// bandwidth *after* retrieval. `None` is bit-identical to the
+    /// unscaled API.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any assignment's device count differs from the bundle's,
+    /// or if `scales` covers a different number of devices.
+    pub fn estimate_plan_batch_scaled<A: AsRef<[Vec<TableProfile>]>>(
+        &self,
+        assignments: &[A],
+        scales: Option<&DeviceScales>,
+    ) -> Vec<EstimatedCost> {
         let d = self.bundle.num_devices;
         for a in assignments {
             assert_eq!(
@@ -685,13 +776,23 @@ impl CostSimulator {
                 "plan device count does not match the bundle"
             );
         }
-        // One batched compute call over all device sets of all plans.
+        if let Some(s) = scales {
+            assert_eq!(s.len(), d, "device scales do not match the bundle");
+        }
+        // One batched compute call over all device sets of all plans. The
+        // cache stores RAW (baseline-hardware) predictions; heterogeneity
+        // is applied on the way out so cached entries stay fleet-agnostic.
         let flat: Vec<&[TableProfile]> = assignments
             .iter()
             .flat_map(|a| a.as_ref().iter().map(Vec::as_slice))
             .collect();
         let keys: Vec<u64> = flat.iter().map(|s| table_set_key(s)).collect();
-        let compute_flat = self.cached_compute_batch(&keys, |i| flat[i], None);
+        let mut compute_flat = self.cached_compute_batch(&keys, |i| flat[i], None);
+        if let Some(s) = scales {
+            for (i, c) in compute_flat.iter_mut().enumerate() {
+                *c *= s.compute_scale(i % d);
+            }
+        }
 
         let mut dims_all: Vec<Vec<f64>> = Vec::with_capacity(assignments.len());
         let mut fwd_starts_all: Vec<Vec<f64>> = Vec::with_capacity(assignments.len());
@@ -700,7 +801,17 @@ impl CostSimulator {
             dims_all.push(
                 a.as_ref()
                     .iter()
-                    .map(|tables| tables.iter().map(|t| f64::from(t.dim())).sum())
+                    .enumerate()
+                    .map(|(g, tables)| {
+                        // Replicated shards contribute their comm share of
+                        // the dimension; a slow link inflates the effective
+                        // dimension proportionally.
+                        let dim: f64 = tables.iter().map(TableProfile::comm_dim).sum();
+                        match scales {
+                            Some(s) => dim / s.bandwidth_scale(g),
+                            None => dim,
+                        }
+                    })
                     .collect(),
             );
             // Forward comm starts when each device's forward kernel ends.
@@ -859,6 +970,78 @@ mod tests {
             assert_eq!(scalar.total_ms().to_bits(), est.total_ms().to_bits());
             assert_eq!(scalar.compute_per_device, est.compute_per_device);
         }
+    }
+
+    #[test]
+    fn unit_scales_are_bit_identical_to_unscaled() {
+        let sim = CostSimulator::new(quick_bundle(2));
+        let plans = vec![
+            vec![vec![t(64), t(32)], vec![t(16)]],
+            vec![vec![t(8)], vec![t(64), t(8)]],
+        ];
+        let plain = sim.estimate_plan_batch(&plans);
+        // Even explicit all-1.0 scales must not perturb a single bit:
+        // x * 1.0 and x / 1.0 are exact for finite f64.
+        let unit = DeviceScales::new(vec![1.0; 2], vec![1.0; 2]);
+        let scaled = sim.estimate_plan_batch_scaled(&plans, Some(&unit));
+        for (p, s) in plain.iter().zip(&scaled) {
+            assert_eq!(p.total_ms().to_bits(), s.total_ms().to_bits());
+            assert_eq!(p.compute_per_device, s.compute_per_device);
+            assert_eq!(p.fwd_comm_ms.to_bits(), s.fwd_comm_ms.to_bits());
+        }
+    }
+
+    #[test]
+    fn compute_scales_multiply_raw_predictions() {
+        let sim = CostSimulator::new(quick_bundle(2));
+        let plan = vec![vec![t(64), t(32)], vec![t(16)]];
+        let plain = sim.estimate_plan(&plan);
+        let scales = DeviceScales::new(vec![1.0, 3.0], vec![1.0, 1.0]);
+        let scaled = sim
+            .estimate_plan_batch_scaled(&[&plan[..]], Some(&scales))
+            .pop()
+            .unwrap();
+        assert_eq!(
+            scaled.compute_per_device[0].to_bits(),
+            plain.compute_per_device[0].to_bits()
+        );
+        assert!((scaled.compute_per_device[1] - 3.0 * plain.compute_per_device[1]).abs() < 1e-12);
+        // The cache kept raw predictions: estimating unscaled again hits
+        // the same entries and returns the original values.
+        let again = sim.estimate_plan(&plan);
+        assert_eq!(again.compute_per_device, plain.compute_per_device);
+    }
+
+    #[test]
+    fn slow_links_raise_predicted_comm() {
+        let sim = CostSimulator::new(quick_bundle(2));
+        let plan = vec![vec![t(64), t(32)], vec![t(64)]];
+        let plain = sim.estimate_plan(&plan);
+        let scales = DeviceScales::new(vec![1.0, 1.0], vec![1.0, 0.25]);
+        let scaled = sim
+            .estimate_plan_batch_scaled(&[&plan[..]], Some(&scales))
+            .pop()
+            .unwrap();
+        assert!(scaled.fwd_comm_ms > plain.fwd_comm_ms);
+        assert_eq!(scaled.compute_per_device, plain.compute_per_device);
+    }
+
+    #[test]
+    fn replicated_shards_lower_predicted_comm() {
+        let sim = CostSimulator::new(quick_bundle(2));
+        let full = t(64);
+        let replica = t(64).with_comm_share(0.5);
+        let plan_full = vec![vec![full, t(32)], vec![full]];
+        let plan_repl = vec![vec![replica, t(32)], vec![full]];
+        let a = sim.estimate_plan(&plan_full);
+        let b = sim.estimate_plan(&plan_repl);
+        assert!(b.fwd_comm_ms < a.fwd_comm_ms);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn degenerate_device_scales_rejected() {
+        let _ = DeviceScales::new(vec![1.0, 0.0], vec![1.0, 1.0]);
     }
 
     #[test]

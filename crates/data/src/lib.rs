@@ -48,8 +48,13 @@ pub use combination::{CombinationGenerator, TableCombination};
 pub use indices::{expected_distinct_fraction, DistributionStats, IndexGenerator};
 pub use placement::{Placement, PlacementGenerator};
 pub use pool::{PoolStats, TablePool};
-pub use table::{TableConfig, TableId};
+pub use table::{TableConfig, TableId, MIN_ROW_SHARD};
 pub use task::{ShardingTask, TaskGrid};
+
+// Heterogeneous fleet descriptions live in the simulator crate (they are
+// part of the ground-truth cluster model); re-exported here because tasks
+// carry them.
+pub use nshard_sim::{DevicePool, DeviceProfile};
 
 /// The dimension set used for table augmentation and task sampling
 /// throughout the paper: `{4, 8, 16, 32, 64, 128}`.

@@ -45,6 +45,21 @@ pub struct TableConfig {
     hash_size: u64,
     pooling_factor: f64,
     zipf_alpha: f64,
+    /// Replication count of this shard: `1` for ordinary shards, `R` when
+    /// the (hot) table is replicated onto `R` holders. Each replica stores
+    /// the **full** rows but answers only `1/R` of the batch's lookups, so
+    /// replicas carry full memory and a `1/R` communication share.
+    #[serde(default = "default_replicas")]
+    replicas: u32,
+    /// First logical row this shard covers, for row-wise splits: a shard
+    /// holds rows `[row_offset, row_offset + hash_size)` of the original
+    /// table's id space. `0` for unsplit tables.
+    #[serde(default)]
+    row_offset: u64,
+}
+
+fn default_replicas() -> u32 {
+    1
 }
 
 impl TableConfig {
@@ -72,6 +87,8 @@ impl TableConfig {
             hash_size,
             pooling_factor,
             zipf_alpha: zipf_alpha.max(0.0),
+            replicas: 1,
+            row_offset: 0,
         }
     }
 
@@ -98,6 +115,39 @@ impl TableConfig {
     /// Zipf exponent of the index access distribution.
     pub fn zipf_alpha(&self) -> f64 {
         self.zipf_alpha
+    }
+
+    /// Replication count: `1` for ordinary shards, `R` for one of `R`
+    /// replicas of a hot table.
+    pub fn replicas(&self) -> u32 {
+        self.replicas
+    }
+
+    /// Whether this shard is one replica of a replicated table.
+    pub fn is_replicated(&self) -> bool {
+        self.replicas > 1
+    }
+
+    /// Communication-effective dimension: each of `R` replicas carries only
+    /// `1/R` of the table's all-to-all traffic. Exactly `dim` for ordinary
+    /// shards (no floating-point perturbation on the `replicas == 1` path).
+    pub fn comm_dim(&self) -> f64 {
+        if self.replicas > 1 {
+            f64::from(self.dim) / f64::from(self.replicas)
+        } else {
+            f64::from(self.dim)
+        }
+    }
+
+    /// First logical row covered by this (possibly row-wise) shard.
+    pub fn row_offset(&self) -> u64 {
+        self.row_offset
+    }
+
+    /// The half-open logical row range `[start, end)` this shard covers in
+    /// the original table's id space.
+    pub fn row_range(&self) -> (u64, u64) {
+        (self.row_offset, self.row_offset + self.hash_size)
     }
 
     /// Returns a copy with a different dimension (used by table augmentation
@@ -147,13 +197,18 @@ impl TableConfig {
     pub fn profile(&self, batch_size: u32) -> TableProfile {
         let lookups = f64::from(batch_size) * self.pooling_factor;
         let unique = expected_distinct_fraction(self.hash_size, self.zipf_alpha, lookups);
-        TableProfile::new(
+        let profile = TableProfile::new(
             self.dim,
             self.hash_size,
             self.pooling_factor,
             unique,
             self.zipf_alpha,
-        )
+        );
+        if self.replicas > 1 {
+            profile.with_comm_share(1.0 / f64::from(self.replicas))
+        } else {
+            profile
+        }
     }
 
     /// An index generator producing this table's lookup streams.
@@ -192,7 +247,28 @@ impl TableConfig {
         a.pooling_factor = self.pooling_factor / 2.0;
         let mut b = a;
         b.hash_size = self.hash_size - half_rows;
+        b.row_offset = self.row_offset + half_rows;
         Some((a, b))
+    }
+
+    /// Returns two replicas of this (hot) table: each keeps the **full**
+    /// rows and dimension — so replication *costs* memory on every holder —
+    /// but answers half the batch's lookups (half the pooling workload and
+    /// half the all-to-all traffic). Placing the replicas on different
+    /// devices splits a hot table's lookup traffic the way row-wise
+    /// sharding cannot when the heat concentrates in few rows.
+    ///
+    /// Returns `None` when the per-replica pooling workload would drop
+    /// below one index per lookup — replicating a cold table is pure
+    /// memory waste.
+    pub fn replicate(&self) -> Option<(TableConfig, TableConfig)> {
+        if self.pooling_factor < 2.0 {
+            return None;
+        }
+        let mut a = *self;
+        a.pooling_factor = self.pooling_factor / 2.0;
+        a.replicas = self.replicas * 2;
+        Some((a, a))
     }
 }
 
@@ -292,6 +368,66 @@ mod tests {
         let tall = TableConfig::new(TableId(0), 4, 1 << 28, 8.0, 1.0);
         assert!(tall.split_columns().is_none());
         assert!(tall.split_rows().is_some());
+    }
+
+    #[test]
+    fn row_split_partitions_the_row_space() {
+        let t = table();
+        let (a, b) = t.split_rows().unwrap();
+        // The halves tile [0, hash_size) exactly: contiguous, no overlap.
+        assert_eq!(a.row_range().0, 0);
+        assert_eq!(a.row_range().1, b.row_range().0);
+        assert_eq!(b.row_range().1, t.hash_size());
+        // Splitting again keeps tiling the ORIGINAL id space.
+        let (b0, b1) = b.split_rows().unwrap();
+        assert_eq!(b0.row_range().0, b.row_range().0);
+        assert_eq!(b0.row_range().1, b1.row_range().0);
+        assert_eq!(b1.row_range().1, t.hash_size());
+    }
+
+    #[test]
+    fn replicate_keeps_memory_and_halves_traffic() {
+        let t = table();
+        let (a, b) = t.replicate().unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.replicas(), 2);
+        assert!(a.is_replicated());
+        // Every holder pays the table's full memory...
+        assert_eq!(a.memory_bytes(), t.memory_bytes());
+        assert_eq!(a.hash_size(), t.hash_size());
+        // ...but serves half the lookups and moves half the traffic.
+        assert!((a.pooling_factor() - t.pooling_factor() / 2.0).abs() < 1e-12);
+        let p = a.profile(65_536);
+        assert!((p.comm_share() - 0.5).abs() < 1e-12);
+        assert!((p.comm_dim() - f64::from(t.dim()) / 2.0).abs() < 1e-12);
+        // Replicating again compounds: 4 replicas, quarter share.
+        let (aa, _) = a.replicate().unwrap();
+        assert_eq!(aa.replicas(), 4);
+        assert!((aa.profile(65_536).comm_share() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replicate_rejects_cold_tables() {
+        let cold = TableConfig::new(TableId(0), 64, 1 << 20, 1.5, 1.0);
+        assert!(cold.replicate().is_none());
+    }
+
+    #[test]
+    fn unreplicated_profile_has_exact_unit_comm_share() {
+        let p = table().profile(65_536);
+        assert_eq!(p.comm_share().to_bits(), 1.0f64.to_bits());
+    }
+
+    #[test]
+    fn legacy_tables_deserialize_without_new_fields() {
+        // Configs serialized before replication / row offsets existed must
+        // load as ordinary shards.
+        let json = r#"{"id":3,"dim":64,"hash_size":1024,
+                       "pooling_factor":8.0,"zipf_alpha":1.0}"#;
+        let t: TableConfig = serde_json::from_str(json).unwrap();
+        assert_eq!(t.replicas(), 1);
+        assert_eq!(t.row_offset(), 0);
+        assert!(!t.is_replicated());
     }
 
     #[test]

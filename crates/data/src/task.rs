@@ -11,7 +11,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use nshard_sim::TableProfile;
+use nshard_sim::{DevicePool, TableProfile};
 
 use crate::pool::TablePool;
 use crate::table::TableConfig;
@@ -34,6 +34,12 @@ pub struct ShardingTask {
     num_devices: usize,
     mem_budget_bytes: u64,
     batch_size: u32,
+    /// Optional heterogeneous fleet description: per-device memory budgets,
+    /// compute classes and the two-tier network. `None` — and any uniform
+    /// pool — means the classic homogeneous task, where every device has
+    /// `mem_budget_bytes` and baseline compute.
+    #[serde(default)]
+    devices: Option<DevicePool>,
 }
 
 impl ShardingTask {
@@ -55,6 +61,7 @@ impl ShardingTask {
             num_devices,
             mem_budget_bytes,
             batch_size,
+            devices: None,
         }
     }
 
@@ -130,6 +137,44 @@ impl ShardingTask {
         self
     }
 
+    /// Attaches a heterogeneous fleet description (builder-style). The
+    /// pool's per-device budgets override `mem_budget_bytes` device by
+    /// device; `mem_budget_bytes` is also updated to the pool's **largest**
+    /// budget so code that only understands a scalar budget stays
+    /// conservative about what *some* device can hold.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the pool's size differs from the task's device count.
+    pub fn with_devices(mut self, pool: DevicePool) -> Self {
+        assert_eq!(
+            pool.len(),
+            self.num_devices,
+            "device pool size must match the task's device count"
+        );
+        self.mem_budget_bytes = pool.max_budget();
+        self.devices = Some(pool);
+        self
+    }
+
+    /// The heterogeneous fleet description, if any.
+    pub fn device_pool(&self) -> Option<&DevicePool> {
+        self.devices.as_ref()
+    }
+
+    /// The memory budget of device `g`: its pool profile when the task is
+    /// heterogeneous, the scalar budget otherwise.
+    pub fn budget_of(&self, g: usize) -> u64 {
+        self.devices
+            .as_ref()
+            .map_or(self.mem_budget_bytes, |p| p.budget_of(g))
+    }
+
+    /// Per-device memory budgets, in device order.
+    pub fn budgets(&self) -> Vec<u64> {
+        (0..self.num_devices).map(|g| self.budget_of(g)).collect()
+    }
+
     /// Lowers all tables to simulator profiles at the task's batch size.
     pub fn profiles(&self) -> Vec<TableProfile> {
         self.tables
@@ -148,7 +193,11 @@ impl ShardingTask {
     /// `false` guarantees it does not without column-wise sharding of
     /// oversized tables.)
     pub fn aggregate_memory_feasible(&self) -> bool {
-        self.total_bytes() <= self.mem_budget_bytes * self.num_devices as u64
+        let aggregate = self.devices.as_ref().map_or_else(
+            || self.mem_budget_bytes * self.num_devices as u64,
+            DevicePool::total_budget,
+        );
+        self.total_bytes() <= aggregate
     }
 }
 
@@ -326,6 +375,58 @@ mod tests {
             .with_batch_size(256);
         assert_eq!(task.mem_budget_bytes(), 1234);
         assert_eq!(task.batch_size(), 256);
+    }
+
+    #[test]
+    fn device_pool_overrides_scalar_budgets() {
+        let task = ShardingTask::sample(&pool(), 4, 10..=20, 64, 3).with_devices(
+            nshard_sim::DevicePool::two_tier(2, 4 << 30, 2, 1 << 30, 1.5, 0.5),
+        );
+        assert_eq!(task.budget_of(0), 4 << 30);
+        assert_eq!(task.budget_of(3), 1 << 30);
+        assert_eq!(task.budgets(), vec![4 << 30, 4 << 30, 1 << 30, 1 << 30]);
+        // The scalar budget snaps to the largest device.
+        assert_eq!(task.mem_budget_bytes(), 4 << 30);
+        assert!(task.device_pool().is_some());
+    }
+
+    #[test]
+    fn uniform_tasks_have_scalar_budgets_everywhere() {
+        let task = ShardingTask::sample(&pool(), 4, 10..=20, 64, 3).with_mem_budget(1 << 30);
+        assert_eq!(task.budget_of(0), 1 << 30);
+        assert_eq!(task.budget_of(3), 1 << 30);
+        assert!(task.device_pool().is_none());
+    }
+
+    #[test]
+    fn aggregate_feasibility_uses_pool_budgets() {
+        let tables = vec![TableConfig::new(
+            crate::table::TableId(0),
+            64,
+            1 << 22, // 1 GB
+            8.0,
+            1.0,
+        )];
+        // Scalar: 2 devices x 256 MB < 1 GB -> infeasible.
+        let scalar = ShardingTask::new(tables.clone(), 2, 256 << 20, 65_536);
+        assert!(!scalar.aggregate_memory_feasible());
+        // Pool: one roomy device makes the aggregate feasible.
+        let pooled = scalar.with_devices(nshard_sim::DevicePool::two_tier(
+            1,
+            2 << 30,
+            1,
+            256 << 20,
+            1.0,
+            1.0,
+        ));
+        assert!(pooled.aggregate_memory_feasible());
+    }
+
+    #[test]
+    #[should_panic(expected = "pool size must match")]
+    fn mismatched_pool_size_panics() {
+        let _ = ShardingTask::sample(&pool(), 4, 10..=20, 64, 3)
+            .with_devices(nshard_sim::DevicePool::uniform(2, 1 << 30));
     }
 
     proptest! {

@@ -245,6 +245,26 @@ impl WorkloadDrift {
             })
     }
 
+    /// A skew-dominated trace for heterogeneous-placement experiments: a
+    /// narrow, slowly rotating hotspot with a strongly sharpened Zipf
+    /// exponent concentrates most lookup traffic on a few tables — the
+    /// regime where replicated placements of hot tables pay off. Slow
+    /// background growth keeps the rest of the pool moving. Deterministic
+    /// per seed.
+    pub fn zipf_skew(base: ShardingTask, seed: u64) -> Self {
+        Self::new(base, seed)
+            .with_model(DriftModel::HotspotShift {
+                period: 32,
+                boost: 6.0,
+                width: 0.1,
+                skew_shift: 0.4,
+            })
+            .with_model(DriftModel::GradualGrowth {
+                pooling_rate: 0.01,
+                rows_rate: 0.0,
+            })
+    }
+
     /// The base (epoch-0 reference) task.
     pub fn base(&self) -> &ShardingTask {
         &self.base
@@ -272,9 +292,10 @@ impl WorkloadDrift {
 
     /// The workload at `epoch`: the base task with every table's pooling
     /// factor, hash size and Zipf skew adjusted by the composed drift
-    /// factors. Table count, ids, dimensions, device count, memory budget
-    /// and batch size never change — drift evolves traffic, not the model
-    /// architecture. Bit-deterministic per `(base, models, seed, epoch)`.
+    /// factors. Table count, ids, dimensions, device count, memory budget,
+    /// batch size and the heterogeneous device pool (if any) never change
+    /// — drift evolves traffic, not the fleet. Bit-deterministic per
+    /// `(base, models, seed, epoch)`.
     pub fn task_at(&self, epoch: u64) -> ShardingTask {
         let tables: Vec<TableConfig> = self
             .base
@@ -292,12 +313,16 @@ impl WorkloadDrift {
                     .with_zipf_alpha(alpha)
             })
             .collect();
-        ShardingTask::new(
+        let task = ShardingTask::new(
             tables,
             self.base.num_devices(),
             self.base.mem_budget_bytes(),
             self.base.batch_size(),
-        )
+        );
+        match self.base.device_pool() {
+            Some(pool) => task.with_devices(pool.clone()),
+            None => task,
+        }
     }
 }
 
@@ -417,6 +442,47 @@ mod tests {
         let bwd: Vec<ShardingTask> = (0..12).rev().map(|e| b.task_at(e)).collect();
         for (e, task) in fwd.iter().enumerate() {
             assert_eq!(*task, bwd[11 - e], "epoch {e} diverged");
+        }
+    }
+
+    #[test]
+    fn drifted_tasks_keep_the_device_pool() {
+        use nshard_data::DevicePool;
+        let pooled = base().with_devices(DevicePool::two_tier(1, 4 << 30, 1, 1 << 30, 2.0, 0.25));
+        let drift = WorkloadDrift::standard(pooled.clone(), 3);
+        for epoch in [0, 1, 9] {
+            let t = drift.task_at(epoch);
+            assert_eq!(
+                t.device_pool(),
+                pooled.device_pool(),
+                "epoch {epoch} dropped the fleet description"
+            );
+            assert_eq!(t.budgets(), pooled.budgets());
+        }
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_traffic_on_a_few_tables() {
+        let drift = WorkloadDrift::zipf_skew(base(), 11);
+        let t = drift.task_at(2);
+        let boosted: Vec<usize> = t
+            .tables()
+            .iter()
+            .zip(drift.base().tables())
+            .enumerate()
+            .filter(|(_, (now, then))| now.pooling_factor() > then.pooling_factor() * 2.0)
+            .map(|(i, _)| i)
+            .collect();
+        assert!(!boosted.is_empty(), "a hot subset must exist");
+        assert!(
+            boosted.len() * 4 <= t.num_tables(),
+            "the hot subset must be narrow: {} of {}",
+            boosted.len(),
+            t.num_tables()
+        );
+        // And the skew sharpens on exactly the hot subset.
+        for &i in &boosted {
+            assert!(t.tables()[i].zipf_alpha() > drift.base().tables()[i].zipf_alpha());
         }
     }
 

@@ -152,6 +152,7 @@ impl PlanDelta {
                     let halves = match kind {
                         SplitKind::Column => tables[table].split_columns(),
                         SplitKind::Row => tables[table].split_rows(),
+                        SplitKind::Replicate => tables[table].replicate(),
                     }
                     .ok_or(PlanError::UnsplittableTable {
                         step: i,

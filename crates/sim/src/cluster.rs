@@ -11,6 +11,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::comm::{CommCosts, CommParams};
 use crate::device::GpuSpec;
+use crate::devices::DevicePool;
 use crate::error::SimError;
 use crate::fault::FaultPlan;
 use crate::kernel::profile_stream;
@@ -137,6 +138,11 @@ pub struct Cluster {
     num_devices: usize,
     batch_size: u32,
     noise: NoiseModel,
+    /// Optional heterogeneous fleet description. `None` (and any uniform
+    /// pool) evaluates through the bit-exact homogeneous paths; serialized
+    /// clusters from before heterogeneity load as `None`.
+    #[serde(default)]
+    devices: Option<DevicePool>,
 }
 
 impl Cluster {
@@ -153,6 +159,7 @@ impl Cluster {
             num_devices,
             batch_size,
             noise: NoiseModel::default(),
+            devices: None,
         }
     }
 
@@ -160,6 +167,48 @@ impl Cluster {
     pub fn with_noise(mut self, noise: NoiseModel) -> Self {
         self.noise = noise;
         self
+    }
+
+    /// Attaches a heterogeneous fleet description (builder-style): the
+    /// pool's per-device memory budgets override the spec's budget, kernel
+    /// times scale by each device's compute multiplier, and the two-tier
+    /// network reshapes the all-to-all. A uniform pool behaves exactly
+    /// like `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the pool's size differs from the cluster's device count.
+    pub fn with_devices(mut self, pool: DevicePool) -> Self {
+        assert_eq!(
+            pool.len(),
+            self.num_devices,
+            "device pool size must match the cluster's device count"
+        );
+        self.devices = Some(pool);
+        self
+    }
+
+    /// The heterogeneous fleet description, if any.
+    pub fn device_pool(&self) -> Option<&DevicePool> {
+        self.devices.as_ref()
+    }
+
+    /// The memory budget of device `g`: its pool profile when the cluster
+    /// is heterogeneous, the spec's budget otherwise.
+    pub fn budget_of(&self, g: usize) -> u64 {
+        self.devices
+            .as_ref()
+            .map_or(self.spec.mem_budget_bytes(), |p| p.budget_of(g))
+    }
+
+    /// The compute-time multiplier of device `g` (`1.0` when uniform).
+    pub fn compute_scale_of(&self, g: usize) -> f64 {
+        self.devices.as_ref().map_or(1.0, |p| p.compute_scale_of(g))
+    }
+
+    /// The node of device `g` (`0` when no pool is attached).
+    pub fn node_of(&self, g: usize) -> usize {
+        self.devices.as_ref().map_or(0, |p| p.node_of(g))
     }
 
     /// The device specification.
@@ -210,7 +259,7 @@ impl Cluster {
         }
         for (g, tables) in assignment.iter().enumerate() {
             let required: u64 = tables.iter().map(TableProfile::memory_bytes).sum();
-            let budget = faults.effective_budget_bytes(g, self.spec.mem_budget_bytes());
+            let budget = faults.effective_budget_bytes(g, self.budget_of(g));
             if required > budget {
                 return Err(SimError::OutOfMemory {
                     device: g,
@@ -222,11 +271,13 @@ impl Cluster {
         Ok(())
     }
 
-    /// Device dimension (sum of table dimensions) of each device.
+    /// Device dimension (sum of communication-effective table dimensions)
+    /// of each device. Replicated shards count at `dim × comm_share`; for
+    /// ordinary shards this is exactly the dimension sum it always was.
     pub fn device_dims(assignment: &[Vec<TableProfile>]) -> Vec<f64> {
         assignment
             .iter()
-            .map(|tables| tables.iter().map(|t| f64::from(t.dim())).sum())
+            .map(|tables| tables.iter().map(TableProfile::comm_dim).sum())
             .collect()
     }
 
@@ -314,12 +365,20 @@ impl Cluster {
             None => NoiseModel::disabled(),
         };
 
+        // Per-device kernel slowdown: injected straggler faults × the
+        // device's hardware class × slow-node-class faults. Every factor is
+        // exactly 1.0 on a healthy homogeneous cluster, and `x * 1.0` is a
+        // bitwise identity, so the legacy path is unchanged.
+        let slowdown = |g: usize| {
+            faults.compute_slowdown(g)
+                * self.compute_scale_of(g)
+                * faults.node_slowdown(self.node_of(g))
+        };
         let fwd_compute: Vec<f64> = assignment
             .iter()
             .enumerate()
             .map(|(g, tables)| {
-                let base =
-                    kernel.multi_forward_ms(tables, self.batch_size) * faults.compute_slowdown(g);
+                let base = kernel.multi_forward_ms(tables, self.batch_size) * slowdown(g);
                 noise.median_measurement(base, MEASURE_REPEATS, profile_stream(tables))
             })
             .collect();
@@ -327,27 +386,56 @@ impl Cluster {
             .iter()
             .enumerate()
             .map(|(g, tables)| {
-                let base =
-                    kernel.multi_backward_ms(tables, self.batch_size) * faults.compute_slowdown(g);
+                let base = kernel.multi_backward_ms(tables, self.batch_size) * slowdown(g);
                 noise.median_measurement(base, MEASURE_REPEATS, profile_stream(tables) ^ 0x1)
             })
             .collect();
 
         let dims = Self::device_dims(assignment);
-        // Forward comm starts when each device's forward kernel completes.
-        let comm_costs: CommCosts = comm.measure_costs_ms(
-            &dims,
-            &fwd_compute,
-            self.batch_size,
-            &noise,
-            MEASURE_REPEATS,
-        );
         // Backward comm starts synchronously (the dense backward between the
         // two collectives is data-parallel and identical across devices).
         let bwd_starts = vec![0.0; dims.len()];
-        let bwd_comm = comm
-            .measure_costs_ms(&dims, &bwd_starts, self.batch_size, &noise, MEASURE_REPEATS)
-            .bwd;
+        let (comm_costs, bwd_comm): (CommCosts, Vec<f64>) = match self.tiered_bw_scales(faults) {
+            // Two-tier network (or asymmetric link faults): per-device
+            // bandwidth scales through the tiered comm law.
+            Some(scales) => {
+                // Forward comm starts when each device's forward kernel
+                // completes.
+                let fwd = comm.measure_costs_ms_tiered(
+                    &dims,
+                    &fwd_compute,
+                    &scales,
+                    self.batch_size,
+                    &noise,
+                    MEASURE_REPEATS,
+                );
+                let bwd = comm
+                    .measure_costs_ms_tiered(
+                        &dims,
+                        &bwd_starts,
+                        &scales,
+                        self.batch_size,
+                        &noise,
+                        MEASURE_REPEATS,
+                    )
+                    .bwd;
+                (fwd, bwd)
+            }
+            // Flat network: the original (fixture-pinned) code path.
+            None => {
+                let fwd = comm.measure_costs_ms(
+                    &dims,
+                    &fwd_compute,
+                    self.batch_size,
+                    &noise,
+                    MEASURE_REPEATS,
+                );
+                let bwd = comm
+                    .measure_costs_ms(&dims, &bwd_starts, self.batch_size, &noise, MEASURE_REPEATS)
+                    .bwd;
+                (fwd, bwd)
+            }
+        };
 
         let devices = (0..self.num_devices)
             .map(|g| DeviceCost {
@@ -358,6 +446,29 @@ impl Cluster {
             })
             .collect();
         Ok(PlanCosts { devices })
+    }
+
+    /// Per-device bandwidth scales when the network is *not* flat — from
+    /// the pool's two-tier topology and/or asymmetric inter-node link
+    /// faults. `None` on a flat healthy network, routing evaluation
+    /// through the bit-exact uniform comm path.
+    fn tiered_bw_scales(&self, faults: &FaultPlan) -> Option<Vec<f64>> {
+        let pool_tiered = self
+            .devices
+            .as_ref()
+            .is_some_and(|p| !p.has_uniform_bandwidth());
+        let fault_tiered = faults.has_node_link_faults();
+        if !pool_tiered && !fault_tiered {
+            return None;
+        }
+        Some(
+            (0..self.num_devices)
+                .map(|g| {
+                    let pool_scale = self.devices.as_ref().map_or(1.0, |p| p.bw_scale_of(g));
+                    pool_scale * faults.node_link_scale(self.node_of(g))
+                })
+                .collect(),
+        )
     }
 }
 
@@ -374,6 +485,7 @@ fn degraded_comm(comm: &CommParams, faults: &FaultPlan) -> CommParams {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::devices::DeviceProfile;
     use proptest::prelude::*;
 
     fn t(dim: u32) -> TableProfile {
@@ -532,6 +644,103 @@ mod tests {
         assert!(costs.balance() > 0.0 && costs.balance() <= 1.0);
         let d0 = costs.devices()[0];
         assert!((d0.total_ms() - (d0.compute_ms() + d0.comm_ms())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_pool_is_bit_identical_to_no_pool() {
+        let plain = cluster(4);
+        let pooled = cluster(4).with_devices(DevicePool::uniform(
+            4,
+            GpuSpec::rtx_2080_ti().mem_budget_bytes(),
+        ));
+        let plan = vec![vec![t(64), t(32)], vec![t(64)], vec![t(16)], vec![t(128)]];
+        assert_eq!(plain.evaluate_exact(&plan), pooled.evaluate_exact(&plan));
+        assert_eq!(
+            plain.evaluate(&plan, 17).unwrap(),
+            pooled.evaluate(&plan, 17).unwrap()
+        );
+    }
+
+    #[test]
+    fn slow_device_class_scales_its_compute() {
+        let budget = GpuSpec::rtx_2080_ti().mem_budget_bytes();
+        // Flat network (inter scale 1.0): only the compute multiplier acts.
+        let pool = DevicePool::two_tier(1, budget, 1, budget, 2.0, 1.0);
+        let hetero = cluster(2)
+            .with_devices(pool)
+            .with_noise(NoiseModel::disabled());
+        let plain = cluster(2).with_noise(NoiseModel::disabled());
+        let plan = vec![vec![t(64)], vec![t(64)]];
+        let h = hetero.evaluate_exact(&plan).unwrap();
+        let p = plain.evaluate_exact(&plan).unwrap();
+        // Device 0 (fast class) keeps its kernel time bit-for-bit.
+        assert_eq!(
+            h.devices()[0].compute_fwd_ms.to_bits(),
+            p.devices()[0].compute_fwd_ms.to_bits()
+        );
+        // Device 1 (slow class) runs exactly 2x slower kernels.
+        assert!(
+            (h.devices()[1].compute_fwd_ms - 2.0 * p.devices()[1].compute_fwd_ms).abs() < 1e-12
+        );
+        assert!(
+            (h.devices()[1].compute_bwd_ms - 2.0 * p.devices()[1].compute_bwd_ms).abs() < 1e-12
+        );
+        assert!(h.max_total_ms() > p.max_total_ms());
+    }
+
+    #[test]
+    fn two_tier_network_raises_comm_costs() {
+        let budget = GpuSpec::rtx_2080_ti().mem_budget_bytes();
+        let flat = cluster(4)
+            .with_devices(DevicePool::two_tier(2, budget, 2, budget, 1.0, 1.0))
+            .with_noise(NoiseModel::disabled());
+        let tiered = cluster(4)
+            .with_devices(DevicePool::two_tier(2, budget, 2, budget, 1.0, 0.25))
+            .with_noise(NoiseModel::disabled());
+        let plan = vec![vec![t(64)], vec![t(64)], vec![t(64)], vec![t(64)]];
+        let f = flat.evaluate_exact(&plan).unwrap();
+        let s = tiered.evaluate_exact(&plan).unwrap();
+        for (a, b) in s.devices().iter().zip(f.devices()) {
+            assert!((a.compute_fwd_ms - b.compute_fwd_ms).abs() < 1e-12);
+            assert!(a.comm_fwd_ms > b.comm_fwd_ms);
+            assert!(a.comm_bwd_ms > b.comm_bwd_ms);
+        }
+    }
+
+    #[test]
+    fn per_device_budgets_are_enforced() {
+        let table = t(64);
+        let pool = DevicePool::new(
+            vec![
+                DeviceProfile::new(2 * table.memory_bytes(), 1.0, 0),
+                DeviceProfile::new(table.memory_bytes() - 1, 1.0, 0),
+            ],
+            1.0,
+        );
+        let c = cluster(2).with_devices(pool);
+        assert_eq!(c.budget_of(0), 2 * table.memory_bytes());
+        // The same load fits the roomy device and overflows the tight one.
+        c.check_memory(&[vec![table], vec![]]).unwrap();
+        match c.check_memory(&[vec![], vec![table]]) {
+            Err(SimError::OutOfMemory { device, .. }) => assert_eq!(device, 1),
+            other => panic!("expected OutOfMemory on device 1, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn replicated_shards_shrink_comm_dims_only() {
+        // comm_share weights device_dims but leaves memory accounting alone.
+        let full = t(64);
+        let replica = t(64).with_comm_share(0.5);
+        let dims = Cluster::device_dims(&[vec![replica], vec![full]]);
+        assert_eq!(dims, vec![32.0, 64.0]);
+        assert_eq!(replica.memory_bytes(), full.memory_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "pool size must match")]
+    fn mismatched_pool_size_panics() {
+        let _ = cluster(4).with_devices(DevicePool::uniform(2, 1 << 30));
     }
 
     proptest! {

@@ -102,6 +102,27 @@ pub enum Fault {
         /// Index of the crashed node.
         node: usize,
     },
+    /// Every device in **training-cluster node** `node` computes
+    /// `slowdown`× slower (a whole host throttling: shared power cap,
+    /// firmware regression, a bad rack). Which devices sit in which node
+    /// comes from the cluster's [`crate::DevicePool`]; on a cluster with
+    /// no pool every device is node 0.
+    SlowNodeClass {
+        /// Index of the slow training-cluster node.
+        node: usize,
+        /// Kernel-time multiplier for every device of the node, `>= 1.0`.
+        slowdown: f64,
+    },
+    /// The links of **training-cluster node** `node` to the rest of the
+    /// fabric degrade to `bandwidth_scale` of their calibrated bandwidth —
+    /// an *asymmetric* cut: only devices in that node see it, unlike
+    /// [`Fault::DegradedLinks`] which slows the whole collective.
+    NodeLinkDegradation {
+        /// Index of the training-cluster node behind the bad links.
+        node: usize,
+        /// Multiplier on the node's link bandwidth, in `(0, 1]`.
+        bandwidth_scale: f64,
+    },
 }
 
 /// A seeded, composable set of injected faults.
@@ -172,6 +193,22 @@ impl FaultPlan {
                 );
             }
             Fault::NodeCrash { .. } => {}
+            Fault::SlowNodeClass { slowdown, .. } => {
+                assert!(
+                    slowdown.is_finite() && *slowdown >= 1.0,
+                    "node-class slowdown must be finite and >= 1.0, got {slowdown}"
+                );
+            }
+            Fault::NodeLinkDegradation {
+                bandwidth_scale, ..
+            } => {
+                assert!(
+                    bandwidth_scale.is_finite()
+                        && *bandwidth_scale > 0.0
+                        && *bandwidth_scale <= 1.0,
+                    "node link bandwidth scale must be in (0, 1], got {bandwidth_scale}"
+                );
+            }
         }
         self.faults.push(fault);
         self
@@ -283,6 +320,44 @@ impl FaultPlan {
             .any(|f| matches!(f, Fault::NodeCrash { node: n } if *n == node))
     }
 
+    /// Combined kernel-time multiplier for every device of training-cluster
+    /// `node` (product of all matching [`Fault::SlowNodeClass`] faults;
+    /// `1.0` when the node is healthy).
+    pub fn node_slowdown(&self, node: usize) -> f64 {
+        self.faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::SlowNodeClass { node: n, slowdown } if *n == node => Some(*slowdown),
+                _ => None,
+            })
+            .product()
+    }
+
+    /// Combined link-bandwidth multiplier for training-cluster `node`
+    /// (product of all matching [`Fault::NodeLinkDegradation`] faults;
+    /// `1.0` when the node's links are healthy).
+    pub fn node_link_scale(&self, node: usize) -> f64 {
+        self.faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::NodeLinkDegradation {
+                    node: n,
+                    bandwidth_scale,
+                } if *n == node => Some(*bandwidth_scale),
+                _ => None,
+            })
+            .product()
+    }
+
+    /// `true` when any [`Fault::NodeLinkDegradation`] is injected — the
+    /// signal for [`Cluster`] to switch to the per-device tiered
+    /// communication law even on an otherwise flat fabric.
+    pub fn has_node_link_faults(&self) -> bool {
+        self.faults
+            .iter()
+            .any(|f| matches!(f, Fault::NodeLinkDegradation { .. }))
+    }
+
     /// Samples a random fault scenario for chaos testing: up to two
     /// stragglers, an optional link degradation, optional memory pressure
     /// and an optional transient failure rate, all drawn deterministically
@@ -347,11 +422,15 @@ impl FaultyCluster {
         &self.faults
     }
 
-    /// Per-device *effective* memory budgets under memory pressure.
+    /// Per-device *effective* memory budgets under memory pressure,
+    /// starting from each device's own budget (heterogeneous pools keep
+    /// their per-device profiles).
     pub fn effective_budgets(&self) -> Vec<u64> {
-        let base = self.cluster.spec().mem_budget_bytes();
         (0..self.cluster.num_devices())
-            .map(|d| self.faults.effective_budget_bytes(d, base))
+            .map(|d| {
+                self.faults
+                    .effective_budget_bytes(d, self.cluster.budget_of(d))
+            })
             .collect()
     }
 
@@ -554,6 +633,12 @@ mod tests {
                     Fault::NodeCrash { node } => {
                         panic!("sampled() never draws control-plane faults, got NodeCrash {node}")
                     }
+                    Fault::SlowNodeClass { node, .. } => {
+                        panic!("sampled() never draws node-class faults, got SlowNodeClass {node}")
+                    }
+                    Fault::NodeLinkDegradation { node, .. } => panic!(
+                        "sampled() never draws node-class faults, got NodeLinkDegradation {node}"
+                    ),
                 }
             }
         }
@@ -577,6 +662,154 @@ mod tests {
             clean.evaluate_exact(&plan),
             faulty(faults).evaluate_exact(&plan)
         );
+    }
+
+    #[test]
+    fn slow_node_class_slows_every_device_of_that_node() {
+        use crate::devices::DevicePool;
+        let budget = GpuSpec::rtx_2080_ti().mem_budget_bytes();
+        // Four otherwise-identical devices split across two nodes on a flat
+        // network; the fault hits node 1 (devices 2 and 3) only.
+        let cluster = Cluster::new(GpuSpec::rtx_2080_ti(), 4, 65_536)
+            .with_devices(DevicePool::two_tier(2, budget, 2, budget, 1.0, 1.0));
+        let plan = vec![vec![t(64)], vec![t(64)], vec![t(64)], vec![t(64)]];
+        let clean = cluster.evaluate_exact(&plan).unwrap();
+        let slow = FaultyCluster::new(
+            cluster,
+            FaultPlan::new(0).with_fault(Fault::SlowNodeClass {
+                node: 1,
+                slowdown: 2.0,
+            }),
+        )
+        .evaluate_exact(&plan)
+        .unwrap();
+        for g in 0..2 {
+            assert_eq!(
+                slow.devices()[g].compute_fwd_ms.to_bits(),
+                clean.devices()[g].compute_fwd_ms.to_bits(),
+                "node-0 device {g} must keep its kernel time bit-for-bit"
+            );
+        }
+        for g in 2..4 {
+            assert!(
+                (slow.devices()[g].compute_fwd_ms - 2.0 * clean.devices()[g].compute_fwd_ms).abs()
+                    < 1e-12,
+                "node-1 device {g} must run exactly 2x slower"
+            );
+        }
+        assert!(slow.max_total_ms() > clean.max_total_ms());
+    }
+
+    #[test]
+    fn node_link_degradation_is_asymmetric() {
+        use crate::devices::DevicePool;
+        let budget = GpuSpec::rtx_2080_ti().mem_budget_bytes();
+        let cluster = Cluster::new(GpuSpec::rtx_2080_ti(), 4, 65_536)
+            .with_devices(DevicePool::two_tier(2, budget, 2, budget, 1.0, 1.0));
+        let plan = vec![vec![t(64)], vec![t(64)], vec![t(64)], vec![t(64)]];
+        let clean = cluster.evaluate_exact(&plan).unwrap();
+        let faults = FaultPlan::new(0).with_fault(Fault::NodeLinkDegradation {
+            node: 1,
+            bandwidth_scale: 0.25,
+        });
+        assert!(faults.has_node_link_faults());
+        assert!((faults.node_link_scale(1) - 0.25).abs() < 1e-12);
+        assert!((faults.node_link_scale(0) - 1.0).abs() < 1e-12);
+        let cut = FaultyCluster::new(cluster, faults)
+            .evaluate_exact(&plan)
+            .unwrap();
+        // Compute untouched everywhere; node-1 devices move their bytes on
+        // a 4x slower link, so their own transfers dominate the collective
+        // and every participant's comm rises (the straggler gates the
+        // all-to-all).
+        for (c, k) in cut.devices().iter().zip(clean.devices()) {
+            assert!((c.compute_fwd_ms - k.compute_fwd_ms).abs() < 1e-12);
+            assert!(c.comm_fwd_ms >= k.comm_fwd_ms);
+        }
+        assert!(cut.max_total_ms() > clean.max_total_ms());
+    }
+
+    #[test]
+    fn node_faults_on_poolless_cluster_hit_node_zero() {
+        // Without a DevicePool every device sits in node 0, so a node-0
+        // link fault degrades the whole collective and a node-1 fault is
+        // inert.
+        let plan = vec![vec![t(64)], vec![t(32)]];
+        let clean = faulty(FaultPlan::new(0)).evaluate_exact(&plan).unwrap();
+        let hit = faulty(FaultPlan::new(0).with_fault(Fault::NodeLinkDegradation {
+            node: 0,
+            bandwidth_scale: 0.5,
+        }))
+        .evaluate_exact(&plan)
+        .unwrap();
+        assert!(hit.max_total_ms() > clean.max_total_ms());
+        let inert = faulty(FaultPlan::new(0).with_fault(Fault::SlowNodeClass {
+            node: 1,
+            slowdown: 3.0,
+        }))
+        .evaluate_exact(&plan)
+        .unwrap();
+        assert_eq!(inert, clean);
+    }
+
+    #[test]
+    fn node_faults_compose_multiplicatively() {
+        let faults = FaultPlan::new(0)
+            .with_fault(Fault::SlowNodeClass {
+                node: 0,
+                slowdown: 2.0,
+            })
+            .with_fault(Fault::SlowNodeClass {
+                node: 0,
+                slowdown: 1.5,
+            })
+            .with_fault(Fault::NodeLinkDegradation {
+                node: 1,
+                bandwidth_scale: 0.5,
+            })
+            .with_fault(Fault::NodeLinkDegradation {
+                node: 1,
+                bandwidth_scale: 0.5,
+            });
+        assert!((faults.node_slowdown(0) - 3.0).abs() < 1e-12);
+        assert!((faults.node_slowdown(1) - 1.0).abs() < 1e-12);
+        assert!((faults.node_link_scale(1) - 0.25).abs() < 1e-12);
+        assert!((faults.node_link_scale(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heterogeneous_budgets_survive_memory_pressure() {
+        use crate::devices::DevicePool;
+        let cluster = Cluster::new(GpuSpec::rtx_2080_ti(), 2, 65_536)
+            .with_devices(DevicePool::two_tier(1, 4 << 30, 1, 1 << 30, 1.0, 1.0));
+        let f = FaultyCluster::new(
+            cluster,
+            FaultPlan::new(0).with_fault(Fault::MemoryPressure {
+                device: 1,
+                usable_fraction: 0.5,
+            }),
+        );
+        let budgets = f.effective_budgets();
+        assert_eq!(budgets[0], 4 << 30);
+        assert_eq!(budgets[1], 512 << 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "node-class slowdown must be finite and >= 1.0")]
+    fn invalid_node_slowdown_rejected() {
+        let _ = FaultPlan::new(0).with_fault(Fault::SlowNodeClass {
+            node: 0,
+            slowdown: 0.9,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "node link bandwidth scale must be in (0, 1]")]
+    fn invalid_node_link_scale_rejected() {
+        let _ = FaultPlan::new(0).with_fault(Fault::NodeLinkDegradation {
+            node: 0,
+            bandwidth_scale: 1.5,
+        });
     }
 
     #[test]

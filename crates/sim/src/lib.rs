@@ -47,6 +47,7 @@
 pub mod cluster;
 pub mod comm;
 pub mod device;
+pub mod devices;
 pub mod error;
 pub mod fault;
 pub mod kernel;
@@ -57,6 +58,7 @@ pub mod trace;
 pub use cluster::{Cluster, DeviceCost, PlanCosts};
 pub use comm::{CommCosts, CommParams};
 pub use device::GpuSpec;
+pub use devices::{DevicePool, DeviceProfile};
 pub use error::SimError;
 pub use fault::{Fault, FaultPlan, FaultyCluster};
 pub use kernel::KernelParams;

@@ -41,6 +41,16 @@ pub struct TableProfile {
     pooling_factor: f64,
     unique_frac: f64,
     zipf_alpha: f64,
+    /// Fraction of the batch's all-to-all traffic this shard contributes
+    /// relative to an unreplicated shard of the same dimension. `1.0` for
+    /// ordinary shards; `1/R` for one of `R` replicas of a hot table, whose
+    /// holders each answer only their share of the batch's lookups.
+    #[serde(default = "default_comm_share")]
+    comm_share: f64,
+}
+
+fn default_comm_share() -> f64 {
+    1.0
 }
 
 impl TableProfile {
@@ -103,7 +113,33 @@ impl TableProfile {
             pooling_factor,
             unique_frac: unique_frac.clamp(f64::MIN_POSITIVE, 1.0),
             zipf_alpha: zipf_alpha.max(0.0),
+            comm_share: 1.0,
         })
+    }
+
+    /// Returns a copy with the given communication share (builder-style),
+    /// clamped to `(0, 1]`. Replicated placements use `1/R` for `R`
+    /// replicas: each holder stores the full table but moves only its share
+    /// of the batch's lookup results through the all-to-all.
+    #[must_use]
+    pub fn with_comm_share(mut self, share: f64) -> Self {
+        self.comm_share = share.clamp(f64::MIN_POSITIVE, 1.0);
+        self
+    }
+
+    /// Fraction of an unreplicated shard's all-to-all traffic this shard
+    /// contributes (`1.0` unless replicated).
+    pub fn comm_share(&self) -> f64 {
+        self.comm_share
+    }
+
+    /// The shard's **communication-effective** dimension: the embedding
+    /// dimension weighted by [`TableProfile::comm_share`]. This is the
+    /// quantity device-dimension sums must use so replicated shards are
+    /// priced for the traffic they actually move. Exactly `dim` for
+    /// unreplicated shards (`x * 1.0` is a bitwise identity).
+    pub fn comm_dim(&self) -> f64 {
+        f64::from(self.dim) * self.comm_share
     }
 
     /// Embedding dimension (number of columns).
@@ -278,10 +314,33 @@ mod tests {
 
     #[test]
     fn serde_round_trip() {
-        let t = TableProfile::new(64, 1 << 20, 15.0, 0.25, 1.05);
+        let t = TableProfile::new(64, 1 << 20, 15.0, 0.25, 1.05).with_comm_share(0.5);
         let json = serde_json::to_string(&t).unwrap();
         let back: TableProfile = serde_json::from_str(&json).unwrap();
         assert_eq!(t, back);
+    }
+
+    #[test]
+    fn legacy_profiles_deserialize_with_full_comm_share() {
+        // Profiles serialized before replication existed carry no
+        // `comm_share`; they must load as ordinary (share 1.0) shards.
+        let json = r#"{"dim":64,"hash_size":1024,"pooling_factor":8.0,
+                       "unique_frac":0.5,"zipf_alpha":1.0}"#;
+        let t: TableProfile = serde_json::from_str(json).unwrap();
+        assert_eq!(t.comm_share(), 1.0);
+        assert_eq!(t.comm_dim().to_bits(), 64.0f64.to_bits());
+    }
+
+    #[test]
+    fn comm_dim_weights_the_dimension() {
+        let t = TableProfile::new(64, 1024, 8.0, 0.5, 1.0);
+        assert_eq!(t.comm_dim().to_bits(), 64.0f64.to_bits());
+        let replica = t.with_comm_share(0.5);
+        assert_eq!(replica.comm_dim(), 32.0);
+        assert_eq!(replica.memory_bytes(), t.memory_bytes());
+        // Shares are clamped into (0, 1].
+        assert_eq!(t.with_comm_share(7.0).comm_share(), 1.0);
+        assert!(t.with_comm_share(-1.0).comm_share() > 0.0);
     }
 
     proptest! {

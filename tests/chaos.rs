@@ -20,14 +20,13 @@ use neuroshard::sim::{Cluster, GpuSpec};
 const SCENARIOS: u64 = 24;
 const DEVICES: usize = 4;
 
-/// A faulted ground-truth cluster for `task` under `faults`.
+/// A faulted ground-truth cluster for `task` under `faults`. When the task
+/// describes a heterogeneous fleet the cluster inherits its per-device
+/// memory, compute and interconnect profiles, so faults compose with
+/// heterogeneity.
 fn faulty_cluster(task: &ShardingTask, faults: FaultPlan) -> FaultyCluster {
     FaultyCluster::new(
-        Cluster::new(
-            GpuSpec::rtx_2080_ti().with_mem_budget(task.mem_budget_bytes()),
-            task.num_devices(),
-            task.batch_size(),
-        ),
+        neuroshard::core::cluster_for(task, &GpuSpec::rtx_2080_ti()),
         faults,
     )
 }
@@ -230,4 +229,172 @@ fn oom_greedy_plan_is_repaired_into_feasibility() {
         PlanSource::Repaired { .. }
     ));
     assert!(outcome.plan.validate(&task).is_ok());
+}
+
+// ---------------------------------------------------------------------------
+// Heterogeneity chaos: node-class faults on two-tier fleets.
+// ---------------------------------------------------------------------------
+
+use neuroshard::data::DevicePool;
+use neuroshard::sim::Fault;
+
+/// A two-node fleet: node 0 holds two fast/large devices, node 1 two
+/// slower devices with half the memory, joined by a 2× slower inter-node
+/// fabric.
+fn two_tier_pool() -> DevicePool {
+    DevicePool::two_tier(2, 1 << 30, 2, 512 << 20, 1.5, 0.5)
+}
+
+/// A heterogeneous task for `seed`, sized so the small node's budget is a
+/// real constraint.
+fn hetero_task(seed: u64) -> ShardingTask {
+    let pool = TablePool::synthetic_dlrm(120, seed);
+    ShardingTask::sample(&pool, DEVICES, 10..=18, 64, seed).with_devices(two_tier_pool())
+}
+
+/// A whole node class slowing down and its links degrading hits only the
+/// devices of that node: the other node's ground-truth costs are
+/// unchanged bit for bit.
+#[test]
+fn node_faults_bite_only_the_faulted_node() {
+    let task = hetero_task(5);
+    let plan = neuroshard::resilient::size_balanced_plan(
+        &task,
+        neuroshard::resilient::RepairConfig::default(),
+    )
+    .expect("task is feasible");
+    let profiles = plan.device_profiles(task.batch_size());
+
+    let clean = faulty_cluster(&task, FaultPlan::new(0))
+        .evaluate_exact(&profiles)
+        .unwrap();
+    let faulted = faulty_cluster(
+        &task,
+        FaultPlan::new(0)
+            .with_fault(Fault::SlowNodeClass {
+                node: 1,
+                slowdown: 3.0,
+            })
+            .with_fault(Fault::NodeLinkDegradation {
+                node: 1,
+                bandwidth_scale: 0.25,
+            }),
+    )
+    .evaluate_exact(&profiles)
+    .unwrap();
+
+    for d in 0..DEVICES {
+        let clean_d = &clean.devices()[d];
+        let fault_d = &faulted.devices()[d];
+        if d < 2 {
+            // Node 0: compute untouched (asymmetric link cuts still slow
+            // its *conversations with* node 1, so only compute is exactly
+            // preserved).
+            assert_eq!(
+                clean_d.compute_ms().to_bits(),
+                fault_d.compute_ms().to_bits(),
+                "device {d} on the healthy node changed compute cost"
+            );
+        } else {
+            assert!(
+                fault_d.compute_ms() > clean_d.compute_ms(),
+                "device {d} on the slow node must compute slower"
+            );
+            assert!(
+                fault_d.comm_ms() > clean_d.comm_ms(),
+                "device {d} behind the bad links must communicate slower"
+            );
+        }
+    }
+}
+
+/// RepairEngine recovers a node-skewed plan on a heterogeneous fleet to
+/// feasibility under the *per-device* memory profiles, not merely the
+/// aggregate budget.
+#[test]
+fn repair_respects_device_profiles_under_node_faults() {
+    use neuroshard::resilient::{RepairConfig, RepairEngine};
+
+    use neuroshard::data::{TableConfig, TableId};
+
+    // Six 128 MB tables (768 MB total) on the two-tier fleet: well within
+    // the 3 GB aggregate, but an overload for any single small device.
+    let tables: Vec<TableConfig> = (0..6)
+        .map(|i| TableConfig::new(TableId(i), 64, 1 << 19, 8.0, 1.0))
+        .collect();
+    let task =
+        ShardingTask::new(tables.clone(), DEVICES, 1 << 30, 64).with_devices(two_tier_pool());
+    // Adversarial start: everything piled onto device 2 — a *small*
+    // device, so the pile violates its profile long before the fleet
+    // aggregate.
+    let device_of = vec![2usize; tables.len()];
+    let plan = neuroshard::core::ShardingPlan::new(vec![], tables, device_of, DEVICES).unwrap();
+    assert!(
+        plan.validate(&task).is_err(),
+        "the pile must start infeasible"
+    );
+
+    let report = RepairEngine::new(RepairConfig::default())
+        .repair(&task, &plan)
+        .expect("repair must salvage the pile");
+    report
+        .plan
+        .validate(&task)
+        .expect("repaired plan is feasible");
+    for (d, bytes) in report.plan.device_bytes().into_iter().enumerate() {
+        assert!(
+            bytes <= task.budget_of(d),
+            "device {d} holds {bytes} bytes over its profile's {} byte budget",
+            task.budget_of(d)
+        );
+    }
+}
+
+/// The full chain under combined heterogeneity faults: for every seeded
+/// scenario the planner returns either a plan respecting each device's
+/// memory profile under the faulted cluster, or a typed error with
+/// provenance — and the outcome is deterministic.
+#[test]
+fn hetero_fault_sweep_recovers_profile_respecting_plans() {
+    let mut plans = 0usize;
+    for seed in 0..8u64 {
+        let task = hetero_task(seed);
+        let faults = FaultPlan::new(seed)
+            .with_fault(Fault::SlowNodeClass {
+                node: 1,
+                slowdown: 2.0 + (seed % 3) as f64,
+            })
+            .with_fault(Fault::NodeLinkDegradation {
+                node: 1,
+                bandwidth_scale: 0.2 + 0.1 * (seed % 4) as f64,
+            });
+        let run = || chain_for(&task, faults.clone(), seed).shard_with_provenance(&task);
+        let outcome = run();
+        assert_eq!(
+            outcome,
+            run(),
+            "hetero scenario {seed} is not deterministic"
+        );
+        match outcome {
+            Ok(outcome) => {
+                plans += 1;
+                for (d, bytes) in outcome.plan.device_bytes().into_iter().enumerate() {
+                    assert!(
+                        bytes <= task.budget_of(d),
+                        "seed {seed}: device {d} over its per-device budget"
+                    );
+                }
+            }
+            Err(err) => {
+                assert!(
+                    !err.provenance.events.is_empty(),
+                    "seed {seed}: error without provenance"
+                );
+            }
+        }
+    }
+    assert!(
+        plans >= 4,
+        "only {plans}/8 heterogeneous scenarios produced a plan"
+    );
 }

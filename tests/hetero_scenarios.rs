@@ -1,0 +1,240 @@
+//! Scenario-matrix conformance suite for heterogeneous placement.
+//!
+//! Sweeps the full cross product
+//!
+//! ```text
+//! {uniform, heterogeneous fleet} × {no-skew, Zipf-skew workload}
+//!                                × {column-wise, row-wise, replicated}
+//! ```
+//!
+//! and asserts, per cell:
+//!
+//! * the search finds a **memory-feasible** plan (per-device budgets
+//!   respected, not just the aggregate),
+//! * plans and costs are **bit-identical** across worker-thread counts
+//!   {1, 2, 8} (CI re-runs this suite under `NSHARD_THREADS=8`),
+//! * on the skewed cells, the richer shard shapes (row-wise, replicated)
+//!   are **never worse** than the column-wise-only baseline.
+
+use neuroshard::core::{NeuroShard, NeuroShardConfig, ShardOutcome};
+use neuroshard::cost::{CollectConfig, CostModelBundle, TrainSettings};
+use neuroshard::data::{DevicePool, ShardingTask, TableConfig, TableId, TablePool};
+
+const DEVICES: usize = 4;
+const THREADS: [usize; 3] = [1, 2, 8];
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Fleet {
+    /// Flat scalar budget, flat network — the paper's benchmark cluster.
+    Uniform,
+    /// Two fast/large devices and two slow/small ones across two nodes,
+    /// with a 4× intra/inter bandwidth gap.
+    Heterogeneous,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Workload {
+    /// Evenly pooled tables.
+    NoSkew,
+    /// One dominant hot table (high pooling factor, sharp Zipf exponent).
+    ZipfSkew,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Shape {
+    /// Column-wise sharding only (the paper's search space).
+    Column,
+    /// Column-wise plus row-wise splits.
+    RowWise,
+    /// Column-wise plus row-wise plus replicated hot tables.
+    Replicated,
+}
+
+const FLEETS: [Fleet; 2] = [Fleet::Uniform, Fleet::Heterogeneous];
+const WORKLOADS: [Workload; 2] = [Workload::NoSkew, Workload::ZipfSkew];
+const SHAPES: [Shape; 3] = [Shape::Column, Shape::RowWise, Shape::Replicated];
+
+/// Ten 32 MB embedding tables plus one tall 128 MB table (row-splittable),
+/// with the skewed variant concentrating lookup traffic on table 0.
+fn tables(workload: Workload) -> Vec<TableConfig> {
+    let mut ts: Vec<TableConfig> = (0..10)
+        .map(|i| TableConfig::new(TableId(i), 32, 1 << 18, 8.0, 1.0))
+        .collect();
+    ts.push(TableConfig::new(TableId(10), 8, 1 << 22, 4.0, 0.8));
+    if workload == Workload::ZipfSkew {
+        ts[0] = ts[0].with_pooling_factor(384.0).with_zipf_alpha(1.6);
+        ts[1] = ts[1].with_pooling_factor(48.0).with_zipf_alpha(1.4);
+    }
+    ts
+}
+
+fn task(fleet: Fleet, workload: Workload) -> ShardingTask {
+    let t = ShardingTask::new(tables(workload), DEVICES, 192 << 20, 4096);
+    match fleet {
+        Fleet::Uniform => t,
+        Fleet::Heterogeneous => {
+            t.with_devices(DevicePool::two_tier(2, 192 << 20, 2, 96 << 20, 1.5, 0.25))
+        }
+    }
+}
+
+fn config(shape: Shape, threads: usize) -> NeuroShardConfig {
+    NeuroShardConfig {
+        n: 4,
+        k: 2,
+        l: 3,
+        m: 5,
+        use_row_wise: shape != Shape::Column,
+        use_replication: shape == Shape::Replicated,
+        threads,
+        ..NeuroShardConfig::default()
+    }
+}
+
+fn bundle() -> CostModelBundle {
+    let pool = TablePool::synthetic_dlrm(80, 0xE7E90);
+    CostModelBundle::pretrain(
+        &pool,
+        DEVICES,
+        &CollectConfig::smoke(),
+        &TrainSettings::smoke(),
+        9,
+    )
+}
+
+fn shard_cell(
+    bundle: &CostModelBundle,
+    fleet: Fleet,
+    workload: Workload,
+    shape: Shape,
+    threads: usize,
+) -> ShardOutcome {
+    let task = task(fleet, workload);
+    NeuroShard::new(bundle.clone(), config(shape, threads))
+        .shard_with_stats(&task)
+        .unwrap_or_else(|e| panic!("cell ({fleet:?}, {workload:?}, {shape:?}): {e}"))
+}
+
+#[test]
+fn every_cell_finds_a_memory_feasible_plan() {
+    let bundle = bundle();
+    for fleet in FLEETS {
+        for workload in WORKLOADS {
+            for shape in SHAPES {
+                let t = task(fleet, workload);
+                let outcome = shard_cell(&bundle, fleet, workload, shape, 1);
+                outcome.plan.validate(&t).unwrap_or_else(|e| {
+                    panic!("cell ({fleet:?}, {workload:?}, {shape:?}) invalid: {e}")
+                });
+                for (d, bytes) in outcome.plan.device_bytes().into_iter().enumerate() {
+                    assert!(
+                        bytes <= t.budget_of(d),
+                        "cell ({fleet:?}, {workload:?}, {shape:?}): device {d} holds \
+                         {bytes} bytes over its {} byte budget",
+                        t.budget_of(d)
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn every_cell_is_bit_identical_across_thread_counts() {
+    let bundle = bundle();
+    for fleet in FLEETS {
+        for workload in WORKLOADS {
+            for shape in SHAPES {
+                let reference = shard_cell(&bundle, fleet, workload, shape, THREADS[0]);
+                for threads in &THREADS[1..] {
+                    let other = shard_cell(&bundle, fleet, workload, shape, *threads);
+                    assert_eq!(
+                        reference.plan, other.plan,
+                        "cell ({fleet:?}, {workload:?}, {shape:?}): plan differs at \
+                         {threads} threads"
+                    );
+                    assert_eq!(
+                        reference.estimated_cost_ms.to_bits(),
+                        other.estimated_cost_ms.to_bits(),
+                        "cell ({fleet:?}, {workload:?}, {shape:?}): cost differs at \
+                         {threads} threads"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn richer_shapes_never_regress_on_skewed_cells() {
+    let bundle = bundle();
+    for fleet in FLEETS {
+        let column = shard_cell(&bundle, fleet, Workload::ZipfSkew, Shape::Column, 1);
+        for shape in [Shape::RowWise, Shape::Replicated] {
+            let richer = shard_cell(&bundle, fleet, Workload::ZipfSkew, shape, 1);
+            assert!(
+                richer.estimated_cost_ms <= column.estimated_cost_ms,
+                "({fleet:?}, {shape:?}) estimates {:.4} ms, worse than the \
+                 column-only {:.4} ms",
+                richer.estimated_cost_ms,
+                column.estimated_cost_ms
+            );
+        }
+    }
+}
+
+#[test]
+fn replication_fires_on_the_skewed_heterogeneous_cell() {
+    // The flagship cell: a hot, sharply skewed table on a two-tier fleet.
+    // The replicated search must actually use its new shapes, not merely
+    // tolerate them.
+    let bundle = bundle();
+    let outcome = shard_cell(
+        &bundle,
+        Fleet::Heterogeneous,
+        Workload::ZipfSkew,
+        Shape::Replicated,
+        1,
+    );
+    assert!(
+        outcome.plan.num_replications() + outcome.plan.num_row_splits() > 0,
+        "replicated-shape search used neither replication nor row splits"
+    );
+}
+
+#[test]
+#[ignore]
+fn probe_calibration() {
+    let bundle = bundle();
+    for hot in [96.0, 192.0, 384.0] {
+        let mut ts = tables(Workload::NoSkew);
+        ts[0] = ts[0].with_pooling_factor(hot).with_zipf_alpha(1.6);
+        let t = ShardingTask::new(ts, DEVICES, 192 << 20, 4096).with_devices(DevicePool::two_tier(
+            2,
+            192 << 20,
+            2,
+            96 << 20,
+            1.5,
+            0.25,
+        ));
+        for shape in SHAPES {
+            let o = NeuroShard::new(bundle.clone(), config(shape, 1))
+                .shard_with_stats(&t)
+                .unwrap();
+            let gt = neuroshard::core::evaluate_plan_exact(
+                &t,
+                &o.plan,
+                &neuroshard::sim::GpuSpec::rtx_2080_ti(),
+            )
+            .unwrap();
+            eprintln!(
+                "hot={hot} shape={shape:?} est={:.4} gt_max={:.4} col={} row={} rep={}",
+                o.estimated_cost_ms,
+                gt.max_total_ms(),
+                o.plan.num_column_splits(),
+                o.plan.num_row_splits(),
+                o.plan.num_replications()
+            );
+        }
+    }
+}

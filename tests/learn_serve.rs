@@ -243,24 +243,38 @@ fn promoted_model_replicates_to_the_follower() {
     );
 }
 
-/// The historically-dead `use_row_wise` + `use_beam: false` combination
-/// is rejected at boot with a typed error, not silently ignored.
+/// `use_row_wise` + `use_beam: false` — historically rejected as dead
+/// config — now boots: the greedy-only path row-splits via the
+/// deterministic presplit pass (ROADMAP item 4, done).
+#[test]
+fn row_wise_greedy_only_config_boots() {
+    let mut config = ServeConfig::smoke();
+    config.search.use_row_wise = true;
+    config.search.use_beam = false;
+    let service = Service::with_clock(quick_bundle(7), config, Arc::new(ManualClock::new()))
+        .expect("row-wise + greedy-only boots");
+    assert!(!service.config().search.use_beam);
+    assert!(service.config().search.use_row_wise);
+}
+
+/// The one remaining contradictory combination — `use_replication` with
+/// `use_beam: false` — is rejected at boot with a typed error, not
+/// silently ignored.
 #[test]
 fn contradictory_search_config_is_rejected_at_boot() {
     let mut config = ServeConfig::smoke();
-    config.search.use_row_wise = true;
+    config.search.use_replication = true;
     config.search.use_beam = false;
     let err = Service::with_clock(quick_bundle(7), config, Arc::new(ManualClock::new()))
         .err()
         .expect("boot must fail");
     match err {
-        StoreError::InvalidConfig(e) => assert_eq!(e, ConfigError::RowWiseRequiresBeam),
+        StoreError::InvalidConfig(e) => assert_eq!(e, ConfigError::ReplicationRequiresBeam),
         other => panic!("expected InvalidConfig, got {other:?}"),
     }
     let message = format!("{err}");
     assert!(
-        message.contains("ROADMAP item 4"),
-        "the error points at the roadmap item tracking first-class row-wise \
-         sharding: {message}"
+        message.contains("use_replication") && message.contains("use_beam"),
+        "the error names both contradicting switches: {message}"
     );
 }

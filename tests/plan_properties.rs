@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 
-use neuroshard::core::{apply_split_plan, ShardingPlan, SplitStep};
+use neuroshard::core::{apply_split_plan, migration_bytes, ShardingPlan, SplitStep};
 use neuroshard::data::{ShardingTask, TableConfig, TableId};
 use neuroshard::resilient::{RepairConfig, RepairEngine};
 
@@ -123,6 +123,136 @@ proptest! {
                 );
             }
         }
+    }
+
+    /// Row-wise split plans tile every table's rows into contiguous,
+    /// non-overlapping ranges that cover `[0, hash_size)` exactly — no
+    /// gap, no overlap, for any legal sequence of row splits (including
+    /// repeated splits of the same shard).
+    #[test]
+    fn row_splits_tile_the_table_exactly(
+        tables in arbitrary_tables(),
+        raw_steps in proptest::collection::vec(0usize..32, 0..10),
+    ) {
+        let mut list = tables.clone();
+        let mut plan = Vec::new();
+        for idx_raw in raw_steps {
+            let index = idx_raw % list.len();
+            let Some(halves) = list[index].split_rows() else { continue };
+            list[index] = halves.0;
+            list.push(halves.1);
+            plan.push(SplitStep::row(index));
+        }
+        let sharded = apply_split_plan(&tables, &plan).expect("plan built to be legal");
+        for orig in &tables {
+            let mut ranges: Vec<(u64, u64)> = sharded
+                .iter()
+                .filter(|s| s.id() == orig.id())
+                .map(|s| s.row_range())
+                .collect();
+            ranges.sort_unstable();
+            let mut cursor = 0u64;
+            for (start, end) in ranges {
+                prop_assert_eq!(start, cursor);
+                prop_assert!(end > start, "table {:?}: empty shard", orig.id());
+                cursor = end;
+            }
+            prop_assert_eq!(cursor, orig.hash_size());
+        }
+    }
+
+    /// Replicated placements charge full table memory on **every** holder:
+    /// each replica carries the logical table's full byte mass, so every
+    /// replicate step grows the plan's total memory by exactly the
+    /// replicated table's bytes.
+    #[test]
+    fn replicas_are_memory_charged_on_every_holder(
+        tables in arbitrary_tables(),
+        raw_steps in proptest::collection::vec(0usize..32, 0..6),
+        devices in 2usize..6,
+        assignment_seed in any::<u64>(),
+    ) {
+        let total_before: u64 = tables.iter().map(TableConfig::memory_bytes).sum();
+        let mut list = tables.clone();
+        let mut plan = Vec::new();
+        let mut added = 0u64;
+        for idx_raw in raw_steps {
+            let index = idx_raw % list.len();
+            let Some(halves) = list[index].replicate() else { continue };
+            added += list[index].memory_bytes();
+            list[index] = halves.0;
+            list.push(halves.1);
+            plan.push(SplitStep::replicate(index));
+        }
+        let sharded = apply_split_plan(&tables, &plan).expect("plan built to be legal");
+        // Every replica is a full copy of its logical table.
+        for shard in &sharded {
+            let orig = tables.iter().find(|t| t.id() == shard.id()).unwrap();
+            prop_assert_eq!(shard.memory_bytes(), orig.memory_bytes());
+        }
+        let device_of: Vec<usize> = (0..sharded.len())
+            .map(|i| ((assignment_seed >> (i % 60)) as usize) % devices)
+            .collect();
+        let p = ShardingPlan::with_split_plan(plan, sharded, device_of, devices).unwrap();
+        let charged: u64 = p.device_bytes().iter().sum();
+        prop_assert_eq!(charged, total_before + added);
+    }
+
+    /// Migration accounting and rebase stay correct for mixed plans of
+    /// column, row and replicate steps: self-migration is free, moving one
+    /// shard costs exactly its bytes, and a pooling-only drift rebases to
+    /// a valid plan that moves zero bytes.
+    #[test]
+    fn migration_and_rebase_hold_for_split_and_replicated_shards(
+        tables in arbitrary_tables(),
+        raw_steps in proptest::collection::vec((0usize..32, 0u8..3), 0..8),
+        devices in 2usize..5,
+        assignment_seed in any::<u64>(),
+        move_pick in any::<u64>(),
+        pooling_scale in 1.0f64..4.0,
+    ) {
+        let mut list = tables.clone();
+        let mut plan = Vec::new();
+        for (idx_raw, kind) in raw_steps {
+            let index = idx_raw % list.len();
+            let (halves, step) = match kind {
+                0 => (list[index].split_columns(), SplitStep::column(index)),
+                1 => (list[index].split_rows(), SplitStep::row(index)),
+                _ => (list[index].replicate(), SplitStep::replicate(index)),
+            };
+            let Some(halves) = halves else { continue };
+            list[index] = halves.0;
+            list.push(halves.1);
+            plan.push(step);
+        }
+        let sharded = apply_split_plan(&tables, &plan).expect("plan built to be legal");
+        let device_of: Vec<usize> = (0..sharded.len())
+            .map(|i| ((assignment_seed >> (i % 60)) as usize) % devices)
+            .collect();
+        let p = ShardingPlan::with_split_plan(
+            plan.clone(), sharded.clone(), device_of.clone(), devices,
+        ).unwrap();
+        prop_assert_eq!(migration_bytes(&p, &p), 0);
+
+        // Moving exactly one shard to another device ships its bytes.
+        let i = (move_pick as usize) % sharded.len();
+        let mut moved = device_of.clone();
+        moved[i] = (device_of[i] + 1) % devices;
+        let q = ShardingPlan::with_split_plan(plan.clone(), sharded.clone(), moved, devices).unwrap();
+        prop_assert_eq!(migration_bytes(&p, &q), sharded[i].memory_bytes());
+
+        // Pooling-only drift: rebase succeeds (pooling never shrinks, so
+        // every recorded split stays legal), validates, keeps the
+        // placement and moves zero bytes.
+        let drifted_tables: Vec<TableConfig> = tables
+            .iter()
+            .map(|t| t.with_pooling_factor(t.pooling_factor() * pooling_scale))
+            .collect();
+        let drifted = ShardingTask::new(drifted_tables, devices, u64::MAX, 1024);
+        let r = p.rebase(&drifted).expect("pooling drift keeps splits legal");
+        prop_assert!(r.validate(&drifted).is_ok());
+        prop_assert_eq!(r.device_of(), p.device_of());
+        prop_assert_eq!(migration_bytes(&p, &r), 0);
     }
 
     /// validate() accepts exactly the plans derived from the task's own

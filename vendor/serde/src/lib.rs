@@ -143,6 +143,24 @@ pub fn __field<T: Deserialize>(map: &[(String, Value)], key: &str) -> Result<T, 
     }
 }
 
+/// Derive-macro helper for `#[serde(default)]` fields: like [`__field`],
+/// but an absent key falls back to `default()` instead of erroring, so
+/// structs can grow fields without invalidating previously serialized data.
+///
+/// # Errors
+///
+/// [`Error`] when the key is present but its value has the wrong shape.
+pub fn __field_or<T: Deserialize>(
+    map: &[(String, Value)],
+    key: &str,
+    default: impl FnOnce() -> T,
+) -> Result<T, Error> {
+    match map.iter().find(|(k, _)| k == key) {
+        Some((_, v)) => T::from_value(v).map_err(|e| Error::custom(format!("field `{key}`: {e}"))),
+        None => Ok(default()),
+    }
+}
+
 fn wrong_kind(expected: &str, got: &Value) -> Error {
     Error::custom(format!("expected {expected}, found {}", got.kind()))
 }

@@ -13,7 +13,11 @@
 //!   `{"Variant": {field: ...}}`, newtype variants as
 //!   `{"Variant": value}` and tuple variants as `{"Variant": [..]}`,
 //! * the container attribute `#[serde(try_from = "Type")]` on
-//!   `Deserialize`.
+//!   `Deserialize`,
+//! * the field attributes `#[serde(default)]` and
+//!   `#[serde(default = "path")]` on named fields: an absent key falls
+//!   back to `Default::default()` (resp. `path()`) instead of erroring,
+//!   so structs can grow fields without invalidating serialized data.
 //!
 //! Generics are not supported; deriving on a generic type is a compile
 //! error with a clear message.
@@ -29,6 +33,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             let entries: Vec<String> = fields
                 .iter()
                 .map(|f| {
+                    let f = &f.name;
                     format!(
                         "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f}))"
                     )
@@ -91,10 +96,7 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
 
     let body = match &item.shape {
         Shape::NamedStruct(fields) => {
-            let inits: Vec<String> = fields
-                .iter()
-                .map(|f| format!("{f}: ::serde::__field(map, \"{f}\")?"))
-                .collect();
+            let inits: Vec<String> = fields.iter().map(|f| field_init(f, "map")).collect();
             format!(
                 "let map = v.as_map().ok_or_else(|| ::serde::de::Error::custom(\
                      ::std::format!(\"expected object for struct {name}, found {{}}\", v.kind())))?;\n\
@@ -137,16 +139,30 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
 // ---- token parsing ---------------------------------------------------------
 
 enum Shape {
-    NamedStruct(Vec<String>),
+    NamedStruct(Vec<Field>),
     TupleStruct(usize),
     UnitStruct,
     Enum(Vec<Variant>),
 }
 
+/// The fallback of a `#[serde(default)]`-style field attribute.
+enum FieldDefault {
+    /// `#[serde(default)]`: `Default::default()`.
+    Std,
+    /// `#[serde(default = "path")]`: call `path()`.
+    Path(String),
+}
+
+/// One named field, with its optional default fallback.
+struct Field {
+    name: String,
+    default: Option<FieldDefault>,
+}
+
 /// The payload shape of one enum variant.
 enum VariantKind {
     Unit,
-    Named(Vec<String>),
+    Named(Vec<Field>),
     Tuple(usize),
 }
 
@@ -272,18 +288,22 @@ fn split_top_level_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
     chunks
 }
 
-/// Field names of a named-field struct body.
-fn parse_named_fields(body: TokenStream) -> Vec<String> {
+/// Fields of a named-field struct body, with their default fallbacks.
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
     split_top_level_commas(body)
         .into_iter()
         .map(|chunk| {
+            let default = parse_field_default(&chunk);
             let mut j = skip_attrs_and_vis(&chunk);
             match &chunk[j] {
                 TokenTree::Ident(id) => {
                     let field = id.to_string();
                     j += 1;
                     match chunk.get(j) {
-                        Some(TokenTree::Punct(p)) if p.as_char() == ':' => field,
+                        Some(TokenTree::Punct(p)) if p.as_char() == ':' => Field {
+                            name: field,
+                            default,
+                        },
                         other => panic!(
                             "serde derive: expected `:` after field `{field}`, found {other:?}"
                         ),
@@ -293,6 +313,59 @@ fn parse_named_fields(body: TokenStream) -> Vec<String> {
             }
         })
         .collect()
+}
+
+/// Extracts `#[serde(default)]` / `#[serde(default = "path")]` from a
+/// field's leading attributes, if present.
+fn parse_field_default(chunk: &[TokenTree]) -> Option<FieldDefault> {
+    let mut j = 0;
+    while j + 1 < chunk.len() {
+        let TokenTree::Punct(p) = &chunk[j] else {
+            break;
+        };
+        if p.as_char() != '#' {
+            break;
+        }
+        if let TokenTree::Group(attr) = &chunk[j + 1] {
+            let tokens: Vec<TokenTree> = attr.stream().into_iter().collect();
+            if let [TokenTree::Ident(id), TokenTree::Group(args)] = tokens.as_slice() {
+                if id.to_string() == "serde" {
+                    let inner: Vec<TokenTree> = args.stream().into_iter().collect();
+                    match inner.as_slice() {
+                        [TokenTree::Ident(key)] if key.to_string() == "default" => {
+                            return Some(FieldDefault::Std);
+                        }
+                        [TokenTree::Ident(key), TokenTree::Punct(eq), TokenTree::Literal(lit)]
+                            if key.to_string() == "default" && eq.as_char() == '=' =>
+                        {
+                            return Some(FieldDefault::Path(
+                                lit.to_string().trim_matches('"').to_string(),
+                            ));
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        j += 2;
+    }
+    None
+}
+
+/// The initializer expression for one named field in a `from_value` body:
+/// required fields error when absent, defaulted fields fall back.
+fn field_init(f: &Field, map_var: &str) -> String {
+    let name = &f.name;
+    match &f.default {
+        None => format!("{name}: ::serde::__field({map_var}, \"{name}\")?"),
+        Some(FieldDefault::Std) => format!(
+            "{name}: ::serde::__field_or({map_var}, \"{name}\", \
+             ::std::default::Default::default)?"
+        ),
+        Some(FieldDefault::Path(path)) => {
+            format!("{name}: ::serde::__field_or({map_var}, \"{name}\", {path})?")
+        }
+    }
 }
 
 /// Number of fields in a tuple-struct body.
@@ -341,10 +414,15 @@ fn serialize_variant_arm(enum_name: &str, variant: &Variant) -> String {
              ::serde::value::Value::Str(::std::string::String::from(\"{v}\"))"
         ),
         VariantKind::Named(fields) => {
-            let bindings = fields.join(", ");
+            let bindings = fields
+                .iter()
+                .map(|f| f.name.clone())
+                .collect::<Vec<_>>()
+                .join(", ");
             let entries: Vec<String> = fields
                 .iter()
                 .map(|f| {
+                    let f = &f.name;
                     format!(
                         "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({f}))"
                     )
@@ -397,10 +475,8 @@ fn deserialize_enum_body(name: &str, variants: &[Variant]) -> String {
             match &variant.kind {
                 VariantKind::Unit => None,
                 VariantKind::Named(fields) => {
-                    let inits: Vec<String> = fields
-                        .iter()
-                        .map(|f| format!("{f}: ::serde::__field(fields, \"{f}\")?"))
-                        .collect();
+                    let inits: Vec<String> =
+                        fields.iter().map(|f| field_init(f, "fields")).collect();
                     Some(format!(
                         "\"{v}\" => {{\n\
                              let fields = payload.as_map().ok_or_else(|| \
